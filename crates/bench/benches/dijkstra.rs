@@ -1,0 +1,69 @@
+//! Substrate benchmark: node-weighted and link-weighted Dijkstra sweeps,
+//! including the early-exit ablation used by the naive payment scheme.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use truthcast_graph::dijkstra::{dijkstra, DijkstraOptions, Direction};
+use truthcast_graph::generators::random_udg;
+use truthcast_graph::geometry::Region;
+use truthcast_graph::node_dijkstra::{node_dijkstra, NodeDijkstraOptions};
+use truthcast_graph::{Cost, LinkWeightedDigraph, NodeId, NodeWeightedGraph};
+
+fn node_weighted(n: usize, seed: u64) -> NodeWeightedGraph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let side = (n as f64 * 300.0 * 300.0 * std::f64::consts::PI / 12.0).sqrt();
+    let (_, adj) = random_udg(n, Region::new(side, side), 300.0, &mut rng);
+    let costs = (0..n).map(|_| Cost::from_f64(rng.gen_range(1.0..50.0))).collect();
+    NodeWeightedGraph::new(adj, costs)
+}
+
+fn link_weighted(n: usize, seed: u64) -> LinkWeightedDigraph {
+    let g = node_weighted(n, seed);
+    let arcs: Vec<_> = g
+        .adjacency()
+        .edges()
+        .flat_map(|(u, v)| [(u, v, g.cost(v)), (v, u, g.cost(u))])
+        .collect();
+    LinkWeightedDigraph::from_arcs(n, arcs)
+}
+
+fn bench_dijkstra(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dijkstra");
+    group.sample_size(20);
+    for &n in &[256usize, 1024, 4096] {
+        let gw = node_weighted(n, 7 + n as u64);
+        group.bench_with_input(BenchmarkId::new("node_weighted_full", n), &n, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(node_dijkstra(&gw, NodeId(0), NodeDijkstraOptions::default()))
+            })
+        });
+        let gl = link_weighted(n, 7 + n as u64);
+        group.bench_with_input(BenchmarkId::new("link_weighted_full", n), &n, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(dijkstra(
+                    &gl,
+                    NodeId(0),
+                    Direction::Forward,
+                    DijkstraOptions::default(),
+                ))
+            })
+        });
+        let target = NodeId::new(n / 2);
+        group.bench_with_input(BenchmarkId::new("link_weighted_early_exit", n), &n, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(dijkstra(
+                    &gl,
+                    NodeId(0),
+                    Direction::Forward,
+                    DijkstraOptions { avoid: None, avoid_edge: None, target: Some(target) },
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dijkstra);
+criterion_main!(benches);

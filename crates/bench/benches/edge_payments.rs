@@ -1,0 +1,61 @@
+//! Hershberger–Suri edge-agent payments (the paper's \[18\]): fast
+//! sliding-window versus per-edge recomputation, and the symmetric
+//! node-removal variant on the same instances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use truthcast_core::edge_agents::{fast_edge_payments, naive_edge_payments};
+use truthcast_core::fast_symmetric::fast_symmetric_payments;
+use truthcast_graph::generators::random_udg;
+use truthcast_graph::geometry::Region;
+use truthcast_graph::{Cost, LinkWeightedDigraph, NodeId};
+
+fn instance(n: usize, seed: u64) -> (LinkWeightedDigraph, NodeId, NodeId) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let side = (n as f64 * 300.0 * 300.0 * std::f64::consts::PI / 12.0).sqrt();
+    loop {
+        let (points, adj) = random_udg(n, Region::new(side, side), 300.0, &mut rng);
+        if !truthcast_graph::connectivity::is_connected(&adj) {
+            continue;
+        }
+        let arcs: Vec<_> = adj
+            .edges()
+            .flat_map(|(u, v)| {
+                let w = Cost::from_f64(rng.gen_range(1.0..100.0));
+                [(u, v, w), (v, u, w)]
+            })
+            .collect();
+        let g = LinkWeightedDigraph::from_arcs(n, arcs);
+        let key = |i: usize| points[i].x + points[i].y;
+        let s = (0..n).min_by(|&a, &b| key(a).partial_cmp(&key(b)).unwrap()).unwrap();
+        let t = (0..n).max_by(|&a, &b| key(a).partial_cmp(&key(b)).unwrap()).unwrap();
+        if s != t {
+            return (g, NodeId::new(s), NodeId::new(t));
+        }
+    }
+}
+
+fn bench_edge_payments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("edge_agent_payments");
+    group.sample_size(10);
+    for &n in &[128usize, 512, 2048] {
+        let (g, s, t) = instance(n, 0xED6E + n as u64);
+        group.bench_with_input(BenchmarkId::new("fast_hershberger_suri", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(fast_edge_payments(&g, s, t)))
+        });
+        group.bench_with_input(BenchmarkId::new("naive_per_edge", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(naive_edge_payments(&g, s, t)))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("fast_symmetric_node_removal", n),
+            &n,
+            |b, _| b.iter(|| std::hint::black_box(fast_symmetric_payments(&g, s, t))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_edge_payments);
+criterion_main!(benches);

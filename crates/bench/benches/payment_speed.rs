@@ -1,0 +1,59 @@
+//! §III-B claim: Algorithm 1 computes all payments in `O(n log n + m)`
+//! versus the naive `O(k · (n log n + m))` — the gap should widen with
+//! network size (more relays on the LCP).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use truthcast_core::{fast_payments, naive_payments};
+use truthcast_graph::generators::random_udg;
+use truthcast_graph::geometry::Region;
+use truthcast_graph::{Cost, NodeId, NodeWeightedGraph};
+
+/// A connected random UDG with random relay costs, plus a far-apart
+/// source/target pair (long LCP = many relays = the interesting regime).
+fn instance(n: usize, seed: u64) -> (NodeWeightedGraph, NodeId, NodeId) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // Scale the region so expected degree stays ~12 as n grows.
+    let side = (n as f64 * 300.0 * 300.0 * std::f64::consts::PI / 12.0).sqrt();
+    loop {
+        let (points, adj) = random_udg(n, Region::new(side, side), 300.0, &mut rng);
+        if !truthcast_graph::connectivity::is_connected(&adj) {
+            continue;
+        }
+        let costs: Vec<Cost> =
+            (0..n).map(|_| Cost::from_f64(rng.gen_range(1.0..100.0))).collect();
+        let g = NodeWeightedGraph::new(adj, costs);
+        // Farthest pair by coordinates: corner-ish nodes.
+        let key = |i: usize| points[i].x + points[i].y;
+        let s = (0..n).min_by(|&a, &b| key(a).partial_cmp(&key(b)).unwrap()).unwrap();
+        let t = (0..n).max_by(|&a, &b| key(a).partial_cmp(&key(b)).unwrap()).unwrap();
+        if s != t {
+            return (g, NodeId::new(s), NodeId::new(t));
+        }
+    }
+}
+
+fn bench_payment_speed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("payment_computation");
+    group.sample_size(10);
+    for &n in &[64usize, 128, 256, 512, 1024] {
+        let (g, s, t) = instance(n, 0xBEEF + n as u64);
+        let relays = fast_payments(&g, s, t).map_or(0, |p| p.payments.len());
+        group.bench_with_input(
+            BenchmarkId::new(format!("fast_algorithm1_{relays}relays"), n),
+            &n,
+            |b, _| b.iter(|| std::hint::black_box(fast_payments(&g, s, t))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("naive_per_relay_{relays}relays"), n),
+            &n,
+            |b, _| b.iter(|| std::hint::black_box(naive_payments(&g, s, t))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_payment_speed);
+criterion_main!(benches);

@@ -1,0 +1,1 @@
+//! Criterion benchmarks for truthcast (see `benches/`); the library target is intentionally empty.

@@ -1,0 +1,176 @@
+//! Related-work baselines: what the paper argues *against*.
+//!
+//! The nuglet/counter schemes (\[2\], \[3\], \[5\], \[6\] in the paper) pay every
+//! relay a **fixed price** per packet. The paper's critique: "if the
+//! nuglet reflects actual monetary value, then a node may still refuse to
+//! relay the packet if its actual cost is higher than the monetary value
+//! of the nuglet". This module implements that scheme so the critique can
+//! be *measured*: a rational relay accepts only when the fixed price
+//! covers its cost, so routing happens on the accepting subgraph — and
+//! delivery collapses as costs exceed the tariff.
+
+use truthcast_graph::mask::NodeMask;
+use truthcast_graph::node_dijkstra::{node_dijkstra, NodeDijkstraOptions};
+use truthcast_graph::{Cost, NodeId, NodeWeightedGraph};
+
+/// Outcome of routing one packet under a fixed per-relay price.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FixedPriceOutcome {
+    /// The chosen path, if any relay-acceptable route exists.
+    pub path: Option<Vec<NodeId>>,
+    /// Total paid by the source (`price × relays`).
+    pub total_payment: Cost,
+    /// True cost incurred by the accepting relays.
+    pub relay_cost: Cost,
+    /// Relays that declined (true cost above the tariff) — the nodes the
+    /// Watchdog-style schemes would mislabel as "misbehaving".
+    pub decliners: Vec<NodeId>,
+}
+
+/// Routes `source → target` paying every relay exactly `price` per packet.
+///
+/// Rational relays with `c_k > price` refuse (they would lose money); the
+/// route is the least-*true*-cost path among accepting relays, mirroring
+/// the nuglet schemes' behaviour with rational users.
+pub fn fixed_price_route(
+    g: &NodeWeightedGraph,
+    source: NodeId,
+    target: NodeId,
+    price: Cost,
+) -> FixedPriceOutcome {
+    assert_ne!(source, target);
+    let mut decliners: Vec<NodeId> = Vec::new();
+    let mut mask = NodeMask::new(g.num_nodes());
+    for v in g.node_ids() {
+        if v != source && v != target && g.cost(v) > price {
+            decliners.push(v);
+            mask.block(v);
+        }
+    }
+    let table = node_dijkstra(
+        g,
+        source,
+        NodeDijkstraOptions { avoid: Some(&mask), target: Some(target) },
+    );
+    match table.path(target) {
+        Some(path) => {
+            let relays = path.len().saturating_sub(2) as u64;
+            let relay_cost = g.path_cost(&path).expect("valid path");
+            FixedPriceOutcome {
+                path: Some(path),
+                total_payment: price.scale(relays),
+                relay_cost,
+                decliners,
+            }
+        }
+        None => FixedPriceOutcome {
+            path: None,
+            total_payment: Cost::ZERO,
+            relay_cost: Cost::ZERO,
+            decliners,
+        },
+    }
+}
+
+/// Compares the fixed-price scheme against VCG over every source toward
+/// `ap`: delivery rates and payment totals.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SchemeComparison {
+    /// Sources the fixed-price scheme delivered.
+    pub fixed_delivered: usize,
+    /// Sources VCG delivered (with finite payments).
+    pub vcg_delivered: usize,
+    /// Sources attempted.
+    pub attempted: usize,
+    /// Total fixed-price payment over delivered sources.
+    pub fixed_total_payment: f64,
+    /// Total VCG payment over *its* delivered sources.
+    pub vcg_total_payment: f64,
+}
+
+/// Runs the comparison at one fixed tariff.
+pub fn compare_fixed_vs_vcg(g: &NodeWeightedGraph, ap: NodeId, price: Cost) -> SchemeComparison {
+    let mut out = SchemeComparison::default();
+    for source in g.node_ids() {
+        if source == ap {
+            continue;
+        }
+        out.attempted += 1;
+        let fixed = fixed_price_route(g, source, ap, price);
+        if fixed.path.is_some() {
+            out.fixed_delivered += 1;
+            out.fixed_total_payment += fixed.total_payment.as_f64();
+        }
+        if let Some(p) = crate::fast::fast_payments(g, source, ap) {
+            if !p.has_monopoly() {
+                out.vcg_delivered += 1;
+                out.vcg_total_payment += p.total_payment().as_f64();
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Relay costs 2 and 7 on parallel branches; tariff 5.
+    fn diamond() -> NodeWeightedGraph {
+        NodeWeightedGraph::from_pairs_units(&[(0, 1), (1, 3), (0, 2), (2, 3)], &[0, 2, 7, 0])
+    }
+
+    #[test]
+    fn expensive_relay_declines() {
+        let g = diamond();
+        let out = fixed_price_route(&g, NodeId(3), NodeId(0), Cost::from_units(5));
+        assert_eq!(out.decliners, vec![NodeId(2)]);
+        assert_eq!(out.path, Some(vec![NodeId(3), NodeId(1), NodeId(0)]));
+        assert_eq!(out.total_payment, Cost::from_units(5));
+        assert_eq!(out.relay_cost, Cost::from_units(2));
+    }
+
+    #[test]
+    fn delivery_fails_when_all_relays_decline() {
+        let g = diamond();
+        let out = fixed_price_route(&g, NodeId(3), NodeId(0), Cost::from_units(1));
+        assert_eq!(out.path, None);
+        assert_eq!(out.decliners, vec![NodeId(1), NodeId(2)]);
+        assert_eq!(out.total_payment, Cost::ZERO);
+    }
+
+    #[test]
+    fn generous_tariff_overpays_cheap_relays() {
+        let g = diamond();
+        let out = fixed_price_route(&g, NodeId(3), NodeId(0), Cost::from_units(100));
+        // Everyone accepts; the cheap branch (cost 2) is paid 100.
+        assert_eq!(out.path, Some(vec![NodeId(3), NodeId(1), NodeId(0)]));
+        assert_eq!(out.total_payment, Cost::from_units(100));
+    }
+
+    #[test]
+    fn endpoints_never_decline() {
+        // Source/target costs are irrelevant to acceptance.
+        let g = NodeWeightedGraph::from_pairs_units(&[(0, 1), (1, 2)], &[9, 1, 9]);
+        let out = fixed_price_route(&g, NodeId(2), NodeId(0), Cost::from_units(2));
+        assert!(out.path.is_some());
+        assert!(out.decliners.is_empty());
+    }
+
+    #[test]
+    fn comparison_shows_the_paper_critique() {
+        // Costs uniform-ish in [1, 10]; tariff 5: fixed price strands the
+        // sources behind expensive relays, VCG delivers everyone.
+        let g = NodeWeightedGraph::from_pairs_units(
+            &[(0, 1), (1, 3), (0, 2), (2, 3), (3, 4), (2, 4), (1, 4)],
+            &[0, 8, 9, 2, 6],
+        );
+        let cmp = compare_fixed_vs_vcg(&g, NodeId(0), Cost::from_units(5));
+        assert_eq!(cmp.attempted, 4);
+        assert_eq!(cmp.vcg_delivered, 4);
+        assert!(
+            cmp.fixed_delivered < cmp.attempted,
+            "some source must be stranded: {cmp:?}"
+        );
+    }
+}

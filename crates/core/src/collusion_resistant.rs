@@ -1,0 +1,361 @@
+//! Section III-E: payment schemes resistant to neighbor collusion.
+//!
+//! Theorem 7 kills any hope of 2-agent strategyproofness for *arbitrary*
+//! pairs, so the paper designs `p̃` against the pairs that can actually
+//! coordinate cheaply — neighbors:
+//!
+//! ```text
+//! p̃_i^k(d) = ‖P_{-N(v_k)}(v_i, v_j, d)‖ − ‖P(v_i, v_j, d)‖ + x_k·d_k
+//! ```
+//!
+//! where `N(v_k)` is the **closed** neighborhood of `v_k`. The Groves term
+//! `h_k = ‖P_{-N(v_k)}‖` is independent of every declaration in `N(v_k)`,
+//! which is exactly what makes joint neighbor deviations unprofitable. A
+//! node *off* the LCP can now receive a positive payment when a neighbor is
+//! on it — the price of collusion-proofness. The general `Q`-set scheme
+//! replaces `N(v_k)` by an arbitrary node set containing `v_k`.
+//!
+//! The endpoints are never removed: their costs do not enter any path cost,
+//! so keeping them preserves the Groves independence argument while keeping
+//! `P_{-N(v_k)}(v_i, v_j, ·)` well-defined.
+
+use truthcast_graph::connectivity::reachable_without;
+use truthcast_graph::mask::NodeMask;
+use truthcast_graph::node_dijkstra::{lcp_cost_between, lcp_between};
+use truthcast_graph::{Cost, NodeId, NodeWeightedGraph};
+use truthcast_mechanism::vcg::set_removal_payment;
+
+/// The priced outcome of the neighborhood (or general `Q`-set) scheme.
+///
+/// Unlike the plain VCG scheme, *every* node may carry a payment, so the
+/// vector is dense over all nodes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SetRemovalPricing {
+    /// The least-cost path `source … target`.
+    pub path: Vec<NodeId>,
+    /// `‖P(source, target, d)‖`.
+    pub lcp_cost: Cost,
+    /// `p̃^k` for every node `k` (zero where no neighbor touches the path;
+    /// `Cost::INF` where removing the set disconnects the endpoints).
+    pub payments: Vec<Cost>,
+}
+
+impl SetRemovalPricing {
+    /// Total payment disbursed by the source.
+    pub fn total_payment(&self) -> Cost {
+        self.payments.iter().copied().sum()
+    }
+
+    /// Payment to node `k`.
+    pub fn payment_to(&self, k: NodeId) -> Cost {
+        self.payments[k.index()]
+    }
+}
+
+/// Builds the removal set for agent `k` under the neighborhood scheme:
+/// `k` plus its neighbors, minus the unicast endpoints.
+pub fn neighborhood_set(
+    g: &NodeWeightedGraph,
+    k: NodeId,
+    source: NodeId,
+    target: NodeId,
+) -> Vec<NodeId> {
+    std::iter::once(k)
+        .chain(g.neighbors(k).iter().copied())
+        .filter(|&v| v != source && v != target)
+        .collect()
+}
+
+/// Prices a unicast with the neighborhood collusion-resistant scheme `p̃`.
+///
+/// Returns `None` if the target is unreachable from the source.
+///
+/// ```
+/// use truthcast_core::neighborhood_payments;
+/// use truthcast_graph::{Cost, NodeId, NodeWeightedGraph};
+///
+/// // Three branches 0—k—4 with relay costs 2/5/9 and a 1–2 friendship.
+/// let g = NodeWeightedGraph::from_pairs_units(
+///     &[(0, 1), (1, 4), (0, 2), (2, 4), (0, 3), (3, 4), (1, 2)],
+///     &[0, 2, 5, 9, 0],
+/// );
+/// let p = neighborhood_payments(&g, NodeId(0), NodeId(4)).unwrap();
+/// // The relay is priced against the world without its whole
+/// // neighborhood, and its off-path friend earns a bystander payment —
+/// // so neither gains by inflating the other's price.
+/// assert_eq!(p.payment_to(NodeId(1)), Cost::from_units(9));
+/// assert_eq!(p.payment_to(NodeId(2)), Cost::from_units(7));
+/// ```
+pub fn neighborhood_payments(
+    g: &NodeWeightedGraph,
+    source: NodeId,
+    target: NodeId,
+) -> Option<SetRemovalPricing> {
+    q_set_payments(g, source, target, |k| neighborhood_set(g, k, source, target))
+}
+
+/// Prices a unicast with the generalized `Q`-set scheme: node `k` cannot
+/// profitably collude with anyone in `q_set(k)`.
+///
+/// `q_set(k)` should contain `k`; the endpoints are filtered out
+/// defensively. Agents whose set removal disconnects the endpoints get a
+/// [`Cost::INF`] payment (the scheme's connectivity precondition fails for
+/// them — check with [`scheme_feasible`] first).
+pub fn q_set_payments(
+    g: &NodeWeightedGraph,
+    source: NodeId,
+    target: NodeId,
+    mut q_set: impl FnMut(NodeId) -> Vec<NodeId>,
+) -> Option<SetRemovalPricing> {
+    assert_ne!(source, target, "unicast endpoints must differ");
+    let path = lcp_between(g, source, target, None)?;
+    let lcp_cost = g.path_cost(&path).expect("LCP is a path");
+    let n = g.num_nodes();
+    let on_path: Vec<bool> = {
+        let mut v = vec![false; n];
+        for &p in &path {
+            v[p.index()] = true;
+        }
+        v
+    };
+
+    let mut mask = NodeMask::new(n);
+    let mut payments = vec![Cost::ZERO; n];
+    for k in g.node_ids() {
+        if k == source || k == target {
+            continue;
+        }
+        mask.clear();
+        for v in q_set(k) {
+            if v != source && v != target {
+                mask.block(v);
+            }
+        }
+        if !mask.is_blocked(k) {
+            mask.block(k);
+        }
+        let removed_opt = lcp_cost_between(g, source, target, Some(&mask));
+        payments[k.index()] =
+            set_removal_payment(lcp_cost, removed_opt, on_path[k.index()], g.cost(k));
+    }
+
+    Some(SetRemovalPricing { path, lcp_cost, payments })
+}
+
+/// The `h`-hop generalization of [`neighborhood_set`]: everything within
+/// `h` hops of `k` (minus the endpoints). `h = 0` degenerates to the plain
+/// per-node scheme, `h = 1` to the neighborhood scheme; larger `h` buys
+/// resistance against coalitions coordinated across `h` hops, at the price
+/// of a stronger connectivity precondition and larger payments.
+pub fn khop_set(
+    g: &NodeWeightedGraph,
+    k: NodeId,
+    hops: usize,
+    source: NodeId,
+    target: NodeId,
+) -> Vec<NodeId> {
+    let mut seen = vec![false; g.num_nodes()];
+    let mut frontier = vec![k];
+    seen[k.index()] = true;
+    let mut all = vec![k];
+    for _ in 0..hops {
+        let mut next = Vec::new();
+        for &u in &frontier {
+            for &v in g.neighbors(u) {
+                if !seen[v.index()] {
+                    seen[v.index()] = true;
+                    next.push(v);
+                    all.push(v);
+                }
+            }
+        }
+        frontier = next;
+    }
+    all.retain(|&v| v != source && v != target);
+    all
+}
+
+/// The scheme's precondition: `G \ Q(v_k)` still connects the endpoints for
+/// every agent `k` (the paper's "graph `G \ N(v_k)` is connected"
+/// assumption, localized to the unicast pair).
+pub fn scheme_feasible(
+    g: &NodeWeightedGraph,
+    source: NodeId,
+    target: NodeId,
+    mut q_set: impl FnMut(NodeId) -> Vec<NodeId>,
+) -> bool {
+    let n = g.num_nodes();
+    let mut mask = NodeMask::new(n);
+    for k in g.node_ids() {
+        if k == source || k == target {
+            continue;
+        }
+        mask.clear();
+        for v in q_set(k) {
+            if v != source && v != target {
+                mask.block(v);
+            }
+        }
+        if !mask.is_blocked(k) {
+            mask.block(k);
+        }
+        if !reachable_without(g.adjacency(), source, target, &mask) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three parallel 1-relay branches between 0 and 4, relay costs 2/5/9,
+    /// so removing any relay's closed neighborhood (just itself here — the
+    /// relays are not adjacent to each other) leaves two branches.
+    fn triple_branch() -> NodeWeightedGraph {
+        NodeWeightedGraph::from_pairs_units(
+            &[(0, 1), (1, 4), (0, 2), (2, 4), (0, 3), (3, 4)],
+            &[0, 2, 5, 9, 0],
+        )
+    }
+
+    #[test]
+    fn pays_on_path_relay_against_neighborhood_removal() {
+        let g = triple_branch();
+        let p = neighborhood_payments(&g, NodeId(0), NodeId(4)).unwrap();
+        assert_eq!(p.path, vec![NodeId(0), NodeId(1), NodeId(4)]);
+        // N(1) \ {0,4} = {1}: replacement is branch 2 (cost 5);
+        // p̃_1 = 5 − 2 + 2 = 5.
+        assert_eq!(p.payment_to(NodeId(1)), Cost::from_units(5));
+        // Nodes 2 and 3 are off-path with no on-path neighbor: zero.
+        assert_eq!(p.payment_to(NodeId(2)), Cost::ZERO);
+        assert_eq!(p.payment_to(NodeId(3)), Cost::ZERO);
+    }
+
+    /// A chain relay with an adjacent off-path friend: the friend gets paid.
+    ///
+    ///   0 — 1 — 4 (relay 1, cost 2), 0 — 2 — 4 (cost 5), 0 — 3 — 4 (cost 9),
+    ///   plus edge (1, 2): removing N(2) ∋ {1,2} forces branch 3.
+    fn friendly() -> NodeWeightedGraph {
+        NodeWeightedGraph::from_pairs_units(
+            &[(0, 1), (1, 4), (0, 2), (2, 4), (0, 3), (3, 4), (1, 2)],
+            &[0, 2, 5, 9, 0],
+        )
+    }
+
+    #[test]
+    fn off_path_neighbor_of_relay_is_paid() {
+        let g = friendly();
+        let p = neighborhood_payments(&g, NodeId(0), NodeId(4)).unwrap();
+        assert_eq!(p.path, vec![NodeId(0), NodeId(1), NodeId(4)]);
+        // Node 2 is off-path but neighbors relay 1: removing {1, 2} leaves
+        // branch 3 (cost 9): p̃_2 = 9 − 2 + 0 = 7.
+        assert_eq!(p.payment_to(NodeId(2)), Cost::from_units(7));
+        // Relay 1 itself: removing {1, 2} → 9 − 2 + 2 = 9.
+        assert_eq!(p.payment_to(NodeId(1)), Cost::from_units(9));
+        assert_eq!(p.payment_to(NodeId(3)), Cost::ZERO);
+    }
+
+    #[test]
+    fn neighborhood_payment_dominates_plain_vcg() {
+        // p̃ removes a superset of {k}: payments can only grow.
+        let g = friendly();
+        let plain = crate::naive::naive_payments(&g, NodeId(0), NodeId(4)).unwrap();
+        let tilde = neighborhood_payments(&g, NodeId(0), NodeId(4)).unwrap();
+        for &(relay, p) in &plain.payments {
+            assert!(tilde.payment_to(relay) >= p);
+        }
+    }
+
+    #[test]
+    fn feasibility_checker() {
+        let g = friendly();
+        assert!(scheme_feasible(&g, NodeId(0), NodeId(4), |k| {
+            neighborhood_set(&g, k, NodeId(0), NodeId(4))
+        }));
+        // A diamond is fine for plain VCG but not for neighborhood removal:
+        // N(1) ⊇ {1} and N(2) ⊇ {2} are fine, but on a 2-branch graph
+        // removing a relay and its neighbors kills both branches if they
+        // touch. Build: 0-1-3, 0-2-3, edge (1,2).
+        let tight = NodeWeightedGraph::from_pairs_units(
+            &[(0, 1), (1, 3), (0, 2), (2, 3), (1, 2)],
+            &[0, 1, 2, 0],
+        );
+        assert!(!scheme_feasible(&tight, NodeId(0), NodeId(3), |k| {
+            neighborhood_set(&tight, k, NodeId(0), NodeId(3))
+        }));
+        let p = neighborhood_payments(&tight, NodeId(0), NodeId(3)).unwrap();
+        assert!(p.payment_to(NodeId(1)).is_inf());
+    }
+
+    #[test]
+    fn q_set_generalization_with_singletons_equals_plain_vcg() {
+        let g = friendly();
+        let q = q_set_payments(&g, NodeId(0), NodeId(4), |k| vec![k]).unwrap();
+        let plain = crate::naive::naive_payments(&g, NodeId(0), NodeId(4)).unwrap();
+        for &(relay, p) in &plain.payments {
+            assert_eq!(q.payment_to(relay), p);
+        }
+        // And off-path nodes get nothing under singleton sets.
+        assert_eq!(q.payment_to(NodeId(2)), Cost::ZERO);
+    }
+
+    #[test]
+    fn khop_sets_nest_and_degenerate_correctly() {
+        let g = friendly();
+        let (s, t) = (NodeId(0), NodeId(4));
+        // h = 0: just the node itself.
+        assert_eq!(khop_set(&g, NodeId(1), 0, s, t), vec![NodeId(1)]);
+        // h = 1: the closed neighborhood minus endpoints.
+        let mut one = khop_set(&g, NodeId(1), 1, s, t);
+        one.sort_unstable();
+        let mut nbhd = neighborhood_set(&g, NodeId(1), s, t);
+        nbhd.sort_unstable();
+        assert_eq!(one, nbhd);
+        // Sets grow monotonically with h.
+        for h in 0..3 {
+            let small = khop_set(&g, NodeId(1), h, s, t);
+            let large = khop_set(&g, NodeId(1), h + 1, s, t);
+            assert!(small.iter().all(|v| large.contains(v)));
+        }
+    }
+
+    #[test]
+    fn khop_zero_payments_match_plain_vcg() {
+        let g = friendly();
+        let (s, t) = (NodeId(0), NodeId(4));
+        let q = q_set_payments(&g, s, t, |k| khop_set(&g, k, 0, s, t)).unwrap();
+        let plain = crate::naive::naive_payments(&g, s, t).unwrap();
+        for &(relay, p) in &plain.payments {
+            assert_eq!(q.payment_to(relay), p);
+        }
+    }
+
+    #[test]
+    fn larger_khop_payments_dominate() {
+        let g = friendly();
+        let (s, t) = (NodeId(0), NodeId(4));
+        let one = q_set_payments(&g, s, t, |k| khop_set(&g, k, 1, s, t)).unwrap();
+        let two = q_set_payments(&g, s, t, |k| khop_set(&g, k, 2, s, t)).unwrap();
+        for v in g.node_ids() {
+            assert!(two.payment_to(v) >= one.payment_to(v), "node {v}");
+        }
+    }
+
+    #[test]
+    fn total_payment_sums_everyone() {
+        let g = friendly();
+        let p = neighborhood_payments(&g, NodeId(0), NodeId(4)).unwrap();
+        assert_eq!(
+            p.total_payment(),
+            Cost::from_units(9) + Cost::from_units(7)
+        );
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let g = NodeWeightedGraph::from_pairs_units(&[(0, 1)], &[0, 0, 0]);
+        assert_eq!(neighborhood_payments(&g, NodeId(0), NodeId(2)), None);
+    }
+}

@@ -1,0 +1,280 @@
+//! The Nisan–Ronen baseline: **edges** as agents.
+//!
+//! The paper's Related Work opens with Nisan & Ronen's STOC'99 mechanism:
+//! the network is an abstract undirected graph, each *edge* is a selfish
+//! agent with a private cost, and the VCG payment to an on-path edge is
+//! `D_{G−e}(x, y) − D_G(x, y) + w_e`. Implementing it serves two purposes:
+//! it is the baseline the paper positions itself against (node agents model
+//! wireless radios better than edge agents), and its fast payment
+//! computation is exactly Hershberger–Suri's Vickrey-pricing algorithm
+//! (the paper's \[18\]) whose ideas Algorithm 1 borrows.
+//!
+//! Both a naive per-edge recomputation and the `O((n + m) log n)`
+//! sliding-window algorithm are provided; the fast variant requires
+//! symmetric ("undirected") inputs, as in the original.
+
+use truthcast_graph::dijkstra::{
+    dijkstra, st_distance_avoiding_edge, DijkstraOptions, Direction,
+};
+use truthcast_graph::heap::IndexedHeap;
+use truthcast_graph::{Cost, LinkWeightedDigraph, NodeId, Spt};
+use truthcast_mechanism::vcg::vcg_payment_selected;
+
+use crate::fast_symmetric::is_symmetric;
+use crate::levels::{compute_levels, UNREACHED};
+
+/// Pricing under the edge-agent model: one payment per path edge.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EdgePricing {
+    /// The least-cost path `source … target`.
+    pub path: Vec<NodeId>,
+    /// `D_G(source, target)`: total declared edge cost of the path.
+    pub lcp_cost: Cost,
+    /// `((tail, head), payment)` per path edge, in path order.
+    pub payments: Vec<((NodeId, NodeId), Cost)>,
+}
+
+impl EdgePricing {
+    /// The source's total payment (to all edge agents).
+    pub fn total_payment(&self) -> Cost {
+        self.payments.iter().map(|&(_, p)| p).sum()
+    }
+
+    /// Payment to the undirected edge `{a, b}` (zero if off-path).
+    pub fn payment_to(&self, a: NodeId, b: NodeId) -> Cost {
+        self.payments
+            .iter()
+            .find(|&&((u, v), _)| (u, v) == (a, b) || (u, v) == (b, a))
+            .map_or(Cost::ZERO, |&(_, p)| p)
+    }
+}
+
+/// Naive edge-agent VCG pricing: one edge-avoiding Dijkstra per path edge.
+pub fn naive_edge_payments(
+    g: &LinkWeightedDigraph,
+    source: NodeId,
+    target: NodeId,
+) -> Option<EdgePricing> {
+    assert_ne!(source, target, "unicast endpoints must differ");
+    let table = dijkstra(
+        g,
+        source,
+        Direction::Forward,
+        DijkstraOptions { avoid: None, avoid_edge: None, target: Some(target) },
+    );
+    let path = table.path(target)?;
+    let lcp_cost = table.dist(target);
+
+    let mut payments = Vec::with_capacity(path.len() - 1);
+    for w in path.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        let declared = g.arc_cost(a, b);
+        let replacement = st_distance_avoiding_edge(g, source, target, (a, b));
+        payments.push(((a, b), vcg_payment_selected(lcp_cost, replacement, declared)));
+    }
+    Some(EdgePricing { path, lcp_cost, payments })
+}
+
+/// Hershberger–Suri fast edge-agent pricing: all path-edge payments from
+/// two Dijkstra sweeps plus one sliding-window pass over the crossing
+/// edges. Requires symmetric link costs (returns `None` otherwise, like
+/// [`crate::fast_symmetric::fast_symmetric_payments`]).
+///
+/// Removing the tree edge `e_l = (r_{l-1}, r_l)` splits `SPT(source)` into
+/// the side containing the source (levels `< l`) and the rest (levels
+/// `≥ l`); the replacement path crosses once, over some non-tree edge
+/// `(a, b)` with `level(a) < l ≤ level(b)`, at cost
+/// `L(a) + w(a,b) + R(b)`. Each candidate edge is therefore *active* for a
+/// contiguous window of `l` — one heap insertion and one deletion each.
+pub fn fast_edge_payments(
+    g: &LinkWeightedDigraph,
+    source: NodeId,
+    target: NodeId,
+) -> Option<EdgePricing> {
+    assert_ne!(source, target, "unicast endpoints must differ");
+    if !is_symmetric(g) {
+        return None;
+    }
+    let ti = dijkstra(g, source, Direction::Forward, DijkstraOptions::default());
+    let spt = Spt::from_parents(source, &ti.parent);
+    let lv = compute_levels(&spt, target)?;
+    let lcp_cost = ti.dist(target);
+    let s = lv.hops();
+    let tj = dijkstra(g, target, Direction::Forward, DijkstraOptions::default());
+
+    // Candidate crossing edges. The path edge e_l itself never qualifies:
+    // its endpoints have adjacent levels (l-1, l) and the window
+    // [level(a)+1, level(b)] would be just {l}, but the candidate value
+    // would use the removed edge — exclude tree edges of the SPT
+    // explicitly (a non-tree edge with adjacent levels is a legitimate
+    // single-l candidate).
+    struct CrossEdge {
+        value: Cost,
+        insert_at: u32,
+        delete_at: u32,
+    }
+    let mut cross: Vec<CrossEdge> = Vec::new();
+    for (u, v, w) in g.arcs() {
+        if u > v {
+            continue; // visit each symmetric pair once
+        }
+        // Skip SPT tree edges: their removal is the event, not a detour.
+        if spt.parent(u) == Some(v) || spt.parent(v) == Some(u) {
+            continue;
+        }
+        let (lu_, lv_) = (lv.level[u.index()], lv.level[v.index()]);
+        if lu_ == UNREACHED || lv_ == UNREACHED || lu_ == lv_ {
+            continue;
+        }
+        let (a, b, la, lb) = if lu_ < lv_ { (u, v, lu_, lv_) } else { (v, u, lv_, lu_) };
+        let value = ti.dist[a.index()]
+            .saturating_add(w)
+            .saturating_add(tj.dist[b.index()]);
+        if value.is_inf() {
+            continue;
+        }
+        // Active for l in [la + 1, lb] (inclusive on the right: removing
+        // e_lb still leaves b on the far side).
+        cross.push(CrossEdge { value, insert_at: la + 1, delete_at: lb + 1 });
+    }
+    let mut insert_at: Vec<Vec<u32>> = vec![Vec::new(); s + 2];
+    let mut delete_at: Vec<Vec<u32>> = vec![Vec::new(); s + 2];
+    for (idx, e) in cross.iter().enumerate() {
+        insert_at[e.insert_at as usize].push(idx as u32);
+        delete_at[(e.delete_at as usize).min(s + 1)].push(idx as u32);
+    }
+
+    let mut window: IndexedHeap<Cost> = IndexedHeap::new(cross.len());
+    let mut payments = Vec::with_capacity(s);
+    for l in 1..=s {
+        for &idx in &delete_at[l] {
+            window.remove(idx);
+        }
+        for &idx in &insert_at[l] {
+            window.push(idx, cross[idx as usize].value);
+        }
+        let replacement = window.peek().map_or(Cost::INF, |(_, v)| v);
+        let (a, b) = (lv.path[l - 1], lv.path[l]);
+        let declared = g.arc_cost(a, b);
+        payments.push(((a, b), vcg_payment_selected(lcp_cost, replacement, declared)));
+    }
+
+    Some(EdgePricing { path: lv.path, lcp_cost, payments })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym_arcs(pairs: &[(u32, u32, u64)]) -> Vec<(NodeId, NodeId, Cost)> {
+        pairs
+            .iter()
+            .flat_map(|&(u, v, w)| {
+                [
+                    (NodeId(u), NodeId(v), Cost::from_units(w)),
+                    (NodeId(v), NodeId(u), Cost::from_units(w)),
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn nisan_ronen_diamond() {
+        // Two edges 0-1 (3) and 1-2 (4) vs a direct edge 0-2 (9).
+        let g = LinkWeightedDigraph::from_arcs(
+            3,
+            sym_arcs(&[(0, 1, 3), (1, 2, 4), (0, 2, 9)]),
+        );
+        let p = naive_edge_payments(&g, NodeId(0), NodeId(2)).unwrap();
+        assert_eq!(p.path, vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(p.lcp_cost, Cost::from_units(7));
+        // Each path edge is paid D_{G−e} − D_G + w_e = 9 − 7 + w_e.
+        assert_eq!(p.payment_to(NodeId(0), NodeId(1)), Cost::from_units(5));
+        assert_eq!(p.payment_to(NodeId(1), NodeId(2)), Cost::from_units(6));
+        assert_eq!(p.total_payment(), Cost::from_units(11));
+    }
+
+    #[test]
+    fn fast_matches_naive_on_the_diamond() {
+        let g = LinkWeightedDigraph::from_arcs(
+            3,
+            sym_arcs(&[(0, 1, 3), (1, 2, 4), (0, 2, 9)]),
+        );
+        assert_eq!(
+            fast_edge_payments(&g, NodeId(0), NodeId(2)),
+            naive_edge_payments(&g, NodeId(0), NodeId(2))
+        );
+    }
+
+    #[test]
+    fn bridge_edge_is_a_monopoly() {
+        let g = LinkWeightedDigraph::from_arcs(3, sym_arcs(&[(0, 1, 1), (1, 2, 1)]));
+        let p = naive_edge_payments(&g, NodeId(0), NodeId(2)).unwrap();
+        assert!(p.payments.iter().all(|&(_, pay)| pay.is_inf()));
+        assert_eq!(
+            fast_edge_payments(&g, NodeId(0), NodeId(2)),
+            naive_edge_payments(&g, NodeId(0), NodeId(2))
+        );
+    }
+
+    #[test]
+    fn asymmetric_input_declines_fast_path() {
+        let g = LinkWeightedDigraph::from_arcs(
+            2,
+            [(NodeId(0), NodeId(1), Cost::from_units(1))],
+        );
+        assert_eq!(fast_edge_payments(&g, NodeId(0), NodeId(1)), None);
+        assert!(naive_edge_payments(&g, NodeId(0), NodeId(1)).is_some());
+    }
+
+    #[test]
+    fn random_graphs_fast_matches_naive() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(777);
+        for case in 0..300 {
+            let n = rng.gen_range(4..24);
+            let p = rng.gen_range(0.2..0.6);
+            let mut pairs = Vec::new();
+            for u in 0..n as u32 {
+                for v in (u + 1)..n as u32 {
+                    if rng.gen_bool(p) {
+                        let w = if case % 2 == 0 {
+                            rng.gen_range(1..1_000_000)
+                        } else {
+                            rng.gen_range(1..6) // tie-heavy
+                        };
+                        pairs.push((u, v, w));
+                    }
+                }
+            }
+            let g = LinkWeightedDigraph::from_arcs(n, sym_arcs(&pairs));
+            let s = NodeId(0);
+            let t = NodeId(n as u32 - 1);
+            assert_eq!(
+                fast_edge_payments(&g, s, t),
+                naive_edge_payments(&g, s, t),
+                "case {case}: pairs {pairs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn edge_agents_overpay_differently_from_node_agents() {
+        // Same physical network: edge agents are paid per edge, node
+        // agents per relay — the totals differ, which is the comparison
+        // the experiments table quantifies.
+        let g = LinkWeightedDigraph::from_arcs(
+            4,
+            sym_arcs(&[(0, 1, 2), (1, 3, 2), (0, 2, 3), (2, 3, 4)]),
+        );
+        let edge = naive_edge_payments(&g, NodeId(0), NodeId(3)).unwrap();
+        let node = crate::directed::directed_payments(&g, NodeId(0), NodeId(3)).unwrap();
+        assert_eq!(edge.path, node.path);
+        // Edge agents: both path edges are paid (2 agents); node agents:
+        // only the single relay is.
+        assert_eq!(edge.payments.len(), 2);
+        assert_eq!(node.payments.len(), 1);
+        assert!(edge.total_payment() > node.total_payment());
+    }
+}

@@ -1,0 +1,368 @@
+//! [`ScalarMechanism`] adapters, connecting the unicast payment schemes to
+//! the black-box truthfulness and collusion checkers.
+
+use truthcast_graph::{Adjacency, Cost, NodeId, NodeWeightedGraph};
+use truthcast_mechanism::{Outcome, Profile, ScalarMechanism};
+
+use crate::collusion_resistant::q_set_payments;
+use crate::fast::fast_payments;
+use crate::naive::naive_payments;
+
+/// Which payment algorithm backs the plain VCG mechanism.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Engine {
+    /// One node-avoiding Dijkstra per relay.
+    Naive,
+    /// Algorithm 1.
+    Fast,
+}
+
+/// The paper's Section III-A mechanism: LCP output, per-node-removal VCG
+/// payments. Strategyproof (IC + IR), but *not* 2-agent strategyproof.
+pub struct VcgUnicast {
+    topology: Adjacency,
+    source: NodeId,
+    target: NodeId,
+    engine: Engine,
+}
+
+impl VcgUnicast {
+    /// Binds the mechanism to an instance.
+    pub fn new(topology: Adjacency, source: NodeId, target: NodeId, engine: Engine) -> VcgUnicast {
+        assert_ne!(source, target);
+        VcgUnicast { topology, source, target, engine }
+    }
+
+    /// The instance's source.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// The instance's target.
+    pub fn target(&self) -> NodeId {
+        self.target
+    }
+}
+
+impl ScalarMechanism for VcgUnicast {
+    fn num_agents(&self) -> usize {
+        self.topology.num_nodes()
+    }
+
+    fn strategic_agents(&self) -> Vec<NodeId> {
+        self.topology
+            .node_ids()
+            .filter(|&v| v != self.source && v != self.target)
+            .collect()
+    }
+
+    fn run(&self, declared: &Profile) -> Outcome {
+        let g = NodeWeightedGraph::new(self.topology.clone(), declared.as_slice().to_vec());
+        let pricing = match self.engine {
+            Engine::Naive => naive_payments(&g, self.source, self.target),
+            Engine::Fast => fast_payments(&g, self.source, self.target),
+        }
+        .expect("mechanism instance must connect source and target");
+        let n = self.topology.num_nodes();
+        let mut selected = vec![false; n];
+        let mut payments = vec![Cost::ZERO; n];
+        for &(relay, p) in &pricing.payments {
+            selected[relay.index()] = true;
+            payments[relay.index()] = p;
+        }
+        Outcome { selected, payments, social_cost: pricing.lcp_cost }
+    }
+}
+
+/// The Section III-E neighborhood mechanism: LCP output, closed-
+/// neighborhood-removal payments `p̃`. Strategyproof *and* resistant to
+/// collusion between any two adjacent agents.
+pub struct NeighborhoodUnicast {
+    topology: Adjacency,
+    source: NodeId,
+    target: NodeId,
+}
+
+impl NeighborhoodUnicast {
+    /// Binds the mechanism to an instance.
+    pub fn new(topology: Adjacency, source: NodeId, target: NodeId) -> NeighborhoodUnicast {
+        assert_ne!(source, target);
+        NeighborhoodUnicast { topology, source, target }
+    }
+}
+
+impl ScalarMechanism for NeighborhoodUnicast {
+    fn num_agents(&self) -> usize {
+        self.topology.num_nodes()
+    }
+
+    fn strategic_agents(&self) -> Vec<NodeId> {
+        self.topology
+            .node_ids()
+            .filter(|&v| v != self.source && v != self.target)
+            .collect()
+    }
+
+    fn run(&self, declared: &Profile) -> Outcome {
+        let g = NodeWeightedGraph::new(self.topology.clone(), declared.as_slice().to_vec());
+        let pricing = q_set_payments(&g, self.source, self.target, |k| {
+            crate::collusion_resistant::neighborhood_set(&g, k, self.source, self.target)
+        })
+        .expect("mechanism instance must connect source and target");
+        let n = self.topology.num_nodes();
+        let mut selected = vec![false; n];
+        for &v in &pricing.path {
+            if v != self.source && v != self.target {
+                selected[v.index()] = true;
+            }
+        }
+        Outcome {
+            selected,
+            payments: pricing.payments,
+            social_cost: pricing.lcp_cost,
+        }
+    }
+}
+
+/// The Nisan–Ronen baseline as a checkable mechanism: agents are the
+/// **edges** of an undirected topology, indexed by their position in
+/// [`EdgeVcgUnicast::edge_list`] (profiles use `NodeId(i)` as "agent i",
+/// i.e. edge i — the checker machinery is agnostic to what an agent id
+/// denotes).
+pub struct EdgeVcgUnicast {
+    edges: Vec<(NodeId, NodeId)>,
+    num_nodes: usize,
+    source: NodeId,
+    target: NodeId,
+}
+
+impl EdgeVcgUnicast {
+    /// Binds the mechanism to an instance over the given undirected edges.
+    pub fn new(
+        topology: &Adjacency,
+        source: NodeId,
+        target: NodeId,
+    ) -> EdgeVcgUnicast {
+        assert_ne!(source, target);
+        EdgeVcgUnicast {
+            edges: topology.edges().collect(),
+            num_nodes: topology.num_nodes(),
+            source,
+            target,
+        }
+    }
+
+    /// Agent `i` is this undirected edge.
+    pub fn edge_list(&self) -> &[(NodeId, NodeId)] {
+        &self.edges
+    }
+
+    fn digraph(&self, declared: &Profile) -> truthcast_graph::LinkWeightedDigraph {
+        let arcs: Vec<(NodeId, NodeId, Cost)> = self
+            .edges
+            .iter()
+            .enumerate()
+            .flat_map(|(i, &(u, v))| {
+                let w = declared.get(NodeId::new(i));
+                [(u, v, w), (v, u, w)]
+            })
+            .collect();
+        truthcast_graph::LinkWeightedDigraph::from_arcs(self.num_nodes, arcs)
+    }
+}
+
+impl ScalarMechanism for EdgeVcgUnicast {
+    fn num_agents(&self) -> usize {
+        self.edges.len()
+    }
+
+    fn strategic_agents(&self) -> Vec<NodeId> {
+        (0..self.edges.len()).map(NodeId::new).collect()
+    }
+
+    fn run(&self, declared: &Profile) -> Outcome {
+        let g = self.digraph(declared);
+        let pricing = crate::edge_agents::fast_edge_payments(&g, self.source, self.target)
+            .expect("symmetric instance must connect source and target");
+        let m = self.edges.len();
+        let mut selected = vec![false; m];
+        let mut payments = vec![Cost::ZERO; m];
+        for &((a, b), p) in &pricing.payments {
+            let idx = self
+                .edges
+                .iter()
+                .position(|&(u, v)| (u, v) == (a, b) || (u, v) == (b, a))
+                .expect("path edge exists in edge list");
+            selected[idx] = true;
+            payments[idx] = p;
+        }
+        Outcome { selected, payments, social_cost: pricing.lcp_cost }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use truthcast_graph::adjacency_from_pairs;
+    use truthcast_mechanism::{
+        check_incentive_compatibility, check_individual_rationality, find_collusion,
+    };
+
+    fn diamond_topology() -> Adjacency {
+        adjacency_from_pairs(4, &[(0, 1), (1, 3), (0, 2), (2, 3)])
+    }
+
+    #[test]
+    fn vcg_unicast_is_ic_and_ir() {
+        let mech =
+            VcgUnicast::new(diamond_topology(), NodeId(0), NodeId(3), Engine::Naive);
+        let truth = Profile::from_units(&[0, 5, 7, 0]);
+        // Probe at the critical value: relay 1's payment is 7.
+        assert_eq!(
+            check_incentive_compatibility(&mech, &truth, |_| vec![Cost::from_units(7)]),
+            Ok(())
+        );
+        assert_eq!(check_individual_rationality(&mech, &truth), Ok(()));
+    }
+
+    #[test]
+    fn fast_engine_agrees_with_naive_engine() {
+        let truth = Profile::from_units(&[0, 5, 7, 0]);
+        let naive =
+            VcgUnicast::new(diamond_topology(), NodeId(0), NodeId(3), Engine::Naive).run(&truth);
+        let fast =
+            VcgUnicast::new(diamond_topology(), NodeId(0), NodeId(3), Engine::Fast).run(&truth);
+        assert_eq!(naive, fast);
+    }
+
+    /// The canonical Theorem 7 effect: on-path relay + its replacement-path
+    /// counterpart collude (the off-path node inflates, raising the relay's
+    /// VCG payment without changing the allocation).
+    #[test]
+    fn vcg_unicast_pair_collusion_exists() {
+        let mech =
+            VcgUnicast::new(diamond_topology(), NodeId(0), NodeId(3), Engine::Naive);
+        let truth = Profile::from_units(&[0, 5, 7, 0]);
+        let w = find_collusion(&mech, &truth, &[NodeId(1), NodeId(2)], |_| vec![])
+            .expect("VCG must be exploitable by this pair");
+        assert!(w.gain() > 0);
+        assert!(w.declarations[1] > Cost::from_units(7), "node 2 inflates");
+    }
+
+    #[test]
+    fn neighborhood_unicast_is_ic_and_ir() {
+        // Triple branch so neighborhood removal stays connected.
+        let topo = adjacency_from_pairs(5, &[(0, 1), (1, 4), (0, 2), (2, 4), (0, 3), (3, 4)]);
+        let mech = NeighborhoodUnicast::new(topo, NodeId(0), NodeId(4));
+        let truth = Profile::from_units(&[0, 2, 5, 9, 0]);
+        assert_eq!(
+            check_incentive_compatibility(&mech, &truth, |_| vec![Cost::from_units(5)]),
+            Ok(())
+        );
+        assert_eq!(check_individual_rationality(&mech, &truth), Ok(()));
+    }
+
+    /// Over-declaration candidates for inflation-collusion testing:
+    /// the member's truth plus several exaggerations.
+    fn inflations(truth: &Profile) -> impl Fn(NodeId) -> Vec<Cost> + '_ {
+        |k| {
+            let c = truth.get(k);
+            vec![
+                c,
+                c + Cost::from_micros(1),
+                c + Cost::from_units(1),
+                c + Cost::from_units(4),
+                c.scale(2),
+                c.scale(10),
+                c + Cost::from_units(1000),
+            ]
+        }
+    }
+
+    #[test]
+    fn neighborhood_unicast_resists_neighbor_inflation_collusion() {
+        // friendly() from collusion_resistant tests: relay 1 adjacent to
+        // off-path 2. Against plain VCG, node 2 inflates to pump node 1's
+        // payment; under p̃ neither member's declaration enters the other's
+        // Groves term, so inflation gains nothing.
+        let topo =
+            adjacency_from_pairs(5, &[(0, 1), (1, 4), (0, 2), (2, 4), (0, 3), (3, 4), (1, 2)]);
+        let truth = Profile::from_units(&[0, 2, 5, 9, 0]);
+        let mech = NeighborhoodUnicast::new(topo, NodeId(0), NodeId(4));
+        let w = truthcast_mechanism::find_collusion_with(
+            &mech,
+            &truth,
+            &[NodeId(1), NodeId(2)],
+            inflations(&truth),
+        );
+        assert!(w.is_none(), "neighbor pair must not profit by inflating: {w:?}");
+        // But plain VCG on the same instance *is* exploitable by the same
+        // inflation strategy.
+        let vcg = VcgUnicast::new(
+            adjacency_from_pairs(5, &[(0, 1), (1, 4), (0, 2), (2, 4), (0, 3), (3, 4), (1, 2)]),
+            NodeId(0),
+            NodeId(4),
+            Engine::Naive,
+        );
+        let w = truthcast_mechanism::find_collusion_with(
+            &vcg,
+            &truth,
+            &[NodeId(1), NodeId(2)],
+            inflations(&truth),
+        );
+        assert!(w.is_some(), "plain VCG should be exploitable here");
+    }
+
+    #[test]
+    fn edge_vcg_unicast_is_ic_and_ir() {
+        // The Nisan–Ronen triangle: edges (0,1)=3, (1,2)=4, (0,2)=9.
+        let topo = adjacency_from_pairs(3, &[(0, 1), (1, 2), (0, 2)]);
+        let mech = EdgeVcgUnicast::new(&topo, NodeId(0), NodeId(2));
+        assert_eq!(mech.num_agents(), 3);
+        // Profile indexed by edge position: edges() yields (0,1),(0,2),(1,2).
+        let costs: Vec<Cost> = mech
+            .edge_list()
+            .iter()
+            .map(|&(u, v)| match (u.0, v.0) {
+                (0, 1) => Cost::from_units(3),
+                (1, 2) => Cost::from_units(4),
+                (0, 2) => Cost::from_units(9),
+                _ => unreachable!(),
+            })
+            .collect();
+        let truth = Profile::new(costs);
+        assert_eq!(
+            check_incentive_compatibility(&mech, &truth, |_| vec![Cost::from_units(5), Cost::from_units(6)]),
+            Ok(())
+        );
+        assert_eq!(check_individual_rationality(&mech, &truth), Ok(()));
+        // And the payments match the hand calculation (9−7+w each).
+        let out = mech.run(&truth);
+        assert_eq!(out.total_payment(), Cost::from_units(11));
+    }
+
+    /// **Reproduction note (gap in the paper's Theorem 8).** The scheme
+    /// `p̃` compensates an off-path bystander with
+    /// `‖P_-N(k)‖ − ‖P(d)‖`, which *grows* when an on-path neighbor
+    /// under-declares. An adjacent pair can therefore still raise its
+    /// joint utility by having the relay declare 0: the relay's own
+    /// utility is unchanged (Groves), while the bystander's payment rises
+    /// by the vanished declaration. The paper's proof only covers the
+    /// inflation direction (the `h`-term independence); this test pins the
+    /// under-declaration transfer so the behaviour is documented, not
+    /// hidden. See DESIGN.md §2.
+    #[test]
+    fn neighborhood_unicast_underdeclaration_transfer_exists() {
+        let topo =
+            adjacency_from_pairs(5, &[(0, 1), (1, 4), (0, 2), (2, 4), (0, 3), (3, 4), (1, 2)]);
+        let truth = Profile::from_units(&[0, 2, 5, 9, 0]);
+        let mech = NeighborhoodUnicast::new(topo, NodeId(0), NodeId(4));
+        let w = find_collusion(&mech, &truth, &[NodeId(1), NodeId(2)], |_| vec![])
+            .expect("the under-declaration transfer should be found");
+        // The profitable joint lie has the on-path relay under-declaring.
+        assert!(w.declarations[0] < truth.get(NodeId(1)));
+        // The gain equals the suppressed declaration (a pure transfer from
+        // the source), bounded by the relay's true cost.
+        assert!(w.gain() <= truth.get(NodeId(1)).micros() as i128);
+    }
+}

@@ -1,0 +1,231 @@
+//! Section III-G: overpayment metrics.
+//!
+//! For each node `v_i` sending to the access point, let `p_i` be its total
+//! payment and `c(i, 0)` the true cost of its LCP. The paper measures:
+//!
+//! * **TOR** (Total Overpayment Ratio): `Σ p_i / Σ c(i, 0)`;
+//! * **IOR** (Individual Overpayment Ratio): `(1/n) Σ p_i / c(i, 0)`;
+//! * **Worst Overpayment Ratio**: `max_i p_i / c(i, 0)`;
+//!
+//! plus the per-hop-distance breakdown of Figure 3(d).
+
+use truthcast_graph::{Cost, NodeId};
+
+/// One source's contribution: its total payment, its LCP cost, and its hop
+/// distance to the access point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SourceOutcome {
+    /// The sending node.
+    pub source: NodeId,
+    /// `p_i`: total payment to all relays.
+    pub total_payment: Cost,
+    /// `c(i, 0)`: true cost of its least-cost path.
+    pub lcp_cost: Cost,
+    /// Hop count of the LCP.
+    pub hops: usize,
+}
+
+impl SourceOutcome {
+    /// `p_i / c(i, 0)`; `None` when the ratio is undefined (zero-cost or
+    /// monopoly paths), which the aggregators skip and count.
+    pub fn ratio(&self) -> Option<f64> {
+        if !self.total_payment.is_finite()
+            || !self.lcp_cost.is_finite()
+            || self.lcp_cost == Cost::ZERO
+        {
+            return None;
+        }
+        Some(self.total_payment.as_f64() / self.lcp_cost.as_f64())
+    }
+}
+
+/// The three ratios over a set of sources.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OverpaymentStats {
+    /// Total Overpayment Ratio.
+    pub tor: f64,
+    /// Individual Overpayment Ratio (mean of per-source ratios).
+    pub ior: f64,
+    /// Worst per-source ratio.
+    pub worst: f64,
+    /// Sources included.
+    pub counted: usize,
+    /// Sources skipped (undefined ratio: unreachable, monopoly, or
+    /// zero-cost path).
+    pub skipped: usize,
+}
+
+/// Aggregates the paper's three ratios, skipping undefined sources.
+pub fn overpayment_stats(outcomes: &[SourceOutcome]) -> OverpaymentStats {
+    let mut sum_payment = 0.0;
+    let mut sum_cost = 0.0;
+    let mut sum_ratio = 0.0;
+    let mut worst = 0.0f64;
+    let mut counted = 0usize;
+    let mut skipped = 0usize;
+    for o in outcomes {
+        match o.ratio() {
+            Some(r) => {
+                sum_payment += o.total_payment.as_f64();
+                sum_cost += o.lcp_cost.as_f64();
+                sum_ratio += r;
+                worst = worst.max(r);
+                counted += 1;
+            }
+            None => skipped += 1,
+        }
+    }
+    OverpaymentStats {
+        tor: if sum_cost > 0.0 { sum_payment / sum_cost } else { f64::NAN },
+        ior: if counted > 0 { sum_ratio / counted as f64 } else { f64::NAN },
+        worst: if counted > 0 { worst } else { f64::NAN },
+        counted,
+        skipped,
+    }
+}
+
+/// Figure 3(d): overpayment ratio bucketed by hop distance to the source.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HopBucket {
+    /// Hop distance of the bucket.
+    pub hops: usize,
+    /// Mean per-source ratio at this hop distance.
+    pub mean_ratio: f64,
+    /// Max per-source ratio at this hop distance.
+    pub max_ratio: f64,
+    /// Sources in the bucket.
+    pub count: usize,
+}
+
+/// Buckets sources by hop distance (skipping undefined ratios); returned
+/// sorted by hop count, empty buckets omitted.
+pub fn hop_buckets(outcomes: &[SourceOutcome]) -> Vec<HopBucket> {
+    let max_hops = outcomes.iter().map(|o| o.hops).max().unwrap_or(0);
+    let mut sum = vec![0.0f64; max_hops + 1];
+    let mut max = vec![0.0f64; max_hops + 1];
+    let mut count = vec![0usize; max_hops + 1];
+    for o in outcomes {
+        if let Some(r) = o.ratio() {
+            sum[o.hops] += r;
+            max[o.hops] = max[o.hops].max(r);
+            count[o.hops] += 1;
+        }
+    }
+    (0..=max_hops)
+        .filter(|&h| count[h] > 0)
+        .map(|h| HopBucket {
+            hops: h,
+            mean_ratio: sum[h] / count[h] as f64,
+            max_ratio: max[h],
+            count: count[h],
+        })
+        .collect()
+}
+
+/// The paper's "arbitrarily large overpayment" observation, constructive:
+/// a diamond whose backup branch costs `ratio` times the primary one, so
+/// the single relay is paid `ratio × c(i,0)` — the overpayment ratio is
+/// whatever the adversary wants.
+///
+/// Returns `(graph, source, target)` with `c(source→target) = 1` and the
+/// relay's payment `= ratio` units.
+pub fn adversarial_overpayment_instance(
+    ratio: u64,
+) -> (truthcast_graph::NodeWeightedGraph, NodeId, NodeId) {
+    assert!(ratio >= 1);
+    let g = truthcast_graph::NodeWeightedGraph::from_pairs_units(
+        &[(0, 1), (1, 3), (0, 2), (2, 3)],
+        &[0, 1, ratio, 0],
+    );
+    (g, NodeId(3), NodeId(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn o(source: u32, pay: u64, cost: u64, hops: usize) -> SourceOutcome {
+        SourceOutcome {
+            source: NodeId(source),
+            total_payment: Cost::from_units(pay),
+            lcp_cost: Cost::from_units(cost),
+            hops,
+        }
+    }
+
+    #[test]
+    fn stats_match_hand_computation() {
+        let outs = [o(1, 15, 10, 2), o(2, 30, 10, 3)];
+        let s = overpayment_stats(&outs);
+        assert!((s.tor - 45.0 / 20.0).abs() < 1e-12);
+        assert!((s.ior - (1.5 + 3.0) / 2.0).abs() < 1e-12);
+        assert!((s.worst - 3.0).abs() < 1e-12);
+        assert_eq!(s.counted, 2);
+        assert_eq!(s.skipped, 0);
+    }
+
+    #[test]
+    fn undefined_sources_are_skipped_and_counted() {
+        let outs = [
+            o(1, 15, 10, 2),
+            SourceOutcome {
+                source: NodeId(2),
+                total_payment: Cost::INF,
+                lcp_cost: Cost::from_units(10),
+                hops: 2,
+            },
+            o(3, 5, 0, 1), // zero-cost path
+        ];
+        let s = overpayment_stats(&outs);
+        assert_eq!(s.counted, 1);
+        assert_eq!(s.skipped, 2);
+        assert!((s.tor - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tor_weights_by_cost_ior_does_not() {
+        // One big cheap-ratio source vs one small dear-ratio source.
+        let outs = [o(1, 110, 100, 2), o(2, 3, 1, 1)];
+        let s = overpayment_stats(&outs);
+        assert!((s.tor - 113.0 / 101.0).abs() < 1e-12);
+        assert!((s.ior - (1.1 + 3.0) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hop_bucketing() {
+        let outs = [o(1, 15, 10, 2), o(2, 25, 10, 2), o(3, 30, 10, 5)];
+        let b = hop_buckets(&outs);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b[0].hops, 2);
+        assert_eq!(b[0].count, 2);
+        assert!((b[0].mean_ratio - 2.0).abs() < 1e-12);
+        assert!((b[0].max_ratio - 2.5).abs() < 1e-12);
+        assert_eq!(b[1].hops, 5);
+        assert_eq!(b[1].count, 1);
+    }
+
+    #[test]
+    fn adversarial_instance_hits_any_ratio() {
+        for ratio in [2u64, 10, 1000] {
+            let (g, s, t) = adversarial_overpayment_instance(ratio);
+            let p = crate::fast::fast_payments(&g, s, t).unwrap();
+            assert_eq!(p.lcp_cost, Cost::from_units(1));
+            assert_eq!(p.total_payment(), Cost::from_units(ratio));
+            let o = SourceOutcome {
+                source: s,
+                total_payment: p.total_payment(),
+                lcp_cost: p.lcp_cost,
+                hops: p.hops(),
+            };
+            assert_eq!(o.ratio(), Some(ratio as f64));
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let s = overpayment_stats(&[]);
+        assert_eq!(s.counted, 0);
+        assert!(s.ior.is_nan());
+        assert!(hop_buckets(&[]).is_empty());
+    }
+}

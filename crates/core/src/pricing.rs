@@ -1,0 +1,147 @@
+//! Unicast pricing results: the least-cost path plus the per-relay VCG
+//! payments, independent of which algorithm produced them.
+
+use truthcast_graph::{Cost, NodeId};
+
+/// The priced outcome of one unicast request under a declared profile.
+///
+/// `path` runs `source … target`; `payments` lists the relay nodes (the
+/// path interior) in path order with their payments. A payment of
+/// [`Cost::INF`] means the relay is a monopoly: removing it disconnects the
+/// endpoints, which the paper's biconnectivity assumption rules out but
+/// this library surfaces rather than hides.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnicastPricing {
+    /// The least-cost path `source … target` under the declared profile.
+    pub path: Vec<NodeId>,
+    /// `‖P(source, target, d)‖`: total declared relay cost of the path.
+    pub lcp_cost: Cost,
+    /// `(relay, payment)` for each interior node, in path order.
+    pub payments: Vec<(NodeId, Cost)>,
+}
+
+impl UnicastPricing {
+    /// The source endpoint.
+    pub fn source(&self) -> NodeId {
+        self.path[0]
+    }
+
+    /// The target endpoint.
+    pub fn target(&self) -> NodeId {
+        *self.path.last().expect("path is nonempty")
+    }
+
+    /// Relay nodes (path interior) in order.
+    pub fn relays(&self) -> &[NodeId] {
+        &self.path[1..self.path.len() - 1]
+    }
+
+    /// Number of hops (edges) on the path.
+    pub fn hops(&self) -> usize {
+        self.path.len() - 1
+    }
+
+    /// The payment to `v` (zero for nodes off the path).
+    pub fn payment_to(&self, v: NodeId) -> Cost {
+        self.payments
+            .iter()
+            .find(|&&(r, _)| r == v)
+            .map_or(Cost::ZERO, |&(_, p)| p)
+    }
+
+    /// The source's total payment `p_i = Σ_k p_i^k`.
+    pub fn total_payment(&self) -> Cost {
+        self.payments.iter().map(|&(_, p)| p).sum()
+    }
+
+    /// Whether any relay holds a monopoly (infinite payment).
+    pub fn has_monopoly(&self) -> bool {
+        self.payments.iter().any(|&(_, p)| p.is_inf())
+    }
+
+    /// The total *overpayment* `p_i − ‖P‖`: what the source pays beyond
+    /// the declared cost of the path.
+    pub fn overpayment(&self) -> Cost {
+        self.total_payment().saturating_sub(self.lcp_cost)
+    }
+}
+
+/// The *most vital node* of the path: the relay whose removal hurts most,
+/// i.e. with the largest replacement-path increase — equivalently (for the
+/// per-node VCG scheme) the one with the largest `payment − declared cost`.
+///
+/// Returns `None` for relay-free paths.
+pub fn most_vital_relay(pricing: &UnicastPricing, declared: &[Cost]) -> Option<(NodeId, Cost)> {
+    pricing
+        .payments
+        .iter()
+        .map(|&(v, p)| (v, p.saturating_sub(declared[v.index()])))
+        .max_by_key(|&(v, harm)| (harm, std::cmp::Reverse(v)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> UnicastPricing {
+        UnicastPricing {
+            path: vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)],
+            lcp_cost: Cost::from_units(7),
+            payments: vec![
+                (NodeId(1), Cost::from_units(5)),
+                (NodeId(2), Cost::from_units(6)),
+            ],
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let p = sample();
+        assert_eq!(p.source(), NodeId(0));
+        assert_eq!(p.target(), NodeId(3));
+        assert_eq!(p.relays(), &[NodeId(1), NodeId(2)]);
+        assert_eq!(p.hops(), 3);
+    }
+
+    #[test]
+    fn payments_and_overpayment() {
+        let p = sample();
+        assert_eq!(p.total_payment(), Cost::from_units(11));
+        assert_eq!(p.overpayment(), Cost::from_units(4));
+        assert_eq!(p.payment_to(NodeId(2)), Cost::from_units(6));
+        assert_eq!(p.payment_to(NodeId(9)), Cost::ZERO);
+        assert!(!p.has_monopoly());
+    }
+
+    #[test]
+    fn monopoly_detection() {
+        let mut p = sample();
+        p.payments[0].1 = Cost::INF;
+        assert!(p.has_monopoly());
+        assert_eq!(p.total_payment(), Cost::INF);
+    }
+
+    #[test]
+    fn most_vital() {
+        let p = sample();
+        let declared = vec![
+            Cost::ZERO,
+            Cost::from_units(3), // harm 2
+            Cost::from_units(4), // harm 2 (tie → lower id wins)
+            Cost::ZERO,
+        ];
+        let (v, harm) = most_vital_relay(&p, &declared).unwrap();
+        assert_eq!(v, NodeId(1));
+        assert_eq!(harm, Cost::from_units(2));
+    }
+
+    #[test]
+    fn most_vital_none_for_adjacent_endpoints() {
+        let p = UnicastPricing {
+            path: vec![NodeId(0), NodeId(1)],
+            lcp_cost: Cost::ZERO,
+            payments: vec![],
+        };
+        assert_eq!(most_vital_relay(&p, &[Cost::ZERO, Cost::ZERO]), None);
+    }
+}

@@ -1,0 +1,179 @@
+//! Property-based tests for the core payment schemes.
+
+use proptest::prelude::*;
+use truthcast_graph::{adjacency_from_pairs, Cost, NodeId, NodeWeightedGraph};
+use truthcast_mechanism::{
+    check_incentive_compatibility, check_individual_rationality, Profile,
+};
+
+use truthcast_core::mechanism_impl::{Engine, VcgUnicast};
+use truthcast_core::{fast_payments, naive_payments, neighborhood_payments};
+
+/// Strategy: a connected-ish random graph (n, edges) with endpoints 0 and
+/// n-1 guaranteed wired through a backbone path.
+fn backbone_graph() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (4usize..14).prop_flat_map(|n| {
+        let all_pairs: Vec<(u32, u32)> = (0..n as u32)
+            .flat_map(|u| ((u + 1)..n as u32).map(move |v| (u, v)))
+            .collect();
+        proptest::sample::subsequence(all_pairs, 0..=n * (n - 1) / 2).prop_map(move |mut edges| {
+            for v in 1..n as u32 {
+                edges.push((v - 1, v)); // backbone keeps it connected
+            }
+            (n, edges)
+        })
+    })
+}
+
+fn unit_costs(n: usize, seed: u64, tie_heavy: bool) -> Vec<u64> {
+    let mut s = seed.wrapping_add(0x9e37_79b9);
+    (0..n)
+        .map(|_| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            if tie_heavy {
+                (s >> 33) % 5
+            } else {
+                (s >> 33) % 100_000
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Differential: Algorithm 1 equals the naive oracle, payment for
+    /// payment, on arbitrary graphs (wide-range and tie-heavy costs).
+    #[test]
+    fn fast_equals_naive((n, edges) in backbone_graph(), seed in 0u64..10_000, ties in any::<bool>()) {
+        let costs = unit_costs(n, seed, ties);
+        let g = NodeWeightedGraph::from_pairs_units(&edges, &costs);
+        for t in 1..n {
+            let t = NodeId::new(t);
+            prop_assert_eq!(
+                fast_payments(&g, NodeId(0), t),
+                naive_payments(&g, NodeId(0), t)
+            );
+        }
+    }
+
+    /// IR in payment form: every on-path relay is paid at least its
+    /// declared cost; total payment ≥ LCP cost.
+    #[test]
+    fn payments_cover_costs((n, edges) in backbone_graph(), seed in 0u64..10_000) {
+        let costs = unit_costs(n, seed, false);
+        let g = NodeWeightedGraph::from_pairs_units(&edges, &costs);
+        let p = fast_payments(&g, NodeId(0), NodeId::new(n - 1)).unwrap();
+        for &(relay, pay) in &p.payments {
+            prop_assert!(pay >= g.cost(relay));
+        }
+        prop_assert!(p.total_payment() >= p.lcp_cost);
+    }
+
+    /// Black-box IC + IR of the VCG unicast mechanism, probing each
+    /// relay's exact critical value.
+    #[test]
+    fn vcg_unicast_ic_ir((n, edges) in backbone_graph(), seed in 0u64..10_000) {
+        let costs = unit_costs(n, seed, false);
+        let topo = adjacency_from_pairs(n, &edges);
+        let g = NodeWeightedGraph::new(topo.clone(), costs.iter().map(|&c| Cost::from_units(c)).collect());
+        let target = NodeId::new(n - 1);
+        let Some(pricing) = fast_payments(&g, NodeId(0), target) else { return Ok(()); };
+        if pricing.has_monopoly() {
+            return Ok(());
+        }
+        let mech = VcgUnicast::new(topo, NodeId(0), target, Engine::Fast);
+        let truth = Profile::new(g.costs().to_vec());
+        let probes: Vec<Cost> = pricing.payments.iter().map(|&(_, p)| p).collect();
+        prop_assert_eq!(check_incentive_compatibility(&mech, &truth, |_| probes.clone()), Ok(()));
+        prop_assert_eq!(check_individual_rationality(&mech, &truth), Ok(()));
+    }
+
+    /// The neighborhood scheme pays every agent at least the plain VCG
+    /// scheme does (it removes a superset), and is itself IR.
+    #[test]
+    fn neighborhood_dominates_vcg((n, edges) in backbone_graph(), seed in 0u64..10_000) {
+        let costs = unit_costs(n, seed, false);
+        let g = NodeWeightedGraph::from_pairs_units(&edges, &costs);
+        let target = NodeId::new(n - 1);
+        let plain = fast_payments(&g, NodeId(0), target).unwrap();
+        let tilde = neighborhood_payments(&g, NodeId(0), target).unwrap();
+        prop_assert_eq!(&tilde.path, &plain.path);
+        for &(relay, p) in &plain.payments {
+            prop_assert!(tilde.payment_to(relay) >= p);
+        }
+    }
+
+    /// A relay's payment equals its critical value: declaring anything
+    /// below keeps it on the path with the same payment; anything above
+    /// evicts it.
+    #[test]
+    fn payment_is_the_critical_value((n, edges) in backbone_graph(), seed in 0u64..10_000) {
+        let costs = unit_costs(n, seed, false);
+        let g = NodeWeightedGraph::from_pairs_units(&edges, &costs);
+        let target = NodeId::new(n - 1);
+        let p = fast_payments(&g, NodeId(0), target).unwrap();
+        for &(relay, pay) in &p.payments {
+            if !pay.is_finite() {
+                continue;
+            }
+            // Strictly below the critical value: still selected, same payment.
+            if let Some(below) = pay.checked_sub(Cost::from_micros(1)) {
+                let g2 = g.with_declared(relay, below);
+                let p2 = fast_payments(&g2, NodeId(0), target).unwrap();
+                prop_assert!(p2.path.contains(&relay));
+                prop_assert_eq!(p2.payment_to(relay), pay);
+            }
+            // Strictly above: evicted (payment zero).
+            let above = pay + Cost::from_micros(1);
+            let g3 = g.with_declared(relay, above);
+            let p3 = fast_payments(&g3, NodeId(0), target).unwrap();
+            prop_assert!(!p3.path.contains(&relay), "relay {relay} should be evicted");
+        }
+    }
+
+    /// Arbitrary-pair generalization: on the undirected node-cost model,
+    /// pricing s→t and t→s yields the reversed path with identical
+    /// per-relay payments (the paper's "not very different to generalize"
+    /// remark, as an invariant).
+    #[test]
+    fn reversal_symmetry((n, edges) in backbone_graph(), seed in 0u64..10_000) {
+        let costs = unit_costs(n, seed, false);
+        let g = NodeWeightedGraph::from_pairs_units(&edges, &costs);
+        let (s, t) = (NodeId(0), NodeId::new(n - 1));
+        let fwd = fast_payments(&g, s, t).unwrap();
+        let bwd = fast_payments(&g, t, s).unwrap();
+        prop_assert_eq!(fwd.lcp_cost, bwd.lcp_cost);
+        // Payment multisets agree when both directions picked the same
+        // path (ties may legitimately differ otherwise).
+        let mut rev = bwd.path.clone();
+        rev.reverse();
+        if rev == fwd.path {
+            let mut a = fwd.payments.clone();
+            let mut b = bwd.payments;
+            a.sort_by_key(|&(k, _)| k);
+            b.sort_by_key(|&(k, _)| k);
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Lemma 4 executable: while the allocation is unchanged, a relay's
+    /// payment does not depend on its own declaration.
+    #[test]
+    fn payment_independent_of_own_declaration((n, edges) in backbone_graph(), seed in 0u64..10_000) {
+        let costs = unit_costs(n, seed, false);
+        let g = NodeWeightedGraph::from_pairs_units(&edges, &costs);
+        let target = NodeId::new(n - 1);
+        let p = fast_payments(&g, NodeId(0), target).unwrap();
+        for &(relay, pay) in &p.payments {
+            for frac in [0u64, 1, 2] {
+                let lower = Cost::from_micros(g.cost(relay).micros() * frac / 3);
+                let g2 = g.with_declared(relay, lower);
+                let p2 = fast_payments(&g2, NodeId(0), target).unwrap();
+                if p2.path.contains(&relay) {
+                    prop_assert_eq!(p2.payment_to(relay), pay);
+                }
+            }
+        }
+    }
+}

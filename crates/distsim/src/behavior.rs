@@ -1,0 +1,112 @@
+//! Selfish deviations from the distributed protocol.
+//!
+//! The paper's Section III-D observation: strategyproof *payments* don't
+//! help if the selfish nodes also run the *algorithm* — they can lie in
+//! stage 1 (Figure 2: hide a link to steer their own route to a
+//! cheaper-to-pay path) and miscalculate in stage 2 (shave their own
+//! payment entries). These behavior descriptors parameterize the verified
+//! protocol runs.
+
+use truthcast_graph::NodeId;
+
+/// How a node behaves during the distributed computation.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub enum Behavior {
+    /// Follows the protocol.
+    #[default]
+    Honest,
+    /// Stage 1, Figure 2: claims the physical link to `peer` does not
+    /// exist, so its route (and the routes of nodes behind it) avoid it.
+    HideLink {
+        /// The denied neighbor.
+        peer: NodeId,
+    },
+    /// Stage 1: refuses forced corrections from neighbors (Algorithm 2's
+    /// direct-contact rule), which turns the lie into an accusation.
+    HideLinkAndRefuse {
+        /// The denied neighbor.
+        peer: NodeId,
+    },
+    /// Stage 2: announces its own payment entries scaled down by
+    /// `percent` (0–100), hoping to pay its relays less.
+    ShaveEntries {
+        /// Percentage of the true entry it announces (e.g. 50).
+        percent: u8,
+    },
+}
+
+impl Behavior {
+    /// The link this behavior hides, if any.
+    pub fn hidden_peer(&self) -> Option<NodeId> {
+        match *self {
+            Behavior::HideLink { peer } | Behavior::HideLinkAndRefuse { peer } => Some(peer),
+            _ => None,
+        }
+    }
+
+    /// Whether the node refuses Algorithm 2 corrections.
+    pub fn refuses_corrections(&self) -> bool {
+        matches!(self, Behavior::HideLinkAndRefuse { .. })
+    }
+
+    /// The stage-2 shaving factor, if any.
+    pub fn shave_percent(&self) -> Option<u8> {
+        match *self {
+            Behavior::ShaveEntries { percent } => Some(percent),
+            _ => None,
+        }
+    }
+}
+
+/// A per-node behavior table.
+#[derive(Clone, Debug, Default)]
+pub struct Behaviors(Vec<Behavior>);
+
+impl Behaviors {
+    /// All-honest table for `n` nodes.
+    pub fn honest(n: usize) -> Behaviors {
+        Behaviors(vec![Behavior::Honest; n])
+    }
+
+    /// Sets one node's behavior.
+    pub fn with(mut self, node: NodeId, b: Behavior) -> Behaviors {
+        self.0[node.index()] = b;
+        self
+    }
+
+    /// The behavior of `v`.
+    pub fn of(&self, v: NodeId) -> &Behavior {
+        &self.0[v.index()]
+    }
+
+    /// Nodes that deviate from the protocol.
+    pub fn deviants(&self) -> Vec<NodeId> {
+        self.0
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| **b != Behavior::Honest)
+            .map(|(i, _)| NodeId::new(i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_construction() {
+        let b = Behaviors::honest(4).with(NodeId(2), Behavior::HideLink { peer: NodeId(3) });
+        assert_eq!(*b.of(NodeId(0)), Behavior::Honest);
+        assert_eq!(b.of(NodeId(2)).hidden_peer(), Some(NodeId(3)));
+        assert_eq!(b.deviants(), vec![NodeId(2)]);
+    }
+
+    #[test]
+    fn behavior_queries() {
+        assert!(Behavior::HideLinkAndRefuse { peer: NodeId(1) }.refuses_corrections());
+        assert!(!Behavior::HideLink { peer: NodeId(1) }.refuses_corrections());
+        assert_eq!(Behavior::ShaveEntries { percent: 50 }.shave_percent(), Some(50));
+        assert_eq!(Behavior::Honest.shave_percent(), None);
+    }
+}

@@ -1,0 +1,105 @@
+//! One-call drivers and convergence measurement.
+//!
+//! The paper claims stage 2 converges "after a finite number of rounds (at
+//! most n)"; these helpers run both stages, validate against the
+//! centralized algorithms, and report rounds/traffic so the experiment
+//! harness can chart convergence against network size.
+
+use truthcast_graph::{Cost, NodeId, NodeWeightedGraph};
+
+use crate::payment_calc::{run_payment_stage, PaymentResult};
+use crate::spt_build::{run_spt_stage, HiddenLinks, SptResult};
+
+/// Results of a full honest distributed run.
+#[derive(Clone, Debug)]
+pub struct DistributedRun {
+    /// Stage-1 output.
+    pub spt: SptResult,
+    /// Stage-2 output.
+    pub payments: PaymentResult,
+}
+
+/// Runs both honest stages to quiescence.
+pub fn run_distributed(g: &NodeWeightedGraph, ap: NodeId) -> DistributedRun {
+    let bound = 4 * g.num_nodes() + 8;
+    let spt = run_spt_stage(g, ap, &HiddenLinks::none(), bound);
+    let payments = run_payment_stage(g, &spt, bound);
+    DistributedRun { spt, payments }
+}
+
+/// How a distributed run compares with the centralized Algorithm 1.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConvergenceReport {
+    /// Stage-1 rounds to quiescence.
+    pub spt_rounds: usize,
+    /// Stage-2 rounds to quiescence.
+    pub payment_rounds: usize,
+    /// Broadcasts across both stages.
+    pub broadcasts: usize,
+    /// Sources whose distributed payments equal the centralized ones.
+    pub agreeing_sources: usize,
+    /// Sources compared.
+    pub compared_sources: usize,
+}
+
+/// Runs distributed + centralized and counts agreement (per-source total
+/// payment equality; route ties are tolerated because equal-cost routes
+/// yield equal totals only when payments agree).
+pub fn convergence_report(g: &NodeWeightedGraph, ap: NodeId) -> ConvergenceReport {
+    let run = run_distributed(g, ap);
+    let mut agreeing = 0usize;
+    let mut compared = 0usize;
+    for i in g.node_ids() {
+        if i == ap || run.spt.route[i.index()].is_none() {
+            continue;
+        }
+        let Some(central) = truthcast_core::fast_payments(g, i, ap) else { continue };
+        compared += 1;
+        let dist_total: Cost = run.payments.total(i);
+        if dist_total == central.total_payment() {
+            agreeing += 1;
+        }
+    }
+    ConvergenceReport {
+        spt_rounds: run.spt.rounds,
+        payment_rounds: run.payments.rounds,
+        broadcasts: run.spt.stats.broadcasts + run.payments.stats.broadcasts,
+        agreeing_sources: agreeing,
+        compared_sources: compared,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_agreement_on_a_biconnected_graph() {
+        let g = NodeWeightedGraph::from_pairs_units(
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)],
+            &[0, 4, 7, 2, 9],
+        );
+        let rep = convergence_report(&g, NodeId(0));
+        assert_eq!(rep.compared_sources, 4);
+        assert_eq!(rep.agreeing_sources, 4);
+        assert!(rep.spt_rounds <= 6);
+        assert!(rep.payment_rounds <= 6);
+        assert!(rep.broadcasts > 0);
+    }
+
+    #[test]
+    fn rounds_bounded_by_n_on_random_udgs() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        use truthcast_graph::generators::random_udg;
+        use truthcast_graph::geometry::Region;
+        let mut rng = SmallRng::seed_from_u64(5);
+        let (_, adj) = random_udg(60, Region::new(800.0, 800.0), 220.0, &mut rng);
+        let costs: Vec<Cost> = (0..60).map(|i| Cost::from_units((i * 13 % 40) as u64)).collect();
+        let g = NodeWeightedGraph::new(adj, costs);
+        let rep = convergence_report(&g, NodeId(0));
+        assert!(rep.spt_rounds <= 61, "{rep:?}");
+        assert!(rep.payment_rounds <= 61, "{rep:?}");
+        assert_eq!(rep.agreeing_sources, rep.compared_sources, "{rep:?}");
+    }
+}

@@ -1,0 +1,40 @@
+//! # truthcast-distsim
+//!
+//! Distributed-protocol simulator for the `truthcast` reproduction of
+//! *Truthful Low-Cost Unicast in Selfish Wireless Networks* (Wang & Li,
+//! IPPS 2004).
+//!
+//! The paper's Section III-C/III-D protocols run on a deterministic
+//! round-based message engine:
+//!
+//! * [`engine`] — broadcast + reliable-direct-channel message routing with
+//!   traffic accounting;
+//! * [`spt_build`] — stage 1: distributed SPT toward the access point
+//!   (distance-vector with source routes), including the Figure 2
+//!   link-hiding lie;
+//! * [`payment_calc`] — stage 2: distributed relaxation of the VCG payment
+//!   entries `p_i^k` (the paper's three update rules), converging to the
+//!   centralized payments within `n` rounds;
+//! * [`behavior`] / [`verified`] — **Algorithm 2**: forced corrections over
+//!   the secure channel, trigger-audited payment announces, and
+//!   accusation/punishment of nodes that hide links, refuse corrections,
+//!   or shave entries;
+//! * [`convergence`] — one-call drivers comparing distributed and
+//!   centralized results and reporting rounds/traffic.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod behavior;
+pub mod convergence;
+pub mod engine;
+pub mod payment_calc;
+pub mod spt_build;
+pub mod verified;
+
+pub use behavior::{Behavior, Behaviors};
+pub use convergence::{convergence_report, run_distributed, ConvergenceReport, DistributedRun};
+pub use engine::{EngineStats, RoundEngine};
+pub use payment_calc::{run_payment_stage, run_payment_stage_jittered, PaymentResult, PriceAnnounce};
+pub use spt_build::{run_spt_stage, run_spt_stage_jittered, HiddenLinks, RouteAnnounce, SptResult};
+pub use verified::{run_verified_payments, run_verified_spt, Event, VerifiedOutcome};

@@ -1,0 +1,264 @@
+//! Stage 1: distributed construction of the shortest-path tree toward the
+//! access point.
+//!
+//! Every node maintains `D(v_i)` — the relay cost of its best known path to
+//! `v_0` — and `FH(v_i)`, the first hop realizing it, and broadcasts
+//! improvements (a distance-vector computation with source routes, as in
+//! the paper and its Feigenbaum-et-al. ancestor). Announces carry the full
+//! path so stage 2 can evaluate LCP membership.
+//!
+//! Misbehavior is modelled through [`HiddenLinks`] (the paper's Figure 2:
+//! a node lies that some physical link does not exist, steering its own
+//! route) — announces across a hidden link are ignored by the lying side's
+//! route computation.
+
+use truthcast_graph::{Cost, NodeId, NodeWeightedGraph};
+
+use crate::engine::{EngineStats, RoundEngine};
+
+/// A stage-1 announce: "I can reach the access point at relay cost `dist`
+/// along `path` (me … v_0)".
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RouteAnnounce {
+    /// Relay cost of the announced path (excluding announcer and AP).
+    pub dist: Cost,
+    /// The announced path, from the announcer to the access point.
+    pub path: Vec<NodeId>,
+}
+
+/// Links some node *claims* don't exist. A pair `(a, b)` suppresses the
+/// use of the physical link `{a, b}` in route computation (both ways: the
+/// lie is public, so neither endpoint routes across it).
+#[derive(Clone, Debug, Default)]
+pub struct HiddenLinks(Vec<(NodeId, NodeId)>);
+
+impl HiddenLinks {
+    /// No lies: the honest run.
+    pub fn none() -> HiddenLinks {
+        HiddenLinks(Vec::new())
+    }
+
+    /// Hides the single link `{a, b}`.
+    pub fn single(a: NodeId, b: NodeId) -> HiddenLinks {
+        HiddenLinks(vec![(a, b)])
+    }
+
+    /// Whether the link `{a, b}` is hidden.
+    pub fn hides(&self, a: NodeId, b: NodeId) -> bool {
+        self.0.iter().any(|&(x, y)| (x, y) == (a, b) || (x, y) == (b, a))
+    }
+}
+
+/// The converged stage-1 state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SptResult {
+    /// The access point.
+    pub ap: NodeId,
+    /// `D(v)`: relay cost of `v`'s route to the AP (`INF` if none found).
+    pub dist: Vec<Cost>,
+    /// `FH(v)`: first hop of the route.
+    pub first_hop: Vec<Option<NodeId>>,
+    /// Full route `v … ap` per node (the AP's is `[ap]`).
+    pub route: Vec<Option<Vec<NodeId>>>,
+    /// Rounds needed to converge (quiescence).
+    pub rounds: usize,
+    /// Engine traffic totals.
+    pub stats: EngineStats,
+}
+
+impl SptResult {
+    /// The relay nodes of `v`'s route (empty for AP-adjacent nodes).
+    pub fn relays(&self, v: NodeId) -> &[NodeId] {
+        match &self.route[v.index()] {
+            Some(r) if r.len() > 2 => &r[1..r.len() - 1],
+            _ => &[],
+        }
+    }
+}
+
+/// Runs stage 1 to quiescence (bounded by `max_rounds`; the honest
+/// protocol converges within `n` rounds).
+pub fn run_spt_stage(
+    g: &NodeWeightedGraph,
+    ap: NodeId,
+    hidden: &HiddenLinks,
+    max_rounds: usize,
+) -> SptResult {
+    let eng = RoundEngine::new(g.adjacency().clone());
+    run_spt_stage_on(g, ap, hidden, max_rounds, eng)
+}
+
+/// Stage 1 under message jitter: each announce is delayed 1..=`max_delay`
+/// rounds (seeded). The relaxation is monotone, so the fixpoint must equal
+/// the synchronous one — only the round count grows.
+pub fn run_spt_stage_jittered(
+    g: &NodeWeightedGraph,
+    ap: NodeId,
+    hidden: &HiddenLinks,
+    max_rounds: usize,
+    max_delay: usize,
+    seed: u64,
+) -> SptResult {
+    let eng = RoundEngine::new_jittered(g.adjacency().clone(), max_delay, seed);
+    run_spt_stage_on(g, ap, hidden, max_rounds, eng)
+}
+
+fn run_spt_stage_on(
+    g: &NodeWeightedGraph,
+    ap: NodeId,
+    hidden: &HiddenLinks,
+    max_rounds: usize,
+    mut eng: RoundEngine<RouteAnnounce>,
+) -> SptResult {
+    let n = g.num_nodes();
+
+    let mut dist = vec![Cost::INF; n];
+    let mut first_hop: Vec<Option<NodeId>> = vec![None; n];
+    let mut route: Vec<Option<Vec<NodeId>>> = vec![None; n];
+    dist[ap.index()] = Cost::ZERO;
+    route[ap.index()] = Some(vec![ap]);
+    eng.broadcast(ap, RouteAnnounce { dist: Cost::ZERO, path: vec![ap] });
+
+    let mut rounds = 0usize;
+    while rounds < max_rounds && eng.deliver_round() {
+        rounds += 1;
+        for v in g.node_ids() {
+            if v == ap {
+                let _ = eng.take_inbox(v);
+                continue;
+            }
+            let inbox = eng.take_inbox(v);
+            let mut improved = false;
+            for (from, ann) in inbox {
+                if hidden.hides(v, from) {
+                    continue; // the lie: this link "does not exist"
+                }
+                if ann.path.contains(&v) {
+                    continue; // would loop through ourselves
+                }
+                // Route v → from → … → ap: `from`'s own declared cost is a
+                // relay cost unless `from` is the AP.
+                let hop = if from == ap { Cost::ZERO } else { g.cost(from) };
+                let cand = ann.dist.saturating_add(hop);
+                if cand < dist[v.index()] {
+                    dist[v.index()] = cand;
+                    first_hop[v.index()] = Some(from);
+                    let mut p = Vec::with_capacity(ann.path.len() + 1);
+                    p.push(v);
+                    p.extend_from_slice(&ann.path);
+                    route[v.index()] = Some(p);
+                    improved = true;
+                }
+            }
+            if improved {
+                eng.broadcast(
+                    v,
+                    RouteAnnounce {
+                        dist: dist[v.index()],
+                        path: route[v.index()].clone().expect("route set"),
+                    },
+                );
+            }
+        }
+    }
+
+    SptResult { ap, dist, first_hop, route, rounds, stats: eng.stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use truthcast_graph::node_dijkstra::lcp_cost_between;
+
+    fn sample() -> NodeWeightedGraph {
+        // 0(AP) - 1 - 3, 0 - 2 - 3, 3 - 4; costs 0,1,5,2,0.
+        NodeWeightedGraph::from_pairs_units(
+            &[(0, 1), (1, 3), (0, 2), (2, 3), (3, 4)],
+            &[0, 1, 5, 2, 0],
+        )
+    }
+
+    #[test]
+    fn converges_to_centralized_distances() {
+        let g = sample();
+        let r = run_spt_stage(&g, NodeId(0), &HiddenLinks::none(), 50);
+        for v in g.node_ids() {
+            assert_eq!(
+                r.dist[v.index()],
+                lcp_cost_between(&g, v, NodeId(0), None),
+                "node {v}"
+            );
+        }
+        assert!(r.rounds <= g.num_nodes());
+    }
+
+    #[test]
+    fn routes_are_consistent_paths() {
+        let g = sample();
+        let r = run_spt_stage(&g, NodeId(0), &HiddenLinks::none(), 50);
+        for v in g.node_ids() {
+            let route = r.route[v.index()].as_ref().unwrap();
+            assert_eq!(route[0], v);
+            assert_eq!(*route.last().unwrap(), NodeId(0));
+            assert_eq!(g.path_cost(route), Some(r.dist[v.index()]));
+        }
+        assert_eq!(r.relays(NodeId(3)), &[NodeId(1)]);
+        assert_eq!(r.relays(NodeId(1)), &[] as &[NodeId]);
+    }
+
+    #[test]
+    fn first_hop_matches_route() {
+        let g = sample();
+        let r = run_spt_stage(&g, NodeId(0), &HiddenLinks::none(), 50);
+        for v in g.node_ids() {
+            if v == NodeId(0) {
+                continue;
+            }
+            assert_eq!(r.first_hop[v.index()], Some(r.route[v.index()].as_ref().unwrap()[1]));
+        }
+    }
+
+    #[test]
+    fn hidden_link_diverts_the_route() {
+        let g = sample();
+        // Node 3 hides its link to 1: it must route via the dear node 2.
+        let r = run_spt_stage(&g, NodeId(0), &HiddenLinks::single(NodeId(3), NodeId(1)), 50);
+        assert_eq!(r.route[3].as_ref().unwrap(), &vec![NodeId(3), NodeId(2), NodeId(0)]);
+        assert_eq!(r.dist[3], Cost::from_units(5));
+        // Node 4 (behind 3) inherits the diversion.
+        assert_eq!(r.dist[4], Cost::from_units(5 + 2));
+    }
+
+    #[test]
+    fn disconnected_node_stays_infinite() {
+        let g = NodeWeightedGraph::from_pairs_units(&[(0, 1)], &[0, 1, 3]);
+        let r = run_spt_stage(&g, NodeId(0), &HiddenLinks::none(), 50);
+        assert_eq!(r.dist[2], Cost::INF);
+        assert_eq!(r.route[2], None);
+    }
+
+    #[test]
+    fn converges_within_n_rounds_on_random_graphs() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..30 {
+            let n = rng.gen_range(5..30);
+            let mut pairs: Vec<(u32, u32)> = (1..n as u32).map(|v| (v - 1, v)).collect();
+            for u in 0..n as u32 {
+                for v in (u + 2)..n as u32 {
+                    if rng.gen_bool(0.2) {
+                        pairs.push((u, v));
+                    }
+                }
+            }
+            let costs: Vec<u64> = (0..n).map(|_| rng.gen_range(0..50)).collect();
+            let g = NodeWeightedGraph::from_pairs_units(&pairs, &costs);
+            let r = run_spt_stage(&g, NodeId(0), &HiddenLinks::none(), 2 * n + 5);
+            assert!(r.rounds <= n + 1, "rounds {} for n {}", r.rounds, n);
+            for v in g.node_ids() {
+                assert_eq!(r.dist[v.index()], lcp_cost_between(&g, v, NodeId(0), None));
+            }
+        }
+    }
+}

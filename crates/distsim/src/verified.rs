@@ -1,0 +1,534 @@
+//! Algorithm 2: the *verified* distributed computation.
+//!
+//! The naive stages trust every node to relax honestly — which Figure 2
+//! shows is exploitable. Algorithm 2 adds two enforcement rules:
+//!
+//! * **Stage 1** — each node cross-checks every neighbor's announced
+//!   distance against what it could offer (`D(v_i) + c_i < D(v_j)` means
+//!   `v_j`'s announce is wrong or based on a hidden link) and *forces* an
+//!   update over the reliable direct channel. A node that ignores the
+//!   forced update is caught re-announcing the stale value and accused.
+//! * **Stage 2** — every entry announce names the neighbor whose candidate
+//!   produced it (the *trigger*); the trigger recomputes the candidate
+//!   from its own state and accuses on mismatch. Shaved (under-reported)
+//!   entries are therefore detected by exactly the node they blame.
+//!
+//! Punished nodes are reported; honest runs produce no accusations.
+
+use truthcast_graph::{Cost, NodeId, NodeWeightedGraph};
+
+use crate::behavior::{Behavior, Behaviors};
+use crate::engine::{EngineStats, RoundEngine};
+use crate::spt_build::SptResult;
+
+/// An enforcement event during a verified run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// `by` forced `target` to adopt a better route (stage 1).
+    Forced {
+        /// The enforcing neighbor.
+        by: NodeId,
+        /// The corrected node.
+        target: NodeId,
+        /// The distance it was forced to adopt.
+        dist: Cost,
+    },
+    /// `by` publicly accused `target` of cheating.
+    Accused {
+        /// The accusing node.
+        by: NodeId,
+        /// The cheater.
+        target: NodeId,
+    },
+}
+
+/// Outcome of a verified run (either stage).
+#[derive(Clone, Debug)]
+pub struct VerifiedOutcome {
+    /// Enforcement events in occurrence order.
+    pub events: Vec<Event>,
+    /// Nodes accused at least once (to be punished by the network).
+    pub punished: Vec<NodeId>,
+    /// Engine traffic totals.
+    pub stats: EngineStats,
+}
+
+impl VerifiedOutcome {
+    fn from_events(events: Vec<Event>, stats: EngineStats) -> VerifiedOutcome {
+        let mut punished: Vec<NodeId> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Accused { target, .. } => Some(*target),
+                _ => None,
+            })
+            .collect();
+        punished.sort_unstable();
+        punished.dedup();
+        VerifiedOutcome { events, punished, stats }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Stage1Msg {
+    Route { dist: Cost, path: Vec<NodeId> },
+    /// A forced correction: "route through me at this total cost; here is
+    /// my own path for you to splice" (the reliable direct channel).
+    Force { dist: Cost, path: Vec<NodeId> },
+}
+
+/// Runs the verified stage 1 with the given behavior table. Returns the
+/// converged SPT state plus the enforcement record.
+pub fn run_verified_spt(
+    g: &NodeWeightedGraph,
+    ap: NodeId,
+    behaviors: &Behaviors,
+    max_rounds: usize,
+) -> (SptResult, VerifiedOutcome) {
+    let n = g.num_nodes();
+    let mut eng: RoundEngine<Stage1Msg> = RoundEngine::new(g.adjacency().clone());
+
+    let mut dist = vec![Cost::INF; n];
+    let mut first_hop: Vec<Option<NodeId>> = vec![None; n];
+    let mut route: Vec<Option<Vec<NodeId>>> = vec![None; n];
+    // What each node last heard each neighbor announce: heard[i][slot of j]
+    // (`None` = nothing announced yet — not auditable).
+    let mut heard: Vec<Vec<(NodeId, Option<Cost>)>> = (0..n)
+        .map(|i| g.neighbors(NodeId::new(i)).iter().map(|&j| (j, None)).collect())
+        .collect();
+    // Forced corrections sent, awaiting compliance: (enforcer, target, dist).
+    let mut outstanding: Vec<(NodeId, NodeId, Cost)> = Vec::new();
+    let mut events: Vec<Event> = Vec::new();
+
+    dist[ap.index()] = Cost::ZERO;
+    route[ap.index()] = Some(vec![ap]);
+    eng.broadcast(ap, Stage1Msg::Route { dist: Cost::ZERO, path: vec![ap] });
+
+    let mut rounds = 0usize;
+    while rounds < max_rounds && eng.deliver_round() {
+        rounds += 1;
+        for v in g.node_ids() {
+            let inbox = eng.take_inbox(v);
+            let behavior = behaviors.of(v);
+            let mut improved = false;
+            for (from, msg) in inbox {
+                match msg {
+                    Stage1Msg::Route { dist: d_from, path } => {
+                        if let Some(slot) =
+                            heard[v.index()].iter_mut().find(|(j, _)| *j == from)
+                        {
+                            slot.1 = Some(d_from);
+                        }
+                        if v == ap {
+                            continue; // the AP only audits
+                        }
+                        if behavior.hidden_peer() == Some(from) {
+                            continue; // the lie: "that link does not exist"
+                        }
+                        if path.contains(&v) {
+                            continue;
+                        }
+                        let hop = if from == ap { Cost::ZERO } else { g.cost(from) };
+                        let cand = d_from.saturating_add(hop);
+                        if cand < dist[v.index()] {
+                            dist[v.index()] = cand;
+                            first_hop[v.index()] = Some(from);
+                            let mut p = Vec::with_capacity(path.len() + 1);
+                            p.push(v);
+                            p.extend_from_slice(&path);
+                            route[v.index()] = Some(p);
+                            improved = true;
+                        }
+                    }
+                    Stage1Msg::Force { dist: d_forced, path } => {
+                        if v == ap || behavior.refuses_corrections() {
+                            continue; // refusal is caught post-convergence
+                        }
+                        if d_forced < dist[v.index()] && !path.contains(&v) {
+                            dist[v.index()] = d_forced;
+                            first_hop[v.index()] = Some(path[0]);
+                            let mut p = Vec::with_capacity(path.len() + 1);
+                            p.push(v);
+                            p.extend_from_slice(&path);
+                            route[v.index()] = Some(p);
+                            improved = true;
+                        }
+                    }
+                }
+            }
+            if improved {
+                eng.broadcast(
+                    v,
+                    Stage1Msg::Route {
+                        dist: dist[v.index()],
+                        path: route[v.index()].clone().expect("route set on improvement"),
+                    },
+                );
+            }
+        }
+
+        // Enforcement sweep (Algorithm 2, first stage): every honest node
+        // audits the distances its neighbors announced. A forced update is
+        // a normal protocol action, not an accusation.
+        for v in g.node_ids() {
+            if v != ap && behaviors.of(v) != &Behavior::Honest {
+                continue; // cheaters don't volunteer enforcement
+            }
+            let Some(my_route) = route[v.index()].clone() else { continue };
+            let my_offer = if v == ap {
+                Cost::ZERO
+            } else {
+                dist[v.index()].saturating_add(g.cost(v))
+            };
+            for &(j, d_j) in &heard[v.index()] {
+                let Some(d_j) = d_j else { continue };
+                if my_offer >= d_j || my_route.contains(&j) {
+                    continue;
+                }
+                match outstanding.iter_mut().find(|(by, t, _)| *by == v && *t == j) {
+                    Some(rec) if rec.2 <= my_offer => {} // already forced this or better
+                    Some(rec) => {
+                        rec.2 = my_offer;
+                        events.push(Event::Forced { by: v, target: j, dist: my_offer });
+                        eng.send_direct(v, j, Stage1Msg::Force { dist: my_offer, path: my_route.clone() });
+                    }
+                    None => {
+                        outstanding.push((v, j, my_offer));
+                        events.push(Event::Forced { by: v, target: j, dist: my_offer });
+                        eng.send_direct(v, j, Stage1Msg::Force { dist: my_offer, path: my_route.clone() });
+                    }
+                }
+            }
+        }
+    }
+
+    // Post-convergence audit: an outstanding force whose target still
+    // announces something worse was ignored — accuse.
+    for &(by, target, forced) in &outstanding {
+        let still_bad = heard[by.index()]
+            .iter()
+            .any(|&(j, d)| j == target && d.is_none_or(|d| d > forced));
+        if still_bad
+            && !events.iter().any(
+                |e| matches!(e, Event::Accused { by: b, target: t } if *b == by && *t == target),
+            )
+        {
+            events.push(Event::Accused { by, target });
+        }
+    }
+
+    let spt = SptResult { ap, dist, first_hop, route, rounds, stats: eng.stats };
+    let outcome = VerifiedOutcome::from_events(events, eng.stats);
+    (spt, outcome)
+}
+
+#[derive(Clone, Debug)]
+struct Stage2Msg {
+    dist: Cost,
+    relays: Vec<NodeId>,
+    /// Entries with the trigger that produced each value.
+    entries: Vec<(NodeId, Cost, NodeId)>,
+}
+
+/// Runs the verified stage 2: entry announces carry triggers; triggers
+/// audit. Returns each node's final entries plus the enforcement record.
+pub fn run_verified_payments(
+    g: &NodeWeightedGraph,
+    spt: &SptResult,
+    behaviors: &Behaviors,
+    max_rounds: usize,
+) -> (Vec<Vec<(NodeId, Cost)>>, VerifiedOutcome) {
+    let n = g.num_nodes();
+    let ap = spt.ap;
+    let mut eng: RoundEngine<Stage2Msg> = RoundEngine::new(g.adjacency().clone());
+
+    // True internal entries plus the trigger of the last improvement.
+    let mut entries: Vec<Vec<(NodeId, Cost, NodeId)>> = (0..n)
+        .map(|i| {
+            let i = NodeId::new(i);
+            spt.relays(i).iter().map(|&k| (k, Cost::INF, i)).collect()
+        })
+        .collect();
+    let mut events: Vec<Event> = Vec::new();
+
+    let announced = |i: NodeId,
+                     entries: &[Vec<(NodeId, Cost, NodeId)>],
+                     behaviors: &Behaviors| {
+        let mut out = entries[i.index()].clone();
+        if let Some(pct) = behaviors.of(i).shave_percent() {
+            for e in &mut out {
+                if e.1.is_finite() {
+                    e.1 = Cost::from_micros(e.1.micros() * pct as u64 / 100);
+                }
+            }
+        }
+        Stage2Msg { dist: spt.dist[i.index()], relays: spt.relays(i).to_vec(), entries: out }
+    };
+
+    for i in g.node_ids() {
+        if i != ap && spt.route[i.index()].is_some() {
+            let msg = announced(i, &entries, behaviors);
+            eng.broadcast(i, msg);
+        }
+    }
+
+    let mut rounds = 0usize;
+    while rounds < max_rounds && eng.deliver_round() {
+        rounds += 1;
+        for i in g.node_ids() {
+            let inbox = eng.take_inbox(i);
+            if i == ap {
+                continue;
+            }
+            let c_i0 = spt.dist[i.index()];
+            let mut changed = false;
+            for (j, msg) in &inbox {
+                let j = *j;
+                if j == ap {
+                    continue;
+                }
+                // --- Audit: if i is named as a trigger, verify the value.
+                for &(k, val, trigger) in &msg.entries {
+                    if trigger != i || !val.is_finite() {
+                        continue;
+                    }
+                    // Recompute the candidate i would offer j for relay k.
+                    let avoid_from_i = if spt.relays(i).contains(&k) {
+                        match entries[i.index()].iter().find(|&&(r, _, _)| r == k) {
+                            Some(&(_, pik, _)) => {
+                                pik.saturating_add(spt.dist[i.index()]).saturating_sub(g.cost(k))
+                            }
+                            None => Cost::INF,
+                        }
+                    } else {
+                        spt.dist[i.index()]
+                    };
+                    let expected = g
+                        .cost(i)
+                        .saturating_add(avoid_from_i)
+                        .saturating_add(g.cost(k))
+                        .saturating_sub(msg.dist);
+                    if val < expected {
+                        let already = events.iter().any(
+                            |e| matches!(e, Event::Accused { by, target } if *by == i && *target == j),
+                        );
+                        if !already {
+                            events.push(Event::Accused { by: i, target: j });
+                        }
+                    }
+                }
+                // --- Relaxation with j's (possibly shaved) announces.
+                if entries[i.index()].is_empty() {
+                    continue;
+                }
+                for slot in entries[i.index()].iter_mut() {
+                    let k = slot.0;
+                    if j == k {
+                        continue;
+                    }
+                    let avoid_from_j = if msg.relays.contains(&k) {
+                        match msg.entries.iter().find(|&&(r, _, _)| r == k) {
+                            Some(&(_, pjk, _)) => {
+                                pjk.saturating_add(msg.dist).saturating_sub(g.cost(k))
+                            }
+                            None => Cost::INF,
+                        }
+                    } else {
+                        msg.dist
+                    };
+                    // Add c_k before subtracting c(i,0): the via-j
+                    // avoiding path costs at least c(i,0), so the final
+                    // difference is non-negative, but intermediate orders
+                    // could clamp at zero under saturating arithmetic.
+                    let cand = g
+                        .cost(j)
+                        .saturating_add(avoid_from_j)
+                        .saturating_add(g.cost(k))
+                        .saturating_sub(c_i0);
+                    if cand < slot.1 {
+                        slot.1 = cand;
+                        slot.2 = j;
+                        changed = true;
+                    }
+                }
+            }
+            if changed {
+                let msg = announced(i, &entries, behaviors);
+                eng.broadcast(i, msg);
+            }
+        }
+    }
+
+    let final_entries: Vec<Vec<(NodeId, Cost)>> = entries
+        .into_iter()
+        .map(|v| v.into_iter().map(|(k, p, _)| (k, p)).collect())
+        .collect();
+    let stats = eng.stats;
+    (final_entries, VerifiedOutcome::from_events(events, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spt_build::{run_spt_stage, HiddenLinks};
+
+    /// The Figure 2 reconstruction: LCP v1–v4–v3–v2–v0 with relay costs
+    /// 1.5 each (total payment 6), alternative v1–v5–v0 with c_5 = 5.
+    fn figure2() -> NodeWeightedGraph {
+        let adj = truthcast_graph::adjacency_from_pairs(
+            6,
+            &[(1, 4), (4, 3), (3, 2), (2, 0), (1, 5), (5, 0)],
+        );
+        let costs = vec![
+            Cost::ZERO,
+            Cost::ZERO,
+            Cost::from_f64(1.5),
+            Cost::from_f64(1.5),
+            Cost::from_f64(1.5),
+            Cost::from_units(5),
+        ];
+        NodeWeightedGraph::new(adj, costs)
+    }
+
+    #[test]
+    fn figure2_honest_route_and_payment() {
+        let g = figure2();
+        let spt = run_spt_stage(&g, NodeId(0), &HiddenLinks::none(), 30);
+        assert_eq!(
+            spt.route[1].as_ref().unwrap(),
+            &vec![NodeId(1), NodeId(4), NodeId(3), NodeId(2), NodeId(0)]
+        );
+        let pay = crate::payment_calc::run_payment_stage(&g, &spt, 30);
+        assert_eq!(pay.total(NodeId(1)), Cost::from_units(6));
+        // Each relay gets 5 − 4.5 + 1.5 = 2.
+        for &(_, p) in &pay.payments[1] {
+            assert_eq!(p, Cost::from_units(2));
+        }
+    }
+
+    #[test]
+    fn figure2_link_hiding_pays_less_without_verification() {
+        let g = figure2();
+        // v1 lies: "I am not a neighbor of v4".
+        let spt = run_spt_stage(&g, NodeId(0), &HiddenLinks::single(NodeId(1), NodeId(4)), 30);
+        assert_eq!(spt.route[1].as_ref().unwrap(), &vec![NodeId(1), NodeId(5), NodeId(0)]);
+        let pay = crate::payment_calc::run_payment_stage(&g, &spt, 30);
+        // Via the honest relaxation, v5's payment uses the (true) v4 branch
+        // as the replacement: p_1^5 = 4.5 − 5 + 5 = 4.5 < 6. The lie pays.
+        assert_eq!(pay.total(NodeId(1)), Cost::from_f64(4.5));
+    }
+
+    #[test]
+    fn figure2_verification_forces_the_liar_back() {
+        let g = figure2();
+        let behaviors =
+            Behaviors::honest(6).with(NodeId(1), Behavior::HideLink { peer: NodeId(4) });
+        let (spt, outcome) = run_verified_spt(&g, NodeId(0), &behaviors, 40);
+        // v4 catches v1's inflated distance and forces the correction.
+        assert!(
+            outcome.events.iter().any(
+                |e| matches!(e, Event::Forced { by, target, .. } if *by == NodeId(4) && *target == NodeId(1))
+            ),
+            "events: {:?}",
+            outcome.events
+        );
+        assert_eq!(spt.dist[1], Cost::from_f64(4.5), "forced to the true LCP cost");
+        assert_eq!(spt.first_hop[1], Some(NodeId(4)));
+        assert!(outcome.punished.is_empty(), "compliant liar is corrected, not punished");
+    }
+
+    #[test]
+    fn refusing_the_correction_gets_accused() {
+        let g = figure2();
+        let behaviors = Behaviors::honest(6)
+            .with(NodeId(1), Behavior::HideLinkAndRefuse { peer: NodeId(4) });
+        let (_, outcome) = run_verified_spt(&g, NodeId(0), &behaviors, 40);
+        assert!(
+            outcome.punished.contains(&NodeId(1)),
+            "events: {:?}",
+            outcome.events
+        );
+    }
+
+    #[test]
+    fn honest_verified_run_accuses_nobody() {
+        let g = figure2();
+        let behaviors = Behaviors::honest(6);
+        let (spt, outcome) = run_verified_spt(&g, NodeId(0), &behaviors, 40);
+        // Forced updates are legitimate protocol actions and may occur
+        // transiently; accusations must not.
+        assert!(
+            !outcome.events.iter().any(|e| matches!(e, Event::Accused { .. })),
+            "events: {:?}",
+            outcome.events
+        );
+        assert!(outcome.punished.is_empty());
+        let unverified = run_spt_stage(&g, NodeId(0), &HiddenLinks::none(), 40);
+        assert_eq!(spt.dist, unverified.dist);
+    }
+
+    #[test]
+    fn entry_shaver_is_accused_by_its_named_trigger() {
+        let g = figure2();
+        let spt = run_spt_stage(&g, NodeId(0), &HiddenLinks::none(), 30);
+        let behaviors =
+            Behaviors::honest(6).with(NodeId(4), Behavior::ShaveEntries { percent: 50 });
+        let (_, outcome) = run_verified_payments(&g, &spt, &behaviors, 40);
+        assert!(
+            outcome.punished.contains(&NodeId(4)),
+            "events: {:?}",
+            outcome.events
+        );
+    }
+
+    #[test]
+    fn verified_stage1_matches_unverified_on_random_graphs() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(33);
+        for _ in 0..20 {
+            let n = rng.gen_range(5..20);
+            let mut pairs: Vec<(u32, u32)> = (1..n as u32).map(|v| (v - 1, v)).collect();
+            for u in 0..n as u32 {
+                for v in (u + 2)..n as u32 {
+                    if rng.gen_bool(0.3) {
+                        pairs.push((u, v));
+                    }
+                }
+            }
+            let costs: Vec<u64> = (0..n).map(|_| rng.gen_range(0..30)).collect();
+            let g = NodeWeightedGraph::from_pairs_units(&pairs, &costs);
+            let behaviors = Behaviors::honest(n);
+            let (vspt, outcome) = run_verified_spt(&g, NodeId(0), &behaviors, 4 * n);
+            let plain = run_spt_stage(&g, NodeId(0), &HiddenLinks::none(), 4 * n);
+            assert_eq!(vspt.dist, plain.dist, "pairs {pairs:?} costs {costs:?}");
+            assert!(outcome.punished.is_empty());
+            // And stage 2 on top agrees too (entry comparison only makes
+            // sense when tie-breaking picked the same routes).
+            let (entries, out2) = run_verified_payments(&g, &vspt, &behaviors, 4 * n);
+            let plain2 = crate::payment_calc::run_payment_stage(&g, &plain, 4 * n);
+            #[allow(clippy::needless_range_loop)] // v indexes four parallel tables
+            for v in 0..n {
+                if vspt.route[v] != plain.route[v] {
+                    continue;
+                }
+                let mut a = entries[v].clone();
+                let mut b = plain2.payments[v].clone();
+                a.sort_by_key(|&(k, _)| k);
+                b.sort_by_key(|&(k, _)| k);
+                assert_eq!(a, b, "node {v}");
+            }
+            assert!(out2.punished.is_empty());
+        }
+    }
+
+    #[test]
+    fn honest_verified_payments_match_unverified() {
+        let g = figure2();
+        let spt = run_spt_stage(&g, NodeId(0), &HiddenLinks::none(), 30);
+        let behaviors = Behaviors::honest(6);
+        let (entries, outcome) = run_verified_payments(&g, &spt, &behaviors, 40);
+        assert!(outcome.punished.is_empty(), "events: {:?}", outcome.events);
+        let plain = crate::payment_calc::run_payment_stage(&g, &spt, 30);
+        assert_eq!(entries, plain.payments);
+    }
+}

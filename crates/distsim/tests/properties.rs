@@ -1,0 +1,111 @@
+//! Property-based tests for the distributed protocol.
+
+use proptest::prelude::*;
+use truthcast_core::fast_payments;
+use truthcast_distsim::{
+    run_distributed, run_payment_stage, run_payment_stage_jittered, run_spt_stage,
+    run_spt_stage_jittered, run_verified_spt, Behavior, Behaviors, Event, HiddenLinks,
+};
+use truthcast_graph::{NodeId, NodeWeightedGraph};
+
+/// Ring + chords instances (2-connected, so payments stay finite).
+fn ring_instance() -> impl Strategy<Value = (usize, Vec<(u32, u32)>, Vec<u64>)> {
+    (4usize..14).prop_flat_map(|n| {
+        let chords: Vec<(u32, u32)> = (0..n as u32)
+            .flat_map(|u| ((u + 2)..n as u32).map(move |v| (u, v)))
+            .filter(|&(u, v)| !(u == 0 && v == n as u32 - 1))
+            .collect();
+        let max_extra = chords.len().min(n);
+        (
+            proptest::sample::subsequence(chords, 0..=max_extra),
+            proptest::collection::vec(0u64..40, n),
+        )
+            .prop_map(move |(extra, costs)| {
+                let mut edges: Vec<(u32, u32)> = (1..n as u32).map(|v| (v - 1, v)).collect();
+                edges.push((0, n as u32 - 1));
+                edges.extend(extra);
+                (n, edges, costs)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Distributed totals equal the centralized Algorithm 1, and both
+    /// stages converge within n rounds.
+    #[test]
+    fn distributed_equals_centralized((n, edges, costs) in ring_instance()) {
+        let g = NodeWeightedGraph::from_pairs_units(&edges, &costs);
+        let run = run_distributed(&g, NodeId(0));
+        prop_assert!(run.spt.rounds <= n + 1);
+        prop_assert!(run.payments.rounds <= n + 1);
+        for i in 1..n {
+            let i = NodeId::new(i);
+            let central = fast_payments(&g, i, NodeId(0)).unwrap();
+            prop_assert_eq!(run.payments.total(i), central.total_payment(), "source {}", i);
+        }
+    }
+
+    /// Payment entries are monotone consequences of the relaxation: every
+    /// converged entry is at least the relay's declared cost.
+    #[test]
+    fn entries_dominate_declared_costs((n, edges, costs) in ring_instance()) {
+        let g = NodeWeightedGraph::from_pairs_units(&edges, &costs);
+        let spt = run_spt_stage(&g, NodeId(0), &HiddenLinks::none(), 4 * n);
+        let pay = run_payment_stage(&g, &spt, 4 * n);
+        for i in 0..n {
+            for &(k, p) in &pay.payments[i] {
+                prop_assert!(p >= g.cost(k), "entry p_{i}^{k}");
+            }
+        }
+    }
+
+    /// Message reordering cannot change the fixpoint: the jittered engine
+    /// (random per-message delays) converges to exactly the synchronous
+    /// distances and payments, only more slowly.
+    #[test]
+    fn jittered_delivery_reaches_the_same_fixpoint(
+        (n, edges, costs) in ring_instance(),
+        max_delay in 2usize..5,
+        seed in 0u64..1000,
+    ) {
+        let g = NodeWeightedGraph::from_pairs_units(&edges, &costs);
+        let bound = 6 * n * max_delay + 20;
+        let sync_spt = run_spt_stage(&g, NodeId(0), &HiddenLinks::none(), bound);
+        let jit_spt = run_spt_stage_jittered(&g, NodeId(0), &HiddenLinks::none(), bound, max_delay, seed);
+        prop_assert_eq!(&sync_spt.dist, &jit_spt.dist);
+        let sync_pay = run_payment_stage(&g, &sync_spt, bound);
+        let jit_pay = run_payment_stage_jittered(&g, &jit_spt, bound, max_delay, seed ^ 1);
+        for i in 1..n {
+            let i = NodeId::new(i);
+            prop_assert_eq!(sync_pay.total(i), jit_pay.total(i), "source {}", i);
+        }
+    }
+
+    /// A link-hiding node never pays *more* under the naive protocol than
+    /// honestly (the lie is weakly profitable by construction: it still
+    /// controls its own route choice), and the verified protocol erases
+    /// any strict gain.
+    #[test]
+    fn verification_neutralizes_link_hiding((n, edges, costs) in ring_instance(), liar_ix in 1usize..13) {
+        let liar = NodeId::new(1 + (liar_ix - 1) % (n - 1));
+        let g = NodeWeightedGraph::from_pairs_units(&edges, &costs);
+        let honest_spt = run_spt_stage(&g, NodeId(0), &HiddenLinks::none(), 4 * n);
+        // Hide the liar's first hop (the most natural manipulation).
+        let Some(fh) = honest_spt.first_hop[liar.index()] else { return Ok(()); };
+        if fh == NodeId(0) {
+            return Ok(()); // hiding the AP link can only hurt; skip
+        }
+        let behaviors = Behaviors::honest(n).with(liar, Behavior::HideLink { peer: fh });
+        let (vspt, outcome) = run_verified_spt(&g, NodeId(0), &behaviors, 4 * n);
+        // The verified distance must equal the honest one: the forced
+        // correction reinstates the true route cost.
+        prop_assert_eq!(vspt.dist[liar.index()], honest_spt.dist[liar.index()]);
+        // And an honest network never accuses anyone falsely.
+        let accused_honest = outcome.events.iter().any(|e| {
+            matches!(e, Event::Accused { target, .. } if *target != liar)
+        });
+        prop_assert!(!accused_honest, "events: {:?}", outcome.events);
+    }
+}

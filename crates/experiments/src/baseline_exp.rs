@@ -1,0 +1,213 @@
+//! Baseline comparison: the VCG mechanism against the related-work
+//! schemes the paper argues with.
+//!
+//! Two comparisons, both on the node-cost UDG setting (costs `U[1, 10]`):
+//!
+//! * **Fixed-price (nuglet) vs VCG** — a rational relay refuses a tariff
+//!   below its cost, so delivery collapses as the tariff drops; VCG
+//!   delivers everything (modulo monopolies) and pays the market-clearing
+//!   premium instead. This quantifies the paper's critique of \[2\], \[3\],
+//!   \[5\], \[6\].
+//! * **Edge-agent (Nisan–Ronen) vs node-agent VCG** — the same physical
+//!   network billed per *edge* rather than per *relay*: roughly twice the
+//!   paid agents for the same routes.
+
+use truthcast_core::baselines::compare_fixed_vs_vcg;
+use truthcast_core::edge_agents::naive_edge_payments;
+use truthcast_core::fast_payments;
+use truthcast_graph::{Cost, NodeId, NodeWeightedGraph};
+
+use crate::node_cost_exp::node_cost_instance;
+use crate::par::{default_threads, par_map};
+
+/// Results of the tariff sweep at one fixed price.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TariffPoint {
+    /// The fixed per-relay tariff.
+    pub price: f64,
+    /// Fraction of sources the fixed-price scheme delivered.
+    pub fixed_delivery: f64,
+    /// Fraction VCG delivered (finite payments).
+    pub vcg_delivery: f64,
+    /// Mean per-source fixed payment (over its delivered sources).
+    pub fixed_mean_payment: f64,
+    /// Mean per-source VCG payment (over its delivered sources).
+    pub vcg_mean_payment: f64,
+}
+
+/// Sweeps the tariff over `prices` at one size, averaging over instances.
+pub fn tariff_sweep(
+    n: usize,
+    prices: &[f64],
+    instances: usize,
+    seed: u64,
+) -> Vec<TariffPoint> {
+    let graphs: Vec<NodeWeightedGraph> = par_map(instances, default_threads(), |i| {
+        node_cost_instance(n, 1.0, 10.0, seed ^ (i as u64 + 1).wrapping_mul(0xD1B5_4A32_D192_ED03))
+    });
+    prices
+        .iter()
+        .map(|&price| {
+            let mut fixed_delivered = 0usize;
+            let mut vcg_delivered = 0usize;
+            let mut attempted = 0usize;
+            let mut fixed_pay = 0.0;
+            let mut vcg_pay = 0.0;
+            for g in &graphs {
+                let cmp = compare_fixed_vs_vcg(g, NodeId::ACCESS_POINT, Cost::from_f64(price));
+                attempted += cmp.attempted;
+                fixed_delivered += cmp.fixed_delivered;
+                vcg_delivered += cmp.vcg_delivered;
+                fixed_pay += cmp.fixed_total_payment;
+                vcg_pay += cmp.vcg_total_payment;
+            }
+            TariffPoint {
+                price,
+                fixed_delivery: fixed_delivered as f64 / attempted as f64,
+                vcg_delivery: vcg_delivered as f64 / attempted as f64,
+                fixed_mean_payment: if fixed_delivered > 0 {
+                    fixed_pay / fixed_delivered as f64
+                } else {
+                    f64::NAN
+                },
+                vcg_mean_payment: if vcg_delivered > 0 {
+                    vcg_pay / vcg_delivered as f64
+                } else {
+                    f64::NAN
+                },
+            }
+        })
+        .collect()
+}
+
+/// Node-agent vs edge-agent payment totals on the same instances.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AgentModelComparison {
+    /// Nodes per instance.
+    pub n: usize,
+    /// Mean per-source total payment, node-agent VCG.
+    pub node_agent_mean: f64,
+    /// Mean per-source total payment, edge-agent VCG.
+    pub edge_agent_mean: f64,
+    /// Sources compared (both models finite).
+    pub compared: usize,
+}
+
+/// Prices every source both ways on `instances` node-cost instances,
+/// converting the node-cost graph to its equivalent symmetric link-cost
+/// digraph (arc `u → v` priced at `c_v`, AP entry free).
+pub fn compare_agent_models(n: usize, instances: usize, seed: u64) -> AgentModelComparison {
+    let per: Vec<(f64, f64, usize)> = par_map(instances, default_threads(), |i| {
+        let g = node_cost_instance(n, 1.0, 10.0, seed ^ (i as u64 + 1).wrapping_mul(0xA076_1D64_78BD_642F));
+        // Edge-agent view: an undirected edge costs the cheaper endpoint's
+        // relay cost (the edge must be "bought" once; a fair conversion
+        // for comparison purposes).
+        let arcs: Vec<(NodeId, NodeId, Cost)> = g
+            .adjacency()
+            .edges()
+            .flat_map(|(u, v)| {
+                let w = g.cost(u).min(g.cost(v));
+                [(u, v, w), (v, u, w)]
+            })
+            .collect();
+        let dg = truthcast_graph::LinkWeightedDigraph::from_arcs(g.num_nodes(), arcs);
+        let mut node_total = 0.0;
+        let mut edge_total = 0.0;
+        let mut compared = 0usize;
+        for source in g.node_ids().skip(1) {
+            let (Some(np), Some(ep)) = (
+                fast_payments(&g, source, NodeId::ACCESS_POINT),
+                naive_edge_payments(&dg, source, NodeId::ACCESS_POINT),
+            ) else {
+                continue;
+            };
+            if np.has_monopoly() || !ep.total_payment().is_finite() {
+                continue;
+            }
+            node_total += np.total_payment().as_f64();
+            edge_total += ep.total_payment().as_f64();
+            compared += 1;
+        }
+        (node_total, edge_total, compared)
+    });
+    let compared: usize = per.iter().map(|&(_, _, c)| c).sum();
+    let d = compared.max(1) as f64;
+    AgentModelComparison {
+        n,
+        node_agent_mean: per.iter().map(|&(a, _, _)| a).sum::<f64>() / d,
+        edge_agent_mean: per.iter().map(|&(_, b, _)| b).sum::<f64>() / d,
+        compared,
+    }
+}
+
+/// CSV for the tariff sweep.
+pub fn tariff_csv(rows: &[TariffPoint]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from(
+        "tariff,fixed_delivery,vcg_delivery,fixed_mean_payment,vcg_mean_payment\n",
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:.2},{:.6},{:.6},{:.6},{:.6}",
+            r.price, r.fixed_delivery, r.vcg_delivery, r.fixed_mean_payment, r.vcg_mean_payment
+        );
+    }
+    out
+}
+
+/// Text table for the tariff sweep.
+pub fn tariff_table(rows: &[TariffPoint]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>8} {:>15} {:>13} {:>15} {:>13}",
+        "tariff", "fixed delivery", "vcg delivery", "fixed payment", "vcg payment"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:>8.1} {:>14.1}% {:>12.1}% {:>15.2} {:>13.2}",
+            r.price,
+            100.0 * r.fixed_delivery,
+            100.0 * r.vcg_delivery,
+            r.fixed_mean_payment,
+            r.vcg_mean_payment
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low_tariff_strands_sources() {
+        let rows = tariff_sweep(100, &[1.0, 5.0, 10.0], 3, 11);
+        assert!(rows[0].fixed_delivery < rows[2].fixed_delivery);
+        // At tariff = max cost, every rational relay accepts, so fixed
+        // delivery matches plain reachability (≥ VCG's, which also needs
+        // biconnectivity).
+        assert!(rows[2].fixed_delivery >= rows[2].vcg_delivery - 1e-9);
+        // VCG delivery is tariff-independent.
+        assert!((rows[0].vcg_delivery - rows[2].vcg_delivery).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edge_agents_pay_more_agents() {
+        let cmp = compare_agent_models(80, 3, 5);
+        assert!(cmp.compared > 0);
+        assert!(cmp.node_agent_mean > 0.0);
+        assert!(cmp.edge_agent_mean > 0.0);
+    }
+
+    #[test]
+    fn tariff_table_renders() {
+        let rows = tariff_sweep(60, &[5.0], 2, 3);
+        let t = tariff_table(&rows);
+        assert!(t.contains("tariff"));
+        assert!(t.contains("5.0"));
+    }
+}

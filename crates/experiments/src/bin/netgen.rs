@@ -1,0 +1,82 @@
+//! Instance generator: writes networks in the `truthcast_graph::io` text
+//! format, ready for the `price` CLI.
+//!
+//! ```text
+//! netgen --model udg|node-cost --nodes 100 [--seed S] [--out FILE]
+//! ```
+//!
+//! * `udg` — the paper's sim1 placement with full-power scalar relay
+//!   costs (`range^κ` per node, κ = 2);
+//! * `node-cost` — sim1 placement with scalar costs `U[1, 10]` (the
+//!   conclusion's setting).
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use truthcast_graph::io::write_node_weighted;
+use truthcast_wireless::Deployment;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: netgen --model udg|node-cost --nodes N [--seed S] [--out FILE]");
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut model = String::from("node-cost");
+    let mut nodes = 100usize;
+    let mut seed = 1u64;
+    let mut out: Option<String> = None;
+
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--model" => model = it.next().unwrap_or_else(|| fail("--model needs a value")),
+            "--nodes" => {
+                nodes = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| fail("--nodes needs a count"))
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| fail("--seed needs a number"))
+            }
+            "--out" => out = Some(it.next().unwrap_or_else(|| fail("--out needs a path"))),
+            "--help" | "-h" => fail("help requested"),
+            other => fail(&format!("unexpected argument {other:?}")),
+        }
+    }
+    if nodes < 2 {
+        fail("--nodes must be at least 2");
+    }
+
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let deployment = Deployment::paper_sim1(nodes, 2.0, &mut rng);
+    let g = match model.as_str() {
+        "udg" => deployment.to_node_weighted_full_power(),
+        "node-cost" => {
+            let costs = deployment.random_node_costs(1.0, 10.0, &mut rng);
+            deployment.to_node_weighted(costs)
+        }
+        other => fail(&format!("unknown model {other:?}")),
+    };
+
+    let text = format!(
+        "# truthcast netgen: model {model}, nodes {nodes}, seed {seed}\n{}",
+        write_node_weighted(&g)
+    );
+    match out {
+        Some(path) => {
+            std::fs::write(&path, text).unwrap_or_else(|e| fail(&format!("write {path}: {e}")));
+            eprintln!(
+                "wrote {path}: {} nodes, {} edges (node 0 is the access point)",
+                g.num_nodes(),
+                g.num_edges()
+            );
+        }
+        None => print!("{text}"),
+    }
+}

@@ -1,0 +1,112 @@
+//! Command-line pricing: read a network file, print the VCG payments.
+//!
+//! ```text
+//! price <graph-file> --source 3 [--target 0] [--scheme vcg|neighborhood|fixed:<tariff>]
+//! ```
+//!
+//! The graph format is documented in `truthcast_graph::io`. The default
+//! target is node 0 (the access point); the default scheme is the paper's
+//! per-node VCG via Algorithm 1.
+
+use truthcast_core::{fast_payments, fixed_price_route, neighborhood_payments};
+use truthcast_graph::io::parse_node_weighted;
+use truthcast_graph::{Cost, NodeId};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: price <graph-file> --source N [--target N] [--scheme vcg|neighborhood|fixed:<tariff>]"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut file: Option<String> = None;
+    let mut source: Option<u32> = None;
+    let mut target: u32 = 0;
+    let mut scheme = String::from("vcg");
+
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--source" => {
+                source = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| fail("--source needs a node id")),
+                )
+            }
+            "--target" => {
+                target = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| fail("--target needs a node id"))
+            }
+            "--scheme" => scheme = it.next().unwrap_or_else(|| fail("--scheme needs a value")),
+            "--help" | "-h" => fail("help requested"),
+            other if file.is_none() => file = Some(other.to_string()),
+            other => fail(&format!("unexpected argument {other:?}")),
+        }
+    }
+    let file = file.unwrap_or_else(|| fail("missing graph file"));
+    let source = NodeId(source.unwrap_or_else(|| fail("missing --source")));
+    let target = NodeId(target);
+
+    let text = std::fs::read_to_string(&file)
+        .unwrap_or_else(|e| fail(&format!("cannot read {file}: {e}")));
+    let g = parse_node_weighted(&text).unwrap_or_else(|e| fail(&format!("parse {file}: {e}")));
+    if source.index() >= g.num_nodes() || target.index() >= g.num_nodes() || source == target {
+        fail("source/target out of range or equal");
+    }
+
+    if let Some(tariff) = scheme.strip_prefix("fixed:") {
+        let price: f64 =
+            tariff.parse().unwrap_or_else(|_| fail(&format!("bad tariff {tariff:?}")));
+        let out = fixed_price_route(&g, source, target, Cost::from_f64(price));
+        match out.path {
+            Some(path) => {
+                println!("scheme        : fixed tariff {price}");
+                println!("route         : {path:?}");
+                println!("total payment : {}", out.total_payment);
+                println!("relay cost    : {}", out.relay_cost);
+            }
+            None => println!("undeliverable: every route blocked by refusing relays"),
+        }
+        if !out.decliners.is_empty() {
+            println!("declined      : {:?}", out.decliners);
+        }
+        return;
+    }
+
+    match scheme.as_str() {
+        "vcg" => {
+            let Some(p) = fast_payments(&g, source, target) else {
+                println!("unreachable: no route from {source} to {target}");
+                return;
+            };
+            println!("scheme        : per-node VCG (Algorithm 1)");
+            println!("route         : {:?}", p.path);
+            println!("declared cost : {}", p.lcp_cost);
+            for &(relay, pay) in &p.payments {
+                println!("  pay {relay} : {pay}  (declared {})", g.cost(relay));
+            }
+            println!("total payment : {}", p.total_payment());
+        }
+        "neighborhood" => {
+            let Some(p) = neighborhood_payments(&g, source, target) else {
+                println!("unreachable: no route from {source} to {target}");
+                return;
+            };
+            println!("scheme        : neighborhood collusion-resistant p̃");
+            println!("route         : {:?}", p.path);
+            for v in g.node_ids() {
+                let pay = p.payment_to(v);
+                if pay != Cost::ZERO {
+                    println!("  pay {v} : {pay}");
+                }
+            }
+            println!("total payment : {}", p.total_payment());
+        }
+        other => fail(&format!("unknown scheme {other:?}")),
+    }
+}

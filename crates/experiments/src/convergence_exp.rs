@@ -1,0 +1,103 @@
+//! Convergence experiment for the distributed algorithm (§III-C claim:
+//! prices stabilize within `n` rounds) — rounds, traffic, and agreement
+//! with the centralized Algorithm 1, as a function of network size.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use truthcast_distsim::convergence_report;
+use truthcast_graph::NodeId;
+use truthcast_wireless::Deployment;
+
+use crate::par::{default_threads, par_map};
+
+/// Aggregated convergence metrics at one size.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RoundsResult {
+    /// Number of nodes.
+    pub n: usize,
+    /// Mean stage-1 rounds.
+    pub mean_spt_rounds: f64,
+    /// Mean stage-2 rounds.
+    pub mean_payment_rounds: f64,
+    /// Max rounds seen in either stage.
+    pub max_rounds: usize,
+    /// Mean broadcasts per run.
+    pub mean_broadcasts: f64,
+    /// Fraction of sources whose distributed totals equal centralized.
+    pub agreement: f64,
+}
+
+/// Runs the convergence experiment at one size over UDG instances with
+/// uniform random relay costs in `[1, 10]`.
+pub fn run_rounds(n: usize, instances: usize, seed: u64) -> RoundsResult {
+    let reports = par_map(instances, default_threads(), |i| {
+        let mut rng = SmallRng::seed_from_u64(seed ^ (i as u64 + 1).wrapping_mul(0x2545_F491_4F6C_DD1D));
+        let deployment = Deployment::paper_sim1(n, 2.0, &mut rng);
+        let costs = deployment.random_node_costs(1.0, 10.0, &mut rng);
+        let g = deployment.to_node_weighted(costs);
+        convergence_report(&g, NodeId::ACCESS_POINT)
+    });
+    let m = reports.len().max(1) as f64;
+    let mut agreeing = 0usize;
+    let mut compared = 0usize;
+    let mut max_rounds = 0usize;
+    for r in &reports {
+        agreeing += r.agreeing_sources;
+        compared += r.compared_sources;
+        max_rounds = max_rounds.max(r.spt_rounds).max(r.payment_rounds);
+    }
+    RoundsResult {
+        n,
+        mean_spt_rounds: reports.iter().map(|r| r.spt_rounds as f64).sum::<f64>() / m,
+        mean_payment_rounds: reports.iter().map(|r| r.payment_rounds as f64).sum::<f64>() / m,
+        max_rounds,
+        mean_broadcasts: reports.iter().map(|r| r.broadcasts as f64).sum::<f64>() / m,
+        agreement: if compared > 0 { agreeing as f64 / compared as f64 } else { f64::NAN },
+    }
+}
+
+/// Text table for the convergence sweep.
+pub fn rounds_table(rows: &[RoundsResult]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>6} {:>11} {:>13} {:>10} {:>13} {:>10}",
+        "n", "spt rounds", "price rounds", "max", "broadcasts", "agreement"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:>6} {:>11.2} {:>13.2} {:>10} {:>13.1} {:>9.1}%",
+            r.n,
+            r.mean_spt_rounds,
+            r.mean_payment_rounds,
+            r.max_rounds,
+            r.mean_broadcasts,
+            100.0 * r.agreement
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounds_bounded_and_agreeing() {
+        let r = run_rounds(80, 3, 123);
+        assert!(r.max_rounds <= 81, "{r:?}");
+        assert!((r.agreement - 1.0).abs() < 1e-12, "{r:?}");
+        assert!(r.mean_broadcasts > 0.0);
+    }
+
+    #[test]
+    fn table_renders() {
+        let r = run_rounds(60, 2, 5);
+        let t = rounds_table(&[r]);
+        assert!(t.contains("agreement"));
+        assert!(t.contains("100.0%"));
+    }
+}

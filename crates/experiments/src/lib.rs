@@ -1,0 +1,29 @@
+//! # truthcast-experiments
+//!
+//! The evaluation harness for the `truthcast` reproduction of *Truthful
+//! Low-Cost Unicast in Selfish Wireless Networks* (Wang & Li, IPPS 2004).
+//!
+//! Every exhibit in the paper's evaluation maps to a runner here (see
+//! DESIGN.md §3 and EXPERIMENTS.md):
+//!
+//! * [`figure3`] — panels (a)–(f): overpayment ratios (TOR / IOR / worst)
+//!   for both of the paper's generative wireless models, plus the
+//!   hop-distance profile;
+//! * [`convergence_exp`] — the §III-C distributed-convergence claim;
+//! * [`par`] — a dependency-free parallel instance runner;
+//! * [`report`] — aligned text tables and CSV writers.
+//!
+//! The `figures` binary drives everything:
+//! `cargo run -p truthcast-experiments --release --bin figures -- --panel all`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod baseline_exp;
+pub mod convergence_exp;
+pub mod node_cost_exp;
+pub mod figure3;
+pub mod mobility_exp;
+pub mod par;
+pub mod report;
+pub mod svg;

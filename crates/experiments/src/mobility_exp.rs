@@ -1,0 +1,162 @@
+//! Mobility stress: how churn affects the distributed computation.
+//!
+//! The paper's convergence guarantee assumes a static network; this
+//! experiment quantifies the cost of *not* being static. Nodes move under
+//! random waypoint between epochs; each epoch the distributed two-stage
+//! protocol re-converges on the new topology and we record the rounds,
+//! traffic, and how much each node's total payment drifted — the
+//! re-pricing a mobile deployment would have to absorb.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use truthcast_distsim::run_distributed;
+use truthcast_graph::geometry::Region;
+use truthcast_graph::{Cost, NodeId};
+use truthcast_wireless::mobility::RandomWaypoint;
+use truthcast_wireless::Deployment;
+
+/// One epoch's summary.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EpochReport {
+    /// Epoch index.
+    pub epoch: usize,
+    /// Stage-1 + stage-2 rounds to re-converge.
+    pub rounds: usize,
+    /// Broadcasts spent this epoch.
+    pub broadcasts: usize,
+    /// Sources with a finite route this epoch.
+    pub routable: usize,
+    /// Mean absolute change of per-source total payment vs the previous
+    /// epoch (over sources finite in both), in cost units.
+    pub mean_payment_drift: f64,
+    /// Fraction of sources whose route changed since the previous epoch.
+    pub route_churn: f64,
+}
+
+/// Runs `epochs` epochs of `dt`-second movement at speeds
+/// `[min_speed, max_speed]` m/s over a sim1 deployment with scalar costs
+/// `U[1, 10]`.
+pub fn run_mobility(
+    n: usize,
+    epochs: usize,
+    dt: f64,
+    min_speed: f64,
+    max_speed: f64,
+    seed: u64,
+) -> Vec<EpochReport> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut deployment = Deployment::paper_sim1(n, 2.0, &mut rng);
+    let costs = deployment.random_node_costs(1.0, 10.0, &mut rng);
+    let mut mobility = RandomWaypoint::new(&deployment, Region::PAPER, min_speed, max_speed, &mut rng);
+
+    let mut reports = Vec::with_capacity(epochs);
+    let mut prev_totals: Vec<Option<Cost>> = vec![None; n];
+    let mut prev_routes: Vec<Option<Vec<NodeId>>> = vec![None; n];
+
+    for epoch in 0..epochs {
+        if epoch > 0 {
+            mobility.advance(&mut deployment, dt, &mut rng);
+        }
+        let g = deployment.to_node_weighted(costs.clone());
+        let run = run_distributed(&g, NodeId(0));
+
+        let mut drift_sum = 0.0;
+        let mut drift_count = 0usize;
+        let mut churned = 0usize;
+        let mut compared_routes = 0usize;
+        let mut routable = 0usize;
+        for i in 1..n {
+            let v = NodeId::new(i);
+            let total = run.spt.route[i].as_ref().map(|_| run.payments.total(v));
+            if total.is_some() {
+                routable += 1;
+            }
+            if let (Some(prev), Some(cur)) = (prev_totals[i], total) {
+                if prev.is_finite() && cur.is_finite() {
+                    drift_sum += (cur.as_f64() - prev.as_f64()).abs();
+                    drift_count += 1;
+                }
+            }
+            if let (Some(prev), Some(cur)) = (&prev_routes[i], &run.spt.route[i]) {
+                compared_routes += 1;
+                if prev != cur {
+                    churned += 1;
+                }
+            }
+            prev_totals[i] = total;
+            prev_routes[i] = run.spt.route[i].clone();
+        }
+
+        reports.push(EpochReport {
+            epoch,
+            rounds: run.spt.rounds + run.payments.rounds,
+            broadcasts: run.spt.stats.broadcasts + run.payments.stats.broadcasts,
+            routable,
+            mean_payment_drift: if drift_count > 0 {
+                drift_sum / drift_count as f64
+            } else {
+                0.0
+            },
+            route_churn: if compared_routes > 0 {
+                churned as f64 / compared_routes as f64
+            } else {
+                0.0
+            },
+        });
+    }
+    reports
+}
+
+/// Text table for the mobility run.
+pub fn mobility_table(rows: &[EpochReport]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>6} {:>8} {:>12} {:>10} {:>15} {:>12}",
+        "epoch", "rounds", "broadcasts", "routable", "payment drift", "route churn"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:>6} {:>8} {:>12} {:>10} {:>15.3} {:>11.1}%",
+            r.epoch, r.rounds, r.broadcasts, r.routable, r.mean_payment_drift,
+            100.0 * r.route_churn
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_epochs_have_no_drift() {
+        let rows = run_mobility(60, 3, 30.0, 0.0, 0.0, 7);
+        assert_eq!(rows.len(), 3);
+        for r in &rows[1..] {
+            assert_eq!(r.mean_payment_drift, 0.0, "{r:?}");
+            assert_eq!(r.route_churn, 0.0);
+        }
+    }
+
+    #[test]
+    fn movement_causes_drift_and_churn() {
+        let rows = run_mobility(60, 4, 120.0, 5.0, 15.0, 8);
+        let moved: f64 = rows[1..].iter().map(|r| r.route_churn).sum();
+        assert!(moved > 0.0, "{rows:?}");
+        // Re-convergence stays bounded by n regardless of churn.
+        for r in &rows {
+            assert!(r.rounds <= 2 * 60 + 2, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn table_renders() {
+        let rows = run_mobility(40, 2, 10.0, 1.0, 2.0, 9);
+        let t = mobility_table(&rows);
+        assert!(t.contains("payment drift"));
+    }
+}

@@ -1,0 +1,163 @@
+//! Overpayment under the *node-cost* model (Sections II–III-E).
+//!
+//! The paper's conclusion summarizes its simulations as "the overpayment
+//! is small when the cost of each node is a random value between some
+//! range". This experiment runs that setting directly on the primary
+//! model: UDG topology, scalar relay costs uniform in `[1, 10]`, payments
+//! from Algorithm 1 — complementing the link-cost panels of Figure 3.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use truthcast_core::fast_payments;
+use truthcast_core::overpayment::SourceOutcome;
+use truthcast_graph::{NodeId, NodeWeightedGraph};
+use truthcast_wireless::Deployment;
+
+use crate::figure3::SizeResult;
+use crate::par::{default_threads, par_map};
+
+/// Builds one node-cost instance: sim1 placement, scalar costs `U[lo, hi]`.
+pub fn node_cost_instance(n: usize, lo: f64, hi: f64, seed: u64) -> NodeWeightedGraph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let d = Deployment::paper_sim1(n, 2.0, &mut rng);
+    let costs = d.random_node_costs(lo, hi, &mut rng);
+    d.to_node_weighted(costs)
+}
+
+/// Per-source outcomes on the node-cost model (Algorithm 1 per source).
+pub fn node_cost_outcomes(g: &NodeWeightedGraph, ap: NodeId) -> Vec<SourceOutcome> {
+    let mut out = Vec::with_capacity(g.num_nodes().saturating_sub(1));
+    for source in g.node_ids() {
+        if source == ap {
+            continue;
+        }
+        let Some(pricing) = fast_payments(g, source, ap) else { continue };
+        out.push(SourceOutcome {
+            source,
+            total_payment: pricing.total_payment(),
+            lcp_cost: pricing.lcp_cost,
+            hops: pricing.hops(),
+        });
+    }
+    out
+}
+
+/// Runs the node-cost sweep at one size.
+pub fn run_node_cost_size(n: usize, instances: usize, seed: u64) -> SizeResult {
+    let per_instance = par_map(instances, default_threads(), |i| {
+        let g = node_cost_instance(n, 1.0, 10.0, seed ^ (i as u64 + 1).wrapping_mul(0x6A09_E667_F3BC_C909));
+        let outcomes = node_cost_outcomes(&g, NodeId::ACCESS_POINT);
+        let unreachable = n - 1 - outcomes.len();
+        (truthcast_core::overpayment::overpayment_stats(&outcomes), unreachable)
+    });
+    let mut sum_ior = 0.0;
+    let mut sum_tor = 0.0;
+    let mut sum_worst = 0.0;
+    let mut max_worst = 0.0f64;
+    let mut counted = 0usize;
+    let mut skipped = 0usize;
+    let mut used = 0usize;
+    for (stats, unreachable) in &per_instance {
+        skipped += stats.skipped + unreachable;
+        if stats.counted == 0 || !stats.ior.is_finite() {
+            continue;
+        }
+        used += 1;
+        sum_ior += stats.ior;
+        sum_tor += stats.tor;
+        sum_worst += stats.worst;
+        max_worst = max_worst.max(stats.worst);
+        counted += stats.counted;
+    }
+    let d = used.max(1) as f64;
+    SizeResult {
+        n,
+        mean_ior: sum_ior / d,
+        mean_tor: sum_tor / d,
+        mean_worst: sum_worst / d,
+        max_worst,
+        counted_sources: counted,
+        skipped_sources: skipped,
+        instances: used,
+    }
+}
+
+/// Ablation: overpayment versus cost heterogeneity. Costs are drawn
+/// `U[1, hi]`; a wider spread means the second-best path can be much
+/// dearer than the best, which is exactly the VCG premium — the ratio
+/// should grow with `hi`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SpreadPoint {
+    /// Upper bound of the cost range `U[1, hi]`.
+    pub hi: f64,
+    /// Mean IOR across instances.
+    pub mean_ior: f64,
+    /// Mean TOR across instances.
+    pub mean_tor: f64,
+}
+
+/// Runs the spread ablation at fixed size.
+pub fn run_cost_spread(
+    n: usize,
+    his: &[f64],
+    instances: usize,
+    seed: u64,
+) -> Vec<SpreadPoint> {
+    his.iter()
+        .map(|&hi| {
+            let per = par_map(instances, default_threads(), |i| {
+                let s = seed ^ (i as u64 + 1).wrapping_mul(0xBF58_476D_1CE4_E5B9) ^ hi.to_bits();
+                let mut rng = SmallRng::seed_from_u64(s);
+                let d = Deployment::paper_sim1(n, 2.0, &mut rng);
+                let costs = d.random_node_costs(1.0, hi, &mut rng);
+                let g = d.to_node_weighted(costs);
+                truthcast_core::overpayment::overpayment_stats(&node_cost_outcomes(
+                    &g,
+                    NodeId::ACCESS_POINT,
+                ))
+            });
+            let used: Vec<_> = per.iter().filter(|s| s.counted > 0 && s.ior.is_finite()).collect();
+            let d = used.len().max(1) as f64;
+            SpreadPoint {
+                hi,
+                mean_ior: used.iter().map(|s| s.ior).sum::<f64>() / d,
+                mean_tor: used.iter().map(|s| s.tor).sum::<f64>() / d,
+            }
+        })
+        .collect()
+}
+
+/// Text table for the spread ablation.
+pub fn spread_table(rows: &[SpreadPoint]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{:>10} {:>10} {:>10}", "cost range", "IOR", "TOR");
+    for r in rows {
+        let _ = writeln!(out, "  U[1,{:>4}] {:>10.4} {:>10.4}", r.hi, r.mean_ior, r.mean_tor);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_cost_ratios_are_sane() {
+        let r = run_node_cost_size(120, 4, 7);
+        assert!(r.mean_ior >= 1.0, "{r:?}");
+        assert!(r.mean_tor >= 1.0);
+        assert!(r.counted_sources > 0);
+    }
+
+    #[test]
+    fn outcomes_cover_reachable_sources() {
+        let g = node_cost_instance(100, 1.0, 10.0, 3);
+        let outs = node_cost_outcomes(&g, NodeId::ACCESS_POINT);
+        assert!(outs.len() > 50, "most of a 100-node sim1 instance is reachable");
+        for o in &outs {
+            assert!(o.total_payment >= o.lcp_cost || !o.total_payment.is_finite());
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! A minimal self-owned parallel runner.
+//!
+//! The experiment sweeps are embarrassingly parallel (independent random
+//! instances), so a work-stealing index over `std::thread::scope` is all
+//! the machinery needed — no extra dependencies, per the HPC guides'
+//! advice to measure before adding them. Results are collected per worker
+//! and re-sorted by index, so output order is deterministic regardless of
+//! scheduling.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Maps `f` over `0..count` using up to `threads` worker threads,
+/// returning results in index order. `threads == 0` or `1` runs inline.
+pub fn par_map<T, F>(count: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || count <= 1 {
+        return (0..count).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let workers = threads.min(count);
+    let mut chunks: Vec<Vec<(usize, T)>> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= count {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            chunks.push(h.join().expect("worker panicked"));
+        }
+    });
+    let mut indexed: Vec<(usize, T)> = chunks.into_iter().flatten().collect();
+    indexed.sort_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, t)| t).collect()
+}
+
+/// A sensible worker count: the available parallelism, capped at 16.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(4, |n| n.get().min(16))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_in_index_order() {
+        let out = par_map(100, 8, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn inline_fallback() {
+        assert_eq!(par_map(5, 1, |i| i + 1), vec![1, 2, 3, 4, 5]);
+        assert_eq!(par_map(0, 8, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn all_indices_processed_exactly_once() {
+        use std::sync::atomic::AtomicU32;
+        let counters: Vec<AtomicU32> = (0..50).map(|_| AtomicU32::new(0)).collect();
+        par_map(50, 7, |i| counters[i].fetch_add(1, Ordering::SeqCst));
+        assert!(counters.iter().all(|c| c.load(Ordering::SeqCst) == 1));
+    }
+}

@@ -1,0 +1,110 @@
+//! Plain-text tables and CSV emission for experiment results.
+
+use std::fmt::Write as _;
+
+use truthcast_core::overpayment::HopBucket;
+
+use crate::figure3::SizeResult;
+
+/// Renders a size sweep as an aligned text table (the "figure" in table
+/// form: one row per network size).
+pub fn size_table(title: &str, rows: &[SizeResult]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(
+        out,
+        "{:>6} {:>10} {:>10} {:>12} {:>12} {:>10} {:>9}",
+        "n", "IOR", "TOR", "worst(avg)", "worst(max)", "sources", "skipped"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:>6} {:>10.4} {:>10.4} {:>12.4} {:>12.4} {:>10} {:>9}",
+            r.n, r.mean_ior, r.mean_tor, r.mean_worst, r.max_worst, r.counted_sources,
+            r.skipped_sources
+        );
+    }
+    out
+}
+
+/// Renders a size sweep as CSV (header + one line per size).
+pub fn size_csv(rows: &[SizeResult]) -> String {
+    let mut out = String::from("n,mean_ior,mean_tor,mean_worst,max_worst,sources,skipped,instances\n");
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{},{:.6},{:.6},{:.6},{:.6},{},{},{}",
+            r.n, r.mean_ior, r.mean_tor, r.mean_worst, r.max_worst, r.counted_sources,
+            r.skipped_sources, r.instances
+        );
+    }
+    out
+}
+
+/// Renders the hop-distance profile (Figure 3(d)) as a text table.
+pub fn hop_table(title: &str, rows: &[HopBucket]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(out, "{:>6} {:>12} {:>12} {:>9}", "hops", "ratio(avg)", "ratio(max)", "count");
+    for b in rows {
+        let _ = writeln!(
+            out,
+            "{:>6} {:>12.4} {:>12.4} {:>9}",
+            b.hops, b.mean_ratio, b.max_ratio, b.count
+        );
+    }
+    out
+}
+
+/// Renders the hop profile as CSV.
+pub fn hop_csv(rows: &[HopBucket]) -> String {
+    let mut out = String::from("hops,mean_ratio,max_ratio,count\n");
+    for b in rows {
+        let _ = writeln!(out, "{},{:.6},{:.6},{}", b.hops, b.mean_ratio, b.max_ratio, b.count);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row() -> SizeResult {
+        SizeResult {
+            n: 100,
+            mean_ior: 1.5,
+            mean_tor: 1.45,
+            mean_worst: 3.2,
+            max_worst: 7.9,
+            counted_sources: 990,
+            skipped_sources: 10,
+            instances: 10,
+        }
+    }
+
+    #[test]
+    fn table_contains_all_fields() {
+        let t = size_table("Panel (b)", &[row()]);
+        assert!(t.contains("Panel (b)"));
+        assert!(t.contains("1.5000"));
+        assert!(t.contains("7.9000"));
+        assert!(t.contains("990"));
+    }
+
+    #[test]
+    fn csv_roundtrips_fields() {
+        let c = size_csv(&[row()]);
+        let mut lines = c.lines();
+        assert!(lines.next().unwrap().starts_with("n,"));
+        let data = lines.next().unwrap();
+        assert_eq!(data.split(',').count(), 8);
+        assert!(data.starts_with("100,1.5"));
+    }
+
+    #[test]
+    fn hop_outputs() {
+        let b = HopBucket { hops: 3, mean_ratio: 1.4, max_ratio: 2.0, count: 12 };
+        assert!(hop_table("d", &[b]).contains("1.4000"));
+        assert!(hop_csv(&[b]).contains("3,1.4"));
+    }
+}

@@ -1,0 +1,223 @@
+//! Compressed sparse row (CSR) adjacency structures.
+//!
+//! A built [`Adjacency`] is immutable: neighbor lists live in one contiguous
+//! allocation indexed by per-node offsets, the cache-friendly layout the HPC
+//! guides recommend for traversal-heavy algorithms. Graphs are constructed
+//! through [`AdjacencyBuilder`], which deduplicates parallel edges and
+//! rejects self-loops (meaningless in the relay-cost model).
+
+use crate::ids::NodeId;
+
+/// Immutable undirected adjacency structure in CSR form.
+///
+/// Each undirected edge `{u, v}` is stored twice (once per endpoint), and
+/// neighbor lists are sorted by node id, enabling binary-search membership
+/// tests via [`Adjacency::has_edge`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Adjacency {
+    offsets: Vec<u32>,
+    targets: Vec<NodeId>,
+}
+
+impl Adjacency {
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// The sorted neighbor list of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        let lo = self.offsets[v.index()] as usize;
+        let hi = self.offsets[v.index() + 1] as usize;
+        &self.targets[lo..hi]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.neighbors(v).len()
+    }
+
+    /// Whether the undirected edge `{u, v}` exists (`O(log deg(u))`).
+    #[inline]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterates every undirected edge once, as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        (0..self.num_nodes()).flat_map(move |u| {
+            let u = NodeId::new(u);
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Iterates all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + Clone {
+        crate::ids::node_ids(self.num_nodes())
+    }
+}
+
+/// Incremental builder for [`Adjacency`].
+#[derive(Clone, Debug, Default)]
+pub struct AdjacencyBuilder {
+    num_nodes: usize,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl AdjacencyBuilder {
+    /// Starts a builder for a graph with `num_nodes` nodes and no edges.
+    pub fn new(num_nodes: usize) -> AdjacencyBuilder {
+        AdjacencyBuilder { num_nodes, edges: Vec::new() }
+    }
+
+    /// Adds the undirected edge `{u, v}`.
+    ///
+    /// Self-loops are rejected with a panic; duplicates are deduplicated at
+    /// build time.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> &mut Self {
+        assert!(u != v, "self-loop {u} rejected");
+        assert!(
+            u.index() < self.num_nodes && v.index() < self.num_nodes,
+            "edge ({u},{v}) out of range for {} nodes",
+            self.num_nodes
+        );
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        self.edges.push((a, b));
+        self
+    }
+
+    /// Adds every edge in `edges`.
+    pub fn extend_edges(&mut self, edges: impl IntoIterator<Item = (NodeId, NodeId)>) -> &mut Self {
+        for (u, v) in edges {
+            self.add_edge(u, v);
+        }
+        self
+    }
+
+    /// Finalizes into the immutable CSR structure.
+    pub fn build(mut self) -> Adjacency {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        let mut degree = vec![0u32; self.num_nodes];
+        for &(u, v) in &self.edges {
+            degree[u.index()] += 1;
+            degree[v.index()] += 1;
+        }
+        let mut offsets = Vec::with_capacity(self.num_nodes + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor: Vec<u32> = offsets[..self.num_nodes].to_vec();
+        let mut targets = vec![NodeId(0); acc as usize];
+        for &(u, v) in &self.edges {
+            targets[cursor[u.index()] as usize] = v;
+            cursor[u.index()] += 1;
+            targets[cursor[v.index()] as usize] = u;
+            cursor[v.index()] += 1;
+        }
+        // Each node's slice was filled in globally sorted edge order, but the
+        // second endpoints arrive interleaved; sort each slice for
+        // binary-search membership tests.
+        for v in 0..self.num_nodes {
+            let lo = offsets[v] as usize;
+            let hi = offsets[v + 1] as usize;
+            targets[lo..hi].sort_unstable();
+        }
+        Adjacency { offsets, targets }
+    }
+}
+
+/// Builds an [`Adjacency`] directly from an edge list.
+pub fn adjacency_from_edges(
+    num_nodes: usize,
+    edges: impl IntoIterator<Item = (NodeId, NodeId)>,
+) -> Adjacency {
+    let mut b = AdjacencyBuilder::new(num_nodes);
+    b.extend_edges(edges);
+    b.build()
+}
+
+/// Convenience: builds from `(u32, u32)` pairs, for tests and examples.
+pub fn adjacency_from_pairs(num_nodes: usize, pairs: &[(u32, u32)]) -> Adjacency {
+    adjacency_from_edges(num_nodes, pairs.iter().map(|&(u, v)| (NodeId(u), NodeId(v))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_queries_small_graph() {
+        let g = adjacency_from_pairs(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.neighbors(NodeId(0)), &[NodeId(1), NodeId(3)]);
+        assert_eq!(g.degree(NodeId(1)), 2);
+        assert!(g.has_edge(NodeId(2), NodeId(1)));
+        assert!(!g.has_edge(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn deduplicates_parallel_edges() {
+        let g = adjacency_from_pairs(3, &[(0, 1), (1, 0), (0, 1)]);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.neighbors(NodeId(0)), &[NodeId(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn rejects_self_loops() {
+        adjacency_from_pairs(2, &[(1, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        adjacency_from_pairs(2, &[(0, 5)]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = adjacency_from_pairs(3, &[]);
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 0);
+        assert!(g.neighbors(NodeId(1)).is_empty());
+    }
+
+    #[test]
+    fn edges_iterates_each_once() {
+        let g = adjacency_from_pairs(4, &[(0, 1), (1, 2), (2, 3)]);
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(
+            edges,
+            vec![
+                (NodeId(0), NodeId(1)),
+                (NodeId(1), NodeId(2)),
+                (NodeId(2), NodeId(3))
+            ]
+        );
+    }
+
+    #[test]
+    fn isolated_node_has_no_neighbors() {
+        let g = adjacency_from_pairs(5, &[(0, 1)]);
+        assert!(g.neighbors(NodeId(4)).is_empty());
+        assert_eq!(g.degree(NodeId(4)), 0);
+    }
+}

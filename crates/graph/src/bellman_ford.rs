@@ -1,0 +1,125 @@
+//! Bellman–Ford sweeps: the slow, obviously correct oracle.
+//!
+//! Dijkstra is the production algorithm; these `O(n·m)` relaxation sweeps
+//! exist to differential-test it (and to document the inclusive-distance
+//! convention in a second, independent implementation). They also serve
+//! as the textbook model of the *distributed* stage-1 computation, which
+//! is a Bellman–Ford over radio rounds.
+
+use crate::cost::Cost;
+use crate::ids::NodeId;
+use crate::link_weighted::LinkWeightedDigraph;
+use crate::node_weighted::NodeWeightedGraph;
+
+/// Node-weighted inclusive tail distances (same convention as
+/// [`crate::node_dijkstra::node_dijkstra`]): `dist'(v)` includes `c_v`,
+/// excludes the origin's cost.
+pub fn bellman_ford_node(g: &NodeWeightedGraph, origin: NodeId) -> Vec<Cost> {
+    let n = g.num_nodes();
+    let mut dist = vec![Cost::INF; n];
+    dist[origin.index()] = Cost::ZERO;
+    for _ in 0..n {
+        let mut changed = false;
+        for u in g.node_ids() {
+            if dist[u.index()].is_inf() {
+                continue;
+            }
+            for &v in g.neighbors(u) {
+                let cand = dist[u.index()] + g.cost(v);
+                if cand < dist[v.index()] {
+                    dist[v.index()] = cand;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    dist
+}
+
+/// Edge-weighted forward distances from `origin` (same semantics as
+/// [`crate::dijkstra::dijkstra`] with [`crate::dijkstra::Direction::Forward`]).
+pub fn bellman_ford_arcs(g: &LinkWeightedDigraph, origin: NodeId) -> Vec<Cost> {
+    let n = g.num_nodes();
+    let mut dist = vec![Cost::INF; n];
+    dist[origin.index()] = Cost::ZERO;
+    for _ in 0..n {
+        let mut changed = false;
+        for u in g.node_ids() {
+            if dist[u.index()].is_inf() {
+                continue;
+            }
+            let (heads, weights) = g.out_arcs(u);
+            for (&v, &w) in heads.iter().zip(weights) {
+                let cand = dist[u.index()] + w;
+                if cand < dist[v.index()] {
+                    dist[v.index()] = cand;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::{dijkstra, DijkstraOptions, Direction};
+    use crate::node_dijkstra::{node_dijkstra, NodeDijkstraOptions};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn node_oracle_matches_dijkstra_on_random_graphs() {
+        let mut rng = SmallRng::seed_from_u64(21);
+        for _ in 0..40 {
+            let n = rng.gen_range(2..20);
+            let mut pairs = Vec::new();
+            for u in 0..n as u32 {
+                for v in (u + 1)..n as u32 {
+                    if rng.gen_bool(0.3) {
+                        pairs.push((u, v));
+                    }
+                }
+            }
+            let costs: Vec<u64> = (0..n).map(|_| rng.gen_range(0..50)).collect();
+            let g = NodeWeightedGraph::from_pairs_units(&pairs, &costs);
+            let bf = bellman_ford_node(&g, NodeId(0));
+            let dj = node_dijkstra(&g, NodeId(0), NodeDijkstraOptions::default());
+            assert_eq!(bf, dj.dist, "pairs {pairs:?} costs {costs:?}");
+        }
+    }
+
+    #[test]
+    fn arc_oracle_matches_dijkstra_on_random_digraphs() {
+        let mut rng = SmallRng::seed_from_u64(22);
+        for _ in 0..40 {
+            let n = rng.gen_range(2..20);
+            let mut arcs = Vec::new();
+            for u in 0..n as u32 {
+                for v in 0..n as u32 {
+                    if u != v && rng.gen_bool(0.2) {
+                        arcs.push((NodeId(u), NodeId(v), Cost::from_units(rng.gen_range(0..40))));
+                    }
+                }
+            }
+            let g = LinkWeightedDigraph::from_arcs(n, arcs);
+            let bf = bellman_ford_arcs(&g, NodeId(0));
+            let dj = dijkstra(&g, NodeId(0), Direction::Forward, DijkstraOptions::default());
+            assert_eq!(bf, dj.dist);
+        }
+    }
+
+    #[test]
+    fn unreachable_stays_infinite() {
+        let g = NodeWeightedGraph::from_pairs_units(&[(0, 1)], &[0, 1, 5]);
+        let bf = bellman_ford_node(&g, NodeId(0));
+        assert_eq!(bf[2], Cost::INF);
+    }
+}

@@ -1,0 +1,340 @@
+//! Connectivity and biconnectivity analysis.
+//!
+//! The paper assumes the communication graph is node-biconnected — otherwise
+//! a cut node holds a monopoly and its VCG payment is unbounded. These
+//! checks make that assumption *verifiable*: articulation points are found
+//! with an iterative Tarjan lowpoint DFS (no recursion-depth hazard on
+//! path-shaped radio networks), and masked BFS answers "is `G \ S` still
+//! connected?" for the collusion-resistant scheme's precondition.
+
+use crate::adjacency::Adjacency;
+use crate::ids::NodeId;
+use crate::link_weighted::LinkWeightedDigraph;
+use crate::mask::NodeMask;
+
+/// Connected components of an undirected graph: `component[v]` is a dense
+/// component index, components numbered in discovery order.
+pub fn components(g: &Adjacency) -> (usize, Vec<u32>) {
+    let n = g.num_nodes();
+    let mut comp = vec![u32::MAX; n];
+    let mut count = 0u32;
+    let mut stack = Vec::new();
+    for s in 0..n {
+        if comp[s] != u32::MAX {
+            continue;
+        }
+        comp[s] = count;
+        stack.push(NodeId::new(s));
+        while let Some(u) = stack.pop() {
+            for &v in g.neighbors(u) {
+                if comp[v.index()] == u32::MAX {
+                    comp[v.index()] = count;
+                    stack.push(v);
+                }
+            }
+        }
+        count += 1;
+    }
+    (count as usize, comp)
+}
+
+/// Whether the undirected graph is connected (vacuously true for `n ≤ 1`).
+pub fn is_connected(g: &Adjacency) -> bool {
+    g.num_nodes() <= 1 || components(g).0 == 1
+}
+
+/// Whether `G \ blocked` remains connected **over the surviving nodes**
+/// (vacuously true if at most one node survives).
+pub fn is_connected_without(g: &Adjacency, blocked: &NodeMask) -> bool {
+    let n = g.num_nodes();
+    let mut seen = vec![false; n];
+    let Some(start) = (0..n).map(NodeId::new).find(|&v| !blocked.is_blocked(v)) else {
+        return true;
+    };
+    let mut stack = vec![start];
+    seen[start.index()] = true;
+    let mut reached = 1usize;
+    while let Some(u) = stack.pop() {
+        for &v in g.neighbors(u) {
+            if !seen[v.index()] && !blocked.is_blocked(v) {
+                seen[v.index()] = true;
+                reached += 1;
+                stack.push(v);
+            }
+        }
+    }
+    reached == n - blocked.len()
+}
+
+/// Whether `s` can still reach `t` in `G \ blocked` (undirected).
+pub fn reachable_without(g: &Adjacency, s: NodeId, t: NodeId, blocked: &NodeMask) -> bool {
+    if blocked.is_blocked(s) || blocked.is_blocked(t) {
+        return false;
+    }
+    if s == t {
+        return true;
+    }
+    let mut seen = vec![false; g.num_nodes()];
+    let mut stack = vec![s];
+    seen[s.index()] = true;
+    while let Some(u) = stack.pop() {
+        for &v in g.neighbors(u) {
+            if v == t {
+                return true;
+            }
+            if !seen[v.index()] && !blocked.is_blocked(v) {
+                seen[v.index()] = true;
+                stack.push(v);
+            }
+        }
+    }
+    false
+}
+
+/// Articulation points (cut vertices) of an undirected graph, via an
+/// iterative Tarjan lowpoint DFS. Returned in ascending id order.
+pub fn articulation_points(g: &Adjacency) -> Vec<NodeId> {
+    let n = g.num_nodes();
+    let mut disc = vec![u32::MAX; n]; // discovery time, MAX = unvisited
+    let mut low = vec![u32::MAX; n];
+    let mut is_cut = vec![false; n];
+    let mut timer = 0u32;
+
+    // Explicit DFS frames: (node, parent, next-neighbor-cursor).
+    let mut stack: Vec<(NodeId, Option<NodeId>, usize)> = Vec::new();
+
+    for root_idx in 0..n {
+        let root = NodeId::new(root_idx);
+        if disc[root_idx] != u32::MAX {
+            continue;
+        }
+        let mut root_children = 0usize;
+        disc[root_idx] = timer;
+        low[root_idx] = timer;
+        timer += 1;
+        stack.push((root, None, 0));
+        while let Some(frame) = stack.len().checked_sub(1) {
+            let (u, pu, cursor) = stack[frame];
+            let nbrs = g.neighbors(u);
+            if cursor < nbrs.len() {
+                stack[frame].2 += 1;
+                let v = nbrs[cursor];
+                if Some(v) == pu {
+                    continue;
+                }
+                if disc[v.index()] == u32::MAX {
+                    disc[v.index()] = timer;
+                    low[v.index()] = timer;
+                    timer += 1;
+                    if u == root {
+                        root_children += 1;
+                    }
+                    stack.push((v, Some(u), 0));
+                } else {
+                    // Back edge.
+                    low[u.index()] = low[u.index()].min(disc[v.index()]);
+                }
+            } else {
+                stack.pop();
+                if let Some(&(p, _, _)) = stack.last() {
+                    low[p.index()] = low[p.index()].min(low[u.index()]);
+                    if p != root && low[u.index()] >= disc[p.index()] {
+                        is_cut[p.index()] = true;
+                    }
+                }
+            }
+        }
+        if root_children >= 2 {
+            is_cut[root_idx] = true;
+        }
+    }
+
+    (0..n).map(NodeId::new).filter(|&v| is_cut[v.index()]).collect()
+}
+
+/// Whether the undirected graph is node-biconnected: connected, at least 3
+/// nodes, and free of articulation points (the paper's standing
+/// assumption).
+pub fn is_biconnected(g: &Adjacency) -> bool {
+    g.num_nodes() >= 3 && is_connected(g) && articulation_points(g).is_empty()
+}
+
+/// Directed reachability `s → t` over arcs, with blocked nodes skipped.
+pub fn digraph_reachable_without(
+    g: &LinkWeightedDigraph,
+    s: NodeId,
+    t: NodeId,
+    blocked: &NodeMask,
+) -> bool {
+    if blocked.is_blocked(s) || blocked.is_blocked(t) {
+        return false;
+    }
+    if s == t {
+        return true;
+    }
+    let mut seen = vec![false; g.num_nodes()];
+    let mut stack = vec![s];
+    seen[s.index()] = true;
+    while let Some(u) = stack.pop() {
+        for &v in g.out_arcs(u).0 {
+            if v == t {
+                return true;
+            }
+            if !seen[v.index()] && !blocked.is_blocked(v) {
+                seen[v.index()] = true;
+                stack.push(v);
+            }
+        }
+    }
+    false
+}
+
+/// The nodes from which `t` is reachable in the digraph (including `t`).
+pub fn digraph_can_reach(g: &LinkWeightedDigraph, t: NodeId) -> Vec<bool> {
+    let mut seen = vec![false; g.num_nodes()];
+    let mut stack = vec![t];
+    seen[t.index()] = true;
+    while let Some(u) = stack.pop() {
+        for &v in g.in_arcs(u).0 {
+            if !seen[v.index()] {
+                seen[v.index()] = true;
+                stack.push(v);
+            }
+        }
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adjacency::adjacency_from_pairs;
+
+    #[test]
+    fn components_counts() {
+        let g = adjacency_from_pairs(5, &[(0, 1), (2, 3)]);
+        let (count, comp) = components(&g);
+        assert_eq!(count, 3);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[2], comp[3]);
+        assert_ne!(comp[0], comp[2]);
+        assert_ne!(comp[4], comp[0]);
+    }
+
+    #[test]
+    fn connectivity_checks() {
+        assert!(is_connected(&adjacency_from_pairs(3, &[(0, 1), (1, 2)])));
+        assert!(!is_connected(&adjacency_from_pairs(3, &[(0, 1)])));
+        assert!(is_connected(&adjacency_from_pairs(1, &[])));
+        assert!(is_connected(&adjacency_from_pairs(0, &[])));
+    }
+
+    #[test]
+    fn path_graph_interior_nodes_are_cut() {
+        let g = adjacency_from_pairs(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(articulation_points(&g), vec![NodeId(1), NodeId(2)]);
+        assert!(!is_biconnected(&g));
+    }
+
+    #[test]
+    fn cycle_is_biconnected() {
+        let g = adjacency_from_pairs(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        assert!(articulation_points(&g).is_empty());
+        assert!(is_biconnected(&g));
+    }
+
+    #[test]
+    fn two_triangles_sharing_a_node() {
+        // Node 2 joins triangles {0,1,2} and {2,3,4}: classic cut vertex.
+        let g = adjacency_from_pairs(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)]);
+        assert_eq!(articulation_points(&g), vec![NodeId(2)]);
+        assert!(!is_biconnected(&g));
+    }
+
+    #[test]
+    fn articulation_points_match_brute_force_on_random_graphs() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..60 {
+            let n = rng.gen_range(3..14);
+            let mut pairs = Vec::new();
+            for u in 0..n as u32 {
+                for v in (u + 1)..n as u32 {
+                    if rng.gen_bool(0.3) {
+                        pairs.push((u, v));
+                    }
+                }
+            }
+            let g = adjacency_from_pairs(n, &pairs);
+            let fast = articulation_points(&g);
+            // Brute force: v is a cut vertex iff deleting it increases the
+            // component count among the remaining nodes.
+            let (base_count, comp) = components(&g);
+            let mut brute = Vec::new();
+            for v in 0..n {
+                let mask = NodeMask::from_nodes(n, [NodeId::new(v)]);
+                // Count components among survivors.
+                let mut seen = vec![false; n];
+                let mut cnt = 0;
+                for s in 0..n {
+                    if s == v || seen[s] {
+                        continue;
+                    }
+                    cnt += 1;
+                    let mut stack = vec![NodeId::new(s)];
+                    seen[s] = true;
+                    while let Some(u) = stack.pop() {
+                        for &w in g.neighbors(u) {
+                            if !seen[w.index()] && !mask.is_blocked(w) {
+                                seen[w.index()] = true;
+                                stack.push(w);
+                            }
+                        }
+                    }
+                }
+                // Removing v removes its own (possibly singleton) component
+                // contribution; it is a cut vertex iff the count rises.
+                let own_isolated = g.degree(NodeId::new(v)) == 0;
+                let base_without_v = base_count - usize::from(own_isolated);
+                let _ = comp;
+                if cnt > base_without_v {
+                    brute.push(NodeId::new(v));
+                }
+            }
+            assert_eq!(fast, brute, "graph with pairs {pairs:?}");
+        }
+    }
+
+    #[test]
+    fn masked_connectivity() {
+        let g = adjacency_from_pairs(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let one = NodeMask::from_nodes(4, [NodeId(1)]);
+        assert!(is_connected_without(&g, &one));
+        let two = NodeMask::from_nodes(4, [NodeId(1), NodeId(3)]);
+        assert!(!is_connected_without(&g, &two));
+        assert!(reachable_without(&g, NodeId(0), NodeId(2), &one));
+        assert!(!reachable_without(&g, NodeId(0), NodeId(2), &two));
+    }
+
+    #[test]
+    fn directed_reachability() {
+        use crate::cost::Cost;
+        let g = LinkWeightedDigraph::from_arcs(
+            3,
+            [
+                (NodeId(0), NodeId(1), Cost::from_units(1)),
+                (NodeId(1), NodeId(2), Cost::from_units(1)),
+            ],
+        );
+        let empty = NodeMask::new(3);
+        assert!(digraph_reachable_without(&g, NodeId(0), NodeId(2), &empty));
+        assert!(!digraph_reachable_without(&g, NodeId(2), NodeId(0), &empty));
+        let blocked = NodeMask::from_nodes(3, [NodeId(1)]);
+        assert!(!digraph_reachable_without(&g, NodeId(0), NodeId(2), &blocked));
+        let reach = digraph_can_reach(&g, NodeId(2));
+        assert_eq!(reach, vec![true, true, true]);
+        let reach0 = digraph_can_reach(&g, NodeId(0));
+        assert_eq!(reach0, vec![true, false, false]);
+    }
+}

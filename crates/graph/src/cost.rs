@@ -1,0 +1,321 @@
+//! Fixed-point cost arithmetic.
+//!
+//! The paper works with real-valued relay costs (Euclidean distances raised
+//! to a path-loss exponent `κ`). Mechanism-design invariants — truthfulness,
+//! individual rationality, and the differential equality between the fast
+//! and naive payment algorithms — are *exact* statements, and asserting them
+//! on `f64` values invites spurious failures from rounding drift that
+//! depends on summation order.
+//!
+//! [`Cost`] therefore stores costs as unsigned 64-bit **micro-units**
+//! (1 unit = 1e-6). All additions saturate at [`Cost::INF`], which doubles
+//! as the "unreachable / monopoly" sentinel: removing a cut node from a
+//! non-biconnected graph yields an infinite replacement-path cost, and the
+//! saturating arithmetic propagates it safely through every formula.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Number of fixed-point units per 1.0 of "real" cost.
+pub const COST_SCALE: u64 = 1_000_000;
+
+/// A non-negative cost in fixed-point micro-units.
+///
+/// `Cost` is a total order, supports saturating addition (so
+/// [`Cost::INF`] is absorbing), and checked subtraction. It deliberately
+/// does **not** implement `Mul`/`Div` by another `Cost`; scaling by an
+/// integer factor is provided via [`Cost::scale`] for per-packet payments.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cost(u64);
+
+impl Cost {
+    /// The zero cost.
+    pub const ZERO: Cost = Cost(0);
+    /// The infinite cost sentinel ("unreachable"; absorbing under `+`).
+    pub const INF: Cost = Cost(u64::MAX);
+    /// The largest finite cost.
+    pub const MAX_FINITE: Cost = Cost(u64::MAX - 1);
+
+    /// Builds a cost directly from raw micro-units.
+    #[inline]
+    pub const fn from_micros(micros: u64) -> Cost {
+        Cost(micros)
+    }
+
+    /// Builds a cost from whole units (`units * 1e6` micro-units).
+    ///
+    /// Saturates at [`Cost::MAX_FINITE`] on overflow.
+    #[inline]
+    pub const fn from_units(units: u64) -> Cost {
+        match units.checked_mul(COST_SCALE) {
+            Some(m) if m < u64::MAX => Cost(m),
+            _ => Cost::MAX_FINITE,
+        }
+    }
+
+    /// Rounds a non-negative float (in whole units) to the nearest
+    /// micro-unit. Negative, NaN, or over-range inputs map to
+    /// [`Cost::ZERO`] / [`Cost::MAX_FINITE`] / [`Cost::INF`] respectively:
+    /// infinity maps to `INF`.
+    #[inline]
+    pub fn from_f64(units: f64) -> Cost {
+        if units.is_nan() || units <= 0.0 {
+            return Cost::ZERO;
+        }
+        if units.is_infinite() {
+            return Cost::INF;
+        }
+        let scaled = units * COST_SCALE as f64;
+        if scaled >= (u64::MAX - 1) as f64 {
+            Cost::MAX_FINITE
+        } else {
+            Cost(scaled.round() as u64)
+        }
+    }
+
+    /// The raw micro-unit value.
+    #[inline]
+    pub const fn micros(self) -> u64 {
+        self.0
+    }
+
+    /// The cost in whole units as a float (`INF` maps to `f64::INFINITY`).
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        if self.is_inf() {
+            f64::INFINITY
+        } else {
+            self.0 as f64 / COST_SCALE as f64
+        }
+    }
+
+    /// Whether this is the infinite sentinel.
+    #[inline]
+    pub const fn is_inf(self) -> bool {
+        self.0 == u64::MAX
+    }
+
+    /// Whether this cost is finite (not the sentinel).
+    #[inline]
+    pub const fn is_finite(self) -> bool {
+        !self.is_inf()
+    }
+
+    /// Saturating addition: any sum involving [`Cost::INF`] is `INF`, and
+    /// finite overflow clamps to [`Cost::MAX_FINITE`].
+    #[inline]
+    pub const fn saturating_add(self, rhs: Cost) -> Cost {
+        if self.is_inf() || rhs.is_inf() {
+            return Cost::INF;
+        }
+        match self.0.checked_add(rhs.0) {
+            Some(v) if v < u64::MAX => Cost(v),
+            _ => Cost::MAX_FINITE,
+        }
+    }
+
+    /// Checked subtraction; `None` if `rhs > self` or either side is `INF`.
+    #[inline]
+    pub const fn checked_sub(self, rhs: Cost) -> Option<Cost> {
+        if self.is_inf() || rhs.is_inf() {
+            return None;
+        }
+        match self.0.checked_sub(rhs.0) {
+            Some(v) => Some(Cost(v)),
+            None => None,
+        }
+    }
+
+    /// `self - rhs`, clamped at zero; `INF - finite = INF`; `x - INF = 0`.
+    ///
+    /// This is the "marginal improvement" subtraction used in payment
+    /// formulas, where a negative difference can only arise from rounding
+    /// of equal-cost paths and must read as zero.
+    #[inline]
+    pub const fn saturating_sub(self, rhs: Cost) -> Cost {
+        if rhs.is_inf() {
+            return Cost::ZERO;
+        }
+        if self.is_inf() {
+            return Cost::INF;
+        }
+        Cost(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Multiplies by an integer factor (e.g. packets per session),
+    /// saturating; `INF` stays `INF`.
+    #[inline]
+    pub const fn scale(self, factor: u64) -> Cost {
+        if self.is_inf() {
+            return Cost::INF;
+        }
+        match self.0.checked_mul(factor) {
+            Some(v) if v < u64::MAX => Cost(v),
+            _ => Cost::MAX_FINITE,
+        }
+    }
+
+    /// The smaller of two costs.
+    #[inline]
+    pub fn min(self, rhs: Cost) -> Cost {
+        if self <= rhs {
+            self
+        } else {
+            rhs
+        }
+    }
+
+    /// The larger of two costs.
+    #[inline]
+    pub fn max(self, rhs: Cost) -> Cost {
+        if self >= rhs {
+            self
+        } else {
+            rhs
+        }
+    }
+}
+
+impl Add for Cost {
+    type Output = Cost;
+    #[inline]
+    fn add(self, rhs: Cost) -> Cost {
+        self.saturating_add(rhs)
+    }
+}
+
+impl AddAssign for Cost {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cost) {
+        *self = self.saturating_add(rhs);
+    }
+}
+
+impl Sub for Cost {
+    type Output = Cost;
+    /// Panics in debug builds if the difference would be negative or either
+    /// operand is `INF`; use [`Cost::saturating_sub`] in payment formulas.
+    #[inline]
+    fn sub(self, rhs: Cost) -> Cost {
+        debug_assert!(self.is_finite() && rhs.is_finite(), "Cost::sub on INF");
+        debug_assert!(self.0 >= rhs.0, "Cost::sub underflow");
+        Cost(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Sum for Cost {
+    fn sum<I: Iterator<Item = Cost>>(iter: I) -> Cost {
+        iter.fold(Cost::ZERO, Cost::saturating_add)
+    }
+}
+
+impl fmt::Debug for Cost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_inf() {
+            write!(f, "Cost(INF)")
+        } else {
+            write!(f, "Cost({})", self.as_f64())
+        }
+    }
+}
+
+impl fmt::Display for Cost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_inf() {
+            write!(f, "inf")
+        } else {
+            write!(f, "{:.6}", self.as_f64())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_units_roundtrips() {
+        assert_eq!(Cost::from_units(3).micros(), 3 * COST_SCALE);
+        assert_eq!(Cost::from_units(0), Cost::ZERO);
+    }
+
+    #[test]
+    fn from_f64_rounds_to_micros() {
+        assert_eq!(Cost::from_f64(1.5).micros(), 1_500_000);
+        assert_eq!(Cost::from_f64(0.000_000_4).micros(), 0);
+        assert_eq!(Cost::from_f64(0.000_000_6).micros(), 1);
+    }
+
+    #[test]
+    fn from_f64_edge_cases() {
+        assert_eq!(Cost::from_f64(-1.0), Cost::ZERO);
+        assert_eq!(Cost::from_f64(f64::NAN), Cost::ZERO);
+        assert_eq!(Cost::from_f64(f64::INFINITY), Cost::INF);
+        assert_eq!(Cost::from_f64(1e30), Cost::MAX_FINITE);
+    }
+
+    #[test]
+    fn inf_is_absorbing_under_add() {
+        let x = Cost::from_units(7);
+        assert_eq!(x + Cost::INF, Cost::INF);
+        assert_eq!(Cost::INF + x, Cost::INF);
+        assert_eq!(Cost::INF + Cost::INF, Cost::INF);
+    }
+
+    #[test]
+    fn finite_add_saturates_below_inf() {
+        let near = Cost::MAX_FINITE;
+        assert_eq!(near + Cost::from_units(1), Cost::MAX_FINITE);
+        assert!(near.is_finite());
+    }
+
+    #[test]
+    fn checked_sub_behaviour() {
+        let a = Cost::from_units(5);
+        let b = Cost::from_units(3);
+        assert_eq!(a.checked_sub(b), Some(Cost::from_units(2)));
+        assert_eq!(b.checked_sub(a), None);
+        assert_eq!(Cost::INF.checked_sub(b), None);
+        assert_eq!(a.checked_sub(Cost::INF), None);
+    }
+
+    #[test]
+    fn saturating_sub_behaviour() {
+        let a = Cost::from_units(5);
+        let b = Cost::from_units(3);
+        assert_eq!(a.saturating_sub(b), Cost::from_units(2));
+        assert_eq!(b.saturating_sub(a), Cost::ZERO);
+        assert_eq!(Cost::INF.saturating_sub(b), Cost::INF);
+        assert_eq!(a.saturating_sub(Cost::INF), Cost::ZERO);
+    }
+
+    #[test]
+    fn scale_saturates_and_preserves_inf() {
+        assert_eq!(Cost::from_units(2).scale(3), Cost::from_units(6));
+        assert_eq!(Cost::INF.scale(10), Cost::INF);
+        assert_eq!(Cost::MAX_FINITE.scale(2), Cost::MAX_FINITE);
+        assert_eq!(Cost::from_units(2).scale(0), Cost::ZERO);
+    }
+
+    #[test]
+    fn ordering_places_inf_last() {
+        let mut v = vec![Cost::INF, Cost::from_units(1), Cost::ZERO];
+        v.sort();
+        assert_eq!(v, vec![Cost::ZERO, Cost::from_units(1), Cost::INF]);
+    }
+
+    #[test]
+    fn sum_folds_saturating() {
+        let s: Cost = [Cost::from_units(1), Cost::from_units(2)].into_iter().sum();
+        assert_eq!(s, Cost::from_units(3));
+        let s: Cost = [Cost::from_units(1), Cost::INF].into_iter().sum();
+        assert_eq!(s, Cost::INF);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Cost::from_f64(1.25)), "1.250000");
+        assert_eq!(format!("{}", Cost::INF), "inf");
+    }
+}

@@ -1,0 +1,248 @@
+//! Graph generators: the paper's random wireless topologies plus structured
+//! graphs for tests and benchmarks.
+//!
+//! Unit-disk edge discovery uses a uniform grid with cell size equal to the
+//! transmission range, so candidate pairs are found in expected `O(n + m)`
+//! instead of the naive `O(n²)` all-pairs scan — the difference matters for
+//! the n = 4096 benchmark sweeps.
+
+use rand::Rng;
+
+use crate::adjacency::{Adjacency, AdjacencyBuilder};
+use crate::geometry::{Point, Region};
+use crate::ids::NodeId;
+
+/// Uniformly random node placement in a region.
+pub fn random_placement(n: usize, region: Region, rng: &mut impl Rng) -> Vec<Point> {
+    (0..n)
+        .map(|_| Point::new(rng.gen_range(0.0..=region.width), rng.gen_range(0.0..=region.height)))
+        .collect()
+}
+
+/// All unordered pairs `(i, j)` with `‖p_i p_j‖ ≤ range`, found via grid
+/// binning.
+pub fn pairs_within_range(points: &[Point], range: f64) -> Vec<(NodeId, NodeId)> {
+    assert!(range > 0.0, "range must be positive");
+    let mut pairs = Vec::new();
+    if points.is_empty() {
+        return pairs;
+    }
+    let min_x = points.iter().map(|p| p.x).fold(f64::INFINITY, f64::min);
+    let min_y = points.iter().map(|p| p.y).fold(f64::INFINITY, f64::min);
+    let cell = range;
+    let key = |p: &Point| -> (i64, i64) {
+        (((p.x - min_x) / cell).floor() as i64, ((p.y - min_y) / cell).floor() as i64)
+    };
+    let mut bins: std::collections::HashMap<(i64, i64), Vec<u32>> = std::collections::HashMap::new();
+    for (i, p) in points.iter().enumerate() {
+        bins.entry(key(p)).or_default().push(i as u32);
+    }
+    let range_sq = range * range;
+    for (&(cx, cy), members) in &bins {
+        for (idx, &i) in members.iter().enumerate() {
+            // Same cell.
+            for &j in &members[idx + 1..] {
+                if points[i as usize].dist_sq(&points[j as usize]) <= range_sq {
+                    pairs.push((NodeId(i), NodeId(j)));
+                }
+            }
+            // Half of the 8-neighborhood, to visit each cell pair once.
+            for (dx, dy) in [(1, 0), (1, 1), (0, 1), (-1, 1)] {
+                if let Some(other) = bins.get(&(cx + dx, cy + dy)) {
+                    for &j in other {
+                        if points[i as usize].dist_sq(&points[j as usize]) <= range_sq {
+                            pairs.push((NodeId(i), NodeId(j)));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    pairs
+}
+
+/// The unit-disk graph (UDG) over `points` with transmission `range`.
+pub fn unit_disk_graph(points: &[Point], range: f64) -> Adjacency {
+    let mut b = AdjacencyBuilder::new(points.len());
+    b.extend_edges(pairs_within_range(points, range));
+    b.build()
+}
+
+/// A random UDG instance: uniform placement plus unit-disk edges.
+pub fn random_udg(
+    n: usize,
+    region: Region,
+    range: f64,
+    rng: &mut impl Rng,
+) -> (Vec<Point>, Adjacency) {
+    let points = random_placement(n, region, rng);
+    let adj = unit_disk_graph(&points, range);
+    (points, adj)
+}
+
+/// Erdős–Rényi `G(n, p)`.
+pub fn erdos_renyi(n: usize, p: f64, rng: &mut impl Rng) -> Adjacency {
+    let mut b = AdjacencyBuilder::new(n);
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            if rng.gen_bool(p) {
+                b.add_edge(NodeId(u), NodeId(v));
+            }
+        }
+    }
+    b.build()
+}
+
+/// The path graph `0 - 1 - … - (n-1)`.
+pub fn path_graph(n: usize) -> Adjacency {
+    let mut b = AdjacencyBuilder::new(n);
+    for v in 1..n as u32 {
+        b.add_edge(NodeId(v - 1), NodeId(v));
+    }
+    b.build()
+}
+
+/// The cycle graph on `n ≥ 3` nodes.
+pub fn cycle_graph(n: usize) -> Adjacency {
+    assert!(n >= 3, "cycle needs at least 3 nodes");
+    let mut b = AdjacencyBuilder::new(n);
+    for v in 1..n as u32 {
+        b.add_edge(NodeId(v - 1), NodeId(v));
+    }
+    b.add_edge(NodeId(n as u32 - 1), NodeId(0));
+    b.build()
+}
+
+/// The complete graph `K_n`.
+pub fn complete_graph(n: usize) -> Adjacency {
+    let mut b = AdjacencyBuilder::new(n);
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            b.add_edge(NodeId(u), NodeId(v));
+        }
+    }
+    b.build()
+}
+
+/// A `rows × cols` grid graph (4-neighborhood), a biconnected-ish planar
+/// testbed.
+pub fn grid_graph(rows: usize, cols: usize) -> Adjacency {
+    let id = |r: usize, c: usize| NodeId::new(r * cols + c);
+    let mut b = AdjacencyBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                b.add_edge(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    b.build()
+}
+
+/// A theta graph: `k ≥ 2` internally disjoint paths of the given interior
+/// lengths joining node 0 (source side) and node 1 (target side). Returns
+/// the adjacency plus, per path, the list of interior node ids in order.
+///
+/// Theta graphs are the canonical instances for VCG payment analysis: the
+/// payment to a relay on the cheapest branch is governed exactly by the
+/// second-cheapest branch.
+pub fn theta_graph(interior_lengths: &[usize]) -> (Adjacency, Vec<Vec<NodeId>>) {
+    assert!(interior_lengths.len() >= 2, "theta graph needs at least 2 branches");
+    let total: usize = interior_lengths.iter().sum();
+    let mut b = AdjacencyBuilder::new(2 + total);
+    let mut next = 2u32;
+    let mut branches = Vec::new();
+    for &len in interior_lengths {
+        let mut interior = Vec::with_capacity(len);
+        let mut prev = NodeId(0);
+        for _ in 0..len {
+            let v = NodeId(next);
+            next += 1;
+            b.add_edge(prev, v);
+            interior.push(v);
+            prev = v;
+        }
+        b.add_edge(prev, NodeId(1));
+        branches.push(interior);
+    }
+    (b.build(), branches)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::{is_biconnected, is_connected};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn grid_binning_matches_naive_all_pairs() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..20 {
+            let points = random_placement(60, Region::new(500.0, 400.0), &mut rng);
+            let range = 120.0;
+            let mut fast: Vec<(NodeId, NodeId)> = pairs_within_range(&points, range)
+                .into_iter()
+                .map(|(u, v)| if u < v { (u, v) } else { (v, u) })
+                .collect();
+            fast.sort_unstable();
+            fast.dedup();
+            let mut naive = Vec::new();
+            for i in 0..points.len() {
+                for j in (i + 1)..points.len() {
+                    if points[i].dist(&points[j]) <= range {
+                        naive.push((NodeId::new(i), NodeId::new(j)));
+                    }
+                }
+            }
+            naive.sort_unstable();
+            assert_eq!(fast, naive);
+        }
+    }
+
+    #[test]
+    fn udg_edges_respect_range() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let (points, adj) = random_udg(80, Region::PAPER, 300.0, &mut rng);
+        for (u, v) in adj.edges() {
+            assert!(points[u.index()].dist(&points[v.index()]) <= 300.0);
+        }
+    }
+
+    #[test]
+    fn structured_graphs() {
+        assert_eq!(path_graph(5).num_edges(), 4);
+        assert_eq!(cycle_graph(5).num_edges(), 5);
+        assert!(is_biconnected(&cycle_graph(5)));
+        assert_eq!(complete_graph(5).num_edges(), 10);
+        assert!(is_biconnected(&complete_graph(4)));
+        let grid = grid_graph(3, 4);
+        assert_eq!(grid.num_nodes(), 12);
+        assert_eq!(grid.num_edges(), 3 * 3 + 2 * 4);
+        assert!(is_connected(&grid));
+    }
+
+    #[test]
+    fn theta_graph_structure() {
+        let (g, branches) = theta_graph(&[1, 2]);
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), 2 + 3);
+        assert_eq!(branches[0], vec![NodeId(2)]);
+        assert_eq!(branches[1], vec![NodeId(3), NodeId(4)]);
+        assert!(is_biconnected(&g));
+        assert!(g.has_edge(NodeId(0), NodeId(2)));
+        assert!(g.has_edge(NodeId(2), NodeId(1)));
+        assert!(g.has_edge(NodeId(3), NodeId(4)));
+        assert!(g.has_edge(NodeId(4), NodeId(1)));
+    }
+
+    #[test]
+    fn erdos_renyi_extremes() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        assert_eq!(erdos_renyi(6, 0.0, &mut rng).num_edges(), 0);
+        assert_eq!(erdos_renyi(6, 1.0, &mut rng).num_edges(), 15);
+    }
+}

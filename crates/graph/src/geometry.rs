@@ -1,0 +1,104 @@
+//! Planar geometry for wireless deployments.
+
+use crate::cost::Cost;
+
+/// A point in the deployment plane, in meters.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct Point {
+    /// x coordinate (m).
+    pub x: f64,
+    /// y coordinate (m).
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Point {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`, in meters.
+    #[inline]
+    pub fn dist(&self, other: &Point) -> f64 {
+        (self.dist_sq(other)).sqrt()
+    }
+
+    /// Squared Euclidean distance (avoids the `sqrt` in range tests, per
+    /// the performance guides).
+    #[inline]
+    pub fn dist_sq(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+}
+
+/// `‖pq‖^κ` as a fixed-point [`Cost`] — the paper's path-loss cost of a
+/// transmission from `p` to `q` with exponent `κ` (typically 2 to 5).
+#[inline]
+pub fn path_loss_cost(p: &Point, q: &Point, kappa: f64) -> Cost {
+    Cost::from_f64(p.dist(q).powf(kappa))
+}
+
+/// A rectangular deployment region `[0, width] × [0, height]` in meters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Region {
+    /// Width (m).
+    pub width: f64,
+    /// Height (m).
+    pub height: f64,
+}
+
+impl Region {
+    /// The paper's simulation region: 2000 m × 2000 m.
+    pub const PAPER: Region = Region { width: 2000.0, height: 2000.0 };
+
+    /// Creates a region.
+    pub const fn new(width: f64, height: f64) -> Region {
+        Region { width, height }
+    }
+
+    /// Whether `p` lies inside the region.
+    pub fn contains(&self, p: &Point) -> bool {
+        (0.0..=self.width).contains(&p.x) && (0.0..=self.height).contains(&p.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.dist(&b), 5.0);
+        assert_eq!(a.dist_sq(&b), 25.0);
+        assert_eq!(a.dist(&a), 0.0);
+    }
+
+    #[test]
+    fn path_loss_squares_distance() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(path_loss_cost(&a, &b, 2.0), Cost::from_units(25));
+        let c = path_loss_cost(&a, &b, 2.5);
+        assert!((c.as_f64() - 5f64.powf(2.5)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn region_membership() {
+        let r = Region::new(10.0, 5.0);
+        assert!(r.contains(&Point::new(0.0, 0.0)));
+        assert!(r.contains(&Point::new(10.0, 5.0)));
+        assert!(!r.contains(&Point::new(10.1, 1.0)));
+        assert!(!r.contains(&Point::new(-0.1, 1.0)));
+    }
+
+    #[test]
+    fn paper_region_dimensions() {
+        assert_eq!(Region::PAPER.width, 2000.0);
+        assert_eq!(Region::PAPER.height, 2000.0);
+    }
+}

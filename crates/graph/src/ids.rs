@@ -1,0 +1,86 @@
+//! Compact node identifiers.
+//!
+//! Nodes are dense `u32` indices (the HPC guides' "smaller integers" advice:
+//! half the footprint of `usize` indices in adjacency arrays, which matters
+//! for cache behaviour in Dijkstra-heavy workloads).
+
+use std::fmt;
+
+/// A node identifier: a dense index into a graph's node arrays.
+///
+/// By the paper's convention, [`NodeId::ACCESS_POINT`] (`v_0`) denotes the
+/// access point of the wireless network.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The access point `v_0`.
+    pub const ACCESS_POINT: NodeId = NodeId(0);
+
+    /// Builds a `NodeId` from a `usize` index (panics if it exceeds `u32`).
+    #[inline]
+    pub fn new(index: usize) -> NodeId {
+        debug_assert!(index <= u32::MAX as usize);
+        NodeId(index as u32)
+    }
+
+    /// The index as `usize`, for array access.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    #[inline]
+    fn from(v: u32) -> NodeId {
+        NodeId(v)
+    }
+}
+
+/// Iterator over all node ids `v0..v{n-1}`.
+#[inline]
+pub fn node_ids(n: usize) -> impl Iterator<Item = NodeId> + Clone {
+    (0..n as u32).map(NodeId)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let v = NodeId::new(42);
+        assert_eq!(v.index(), 42);
+        assert_eq!(v, NodeId(42));
+    }
+
+    #[test]
+    fn access_point_is_zero() {
+        assert_eq!(NodeId::ACCESS_POINT.index(), 0);
+    }
+
+    #[test]
+    fn iteration() {
+        let ids: Vec<NodeId> = node_ids(3).collect();
+        assert_eq!(ids, vec![NodeId(0), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(format!("{}", NodeId(7)), "v7");
+        assert_eq!(format!("{:?}", NodeId(7)), "v7");
+    }
+}

@@ -1,0 +1,189 @@
+//! Plain-text graph interchange.
+//!
+//! A minimal, line-oriented format (in the DIMACS spirit) so instances can
+//! be saved, shared, and re-priced from the command line:
+//!
+//! ```text
+//! # comment
+//! nodes 4
+//! cost 1 5.0          # node 1 declares 5.0
+//! cost 2 7
+//! edge 0 1
+//! edge 1 3
+//! edge 0 2
+//! edge 2 3
+//! ```
+//!
+//! Unlisted node costs default to zero. Writing is lossless (costs are
+//! emitted in micro-units).
+
+use std::fmt::Write as _;
+use std::str::FromStr;
+
+use crate::adjacency::AdjacencyBuilder;
+use crate::cost::Cost;
+use crate::ids::NodeId;
+use crate::node_weighted::NodeWeightedGraph;
+
+/// A parse failure with its line number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn parse_field<T: FromStr>(tok: Option<&str>, line: usize, what: &str) -> Result<T, ParseError>
+where
+    T::Err: std::fmt::Display,
+{
+    let tok = tok.ok_or_else(|| ParseError { line, message: format!("missing {what}") })?;
+    tok.parse().map_err(|e| ParseError { line, message: format!("bad {what} {tok:?}: {e}") })
+}
+
+/// Parses the text format into a node-weighted graph.
+pub fn parse_node_weighted(text: &str) -> Result<NodeWeightedGraph, ParseError> {
+    let mut num_nodes: Option<usize> = None;
+    let mut costs: Vec<Cost> = Vec::new();
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+
+    for (ix, raw) in text.lines().enumerate() {
+        let line = ix + 1;
+        let content = raw.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        let mut toks = content.split_whitespace();
+        match toks.next().unwrap() {
+            "nodes" => {
+                let n: usize = parse_field(toks.next(), line, "node count")?;
+                num_nodes = Some(n);
+                costs = vec![Cost::ZERO; n];
+            }
+            "cost" => {
+                let n = num_nodes
+                    .ok_or_else(|| ParseError { line, message: "`cost` before `nodes`".into() })?;
+                let v: usize = parse_field(toks.next(), line, "node id")?;
+                let c: f64 = parse_field(toks.next(), line, "cost value")?;
+                if v >= n {
+                    return Err(ParseError { line, message: format!("node {v} out of range") });
+                }
+                if c < 0.0 || !c.is_finite() {
+                    return Err(ParseError { line, message: format!("invalid cost {c}") });
+                }
+                costs[v] = Cost::from_f64(c);
+            }
+            "edge" => {
+                let n = num_nodes
+                    .ok_or_else(|| ParseError { line, message: "`edge` before `nodes`".into() })?;
+                let u: usize = parse_field(toks.next(), line, "endpoint")?;
+                let v: usize = parse_field(toks.next(), line, "endpoint")?;
+                if u >= n || v >= n {
+                    return Err(ParseError { line, message: format!("edge ({u},{v}) out of range") });
+                }
+                if u == v {
+                    return Err(ParseError { line, message: format!("self-loop at {u}") });
+                }
+                edges.push((NodeId::new(u), NodeId::new(v)));
+            }
+            other => {
+                return Err(ParseError { line, message: format!("unknown directive {other:?}") })
+            }
+        }
+        if let Some(extra) = toks.next() {
+            return Err(ParseError { line, message: format!("trailing token {extra:?}") });
+        }
+    }
+
+    let n = num_nodes.ok_or(ParseError { line: 0, message: "missing `nodes` line".into() })?;
+    let mut b = AdjacencyBuilder::new(n);
+    b.extend_edges(edges);
+    Ok(NodeWeightedGraph::new(b.build(), costs))
+}
+
+/// Serializes a node-weighted graph into the text format (lossless:
+/// micro-unit precision).
+pub fn write_node_weighted(g: &NodeWeightedGraph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "nodes {}", g.num_nodes());
+    for v in g.node_ids() {
+        if g.cost(v) != Cost::ZERO {
+            let _ = writeln!(out, "cost {} {}", v.index(), g.cost(v));
+        }
+    }
+    for (u, v) in g.adjacency().edges() {
+        let _ = writeln!(out, "edge {} {}", u.index(), v.index());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "
+# the diamond
+nodes 4
+cost 1 5.0
+cost 2 7    # dear branch
+edge 0 1
+edge 1 3
+edge 0 2
+edge 2 3
+";
+
+    #[test]
+    fn parses_the_sample() {
+        let g = parse_node_weighted(SAMPLE).unwrap();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.cost(NodeId(1)), Cost::from_units(5));
+        assert_eq!(g.cost(NodeId(2)), Cost::from_units(7));
+        assert_eq!(g.cost(NodeId(0)), Cost::ZERO);
+        assert!(g.adjacency().has_edge(NodeId(2), NodeId(3)));
+    }
+
+    #[test]
+    fn roundtrips() {
+        let g = parse_node_weighted(SAMPLE).unwrap();
+        let text = write_node_weighted(&g);
+        let g2 = parse_node_weighted(&text).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn fractional_costs_roundtrip() {
+        let g = NodeWeightedGraph::new(
+            crate::adjacency::adjacency_from_pairs(2, &[(0, 1)]),
+            vec![Cost::from_f64(1.5), Cost::from_micros(123)],
+        );
+        let g2 = parse_node_weighted(&write_node_weighted(&g)).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn error_reporting() {
+        let e = parse_node_weighted("nodes 2\nedge 0 5\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("out of range"));
+        let e = parse_node_weighted("cost 0 1\n").unwrap_err();
+        assert!(e.message.contains("before `nodes`"));
+        let e = parse_node_weighted("nodes 2\nfrobnicate\n").unwrap_err();
+        assert!(e.message.contains("unknown directive"));
+        let e = parse_node_weighted("nodes 2\nedge 0 1 9\n").unwrap_err();
+        assert!(e.message.contains("trailing"));
+        let e = parse_node_weighted("").unwrap_err();
+        assert!(e.message.contains("missing `nodes`"));
+        let e = parse_node_weighted("nodes 2\ncost 0 -1\n").unwrap_err();
+        assert!(e.message.contains("invalid cost"));
+    }
+}

@@ -1,0 +1,260 @@
+//! The paper's Section III-F model: a *directed* graph whose links carry
+//! costs, where each node is an agent with a **vector** type
+//! `c_i = (c_{i,0}, …, c_{i,n-1})` — its power cost to transmit to each
+//! neighbor (`α_i + β_i·‖v_i v_j‖^κ` under power control).
+//!
+//! The owner of a directed link `v_i → v_j` is its *tail* `v_i`: the
+//! transmitter pays the energy. Removing an agent `v_k` from the network is
+//! modelled, as in the paper, by setting all of `v_k`'s outgoing link costs
+//! to infinity, which for intermediate nodes is equivalent to deleting the
+//! node.
+
+use crate::cost::Cost;
+use crate::ids::NodeId;
+
+/// A directed link-weighted graph in CSR form, with the reverse adjacency
+/// materialized for backward Dijkstra sweeps.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LinkWeightedDigraph {
+    out_offsets: Vec<u32>,
+    out_targets: Vec<NodeId>,
+    out_weights: Vec<Cost>,
+    in_offsets: Vec<u32>,
+    in_sources: Vec<NodeId>,
+    in_weights: Vec<Cost>,
+}
+
+impl LinkWeightedDigraph {
+    /// Builds from a directed arc list `(tail, head, cost)`. Parallel arcs
+    /// keep the cheapest; self-loops are rejected; infinite arcs dropped.
+    pub fn from_arcs(
+        num_nodes: usize,
+        arcs: impl IntoIterator<Item = (NodeId, NodeId, Cost)>,
+    ) -> LinkWeightedDigraph {
+        let mut list: Vec<(NodeId, NodeId, Cost)> = arcs
+            .into_iter()
+            .inspect(|&(u, v, _)| {
+                assert!(u != v, "self-loop {u} rejected");
+                assert!(
+                    u.index() < num_nodes && v.index() < num_nodes,
+                    "arc ({u},{v}) out of range"
+                );
+            })
+            .filter(|&(_, _, w)| w.is_finite())
+            .collect();
+        // Sort by (tail, head, weight) and keep the cheapest parallel arc.
+        list.sort_unstable_by_key(|&(u, v, w)| (u, v, w));
+        list.dedup_by_key(|&mut (u, v, _)| (u, v));
+
+        let build = |key: fn(&(NodeId, NodeId, Cost)) -> usize,
+                     other: fn(&(NodeId, NodeId, Cost)) -> NodeId,
+                     list: &[(NodeId, NodeId, Cost)]| {
+            let mut deg = vec![0u32; num_nodes];
+            for a in list {
+                deg[key(a)] += 1;
+            }
+            let mut offsets = Vec::with_capacity(num_nodes + 1);
+            let mut acc = 0u32;
+            offsets.push(0);
+            for d in &deg {
+                acc += d;
+                offsets.push(acc);
+            }
+            let mut cursor: Vec<u32> = offsets[..num_nodes].to_vec();
+            let mut targets = vec![NodeId(0); acc as usize];
+            let mut weights = vec![Cost::ZERO; acc as usize];
+            for a in list {
+                let slot = cursor[key(a)] as usize;
+                targets[slot] = other(a);
+                weights[slot] = a.2;
+                cursor[key(a)] += 1;
+            }
+            (offsets, targets, weights)
+        };
+
+        let (out_offsets, out_targets, out_weights) =
+            build(|a| a.0.index(), |a| a.1, &list);
+        let mut rev = list;
+        rev.sort_unstable_by_key(|&(u, v, w)| (v, u, w));
+        let (in_offsets, in_sources, in_weights) = build(|a| a.1.index(), |a| a.0, &rev);
+
+        LinkWeightedDigraph {
+            out_offsets,
+            out_targets,
+            out_weights,
+            in_offsets,
+            in_sources,
+            in_weights,
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.out_offsets.len() - 1
+    }
+
+    /// Number of directed arcs.
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// Outgoing arcs of `v` as parallel slices `(heads, costs)`.
+    #[inline]
+    pub fn out_arcs(&self, v: NodeId) -> (&[NodeId], &[Cost]) {
+        let lo = self.out_offsets[v.index()] as usize;
+        let hi = self.out_offsets[v.index() + 1] as usize;
+        (&self.out_targets[lo..hi], &self.out_weights[lo..hi])
+    }
+
+    /// Incoming arcs of `v` as parallel slices `(tails, costs)`.
+    #[inline]
+    pub fn in_arcs(&self, v: NodeId) -> (&[NodeId], &[Cost]) {
+        let lo = self.in_offsets[v.index()] as usize;
+        let hi = self.in_offsets[v.index() + 1] as usize;
+        (&self.in_sources[lo..hi], &self.in_weights[lo..hi])
+    }
+
+    /// The cost of arc `u → v`, or `Cost::INF` if absent.
+    pub fn arc_cost(&self, u: NodeId, v: NodeId) -> Cost {
+        let (heads, costs) = self.out_arcs(u);
+        match heads.binary_search(&v) {
+            Ok(i) => costs[i],
+            Err(_) => Cost::INF,
+        }
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        self.out_arcs(v).0.len()
+    }
+
+    /// Iterates all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + Clone {
+        crate::ids::node_ids(self.num_nodes())
+    }
+
+    /// Iterates all arcs `(tail, head, cost)`.
+    pub fn arcs(&self) -> impl Iterator<Item = (NodeId, NodeId, Cost)> + '_ {
+        self.node_ids().flat_map(move |u| {
+            let (heads, costs) = self.out_arcs(u);
+            heads.iter().zip(costs).map(move |(&v, &w)| (u, v, w))
+        })
+    }
+
+    /// Total cost of a node sequence interpreted as a directed path: the
+    /// sum of its arc costs. Returns `None` if any arc is missing.
+    pub fn path_cost(&self, path: &[NodeId]) -> Option<Cost> {
+        if path.is_empty() {
+            return None;
+        }
+        let mut total = Cost::ZERO;
+        for w in path.windows(2) {
+            let c = self.arc_cost(w[0], w[1]);
+            if c.is_inf() {
+                return None;
+            }
+            total += c;
+        }
+        Some(total)
+    }
+
+    /// Returns a copy with all arcs whose *tail* is in `agents` re-priced by
+    /// `f(tail, head, old)` — the declared-cost substitution `d|^k d_k` for
+    /// vector-type agents. Arcs mapped to `INF` are removed.
+    pub fn reprice_tails(
+        &self,
+        agents: &[NodeId],
+        mut f: impl FnMut(NodeId, NodeId, Cost) -> Cost,
+    ) -> LinkWeightedDigraph {
+        let n = self.num_nodes();
+        let arcs: Vec<(NodeId, NodeId, Cost)> = self
+            .arcs()
+            .map(|(u, v, w)| {
+                if agents.contains(&u) {
+                    (u, v, f(u, v, w))
+                } else {
+                    (u, v, w)
+                }
+            })
+            .collect();
+        LinkWeightedDigraph::from_arcs(n, arcs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arc(u: u32, v: u32, w: u64) -> (NodeId, NodeId, Cost) {
+        (NodeId(u), NodeId(v), Cost::from_units(w))
+    }
+
+    fn triangle() -> LinkWeightedDigraph {
+        LinkWeightedDigraph::from_arcs(3, [arc(0, 1, 2), arc(1, 2, 3), arc(0, 2, 10), arc(2, 0, 1)])
+    }
+
+    #[test]
+    fn out_and_in_arcs() {
+        let g = triangle();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_arcs(), 4);
+        let (heads, costs) = g.out_arcs(NodeId(0));
+        assert_eq!(heads, &[NodeId(1), NodeId(2)]);
+        assert_eq!(costs, &[Cost::from_units(2), Cost::from_units(10)]);
+        let (tails, _) = g.in_arcs(NodeId(2));
+        assert_eq!(tails, &[NodeId(0), NodeId(1)]);
+    }
+
+    #[test]
+    fn arc_cost_lookup() {
+        let g = triangle();
+        assert_eq!(g.arc_cost(NodeId(0), NodeId(1)), Cost::from_units(2));
+        assert_eq!(g.arc_cost(NodeId(1), NodeId(0)), Cost::INF);
+    }
+
+    #[test]
+    fn asymmetric_weights_are_preserved() {
+        let g = triangle();
+        assert_eq!(g.arc_cost(NodeId(0), NodeId(2)), Cost::from_units(10));
+        assert_eq!(g.arc_cost(NodeId(2), NodeId(0)), Cost::from_units(1));
+    }
+
+    #[test]
+    fn parallel_arcs_keep_cheapest() {
+        let g = LinkWeightedDigraph::from_arcs(2, [arc(0, 1, 5), arc(0, 1, 3)]);
+        assert_eq!(g.num_arcs(), 1);
+        assert_eq!(g.arc_cost(NodeId(0), NodeId(1)), Cost::from_units(3));
+    }
+
+    #[test]
+    fn infinite_arcs_are_dropped() {
+        let g = LinkWeightedDigraph::from_arcs(2, [(NodeId(0), NodeId(1), Cost::INF)]);
+        assert_eq!(g.num_arcs(), 0);
+    }
+
+    #[test]
+    fn path_cost_sums_arcs() {
+        let g = triangle();
+        assert_eq!(
+            g.path_cost(&[NodeId(0), NodeId(1), NodeId(2)]),
+            Some(Cost::from_units(5))
+        );
+        assert_eq!(g.path_cost(&[NodeId(1), NodeId(0)]), None);
+        assert_eq!(g.path_cost(&[NodeId(1)]), Some(Cost::ZERO));
+    }
+
+    #[test]
+    fn reprice_tails_substitutes_declarations() {
+        let g = triangle();
+        let g2 = g.reprice_tails(&[NodeId(0)], |_, _, w| w.scale(2));
+        assert_eq!(g2.arc_cost(NodeId(0), NodeId(1)), Cost::from_units(4));
+        assert_eq!(g2.arc_cost(NodeId(1), NodeId(2)), Cost::from_units(3));
+        // Repricing to INF removes the arc entirely (agent removal).
+        let g3 = g.reprice_tails(&[NodeId(0)], |_, _, _| Cost::INF);
+        assert_eq!(g3.out_degree(NodeId(0)), 0);
+        assert_eq!(g3.arc_cost(NodeId(2), NodeId(0)), Cost::from_units(1));
+    }
+}

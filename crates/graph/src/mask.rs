@@ -1,0 +1,121 @@
+//! Reusable node masks for node-avoiding searches.
+//!
+//! The naive payment algorithm runs one Dijkstra per relay node with that
+//! node removed; the collusion-resistant scheme removes whole neighborhoods.
+//! Rather than copying the graph (the "reusing collections" advice from the
+//! performance guides), searches take a [`NodeMask`] of blocked nodes that
+//! can be cleared and refilled without reallocating.
+
+use crate::ids::NodeId;
+
+/// A set of blocked nodes, reusable across searches.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NodeMask {
+    blocked: Vec<bool>,
+    set: Vec<NodeId>,
+}
+
+impl NodeMask {
+    /// An empty mask for a graph of `n` nodes.
+    pub fn new(n: usize) -> NodeMask {
+        NodeMask { blocked: vec![false; n], set: Vec::new() }
+    }
+
+    /// A mask blocking exactly `nodes`.
+    pub fn from_nodes(n: usize, nodes: impl IntoIterator<Item = NodeId>) -> NodeMask {
+        let mut m = NodeMask::new(n);
+        for v in nodes {
+            m.block(v);
+        }
+        m
+    }
+
+    /// Blocks `v` (idempotent).
+    #[inline]
+    pub fn block(&mut self, v: NodeId) {
+        if !self.blocked[v.index()] {
+            self.blocked[v.index()] = true;
+            self.set.push(v);
+        }
+    }
+
+    /// Unblocks `v` (idempotent; `O(|set|)`).
+    pub fn unblock(&mut self, v: NodeId) {
+        if self.blocked[v.index()] {
+            self.blocked[v.index()] = false;
+            self.set.retain(|&u| u != v);
+        }
+    }
+
+    /// Whether `v` is blocked.
+    #[inline]
+    pub fn is_blocked(&self, v: NodeId) -> bool {
+        self.blocked[v.index()]
+    }
+
+    /// Unblocks everything in `O(|set|)`, keeping capacity.
+    pub fn clear(&mut self) {
+        for v in self.set.drain(..) {
+            self.blocked[v.index()] = false;
+        }
+    }
+
+    /// The blocked nodes, in insertion order.
+    #[inline]
+    pub fn blocked_nodes(&self) -> &[NodeId] {
+        &self.set
+    }
+
+    /// Number of blocked nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Whether no node is blocked.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// Capacity (number of nodes this mask covers).
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.blocked.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_and_clear() {
+        let mut m = NodeMask::new(5);
+        m.block(NodeId(2));
+        m.block(NodeId(4));
+        m.block(NodeId(2)); // idempotent
+        assert!(m.is_blocked(NodeId(2)));
+        assert!(!m.is_blocked(NodeId(0)));
+        assert_eq!(m.len(), 2);
+        m.clear();
+        assert!(m.is_empty());
+        assert!(!m.is_blocked(NodeId(2)));
+    }
+
+    #[test]
+    fn unblock_single() {
+        let mut m = NodeMask::from_nodes(4, [NodeId(1), NodeId(3)]);
+        m.unblock(NodeId(1));
+        assert!(!m.is_blocked(NodeId(1)));
+        assert!(m.is_blocked(NodeId(3)));
+        assert_eq!(m.blocked_nodes(), &[NodeId(3)]);
+    }
+
+    #[test]
+    fn from_nodes_constructor() {
+        let m = NodeMask::from_nodes(3, [NodeId(0)]);
+        assert!(m.is_blocked(NodeId(0)));
+        assert_eq!(m.num_nodes(), 3);
+    }
+}

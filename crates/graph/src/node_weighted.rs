@@ -1,0 +1,178 @@
+//! The paper's primary network model: an undirected communication graph
+//! whose *nodes* carry relay costs.
+//!
+//! Node `v_i` charges `c_i` to relay one packet to any of its neighbors;
+//! by the paper's convention the cost of a path **excludes** the source and
+//! target node costs (they don't relay — they originate/terminate).
+
+use crate::adjacency::{Adjacency, AdjacencyBuilder};
+use crate::cost::Cost;
+use crate::ids::NodeId;
+
+/// An undirected graph with a relay cost on every node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NodeWeightedGraph {
+    adj: Adjacency,
+    costs: Vec<Cost>,
+}
+
+impl NodeWeightedGraph {
+    /// Assembles a graph from its topology and per-node costs.
+    ///
+    /// Panics if `costs.len()` disagrees with the topology's node count or
+    /// any cost is the `INF` sentinel (a node that cannot relay should
+    /// simply be disconnected).
+    pub fn new(adj: Adjacency, costs: Vec<Cost>) -> NodeWeightedGraph {
+        assert_eq!(adj.num_nodes(), costs.len(), "cost vector length mismatch");
+        assert!(costs.iter().all(|c| c.is_finite()), "node costs must be finite");
+        NodeWeightedGraph { adj, costs }
+    }
+
+    /// Builds from an edge list of `(u32, u32)` pairs and per-node costs in
+    /// whole units — convenient for tests and examples.
+    pub fn from_pairs_units(pairs: &[(u32, u32)], unit_costs: &[u64]) -> NodeWeightedGraph {
+        let mut b = AdjacencyBuilder::new(unit_costs.len());
+        for &(u, v) in pairs {
+            b.add_edge(NodeId(u), NodeId(v));
+        }
+        NodeWeightedGraph::new(b.build(), unit_costs.iter().map(|&c| Cost::from_units(c)).collect())
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.adj.num_nodes()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.adj.num_edges()
+    }
+
+    /// The underlying topology.
+    #[inline]
+    pub fn adjacency(&self) -> &Adjacency {
+        &self.adj
+    }
+
+    /// Relay cost of node `v`.
+    #[inline]
+    pub fn cost(&self, v: NodeId) -> Cost {
+        self.costs[v.index()]
+    }
+
+    /// The full cost vector (the declared profile `d` in the paper).
+    #[inline]
+    pub fn costs(&self) -> &[Cost] {
+        &self.costs
+    }
+
+    /// Sorted neighbor list of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        self.adj.neighbors(v)
+    }
+
+    /// Iterates all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + Clone {
+        self.adj.node_ids()
+    }
+
+    /// Returns a copy of this graph with node `v`'s declared cost replaced —
+    /// the `d|^i b` operation from the mechanism-design notation.
+    pub fn with_declared(&self, v: NodeId, declared: Cost) -> NodeWeightedGraph {
+        assert!(declared.is_finite(), "declared cost must be finite");
+        let mut g = self.clone();
+        g.costs[v.index()] = declared;
+        g
+    }
+
+    /// Returns a copy with several declared costs replaced (coalition
+    /// deviation `d|^S b_S`).
+    pub fn with_declared_many(&self, changes: &[(NodeId, Cost)]) -> NodeWeightedGraph {
+        let mut g = self.clone();
+        for &(v, c) in changes {
+            assert!(c.is_finite(), "declared cost must be finite");
+            g.costs[v.index()] = c;
+        }
+        g
+    }
+
+    /// Total cost of a node sequence interpreted as a path, **excluding**
+    /// the first and last nodes (the paper's `‖Π‖`). Returns `None` if the
+    /// sequence is not a path in the graph.
+    pub fn path_cost(&self, path: &[NodeId]) -> Option<Cost> {
+        if path.len() < 2 {
+            return if path.len() == 1 { Some(Cost::ZERO) } else { None };
+        }
+        for w in path.windows(2) {
+            if !self.adj.has_edge(w[0], w[1]) {
+                return None;
+            }
+        }
+        Some(path[1..path.len() - 1].iter().map(|&v| self.cost(v)).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> NodeWeightedGraph {
+        // 0 - 1 - 3, 0 - 2 - 3, costs 0,5,7,0
+        NodeWeightedGraph::from_pairs_units(&[(0, 1), (1, 3), (0, 2), (2, 3)], &[0, 5, 7, 0])
+    }
+
+    #[test]
+    fn accessors() {
+        let g = diamond();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.cost(NodeId(1)), Cost::from_units(5));
+        assert_eq!(g.neighbors(NodeId(0)), &[NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn path_cost_excludes_endpoints() {
+        let g = diamond();
+        let p = [NodeId(0), NodeId(1), NodeId(3)];
+        assert_eq!(g.path_cost(&p), Some(Cost::from_units(5)));
+        let p2 = [NodeId(0), NodeId(2), NodeId(3)];
+        assert_eq!(g.path_cost(&p2), Some(Cost::from_units(7)));
+    }
+
+    #[test]
+    fn path_cost_rejects_non_paths() {
+        let g = diamond();
+        assert_eq!(g.path_cost(&[NodeId(1), NodeId(2)]), None);
+        assert_eq!(g.path_cost(&[]), None);
+        assert_eq!(g.path_cost(&[NodeId(2)]), Some(Cost::ZERO));
+    }
+
+    #[test]
+    fn with_declared_is_a_copy() {
+        let g = diamond();
+        let g2 = g.with_declared(NodeId(1), Cost::from_units(9));
+        assert_eq!(g.cost(NodeId(1)), Cost::from_units(5));
+        assert_eq!(g2.cost(NodeId(1)), Cost::from_units(9));
+    }
+
+    #[test]
+    fn with_declared_many() {
+        let g = diamond();
+        let g2 = g.with_declared_many(&[
+            (NodeId(1), Cost::from_units(1)),
+            (NodeId(2), Cost::from_units(2)),
+        ]);
+        assert_eq!(g2.cost(NodeId(1)), Cost::from_units(1));
+        assert_eq!(g2.cost(NodeId(2)), Cost::from_units(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn length_mismatch_panics() {
+        let adj = crate::adjacency::adjacency_from_pairs(3, &[(0, 1)]);
+        NodeWeightedGraph::new(adj, vec![Cost::ZERO; 2]);
+    }
+}

@@ -1,0 +1,166 @@
+//! Shortest-path trees with materialized child lists.
+//!
+//! Algorithm 1 needs more than parent pointers: the level assignment walks
+//! *down* the tree (each node inherits the index of the last LCP node above
+//! it), so [`Spt`] stores children in CSR form and exposes a preorder
+//! traversal that visits parents before children.
+
+use crate::ids::NodeId;
+
+/// A rooted forest of shortest-path parent pointers with child lists.
+///
+/// Unreachable nodes have no parent and are not part of the root's tree;
+/// they appear as isolated roots of their own (empty) trees.
+#[derive(Clone, Debug)]
+pub struct Spt {
+    root: NodeId,
+    parent: Vec<Option<NodeId>>,
+    child_offsets: Vec<u32>,
+    children: Vec<NodeId>,
+}
+
+impl Spt {
+    /// Builds the tree from parent pointers (as produced by the Dijkstra
+    /// sweeps in this crate).
+    pub fn from_parents(root: NodeId, parent: &[Option<NodeId>]) -> Spt {
+        let n = parent.len();
+        let mut deg = vec![0u32; n];
+        for p in parent.iter().flatten() {
+            deg[p.index()] += 1;
+        }
+        let mut child_offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0u32;
+        child_offsets.push(0);
+        for d in &deg {
+            acc += d;
+            child_offsets.push(acc);
+        }
+        let mut cursor: Vec<u32> = child_offsets[..n].to_vec();
+        let mut children = vec![NodeId(0); acc as usize];
+        for (v, p) in parent.iter().enumerate() {
+            if let Some(p) = p {
+                children[cursor[p.index()] as usize] = NodeId::new(v);
+                cursor[p.index()] += 1;
+            }
+        }
+        Spt { root, parent: parent.to_vec(), child_offsets, children }
+    }
+
+    /// The tree root.
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Number of nodes the tree is defined over.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Parent of `v` (`None` at the root and at unreachable nodes).
+    #[inline]
+    pub fn parent(&self, v: NodeId) -> Option<NodeId> {
+        self.parent[v.index()]
+    }
+
+    /// Children of `v`.
+    #[inline]
+    pub fn children(&self, v: NodeId) -> &[NodeId] {
+        let lo = self.child_offsets[v.index()] as usize;
+        let hi = self.child_offsets[v.index() + 1] as usize;
+        &self.children[lo..hi]
+    }
+
+    /// Whether `v` belongs to the root's tree.
+    pub fn in_tree(&self, v: NodeId) -> bool {
+        v == self.root || self.parent[v.index()].is_some()
+    }
+
+    /// The tree path `root … v`, or `None` if `v` is not in the tree.
+    pub fn path_from_root(&self, v: NodeId) -> Option<Vec<NodeId>> {
+        if !self.in_tree(v) {
+            return None;
+        }
+        let mut chain = vec![v];
+        let mut cur = v;
+        while let Some(p) = self.parent[cur.index()] {
+            chain.push(p);
+            cur = p;
+            debug_assert!(chain.len() <= self.parent.len(), "parent cycle");
+        }
+        chain.reverse();
+        Some(chain)
+    }
+
+    /// Preorder traversal of the root's tree: every node is visited after
+    /// its parent. The traversal is iterative (no recursion-depth hazard on
+    /// path-like trees).
+    pub fn preorder(&self) -> Vec<NodeId> {
+        let mut order = Vec::with_capacity(self.parent.len());
+        let mut stack = vec![self.root];
+        while let Some(v) = stack.pop() {
+            order.push(v);
+            stack.extend_from_slice(self.children(v));
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tree over 6 nodes rooted at 0: 0 → {1, 2}; 1 → {3, 4}; node 5
+    /// unreachable.
+    fn sample() -> Spt {
+        let parent = vec![
+            None,
+            Some(NodeId(0)),
+            Some(NodeId(0)),
+            Some(NodeId(1)),
+            Some(NodeId(1)),
+            None,
+        ];
+        Spt::from_parents(NodeId(0), &parent)
+    }
+
+    #[test]
+    fn children_lists() {
+        let t = sample();
+        assert_eq!(t.children(NodeId(0)), &[NodeId(1), NodeId(2)]);
+        assert_eq!(t.children(NodeId(1)), &[NodeId(3), NodeId(4)]);
+        assert!(t.children(NodeId(3)).is_empty());
+    }
+
+    #[test]
+    fn paths_from_root() {
+        let t = sample();
+        assert_eq!(
+            t.path_from_root(NodeId(4)),
+            Some(vec![NodeId(0), NodeId(1), NodeId(4)])
+        );
+        assert_eq!(t.path_from_root(NodeId(0)), Some(vec![NodeId(0)]));
+        assert_eq!(t.path_from_root(NodeId(5)), None);
+    }
+
+    #[test]
+    fn membership() {
+        let t = sample();
+        assert!(t.in_tree(NodeId(0)));
+        assert!(t.in_tree(NodeId(4)));
+        assert!(!t.in_tree(NodeId(5)));
+    }
+
+    #[test]
+    fn preorder_visits_parents_first() {
+        let t = sample();
+        let order = t.preorder();
+        let pos =
+            |v: NodeId| order.iter().position(|&u| u == v).expect("node visited");
+        for v in [1u32, 2, 3, 4].map(NodeId) {
+            assert!(pos(t.parent(v).unwrap()) < pos(v));
+        }
+        assert_eq!(order.len(), 5); // node 5 excluded
+    }
+}

@@ -1,0 +1,69 @@
+//! Property-based tests for the fixed-point cost arithmetic: the payment
+//! formulas lean on these algebraic facts.
+
+use proptest::prelude::*;
+use truthcast_graph::Cost;
+
+fn cost() -> impl Strategy<Value = Cost> {
+    prop_oneof![
+        8 => (0u64..=u64::MAX / 4).prop_map(Cost::from_micros),
+        1 => Just(Cost::ZERO),
+        1 => Just(Cost::INF),
+    ]
+}
+
+proptest! {
+    /// Addition is commutative and INF-absorbing.
+    #[test]
+    fn add_commutative(a in cost(), b in cost()) {
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!((a + Cost::INF).is_inf(), true);
+    }
+
+    /// Addition is associative away from the saturation boundary.
+    #[test]
+    fn add_associative(a in cost(), b in cost(), c in cost()) {
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    /// `saturating_sub` inverts addition for finite values.
+    #[test]
+    fn sub_inverts_add(a in cost(), b in cost()) {
+        if a.is_finite() && b.is_finite() {
+            prop_assert_eq!((a + b).saturating_sub(b), a);
+        }
+    }
+
+    /// Order is compatible with addition (monotonicity used by Dijkstra).
+    #[test]
+    fn add_monotone(a in cost(), b in cost(), c in cost()) {
+        if a <= b {
+            prop_assert!(a + c <= b + c);
+        }
+    }
+
+    /// `scale` equals repeated addition.
+    #[test]
+    fn scale_is_repeated_add(a in (0u64..1_000_000_000).prop_map(Cost::from_micros), k in 0u64..50) {
+        let mut sum = Cost::ZERO;
+        for _ in 0..k {
+            sum += a;
+        }
+        prop_assert_eq!(a.scale(k), sum);
+    }
+
+    /// min/max agree with the order.
+    #[test]
+    fn min_max_consistent(a in cost(), b in cost()) {
+        prop_assert_eq!(a.min(b) <= a.max(b), true);
+        prop_assert!(a.min(b) == a || a.min(b) == b);
+        prop_assert_eq!(a.min(b) + (a.max(b).saturating_sub(a.min(b))), a.max(b));
+    }
+
+    /// f64 round-trips stay within half a micro-unit.
+    #[test]
+    fn f64_roundtrip(units in 0.0f64..1e9) {
+        let c = Cost::from_f64(units);
+        prop_assert!((c.as_f64() - units).abs() <= 0.5e-6 + units * 1e-12);
+    }
+}

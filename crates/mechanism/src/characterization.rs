@@ -1,0 +1,224 @@
+//! The paper's Lemmas 4–6 as executable characterizations.
+//!
+//! * **Lemma 4** — in any strategyproof mechanism, as long as the output is
+//!   unchanged, an agent's payment does not depend on its *own*
+//!   declaration. [`check_own_independence`] verifies this on a black-box
+//!   mechanism.
+//! * **Lemma 5/6** — in any *2-agents* strategyproof mechanism, an agent's
+//!   payment (with its allocation fixed) cannot depend on **anyone's**
+//!   declaration. [`find_cross_dependence`] searches for such a dependence;
+//!   finding one is a machine-checked certificate (the contrapositive)
+//!   that the mechanism is not 2-agents strategyproof — the engine inside
+//!   Theorem 7.
+
+use truthcast_graph::{Cost, NodeId};
+
+use crate::mechanism::{standard_deviations, ScalarMechanism};
+use crate::profile::Profile;
+
+/// A violation of Lemma 4's conclusion: the agent changed its own payment
+/// without changing the allocation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OwnDependence {
+    /// The agent.
+    pub agent: NodeId,
+    /// The alternative declaration.
+    pub declared: Cost,
+    /// Payment at truth.
+    pub payment_truth: Cost,
+    /// Payment at the alternative declaration (same allocation).
+    pub payment_alt: Cost,
+}
+
+/// Checks Lemma 4 on a mechanism: for every strategic agent and every
+/// standard deviation that keeps its allocation unchanged, the payment is
+/// unchanged too. Any truthful mechanism must pass.
+pub fn check_own_independence(
+    mech: &impl ScalarMechanism,
+    truth: &Profile,
+) -> Result<(), OwnDependence> {
+    let base = mech.run(truth);
+    for agent in mech.strategic_agents() {
+        let c = truth.get(agent);
+        for alt in standard_deviations(c, &[]) {
+            let out = mech.run(&truth.replace(agent, alt));
+            if out.is_selected(agent) == base.is_selected(agent)
+                && out.payment(agent) != base.payment(agent)
+            {
+                return Err(OwnDependence {
+                    agent,
+                    declared: alt,
+                    payment_truth: base.payment(agent),
+                    payment_alt: out.payment(agent),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A Lemma 6 cross-dependence: `mover`'s declaration changes `payee`'s
+/// payment while `payee`'s allocation stays fixed — impossible in a
+/// 2-agents strategyproof mechanism.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CrossDependence {
+    /// The agent whose declaration moved.
+    pub mover: NodeId,
+    /// Its alternative declaration.
+    pub declared: Cost,
+    /// The agent whose payment moved.
+    pub payee: NodeId,
+    /// Payee's payment at truth.
+    pub payment_truth: Cost,
+    /// Payee's payment after the move (same payee allocation).
+    pub payment_alt: Cost,
+}
+
+/// Searches for a Lemma 6 cross-dependence among the strategic agents,
+/// probing `extra(mover)` declarations on top of the standard deviations.
+/// Returns the first witness found.
+pub fn find_cross_dependence(
+    mech: &impl ScalarMechanism,
+    truth: &Profile,
+    extra: impl Fn(NodeId) -> Vec<Cost>,
+) -> Option<CrossDependence> {
+    let base = mech.run(truth);
+    if !base.all_payments_finite() {
+        return None;
+    }
+    let agents = mech.strategic_agents();
+    for &mover in &agents {
+        let c = truth.get(mover);
+        for alt in standard_deviations(c, &extra(mover)) {
+            let out = mech.run(&truth.replace(mover, alt));
+            if !out.all_payments_finite() {
+                continue;
+            }
+            for &payee in &agents {
+                if payee == mover {
+                    continue;
+                }
+                if out.is_selected(payee) == base.is_selected(payee)
+                    && out.payment(payee) != base.payment(payee)
+                {
+                    return Some(CrossDependence {
+                        mover,
+                        declared: alt,
+                        payee,
+                        payment_truth: base.payment(payee),
+                        payment_alt: out.payment(payee),
+                    });
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outcome::Outcome;
+
+    /// Second-price procurement (truthful, not 2-agent SP).
+    struct SecondPrice {
+        n: usize,
+    }
+
+    impl ScalarMechanism for SecondPrice {
+        fn num_agents(&self) -> usize {
+            self.n
+        }
+        fn strategic_agents(&self) -> Vec<NodeId> {
+            (0..self.n).map(NodeId::new).collect()
+        }
+        fn run(&self, declared: &Profile) -> Outcome {
+            let costs = declared.as_slice();
+            let winner = (0..self.n).min_by_key(|&i| (costs[i], i)).unwrap();
+            let second = (0..self.n)
+                .filter(|&i| i != winner)
+                .map(|i| costs[i])
+                .min()
+                .unwrap_or(Cost::INF);
+            let mut selected = vec![false; self.n];
+            selected[winner] = true;
+            let mut payments = vec![Cost::ZERO; self.n];
+            payments[winner] = second;
+            Outcome { selected, payments, social_cost: costs[winner] }
+        }
+    }
+
+    #[test]
+    fn lemma4_holds_for_second_price() {
+        let mech = SecondPrice { n: 3 };
+        let truth = Profile::from_units(&[10, 20, 30]);
+        assert_eq!(check_own_independence(&mech, &truth), Ok(()));
+    }
+
+    #[test]
+    fn lemma4_catches_first_price() {
+        /// Pays the winner its own bid: own-declaration dependent.
+        struct FirstPrice;
+        impl ScalarMechanism for FirstPrice {
+            fn num_agents(&self) -> usize {
+                2
+            }
+            fn strategic_agents(&self) -> Vec<NodeId> {
+                vec![NodeId(0), NodeId(1)]
+            }
+            fn run(&self, declared: &Profile) -> Outcome {
+                let w = usize::from(declared.get(NodeId(1)) < declared.get(NodeId(0)));
+                let mut selected = vec![false; 2];
+                selected[w] = true;
+                let mut payments = vec![Cost::ZERO; 2];
+                payments[w] = declared.get(NodeId::new(w));
+                let social_cost = payments[w];
+                Outcome { selected, payments, social_cost }
+            }
+        }
+        let err = check_own_independence(&FirstPrice, &Profile::from_units(&[10, 20]))
+            .unwrap_err();
+        assert_eq!(err.agent, NodeId(0));
+        assert_ne!(err.payment_truth, err.payment_alt);
+    }
+
+    #[test]
+    fn lemma6_cross_dependence_found_in_second_price() {
+        // The runner-up prices the winner: raising its bid raises the
+        // winner's payment with allocations fixed — the Lemma 6 witness
+        // proving second-price is not 2-agents strategyproof.
+        let mech = SecondPrice { n: 3 };
+        let truth = Profile::from_units(&[10, 20, 30]);
+        let w = find_cross_dependence(&mech, &truth, |_| vec![]).expect("witness");
+        assert_eq!(w.mover, NodeId(1));
+        assert_eq!(w.payee, NodeId(0));
+        assert_ne!(w.payment_truth, w.payment_alt);
+    }
+
+    #[test]
+    fn constant_payment_mechanism_has_no_cross_dependence() {
+        /// Pays everyone a fixed stipend regardless of declarations
+        /// (not IR-sensible, but payment-constant).
+        struct Stipend;
+        impl ScalarMechanism for Stipend {
+            fn num_agents(&self) -> usize {
+                3
+            }
+            fn strategic_agents(&self) -> Vec<NodeId> {
+                (0..3).map(NodeId::new).collect()
+            }
+            fn run(&self, declared: &Profile) -> Outcome {
+                Outcome {
+                    selected: vec![true; 3],
+                    payments: vec![Cost::from_units(5); 3],
+                    social_cost: declared.as_slice().iter().copied().sum(),
+                }
+            }
+        }
+        assert_eq!(
+            find_cross_dependence(&Stipend, &Profile::from_units(&[1, 2, 3]), |_| vec![]),
+            None
+        );
+        assert_eq!(check_own_independence(&Stipend, &Profile::from_units(&[1, 2, 3])), Ok(()));
+    }
+}

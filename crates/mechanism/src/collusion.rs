@@ -1,0 +1,207 @@
+//! Coalition deviation search: the paper's `k`-agents strategyproofness
+//! (Definition 1), tested numerically.
+//!
+//! A mechanism is `k`-agents strategyproof if no coalition of `k` agents can
+//! raise its *total* utility by jointly misreporting (side payments make
+//! the sum the right objective — this is strictly stronger than classic
+//! group-strategyproofness, as the paper notes). The searcher enumerates a
+//! grid of joint deviations; finding a profitable one yields a concrete
+//! [`CollusionWitness`], which is how the library demonstrates Theorem 7's
+//! impossibility on the plain VCG scheme and the *absence* of witnesses for
+//! the neighborhood scheme `p̃`.
+
+use truthcast_graph::{Cost, NodeId};
+
+use crate::mechanism::{standard_deviations, ScalarMechanism};
+use crate::outcome::coalition_utility;
+use crate::profile::Profile;
+
+/// A concrete profitable joint misreport by a coalition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CollusionWitness {
+    /// The colluding agents.
+    pub coalition: Vec<NodeId>,
+    /// The joint lie, parallel to `coalition`.
+    pub declarations: Vec<Cost>,
+    /// Coalition utility under truth-telling (micro-units).
+    pub truthful_utility: i128,
+    /// Coalition utility under the joint lie.
+    pub deviant_utility: i128,
+}
+
+impl CollusionWitness {
+    /// The coalition's gain from colluding, in micro-units.
+    pub fn gain(&self) -> i128 {
+        self.deviant_utility - self.truthful_utility
+    }
+}
+
+/// Searches for a profitable joint deviation by `coalition`.
+///
+/// Each member's candidate declarations are [`standard_deviations`] of its
+/// true cost (plus its truth, so one-sided deviations are covered) extended
+/// with `extra_probes`; the full cartesian product is tried. Returns the
+/// *most* profitable witness found, or `None`.
+pub fn find_collusion(
+    mech: &impl ScalarMechanism,
+    truth: &Profile,
+    coalition: &[NodeId],
+    extra_probes: impl Fn(NodeId) -> Vec<Cost>,
+) -> Option<CollusionWitness> {
+    find_collusion_with(mech, truth, coalition, |k| {
+        let mut devs = standard_deviations(truth.get(k), &extra_probes(k));
+        devs.push(truth.get(k));
+        devs
+    })
+}
+
+/// Like [`find_collusion`], but with a caller-supplied candidate set per
+/// member (e.g. over-declarations only, to test resistance against
+/// *inflation*-style collusion specifically).
+pub fn find_collusion_with(
+    mech: &impl ScalarMechanism,
+    truth: &Profile,
+    coalition: &[NodeId],
+    mut candidates_for: impl FnMut(NodeId) -> Vec<Cost>,
+) -> Option<CollusionWitness> {
+    let honest = mech.run(truth);
+    if !honest.all_payments_finite() {
+        return None;
+    }
+    let u_truth = coalition_utility(&honest, coalition, truth);
+
+    let candidates: Vec<Vec<Cost>> =
+        coalition.iter().map(|&k| candidates_for(k)).collect();
+
+    let mut best: Option<CollusionWitness> = None;
+    let mut indices = vec![0usize; coalition.len()];
+    'outer: loop {
+        let declarations: Vec<Cost> =
+            indices.iter().zip(&candidates).map(|(&i, c)| c[i]).collect();
+        let changes: Vec<(NodeId, Cost)> =
+            coalition.iter().copied().zip(declarations.iter().copied()).collect();
+        let outcome = mech.run(&truth.replace_many(&changes));
+        if outcome.all_payments_finite() {
+            let u_dev = coalition_utility(&outcome, coalition, truth);
+            if u_dev > u_truth && best.as_ref().is_none_or(|b| u_dev > b.deviant_utility) {
+                best = Some(CollusionWitness {
+                    coalition: coalition.to_vec(),
+                    declarations,
+                    truthful_utility: u_truth,
+                    deviant_utility: u_dev,
+                });
+            }
+        }
+        // Odometer increment over the cartesian product.
+        for pos in 0..indices.len() {
+            indices[pos] += 1;
+            if indices[pos] < candidates[pos].len() {
+                continue 'outer;
+            }
+            indices[pos] = 0;
+        }
+        break;
+    }
+    best
+}
+
+/// Checks `k = |coalition|`-agents strategyproofness over every coalition
+/// in `coalitions`; returns the first witness found.
+pub fn check_group_strategyproof(
+    mech: &impl ScalarMechanism,
+    truth: &Profile,
+    coalitions: impl IntoIterator<Item = Vec<NodeId>>,
+    extra_probes: impl Fn(NodeId) -> Vec<Cost> + Copy,
+) -> Option<CollusionWitness> {
+    for coalition in coalitions {
+        if let Some(w) = find_collusion(mech, truth, &coalition, extra_probes) {
+            return Some(w);
+        }
+    }
+    None
+}
+
+/// All unordered pairs of the given agents — the coalitions of Theorem 7.
+pub fn all_pairs(agents: &[NodeId]) -> Vec<Vec<NodeId>> {
+    let mut out = Vec::new();
+    for (i, &a) in agents.iter().enumerate() {
+        for &b in &agents[i + 1..] {
+            out.push(vec![a, b]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outcome::Outcome;
+
+    /// Second-price procurement again: truthful alone, but the winner and
+    /// the price-setting runner-up *can* collude (runner-up inflates its
+    /// bid to raise the winner's payment) — the exact effect Theorem 7
+    /// builds on.
+    struct SecondPrice {
+        n: usize,
+    }
+
+    impl ScalarMechanism for SecondPrice {
+        fn num_agents(&self) -> usize {
+            self.n
+        }
+        fn strategic_agents(&self) -> Vec<NodeId> {
+            (0..self.n).map(NodeId::new).collect()
+        }
+        fn run(&self, declared: &Profile) -> Outcome {
+            let costs = declared.as_slice();
+            let winner = (0..self.n).min_by_key(|&i| (costs[i], i)).unwrap();
+            let second = (0..self.n)
+                .filter(|&i| i != winner)
+                .map(|i| costs[i])
+                .min()
+                .unwrap_or(Cost::INF);
+            let mut selected = vec![false; self.n];
+            selected[winner] = true;
+            let mut payments = vec![Cost::ZERO; self.n];
+            payments[winner] = second;
+            Outcome { selected, payments, social_cost: costs[winner] }
+        }
+    }
+
+    #[test]
+    fn winner_and_runner_up_collude() {
+        let mech = SecondPrice { n: 3 };
+        let truth = Profile::from_units(&[10, 20, 30]);
+        let w = find_collusion(&mech, &truth, &[NodeId(0), NodeId(1)], |_| vec![])
+            .expect("collusion must exist");
+        assert!(w.gain() > 0);
+        // The runner-up must have inflated above its truth.
+        assert!(w.declarations[1] > Cost::from_units(20));
+    }
+
+    #[test]
+    fn non_price_setting_pair_cannot_collude_much() {
+        let mech = SecondPrice { n: 4 };
+        let truth = Profile::from_units(&[10, 20, 30, 40]);
+        // Agents 2 and 3 never win nor set the price (agent 1 caps it).
+        let w = find_collusion(&mech, &truth, &[NodeId(2), NodeId(3)], |_| vec![]);
+        assert!(w.is_none(), "got {w:?}");
+    }
+
+    #[test]
+    fn all_pairs_enumeration() {
+        let agents = [NodeId(0), NodeId(1), NodeId(2)];
+        let pairs = all_pairs(&agents);
+        assert_eq!(pairs.len(), 3);
+        assert!(pairs.contains(&vec![NodeId(0), NodeId(2)]));
+    }
+
+    #[test]
+    fn group_check_returns_first_witness() {
+        let mech = SecondPrice { n: 3 };
+        let truth = Profile::from_units(&[10, 20, 30]);
+        let agents: Vec<NodeId> = (0..3).map(NodeId::new).collect();
+        let w = check_group_strategyproof(&mech, &truth, all_pairs(&agents), |_| vec![]);
+        assert!(w.is_some());
+    }
+}

@@ -1,0 +1,47 @@
+//! # truthcast-mechanism
+//!
+//! Algorithmic mechanism design substrate for the `truthcast` reproduction
+//! of *Truthful Low-Cost Unicast in Selfish Wireless Networks* (Wang & Li,
+//! IPPS 2004).
+//!
+//! The paper's Section II model is implemented directly:
+//!
+//! * [`profile::Profile`] — declared cost vectors with the paper's `d|^k b`
+//!   substitution notation;
+//! * [`mechanism::ScalarMechanism`] — the direct-revelation mechanism
+//!   abstraction (output + payment per declared profile);
+//! * [`outcome`] — allocations, payments, and quasi-linear utilities;
+//! * [`truthfulness`] — black-box Incentive Compatibility and Individual
+//!   Rationality checkers probing deviations including critical values;
+//! * [`collusion`] — the paper's *k*-agents strategyproofness (Definition
+//!   1), tested by exhaustive joint-deviation search, producing concrete
+//!   [`collusion::CollusionWitness`]es;
+//! * [`characterization`] — the paper's Lemmas 4–6 as executable checks
+//!   (own-declaration independence; cross-dependence witnesses that
+//!   certify non-2-agent-strategyproofness);
+//! * [`vcg`] — the factored VCG payment formulas for node removal and for
+//!   set removal (the collusion-resistant `p̃`).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod characterization;
+pub mod collusion;
+pub mod mechanism;
+pub mod outcome;
+pub mod profile;
+pub mod truthfulness;
+pub mod vcg;
+
+pub use characterization::{
+    check_own_independence, find_cross_dependence, CrossDependence, OwnDependence,
+};
+pub use collusion::{
+    all_pairs, check_group_strategyproof, find_collusion, find_collusion_with, CollusionWitness,
+};
+pub use mechanism::{standard_deviations, ScalarMechanism};
+pub use outcome::{coalition_utility, utility, Outcome};
+pub use profile::Profile;
+pub use truthfulness::{
+    check_incentive_compatibility, check_individual_rationality, IcViolation, IrViolation,
+};

@@ -1,0 +1,80 @@
+//! The direct-revelation mechanism abstraction.
+
+use truthcast_graph::{Cost, NodeId};
+
+use crate::outcome::Outcome;
+use crate::profile::Profile;
+
+/// A direct-revelation mechanism over scalar-cost agents, bound to a fixed
+/// instance (topology, source, target, …).
+///
+/// Implementations map a declared profile to an [`Outcome`]. The checkers
+/// in [`crate::truthfulness`] and [`crate::collusion`] probe this interface
+/// with deviating profiles, exactly as a selfish agent would.
+pub trait ScalarMechanism {
+    /// Number of agents (profiles must have this length).
+    fn num_agents(&self) -> usize;
+
+    /// The agents whose declarations are strategic. For unicast this
+    /// excludes the source and the target: they don't relay and receive no
+    /// payment.
+    fn strategic_agents(&self) -> Vec<NodeId>;
+
+    /// Runs the mechanism on the declared profile.
+    fn run(&self, declared: &Profile) -> Outcome;
+}
+
+/// Candidate unilateral deviations for an agent with true cost `c`:
+/// free-riding low declarations, marginal perturbations of ±1 micro-unit,
+/// multiplicative exaggerations, and caller-provided extras (e.g. the VCG
+/// critical value of the instance).
+pub fn standard_deviations(c: Cost, extras: &[Cost]) -> Vec<Cost> {
+    let mut out = vec![
+        Cost::ZERO,
+        Cost::from_micros(c.micros() / 2),
+        Cost::from_micros(c.micros().saturating_sub(1)),
+        Cost::from_micros(c.micros().saturating_add(1)),
+        c.scale(2),
+        c.scale(10),
+        c + Cost::from_units(1000),
+    ];
+    for &e in extras {
+        if e.is_finite() {
+            out.push(e);
+            out.push(Cost::from_micros(e.micros().saturating_sub(1)));
+            out.push(Cost::from_micros(e.micros().saturating_add(1)));
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out.retain(|&d| d != c);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_deviations_cover_key_probes() {
+        let c = Cost::from_units(10);
+        let devs = standard_deviations(c, &[Cost::from_units(25)]);
+        assert!(devs.contains(&Cost::ZERO));
+        assert!(devs.contains(&Cost::from_units(5)));
+        assert!(devs.contains(&Cost::from_units(20)));
+        assert!(devs.contains(&Cost::from_units(25)));
+        assert!(!devs.contains(&c), "truth itself is not a deviation");
+        // Perturbations straddle the extra critical value.
+        assert!(devs.contains(&Cost::from_micros(25_000_001)));
+        assert!(devs.contains(&Cost::from_micros(24_999_999)));
+    }
+
+    #[test]
+    fn deviations_are_sorted_and_unique() {
+        let devs = standard_deviations(Cost::from_units(2), &[]);
+        let mut sorted = devs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(devs, sorted);
+    }
+}

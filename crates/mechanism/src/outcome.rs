@@ -1,0 +1,110 @@
+//! Mechanism outcomes and agent utilities.
+//!
+//! In the paper's standard economic model, the mechanism maps a declared
+//! profile to an output `o` (here: which agents relay, i.e. lie on the
+//! selected path) and a payment vector `p`. Agent `k`'s utility is
+//! `u^k = p^k − x_k · c_k` where `x_k` indicates selection and `c_k` is its
+//! *true* cost.
+
+use truthcast_graph::{Cost, NodeId};
+
+use crate::profile::Profile;
+
+/// The output + payments of one mechanism run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Outcome {
+    /// `x_k`: whether agent `k` is selected (relays traffic).
+    pub selected: Vec<bool>,
+    /// `p^k`: payment to agent `k`. `Cost::INF` marks a monopoly payment
+    /// (the instance violated the mechanism's connectivity precondition).
+    pub payments: Vec<Cost>,
+    /// The objective value of the chosen output (e.g. the LCP cost under
+    /// the declared profile).
+    pub social_cost: Cost,
+}
+
+impl Outcome {
+    /// Whether agent `k` is selected.
+    pub fn is_selected(&self, k: NodeId) -> bool {
+        self.selected[k.index()]
+    }
+
+    /// Payment to agent `k`.
+    pub fn payment(&self, k: NodeId) -> Cost {
+        self.payments[k.index()]
+    }
+
+    /// Total payment disbursed.
+    pub fn total_payment(&self) -> Cost {
+        self.payments.iter().copied().sum()
+    }
+
+    /// Whether every payment is finite (no monopoly situations).
+    pub fn all_payments_finite(&self) -> bool {
+        self.payments.iter().all(|p| p.is_finite())
+    }
+}
+
+/// Agent `k`'s quasi-linear utility under `outcome`, given its true cost.
+///
+/// Utilities can be negative in principle (for a non-truthful declaration),
+/// so this returns a signed micro-unit value rather than a [`Cost`].
+pub fn utility(outcome: &Outcome, k: NodeId, true_cost: Cost) -> i128 {
+    let p = outcome.payment(k);
+    assert!(p.is_finite(), "utility undefined under monopoly payment");
+    let incurred = if outcome.is_selected(k) { true_cost.micros() as i128 } else { 0 };
+    p.micros() as i128 - incurred
+}
+
+/// Sum of a coalition's utilities (the quantity a colluding set maximizes).
+pub fn coalition_utility(outcome: &Outcome, coalition: &[NodeId], truth: &Profile) -> i128 {
+    coalition.iter().map(|&k| utility(outcome, k, truth.get(k))).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Outcome {
+        Outcome {
+            selected: vec![false, true, true],
+            payments: vec![Cost::ZERO, Cost::from_units(7), Cost::from_units(3)],
+            social_cost: Cost::from_units(8),
+        }
+    }
+
+    #[test]
+    fn utility_of_selected_agent_subtracts_true_cost() {
+        let o = sample();
+        assert_eq!(utility(&o, NodeId(1), Cost::from_units(5)), 2_000_000);
+    }
+
+    #[test]
+    fn utility_of_unselected_agent_is_payment() {
+        let o = sample();
+        assert_eq!(utility(&o, NodeId(0), Cost::from_units(100)), 0);
+    }
+
+    #[test]
+    fn utility_can_be_negative() {
+        let o = sample();
+        assert_eq!(utility(&o, NodeId(2), Cost::from_units(4)), -1_000_000);
+    }
+
+    #[test]
+    fn coalition_utility_sums() {
+        let o = sample();
+        let truth = Profile::from_units(&[0, 5, 4]);
+        assert_eq!(
+            coalition_utility(&o, &[NodeId(1), NodeId(2)], &truth),
+            2_000_000 - 1_000_000
+        );
+    }
+
+    #[test]
+    fn totals() {
+        let o = sample();
+        assert_eq!(o.total_payment(), Cost::from_units(10));
+        assert!(o.all_payments_finite());
+    }
+}

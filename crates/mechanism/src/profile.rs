@@ -1,0 +1,108 @@
+//! Declared-cost profiles and the substitution notation of the paper.
+//!
+//! A [`Profile`] is the vector `d = (d_0, …, d_{n-1})` of declared scalar
+//! costs. The paper's `d|^k b` ("everyone plays `d` except agent `k`, who
+//! plays `b`") is [`Profile::replace`], and coalition substitution
+//! `d|^S b_S` is [`Profile::replace_many`].
+
+use truthcast_graph::{Cost, NodeId};
+
+/// A declared (or true) scalar-cost profile.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Profile(Vec<Cost>);
+
+impl Profile {
+    /// Wraps a cost vector. All entries must be finite.
+    pub fn new(costs: Vec<Cost>) -> Profile {
+        assert!(costs.iter().all(|c| c.is_finite()), "profile costs must be finite");
+        Profile(costs)
+    }
+
+    /// A profile of whole-unit costs, for tests and examples.
+    pub fn from_units(units: &[u64]) -> Profile {
+        Profile(units.iter().map(|&u| Cost::from_units(u)).collect())
+    }
+
+    /// Number of agents.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the profile is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Agent `k`'s cost.
+    pub fn get(&self, k: NodeId) -> Cost {
+        self.0[k.index()]
+    }
+
+    /// The raw cost slice.
+    pub fn as_slice(&self) -> &[Cost] {
+        &self.0
+    }
+
+    /// The paper's `d|^k b`: a copy with agent `k`'s declaration replaced.
+    pub fn replace(&self, k: NodeId, b: Cost) -> Profile {
+        assert!(b.is_finite(), "declared cost must be finite");
+        let mut p = self.clone();
+        p.0[k.index()] = b;
+        p
+    }
+
+    /// Coalition substitution `d|^S b_S`.
+    pub fn replace_many(&self, changes: &[(NodeId, Cost)]) -> Profile {
+        let mut p = self.clone();
+        for &(k, b) in changes {
+            assert!(b.is_finite(), "declared cost must be finite");
+            p.0[k.index()] = b;
+        }
+        p
+    }
+
+    /// Consumes into the underlying vector.
+    pub fn into_vec(self) -> Vec<Cost> {
+        self.0
+    }
+}
+
+impl From<Vec<Cost>> for Profile {
+    fn from(v: Vec<Cost>) -> Profile {
+        Profile::new(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn substitution_is_a_copy() {
+        let p = Profile::from_units(&[1, 2, 3]);
+        let q = p.replace(NodeId(1), Cost::from_units(9));
+        assert_eq!(p.get(NodeId(1)), Cost::from_units(2));
+        assert_eq!(q.get(NodeId(1)), Cost::from_units(9));
+        assert_eq!(q.get(NodeId(0)), Cost::from_units(1));
+    }
+
+    #[test]
+    fn coalition_substitution() {
+        let p = Profile::from_units(&[1, 2, 3]);
+        let q = p.replace_many(&[
+            (NodeId(0), Cost::from_units(7)),
+            (NodeId(2), Cost::from_units(8)),
+        ]);
+        assert_eq!(q.as_slice(), &[
+            Cost::from_units(7),
+            Cost::from_units(2),
+            Cost::from_units(8)
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_infinite_declaration() {
+        Profile::from_units(&[1]).replace(NodeId(0), Cost::INF);
+    }
+}

@@ -1,0 +1,176 @@
+//! Numeric checkers for the paper's strategyproofness constraints:
+//! Incentive Compatibility (IC) and Individual Rationality (IR).
+//!
+//! These checkers treat a mechanism as a black box and play the role of a
+//! selfish agent: they re-run the mechanism under candidate deviations and
+//! compare utilities computed against the *true* profile. A passing check
+//! is evidence, not proof — but the candidate set includes the exact VCG
+//! critical values supplied by the caller, which are where untruthful
+//! schemes actually break.
+
+use truthcast_graph::{Cost, NodeId};
+
+use crate::mechanism::{standard_deviations, ScalarMechanism};
+use crate::outcome::utility;
+use crate::profile::Profile;
+
+/// A found violation of incentive compatibility.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IcViolation {
+    /// The deviating agent.
+    pub agent: NodeId,
+    /// Its true cost.
+    pub true_cost: Cost,
+    /// The profitable lie.
+    pub declared: Cost,
+    /// Utility when truthful (micro-units, signed).
+    pub truthful_utility: i128,
+    /// Utility when lying.
+    pub deviant_utility: i128,
+}
+
+/// A found violation of individual rationality.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IrViolation {
+    /// The agent with negative utility under truth-telling.
+    pub agent: NodeId,
+    /// Its (negative) utility in micro-units.
+    pub utility: i128,
+}
+
+/// Checks IC for every strategic agent against [`standard_deviations`]
+/// plus per-agent `extra_probes` (e.g. critical values). Returns the first
+/// violation found.
+pub fn check_incentive_compatibility(
+    mech: &impl ScalarMechanism,
+    truth: &Profile,
+    extra_probes: impl Fn(NodeId) -> Vec<Cost>,
+) -> Result<(), IcViolation> {
+    assert_eq!(truth.len(), mech.num_agents());
+    let honest = mech.run(truth);
+    for agent in mech.strategic_agents() {
+        let c = truth.get(agent);
+        let u_truth = utility(&honest, agent, c);
+        for lie in standard_deviations(c, &extra_probes(agent)) {
+            let outcome = mech.run(&truth.replace(agent, lie));
+            if !outcome.payment(agent).is_finite() {
+                // A lie that creates a monopoly for someone else cannot be
+                // evaluated for this agent; skip (the honest run must have
+                // been finite for the comparison to make sense anyway).
+                continue;
+            }
+            let u_lie = utility(&outcome, agent, c);
+            if u_lie > u_truth {
+                return Err(IcViolation {
+                    agent,
+                    true_cost: c,
+                    declared: lie,
+                    truthful_utility: u_truth,
+                    deviant_utility: u_lie,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks IR: every strategic agent has non-negative utility when truthful.
+pub fn check_individual_rationality(
+    mech: &impl ScalarMechanism,
+    truth: &Profile,
+) -> Result<(), IrViolation> {
+    let honest = mech.run(truth);
+    for agent in mech.strategic_agents() {
+        let u = utility(&honest, agent, truth.get(agent));
+        if u < 0 {
+            return Err(IrViolation { agent, utility: u });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outcome::Outcome;
+
+    /// A toy single-item procurement auction over `n` agents: buy from the
+    /// cheapest declarer.
+    struct Procurement {
+        n: usize,
+        /// If true, pay second price (truthful); else pay the winner's own
+        /// bid (classic untruthful first-price rule).
+        second_price: bool,
+    }
+
+    impl ScalarMechanism for Procurement {
+        fn num_agents(&self) -> usize {
+            self.n
+        }
+        fn strategic_agents(&self) -> Vec<NodeId> {
+            (0..self.n).map(NodeId::new).collect()
+        }
+        fn run(&self, declared: &Profile) -> Outcome {
+            let costs = declared.as_slice();
+            let winner = (0..self.n).min_by_key(|&i| (costs[i], i)).unwrap();
+            let second = (0..self.n)
+                .filter(|&i| i != winner)
+                .map(|i| costs[i])
+                .min()
+                .unwrap_or(Cost::INF);
+            let mut selected = vec![false; self.n];
+            selected[winner] = true;
+            let mut payments = vec![Cost::ZERO; self.n];
+            payments[winner] = if self.second_price { second } else { costs[winner] };
+            Outcome { selected, payments, social_cost: costs[winner] }
+        }
+    }
+
+    #[test]
+    fn second_price_procurement_is_truthful() {
+        let mech = Procurement { n: 4, second_price: true };
+        let truth = Profile::from_units(&[10, 20, 30, 40]);
+        assert_eq!(check_incentive_compatibility(&mech, &truth, |_| vec![]), Ok(()));
+        assert_eq!(check_individual_rationality(&mech, &truth), Ok(()));
+    }
+
+    #[test]
+    fn first_price_procurement_is_caught() {
+        let mech = Procurement { n: 3, second_price: false };
+        let truth = Profile::from_units(&[10, 20, 30]);
+        // Critical-value probe: the winner can inflate toward the runner-up.
+        let violation = check_incentive_compatibility(&mech, &truth, |_| {
+            vec![Cost::from_units(20)]
+        })
+        .unwrap_err();
+        assert_eq!(violation.agent, NodeId(0));
+        assert!(violation.deviant_utility > violation.truthful_utility);
+    }
+
+    #[test]
+    fn ir_violation_detected() {
+        /// Pays winners nothing at all.
+        struct Stingy;
+        impl ScalarMechanism for Stingy {
+            fn num_agents(&self) -> usize {
+                2
+            }
+            fn strategic_agents(&self) -> Vec<NodeId> {
+                vec![NodeId(0), NodeId(1)]
+            }
+            fn run(&self, declared: &Profile) -> Outcome {
+                let w = if declared.get(NodeId(0)) <= declared.get(NodeId(1)) { 0 } else { 1 };
+                let mut selected = vec![false; 2];
+                selected[w] = true;
+                Outcome {
+                    selected,
+                    payments: vec![Cost::ZERO; 2],
+                    social_cost: declared.as_slice()[w],
+                }
+            }
+        }
+        let err = check_individual_rationality(&Stingy, &Profile::from_units(&[5, 9])).unwrap_err();
+        assert_eq!(err.agent, NodeId(0));
+        assert_eq!(err.utility, -5_000_000);
+    }
+}

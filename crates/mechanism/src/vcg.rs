@@ -1,0 +1,98 @@
+//! The Vickrey–Clarke–Groves payment formula, factored out.
+//!
+//! For minimum-cost selection problems (the paper's unicast is one), the
+//! VCG payment to a selected agent `k` declaring `d_k` is
+//!
+//! ```text
+//! p^k = C(G \ k) − C(G) + d_k
+//! ```
+//!
+//! where `C(G)` is the optimal objective with everyone and `C(G \ k)` the
+//! optimum with `k` removed. Unselected agents are paid nothing. The same
+//! formula with `k` replaced by a *set* (the closed neighborhood `N(v_k)`,
+//! or a general `Q(v_k)`) yields the paper's collusion-resistant schemes,
+//! so the helper takes the removed-optimum as a parameter.
+
+use truthcast_graph::Cost;
+
+/// VCG payment to a selected agent: `removed_opt − opt + declared`.
+///
+/// Saturates to `Cost::INF` when `removed_opt` is infinite (monopoly: the
+/// agent's removal disconnects the instance). `opt` must be finite.
+#[inline]
+pub fn vcg_payment_selected(opt: Cost, removed_opt: Cost, declared: Cost) -> Cost {
+    debug_assert!(opt.is_finite(), "optimum must be finite");
+    debug_assert!(removed_opt >= opt, "removal cannot improve the optimum");
+    removed_opt.saturating_sub(opt).saturating_add(declared)
+}
+
+/// The agent's *critical value*: the highest declaration at which it stays
+/// selected, `removed_opt − (opt − declared)`. Equals the payment of the
+/// plain per-node scheme. Used as an IC probe point by the checkers.
+#[inline]
+pub fn critical_value(opt: Cost, removed_opt: Cost, declared: Cost) -> Cost {
+    vcg_payment_selected(opt, removed_opt, declared)
+}
+
+/// Payment for the set-removal (collusion-resistant) scheme `p̃`:
+/// the unselected case still earns `removed_opt − opt` (which is positive
+/// when the removed set intersects the optimal solution), the selected
+/// case additionally earns the declaration.
+#[inline]
+pub fn set_removal_payment(opt: Cost, removed_opt: Cost, selected: bool, declared: Cost) -> Cost {
+    let base = removed_opt.saturating_sub(opt);
+    if selected {
+        base.saturating_add(declared)
+    } else {
+        base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payment_adds_marginal_harm() {
+        let p = vcg_payment_selected(
+            Cost::from_units(10),
+            Cost::from_units(14),
+            Cost::from_units(3),
+        );
+        assert_eq!(p, Cost::from_units(7));
+    }
+
+    #[test]
+    fn monopoly_payment_is_infinite() {
+        let p = vcg_payment_selected(Cost::from_units(10), Cost::INF, Cost::from_units(3));
+        assert_eq!(p, Cost::INF);
+    }
+
+    #[test]
+    fn zero_marginal_harm_pays_declaration() {
+        let p = vcg_payment_selected(
+            Cost::from_units(10),
+            Cost::from_units(10),
+            Cost::from_units(4),
+        );
+        assert_eq!(p, Cost::from_units(4));
+    }
+
+    #[test]
+    fn set_removal_pays_unselected_bystanders() {
+        let p = set_removal_payment(
+            Cost::from_units(10),
+            Cost::from_units(13),
+            false,
+            Cost::from_units(99),
+        );
+        assert_eq!(p, Cost::from_units(3));
+        let q = set_removal_payment(
+            Cost::from_units(10),
+            Cost::from_units(13),
+            true,
+            Cost::from_units(2),
+        );
+        assert_eq!(q, Cost::from_units(5));
+    }
+}

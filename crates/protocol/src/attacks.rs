@@ -1,0 +1,139 @@
+//! Attack drills for the "other possible attacks" of Section III-H.
+//!
+//! Each drill stages an attack against the settlement protocol and reports
+//! whether the countermeasure held. They are exercised by tests and by the
+//! `examples/collusion_audit.rs` walkthrough.
+
+use truthcast_graph::{Cost, NodeId, NodeWeightedGraph};
+use truthcast_wireless::{EnergyLedger, Session};
+
+use crate::bank::Bank;
+use crate::session::{ack_bytes, initiation_bytes, run_session, SessionError};
+use crate::sigs::Pki;
+
+/// The result of one attack drill.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DrillReport {
+    /// Human-readable attack name.
+    pub attack: &'static str,
+    /// Whether the countermeasure stopped the attack.
+    pub defended: bool,
+    /// What happened.
+    pub detail: String,
+}
+
+/// **Repudiation**: the initiator later denies having started the
+/// session. Defense: the AP holds its signed initiation, which any third
+/// party can re-verify.
+pub fn drill_repudiation(pki: &Pki, session: &Session, session_id: u64) -> DrillReport {
+    let init = initiation_bytes(session, session_id);
+    let sig = pki.sign(session.source, &init);
+    // The denial: "that signature is not mine". Re-verification settles it.
+    let holds = pki.verify(session.source, &init, sig);
+    DrillReport {
+        attack: "repudiation",
+        defended: holds,
+        detail: if holds {
+            format!("{}'s signature re-verified; denial dismissed", session.source)
+        } else {
+            "signature did not verify; repudiation would succeed".into()
+        },
+    }
+}
+
+/// **Billing fraud**: node `attacker` initiates a session in `victim`'s
+/// name. Defense: the initiation signature cannot be forged.
+pub fn drill_billing_fraud(
+    g: &NodeWeightedGraph,
+    ap: NodeId,
+    attacker: NodeId,
+    victim: NodeId,
+    pki: &Pki,
+) -> DrillReport {
+    let mut bank = Bank::open(g.num_nodes());
+    let mut energy = EnergyLedger::uniform(g.num_nodes(), Cost::from_units(1_000_000));
+    let session = Session { source: victim, packets: 3 };
+    let forged = pki.sign(attacker, &initiation_bytes(&session, 77));
+    let outcome = run_session(
+        g, ap, &session, 77, victim, forged, pki, &mut bank, &mut energy,
+    );
+    let defended = outcome == Err(SessionError::BadInitiationSignature)
+        && bank.balance(victim) == 0;
+    DrillReport {
+        attack: "billing-fraud",
+        defended,
+        detail: format!("{attacker} tried to bill {victim}: {outcome:?}"),
+    }
+}
+
+/// **Free riding**: a relay piggybacks its own payload on the initiator's
+/// packets, hoping to reach the AP without paying. Defense: the AP only
+/// acknowledges (and therefore only the initiator's payload is confirmed
+/// delivered) content covered by the initiator's signature; the
+/// piggybacked bytes earn no acknowledgment the free rider can use.
+pub fn drill_free_riding(pki: &Pki, session: &Session, session_id: u64) -> DrillReport {
+    // The initiator signed exactly its own payload description.
+    let legit = initiation_bytes(session, session_id);
+    let _legit_sig = pki.sign(session.source, &legit);
+    // The free rider appends its payload, changing the covered bytes.
+    let mut piggybacked = legit.clone();
+    piggybacked.extend_from_slice(b"+freeride");
+    let sig_over_original = pki.sign(session.source, &legit);
+    let accepted = pki.verify(session.source, &piggybacked, sig_over_original);
+    // The AP's ack covers only the legitimate packet count.
+    let ack = pki.sign(NodeId::ACCESS_POINT, &ack_bytes(session_id, session.packets));
+    let ack_claims_more =
+        pki.verify(NodeId::ACCESS_POINT, &ack_bytes(session_id, session.packets + 1), ack);
+    DrillReport {
+        attack: "free-riding",
+        defended: !accepted && !ack_claims_more,
+        detail: format!(
+            "piggybacked payload accepted: {accepted}; ack inflatable: {ack_claims_more}"
+        ),
+    }
+}
+
+/// Runs every drill on a standard instance.
+pub fn run_all_drills(g: &NodeWeightedGraph, ap: NodeId, pki: &Pki) -> Vec<DrillReport> {
+    let session = Session { source: NodeId(g.num_nodes() as u32 - 1), packets: 4 };
+    vec![
+        drill_repudiation(pki, &session, 1),
+        drill_billing_fraud(g, ap, NodeId(1), session.source, pki),
+        drill_free_riding(pki, &session, 2),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> NodeWeightedGraph {
+        NodeWeightedGraph::from_pairs_units(&[(0, 1), (1, 3), (0, 2), (2, 3)], &[0, 5, 7, 0])
+    }
+
+    #[test]
+    fn all_drills_defended() {
+        let g = diamond();
+        let pki = Pki::provision(4, 99);
+        for report in run_all_drills(&g, NodeId(0), &pki) {
+            assert!(report.defended, "{}: {}", report.attack, report.detail);
+        }
+    }
+
+    #[test]
+    fn repudiation_drill_names_the_source() {
+        let pki = Pki::provision(4, 99);
+        let session = Session { source: NodeId(3), packets: 2 };
+        let r = drill_repudiation(&pki, &session, 5);
+        assert!(r.defended);
+        assert!(r.detail.contains("v3"));
+    }
+
+    #[test]
+    fn billing_fraud_leaves_balances_untouched() {
+        let g = diamond();
+        let pki = Pki::provision(4, 99);
+        let r = drill_billing_fraud(&g, NodeId(0), NodeId(2), NodeId(3), &pki);
+        assert!(r.defended, "{}", r.detail);
+    }
+}

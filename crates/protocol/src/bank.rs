@@ -1,0 +1,97 @@
+//! Accounts at the access point.
+//!
+//! The paper settles all payments at `v_0`: "each node has a secure
+//! account at node v_0"; the AP charges the initiator and credits each
+//! relay after verifying the signed acknowledgment. The bank keeps signed
+//! balances (debts allowed — settlement is out of band) and a transaction
+//! log, and maintains conservation: every transfer debits exactly what it
+//! credits.
+
+use truthcast_graph::{Cost, NodeId};
+
+/// One settled transfer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Transfer {
+    /// The charged node (the session initiator).
+    pub from: NodeId,
+    /// The credited relay.
+    pub to: NodeId,
+    /// Amount in micro-units.
+    pub amount: u64,
+    /// Session this transfer settles.
+    pub session_id: u64,
+}
+
+/// The access point's ledger.
+#[derive(Clone, Debug, Default)]
+pub struct Bank {
+    balances: Vec<i128>,
+    log: Vec<Transfer>,
+}
+
+impl Bank {
+    /// Opens zero-balance accounts for `n` nodes.
+    pub fn open(n: usize) -> Bank {
+        Bank { balances: vec![0; n], log: Vec::new() }
+    }
+
+    /// Balance of `v` in micro-units (negative = owes the network).
+    pub fn balance(&self, v: NodeId) -> i128 {
+        self.balances[v.index()]
+    }
+
+    /// Transfers `amount` from the initiator to a relay.
+    pub fn transfer(&mut self, from: NodeId, to: NodeId, amount: Cost, session_id: u64) {
+        assert!(amount.is_finite(), "cannot settle an infinite (monopoly) payment");
+        let micros = amount.micros();
+        self.balances[from.index()] -= micros as i128;
+        self.balances[to.index()] += micros as i128;
+        self.log.push(Transfer { from, to, amount: micros, session_id });
+    }
+
+    /// The transaction log.
+    pub fn log(&self) -> &[Transfer] {
+        &self.log
+    }
+
+    /// Conservation check: balances sum to zero.
+    pub fn is_conserved(&self) -> bool {
+        self.balances.iter().sum::<i128>() == 0
+    }
+
+    /// Net amount `v` earned (credits minus debits) across the log.
+    pub fn net_earned(&self, v: NodeId) -> i128 {
+        self.balance(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_moves_money() {
+        let mut bank = Bank::open(3);
+        bank.transfer(NodeId(0), NodeId(1), Cost::from_units(5), 1);
+        assert_eq!(bank.balance(NodeId(0)), -5_000_000);
+        assert_eq!(bank.balance(NodeId(1)), 5_000_000);
+        assert!(bank.is_conserved());
+        assert_eq!(bank.log().len(), 1);
+    }
+
+    #[test]
+    fn balances_accumulate() {
+        let mut bank = Bank::open(3);
+        bank.transfer(NodeId(0), NodeId(1), Cost::from_units(5), 1);
+        bank.transfer(NodeId(1), NodeId(2), Cost::from_units(2), 2);
+        assert_eq!(bank.balance(NodeId(1)), 3_000_000);
+        assert!(bank.is_conserved());
+    }
+
+    #[test]
+    #[should_panic(expected = "monopoly")]
+    fn infinite_payment_rejected() {
+        let mut bank = Bank::open(2);
+        bank.transfer(NodeId(0), NodeId(1), Cost::INF, 1);
+    }
+}

@@ -1,0 +1,126 @@
+//! End-to-end: settle sessions with *distributed*-computed prices.
+//!
+//! The paper's deployment story is fully decentralized — stage 1 and
+//! stage 2 run in the network, and the access point settles from the
+//! converged entries. This module closes that loop: it takes a converged
+//! [`DistributedRun`] and charges sessions from its `p_i^k` entries, so
+//! tests can confirm the distributed pipeline produces byte-identical
+//! ledgers to centralized settlement.
+
+use truthcast_distsim::DistributedRun;
+use truthcast_graph::NodeWeightedGraph;
+use truthcast_wireless::{EnergyLedger, Session};
+
+use crate::bank::Bank;
+use crate::session::{ack_bytes, initiation_bytes, SessionError};
+use crate::sigs::Pki;
+
+/// Settles one session using the distributed run's converged payments.
+///
+/// Mirrors [`crate::session::run_session`] but prices from the
+/// distributed entries instead of re-running Algorithm 1.
+pub fn settle_from_distributed(
+    g: &NodeWeightedGraph,
+    run: &DistributedRun,
+    session: &Session,
+    session_id: u64,
+    pki: &Pki,
+    bank: &mut Bank,
+    energy: &mut EnergyLedger,
+) -> Result<u64, SessionError> {
+    let src = session.source;
+    // Signed initiation (honest path).
+    let sig = pki.sign(src, &initiation_bytes(session, session_id));
+    if !pki.verify(src, &initiation_bytes(session, session_id), sig) {
+        return Err(SessionError::BadInitiationSignature);
+    }
+    let Some(route) = run.spt.route[src.index()].as_ref() else {
+        return Err(SessionError::Unreachable);
+    };
+    let entries = &run.payments.payments[src.index()];
+    if let Some(&(relay, _)) = entries.iter().find(|&&(_, p)| p.is_inf()) {
+        return Err(SessionError::MonopolyRelay(relay));
+    }
+
+    // Relay with energy accounting along the distributed route.
+    for _ in 0..session.packets {
+        for &relay in &route[1..route.len() - 1] {
+            if !energy.relay_packet(relay, g.cost(relay)) {
+                return Err(SessionError::RelayDepleted(relay));
+            }
+        }
+    }
+
+    // Acknowledge and settle each relay at s · p_i^k.
+    let _ack = pki.sign(run.spt.ap, &ack_bytes(session_id, session.packets));
+    let mut charged = 0u64;
+    for &(relay, price) in entries {
+        let amount = price.scale(session.packets);
+        bank.transfer(src, relay, amount, session_id);
+        charged += amount.micros();
+    }
+    Ok(charged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use truthcast_distsim::run_distributed;
+    use truthcast_graph::{Cost, NodeId};
+
+    fn ring_with_chord() -> NodeWeightedGraph {
+        NodeWeightedGraph::from_pairs_units(
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)],
+            &[0, 4, 7, 2, 9],
+        )
+    }
+
+    #[test]
+    fn distributed_settlement_matches_centralized() {
+        let g = ring_with_chord();
+        let run = run_distributed(&g, NodeId(0));
+        let pki = Pki::provision(5, 1);
+
+        for source in [NodeId(2), NodeId(3)] {
+            let session = Session { source, packets: 3 };
+            let mut bank_d = Bank::open(5);
+            let mut energy_d = EnergyLedger::uniform(5, Cost::from_units(1000));
+            let charged_d = settle_from_distributed(
+                &g, &run, &session, 9, &pki, &mut bank_d, &mut energy_d,
+            )
+            .unwrap();
+
+            let mut bank_c = Bank::open(5);
+            let mut energy_c = EnergyLedger::uniform(5, Cost::from_units(1000));
+            let receipt = crate::session::run_honest_session(
+                &g, NodeId(0), &session, 9, &pki, &mut bank_c, &mut energy_c,
+            )
+            .unwrap();
+
+            assert_eq!(charged_d, receipt.charged, "source {source}");
+            for v in g.node_ids() {
+                assert_eq!(bank_d.balance(v), bank_c.balance(v), "balance of {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_and_monopoly_are_reported() {
+        let g = NodeWeightedGraph::from_pairs_units(&[(0, 1), (1, 2)], &[0, 3, 0]);
+        let run = run_distributed(&g, NodeId(0));
+        let pki = Pki::provision(3, 1);
+        let mut bank = Bank::open(3);
+        let mut energy = EnergyLedger::uniform(3, Cost::from_units(10));
+        let err = settle_from_distributed(
+            &g,
+            &run,
+            &Session { source: NodeId(2), packets: 1 },
+            1,
+            &pki,
+            &mut bank,
+            &mut energy,
+        )
+        .unwrap_err();
+        assert_eq!(err, SessionError::MonopolyRelay(NodeId(1)));
+    }
+}

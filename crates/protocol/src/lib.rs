@@ -1,0 +1,40 @@
+//! # truthcast-protocol
+//!
+//! Payment-clearing substrate for the `truthcast` reproduction of
+//! *Truthful Low-Cost Unicast in Selfish Wireless Networks* (Wang & Li,
+//! IPPS 2004) — the Section III-H machinery around the pricing mechanism:
+//!
+//! * [`sigs`] — simulated signatures and PKI (simulation-grade keyed
+//!   hashing, explicitly **not** cryptography);
+//! * [`bank`] — per-node accounts at the access point with a conserved
+//!   transfer ledger;
+//! * [`session`] — connection-oriented sessions: signed initiation,
+//!   relaying with battery drain, signed acknowledgment, and
+//!   pay-on-acknowledgment settlement at `s · p_i^k` per relay;
+//! * [`attacks`] — drills for repudiation, billing fraud, and free-riding
+//!   piggybacking, each showing the countermeasure holding;
+//! * [`resale_enactment`] — the Figure 4 resale collusion played out as
+//!   actual ledger movements;
+//! * [`distributed_settlement`] — settlement priced from the *distributed*
+//!   protocol's converged entries, closing the fully decentralized loop;
+//! * [`watchdog`] — the Watchdog/Pathrater reputation baseline and its
+//!   wrongful-blacklisting failure mode, measured against paid relaying.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod attacks;
+pub mod distributed_settlement;
+pub mod bank;
+pub mod resale_enactment;
+pub mod session;
+pub mod sigs;
+pub mod watchdog;
+
+pub use attacks::{drill_billing_fraud, drill_free_riding, drill_repudiation, run_all_drills, DrillReport};
+pub use bank::{Bank, Transfer};
+pub use distributed_settlement::settle_from_distributed;
+pub use resale_enactment::{enact_resale, ResaleEnactment};
+pub use session::{run_honest_session, run_session, Receipt, SessionError};
+pub use sigs::{Pki, Signature};
+pub use watchdog::{run_paid_era, run_watchdog_era, WatchdogReport};

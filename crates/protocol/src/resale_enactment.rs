@@ -1,0 +1,103 @@
+//! Enacting the Section III-H resale collusion through the ledger.
+//!
+//! [`truthcast_core::resale`] *detects* the opportunity; this module plays
+//! it out: the reseller originates the initiator's session over its own
+//! LCP, the initiator reimburses the reseller's outlay plus its honest
+//! share, and the two split the savings. The ledger totals let tests (and
+//! the `collusion_audit` example) confirm the paper's arithmetic as actual
+//! money movements, not just formulas.
+
+use truthcast_graph::{Cost, NodeId, NodeWeightedGraph};
+use truthcast_wireless::{EnergyLedger, Session};
+
+use truthcast_core::ResaleOpportunity;
+
+use crate::bank::Bank;
+use crate::session::{run_honest_session, SessionError};
+use crate::sigs::Pki;
+
+/// The outcome of enacting a resale collusion for a one-packet session.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResaleEnactment {
+    /// What the initiator would have paid going directly (micro-units).
+    pub direct_cost: u64,
+    /// The initiator's actual outlay under the collusion (micro-units).
+    pub collusive_cost: u64,
+    /// The reseller's net gain (micro-units).
+    pub reseller_gain: i128,
+}
+
+/// Plays out the collusion: the reseller runs the session as originator,
+/// then the initiator reimburses it out of band (modelled as a bank
+/// transfer of `collusion_cost + savings/2`).
+pub fn enact_resale(
+    g: &NodeWeightedGraph,
+    ap: NodeId,
+    op: &ResaleOpportunity,
+    pki: &Pki,
+    bank: &mut Bank,
+    energy: &mut EnergyLedger,
+) -> Result<ResaleEnactment, SessionError> {
+    let reseller_before = bank.balance(op.reseller);
+
+    // 1. The reseller originates the packet over its own LCP and pays its
+    //    relays the honest VCG prices.
+    let session = Session { source: op.reseller, packets: 1 };
+    run_honest_session(g, ap, &session, 0xC0111, pki, bank, energy)?;
+
+    // 2. The reseller also physically forwards the initiator's packet
+    //    (one hop from the initiator), incurring its own relay cost.
+    energy.relay_packet(op.reseller, g.cost(op.reseller));
+
+    // 3. Side payment: outlay + honest share + half the savings.
+    let half_savings = Cost::from_micros(op.savings.micros() / 2);
+    let side = op.collusion_cost.saturating_add(half_savings);
+    bank.transfer(op.initiator, op.reseller, side, 0xC0111);
+
+    let reseller_gain = bank.balance(op.reseller) - reseller_before
+        - g.cost(op.reseller).micros() as i128;
+    Ok(ResaleEnactment {
+        direct_cost: op.direct_payment.micros(),
+        collusive_cost: side.micros(),
+        reseller_gain,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use truthcast_core::{find_resale_opportunities, paper_figure4_instance};
+
+    #[test]
+    fn figure4_enactment_matches_paper_arithmetic() {
+        let (g, ap) = paper_figure4_instance();
+        let op = find_resale_opportunities(&g, ap)
+            .into_iter()
+            .find(|o| o.initiator == NodeId(8) && o.reseller == NodeId(4))
+            .unwrap();
+        let pki = Pki::provision(g.num_nodes(), 3);
+        let mut bank = Bank::open(g.num_nodes());
+        let mut energy = EnergyLedger::uniform(g.num_nodes(), Cost::from_units(1000));
+        let e = enact_resale(&g, ap, &op, &pki, &mut bank, &mut energy).unwrap();
+        // Direct: 20. Collusive: 11 + 4.5 = 15.5.
+        assert_eq!(e.direct_cost, 20_000_000);
+        assert_eq!(e.collusive_cost, 15_500_000);
+        // Both parties strictly better off: the initiator saves 4.5, the
+        // reseller nets +4.5 (reimbursed outlay + cost + half savings).
+        assert!(e.collusive_cost < e.direct_cost);
+        assert_eq!(e.reseller_gain, 4_500_000);
+        assert!(bank.is_conserved());
+    }
+
+    #[test]
+    fn enactment_respects_energy() {
+        let (g, ap) = paper_figure4_instance();
+        let op = find_resale_opportunities(&g, ap).into_iter().next().unwrap();
+        let pki = Pki::provision(g.num_nodes(), 3);
+        let mut bank = Bank::open(g.num_nodes());
+        let mut energy = EnergyLedger::uniform(g.num_nodes(), Cost::from_units(1000));
+        enact_resale(&g, ap, &op, &pki, &mut bank, &mut energy).unwrap();
+        // The reseller physically relayed the packet: one relay recorded.
+        assert!(energy.relayed_packets(op.reseller) >= 1);
+    }
+}

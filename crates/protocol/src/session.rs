@@ -1,0 +1,233 @@
+//! Connection-oriented sessions with pay-on-acknowledgment settlement.
+//!
+//! The full per-session flow of Section III-H:
+//!
+//! 1. the initiator prices its LCP to the access point (Algorithm 1) and
+//!    **signs** the session initiation (countering repudiation);
+//! 2. packets traverse the relays (draining their batteries);
+//! 3. the AP verifies the initiation signature and returns a **signed
+//!    acknowledgment** per delivered packet;
+//! 4. only on a verified acknowledgment does the AP settle: each relay is
+//!    credited `s · p_i^k` and the initiator charged — so a free rider
+//!    whose packets carry no valid initiator signature never triggers a
+//!    delivery acknowledgment it could use.
+
+use truthcast_graph::{NodeId, NodeWeightedGraph};
+use truthcast_wireless::{EnergyLedger, Session};
+
+use truthcast_core::fast_payments;
+
+use crate::bank::Bank;
+use crate::sigs::{Pki, Signature};
+
+/// Why a session was rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SessionError {
+    /// No route from the initiator to the access point.
+    Unreachable,
+    /// Some relay holds a monopoly — its VCG price is unbounded, so the
+    /// session cannot be settled (the paper's biconnectivity assumption).
+    MonopolyRelay(NodeId),
+    /// The initiation signature failed verification (repudiation attempt
+    /// or forged initiator).
+    BadInitiationSignature,
+    /// A relay ran out of battery mid-session.
+    RelayDepleted(NodeId),
+}
+
+/// A settled session's receipt.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Receipt {
+    /// The session id.
+    pub session_id: u64,
+    /// The path the packets took.
+    pub path: Vec<NodeId>,
+    /// Packets delivered and acknowledged.
+    pub packets: u64,
+    /// Total charged to the initiator (micro-units).
+    pub charged: u64,
+    /// The AP's signed acknowledgment of the last packet.
+    pub ack: Signature,
+}
+
+/// The message bytes the initiator signs for session `id`.
+pub fn initiation_bytes(session: &Session, id: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(20);
+    out.extend_from_slice(&id.to_le_bytes());
+    out.extend_from_slice(&session.source.0.to_le_bytes());
+    out.extend_from_slice(&session.packets.to_le_bytes());
+    out
+}
+
+/// The bytes of the AP's acknowledgment.
+pub fn ack_bytes(session_id: u64, packets: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    out.extend_from_slice(&session_id.to_le_bytes());
+    out.extend_from_slice(&packets.to_le_bytes());
+    out
+}
+
+/// Runs one session end to end: pricing, signed initiation, relaying with
+/// energy accounting, signed acknowledgment, settlement.
+///
+/// `claimed_initiator` is whom the initiation *claims* to come from;
+/// honest senders pass `session.source`, attackers something else — and
+/// get [`SessionError::BadInitiationSignature`].
+#[allow(clippy::too_many_arguments)] // the protocol message fields, spelled out
+pub fn run_session(
+    g: &NodeWeightedGraph,
+    ap: NodeId,
+    session: &Session,
+    session_id: u64,
+    claimed_initiator: NodeId,
+    initiation_sig: Signature,
+    pki: &Pki,
+    bank: &mut Bank,
+    energy: &mut EnergyLedger,
+) -> Result<Receipt, SessionError> {
+    // 1. The AP verifies the signed initiation before anything is paid.
+    let init = initiation_bytes(session, session_id);
+    if !pki.verify(claimed_initiator, &init, initiation_sig) || claimed_initiator != session.source
+    {
+        return Err(SessionError::BadInitiationSignature);
+    }
+
+    // 2. Price the route.
+    let pricing = fast_payments(g, session.source, ap).ok_or(SessionError::Unreachable)?;
+    if let Some(&(relay, _)) = pricing.payments.iter().find(|&&(_, p)| p.is_inf()) {
+        return Err(SessionError::MonopolyRelay(relay));
+    }
+
+    // 3. Relay the packets, draining batteries at true cost.
+    for _ in 0..session.packets {
+        for &relay in pricing.relays() {
+            if !energy.relay_packet(relay, g.cost(relay)) {
+                return Err(SessionError::RelayDepleted(relay));
+            }
+        }
+    }
+
+    // 4. Signed acknowledgment from the AP, then settlement: s · p_i^k.
+    let ack = pki.sign(ap, &ack_bytes(session_id, session.packets));
+    let mut charged = 0u64;
+    for &(relay, price) in &pricing.payments {
+        let amount = price.scale(session.packets);
+        bank.transfer(session.source, relay, amount, session_id);
+        charged += amount.micros();
+    }
+
+    Ok(Receipt { session_id, path: pricing.path, packets: session.packets, charged, ack })
+}
+
+/// Convenience: sign and run an honest session.
+pub fn run_honest_session(
+    g: &NodeWeightedGraph,
+    ap: NodeId,
+    session: &Session,
+    session_id: u64,
+    pki: &Pki,
+    bank: &mut Bank,
+    energy: &mut EnergyLedger,
+) -> Result<Receipt, SessionError> {
+    let sig = pki.sign(session.source, &initiation_bytes(session, session_id));
+    run_session(g, ap, session, session_id, session.source, sig, pki, bank, energy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use truthcast_graph::Cost;
+
+    fn diamond() -> NodeWeightedGraph {
+        NodeWeightedGraph::from_pairs_units(&[(0, 1), (1, 3), (0, 2), (2, 3)], &[0, 5, 7, 0])
+    }
+
+    fn setup(n: usize) -> (Pki, Bank, EnergyLedger) {
+        (Pki::provision(n, 7), Bank::open(n), EnergyLedger::uniform(n, Cost::from_units(1000)))
+    }
+
+    #[test]
+    fn honest_session_settles_per_packet() {
+        let g = diamond();
+        let (pki, mut bank, mut energy) = setup(4);
+        let session = Session { source: NodeId(3), packets: 4 };
+        let receipt =
+            run_honest_session(&g, NodeId(0), &session, 1, &pki, &mut bank, &mut energy).unwrap();
+        assert_eq!(receipt.path, vec![NodeId(3), NodeId(1), NodeId(0)]);
+        // p_3^1 = 7 per packet, 4 packets → 28 total.
+        assert_eq!(receipt.charged, 28_000_000);
+        assert_eq!(bank.balance(NodeId(1)), 28_000_000);
+        assert_eq!(bank.balance(NodeId(3)), -28_000_000);
+        assert!(bank.is_conserved());
+        // Battery drained at true cost: 4 packets × 5.
+        assert_eq!(energy.remaining(NodeId(1)), Cost::from_units(1000 - 20));
+        assert_eq!(energy.relayed_packets(NodeId(1)), 4);
+        // The ack is genuine.
+        assert!(pki.verify(NodeId(0), &ack_bytes(1, 4), receipt.ack));
+    }
+
+    #[test]
+    fn relay_profits_despite_draining() {
+        // The relay's credit (7/packet) exceeds its energy cost (5/packet):
+        // exactly the incentive the mechanism is designed to create.
+        let g = diamond();
+        let (pki, mut bank, mut energy) = setup(4);
+        let session = Session { source: NodeId(3), packets: 10 };
+        run_honest_session(&g, NodeId(0), &session, 1, &pki, &mut bank, &mut energy).unwrap();
+        let earned = bank.net_earned(NodeId(1));
+        let spent = (Cost::from_units(1000) - energy.remaining(NodeId(1))).micros() as i128;
+        assert!(earned > spent, "earned {earned} vs spent {spent}");
+        assert_eq!(earned - spent, 20_000_000); // utility = 10 × (7 − 5)
+    }
+
+    #[test]
+    fn forged_initiation_is_rejected() {
+        let g = diamond();
+        let (pki, mut bank, mut energy) = setup(4);
+        let session = Session { source: NodeId(3), packets: 2 };
+        // Node 2 tries to start a session billed to node 3.
+        let forged = pki.sign(NodeId(2), &initiation_bytes(&session, 9));
+        let err = run_session(
+            &g, NodeId(0), &session, 9, NodeId(3), forged, &pki, &mut bank, &mut energy,
+        )
+        .unwrap_err();
+        assert_eq!(err, SessionError::BadInitiationSignature);
+        assert_eq!(bank.balance(NodeId(3)), 0, "victim not charged");
+    }
+
+    #[test]
+    fn monopoly_relay_blocks_settlement() {
+        let g = NodeWeightedGraph::from_pairs_units(&[(0, 1), (1, 2)], &[0, 3, 0]);
+        let (pki, mut bank, mut energy) = setup(3);
+        let session = Session { source: NodeId(2), packets: 1 };
+        let err =
+            run_honest_session(&g, NodeId(0), &session, 1, &pki, &mut bank, &mut energy)
+                .unwrap_err();
+        assert_eq!(err, SessionError::MonopolyRelay(NodeId(1)));
+    }
+
+    #[test]
+    fn depleted_relay_aborts() {
+        let g = diamond();
+        let pki = Pki::provision(4, 7);
+        let mut bank = Bank::open(4);
+        let mut energy = EnergyLedger::uniform(4, Cost::from_units(12));
+        let session = Session { source: NodeId(3), packets: 5 }; // needs 25
+        let err =
+            run_honest_session(&g, NodeId(0), &session, 1, &pki, &mut bank, &mut energy)
+                .unwrap_err();
+        assert_eq!(err, SessionError::RelayDepleted(NodeId(1)));
+        assert_eq!(bank.balance(NodeId(1)), 0, "no settlement without delivery");
+    }
+
+    #[test]
+    fn unreachable_source() {
+        let g = NodeWeightedGraph::from_pairs_units(&[(0, 1)], &[0, 0, 0]);
+        let (pki, mut bank, mut energy) = setup(3);
+        let session = Session { source: NodeId(2), packets: 1 };
+        let err =
+            run_honest_session(&g, NodeId(0), &session, 1, &pki, &mut bank, &mut energy)
+                .unwrap_err();
+        assert_eq!(err, SessionError::Unreachable);
+    }
+}

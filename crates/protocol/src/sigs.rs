@@ -1,0 +1,98 @@
+//! Simulated message signatures and PKI.
+//!
+//! The paper counters repudiation ("a node may refuse to pay by claiming
+//! he did not initiate some communication") and free riding by requiring
+//! signed initiations and signed acknowledgments. The *mechanism* only
+//! needs unforgeability **within the simulation**, so signatures here are
+//! a keyed 64-bit hash over the message bytes.
+//!
+//! **This is not cryptography.** Do not use outside the simulator; a real
+//! deployment would substitute any standard MAC/signature scheme — the
+//! protocol logic in this crate is agnostic to the primitive.
+
+use truthcast_graph::NodeId;
+
+/// A simulated signature.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Signature(u64);
+
+/// The simulated PKI: per-node signing secrets, with verification offered
+/// as an oracle (standing in for public-key verification).
+#[derive(Clone, Debug)]
+pub struct Pki {
+    secrets: Vec<u64>,
+}
+
+/// FNV-1a over the message, mixed with the key (simulation-grade only).
+fn keyed_hash(key: u64, msg: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ key.rotate_left(17);
+    for &b in msg {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h ^= key;
+    h.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+impl Pki {
+    /// Provisions `n` nodes with secrets derived from `seed`.
+    pub fn provision(n: usize, seed: u64) -> Pki {
+        let mut s = seed.wrapping_add(0x0123_4567_89ab_cdef);
+        let secrets = (0..n)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s
+            })
+            .collect();
+        Pki { secrets }
+    }
+
+    /// Number of provisioned nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.secrets.len()
+    }
+
+    /// Signs `msg` as `node` (only the node itself holds its secret; the
+    /// simulator enforces this by convention).
+    pub fn sign(&self, node: NodeId, msg: &[u8]) -> Signature {
+        Signature(keyed_hash(self.secrets[node.index()], msg))
+    }
+
+    /// Verifies that `sig` is `node`'s signature over `msg`.
+    pub fn verify(&self, node: NodeId, msg: &[u8], sig: Signature) -> bool {
+        self.sign(node, msg) == sig
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let pki = Pki::provision(3, 42);
+        let sig = pki.sign(NodeId(1), b"packet 7");
+        assert!(pki.verify(NodeId(1), b"packet 7", sig));
+    }
+
+    #[test]
+    fn wrong_signer_fails() {
+        let pki = Pki::provision(3, 42);
+        let sig = pki.sign(NodeId(1), b"packet 7");
+        assert!(!pki.verify(NodeId(2), b"packet 7", sig));
+    }
+
+    #[test]
+    fn tampered_message_fails() {
+        let pki = Pki::provision(3, 42);
+        let sig = pki.sign(NodeId(1), b"packet 7");
+        assert!(!pki.verify(NodeId(1), b"packet 8", sig));
+    }
+
+    #[test]
+    fn different_seeds_give_different_secrets() {
+        let a = Pki::provision(2, 1);
+        let b = Pki::provision(2, 2);
+        assert_ne!(a.sign(NodeId(0), b"x"), b.sign(NodeId(0), b"x"));
+    }
+}

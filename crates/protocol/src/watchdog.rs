@@ -1,0 +1,186 @@
+//! The Watchdog/Pathrater baseline (the paper's \[4\]) — and its failure
+//! mode, measured.
+//!
+//! Watchdog observes neighbors and labels nodes that decline to relay as
+//! *misbehaving*; Pathrater then routes around them. The paper's critique:
+//! "this method ignores the reason why a node refused to relay ... A node
+//! will be wrongfully labelled as misbehaving when its battery power
+//! cannot support many relay requests". Without compensation, declining is
+//! the *rational* response to a low battery — so the reputation scheme
+//! punishes exactly the nodes the pricing mechanism would have kept
+//! cooperating.
+//!
+//! [`run_watchdog_era`] simulates a session sequence under
+//! reputation-only forwarding (each node keeps an energy reserve and
+//! declines below it; decliners get blacklisted), and
+//! [`run_paid_era`] runs the same workload under VCG settlement.
+//! Comparing delivery counts quantifies the critique.
+
+use truthcast_graph::mask::NodeMask;
+use truthcast_graph::node_dijkstra::lcp_between;
+use truthcast_graph::{NodeId, NodeWeightedGraph};
+use truthcast_wireless::{EnergyLedger, Session};
+
+use crate::bank::Bank;
+use crate::session::{run_honest_session, SessionError};
+use crate::sigs::Pki;
+
+/// Result of a reputation-era simulation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WatchdogReport {
+    /// Sessions fully delivered.
+    pub delivered: usize,
+    /// Sessions dropped (no unlabeled route, or a relay declined
+    /// mid-session).
+    pub dropped: usize,
+    /// Nodes blacklisted by the watchdog.
+    pub blacklisted: Vec<NodeId>,
+    /// Blacklisted nodes that were merely conserving battery — the
+    /// paper's "wrongfully labelled" set (all of them, here: nobody is
+    /// actually malicious in this simulation).
+    pub wrongfully_labelled: Vec<NodeId>,
+}
+
+/// Runs the workload under Watchdog/Pathrater with **no payments**: a
+/// rational node relays only while its battery stays above
+/// `reserve_fraction` of capacity; declining earns a permanent blacklist
+/// entry, and Pathrater avoids blacklisted nodes thereafter.
+pub fn run_watchdog_era(
+    g: &NodeWeightedGraph,
+    ap: NodeId,
+    sessions: &[Session],
+    energy: &mut EnergyLedger,
+    reserve_fraction: f64,
+) -> WatchdogReport {
+    let n = g.num_nodes();
+    let mut blacklist = NodeMask::new(n);
+    let mut delivered = 0usize;
+    let mut dropped = 0usize;
+
+    for session in sessions {
+        // Pathrater: route avoiding blacklisted nodes.
+        let Some(path) = lcp_between(g, session.source, ap, Some(&blacklist)) else {
+            dropped += 1;
+            continue;
+        };
+        let mut ok = true;
+        'packets: for _ in 0..session.packets {
+            for &relay in &path[1..path.len() - 1] {
+                // The rational relay declines when its battery would dip
+                // below the reserve (no payment to justify the burn).
+                let would_remain =
+                    energy.remaining(relay).saturating_sub(g.cost(relay)).as_f64();
+                let keeps_reserve =
+                    would_remain >= reserve_fraction * energy.capacity(relay).as_f64();
+                if !keeps_reserve || !energy.relay_packet(relay, g.cost(relay)) {
+                    // Watchdog sees the drop and blacklists the relay.
+                    blacklist.block(relay);
+                    ok = false;
+                    break 'packets;
+                }
+            }
+        }
+        if ok {
+            delivered += 1;
+        } else {
+            dropped += 1;
+        }
+    }
+
+    let blacklisted: Vec<NodeId> = blacklist.blocked_nodes().to_vec();
+    WatchdogReport {
+        delivered,
+        dropped,
+        // No node in this simulation is malicious: every label is wrong.
+        wrongfully_labelled: blacklisted.clone(),
+        blacklisted,
+    }
+}
+
+/// The same workload under the paper's mechanism: relays are paid their
+/// VCG price per packet, so they keep relaying as long as the battery
+/// physically allows. Returns sessions delivered.
+pub fn run_paid_era(
+    g: &NodeWeightedGraph,
+    ap: NodeId,
+    sessions: &[Session],
+    energy: &mut EnergyLedger,
+    pki: &Pki,
+    bank: &mut Bank,
+) -> usize {
+    let mut delivered = 0usize;
+    for (id, session) in sessions.iter().enumerate() {
+        match run_honest_session(g, ap, session, id as u64, pki, bank, energy) {
+            Ok(_) => delivered += 1,
+            Err(
+                SessionError::Unreachable
+                | SessionError::MonopolyRelay(_)
+                | SessionError::RelayDepleted(_),
+            ) => {}
+            Err(e) => panic!("unexpected failure: {e:?}"),
+        }
+    }
+    delivered
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use truthcast_graph::Cost;
+    use truthcast_wireless::all_to_ap_sessions;
+
+    /// Diamond with a far node 4 behind the branches.
+    fn network() -> NodeWeightedGraph {
+        NodeWeightedGraph::from_pairs_units(
+            &[(0, 1), (1, 3), (0, 2), (2, 3), (3, 4)],
+            &[0, 3, 4, 2, 0],
+        )
+    }
+
+    #[test]
+    fn battery_conserving_relays_get_wrongfully_blacklisted() {
+        let g = network();
+        let mut energy = EnergyLedger::uniform(5, Cost::from_units(30));
+        // Nodes keep a 50% reserve: rational self-preservation.
+        let sessions: Vec<Session> =
+            std::iter::repeat(all_to_ap_sessions(5, 2)).take(4).flatten().collect();
+        let report = run_watchdog_era(&g, NodeId(0), &sessions, &mut energy, 0.5);
+        assert!(!report.blacklisted.is_empty(), "{report:?}");
+        assert_eq!(report.blacklisted, report.wrongfully_labelled);
+        assert!(report.dropped > 0);
+    }
+
+    #[test]
+    fn payments_deliver_more_than_reputation() {
+        let g = network();
+        let sessions: Vec<Session> =
+            std::iter::repeat(all_to_ap_sessions(5, 2)).take(4).flatten().collect();
+
+        let mut energy_w = EnergyLedger::uniform(5, Cost::from_units(30));
+        let watchdog = run_watchdog_era(&g, NodeId(0), &sessions, &mut energy_w, 0.5);
+
+        let mut energy_p = EnergyLedger::uniform(5, Cost::from_units(30));
+        let pki = Pki::provision(5, 2);
+        let mut bank = Bank::open(5);
+        let paid = run_paid_era(&g, NodeId(0), &sessions, &mut energy_p, &pki, &mut bank);
+
+        assert!(
+            paid > watchdog.delivered,
+            "paid {paid} vs watchdog {:?}",
+            watchdog.delivered
+        );
+        assert!(bank.is_conserved());
+    }
+
+    #[test]
+    fn zero_reserve_watchdog_equals_physical_limits() {
+        // With no reserve, nodes relay until they physically die, so no
+        // wrongful labels occur until depletion.
+        let g = network();
+        let mut energy = EnergyLedger::uniform(5, Cost::from_units(1_000_000));
+        let sessions = all_to_ap_sessions(5, 1);
+        let report = run_watchdog_era(&g, NodeId(0), &sessions, &mut energy, 0.0);
+        assert_eq!(report.dropped, 0, "{report:?}");
+        assert!(report.blacklisted.is_empty());
+    }
+}

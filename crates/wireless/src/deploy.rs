@@ -1,0 +1,229 @@
+//! Deployments: node placements with radio parameters, and the graph models
+//! the paper derives from them.
+//!
+//! A [`Deployment`] can be lowered to either of the paper's two models:
+//!
+//! * [`Deployment::to_link_digraph`] — the Section III-F vector-type model:
+//!   a directed graph with arc `i → j` iff `‖v_i v_j‖ ≤ range_i`, priced
+//!   `α_i + β_i·‖v_i v_j‖^κ`. With per-node ranges the topology itself is
+//!   asymmetric, exactly the paper's second simulation.
+//! * [`Deployment::to_node_weighted`] — the node-cost model of Sections
+//!   II–III-E: a symmetric unit-disk topology with a scalar relay cost per
+//!   node (full-power transmission cost, or externally supplied costs).
+
+use rand::Rng;
+
+use truthcast_graph::generators::{pairs_within_range, random_placement};
+use truthcast_graph::geometry::{Point, Region};
+use truthcast_graph::{
+    AdjacencyBuilder, Cost, LinkWeightedDigraph, NodeWeightedGraph,
+};
+
+use crate::power::RadioParams;
+
+/// A set of placed radios plus the shared path-loss exponent `κ`.
+#[derive(Clone, Debug)]
+pub struct Deployment {
+    /// Node positions (index = node id; node 0 is the access point).
+    pub positions: Vec<Point>,
+    /// Per-node radio parameters.
+    pub radios: Vec<RadioParams>,
+    /// Path-loss exponent shared by all nodes.
+    pub kappa: f64,
+}
+
+impl Deployment {
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// The paper's **first simulation**: `n` nodes uniform in a
+    /// 2000 m × 2000 m region, common 300 m range, link cost `‖v_iv_j‖^κ`.
+    pub fn paper_sim1(n: usize, kappa: f64, rng: &mut impl Rng) -> Deployment {
+        let positions = random_placement(n, Region::PAPER, rng);
+        Deployment {
+            positions,
+            radios: vec![RadioParams::PAPER_SIM1; n],
+            kappa,
+        }
+    }
+
+    /// The paper's **second simulation**: per-node transmission range
+    /// uniform in [100, 500] m, link cost `c1 + c2·‖v_iv_j‖^κ` with
+    /// `c1 ∈ [300, 500]`, `c2 ∈ [10, 50]` per node.
+    pub fn paper_sim2(n: usize, kappa: f64, rng: &mut impl Rng) -> Deployment {
+        let positions = random_placement(n, Region::PAPER, rng);
+        let radios = (0..n)
+            .map(|_| RadioParams {
+                alpha: rng.gen_range(300.0..=500.0),
+                beta: rng.gen_range(10.0..=50.0),
+                range: rng.gen_range(100.0..=500.0),
+            })
+            .collect();
+        Deployment { positions, radios, kappa }
+    }
+
+    /// The directed link-weighted model: arc `i → j` iff `j` is within
+    /// `i`'s range, priced `α_i + β_i·d^κ`.
+    pub fn to_link_digraph(&self) -> LinkWeightedDigraph {
+        let n = self.num_nodes();
+        let max_range = self.radios.iter().map(|r| r.range).fold(0.0, f64::max);
+        let mut arcs = Vec::new();
+        if max_range > 0.0 {
+            for (u, v) in pairs_within_range(&self.positions, max_range) {
+                let d = self.positions[u.index()].dist(&self.positions[v.index()]);
+                let uv = self.radios[u.index()].transmit_cost(d, self.kappa);
+                if uv.is_finite() {
+                    arcs.push((u, v, uv));
+                }
+                let vu = self.radios[v.index()].transmit_cost(d, self.kappa);
+                if vu.is_finite() {
+                    arcs.push((v, u, vu));
+                }
+            }
+        }
+        LinkWeightedDigraph::from_arcs(n, arcs)
+    }
+
+    /// The symmetric node-cost model: an edge `{i, j}` iff each endpoint is
+    /// within the *other's* range (bidirectional links only), with node
+    /// relay costs supplied by `costs`.
+    pub fn to_node_weighted(&self, costs: Vec<Cost>) -> NodeWeightedGraph {
+        let n = self.num_nodes();
+        assert_eq!(costs.len(), n);
+        let max_range = self.radios.iter().map(|r| r.range).fold(0.0, f64::max);
+        let mut b = AdjacencyBuilder::new(n);
+        if max_range > 0.0 {
+            for (u, v) in pairs_within_range(&self.positions, max_range) {
+                let d = self.positions[u.index()].dist(&self.positions[v.index()]);
+                if d <= self.radios[u.index()].range && d <= self.radios[v.index()].range {
+                    b.add_edge(u, v);
+                }
+            }
+        }
+        NodeWeightedGraph::new(b.build(), costs)
+    }
+
+    /// Node-cost model with each node's full-power transmission cost as its
+    /// scalar relay cost (no power control).
+    pub fn to_node_weighted_full_power(&self) -> NodeWeightedGraph {
+        let costs = self.radios.iter().map(|r| r.full_power_cost(self.kappa)).collect();
+        self.to_node_weighted(costs)
+    }
+
+    /// Uniformly random scalar relay costs in `[lo, hi]` units — the
+    /// "cost chosen independently and uniformly from a range" setting of
+    /// the paper's conclusion.
+    pub fn random_node_costs(
+        &self,
+        lo: f64,
+        hi: f64,
+        rng: &mut impl Rng,
+    ) -> Vec<Cost> {
+        (0..self.num_nodes()).map(|_| Cost::from_f64(rng.gen_range(lo..=hi))).collect()
+    }
+}
+
+/// Resamples a deployment until `accept` holds (e.g. biconnectivity of the
+/// derived graph), up to `max_tries`. Returns the accepted deployment and
+/// how many instances were discarded.
+pub fn resample_until(
+    mut gen: impl FnMut() -> Deployment,
+    mut accept: impl FnMut(&Deployment) -> bool,
+    max_tries: usize,
+) -> Option<(Deployment, usize)> {
+    for discarded in 0..max_tries {
+        let d = gen();
+        if accept(&d) {
+            return Some((d, discarded));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use truthcast_graph::connectivity::is_connected;
+    use truthcast_graph::NodeId;
+
+    #[test]
+    fn sim1_has_symmetric_costs() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let d = Deployment::paper_sim1(60, 2.0, &mut rng);
+        let g = d.to_link_digraph();
+        for (u, v, w) in g.arcs() {
+            assert_eq!(g.arc_cost(v, u), w, "sim1 costs are symmetric");
+            let dist = d.positions[u.index()].dist(&d.positions[v.index()]);
+            assert!(dist <= 300.0);
+            assert!((w.as_f64() - dist * dist).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn sim2_can_be_asymmetric() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let d = Deployment::paper_sim2(80, 2.0, &mut rng);
+        let g = d.to_link_digraph();
+        // With independent per-node ranges, some arc must lack its reverse.
+        let one_way = g
+            .arcs()
+            .any(|(u, v, _)| g.arc_cost(v, u).is_inf());
+        assert!(one_way, "expected at least one asymmetric link");
+    }
+
+    #[test]
+    fn node_weighted_requires_mutual_range() {
+        let d = Deployment {
+            positions: vec![Point::new(0.0, 0.0), Point::new(150.0, 0.0)],
+            radios: vec![
+                RadioParams { alpha: 0.0, beta: 1.0, range: 200.0 },
+                RadioParams { alpha: 0.0, beta: 1.0, range: 100.0 },
+            ],
+            kappa: 2.0,
+        };
+        let g = d.to_node_weighted(vec![Cost::ZERO; 2]);
+        assert_eq!(g.num_edges(), 0, "one-way reachability is not an edge");
+        let dg = d.to_link_digraph();
+        assert_eq!(dg.num_arcs(), 1, "but it is an arc");
+    }
+
+    #[test]
+    fn full_power_costs_scale_with_range() {
+        let d = Deployment {
+            positions: vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0)],
+            radios: vec![
+                RadioParams { alpha: 0.0, beta: 1.0, range: 10.0 },
+                RadioParams { alpha: 0.0, beta: 1.0, range: 20.0 },
+            ],
+            kappa: 2.0,
+        };
+        let g = d.to_node_weighted_full_power();
+        assert_eq!(g.cost(NodeId(0)), Cost::from_units(100));
+        assert_eq!(g.cost(NodeId(1)), Cost::from_units(400));
+    }
+
+    #[test]
+    fn paper_sim1_is_usually_connected_at_n_100() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let got = resample_until(
+            || Deployment::paper_sim1(100, 2.0, &mut rng),
+            |d| is_connected(d.to_node_weighted(vec![Cost::ZERO; 100]).adjacency()),
+            50,
+        );
+        assert!(got.is_some());
+    }
+
+    #[test]
+    fn random_costs_within_bounds() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let d = Deployment::paper_sim1(20, 2.0, &mut rng);
+        let costs = d.random_node_costs(1.0, 9.0, &mut rng);
+        assert!(costs
+            .iter()
+            .all(|c| *c >= Cost::from_units(1) && *c <= Cost::from_units(9)));
+    }
+}

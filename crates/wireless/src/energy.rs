@@ -1,0 +1,123 @@
+//! Battery accounting — the motivation in the paper's introduction.
+//!
+//! Each relayed packet drains the relay's battery by its transmission cost.
+//! [`EnergyLedger`] tracks remaining capacity so examples and experiments
+//! can quantify the paper's opening claim: a node that relays everything
+//! for free dies early, which is precisely why payments are needed.
+
+use truthcast_graph::{Cost, NodeId};
+
+/// Per-node battery state.
+#[derive(Clone, Debug)]
+pub struct EnergyLedger {
+    capacity: Vec<Cost>,
+    remaining: Vec<Cost>,
+    relayed_packets: Vec<u64>,
+}
+
+impl EnergyLedger {
+    /// All nodes start with the same battery `capacity` (cost units).
+    pub fn uniform(n: usize, capacity: Cost) -> EnergyLedger {
+        assert!(capacity.is_finite());
+        EnergyLedger {
+            capacity: vec![capacity; n],
+            remaining: vec![capacity; n],
+            relayed_packets: vec![0; n],
+        }
+    }
+
+    /// Per-node capacities.
+    pub fn with_capacities(capacities: Vec<Cost>) -> EnergyLedger {
+        assert!(capacities.iter().all(|c| c.is_finite()));
+        EnergyLedger {
+            remaining: capacities.clone(),
+            relayed_packets: vec![0; capacities.len()],
+            capacity: capacities,
+        }
+    }
+
+    /// Remaining energy of `v`.
+    pub fn remaining(&self, v: NodeId) -> Cost {
+        self.remaining[v.index()]
+    }
+
+    /// Battery capacity of `v`.
+    pub fn capacity(&self, v: NodeId) -> Cost {
+        self.capacity[v.index()]
+    }
+
+    /// Fraction of battery left, in [0, 1].
+    pub fn fraction_remaining(&self, v: NodeId) -> f64 {
+        if self.capacity[v.index()] == Cost::ZERO {
+            return 0.0;
+        }
+        self.remaining[v.index()].as_f64() / self.capacity[v.index()].as_f64()
+    }
+
+    /// Whether `v` still has energy.
+    pub fn is_alive(&self, v: NodeId) -> bool {
+        self.remaining[v.index()] > Cost::ZERO
+    }
+
+    /// Number of packets `v` has relayed.
+    pub fn relayed_packets(&self, v: NodeId) -> u64 {
+        self.relayed_packets[v.index()]
+    }
+
+    /// Drains `cost` from `v` for relaying one packet. Returns `false`
+    /// (and drains nothing) if `v` lacks the energy.
+    pub fn relay_packet(&mut self, v: NodeId, cost: Cost) -> bool {
+        let r = &mut self.remaining[v.index()];
+        if *r < cost {
+            return false;
+        }
+        *r = r.saturating_sub(cost);
+        self.relayed_packets[v.index()] += 1;
+        true
+    }
+
+    /// The first dead node, if any.
+    pub fn first_dead(&self) -> Option<NodeId> {
+        (0..self.remaining.len())
+            .map(NodeId::new)
+            .find(|&v| !self.is_alive(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relay_drains_energy() {
+        let mut led = EnergyLedger::uniform(2, Cost::from_units(10));
+        assert!(led.relay_packet(NodeId(0), Cost::from_units(4)));
+        assert_eq!(led.remaining(NodeId(0)), Cost::from_units(6));
+        assert_eq!(led.relayed_packets(NodeId(0)), 1);
+        assert_eq!(led.remaining(NodeId(1)), Cost::from_units(10));
+    }
+
+    #[test]
+    fn refuses_when_depleted() {
+        let mut led = EnergyLedger::uniform(1, Cost::from_units(5));
+        assert!(led.relay_packet(NodeId(0), Cost::from_units(5)));
+        assert!(!led.relay_packet(NodeId(0), Cost::from_units(1)));
+        assert_eq!(led.relayed_packets(NodeId(0)), 1);
+        assert!(!led.is_alive(NodeId(0)));
+        assert_eq!(led.first_dead(), Some(NodeId(0)));
+    }
+
+    #[test]
+    fn fraction_remaining() {
+        let mut led = EnergyLedger::uniform(1, Cost::from_units(10));
+        led.relay_packet(NodeId(0), Cost::from_units(4));
+        assert!((led.fraction_remaining(NodeId(0)) - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heterogeneous_capacities() {
+        let led = EnergyLedger::with_capacities(vec![Cost::from_units(1), Cost::from_units(2)]);
+        assert_eq!(led.remaining(NodeId(1)), Cost::from_units(2));
+        assert_eq!(led.first_dead(), None);
+    }
+}

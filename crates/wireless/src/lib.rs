@@ -1,0 +1,28 @@
+//! # truthcast-wireless
+//!
+//! Wireless network substrate for the `truthcast` reproduction of *Truthful
+//! Low-Cost Unicast in Selfish Wireless Networks* (Wang & Li, IPPS 2004).
+//!
+//! * [`power`] — the `α + β·d^κ` power-attenuation model;
+//! * [`deploy`] — random deployments reproducing both of the paper's
+//!   simulation setups, lowered to either network model (symmetric
+//!   node-cost UDG, or directed link-cost digraph with per-node ranges);
+//! * [`energy`] — battery accounting for the lifetime motivation;
+//! * [`mobility`] — the random-waypoint model for churn experiments;
+//! * [`traffic`] — connection-oriented session workloads to the access
+//!   point.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod deploy;
+pub mod energy;
+pub mod mobility;
+pub mod power;
+pub mod traffic;
+
+pub use deploy::{resample_until, Deployment};
+pub use energy::EnergyLedger;
+pub use mobility::RandomWaypoint;
+pub use power::RadioParams;
+pub use traffic::{all_to_ap_sessions, random_sessions, Session};

@@ -1,0 +1,158 @@
+//! Node mobility: the random-waypoint model.
+//!
+//! The paper analyzes a static network ("when the network is static, the
+//! price entries ... converge"); mobility is the obvious deployment
+//! stressor, so the library ships the standard random-waypoint model to
+//! measure how often the distributed computation must re-converge and how
+//! much payments drift as the topology churns (see
+//! `truthcast-experiments::mobility_exp`).
+//!
+//! Every node except the access point picks a uniform waypoint in the
+//! region and moves toward it at its own constant speed, choosing a fresh
+//! waypoint on arrival.
+
+use rand::Rng;
+
+use truthcast_graph::geometry::{Point, Region};
+
+use crate::deploy::Deployment;
+
+/// Mutable mobility state layered over a [`Deployment`].
+#[derive(Clone, Debug)]
+pub struct RandomWaypoint {
+    region: Region,
+    waypoints: Vec<Point>,
+    /// Speed per node in m/s (the AP's is zero).
+    speeds: Vec<f64>,
+}
+
+impl RandomWaypoint {
+    /// Initializes waypoints and uniform speeds in `[min_speed, max_speed]`
+    /// m/s; node 0 (the access point) stays put.
+    pub fn new(
+        deployment: &Deployment,
+        region: Region,
+        min_speed: f64,
+        max_speed: f64,
+        rng: &mut impl Rng,
+    ) -> RandomWaypoint {
+        assert!(min_speed >= 0.0 && max_speed >= min_speed);
+        let n = deployment.num_nodes();
+        let waypoints = (0..n)
+            .map(|_| Point::new(rng.gen_range(0.0..=region.width), rng.gen_range(0.0..=region.height)))
+            .collect();
+        let mut speeds: Vec<f64> =
+            (0..n).map(|_| rng.gen_range(min_speed..=max_speed)).collect();
+        if !speeds.is_empty() {
+            speeds[0] = 0.0; // the access point is fixed infrastructure
+        }
+        RandomWaypoint { region, waypoints, speeds }
+    }
+
+    /// Advances every node by `dt` seconds, mutating the deployment's
+    /// positions in place. Arrived nodes draw a fresh waypoint.
+    pub fn advance(&mut self, deployment: &mut Deployment, dt: f64, rng: &mut impl Rng) {
+        assert!(dt >= 0.0);
+        for i in 0..deployment.num_nodes() {
+            let speed = self.speeds[i];
+            if speed == 0.0 {
+                continue;
+            }
+            let mut budget = speed * dt;
+            let pos = &mut deployment.positions[i];
+            while budget > 1e-12 {
+                let wp = self.waypoints[i];
+                let dist = pos.dist(&wp);
+                if dist <= budget {
+                    *pos = wp;
+                    budget -= dist;
+                    self.waypoints[i] = Point::new(
+                        rng.gen_range(0.0..=self.region.width),
+                        rng.gen_range(0.0..=self.region.height),
+                    );
+                } else {
+                    let f = budget / dist;
+                    pos.x += (wp.x - pos.x) * f;
+                    pos.y += (wp.y - pos.y) * f;
+                    budget = 0.0;
+                }
+            }
+            debug_assert!(self.region.contains(pos), "node left the region");
+        }
+    }
+
+    /// Current speed of node `i` (m/s).
+    pub fn speed(&self, i: usize) -> f64 {
+        self.speeds[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use truthcast_graph::geometry::Region;
+
+    fn setup(seed: u64) -> (Deployment, RandomWaypoint, SmallRng) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let d = Deployment::paper_sim1(30, 2.0, &mut rng);
+        let m = RandomWaypoint::new(&d, Region::PAPER, 1.0, 5.0, &mut rng);
+        (d, m, rng)
+    }
+
+    #[test]
+    fn access_point_never_moves() {
+        let (mut d, mut m, mut rng) = setup(1);
+        let ap_before = d.positions[0];
+        for _ in 0..50 {
+            m.advance(&mut d, 10.0, &mut rng);
+        }
+        assert_eq!(d.positions[0], ap_before);
+        assert_eq!(m.speed(0), 0.0);
+    }
+
+    #[test]
+    fn nodes_move_at_most_speed_times_dt() {
+        let (mut d, mut m, mut rng) = setup(2);
+        let before = d.positions.clone();
+        let dt = 7.0;
+        m.advance(&mut d, dt, &mut rng);
+        #[allow(clippy::needless_range_loop)] // index names the node id
+        for i in 1..d.num_nodes() {
+            let moved = before[i].dist(&d.positions[i]);
+            // Straight-line displacement can only shrink via waypoint turns.
+            assert!(moved <= m.speed(i) * dt + 1e-6, "node {i} moved {moved}");
+        }
+    }
+
+    #[test]
+    fn nodes_stay_in_region() {
+        let (mut d, mut m, mut rng) = setup(3);
+        for _ in 0..200 {
+            m.advance(&mut d, 30.0, &mut rng);
+        }
+        for p in &d.positions {
+            assert!(Region::PAPER.contains(p), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn zero_dt_is_identity() {
+        let (mut d, mut m, mut rng) = setup(4);
+        let before = d.positions.clone();
+        m.advance(&mut d, 0.0, &mut rng);
+        assert_eq!(before, d.positions);
+    }
+
+    #[test]
+    fn movement_changes_topology_eventually() {
+        let (mut d, mut m, mut rng) = setup(5);
+        let before = d.to_node_weighted(vec![truthcast_graph::Cost::ZERO; 30]);
+        for _ in 0..20 {
+            m.advance(&mut d, 60.0, &mut rng);
+        }
+        let after = d.to_node_weighted(vec![truthcast_graph::Cost::ZERO; 30]);
+        assert_ne!(before.adjacency(), after.adjacency());
+    }
+}

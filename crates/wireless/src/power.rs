@@ -1,0 +1,92 @@
+//! The paper's power-attenuation model.
+//!
+//! The power needed to sustain a link `e = v_i v_j` is
+//! `p(e) = α + β·‖v_i v_j‖^κ`, where `β‖·‖^κ` is path loss and `α` the
+//! per-device receive/processing overhead. `κ` is shared by all nodes
+//! (typically 2–5); `α` and `β` may differ per node.
+
+use truthcast_graph::geometry::Point;
+use truthcast_graph::Cost;
+
+/// Per-node radio parameters (`α_i`, `β_i`) plus transmission range.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RadioParams {
+    /// Receive/processing overhead `α` (cost units).
+    pub alpha: f64,
+    /// Path-loss coefficient `β` (cost units per m^κ).
+    pub beta: f64,
+    /// Maximum transmission range (m).
+    pub range: f64,
+}
+
+impl RadioParams {
+    /// The paper's first simulation: pure path loss, common 300 m range
+    /// (`cost = ‖v_i v_j‖^κ`).
+    pub const PAPER_SIM1: RadioParams = RadioParams { alpha: 0.0, beta: 1.0, range: 300.0 };
+
+    /// Transmission cost to a receiver at distance `dist` (m):
+    /// `α + β·dist^κ`; [`Cost::INF`] beyond range.
+    pub fn transmit_cost(&self, dist: f64, kappa: f64) -> Cost {
+        if dist > self.range {
+            return Cost::INF;
+        }
+        Cost::from_f64(self.alpha + self.beta * dist.powf(kappa))
+    }
+
+    /// Transmission cost between two points.
+    pub fn transmit_cost_to(&self, from: &Point, to: &Point, kappa: f64) -> Cost {
+        self.transmit_cost(from.dist(to), kappa)
+    }
+
+    /// Cost of a transmission at full range (the node's scalar relay cost
+    /// when it does not use power control — the node-weighted model).
+    pub fn full_power_cost(&self, kappa: f64) -> Cost {
+        Cost::from_f64(self.alpha + self.beta * self.range.powf(kappa))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pure_path_loss() {
+        let r = RadioParams::PAPER_SIM1;
+        assert_eq!(r.transmit_cost(10.0, 2.0), Cost::from_units(100));
+        assert_eq!(r.transmit_cost(0.0, 2.0), Cost::ZERO);
+    }
+
+    #[test]
+    fn overhead_and_coefficient() {
+        let r = RadioParams { alpha: 300.0, beta: 10.0, range: 100.0 };
+        assert_eq!(r.transmit_cost(10.0, 2.0), Cost::from_units(300 + 10 * 100));
+    }
+
+    #[test]
+    fn out_of_range_is_infinite() {
+        let r = RadioParams::PAPER_SIM1;
+        assert_eq!(r.transmit_cost(300.1, 2.0), Cost::INF);
+        assert!(r.transmit_cost(300.0, 2.0).is_finite());
+    }
+
+    #[test]
+    fn fractional_kappa() {
+        let r = RadioParams::PAPER_SIM1;
+        let c = r.transmit_cost(4.0, 2.5);
+        assert!((c.as_f64() - 32.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn full_power_cost_uses_range() {
+        let r = RadioParams { alpha: 5.0, beta: 2.0, range: 3.0 };
+        assert_eq!(r.full_power_cost(2.0), Cost::from_units(5 + 2 * 9));
+    }
+
+    #[test]
+    fn transmit_between_points() {
+        let r = RadioParams::PAPER_SIM1;
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(30.0, 40.0); // dist 50
+        assert_eq!(r.transmit_cost_to(&a, &b, 2.0), Cost::from_units(2500));
+    }
+}

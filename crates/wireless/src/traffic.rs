@@ -1,0 +1,89 @@
+//! Traffic workloads: connection-oriented sessions to the access point.
+//!
+//! The paper assumes routing to `v_0` is connection-oriented and payments
+//! are per packet (`s · p_i^k` for an `s`-packet session). These generators
+//! produce session workloads for the protocol simulations.
+
+use rand::Rng;
+
+use truthcast_graph::NodeId;
+
+/// One connection-oriented session: `packets` packets from `source` to the
+/// access point `v_0`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Session {
+    /// Originating node (never the access point itself).
+    pub source: NodeId,
+    /// Number of packets in the session.
+    pub packets: u64,
+}
+
+/// Generates `count` sessions with uniformly random sources among
+/// `v_1 … v_{n-1}` and geometric packet counts with the given mean.
+pub fn random_sessions(
+    n: usize,
+    count: usize,
+    mean_packets: f64,
+    rng: &mut impl Rng,
+) -> Vec<Session> {
+    assert!(n >= 2, "need at least one non-AP node");
+    assert!(mean_packets >= 1.0);
+    (0..count)
+        .map(|_| Session {
+            source: NodeId::new(rng.gen_range(1..n)),
+            packets: geometric(mean_packets, rng),
+        })
+        .collect()
+}
+
+/// A geometric draw with the given mean, min 1 — the standard memoryless
+/// model of session length.
+fn geometric(mean: f64, rng: &mut impl Rng) -> u64 {
+    let p = 1.0 / mean;
+    let mut k = 1u64;
+    // Inverse-transform: k = ceil(ln(U) / ln(1-p)).
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    if p < 1.0 {
+        k = (u.ln() / (1.0 - p).ln()).ceil() as u64;
+    }
+    k.max(1)
+}
+
+/// One session from every non-AP node — the paper's all-to-AP evaluation
+/// pattern (each node computes its payment to the access point).
+pub fn all_to_ap_sessions(n: usize, packets: u64) -> Vec<Session> {
+    (1..n).map(|i| Session { source: NodeId::new(i), packets }).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sources_exclude_access_point() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let sessions = random_sessions(10, 200, 4.0, &mut rng);
+        assert_eq!(sessions.len(), 200);
+        assert!(sessions.iter().all(|s| s.source != NodeId::ACCESS_POINT));
+        assert!(sessions.iter().all(|s| s.packets >= 1));
+    }
+
+    #[test]
+    fn geometric_mean_is_plausible() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let sessions = random_sessions(5, 20_000, 8.0, &mut rng);
+        let mean: f64 =
+            sessions.iter().map(|s| s.packets as f64).sum::<f64>() / sessions.len() as f64;
+        assert!((mean - 8.0).abs() < 0.5, "observed mean {mean}");
+    }
+
+    #[test]
+    fn all_to_ap_covers_every_node_once() {
+        let s = all_to_ap_sessions(4, 3);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[0], Session { source: NodeId(1), packets: 3 });
+        assert_eq!(s[2], Session { source: NodeId(3), packets: 3 });
+    }
+}

@@ -1,0 +1,57 @@
+//! Quickstart: price a unicast in a selfish wireless network.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! Six laptops on a campus quad; node 0 is the access point. Every node
+//! declares a per-packet relay cost; node 5 wants to reach the AP. The
+//! VCG mechanism routes over the least-cost path and pays each relay its
+//! declared cost **plus** its marginal value — which is what makes
+//! truth-telling every node's best strategy.
+
+use truthcast::core::{fast_payments, most_vital_relay, naive_payments};
+use truthcast::graph::{NodeId, NodeWeightedGraph};
+
+fn main() {
+    // Topology: two routes from node 5 to the AP (node 0):
+    //   5 - 3 - 1 - 0   (relay costs 2 + 3)
+    //   5 - 4 - 2 - 0   (relay costs 4 + 4)
+    // plus a rung 3-4 connecting the branches.
+    let network = NodeWeightedGraph::from_pairs_units(
+        &[(0, 1), (1, 3), (3, 5), (0, 2), (2, 4), (4, 5), (3, 4)],
+        &[0, 3, 4, 2, 4, 0],
+    );
+    let (source, ap) = (NodeId(5), NodeId(0));
+
+    let pricing = fast_payments(&network, source, ap).expect("AP reachable");
+    println!("least-cost path : {:?}", pricing.path);
+    println!("declared cost   : {}", pricing.lcp_cost);
+    for &(relay, payment) in &pricing.payments {
+        let declared = network.cost(relay);
+        println!(
+            "  relay {relay}: declared {declared}, paid {payment} (premium {})",
+            payment.saturating_sub(declared)
+        );
+    }
+    println!("total payment   : {}", pricing.total_payment());
+    println!("overpayment     : {}", pricing.overpayment());
+
+    if let Some((vital, harm)) = most_vital_relay(&pricing, network.costs()) {
+        println!("most vital relay: {vital} (replacement penalty {harm})");
+    }
+
+    // The fast Algorithm 1 and the naive per-relay recomputation always
+    // agree — the fast one just does it in one pass.
+    assert_eq!(pricing, naive_payments(&network, source, ap).unwrap());
+
+    // Why truthful? Suppose relay 3 (true cost 2) inflates to 4:
+    let inflated = network.with_declared(NodeId(3), truthcast::graph::Cost::from_units(4));
+    let repriced = fast_payments(&inflated, source, ap).unwrap();
+    println!(
+        "\nif relay 3 declared 4 instead of 2: path {:?}, its payment {}",
+        repriced.path,
+        repriced.payment_to(NodeId(3))
+    );
+    println!("(same payment while selected; overdeclaring only risks eviction)");
+}

@@ -1,0 +1,79 @@
+//! The paper's worked examples and headline numbers, recreated exactly.
+
+use truthcast::core::impossibility::{canonical_instance, theorem7_witness};
+use truthcast::core::{find_resale_opportunities, paper_figure4_instance};
+use truthcast::distsim::{run_payment_stage, run_spt_stage, HiddenLinks};
+use truthcast::experiments::figure3::{run_size, NetworkModel};
+use truthcast::graph::{Cost, NodeId, NodeWeightedGraph};
+
+/// The Figure 2 network (relay costs 1.5 on the 3-relay branch, 5 on the
+/// 1-relay branch) — honest payment 6, lying payment < 6.
+fn figure2() -> NodeWeightedGraph {
+    let adj = truthcast::graph::adjacency_from_pairs(
+        6,
+        &[(1, 4), (4, 3), (3, 2), (2, 0), (1, 5), (5, 0)],
+    );
+    NodeWeightedGraph::new(
+        adj,
+        vec![
+            Cost::ZERO,
+            Cost::ZERO,
+            Cost::from_f64(1.5),
+            Cost::from_f64(1.5),
+            Cost::from_f64(1.5),
+            Cost::from_units(5),
+        ],
+    )
+}
+
+#[test]
+fn figure2_payment_is_six_honest_and_lower_when_lying() {
+    let g = figure2();
+    let honest_spt = run_spt_stage(&g, NodeId(0), &HiddenLinks::none(), 30);
+    let honest = run_payment_stage(&g, &honest_spt, 30);
+    assert_eq!(honest.total(NodeId(1)), Cost::from_units(6));
+
+    let lying_spt = run_spt_stage(&g, NodeId(0), &HiddenLinks::single(NodeId(1), NodeId(4)), 30);
+    let lying = run_payment_stage(&g, &lying_spt, 30);
+    assert!(lying.total(NodeId(1)) < honest.total(NodeId(1)));
+}
+
+#[test]
+fn figure4_quoted_quantities() {
+    let (g, ap) = paper_figure4_instance();
+    let p8 = truthcast::core::fast_payments(&g, NodeId(8), ap).unwrap();
+    let p4 = truthcast::core::fast_payments(&g, NodeId(4), ap).unwrap();
+    assert_eq!(p8.total_payment(), Cost::from_units(20)); // p_8 = 20
+    assert_eq!(p4.total_payment(), Cost::from_units(6)); // p_4 = 6
+    assert_eq!(p8.payment_to(NodeId(4)), Cost::ZERO); // p_8^4 = 0
+    assert_eq!(g.cost(NodeId(4)), Cost::from_units(5)); // c_4 = 5
+
+    let op = find_resale_opportunities(&g, ap)
+        .into_iter()
+        .find(|o| o.initiator == NodeId(8) && o.reseller == NodeId(4))
+        .unwrap();
+    assert!((op.initiator_outlay_even_split() - 15.5).abs() < 1e-9);
+}
+
+#[test]
+fn theorem7_diamond_witness() {
+    let (topo, truth) = canonical_instance();
+    let w = theorem7_witness(&topo, &truth, NodeId(0), NodeId(3)).unwrap();
+    assert!(w.gain() > 0);
+}
+
+#[test]
+fn overpayment_ratio_lands_in_the_paper_band() {
+    // The paper: "IOR and TOR are almost the same in all our simulations
+    // and they take values around 1.5". A 16-instance run at n = 300 must
+    // land near that band and keep IOR ≈ TOR.
+    let r = run_size(NetworkModel::UdgPathLoss { kappa: 2.0 }, 300, 16, 424242);
+    assert!(r.mean_ior > 1.2 && r.mean_ior < 2.2, "IOR {}", r.mean_ior);
+    assert!(r.mean_tor > 1.2 && r.mean_tor < 2.2, "TOR {}", r.mean_tor);
+    assert!(
+        (r.mean_ior - r.mean_tor).abs() < 0.15,
+        "IOR {} vs TOR {} should nearly coincide",
+        r.mean_ior,
+        r.mean_tor
+    );
+}

@@ -1,0 +1,84 @@
+//! Moderate-scale differential checks: the fast algorithms against their
+//! oracles on realistic-size wireless networks.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use truthcast::core::{
+    directed_payments, fast_payments, fast_symmetric_payments, naive_payments,
+};
+use truthcast::graph::generators::random_udg;
+use truthcast::graph::geometry::Region;
+use truthcast::graph::{Cost, LinkWeightedDigraph, NodeId, NodeWeightedGraph};
+
+fn dense_udg(n: usize, seed: u64) -> (NodeWeightedGraph, LinkWeightedDigraph) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let side = (n as f64 * 300.0 * 300.0 * std::f64::consts::PI / 11.0).sqrt();
+    loop {
+        let (_, adj) = random_udg(n, Region::new(side, side), 300.0, &mut rng);
+        if !truthcast::graph::connectivity::is_connected(&adj) {
+            continue;
+        }
+        let costs: Vec<Cost> =
+            (0..n).map(|_| Cost::from_f64(rng.gen_range(1.0..50.0))).collect();
+        let g = NodeWeightedGraph::new(adj.clone(), costs);
+        let arcs: Vec<_> = adj
+            .edges()
+            .flat_map(|(u, v)| {
+                let w = Cost::from_f64(rng.gen_range(1.0..50.0));
+                [(u, v, w), (v, u, w)]
+            })
+            .collect();
+        return (g, LinkWeightedDigraph::from_arcs(n, arcs));
+    }
+}
+
+#[test]
+fn fast_equals_naive_at_scale() {
+    let (g, _) = dense_udg(400, 31);
+    // Several sources spread across the id space, including the farthest.
+    for s in [1u32, 97, 211, 399] {
+        let s = NodeId(s);
+        assert_eq!(
+            fast_payments(&g, s, NodeId(0)),
+            naive_payments(&g, s, NodeId(0)),
+            "source {s}"
+        );
+    }
+}
+
+#[test]
+fn fast_symmetric_equals_directed_at_scale() {
+    let (_, dg) = dense_udg(400, 32);
+    for s in [3u32, 160, 399] {
+        let s = NodeId(s);
+        assert_eq!(
+            fast_symmetric_payments(&dg, s, NodeId(0)),
+            directed_payments(&dg, s, NodeId(0)),
+            "source {s}"
+        );
+    }
+}
+
+#[test]
+fn long_path_graph_payments_are_exact() {
+    // A ladder: two parallel 200-hop chains with rungs — hundreds of
+    // relays, every payment checked against the naive oracle.
+    let len = 200u32;
+    let mut pairs = Vec::new();
+    for i in 0..len - 1 {
+        pairs.push((2 * i, 2 * i + 2)); // top chain
+        pairs.push((2 * i + 1, 2 * i + 3)); // bottom chain
+    }
+    for i in 0..len {
+        pairs.push((2 * i, 2 * i + 1)); // rungs
+    }
+    let mut rng = SmallRng::seed_from_u64(33);
+    let costs: Vec<u64> = (0..2 * len).map(|_| rng.gen_range(1..30)).collect();
+    let g = NodeWeightedGraph::from_pairs_units(&pairs, &costs);
+    let s = NodeId(0);
+    let t = NodeId(2 * len - 1);
+    let fast = fast_payments(&g, s, t).unwrap();
+    assert!(fast.hops() >= 100, "long path expected, got {}", fast.hops());
+    assert_eq!(Some(fast), naive_payments(&g, s, t));
+}
