@@ -2,9 +2,8 @@
 //! (one neighborhood-removal search per agent) versus the plain per-node
 //! scheme — the price of collusion resistance.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use truthcast_rt::bench::{black_box, Harness};
+use truthcast_rt::{Rng, SeedableRng, SmallRng};
 
 use truthcast_core::{fast_payments, neighborhood_payments};
 use truthcast_graph::generators::random_udg;
@@ -15,25 +14,23 @@ fn instance(n: usize, seed: u64) -> NodeWeightedGraph {
     let mut rng = SmallRng::seed_from_u64(seed);
     let side = (n as f64 * 300.0 * 300.0 * std::f64::consts::PI / 14.0).sqrt();
     let (_, adj) = random_udg(n, Region::new(side, side), 300.0, &mut rng);
-    let costs = (0..n).map(|_| Cost::from_f64(rng.gen_range(1.0..50.0))).collect();
+    let costs = (0..n)
+        .map(|_| Cost::from_f64(rng.gen_range(1.0..50.0)))
+        .collect();
     NodeWeightedGraph::new(adj, costs)
 }
 
-fn bench_collusion_payment(c: &mut Criterion) {
-    let mut group = c.benchmark_group("collusion_resistant_payment");
-    group.sample_size(10);
+fn main() {
+    let mut h = Harness::new("collusion_resistant_payment");
     for &n in &[64usize, 128, 256] {
         let g = instance(n, 31 + n as u64);
         let (s, t) = (NodeId(0), NodeId::new(n - 1));
-        group.bench_with_input(BenchmarkId::new("plain_vcg_fast", n), &n, |b, _| {
-            b.iter(|| std::hint::black_box(fast_payments(&g, s, t)))
+        h.bench(format!("plain_vcg_fast/{n}"), || {
+            black_box(fast_payments(&g, s, t))
         });
-        group.bench_with_input(BenchmarkId::new("neighborhood_scheme", n), &n, |b, _| {
-            b.iter(|| std::hint::black_box(neighborhood_payments(&g, s, t)))
+        h.bench(format!("neighborhood_scheme/{n}"), || {
+            black_box(neighborhood_payments(&g, s, t))
         });
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_collusion_payment);
-criterion_main!(benches);

@@ -1,9 +1,8 @@
 //! Substrate benchmark: node-weighted and link-weighted Dijkstra sweeps,
 //! including the early-exit ablation used by the naive payment scheme.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use truthcast_rt::bench::{black_box, Harness};
+use truthcast_rt::{Rng, SeedableRng, SmallRng};
 
 use truthcast_graph::dijkstra::{dijkstra, DijkstraOptions, Direction};
 use truthcast_graph::generators::random_udg;
@@ -15,7 +14,9 @@ fn node_weighted(n: usize, seed: u64) -> NodeWeightedGraph {
     let mut rng = SmallRng::seed_from_u64(seed);
     let side = (n as f64 * 300.0 * 300.0 * std::f64::consts::PI / 12.0).sqrt();
     let (_, adj) = random_udg(n, Region::new(side, side), 300.0, &mut rng);
-    let costs = (0..n).map(|_| Cost::from_f64(rng.gen_range(1.0..50.0))).collect();
+    let costs = (0..n)
+        .map(|_| Cost::from_f64(rng.gen_range(1.0..50.0)))
+        .collect();
     NodeWeightedGraph::new(adj, costs)
 }
 
@@ -29,41 +30,39 @@ fn link_weighted(n: usize, seed: u64) -> LinkWeightedDigraph {
     LinkWeightedDigraph::from_arcs(n, arcs)
 }
 
-fn bench_dijkstra(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dijkstra");
-    group.sample_size(20);
+fn main() {
+    let mut h = Harness::new("dijkstra");
     for &n in &[256usize, 1024, 4096] {
         let gw = node_weighted(n, 7 + n as u64);
-        group.bench_with_input(BenchmarkId::new("node_weighted_full", n), &n, |b, _| {
-            b.iter(|| {
-                std::hint::black_box(node_dijkstra(&gw, NodeId(0), NodeDijkstraOptions::default()))
-            })
+        h.bench(format!("node_weighted_full/{n}"), || {
+            black_box(node_dijkstra(
+                &gw,
+                NodeId(0),
+                NodeDijkstraOptions::default(),
+            ))
         });
         let gl = link_weighted(n, 7 + n as u64);
-        group.bench_with_input(BenchmarkId::new("link_weighted_full", n), &n, |b, _| {
-            b.iter(|| {
-                std::hint::black_box(dijkstra(
-                    &gl,
-                    NodeId(0),
-                    Direction::Forward,
-                    DijkstraOptions::default(),
-                ))
-            })
+        h.bench(format!("link_weighted_full/{n}"), || {
+            black_box(dijkstra(
+                &gl,
+                NodeId(0),
+                Direction::Forward,
+                DijkstraOptions::default(),
+            ))
         });
         let target = NodeId::new(n / 2);
-        group.bench_with_input(BenchmarkId::new("link_weighted_early_exit", n), &n, |b, _| {
-            b.iter(|| {
-                std::hint::black_box(dijkstra(
-                    &gl,
-                    NodeId(0),
-                    Direction::Forward,
-                    DijkstraOptions { avoid: None, avoid_edge: None, target: Some(target) },
-                ))
-            })
+        h.bench(format!("link_weighted_early_exit/{n}"), || {
+            black_box(dijkstra(
+                &gl,
+                NodeId(0),
+                Direction::Forward,
+                DijkstraOptions {
+                    avoid: None,
+                    avoid_edge: None,
+                    target: Some(target),
+                },
+            ))
         });
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_dijkstra);
-criterion_main!(benches);

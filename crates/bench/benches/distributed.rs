@@ -1,28 +1,23 @@
 //! §III-C: wall-clock cost of the distributed two-stage computation
 //! (simulated rounds) versus network size.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use truthcast_rt::bench::{black_box, Harness};
+use truthcast_rt::{SeedableRng, SmallRng};
 
 use truthcast_distsim::run_distributed;
 use truthcast_graph::NodeId;
 use truthcast_wireless::Deployment;
 
-fn bench_distributed(c: &mut Criterion) {
-    let mut group = c.benchmark_group("distributed_two_stage");
-    group.sample_size(10);
+fn main() {
+    let mut h = Harness::new("distributed_two_stage");
     for &n in &[50usize, 100, 200] {
         let mut rng = SmallRng::seed_from_u64(n as u64);
         let deployment = Deployment::paper_sim1(n, 2.0, &mut rng);
         let costs = deployment.random_node_costs(1.0, 10.0, &mut rng);
         let g = deployment.to_node_weighted(costs);
-        group.bench_with_input(BenchmarkId::new("spt_plus_payments", n), &n, |b, _| {
-            b.iter(|| std::hint::black_box(run_distributed(&g, NodeId(0))))
+        h.bench(format!("spt_plus_payments/{n}"), || {
+            black_box(run_distributed(&g, NodeId(0)))
         });
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_distributed);
-criterion_main!(benches);

@@ -2,9 +2,8 @@
 //! sliding-window versus per-edge recomputation, and the symmetric
 //! node-removal variant on the same instances.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use truthcast_rt::bench::{black_box, Harness};
+use truthcast_rt::{Rng, SeedableRng, SmallRng};
 
 use truthcast_core::edge_agents::{fast_edge_payments, naive_edge_payments};
 use truthcast_core::fast_symmetric::fast_symmetric_payments;
@@ -29,33 +28,31 @@ fn instance(n: usize, seed: u64) -> (LinkWeightedDigraph, NodeId, NodeId) {
             .collect();
         let g = LinkWeightedDigraph::from_arcs(n, arcs);
         let key = |i: usize| points[i].x + points[i].y;
-        let s = (0..n).min_by(|&a, &b| key(a).partial_cmp(&key(b)).unwrap()).unwrap();
-        let t = (0..n).max_by(|&a, &b| key(a).partial_cmp(&key(b)).unwrap()).unwrap();
+        let s = (0..n)
+            .min_by(|&a, &b| key(a).partial_cmp(&key(b)).unwrap())
+            .unwrap();
+        let t = (0..n)
+            .max_by(|&a, &b| key(a).partial_cmp(&key(b)).unwrap())
+            .unwrap();
         if s != t {
             return (g, NodeId::new(s), NodeId::new(t));
         }
     }
 }
 
-fn bench_edge_payments(c: &mut Criterion) {
-    let mut group = c.benchmark_group("edge_agent_payments");
-    group.sample_size(10);
+fn main() {
+    let mut h = Harness::new("edge_agent_payments");
     for &n in &[128usize, 512, 2048] {
         let (g, s, t) = instance(n, 0xED6E + n as u64);
-        group.bench_with_input(BenchmarkId::new("fast_hershberger_suri", n), &n, |b, _| {
-            b.iter(|| std::hint::black_box(fast_edge_payments(&g, s, t)))
+        h.bench(format!("fast_hershberger_suri/{n}"), || {
+            black_box(fast_edge_payments(&g, s, t))
         });
-        group.bench_with_input(BenchmarkId::new("naive_per_edge", n), &n, |b, _| {
-            b.iter(|| std::hint::black_box(naive_edge_payments(&g, s, t)))
+        h.bench(format!("naive_per_edge/{n}"), || {
+            black_box(naive_edge_payments(&g, s, t))
         });
-        group.bench_with_input(
-            BenchmarkId::new("fast_symmetric_node_removal", n),
-            &n,
-            |b, _| b.iter(|| std::hint::black_box(fast_symmetric_payments(&g, s, t))),
-        );
+        h.bench(format!("fast_symmetric_node_removal/{n}"), || {
+            black_box(fast_symmetric_payments(&g, s, t))
+        });
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_edge_payments);
-criterion_main!(benches);

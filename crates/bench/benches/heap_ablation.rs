@@ -6,9 +6,8 @@
 //! from scratch at every path position (`O(s·m)`), which is simpler but
 //! asymptotically worse on long paths.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use truthcast_rt::bench::{black_box, Harness};
+use truthcast_rt::{Rng, SeedableRng, SmallRng};
 
 use truthcast_core::fast::replacement_costs;
 use truthcast_core::levels::{compute_levels, PathLevels, UNREACHED};
@@ -21,7 +20,9 @@ fn setup(n: usize, seed: u64) -> Option<(NodeWeightedGraph, Vec<Cost>, Vec<Cost>
     let mut rng = SmallRng::seed_from_u64(seed);
     let side = (n as f64 * 300.0 * 300.0 * std::f64::consts::PI / 12.0).sqrt();
     let (_, adj) = random_udg(n, Region::new(side, side), 300.0, &mut rng);
-    let costs: Vec<Cost> = (0..n).map(|_| Cost::from_f64(rng.gen_range(1.0..50.0))).collect();
+    let costs: Vec<Cost> = (0..n)
+        .map(|_| Cost::from_f64(rng.gen_range(1.0..50.0)))
+        .collect();
     let g = NodeWeightedGraph::new(adj, costs);
     let (s, t) = (NodeId(0), NodeId::new(n - 1));
     let ti = node_dijkstra(&g, s, NodeDijkstraOptions::default());
@@ -54,11 +55,9 @@ fn replacement_costs_rescan(
             if a == UNREACHED || b == UNREACHED {
                 continue;
             }
-            let (lo, hi, lon, hin) =
-                if a < b { (a, b, u, v) } else { (b, a, v, u) };
+            let (lo, hi, lon, hin) = if a < b { (a, b, u, v) } else { (b, a, v, u) };
             if lo < lu && lu < hi {
-                best = best
-                    .min(l_prime[lon.index()].saturating_add(r_prime[hin.index()]));
+                best = best.min(l_prime[lon.index()].saturating_add(r_prime[hin.index()]));
             }
         }
         // The level-set entry candidate is shared; recover it from the
@@ -68,20 +67,18 @@ fn replacement_costs_rescan(
     out
 }
 
-fn bench_heap_ablation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("crossing_edge_window");
-    group.sample_size(10);
+fn main() {
+    let mut h = Harness::new("crossing_edge_window");
     for &n in &[128usize, 512, 2048] {
-        let Some((g, lp, rp, lv)) = setup(n, 0xA11A + n as u64) else { continue };
-        group.bench_with_input(BenchmarkId::new("sliding_indexed_heap", n), &n, |b, _| {
-            b.iter(|| std::hint::black_box(replacement_costs(&g, &lp, &rp, &lv)))
+        let Some((g, lp, rp, lv)) = setup(n, 0xA11A + n as u64) else {
+            continue;
+        };
+        h.bench(format!("sliding_indexed_heap/{n}"), || {
+            black_box(replacement_costs(&g, &lp, &rp, &lv))
         });
-        group.bench_with_input(BenchmarkId::new("rescan_per_level", n), &n, |b, _| {
-            b.iter(|| std::hint::black_box(replacement_costs_rescan(&g, &lp, &rp, &lv)))
+        h.bench(format!("rescan_per_level/{n}"), || {
+            black_box(replacement_costs_rescan(&g, &lp, &rp, &lv))
         });
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_heap_ablation);
-criterion_main!(benches);

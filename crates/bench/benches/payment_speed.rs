@@ -2,9 +2,8 @@
 //! versus the naive `O(k · (n log n + m))` — the gap should widen with
 //! network size (more relays on the LCP).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use truthcast_rt::bench::{black_box, Harness};
+use truthcast_rt::{Rng, SeedableRng, SmallRng};
 
 use truthcast_core::{fast_payments, naive_payments};
 use truthcast_graph::generators::random_udg;
@@ -22,38 +21,35 @@ fn instance(n: usize, seed: u64) -> (NodeWeightedGraph, NodeId, NodeId) {
         if !truthcast_graph::connectivity::is_connected(&adj) {
             continue;
         }
-        let costs: Vec<Cost> =
-            (0..n).map(|_| Cost::from_f64(rng.gen_range(1.0..100.0))).collect();
+        let costs: Vec<Cost> = (0..n)
+            .map(|_| Cost::from_f64(rng.gen_range(1.0..100.0)))
+            .collect();
         let g = NodeWeightedGraph::new(adj, costs);
         // Farthest pair by coordinates: corner-ish nodes.
         let key = |i: usize| points[i].x + points[i].y;
-        let s = (0..n).min_by(|&a, &b| key(a).partial_cmp(&key(b)).unwrap()).unwrap();
-        let t = (0..n).max_by(|&a, &b| key(a).partial_cmp(&key(b)).unwrap()).unwrap();
+        let s = (0..n)
+            .min_by(|&a, &b| key(a).partial_cmp(&key(b)).unwrap())
+            .unwrap();
+        let t = (0..n)
+            .max_by(|&a, &b| key(a).partial_cmp(&key(b)).unwrap())
+            .unwrap();
         if s != t {
             return (g, NodeId::new(s), NodeId::new(t));
         }
     }
 }
 
-fn bench_payment_speed(c: &mut Criterion) {
-    let mut group = c.benchmark_group("payment_computation");
-    group.sample_size(10);
+fn main() {
+    let mut h = Harness::new("payment_computation");
     for &n in &[64usize, 128, 256, 512, 1024] {
         let (g, s, t) = instance(n, 0xBEEF + n as u64);
         let relays = fast_payments(&g, s, t).map_or(0, |p| p.payments.len());
-        group.bench_with_input(
-            BenchmarkId::new(format!("fast_algorithm1_{relays}relays"), n),
-            &n,
-            |b, _| b.iter(|| std::hint::black_box(fast_payments(&g, s, t))),
-        );
-        group.bench_with_input(
-            BenchmarkId::new(format!("naive_per_relay_{relays}relays"), n),
-            &n,
-            |b, _| b.iter(|| std::hint::black_box(naive_payments(&g, s, t))),
-        );
+        h.bench(format!("fast_algorithm1_{relays}relays/{n}"), || {
+            black_box(fast_payments(&g, s, t))
+        });
+        h.bench(format!("naive_per_relay_{relays}relays/{n}"), || {
+            black_box(naive_payments(&g, s, t))
+        });
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_payment_speed);
-criterion_main!(benches);

@@ -1,1 +1,2 @@
-//! Criterion benchmarks for truthcast (see `benches/`); the library target is intentionally empty.
+//! Benchmarks for truthcast on the in-tree `truthcast-rt` harness (see
+//! `benches/`); the library target is intentionally empty.

@@ -50,7 +50,10 @@ pub fn fixed_price_route(
     let table = node_dijkstra(
         g,
         source,
-        NodeDijkstraOptions { avoid: Some(&mask), target: Some(target) },
+        NodeDijkstraOptions {
+            avoid: Some(&mask),
+            target: Some(target),
+        },
     );
     match table.path(target) {
         Some(path) => {

@@ -21,7 +21,7 @@
 
 use truthcast_graph::connectivity::reachable_without;
 use truthcast_graph::mask::NodeMask;
-use truthcast_graph::node_dijkstra::{lcp_cost_between, lcp_between};
+use truthcast_graph::node_dijkstra::{lcp_between, lcp_cost_between};
 use truthcast_graph::{Cost, NodeId, NodeWeightedGraph};
 use truthcast_mechanism::vcg::set_removal_payment;
 
@@ -91,7 +91,9 @@ pub fn neighborhood_payments(
     source: NodeId,
     target: NodeId,
 ) -> Option<SetRemovalPricing> {
-    q_set_payments(g, source, target, |k| neighborhood_set(g, k, source, target))
+    q_set_payments(g, source, target, |k| {
+        neighborhood_set(g, k, source, target)
+    })
 }
 
 /// Prices a unicast with the generalized `Q`-set scheme: node `k` cannot
@@ -139,7 +141,11 @@ pub fn q_set_payments(
             set_removal_payment(lcp_cost, removed_opt, on_path[k.index()], g.cost(k));
     }
 
-    Some(SetRemovalPricing { path, lcp_cost, payments })
+    Some(SetRemovalPricing {
+        path,
+        lcp_cost,
+        payments,
+    })
 }
 
 /// The `h`-hop generalization of [`neighborhood_set`]: everything within
@@ -347,10 +353,7 @@ mod tests {
     fn total_payment_sums_everyone() {
         let g = friendly();
         let p = neighborhood_payments(&g, NodeId(0), NodeId(4)).unwrap();
-        assert_eq!(
-            p.total_payment(),
-            Cost::from_units(9) + Cost::from_units(7)
-        );
+        assert_eq!(p.total_payment(), Cost::from_units(9) + Cost::from_units(7));
     }
 
     #[test]

@@ -45,7 +45,11 @@ pub fn directed_payments(
         g,
         source,
         Direction::Forward,
-        DijkstraOptions { avoid: None, avoid_edge: None, target: Some(target) },
+        DijkstraOptions {
+            avoid: None,
+            avoid_edge: None,
+            target: Some(target),
+        },
     );
     let path = table.path(target)?;
     let lcp_cost = table.dist(target);
@@ -61,13 +65,21 @@ pub fn directed_payments(
             g,
             source,
             Direction::Forward,
-            DijkstraOptions { avoid: Some(&mask), avoid_edge: None, target: Some(target) },
+            DijkstraOptions {
+                avoid: Some(&mask),
+                avoid_edge: None,
+                target: Some(target),
+            },
         );
         let delta = avoiding.dist(target).saturating_sub(lcp_cost);
         payments.push((relay, used_arc.saturating_add(delta)));
     }
 
-    Some(UnicastPricing { path, lcp_cost, payments })
+    Some(UnicastPricing {
+        path,
+        lcp_cost,
+        payments,
+    })
 }
 
 /// The true transmission cost a relay incurs on the chosen path under its
@@ -90,10 +102,7 @@ mod tests {
 
     /// Two directed routes 0→1→3 (2+2) and 0→2→3 (3+4).
     fn twin_routes() -> LinkWeightedDigraph {
-        LinkWeightedDigraph::from_arcs(
-            4,
-            [arc(0, 1, 2), arc(1, 3, 2), arc(0, 2, 3), arc(2, 3, 4)],
-        )
+        LinkWeightedDigraph::from_arcs(4, [arc(0, 1, 2), arc(1, 3, 2), arc(0, 2, 3), arc(2, 3, 4)])
     }
 
     #[test]
@@ -111,7 +120,13 @@ mod tests {
         // Cheap forward, expensive reverse: LCP must use forward arcs only.
         let g = LinkWeightedDigraph::from_arcs(
             3,
-            [arc(0, 1, 1), arc(1, 0, 100), arc(1, 2, 1), arc(2, 1, 100), arc(0, 2, 50)],
+            [
+                arc(0, 1, 1),
+                arc(1, 0, 100),
+                arc(1, 2, 1),
+                arc(2, 1, 100),
+                arc(0, 2, 50),
+            ],
         );
         let p = directed_payments(&g, NodeId(0), NodeId(2)).unwrap();
         assert_eq!(p.path, vec![NodeId(0), NodeId(1), NodeId(2)]);

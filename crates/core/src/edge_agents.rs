@@ -13,9 +13,7 @@
 //! sliding-window algorithm are provided; the fast variant requires
 //! symmetric ("undirected") inputs, as in the original.
 
-use truthcast_graph::dijkstra::{
-    dijkstra, st_distance_avoiding_edge, DijkstraOptions, Direction,
-};
+use truthcast_graph::dijkstra::{dijkstra, st_distance_avoiding_edge, DijkstraOptions, Direction};
 use truthcast_graph::heap::IndexedHeap;
 use truthcast_graph::{Cost, LinkWeightedDigraph, NodeId, Spt};
 use truthcast_mechanism::vcg::vcg_payment_selected;
@@ -60,7 +58,11 @@ pub fn naive_edge_payments(
         g,
         source,
         Direction::Forward,
-        DijkstraOptions { avoid: None, avoid_edge: None, target: Some(target) },
+        DijkstraOptions {
+            avoid: None,
+            avoid_edge: None,
+            target: Some(target),
+        },
     );
     let path = table.path(target)?;
     let lcp_cost = table.dist(target);
@@ -70,9 +72,16 @@ pub fn naive_edge_payments(
         let (a, b) = (w[0], w[1]);
         let declared = g.arc_cost(a, b);
         let replacement = st_distance_avoiding_edge(g, source, target, (a, b));
-        payments.push(((a, b), vcg_payment_selected(lcp_cost, replacement, declared)));
+        payments.push((
+            (a, b),
+            vcg_payment_selected(lcp_cost, replacement, declared),
+        ));
     }
-    Some(EdgePricing { path, lcp_cost, payments })
+    Some(EdgePricing {
+        path,
+        lcp_cost,
+        payments,
+    })
 }
 
 /// Hershberger–Suri fast edge-agent pricing: all path-edge payments from
@@ -126,7 +135,11 @@ pub fn fast_edge_payments(
         if lu_ == UNREACHED || lv_ == UNREACHED || lu_ == lv_ {
             continue;
         }
-        let (a, b, la, lb) = if lu_ < lv_ { (u, v, lu_, lv_) } else { (v, u, lv_, lu_) };
+        let (a, b, la, lb) = if lu_ < lv_ {
+            (u, v, lu_, lv_)
+        } else {
+            (v, u, lv_, lu_)
+        };
         let value = ti.dist[a.index()]
             .saturating_add(w)
             .saturating_add(tj.dist[b.index()]);
@@ -135,7 +148,11 @@ pub fn fast_edge_payments(
         }
         // Active for l in [la + 1, lb] (inclusive on the right: removing
         // e_lb still leaves b on the far side).
-        cross.push(CrossEdge { value, insert_at: la + 1, delete_at: lb + 1 });
+        cross.push(CrossEdge {
+            value,
+            insert_at: la + 1,
+            delete_at: lb + 1,
+        });
     }
     let mut insert_at: Vec<Vec<u32>> = vec![Vec::new(); s + 2];
     let mut delete_at: Vec<Vec<u32>> = vec![Vec::new(); s + 2];
@@ -156,10 +173,17 @@ pub fn fast_edge_payments(
         let replacement = window.peek().map_or(Cost::INF, |(_, v)| v);
         let (a, b) = (lv.path[l - 1], lv.path[l]);
         let declared = g.arc_cost(a, b);
-        payments.push(((a, b), vcg_payment_selected(lcp_cost, replacement, declared)));
+        payments.push((
+            (a, b),
+            vcg_payment_selected(lcp_cost, replacement, declared),
+        ));
     }
 
-    Some(EdgePricing { path: lv.path, lcp_cost, payments })
+    Some(EdgePricing {
+        path: lv.path,
+        lcp_cost,
+        payments,
+    })
 }
 
 #[cfg(test)]
@@ -181,10 +205,7 @@ mod tests {
     #[test]
     fn nisan_ronen_diamond() {
         // Two edges 0-1 (3) and 1-2 (4) vs a direct edge 0-2 (9).
-        let g = LinkWeightedDigraph::from_arcs(
-            3,
-            sym_arcs(&[(0, 1, 3), (1, 2, 4), (0, 2, 9)]),
-        );
+        let g = LinkWeightedDigraph::from_arcs(3, sym_arcs(&[(0, 1, 3), (1, 2, 4), (0, 2, 9)]));
         let p = naive_edge_payments(&g, NodeId(0), NodeId(2)).unwrap();
         assert_eq!(p.path, vec![NodeId(0), NodeId(1), NodeId(2)]);
         assert_eq!(p.lcp_cost, Cost::from_units(7));
@@ -196,10 +217,7 @@ mod tests {
 
     #[test]
     fn fast_matches_naive_on_the_diamond() {
-        let g = LinkWeightedDigraph::from_arcs(
-            3,
-            sym_arcs(&[(0, 1, 3), (1, 2, 4), (0, 2, 9)]),
-        );
+        let g = LinkWeightedDigraph::from_arcs(3, sym_arcs(&[(0, 1, 3), (1, 2, 4), (0, 2, 9)]));
         assert_eq!(
             fast_edge_payments(&g, NodeId(0), NodeId(2)),
             naive_edge_payments(&g, NodeId(0), NodeId(2))
@@ -219,18 +237,15 @@ mod tests {
 
     #[test]
     fn asymmetric_input_declines_fast_path() {
-        let g = LinkWeightedDigraph::from_arcs(
-            2,
-            [(NodeId(0), NodeId(1), Cost::from_units(1))],
-        );
+        let g = LinkWeightedDigraph::from_arcs(2, [(NodeId(0), NodeId(1), Cost::from_units(1))]);
         assert_eq!(fast_edge_payments(&g, NodeId(0), NodeId(1)), None);
         assert!(naive_edge_payments(&g, NodeId(0), NodeId(1)).is_some());
     }
 
     #[test]
     fn random_graphs_fast_matches_naive() {
-        use rand::rngs::SmallRng;
-        use rand::{Rng, SeedableRng};
+        use truthcast_rt::SmallRng;
+        use truthcast_rt::{Rng, SeedableRng};
         let mut rng = SmallRng::seed_from_u64(777);
         for case in 0..300 {
             let n = rng.gen_range(4..24);

@@ -64,7 +64,11 @@ pub fn fast_payments(
     let lcp_cost = ti.lcp_cost(g, target);
     let s = lv.hops();
     if s == 1 {
-        return Some(UnicastPricing { path: lv.path, lcp_cost, payments: vec![] });
+        return Some(UnicastPricing {
+            path: lv.path,
+            lcp_cost,
+            payments: vec![],
+        });
     }
     let tj = node_dijkstra(g, target, NodeDijkstraOptions::default());
 
@@ -75,7 +79,11 @@ pub fn fast_payments(
         .map(|(&r, repl)| (r, vcg_payment_selected(lcp_cost, repl, g.cost(r))))
         .collect();
 
-    Some(UnicastPricing { path: lv.path, lcp_cost, payments })
+    Some(UnicastPricing {
+        path: lv.path,
+        lcp_cost,
+        payments,
+    })
 }
 
 /// Prices every node's unicast toward a fixed access point — the paper's
@@ -83,7 +91,13 @@ pub fn fast_payments(
 /// `None`, as do unreachable sources.
 pub fn price_all_sources(g: &NodeWeightedGraph, ap: NodeId) -> Vec<Option<UnicastPricing>> {
     g.node_ids()
-        .map(|source| if source == ap { None } else { fast_payments(g, source, ap) })
+        .map(|source| {
+            if source == ap {
+                None
+            } else {
+                fast_payments(g, source, ap)
+            }
+        })
         .collect()
 }
 
@@ -188,7 +202,11 @@ pub fn replacement_costs(
         if lu_ == UNREACHED || lv_ == UNREACHED || lu_ == lv_ {
             continue;
         }
-        let (a, b, la, lb) = if lu_ < lv_ { (u, v, lu_, lv_) } else { (v, u, lv_, lu_) };
+        let (a, b, la, lb) = if lu_ < lv_ {
+            (u, v, lu_, lv_)
+        } else {
+            (v, u, lv_, lu_)
+        };
         if lb <= la + 1 {
             continue; // active interval empty
         }
@@ -196,7 +214,11 @@ pub fn replacement_costs(
         if value.is_inf() {
             continue;
         }
-        cross.push(CrossEdge { value, insert_at: la + 1, delete_at: lb });
+        cross.push(CrossEdge {
+            value,
+            insert_at: la + 1,
+            delete_at: lb,
+        });
     }
     // Bucket edge indices by insertion/deletion level.
     let mut insert_at: Vec<Vec<u32>> = vec![Vec::new(); s + 1];
@@ -253,9 +275,17 @@ mod tests {
         // Two parallel paths with crossing rungs: exercises the sliding
         // heap with staggered insert/delete levels.
         let pairs = [
-            (0, 1), (1, 2), (2, 3), (3, 7),      // top path
-            (0, 4), (4, 5), (5, 6), (6, 7),      // bottom path
-            (1, 4), (2, 5), (3, 6),              // rungs
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (3, 7), // top path
+            (0, 4),
+            (4, 5),
+            (5, 6),
+            (6, 7), // bottom path
+            (1, 4),
+            (2, 5),
+            (3, 6), // rungs
         ];
         let costs = [0, 1, 1, 1, 9, 2, 9, 0];
         check_matches_naive(&pairs, &costs, 0, 7);
@@ -292,8 +322,8 @@ mod tests {
 
     #[test]
     fn random_graphs_match_naive() {
-        use rand::rngs::SmallRng;
-        use rand::{Rng, SeedableRng};
+        use truthcast_rt::SmallRng;
+        use truthcast_rt::{Rng, SeedableRng};
         let mut rng = SmallRng::seed_from_u64(42);
         for case in 0..400 {
             let n = rng.gen_range(4..24);
@@ -321,10 +351,7 @@ mod tests {
             let t = NodeId(n as u32 - 1);
             let fast = fast_payments(&g, s, t);
             let naive = naive_payments(&g, s, t);
-            assert_eq!(
-                fast, naive,
-                "case {case}: pairs {pairs:?} costs {costs:?}"
-            );
+            assert_eq!(fast, naive, "case {case}: pairs {pairs:?} costs {costs:?}");
         }
     }
 }

@@ -50,7 +50,11 @@ pub fn fast_symmetric_payments(
     let lcp_cost = ti.dist(target);
     let s = lv.hops();
     if s == 1 {
-        return Some(UnicastPricing { path: lv.path, lcp_cost, payments: vec![] });
+        return Some(UnicastPricing {
+            path: lv.path,
+            lcp_cost,
+            payments: vec![],
+        });
     }
     let tj = dijkstra(g, target, Direction::Forward, DijkstraOptions::default());
 
@@ -64,7 +68,11 @@ pub fn fast_symmetric_payments(
         })
         .collect();
 
-    Some(UnicastPricing { path: lv.path, lcp_cost, payments })
+    Some(UnicastPricing {
+        path: lv.path,
+        lcp_cost,
+        payments,
+    })
 }
 
 /// `‖P_{-r_l}‖` for `l = 1 … s-1` on an edge-weighted symmetric graph,
@@ -169,7 +177,11 @@ pub fn edge_weighted_replacement_costs(
         if lu_ == UNREACHED || lv_ == UNREACHED || lu_ == lv_ {
             continue;
         }
-        let (a, b, la, lb) = if lu_ < lv_ { (u, v, lu_, lv_) } else { (v, u, lv_, lu_) };
+        let (a, b, la, lb) = if lu_ < lv_ {
+            (u, v, lu_, lv_)
+        } else {
+            (v, u, lv_, lu_)
+        };
         if lb <= la + 1 {
             continue;
         }
@@ -179,7 +191,11 @@ pub fn edge_weighted_replacement_costs(
         if value.is_inf() {
             continue;
         }
-        cross.push(CrossEdge { value, insert_at: la + 1, delete_at: lb });
+        cross.push(CrossEdge {
+            value,
+            insert_at: la + 1,
+            delete_at: lb,
+        });
     }
     let mut insert_at: Vec<Vec<u32>> = vec![Vec::new(); s + 1];
     let mut delete_at: Vec<Vec<u32>> = vec![Vec::new(); s + 1];
@@ -224,10 +240,7 @@ mod tests {
     fn symmetry_detection() {
         let g = LinkWeightedDigraph::from_arcs(3, sym_arcs(&[(0, 1, 2), (1, 2, 3)]));
         assert!(is_symmetric(&g));
-        let g2 = LinkWeightedDigraph::from_arcs(
-            2,
-            [(NodeId(0), NodeId(1), Cost::from_units(1))],
-        );
+        let g2 = LinkWeightedDigraph::from_arcs(2, [(NodeId(0), NodeId(1), Cost::from_units(1))]);
         assert!(!is_symmetric(&g2));
         assert_eq!(fast_symmetric_payments(&g2, NodeId(0), NodeId(1)), None);
     }
@@ -258,8 +271,8 @@ mod tests {
 
     #[test]
     fn random_graphs_match_directed_naive() {
-        use rand::rngs::SmallRng;
-        use rand::{Rng, SeedableRng};
+        use truthcast_rt::SmallRng;
+        use truthcast_rt::{Rng, SeedableRng};
         let mut rng = SmallRng::seed_from_u64(4242);
         for case in 0..300 {
             let n = rng.gen_range(4..26);
@@ -288,8 +301,8 @@ mod tests {
 
     #[test]
     fn udg_instances_match_directed_naive() {
-        use rand::rngs::SmallRng;
-        use rand::{Rng, SeedableRng};
+        use truthcast_rt::SmallRng;
+        use truthcast_rt::{Rng, SeedableRng};
         // Build a UDG-like instance by hand (core has no wireless dep).
         let mut rng = SmallRng::seed_from_u64(9);
         for _ in 0..10 {

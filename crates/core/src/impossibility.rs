@@ -99,10 +99,7 @@ mod tests {
         let delta = Cost::from_units(13);
         let lied = truth.replace(NodeId(2), Cost::from_units(7) + delta);
         let shifted = mech.run(&lied);
-        assert_eq!(
-            shifted.payment(NodeId(1)),
-            base.payment(NodeId(1)) + delta
-        );
+        assert_eq!(shifted.payment(NodeId(1)), base.payment(NodeId(1)) + delta);
         assert_eq!(shifted.payment(NodeId(2)), base.payment(NodeId(2)));
     }
 
@@ -111,8 +108,7 @@ mod tests {
         // More branches don't save VCG: the *price-setting* branch inflates.
         let topo = adjacency_from_pairs(5, &[(0, 1), (1, 4), (0, 2), (2, 4), (0, 3), (3, 4)]);
         let truth = Profile::from_units(&[0, 2, 5, 9, 0]);
-        let w = theorem7_witness(&topo, &truth, NodeId(0), NodeId(4))
-            .expect("witness must exist");
+        let w = theorem7_witness(&topo, &truth, NodeId(0), NodeId(4)).expect("witness must exist");
         // The colluding off-path node is the second-cheapest branch (2),
         // since branch 3 does not set the price.
         assert!(w.coalition.contains(&NodeId(2)));

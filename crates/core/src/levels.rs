@@ -60,7 +60,11 @@ pub fn compute_levels(spt: &Spt, target: NodeId) -> Option<PathLevels> {
             level[spt.parent(v).expect("non-root in preorder").index()]
         };
     }
-    Some(PathLevels { path, level, pos_on_path })
+    Some(PathLevels {
+        path,
+        level,
+        pos_on_path,
+    })
 }
 
 #[cfg(test)]

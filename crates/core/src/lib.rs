@@ -45,11 +45,11 @@ pub mod overpayment;
 pub mod pricing;
 pub mod resale;
 
+pub use baselines::{compare_fixed_vs_vcg, fixed_price_route, FixedPriceOutcome, SchemeComparison};
 pub use collusion_resistant::{
     khop_set, neighborhood_payments, neighborhood_set, q_set_payments, scheme_feasible,
     SetRemovalPricing,
 };
-pub use baselines::{compare_fixed_vs_vcg, fixed_price_route, FixedPriceOutcome, SchemeComparison};
 pub use directed::{directed_payments, incurred_cost};
 pub use edge_agents::{fast_edge_payments, naive_edge_payments, EdgePricing};
 pub use fast::{fast_payments, price_all_sources};
@@ -57,8 +57,8 @@ pub use fast_symmetric::{fast_symmetric_payments, is_symmetric};
 pub use mechanism_impl::{EdgeVcgUnicast, Engine, NeighborhoodUnicast, VcgUnicast};
 pub use naive::{naive_payments, replacement_cost};
 pub use overpayment::{
-    adversarial_overpayment_instance, hop_buckets, overpayment_stats, HopBucket,
-    OverpaymentStats, SourceOutcome,
+    adversarial_overpayment_instance, hop_buckets, overpayment_stats, HopBucket, OverpaymentStats,
+    SourceOutcome,
 };
 pub use pricing::{most_vital_relay, UnicastPricing};
 pub use resale::{find_resale_opportunities, paper_figure4_instance, ResaleOpportunity};

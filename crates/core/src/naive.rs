@@ -25,7 +25,14 @@ pub fn naive_payments(
     target: NodeId,
 ) -> Option<UnicastPricing> {
     assert_ne!(source, target, "unicast endpoints must differ");
-    let table = node_dijkstra(g, source, NodeDijkstraOptions { avoid: None, target: Some(target) });
+    let table = node_dijkstra(
+        g,
+        source,
+        NodeDijkstraOptions {
+            avoid: None,
+            target: Some(target),
+        },
+    );
     let path = table.path(target)?;
     let lcp_cost = table.lcp_cost(g, target);
 
@@ -37,13 +44,23 @@ pub fn naive_payments(
         let avoiding = node_dijkstra(
             g,
             source,
-            NodeDijkstraOptions { avoid: Some(&mask), target: Some(target) },
+            NodeDijkstraOptions {
+                avoid: Some(&mask),
+                target: Some(target),
+            },
         );
         let replacement = avoiding.lcp_cost(g, target);
-        payments.push((relay, vcg_payment_selected(lcp_cost, replacement, g.cost(relay))));
+        payments.push((
+            relay,
+            vcg_payment_selected(lcp_cost, replacement, g.cost(relay)),
+        ));
     }
 
-    Some(UnicastPricing { path, lcp_cost, payments })
+    Some(UnicastPricing {
+        path,
+        lcp_cost,
+        payments,
+    })
 }
 
 /// Just the replacement cost `‖P_{-v_k}(source, target, d)‖` for one node.
@@ -93,7 +110,10 @@ mod tests {
         // payment = 8 − 2 + 1 = 7.
         assert_eq!(
             p.payments,
-            vec![(NodeId(1), Cost::from_units(7)), (NodeId(2), Cost::from_units(7))]
+            vec![
+                (NodeId(1), Cost::from_units(7)),
+                (NodeId(2), Cost::from_units(7))
+            ]
         );
     }
 

@@ -76,8 +76,16 @@ pub fn overpayment_stats(outcomes: &[SourceOutcome]) -> OverpaymentStats {
         }
     }
     OverpaymentStats {
-        tor: if sum_cost > 0.0 { sum_payment / sum_cost } else { f64::NAN },
-        ior: if counted > 0 { sum_ratio / counted as f64 } else { f64::NAN },
+        tor: if sum_cost > 0.0 {
+            sum_payment / sum_cost
+        } else {
+            f64::NAN
+        },
+        ior: if counted > 0 {
+            sum_ratio / counted as f64
+        } else {
+            f64::NAN
+        },
         worst: if counted > 0 { worst } else { f64::NAN },
         counted,
         skipped,

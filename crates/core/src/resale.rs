@@ -50,7 +50,9 @@ pub fn find_resale_opportunities(g: &NodeWeightedGraph, ap: NodeId) -> Vec<Resal
 
     let mut out = Vec::new();
     for i in g.node_ids() {
-        let Some(pi) = pricings[i.index()].as_ref() else { continue };
+        let Some(pi) = pricings[i.index()].as_ref() else {
+            continue;
+        };
         if pi.has_monopoly() {
             continue;
         }
@@ -59,7 +61,9 @@ pub fn find_resale_opportunities(g: &NodeWeightedGraph, ap: NodeId) -> Vec<Resal
             if j == ap {
                 continue;
             }
-            let Some(pj) = pricings[j.index()].as_ref() else { continue };
+            let Some(pj) = pricings[j.index()].as_ref() else {
+                continue;
+            };
             if pj.has_monopoly() {
                 continue;
             }
@@ -92,10 +96,16 @@ pub fn find_resale_opportunities(g: &NodeWeightedGraph, ap: NodeId) -> Vec<Resal
 pub fn paper_figure4_instance() -> (NodeWeightedGraph, NodeId) {
     let g = NodeWeightedGraph::from_pairs_units(
         &[
-            (4, 1), (1, 0),             // 4's LCP branch
-            (4, 2), (2, 0),             // 4's alternative branch
-            (8, 4),                     // the resale edge
-            (8, 3), (3, 5), (5, 6), (6, 7), (7, 0), // 8's own LCP
+            (4, 1),
+            (1, 0), // 4's LCP branch
+            (4, 2),
+            (2, 0), // 4's alternative branch
+            (8, 4), // the resale edge
+            (8, 3),
+            (3, 5),
+            (5, 6),
+            (6, 7),
+            (7, 0), // 8's own LCP
         ],
         //  0  1  2  3  4  5  6  7  8
         // (node 8's own cost of 5 keeps the 4–8–…–0 detour dearer than
@@ -116,7 +126,14 @@ mod tests {
         let p8 = fast_payments(&g, NodeId(8), ap).unwrap();
         assert_eq!(
             p8.path,
-            vec![NodeId(8), NodeId(3), NodeId(5), NodeId(6), NodeId(7), NodeId(0)]
+            vec![
+                NodeId(8),
+                NodeId(3),
+                NodeId(5),
+                NodeId(6),
+                NodeId(7),
+                NodeId(0)
+            ]
         );
         assert_eq!(p8.lcp_cost, Cost::from_units(4));
         assert_eq!(p8.total_payment(), Cost::from_units(20), "p_8 = 20");

@@ -1,0 +1,152 @@
+//! Cross-algorithm differential tests: the fast payment algorithms must
+//! agree with their per-relay recomputation oracles *exactly* — payment
+//! for payment, in fixed-point [`Cost`] micro-units, with no tolerance.
+//!
+//! Two model/algorithm pairs are exercised, on seeded unit-disk and
+//! Erdős–Rényi instances:
+//!
+//! * node-cost model: [`fast_payments`] (Algorithm 1's level
+//!   decomposition) versus [`naive_payments`];
+//! * symmetric link-cost model: [`fast_symmetric_payments`] versus
+//!   [`directed_payments`] (the per-relay oracle, correct on any digraph).
+
+use truthcast_core::directed::directed_payments;
+use truthcast_core::fast_symmetric::fast_symmetric_payments;
+use truthcast_core::{fast_payments, naive_payments};
+use truthcast_graph::connectivity::is_connected;
+use truthcast_graph::generators::{erdos_renyi, random_udg};
+use truthcast_graph::geometry::Region;
+use truthcast_graph::{Adjacency, Cost, LinkWeightedDigraph, NodeId, NodeWeightedGraph};
+use truthcast_rt::{Rng, SeedableRng, SmallRng};
+
+const UDG_SEEDS: [u64; 4] = [0x11, 0x22, 0x33, 0x44];
+const ER_SEEDS: [u64; 4] = [0x55, 0x66, 0x77, 0x88];
+
+/// A connected seeded UDG topology (retry placement until connected).
+fn udg_topology(n: usize, rng: &mut SmallRng) -> Adjacency {
+    let side = (n as f64 * 300.0 * 300.0 * std::f64::consts::PI / 12.0).sqrt();
+    loop {
+        let (_, adj) = random_udg(n, Region::new(side, side), 300.0, rng);
+        if is_connected(&adj) {
+            return adj;
+        }
+    }
+}
+
+/// A connected seeded G(n, p) topology.
+fn er_topology(n: usize, p: f64, rng: &mut SmallRng) -> Adjacency {
+    loop {
+        let adj = erdos_renyi(n, p, rng);
+        if is_connected(&adj) {
+            return adj;
+        }
+    }
+}
+
+fn with_node_costs(adj: Adjacency, rng: &mut SmallRng) -> NodeWeightedGraph {
+    let n = adj.num_nodes();
+    let costs: Vec<Cost> = (0..n)
+        .map(|_| Cost::from_micros(rng.gen_range(0u64..100_000_000)))
+        .collect();
+    NodeWeightedGraph::new(adj, costs)
+}
+
+fn with_symmetric_link_costs(adj: &Adjacency, rng: &mut SmallRng) -> LinkWeightedDigraph {
+    let arcs: Vec<_> = adj
+        .edges()
+        .flat_map(|(u, v)| {
+            let w = Cost::from_micros(rng.gen_range(1u64..100_000_000));
+            [(u, v, w), (v, u, w)]
+        })
+        .collect();
+    LinkWeightedDigraph::from_arcs(adj.num_nodes(), arcs)
+}
+
+/// Every relay's payment from Algorithm 1 equals the naive oracle's,
+/// for every target, on each instance.
+fn assert_node_model_agreement(g: &NodeWeightedGraph, seed: u64) {
+    let n = g.num_nodes();
+    for t in 1..n {
+        let t = NodeId::new(t);
+        let fast = fast_payments(g, NodeId(0), t);
+        let naive = naive_payments(g, NodeId(0), t);
+        assert_eq!(fast, naive, "seed {seed:#x}, target {t}: fast != naive");
+    }
+}
+
+/// Every relay's payment from the symmetric fast sweep equals the
+/// per-relay directed oracle's, for every target, on each instance.
+fn assert_link_model_agreement(g: &LinkWeightedDigraph, seed: u64) {
+    let n = g.num_nodes();
+    for t in 1..n {
+        let t = NodeId::new(t);
+        let fast = fast_symmetric_payments(g, NodeId(0), t)
+            .expect("symmetric connected instance must price");
+        let oracle = directed_payments(g, NodeId(0), t).expect("connected instance must price");
+        assert_eq!(
+            fast.path, oracle.path,
+            "seed {seed:#x}, target {t}: paths differ"
+        );
+        assert_eq!(fast.lcp_cost, oracle.lcp_cost, "seed {seed:#x}, target {t}");
+        assert_eq!(
+            fast.payments, oracle.payments,
+            "seed {seed:#x}, target {t}: payments differ"
+        );
+    }
+}
+
+#[test]
+fn node_model_fast_equals_naive_on_udg() {
+    for seed in UDG_SEEDS {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let adj = udg_topology(48, &mut rng);
+        let g = with_node_costs(adj, &mut rng);
+        assert_node_model_agreement(&g, seed);
+    }
+}
+
+#[test]
+fn node_model_fast_equals_naive_on_erdos_renyi() {
+    for seed in ER_SEEDS {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let adj = er_topology(32, 0.12, &mut rng);
+        let g = with_node_costs(adj, &mut rng);
+        assert_node_model_agreement(&g, seed);
+    }
+}
+
+#[test]
+fn link_model_fast_symmetric_equals_directed_on_udg() {
+    for seed in UDG_SEEDS {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xFF);
+        let adj = udg_topology(48, &mut rng);
+        let g = with_symmetric_link_costs(&adj, &mut rng);
+        assert_link_model_agreement(&g, seed);
+    }
+}
+
+#[test]
+fn link_model_fast_symmetric_equals_directed_on_erdos_renyi() {
+    for seed in ER_SEEDS {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xFF);
+        let adj = er_topology(32, 0.12, &mut rng);
+        let g = with_symmetric_link_costs(&adj, &mut rng);
+        assert_link_model_agreement(&g, seed);
+    }
+}
+
+/// Tie-heavy regime: small integer costs force many equal-cost paths;
+/// the algorithms must still agree exactly (shared tie-breaking).
+#[test]
+fn node_model_agreement_survives_ties() {
+    for seed in [0x7A1u64, 0x7A2, 0x7A3] {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let adj = er_topology(24, 0.18, &mut rng);
+        let n = adj.num_nodes();
+        let costs: Vec<Cost> = (0..n)
+            .map(|_| Cost::from_units(rng.gen_range(0u64..4)))
+            .collect();
+        let g = NodeWeightedGraph::new(adj, costs);
+        assert_node_model_agreement(&g, seed);
+    }
+}

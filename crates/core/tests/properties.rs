@@ -1,10 +1,9 @@
-//! Property-based tests for the core payment schemes.
+//! Property-based tests for the core payment schemes, on the in-tree
+//! `truthcast-rt` harness (seeded, offline, reproducible).
 
-use proptest::prelude::*;
 use truthcast_graph::{adjacency_from_pairs, Cost, NodeId, NodeWeightedGraph};
-use truthcast_mechanism::{
-    check_incentive_compatibility, check_individual_rationality, Profile,
-};
+use truthcast_mechanism::{check_incentive_compatibility, check_individual_rationality, Profile};
+use truthcast_rt::{bools, cases, forall, prop_assert, prop_assert_eq, subsequence, Strategy};
 
 use truthcast_core::mechanism_impl::{Engine, VcgUnicast};
 use truthcast_core::{fast_payments, naive_payments, neighborhood_payments};
@@ -16,7 +15,7 @@ fn backbone_graph() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
         let all_pairs: Vec<(u32, u32)> = (0..n as u32)
             .flat_map(|u| ((u + 1)..n as u32).map(move |v| (u, v)))
             .collect();
-        proptest::sample::subsequence(all_pairs, 0..=n * (n - 1) / 2).prop_map(move |mut edges| {
+        subsequence(all_pairs, 0..=n * (n - 1) / 2).prop_map(move |mut edges| {
             for v in 1..n as u32 {
                 edges.push((v - 1, v)); // backbone keeps it connected
             }
@@ -29,7 +28,9 @@ fn unit_costs(n: usize, seed: u64, tie_heavy: bool) -> Vec<u64> {
     let mut s = seed.wrapping_add(0x9e37_79b9);
     (0..n)
         .map(|_| {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             if tie_heavy {
                 (s >> 33) % 5
             } else {
@@ -39,28 +40,36 @@ fn unit_costs(n: usize, seed: u64, tie_heavy: bool) -> Vec<u64> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// Differential: Algorithm 1 equals the naive oracle, payment for
-    /// payment, on arbitrary graphs (wide-range and tie-heavy costs).
-    #[test]
-    fn fast_equals_naive((n, edges) in backbone_graph(), seed in 0u64..10_000, ties in any::<bool>()) {
-        let costs = unit_costs(n, seed, ties);
-        let g = NodeWeightedGraph::from_pairs_units(&edges, &costs);
-        for t in 1..n {
-            let t = NodeId::new(t);
-            prop_assert_eq!(
-                fast_payments(&g, NodeId(0), t),
-                naive_payments(&g, NodeId(0), t)
-            );
+/// Differential: Algorithm 1 equals the naive oracle, payment for
+/// payment, on arbitrary graphs (wide-range and tie-heavy costs).
+#[test]
+fn fast_equals_naive() {
+    forall!(
+        cases(96),
+        (backbone_graph(), 0u64..10_000, bools()),
+        |((n, edges), seed, ties)| {
+            let costs = unit_costs(n, seed, ties);
+            let g = NodeWeightedGraph::from_pairs_units(&edges, &costs);
+            for t in 1..n {
+                let t = NodeId::new(t);
+                prop_assert_eq!(
+                    fast_payments(&g, NodeId(0), t),
+                    naive_payments(&g, NodeId(0), t)
+                );
+            }
+            Ok(())
         }
-    }
+    );
+}
 
-    /// IR in payment form: every on-path relay is paid at least its
-    /// declared cost; total payment ≥ LCP cost.
-    #[test]
-    fn payments_cover_costs((n, edges) in backbone_graph(), seed in 0u64..10_000) {
+/// IR in payment form: every on-path relay is paid at least its
+/// declared cost; total payment ≥ LCP cost.
+#[test]
+fn payments_cover_costs() {
+    forall!(cases(96), (backbone_graph(), 0u64..10_000), |(
+        (n, edges),
+        seed,
+    )| {
         let costs = unit_costs(n, seed, false);
         let g = NodeWeightedGraph::from_pairs_units(&edges, &costs);
         let p = fast_payments(&g, NodeId(0), NodeId::new(n - 1)).unwrap();
@@ -68,31 +77,51 @@ proptest! {
             prop_assert!(pay >= g.cost(relay));
         }
         prop_assert!(p.total_payment() >= p.lcp_cost);
-    }
+        Ok(())
+    });
+}
 
-    /// Black-box IC + IR of the VCG unicast mechanism, probing each
-    /// relay's exact critical value.
-    #[test]
-    fn vcg_unicast_ic_ir((n, edges) in backbone_graph(), seed in 0u64..10_000) {
+/// Black-box IC + IR of the VCG unicast mechanism, probing each
+/// relay's exact critical value.
+#[test]
+fn vcg_unicast_ic_ir() {
+    forall!(cases(96), (backbone_graph(), 0u64..10_000), |(
+        (n, edges),
+        seed,
+    )| {
         let costs = unit_costs(n, seed, false);
         let topo = adjacency_from_pairs(n, &edges);
-        let g = NodeWeightedGraph::new(topo.clone(), costs.iter().map(|&c| Cost::from_units(c)).collect());
+        let g = NodeWeightedGraph::new(
+            topo.clone(),
+            costs.iter().map(|&c| Cost::from_units(c)).collect(),
+        );
         let target = NodeId::new(n - 1);
-        let Some(pricing) = fast_payments(&g, NodeId(0), target) else { return Ok(()); };
+        let Some(pricing) = fast_payments(&g, NodeId(0), target) else {
+            return Ok(());
+        };
         if pricing.has_monopoly() {
             return Ok(());
         }
         let mech = VcgUnicast::new(topo, NodeId(0), target, Engine::Fast);
         let truth = Profile::new(g.costs().to_vec());
         let probes: Vec<Cost> = pricing.payments.iter().map(|&(_, p)| p).collect();
-        prop_assert_eq!(check_incentive_compatibility(&mech, &truth, |_| probes.clone()), Ok(()));
+        prop_assert_eq!(
+            check_incentive_compatibility(&mech, &truth, |_| probes.clone()),
+            Ok(())
+        );
         prop_assert_eq!(check_individual_rationality(&mech, &truth), Ok(()));
-    }
+        Ok(())
+    });
+}
 
-    /// The neighborhood scheme pays every agent at least the plain VCG
-    /// scheme does (it removes a superset), and is itself IR.
-    #[test]
-    fn neighborhood_dominates_vcg((n, edges) in backbone_graph(), seed in 0u64..10_000) {
+/// The neighborhood scheme pays every agent at least the plain VCG
+/// scheme does (it removes a superset), and is itself IR.
+#[test]
+fn neighborhood_dominates_vcg() {
+    forall!(cases(96), (backbone_graph(), 0u64..10_000), |(
+        (n, edges),
+        seed,
+    )| {
         let costs = unit_costs(n, seed, false);
         let g = NodeWeightedGraph::from_pairs_units(&edges, &costs);
         let target = NodeId::new(n - 1);
@@ -102,13 +131,19 @@ proptest! {
         for &(relay, p) in &plain.payments {
             prop_assert!(tilde.payment_to(relay) >= p);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// A relay's payment equals its critical value: declaring anything
-    /// below keeps it on the path with the same payment; anything above
-    /// evicts it.
-    #[test]
-    fn payment_is_the_critical_value((n, edges) in backbone_graph(), seed in 0u64..10_000) {
+/// A relay's payment equals its critical value: declaring anything
+/// below keeps it on the path with the same payment; anything above
+/// evicts it.
+#[test]
+fn payment_is_the_critical_value() {
+    forall!(cases(96), (backbone_graph(), 0u64..10_000), |(
+        (n, edges),
+        seed,
+    )| {
         let costs = unit_costs(n, seed, false);
         let g = NodeWeightedGraph::from_pairs_units(&edges, &costs);
         let target = NodeId::new(n - 1);
@@ -130,14 +165,20 @@ proptest! {
             let p3 = fast_payments(&g3, NodeId(0), target).unwrap();
             prop_assert!(!p3.path.contains(&relay), "relay {relay} should be evicted");
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Arbitrary-pair generalization: on the undirected node-cost model,
-    /// pricing s→t and t→s yields the reversed path with identical
-    /// per-relay payments (the paper's "not very different to generalize"
-    /// remark, as an invariant).
-    #[test]
-    fn reversal_symmetry((n, edges) in backbone_graph(), seed in 0u64..10_000) {
+/// Arbitrary-pair generalization: on the undirected node-cost model,
+/// pricing s→t and t→s yields the reversed path with identical
+/// per-relay payments (the paper's "not very different to generalize"
+/// remark, as an invariant).
+#[test]
+fn reversal_symmetry() {
+    forall!(cases(96), (backbone_graph(), 0u64..10_000), |(
+        (n, edges),
+        seed,
+    )| {
         let costs = unit_costs(n, seed, false);
         let g = NodeWeightedGraph::from_pairs_units(&edges, &costs);
         let (s, t) = (NodeId(0), NodeId::new(n - 1));
@@ -155,12 +196,18 @@ proptest! {
             b.sort_by_key(|&(k, _)| k);
             prop_assert_eq!(a, b);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Lemma 4 executable: while the allocation is unchanged, a relay's
-    /// payment does not depend on its own declaration.
-    #[test]
-    fn payment_independent_of_own_declaration((n, edges) in backbone_graph(), seed in 0u64..10_000) {
+/// Lemma 4 executable: while the allocation is unchanged, a relay's
+/// payment does not depend on its own declaration.
+#[test]
+fn payment_independent_of_own_declaration() {
+    forall!(cases(96), (backbone_graph(), 0u64..10_000), |(
+        (n, edges),
+        seed,
+    )| {
         let costs = unit_costs(n, seed, false);
         let g = NodeWeightedGraph::from_pairs_units(&edges, &costs);
         let target = NodeId::new(n - 1);
@@ -173,6 +220,85 @@ proptest! {
                 if p2.path.contains(&relay) {
                     prop_assert_eq!(p2.payment_to(relay), pay);
                 }
+            }
+        }
+        Ok(())
+    });
+}
+
+/// Theorem 1 regression, pinned to fixed seeds: no unilateral deviation
+/// by any node — declaring above or below its true cost, on-path or
+/// off-path — ever improves its utility over truthful declaration.
+///
+/// Utility is `payment − true cost` when selected, `0` otherwise,
+/// measured in signed micro-units.
+#[test]
+fn truthfulness_regression_fixed_seeds() {
+    // Utility of `node` (true cost from `truth`) when the mechanism runs
+    // on declared costs `g`.
+    fn utility(g: &NodeWeightedGraph, truth: &NodeWeightedGraph, node: NodeId) -> i128 {
+        let n = truth.num_nodes();
+        let p = fast_payments(g, NodeId(0), NodeId::new(n - 1)).expect("endpoints exist");
+        if p.path.contains(&node) {
+            let pay = p.payment_to(node);
+            if !pay.is_finite() {
+                // A monopoly payment is unbounded; model it as a huge
+                // finite utility so the comparison below stays total.
+                return i128::MAX / 2;
+            }
+            pay.micros() as i128 - truth.cost(node).micros() as i128
+        } else {
+            0
+        }
+    }
+
+    for seed in [1u64, 7, 42, 1234, 0xDEAD_BEEF] {
+        // A deterministic backbone-connected instance from the seed.
+        let n = 8 + (seed % 5) as usize;
+        let mut s = seed;
+        let mut next = move || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            s >> 33
+        };
+        let mut edges: Vec<(u32, u32)> = (1..n as u32).map(|v| (v - 1, v)).collect();
+        for u in 0..n as u32 {
+            for v in (u + 2)..n as u32 {
+                if next() % 3 == 0 {
+                    edges.push((u, v));
+                }
+            }
+        }
+        let costs: Vec<u64> = (0..n).map(|_| next() % 10_000).collect();
+        let truth = NodeWeightedGraph::from_pairs_units(&edges, &costs);
+
+        for node in 1..n - 1 {
+            let node = NodeId::new(node);
+            let honest = utility(&truth, &truth, node);
+            let c = truth.cost(node).micros();
+            // Perturbations above and below the true cost (absolute and
+            // relative), clamped to valid declarations.
+            let lies = [
+                c / 2,
+                c.saturating_sub(1),
+                c.saturating_sub(1_000_000),
+                c + 1,
+                c + 1_000_000,
+                c.saturating_mul(2),
+                0,
+            ];
+            for lie in lies {
+                if lie == c {
+                    continue;
+                }
+                let g = truth.with_declared(node, Cost::from_micros(lie));
+                let deviant = utility(&g, &truth, node);
+                assert!(
+                    deviant <= honest,
+                    "seed {seed}: node {node} gains by declaring {lie} \
+                     (true {c}): {deviant} > {honest}"
+                );
             }
         }
     }

@@ -106,7 +106,10 @@ mod tests {
     fn behavior_queries() {
         assert!(Behavior::HideLinkAndRefuse { peer: NodeId(1) }.refuses_corrections());
         assert!(!Behavior::HideLink { peer: NodeId(1) }.refuses_corrections());
-        assert_eq!(Behavior::ShaveEntries { percent: 50 }.shave_percent(), Some(50));
+        assert_eq!(
+            Behavior::ShaveEntries { percent: 50 }.shave_percent(),
+            Some(50)
+        );
         assert_eq!(Behavior::Honest.shave_percent(), None);
     }
 }

@@ -53,7 +53,9 @@ pub fn convergence_report(g: &NodeWeightedGraph, ap: NodeId) -> ConvergenceRepor
         if i == ap || run.spt.route[i.index()].is_none() {
             continue;
         }
-        let Some(central) = truthcast_core::fast_payments(g, i, ap) else { continue };
+        let Some(central) = truthcast_core::fast_payments(g, i, ap) else {
+            continue;
+        };
         compared += 1;
         let dist_total: Cost = run.payments.total(i);
         if dist_total == central.total_payment() {
@@ -89,13 +91,15 @@ mod tests {
 
     #[test]
     fn rounds_bounded_by_n_on_random_udgs() {
-        use rand::rngs::SmallRng;
-        use rand::SeedableRng;
         use truthcast_graph::generators::random_udg;
         use truthcast_graph::geometry::Region;
+        use truthcast_rt::SeedableRng;
+        use truthcast_rt::SmallRng;
         let mut rng = SmallRng::seed_from_u64(5);
         let (_, adj) = random_udg(60, Region::new(800.0, 800.0), 220.0, &mut rng);
-        let costs: Vec<Cost> = (0..60).map(|i| Cost::from_units((i * 13 % 40) as u64)).collect();
+        let costs: Vec<Cost> = (0..60)
+            .map(|i| Cost::from_units((i * 13 % 40) as u64))
+            .collect();
         let g = NodeWeightedGraph::new(adj, costs);
         let rep = convergence_report(&g, NodeId(0));
         assert!(rep.spt_rounds <= 61, "{rep:?}");

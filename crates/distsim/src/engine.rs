@@ -82,7 +82,9 @@ impl<M: Clone> RoundEngine<M> {
         match &mut self.jitter {
             None => 0,
             Some(state) => {
-                *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                *state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((*state >> 33) as usize) % self.max_delay
             }
         }
@@ -190,7 +192,10 @@ mod tests {
         eng.broadcast(NodeId(1), 11);
         eng.broadcast(NodeId(0), 10);
         eng.deliver_round();
-        assert_eq!(eng.take_inbox(NodeId(2)), vec![(NodeId(0), 10), (NodeId(1), 11)]);
+        assert_eq!(
+            eng.take_inbox(NodeId(2)),
+            vec![(NodeId(0), 10), (NodeId(1), 11)]
+        );
     }
 
     #[test]
@@ -215,18 +220,18 @@ mod tests {
     fn jitter_is_deterministic_per_seed() {
         let adj = adjacency_from_pairs(2, &[(0, 1)]);
         let run = |seed: u64| {
-            let mut eng: RoundEngine<u32> = RoundEngine::new_jittered(
-                adjacency_from_pairs(2, &[(0, 1)]),
-                4,
-                seed,
-            );
+            let mut eng: RoundEngine<u32> =
+                RoundEngine::new_jittered(adjacency_from_pairs(2, &[(0, 1)]), 4, seed);
             for k in 0..10u32 {
                 eng.broadcast(NodeId(0), k);
             }
             let mut per_round = Vec::new();
             while eng.deliver_round() {
-                let mut batch: Vec<u32> =
-                    eng.take_inbox(NodeId(1)).into_iter().map(|(_, m)| m).collect();
+                let mut batch: Vec<u32> = eng
+                    .take_inbox(NodeId(1))
+                    .into_iter()
+                    .map(|(_, m)| m)
+                    .collect();
                 batch.sort_unstable();
                 per_round.push(batch);
             }

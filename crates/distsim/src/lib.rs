@@ -35,6 +35,8 @@ pub mod verified;
 pub use behavior::{Behavior, Behaviors};
 pub use convergence::{convergence_report, run_distributed, ConvergenceReport, DistributedRun};
 pub use engine::{EngineStats, RoundEngine};
-pub use payment_calc::{run_payment_stage, run_payment_stage_jittered, PaymentResult, PriceAnnounce};
+pub use payment_calc::{
+    run_payment_stage, run_payment_stage_jittered, PaymentResult, PriceAnnounce,
+};
 pub use spt_build::{run_spt_stage, run_spt_stage_jittered, HiddenLinks, RouteAnnounce, SptResult};
 pub use verified::{run_verified_payments, run_verified_spt, Event, VerifiedOutcome};

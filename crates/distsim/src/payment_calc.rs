@@ -85,7 +85,12 @@ fn run_payment_stage_on(
 
     // Initialize entries to ∞ for every relay on the node's own route.
     let mut entries: Vec<Vec<(NodeId, Cost)>> = (0..n)
-        .map(|i| spt.relays(NodeId::new(i)).iter().map(|&k| (k, Cost::INF)).collect())
+        .map(|i| {
+            spt.relays(NodeId::new(i))
+                .iter()
+                .map(|&k| (k, Cost::INF))
+                .collect()
+        })
         .collect();
 
     let announce_of = |i: NodeId, entries: &[Vec<(NodeId, Cost)>], spt: &SptResult| PriceAnnounce {
@@ -155,7 +160,11 @@ fn run_payment_stage_on(
         }
     }
 
-    PaymentResult { payments: entries, rounds, stats: eng.stats }
+    PaymentResult {
+        payments: entries,
+        rounds,
+        stats: eng.stats,
+    }
 }
 
 #[cfg(test)]
@@ -172,10 +181,8 @@ mod tests {
 
     #[test]
     fn diamond_matches_centralized() {
-        let g = NodeWeightedGraph::from_pairs_units(
-            &[(0, 1), (1, 3), (0, 2), (2, 3)],
-            &[0, 5, 7, 0],
-        );
+        let g =
+            NodeWeightedGraph::from_pairs_units(&[(0, 1), (1, 3), (0, 2), (2, 3)], &[0, 5, 7, 0]);
         let (_, pay) = run_both(&g);
         let central = fast_payments(&g, NodeId(3), NodeId(0)).unwrap();
         assert_eq!(pay.payments[3], central.payments);
@@ -184,8 +191,8 @@ mod tests {
 
     #[test]
     fn every_node_matches_centralized_on_random_graphs() {
-        use rand::rngs::SmallRng;
-        use rand::{Rng, SeedableRng};
+        use truthcast_rt::SmallRng;
+        use truthcast_rt::{Rng, SeedableRng};
         let mut rng = SmallRng::seed_from_u64(17);
         for _ in 0..40 {
             let n = rng.gen_range(5..22);

@@ -45,7 +45,9 @@ impl HiddenLinks {
 
     /// Whether the link `{a, b}` is hidden.
     pub fn hides(&self, a: NodeId, b: NodeId) -> bool {
-        self.0.iter().any(|&(x, y)| (x, y) == (a, b) || (x, y) == (b, a))
+        self.0
+            .iter()
+            .any(|&(x, y)| (x, y) == (a, b) || (x, y) == (b, a))
     }
 }
 
@@ -117,7 +119,13 @@ fn run_spt_stage_on(
     let mut route: Vec<Option<Vec<NodeId>>> = vec![None; n];
     dist[ap.index()] = Cost::ZERO;
     route[ap.index()] = Some(vec![ap]);
-    eng.broadcast(ap, RouteAnnounce { dist: Cost::ZERO, path: vec![ap] });
+    eng.broadcast(
+        ap,
+        RouteAnnounce {
+            dist: Cost::ZERO,
+            path: vec![ap],
+        },
+    );
 
     let mut rounds = 0usize;
     while rounds < max_rounds && eng.deliver_round() {
@@ -162,7 +170,14 @@ fn run_spt_stage_on(
         }
     }
 
-    SptResult { ap, dist, first_hop, route, rounds, stats: eng.stats }
+    SptResult {
+        ap,
+        dist,
+        first_hop,
+        route,
+        rounds,
+        stats: eng.stats,
+    }
 }
 
 #[cfg(test)]
@@ -214,7 +229,10 @@ mod tests {
             if v == NodeId(0) {
                 continue;
             }
-            assert_eq!(r.first_hop[v.index()], Some(r.route[v.index()].as_ref().unwrap()[1]));
+            assert_eq!(
+                r.first_hop[v.index()],
+                Some(r.route[v.index()].as_ref().unwrap()[1])
+            );
         }
     }
 
@@ -222,8 +240,16 @@ mod tests {
     fn hidden_link_diverts_the_route() {
         let g = sample();
         // Node 3 hides its link to 1: it must route via the dear node 2.
-        let r = run_spt_stage(&g, NodeId(0), &HiddenLinks::single(NodeId(3), NodeId(1)), 50);
-        assert_eq!(r.route[3].as_ref().unwrap(), &vec![NodeId(3), NodeId(2), NodeId(0)]);
+        let r = run_spt_stage(
+            &g,
+            NodeId(0),
+            &HiddenLinks::single(NodeId(3), NodeId(1)),
+            50,
+        );
+        assert_eq!(
+            r.route[3].as_ref().unwrap(),
+            &vec![NodeId(3), NodeId(2), NodeId(0)]
+        );
         assert_eq!(r.dist[3], Cost::from_units(5));
         // Node 4 (behind 3) inherits the diversion.
         assert_eq!(r.dist[4], Cost::from_units(5 + 2));
@@ -239,8 +265,8 @@ mod tests {
 
     #[test]
     fn converges_within_n_rounds_on_random_graphs() {
-        use rand::rngs::SmallRng;
-        use rand::{Rng, SeedableRng};
+        use truthcast_rt::SmallRng;
+        use truthcast_rt::{Rng, SeedableRng};
         let mut rng = SmallRng::seed_from_u64(9);
         for _ in 0..30 {
             let n = rng.gen_range(5..30);

@@ -64,16 +64,26 @@ impl VerifiedOutcome {
             .collect();
         punished.sort_unstable();
         punished.dedup();
-        VerifiedOutcome { events, punished, stats }
+        VerifiedOutcome {
+            events,
+            punished,
+            stats,
+        }
     }
 }
 
 #[derive(Clone, Debug)]
 enum Stage1Msg {
-    Route { dist: Cost, path: Vec<NodeId> },
+    Route {
+        dist: Cost,
+        path: Vec<NodeId>,
+    },
     /// A forced correction: "route through me at this total cost; here is
     /// my own path for you to splice" (the reliable direct channel).
-    Force { dist: Cost, path: Vec<NodeId> },
+    Force {
+        dist: Cost,
+        path: Vec<NodeId>,
+    },
 }
 
 /// Runs the verified stage 1 with the given behavior table. Returns the
@@ -93,7 +103,12 @@ pub fn run_verified_spt(
     // What each node last heard each neighbor announce: heard[i][slot of j]
     // (`None` = nothing announced yet — not auditable).
     let mut heard: Vec<Vec<(NodeId, Option<Cost>)>> = (0..n)
-        .map(|i| g.neighbors(NodeId::new(i)).iter().map(|&j| (j, None)).collect())
+        .map(|i| {
+            g.neighbors(NodeId::new(i))
+                .iter()
+                .map(|&j| (j, None))
+                .collect()
+        })
         .collect();
     // Forced corrections sent, awaiting compliance: (enforcer, target, dist).
     let mut outstanding: Vec<(NodeId, NodeId, Cost)> = Vec::new();
@@ -101,7 +116,13 @@ pub fn run_verified_spt(
 
     dist[ap.index()] = Cost::ZERO;
     route[ap.index()] = Some(vec![ap]);
-    eng.broadcast(ap, Stage1Msg::Route { dist: Cost::ZERO, path: vec![ap] });
+    eng.broadcast(
+        ap,
+        Stage1Msg::Route {
+            dist: Cost::ZERO,
+            path: vec![ap],
+        },
+    );
 
     let mut rounds = 0usize;
     while rounds < max_rounds && eng.deliver_round() {
@@ -113,9 +134,7 @@ pub fn run_verified_spt(
             for (from, msg) in inbox {
                 match msg {
                     Stage1Msg::Route { dist: d_from, path } => {
-                        if let Some(slot) =
-                            heard[v.index()].iter_mut().find(|(j, _)| *j == from)
-                        {
+                        if let Some(slot) = heard[v.index()].iter_mut().find(|(j, _)| *j == from) {
                             slot.1 = Some(d_from);
                         }
                         if v == ap {
@@ -139,7 +158,10 @@ pub fn run_verified_spt(
                             improved = true;
                         }
                     }
-                    Stage1Msg::Force { dist: d_forced, path } => {
+                    Stage1Msg::Force {
+                        dist: d_forced,
+                        path,
+                    } => {
                         if v == ap || behavior.refuses_corrections() {
                             continue; // refusal is caught post-convergence
                         }
@@ -173,7 +195,9 @@ pub fn run_verified_spt(
             if v != ap && behaviors.of(v) != &Behavior::Honest {
                 continue; // cheaters don't volunteer enforcement
             }
-            let Some(my_route) = route[v.index()].clone() else { continue };
+            let Some(my_route) = route[v.index()].clone() else {
+                continue;
+            };
             let my_offer = if v == ap {
                 Cost::ZERO
             } else {
@@ -184,17 +208,42 @@ pub fn run_verified_spt(
                 if my_offer >= d_j || my_route.contains(&j) {
                     continue;
                 }
-                match outstanding.iter_mut().find(|(by, t, _)| *by == v && *t == j) {
+                match outstanding
+                    .iter_mut()
+                    .find(|(by, t, _)| *by == v && *t == j)
+                {
                     Some(rec) if rec.2 <= my_offer => {} // already forced this or better
                     Some(rec) => {
                         rec.2 = my_offer;
-                        events.push(Event::Forced { by: v, target: j, dist: my_offer });
-                        eng.send_direct(v, j, Stage1Msg::Force { dist: my_offer, path: my_route.clone() });
+                        events.push(Event::Forced {
+                            by: v,
+                            target: j,
+                            dist: my_offer,
+                        });
+                        eng.send_direct(
+                            v,
+                            j,
+                            Stage1Msg::Force {
+                                dist: my_offer,
+                                path: my_route.clone(),
+                            },
+                        );
                     }
                     None => {
                         outstanding.push((v, j, my_offer));
-                        events.push(Event::Forced { by: v, target: j, dist: my_offer });
-                        eng.send_direct(v, j, Stage1Msg::Force { dist: my_offer, path: my_route.clone() });
+                        events.push(Event::Forced {
+                            by: v,
+                            target: j,
+                            dist: my_offer,
+                        });
+                        eng.send_direct(
+                            v,
+                            j,
+                            Stage1Msg::Force {
+                                dist: my_offer,
+                                path: my_route.clone(),
+                            },
+                        );
                     }
                 }
             }
@@ -216,7 +265,14 @@ pub fn run_verified_spt(
         }
     }
 
-    let spt = SptResult { ap, dist, first_hop, route, rounds, stats: eng.stats };
+    let spt = SptResult {
+        ap,
+        dist,
+        first_hop,
+        route,
+        rounds,
+        stats: eng.stats,
+    };
     let outcome = VerifiedOutcome::from_events(events, eng.stats);
     (spt, outcome)
 }
@@ -250,9 +306,7 @@ pub fn run_verified_payments(
         .collect();
     let mut events: Vec<Event> = Vec::new();
 
-    let announced = |i: NodeId,
-                     entries: &[Vec<(NodeId, Cost, NodeId)>],
-                     behaviors: &Behaviors| {
+    let announced = |i: NodeId, entries: &[Vec<(NodeId, Cost, NodeId)>], behaviors: &Behaviors| {
         let mut out = entries[i.index()].clone();
         if let Some(pct) = behaviors.of(i).shave_percent() {
             for e in &mut out {
@@ -261,7 +315,11 @@ pub fn run_verified_payments(
                 }
             }
         }
-        Stage2Msg { dist: spt.dist[i.index()], relays: spt.relays(i).to_vec(), entries: out }
+        Stage2Msg {
+            dist: spt.dist[i.index()],
+            relays: spt.relays(i).to_vec(),
+            entries: out,
+        }
     };
 
     for i in g.node_ids() {
@@ -294,9 +352,9 @@ pub fn run_verified_payments(
                     // Recompute the candidate i would offer j for relay k.
                     let avoid_from_i = if spt.relays(i).contains(&k) {
                         match entries[i.index()].iter().find(|&&(r, _, _)| r == k) {
-                            Some(&(_, pik, _)) => {
-                                pik.saturating_add(spt.dist[i.index()]).saturating_sub(g.cost(k))
-                            }
+                            Some(&(_, pik, _)) => pik
+                                .saturating_add(spt.dist[i.index()])
+                                .saturating_sub(g.cost(k)),
                             None => Cost::INF,
                         }
                     } else {
@@ -409,8 +467,16 @@ mod tests {
     fn figure2_link_hiding_pays_less_without_verification() {
         let g = figure2();
         // v1 lies: "I am not a neighbor of v4".
-        let spt = run_spt_stage(&g, NodeId(0), &HiddenLinks::single(NodeId(1), NodeId(4)), 30);
-        assert_eq!(spt.route[1].as_ref().unwrap(), &vec![NodeId(1), NodeId(5), NodeId(0)]);
+        let spt = run_spt_stage(
+            &g,
+            NodeId(0),
+            &HiddenLinks::single(NodeId(1), NodeId(4)),
+            30,
+        );
+        assert_eq!(
+            spt.route[1].as_ref().unwrap(),
+            &vec![NodeId(1), NodeId(5), NodeId(0)]
+        );
         let pay = crate::payment_calc::run_payment_stage(&g, &spt, 30);
         // Via the honest relaxation, v5's payment uses the (true) v4 branch
         // as the replacement: p_1^5 = 4.5 − 5 + 5 = 4.5 < 6. The lie pays.
@@ -431,16 +497,23 @@ mod tests {
             "events: {:?}",
             outcome.events
         );
-        assert_eq!(spt.dist[1], Cost::from_f64(4.5), "forced to the true LCP cost");
+        assert_eq!(
+            spt.dist[1],
+            Cost::from_f64(4.5),
+            "forced to the true LCP cost"
+        );
         assert_eq!(spt.first_hop[1], Some(NodeId(4)));
-        assert!(outcome.punished.is_empty(), "compliant liar is corrected, not punished");
+        assert!(
+            outcome.punished.is_empty(),
+            "compliant liar is corrected, not punished"
+        );
     }
 
     #[test]
     fn refusing_the_correction_gets_accused() {
         let g = figure2();
-        let behaviors = Behaviors::honest(6)
-            .with(NodeId(1), Behavior::HideLinkAndRefuse { peer: NodeId(4) });
+        let behaviors =
+            Behaviors::honest(6).with(NodeId(1), Behavior::HideLinkAndRefuse { peer: NodeId(4) });
         let (_, outcome) = run_verified_spt(&g, NodeId(0), &behaviors, 40);
         assert!(
             outcome.punished.contains(&NodeId(1)),
@@ -457,7 +530,10 @@ mod tests {
         // Forced updates are legitimate protocol actions and may occur
         // transiently; accusations must not.
         assert!(
-            !outcome.events.iter().any(|e| matches!(e, Event::Accused { .. })),
+            !outcome
+                .events
+                .iter()
+                .any(|e| matches!(e, Event::Accused { .. })),
             "events: {:?}",
             outcome.events
         );
@@ -482,8 +558,8 @@ mod tests {
 
     #[test]
     fn verified_stage1_matches_unverified_on_random_graphs() {
-        use rand::rngs::SmallRng;
-        use rand::{Rng, SeedableRng};
+        use truthcast_rt::SmallRng;
+        use truthcast_rt::{Rng, SeedableRng};
         let mut rng = SmallRng::seed_from_u64(33);
         for _ in 0..20 {
             let n = rng.gen_range(5..20);

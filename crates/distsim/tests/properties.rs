@@ -1,12 +1,13 @@
-//! Property-based tests for the distributed protocol.
+//! Property-based tests for the distributed protocol, on the in-tree
+//! `truthcast-rt` harness (seeded, offline, reproducible).
 
-use proptest::prelude::*;
 use truthcast_core::fast_payments;
 use truthcast_distsim::{
     run_distributed, run_payment_stage, run_payment_stage_jittered, run_spt_stage,
     run_spt_stage_jittered, run_verified_spt, Behavior, Behaviors, Event, HiddenLinks,
 };
-use truthcast_graph::{NodeId, NodeWeightedGraph};
+use truthcast_graph::{Cost, NodeId, NodeWeightedGraph};
+use truthcast_rt::{cases, forall, prop_assert, prop_assert_eq, subsequence, vec_of, Strategy};
 
 /// Ring + chords instances (2-connected, so payments stay finite).
 fn ring_instance() -> impl Strategy<Value = (usize, Vec<(u32, u32)>, Vec<u64>)> {
@@ -17,8 +18,8 @@ fn ring_instance() -> impl Strategy<Value = (usize, Vec<(u32, u32)>, Vec<u64>)> 
             .collect();
         let max_extra = chords.len().min(n);
         (
-            proptest::sample::subsequence(chords, 0..=max_extra),
-            proptest::collection::vec(0u64..40, n),
+            subsequence(chords, 0..=max_extra),
+            vec_of(0u64..40, n..n + 1),
         )
             .prop_map(move |(extra, costs)| {
                 let mut edges: Vec<(u32, u32)> = (1..n as u32).map(|v| (v - 1, v)).collect();
@@ -29,13 +30,11 @@ fn ring_instance() -> impl Strategy<Value = (usize, Vec<(u32, u32)>, Vec<u64>)> 
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Distributed totals equal the centralized Algorithm 1, and both
-    /// stages converge within n rounds.
-    #[test]
-    fn distributed_equals_centralized((n, edges, costs) in ring_instance()) {
+/// Distributed totals equal the centralized Algorithm 1, and both
+/// stages converge within n rounds.
+#[test]
+fn distributed_equals_centralized() {
+    forall!(cases(48), (ring_instance(),), |((n, edges, costs),)| {
         let g = NodeWeightedGraph::from_pairs_units(&edges, &costs);
         let run = run_distributed(&g, NodeId(0));
         prop_assert!(run.spt.rounds <= n + 1);
@@ -43,14 +42,22 @@ proptest! {
         for i in 1..n {
             let i = NodeId::new(i);
             let central = fast_payments(&g, i, NodeId(0)).unwrap();
-            prop_assert_eq!(run.payments.total(i), central.total_payment(), "source {}", i);
+            prop_assert_eq!(
+                run.payments.total(i),
+                central.total_payment(),
+                "source {}",
+                i
+            );
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Payment entries are monotone consequences of the relaxation: every
-    /// converged entry is at least the relay's declared cost.
-    #[test]
-    fn entries_dominate_declared_costs((n, edges, costs) in ring_instance()) {
+/// Payment entries are monotone consequences of the relaxation: every
+/// converged entry is at least the relay's declared cost.
+#[test]
+fn entries_dominate_declared_costs() {
+    forall!(cases(48), (ring_instance(),), |((n, edges, costs),)| {
         let g = NodeWeightedGraph::from_pairs_units(&edges, &costs);
         let spt = run_spt_stage(&g, NodeId(0), &HiddenLinks::none(), 4 * n);
         let pay = run_payment_stage(&g, &spt, 4 * n);
@@ -59,21 +66,25 @@ proptest! {
                 prop_assert!(p >= g.cost(k), "entry p_{i}^{k}");
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Message reordering cannot change the fixpoint: the jittered engine
-    /// (random per-message delays) converges to exactly the synchronous
-    /// distances and payments, only more slowly.
-    #[test]
-    fn jittered_delivery_reaches_the_same_fixpoint(
-        (n, edges, costs) in ring_instance(),
-        max_delay in 2usize..5,
-        seed in 0u64..1000,
-    ) {
+/// Message reordering cannot change the fixpoint: the jittered engine
+/// (random per-message delays) converges to exactly the synchronous
+/// distances and payments, only more slowly.
+#[test]
+fn jittered_delivery_reaches_the_same_fixpoint() {
+    forall!(cases(48), (ring_instance(), 2usize..5, 0u64..1000), |(
+        (n, edges, costs),
+        max_delay,
+        seed,
+    )| {
         let g = NodeWeightedGraph::from_pairs_units(&edges, &costs);
         let bound = 6 * n * max_delay + 20;
         let sync_spt = run_spt_stage(&g, NodeId(0), &HiddenLinks::none(), bound);
-        let jit_spt = run_spt_stage_jittered(&g, NodeId(0), &HiddenLinks::none(), bound, max_delay, seed);
+        let jit_spt =
+            run_spt_stage_jittered(&g, NodeId(0), &HiddenLinks::none(), bound, max_delay, seed);
         prop_assert_eq!(&sync_spt.dist, &jit_spt.dist);
         let sync_pay = run_payment_stage(&g, &sync_spt, bound);
         let jit_pay = run_payment_stage_jittered(&g, &jit_spt, bound, max_delay, seed ^ 1);
@@ -81,19 +92,27 @@ proptest! {
             let i = NodeId::new(i);
             prop_assert_eq!(sync_pay.total(i), jit_pay.total(i), "source {}", i);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// A link-hiding node never pays *more* under the naive protocol than
-    /// honestly (the lie is weakly profitable by construction: it still
-    /// controls its own route choice), and the verified protocol erases
-    /// any strict gain.
-    #[test]
-    fn verification_neutralizes_link_hiding((n, edges, costs) in ring_instance(), liar_ix in 1usize..13) {
+/// A link-hiding node never pays *more* under the naive protocol than
+/// honestly (the lie is weakly profitable by construction: it still
+/// controls its own route choice), and the verified protocol erases
+/// any strict gain.
+#[test]
+fn verification_neutralizes_link_hiding() {
+    forall!(cases(48), (ring_instance(), 1usize..13), |(
+        (n, edges, costs),
+        liar_ix,
+    )| {
         let liar = NodeId::new(1 + (liar_ix - 1) % (n - 1));
         let g = NodeWeightedGraph::from_pairs_units(&edges, &costs);
         let honest_spt = run_spt_stage(&g, NodeId(0), &HiddenLinks::none(), 4 * n);
         // Hide the liar's first hop (the most natural manipulation).
-        let Some(fh) = honest_spt.first_hop[liar.index()] else { return Ok(()); };
+        let Some(fh) = honest_spt.first_hop[liar.index()] else {
+            return Ok(());
+        };
         if fh == NodeId(0) {
             return Ok(()); // hiding the AP link can only hurt; skip
         }
@@ -103,9 +122,83 @@ proptest! {
         // correction reinstates the true route cost.
         prop_assert_eq!(vspt.dist[liar.index()], honest_spt.dist[liar.index()]);
         // And an honest network never accuses anyone falsely.
-        let accused_honest = outcome.events.iter().any(|e| {
-            matches!(e, Event::Accused { target, .. } if *target != liar)
-        });
+        let accused_honest = outcome
+            .events
+            .iter()
+            .any(|e| matches!(e, Event::Accused { target, .. } if *target != liar));
         prop_assert!(!accused_honest, "events: {:?}", outcome.events);
+        Ok(())
+    });
+}
+
+/// Theorem 1 in the distributed setting, pinned to fixed seeds: a relay's
+/// aggregate utility across all sources (payment entries it appears in,
+/// minus its true cost per appearance) never improves when it unilaterally
+/// misdeclares its cost. Each source's game is an independent VCG
+/// instance, so the aggregate is maximized at truth too.
+#[test]
+fn distributed_truthfulness_regression_fixed_seeds() {
+    // Aggregate utility of `relay` under declarations `g`, truth `truth`.
+    fn utility(g: &NodeWeightedGraph, truth: &NodeWeightedGraph, relay: NodeId) -> i128 {
+        let run = run_distributed(g, NodeId(0));
+        let c = truth.cost(relay).micros() as i128;
+        let mut u = 0i128;
+        for entries in &run.payments.payments {
+            for &(k, p) in entries {
+                if k == relay {
+                    u += p.micros() as i128 - c;
+                }
+            }
+        }
+        u
+    }
+
+    for seed in [3u64, 17, 99, 2026] {
+        // Deterministic ring-plus-chords instance from the seed.
+        let n = 6 + (seed % 6) as usize;
+        let mut s = seed;
+        let mut next = move || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            s >> 33
+        };
+        let mut edges: Vec<(u32, u32)> = (1..n as u32).map(|v| (v - 1, v)).collect();
+        edges.push((0, n as u32 - 1));
+        for u in 0..n as u32 {
+            for v in (u + 2)..n as u32 {
+                if !(u == 0 && v == n as u32 - 1) && next() % 4 == 0 {
+                    edges.push((u, v));
+                }
+            }
+        }
+        let costs: Vec<u64> = (0..n).map(|_| next() % 40).collect();
+        let truth = NodeWeightedGraph::from_pairs_units(&edges, &costs);
+
+        for relay in 1..n {
+            let relay = NodeId::new(relay);
+            let honest = utility(&truth, &truth, relay);
+            let c = truth.cost(relay).micros();
+            let lies = [
+                0,
+                c / 2,
+                c.saturating_sub(1),
+                c + 1,
+                c * 2 + 1,
+                c + 40_000_000,
+            ];
+            for lie in lies {
+                if lie == c {
+                    continue;
+                }
+                let g = truth.with_declared(relay, Cost::from_micros(lie));
+                let deviant = utility(&g, &truth, relay);
+                assert!(
+                    deviant <= honest,
+                    "seed {seed}: relay {relay} gains by declaring {lie} \
+                     (true {c}): {deviant} > {honest}"
+                );
+            }
+        }
     }
 }

@@ -36,14 +36,14 @@ pub struct TariffPoint {
 }
 
 /// Sweeps the tariff over `prices` at one size, averaging over instances.
-pub fn tariff_sweep(
-    n: usize,
-    prices: &[f64],
-    instances: usize,
-    seed: u64,
-) -> Vec<TariffPoint> {
+pub fn tariff_sweep(n: usize, prices: &[f64], instances: usize, seed: u64) -> Vec<TariffPoint> {
     let graphs: Vec<NodeWeightedGraph> = par_map(instances, default_threads(), |i| {
-        node_cost_instance(n, 1.0, 10.0, seed ^ (i as u64 + 1).wrapping_mul(0xD1B5_4A32_D192_ED03))
+        node_cost_instance(
+            n,
+            1.0,
+            10.0,
+            seed ^ (i as u64 + 1).wrapping_mul(0xD1B5_4A32_D192_ED03),
+        )
     });
     prices
         .iter()
@@ -98,7 +98,12 @@ pub struct AgentModelComparison {
 /// digraph (arc `u → v` priced at `c_v`, AP entry free).
 pub fn compare_agent_models(n: usize, instances: usize, seed: u64) -> AgentModelComparison {
     let per: Vec<(f64, f64, usize)> = par_map(instances, default_threads(), |i| {
-        let g = node_cost_instance(n, 1.0, 10.0, seed ^ (i as u64 + 1).wrapping_mul(0xA076_1D64_78BD_642F));
+        let g = node_cost_instance(
+            n,
+            1.0,
+            10.0,
+            seed ^ (i as u64 + 1).wrapping_mul(0xA076_1D64_78BD_642F),
+        );
         // Edge-agent view: an undirected edge costs the cheaper endpoint's
         // relay cost (the edge must be "bought" once; a fair conversion
         // for comparison purposes).
@@ -143,9 +148,8 @@ pub fn compare_agent_models(n: usize, instances: usize, seed: u64) -> AgentModel
 /// CSV for the tariff sweep.
 pub fn tariff_csv(rows: &[TariffPoint]) -> String {
     use std::fmt::Write as _;
-    let mut out = String::from(
-        "tariff,fixed_delivery,vcg_delivery,fixed_mean_payment,vcg_mean_payment\n",
-    );
+    let mut out =
+        String::from("tariff,fixed_delivery,vcg_delivery,fixed_mean_payment,vcg_mean_payment\n");
     for r in rows {
         let _ = writeln!(
             out,

@@ -9,13 +9,13 @@
 
 use std::path::PathBuf;
 
-use truthcast_experiments::baseline_exp::{compare_agent_models, tariff_csv, tariff_sweep, tariff_table};
+use truthcast_experiments::baseline_exp::{
+    compare_agent_models, tariff_csv, tariff_sweep, tariff_table,
+};
 use truthcast_experiments::convergence_exp::{rounds_table, run_rounds};
+use truthcast_experiments::figure3::{paper_sizes, run_hop_profile, run_sweep, NetworkModel};
 use truthcast_experiments::mobility_exp::{mobility_table, run_mobility};
 use truthcast_experiments::node_cost_exp::{run_cost_spread, run_node_cost_size, spread_table};
-use truthcast_experiments::figure3::{
-    paper_sizes, run_hop_profile, run_sweep, NetworkModel,
-};
 use truthcast_experiments::report::{hop_csv, hop_table, size_csv, size_table};
 
 struct Args {
@@ -36,9 +36,7 @@ fn parse_args() -> Result<Args, String> {
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next().ok_or_else(|| format!("{name} needs a value"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
         match flag.as_str() {
             "--panel" => {
                 let v = value("--panel")?;
@@ -51,16 +49,21 @@ fn parse_args() -> Result<Args, String> {
                         .map(|c| c.to_ascii_lowercase())
                         .collect();
                     if args.panels.iter().any(|c| !"abcdefnrxm".contains(*c)) {
-                        return Err(format!("unknown panel in {v:?} (use a-f, m, n, r, x, or all)"));
+                        return Err(format!(
+                            "unknown panel in {v:?} (use a-f, m, n, r, x, or all)"
+                        ));
                     }
                 }
             }
             "--instances" => {
-                args.instances =
-                    value("--instances")?.parse().map_err(|e| format!("--instances: {e}"))?;
+                args.instances = value("--instances")?
+                    .parse()
+                    .map_err(|e| format!("--instances: {e}"))?;
             }
             "--seed" => {
-                args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
             }
             "--csv" => args.csv_dir = Some(PathBuf::from(value("--csv")?)),
             "--sizes" => {
@@ -129,7 +132,10 @@ fn main() {
                     args.instances,
                     args.seed + 1,
                 );
-                println!("{}", size_table("Figure 3(b) — overpayment ratios, UDG, κ = 2", &rows));
+                println!(
+                    "{}",
+                    size_table("Figure 3(b) — overpayment ratios, UDG, κ = 2", &rows)
+                );
                 write_csv(&args.csv_dir, "fig3b.csv", &size_csv(&rows));
             }
             'c' => {
@@ -139,7 +145,10 @@ fn main() {
                     args.instances,
                     args.seed + 2,
                 );
-                println!("{}", size_table("Figure 3(c) — overpayment ratios, UDG, κ = 2.5", &rows));
+                println!(
+                    "{}",
+                    size_table("Figure 3(c) — overpayment ratios, UDG, κ = 2.5", &rows)
+                );
                 write_csv(&args.csv_dir, "fig3c.csv", &size_csv(&rows));
             }
             'd' => {
@@ -205,8 +214,12 @@ fn main() {
                     )
                 );
                 write_csv(&args.csv_dir, "node_cost.csv", &size_csv(&rows));
-                let spread =
-                    run_cost_spread(200, &[2.0, 5.0, 10.0, 50.0], args.instances.min(20), args.seed + 11);
+                let spread = run_cost_spread(
+                    200,
+                    &[2.0, 5.0, 10.0, 50.0],
+                    args.instances.min(20),
+                    args.seed + 11,
+                );
                 println!(
                     "Ablation — overpayment vs cost heterogeneity (n = 200, costs U[1,hi]):\n{}",
                     spread_table(&spread)

@@ -10,8 +10,8 @@
 //! * `node-cost` — sim1 placement with scalar costs `U[1, 10]` (the
 //!   conclusion's setting).
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use truthcast_rt::SeedableRng;
+use truthcast_rt::SmallRng;
 
 use truthcast_graph::io::write_node_weighted;
 use truthcast_wireless::Deployment;

@@ -60,8 +60,9 @@ fn main() {
     }
 
     if let Some(tariff) = scheme.strip_prefix("fixed:") {
-        let price: f64 =
-            tariff.parse().unwrap_or_else(|_| fail(&format!("bad tariff {tariff:?}")));
+        let price: f64 = tariff
+            .parse()
+            .unwrap_or_else(|_| fail(&format!("bad tariff {tariff:?}")));
         let out = fixed_price_route(&g, source, target, Cost::from_f64(price));
         match out.path {
             Some(path) => {

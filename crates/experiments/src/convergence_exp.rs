@@ -2,8 +2,8 @@
 //! prices stabilize within `n` rounds) — rounds, traffic, and agreement
 //! with the centralized Algorithm 1, as a function of network size.
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use truthcast_rt::SeedableRng;
+use truthcast_rt::SmallRng;
 
 use truthcast_distsim::convergence_report;
 use truthcast_graph::NodeId;
@@ -32,7 +32,8 @@ pub struct RoundsResult {
 /// uniform random relay costs in `[1, 10]`.
 pub fn run_rounds(n: usize, instances: usize, seed: u64) -> RoundsResult {
     let reports = par_map(instances, default_threads(), |i| {
-        let mut rng = SmallRng::seed_from_u64(seed ^ (i as u64 + 1).wrapping_mul(0x2545_F491_4F6C_DD1D));
+        let mut rng =
+            SmallRng::seed_from_u64(seed ^ (i as u64 + 1).wrapping_mul(0x2545_F491_4F6C_DD1D));
         let deployment = Deployment::paper_sim1(n, 2.0, &mut rng);
         let costs = deployment.random_node_costs(1.0, 10.0, &mut rng);
         let g = deployment.to_node_weighted(costs);
@@ -53,7 +54,11 @@ pub fn run_rounds(n: usize, instances: usize, seed: u64) -> RoundsResult {
         mean_payment_rounds: reports.iter().map(|r| r.payment_rounds as f64).sum::<f64>() / m,
         max_rounds,
         mean_broadcasts: reports.iter().map(|r| r.broadcasts as f64).sum::<f64>() / m,
-        agreement: if compared > 0 { agreeing as f64 / compared as f64 } else { f64::NAN },
+        agreement: if compared > 0 {
+            agreeing as f64 / compared as f64
+        } else {
+            f64::NAN
+        },
     }
 }
 

@@ -13,14 +13,12 @@
 //! link-cost model (Section III-F), then aggregates the paper's TOR / IOR
 //! / worst ratios over (by default) 100 instances per size.
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use truthcast_rt::SeedableRng;
+use truthcast_rt::SmallRng;
 
 use truthcast_core::directed::directed_payments;
 use truthcast_core::fast_symmetric::{fast_symmetric_payments, is_symmetric};
-use truthcast_core::overpayment::{
-    hop_buckets, overpayment_stats, HopBucket, SourceOutcome,
-};
+use truthcast_core::overpayment::{hop_buckets, overpayment_stats, HopBucket, SourceOutcome};
 use truthcast_graph::{LinkWeightedDigraph, NodeId};
 use truthcast_wireless::Deployment;
 
@@ -164,7 +162,10 @@ pub fn run_sweep(
     instances: usize,
     seed: u64,
 ) -> Vec<SizeResult> {
-    sizes.iter().map(|&n| run_size(model, n, instances, seed.wrapping_add(n as u64))).collect()
+    sizes
+        .iter()
+        .map(|&n| run_size(model, n, instances, seed.wrapping_add(n as u64)))
+        .collect()
 }
 
 /// Figure 3(d): overpayment by hop distance, pooled over `instances`
@@ -193,7 +194,11 @@ mod tests {
     fn small_udg_sweep_produces_sane_ratios() {
         let r = run_size(NetworkModel::UdgPathLoss { kappa: 2.0 }, 100, 4, 11);
         assert!(r.instances >= 1);
-        assert!(r.mean_ior >= 1.0, "IOR {: } must exceed 1 (VCG overpays)", r.mean_ior);
+        assert!(
+            r.mean_ior >= 1.0,
+            "IOR {: } must exceed 1 (VCG overpays)",
+            r.mean_ior
+        );
         assert!(r.mean_tor >= 1.0);
         assert!(r.max_worst >= r.mean_worst);
         // The paper reports ratios around 1.5; allow a broad sanity band.
@@ -247,7 +252,10 @@ mod tests {
 
     #[test]
     fn paper_sizes_match_the_paper() {
-        assert_eq!(paper_sizes(), vec![100, 150, 200, 250, 300, 350, 400, 450, 500]);
+        assert_eq!(
+            paper_sizes(),
+            vec![100, 150, 200, 250, 300, 350, 400, 450, 500]
+        );
     }
 
     #[test]

@@ -21,9 +21,9 @@
 
 pub mod baseline_exp;
 pub mod convergence_exp;
-pub mod node_cost_exp;
 pub mod figure3;
 pub mod mobility_exp;
+pub mod node_cost_exp;
 pub mod par;
 pub mod report;
 pub mod svg;

@@ -7,8 +7,8 @@
 //! traffic, and how much each node's total payment drifted — the
 //! re-pricing a mobile deployment would have to absorb.
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use truthcast_rt::SeedableRng;
+use truthcast_rt::SmallRng;
 
 use truthcast_distsim::run_distributed;
 use truthcast_graph::geometry::Region;
@@ -48,7 +48,8 @@ pub fn run_mobility(
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut deployment = Deployment::paper_sim1(n, 2.0, &mut rng);
     let costs = deployment.random_node_costs(1.0, 10.0, &mut rng);
-    let mut mobility = RandomWaypoint::new(&deployment, Region::PAPER, min_speed, max_speed, &mut rng);
+    let mut mobility =
+        RandomWaypoint::new(&deployment, Region::PAPER, min_speed, max_speed, &mut rng);
 
     let mut reports = Vec::with_capacity(epochs);
     let mut prev_totals: Vec<Option<Cost>> = vec![None; n];
@@ -121,7 +122,11 @@ pub fn mobility_table(rows: &[EpochReport]) -> String {
         let _ = writeln!(
             out,
             "{:>6} {:>8} {:>12} {:>10} {:>15.3} {:>11.1}%",
-            r.epoch, r.rounds, r.broadcasts, r.routable, r.mean_payment_drift,
+            r.epoch,
+            r.rounds,
+            r.broadcasts,
+            r.routable,
+            r.mean_payment_drift,
             100.0 * r.route_churn
         );
     }

@@ -6,8 +6,8 @@
 //! model: UDG topology, scalar relay costs uniform in `[1, 10]`, payments
 //! from Algorithm 1 — complementing the link-cost panels of Figure 3.
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use truthcast_rt::SeedableRng;
+use truthcast_rt::SmallRng;
 
 use truthcast_core::fast_payments;
 use truthcast_core::overpayment::SourceOutcome;
@@ -32,7 +32,9 @@ pub fn node_cost_outcomes(g: &NodeWeightedGraph, ap: NodeId) -> Vec<SourceOutcom
         if source == ap {
             continue;
         }
-        let Some(pricing) = fast_payments(g, source, ap) else { continue };
+        let Some(pricing) = fast_payments(g, source, ap) else {
+            continue;
+        };
         out.push(SourceOutcome {
             source,
             total_payment: pricing.total_payment(),
@@ -46,10 +48,18 @@ pub fn node_cost_outcomes(g: &NodeWeightedGraph, ap: NodeId) -> Vec<SourceOutcom
 /// Runs the node-cost sweep at one size.
 pub fn run_node_cost_size(n: usize, instances: usize, seed: u64) -> SizeResult {
     let per_instance = par_map(instances, default_threads(), |i| {
-        let g = node_cost_instance(n, 1.0, 10.0, seed ^ (i as u64 + 1).wrapping_mul(0x6A09_E667_F3BC_C909));
+        let g = node_cost_instance(
+            n,
+            1.0,
+            10.0,
+            seed ^ (i as u64 + 1).wrapping_mul(0x6A09_E667_F3BC_C909),
+        );
         let outcomes = node_cost_outcomes(&g, NodeId::ACCESS_POINT);
         let unreachable = n - 1 - outcomes.len();
-        (truthcast_core::overpayment::overpayment_stats(&outcomes), unreachable)
+        (
+            truthcast_core::overpayment::overpayment_stats(&outcomes),
+            unreachable,
+        )
     });
     let mut sum_ior = 0.0;
     let mut sum_tor = 0.0;
@@ -98,12 +108,7 @@ pub struct SpreadPoint {
 }
 
 /// Runs the spread ablation at fixed size.
-pub fn run_cost_spread(
-    n: usize,
-    his: &[f64],
-    instances: usize,
-    seed: u64,
-) -> Vec<SpreadPoint> {
+pub fn run_cost_spread(n: usize, his: &[f64], instances: usize, seed: u64) -> Vec<SpreadPoint> {
     his.iter()
         .map(|&hi| {
             let per = par_map(instances, default_threads(), |i| {
@@ -117,7 +122,10 @@ pub fn run_cost_spread(
                     NodeId::ACCESS_POINT,
                 ))
             });
-            let used: Vec<_> = per.iter().filter(|s| s.counted > 0 && s.ior.is_finite()).collect();
+            let used: Vec<_> = per
+                .iter()
+                .filter(|s| s.counted > 0 && s.ior.is_finite())
+                .collect();
             let d = used.len().max(1) as f64;
             SpreadPoint {
                 hi,
@@ -134,7 +142,11 @@ pub fn spread_table(rows: &[SpreadPoint]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{:>10} {:>10} {:>10}", "cost range", "IOR", "TOR");
     for r in rows {
-        let _ = writeln!(out, "  U[1,{:>4}] {:>10.4} {:>10.4}", r.hi, r.mean_ior, r.mean_tor);
+        let _ = writeln!(
+            out,
+            "  U[1,{:>4}] {:>10.4} {:>10.4}",
+            r.hi, r.mean_ior, r.mean_tor
+        );
     }
     out
 }
@@ -155,7 +167,10 @@ mod tests {
     fn outcomes_cover_reachable_sources() {
         let g = node_cost_instance(100, 1.0, 10.0, 3);
         let outs = node_cost_outcomes(&g, NodeId::ACCESS_POINT);
-        assert!(outs.len() > 50, "most of a 100-node sim1 instance is reachable");
+        assert!(
+            outs.len() > 50,
+            "most of a 100-node sim1 instance is reachable"
+        );
         for o in &outs {
             assert!(o.total_payment >= o.lcp_cost || !o.total_payment.is_finite());
         }

@@ -20,7 +20,12 @@ pub fn size_table(title: &str, rows: &[SizeResult]) -> String {
         let _ = writeln!(
             out,
             "{:>6} {:>10.4} {:>10.4} {:>12.4} {:>12.4} {:>10} {:>9}",
-            r.n, r.mean_ior, r.mean_tor, r.mean_worst, r.max_worst, r.counted_sources,
+            r.n,
+            r.mean_ior,
+            r.mean_tor,
+            r.mean_worst,
+            r.max_worst,
+            r.counted_sources,
             r.skipped_sources
         );
     }
@@ -29,13 +34,20 @@ pub fn size_table(title: &str, rows: &[SizeResult]) -> String {
 
 /// Renders a size sweep as CSV (header + one line per size).
 pub fn size_csv(rows: &[SizeResult]) -> String {
-    let mut out = String::from("n,mean_ior,mean_tor,mean_worst,max_worst,sources,skipped,instances\n");
+    let mut out =
+        String::from("n,mean_ior,mean_tor,mean_worst,max_worst,sources,skipped,instances\n");
     for r in rows {
         let _ = writeln!(
             out,
             "{},{:.6},{:.6},{:.6},{:.6},{},{},{}",
-            r.n, r.mean_ior, r.mean_tor, r.mean_worst, r.max_worst, r.counted_sources,
-            r.skipped_sources, r.instances
+            r.n,
+            r.mean_ior,
+            r.mean_tor,
+            r.mean_worst,
+            r.max_worst,
+            r.counted_sources,
+            r.skipped_sources,
+            r.instances
         );
     }
     out
@@ -45,7 +57,11 @@ pub fn size_csv(rows: &[SizeResult]) -> String {
 pub fn hop_table(title: &str, rows: &[HopBucket]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{title}");
-    let _ = writeln!(out, "{:>6} {:>12} {:>12} {:>9}", "hops", "ratio(avg)", "ratio(max)", "count");
+    let _ = writeln!(
+        out,
+        "{:>6} {:>12} {:>12} {:>9}",
+        "hops", "ratio(avg)", "ratio(max)", "count"
+    );
     for b in rows {
         let _ = writeln!(
             out,
@@ -60,7 +76,11 @@ pub fn hop_table(title: &str, rows: &[HopBucket]) -> String {
 pub fn hop_csv(rows: &[HopBucket]) -> String {
     let mut out = String::from("hops,mean_ratio,max_ratio,count\n");
     for b in rows {
-        let _ = writeln!(out, "{},{:.6},{:.6},{}", b.hops, b.mean_ratio, b.max_ratio, b.count);
+        let _ = writeln!(
+            out,
+            "{},{:.6},{:.6},{}",
+            b.hops, b.mean_ratio, b.max_ratio, b.count
+        );
     }
     out
 }
@@ -103,7 +123,12 @@ mod tests {
 
     #[test]
     fn hop_outputs() {
-        let b = HopBucket { hops: 3, mean_ratio: 1.4, max_ratio: 2.0, count: 12 };
+        let b = HopBucket {
+            hops: 3,
+            mean_ratio: 1.4,
+            max_ratio: 2.0,
+            count: 12,
+        };
         assert!(hop_table("d", &[b]).contains("1.4000"));
         assert!(hop_csv(&[b]).contains("3,1.4"));
     }

@@ -23,7 +23,10 @@ pub struct SvgOptions {
 
 impl Default for SvgOptions {
     fn default() -> SvgOptions {
-        SvgOptions { width: 800.0, node_radius: 4.0 }
+        SvgOptions {
+            width: 800.0,
+            node_radius: 4.0,
+        }
     }
 }
 
@@ -75,7 +78,12 @@ pub fn render_deployment(
 
     // Nodes.
     let max_payment = pricing
-        .map(|p| p.payments.iter().map(|&(_, c)| c.as_f64()).fold(0.0f64, f64::max))
+        .map(|p| {
+            p.payments
+                .iter()
+                .map(|&(_, c)| c.as_f64())
+                .fold(0.0f64, f64::max)
+        })
         .unwrap_or(0.0);
     for v in graph.node_ids() {
         let (x, y) = px(&deployment.positions[v.index()]);
@@ -105,10 +113,10 @@ pub fn render_deployment(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
     use truthcast_core::fast_payments;
     use truthcast_graph::{Cost, NodeId};
+    use truthcast_rt::SeedableRng;
+    use truthcast_rt::SmallRng;
 
     fn instance() -> (Deployment, NodeWeightedGraph) {
         let mut rng = SmallRng::seed_from_u64(4);
@@ -142,7 +150,10 @@ mod tests {
         assert!(svg.contains(r##"fill="#2a2""##), "source marker present");
         assert!(svg.contains(r##"fill="#26c""##), "target marker present");
         if p.payments.iter().any(|&(_, c)| c != Cost::ZERO) {
-            assert!(svg.contains(r##"fill="#e80""##), "paid relay marker present");
+            assert!(
+                svg.contains(r##"fill="#e80""##),
+                "paid relay marker present"
+            );
         }
     }
 }

@@ -80,7 +80,10 @@ pub struct AdjacencyBuilder {
 impl AdjacencyBuilder {
     /// Starts a builder for a graph with `num_nodes` nodes and no edges.
     pub fn new(num_nodes: usize) -> AdjacencyBuilder {
-        AdjacencyBuilder { num_nodes, edges: Vec::new() }
+        AdjacencyBuilder {
+            num_nodes,
+            edges: Vec::new(),
+        }
     }
 
     /// Adds the undirected edge `{u, v}`.
@@ -155,7 +158,10 @@ pub fn adjacency_from_edges(
 
 /// Convenience: builds from `(u32, u32)` pairs, for tests and examples.
 pub fn adjacency_from_pairs(num_nodes: usize, pairs: &[(u32, u32)]) -> Adjacency {
-    adjacency_from_edges(num_nodes, pairs.iter().map(|&(u, v)| (NodeId(u), NodeId(v))))
+    adjacency_from_edges(
+        num_nodes,
+        pairs.iter().map(|&(u, v)| (NodeId(u), NodeId(v))),
+    )
 }
 
 #[cfg(test)]

@@ -72,8 +72,8 @@ mod tests {
     use super::*;
     use crate::dijkstra::{dijkstra, DijkstraOptions, Direction};
     use crate::node_dijkstra::{node_dijkstra, NodeDijkstraOptions};
-    use rand::rngs::SmallRng;
-    use rand::{Rng, SeedableRng};
+    use truthcast_rt::SmallRng;
+    use truthcast_rt::{Rng, SeedableRng};
 
     #[test]
     fn node_oracle_matches_dijkstra_on_random_graphs() {
@@ -111,7 +111,12 @@ mod tests {
             }
             let g = LinkWeightedDigraph::from_arcs(n, arcs);
             let bf = bellman_ford_arcs(&g, NodeId(0));
-            let dj = dijkstra(&g, NodeId(0), Direction::Forward, DijkstraOptions::default());
+            let dj = dijkstra(
+                &g,
+                NodeId(0),
+                Direction::Forward,
+                DijkstraOptions::default(),
+            );
             assert_eq!(bf, dj.dist);
         }
     }

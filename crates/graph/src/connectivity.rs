@@ -149,7 +149,10 @@ pub fn articulation_points(g: &Adjacency) -> Vec<NodeId> {
         }
     }
 
-    (0..n).map(NodeId::new).filter(|&v| is_cut[v.index()]).collect()
+    (0..n)
+        .map(NodeId::new)
+        .filter(|&v| is_cut[v.index()])
+        .collect()
 }
 
 /// Whether the undirected graph is node-biconnected: connected, at least 3
@@ -253,8 +256,8 @@ mod tests {
 
     #[test]
     fn articulation_points_match_brute_force_on_random_graphs() {
-        use rand::rngs::SmallRng;
-        use rand::{Rng, SeedableRng};
+        use truthcast_rt::SmallRng;
+        use truthcast_rt::{Rng, SeedableRng};
         let mut rng = SmallRng::seed_from_u64(7);
         for _ in 0..60 {
             let n = rng.gen_range(3..14);
@@ -331,7 +334,12 @@ mod tests {
         assert!(digraph_reachable_without(&g, NodeId(0), NodeId(2), &empty));
         assert!(!digraph_reachable_without(&g, NodeId(2), NodeId(0), &empty));
         let blocked = NodeMask::from_nodes(3, [NodeId(1)]);
-        assert!(!digraph_reachable_without(&g, NodeId(0), NodeId(2), &blocked));
+        assert!(!digraph_reachable_without(
+            &g,
+            NodeId(0),
+            NodeId(2),
+            &blocked
+        ));
         let reach = digraph_can_reach(&g, NodeId(2));
         assert_eq!(reach, vec![true, true, true]);
         let reach0 = digraph_can_reach(&g, NodeId(0));

@@ -133,7 +133,12 @@ pub fn dijkstra(
         }
     }
 
-    DistanceTable { origin, direction, dist, parent }
+    DistanceTable {
+        origin,
+        direction,
+        dist,
+        parent,
+    }
 }
 
 /// Shortest `source → target` distance with optional node avoidance;
@@ -151,7 +156,11 @@ pub fn st_distance(
         g,
         source,
         Direction::Forward,
-        DijkstraOptions { avoid, avoid_edge: None, target: Some(target) },
+        DijkstraOptions {
+            avoid,
+            avoid_edge: None,
+            target: Some(target),
+        },
     );
     table.dist(target)
 }
@@ -170,7 +179,11 @@ pub fn st_distance_avoiding_edge(
         g,
         source,
         Direction::Forward,
-        DijkstraOptions { avoid: None, avoid_edge: Some(edge), target: Some(target) },
+        DijkstraOptions {
+            avoid: None,
+            avoid_edge: Some(edge),
+            target: Some(target),
+        },
     );
     table.dist(target)
 }
@@ -187,26 +200,48 @@ mod tests {
     fn sample() -> LinkWeightedDigraph {
         LinkWeightedDigraph::from_arcs(
             4,
-            [arc(0, 1, 2), arc(1, 3, 2), arc(0, 2, 1), arc(2, 3, 5), arc(0, 3, 9)],
+            [
+                arc(0, 1, 2),
+                arc(1, 3, 2),
+                arc(0, 2, 1),
+                arc(2, 3, 5),
+                arc(0, 3, 9),
+            ],
         )
     }
 
     #[test]
     fn forward_distances_and_path() {
         let g = sample();
-        let t = dijkstra(&g, NodeId(0), Direction::Forward, DijkstraOptions::default());
+        let t = dijkstra(
+            &g,
+            NodeId(0),
+            Direction::Forward,
+            DijkstraOptions::default(),
+        );
         assert_eq!(t.dist(NodeId(3)), Cost::from_units(4));
-        assert_eq!(t.path(NodeId(3)), Some(vec![NodeId(0), NodeId(1), NodeId(3)]));
+        assert_eq!(
+            t.path(NodeId(3)),
+            Some(vec![NodeId(0), NodeId(1), NodeId(3)])
+        );
         assert_eq!(t.dist(NodeId(2)), Cost::from_units(1));
     }
 
     #[test]
     fn backward_distances() {
         let g = sample();
-        let t = dijkstra(&g, NodeId(3), Direction::Backward, DijkstraOptions::default());
+        let t = dijkstra(
+            &g,
+            NodeId(3),
+            Direction::Backward,
+            DijkstraOptions::default(),
+        );
         assert_eq!(t.dist(NodeId(0)), Cost::from_units(4));
         assert_eq!(t.dist(NodeId(1)), Cost::from_units(2));
-        assert_eq!(t.path(NodeId(0)), Some(vec![NodeId(0), NodeId(1), NodeId(3)]));
+        assert_eq!(
+            t.path(NodeId(0)),
+            Some(vec![NodeId(0), NodeId(1), NodeId(3)])
+        );
     }
 
     #[test]
@@ -223,7 +258,12 @@ mod tests {
     #[test]
     fn unreachable_is_inf() {
         let g = LinkWeightedDigraph::from_arcs(3, [arc(0, 1, 1)]);
-        let t = dijkstra(&g, NodeId(0), Direction::Forward, DijkstraOptions::default());
+        let t = dijkstra(
+            &g,
+            NodeId(0),
+            Direction::Forward,
+            DijkstraOptions::default(),
+        );
         assert_eq!(t.dist(NodeId(2)), Cost::INF);
         assert_eq!(t.path(NodeId(2)), None);
         // Arcs are directed: node 1 cannot reach node 0.
@@ -238,7 +278,11 @@ mod tests {
             &g,
             NodeId(0),
             Direction::Forward,
-            DijkstraOptions { avoid: Some(&mask), avoid_edge: None, target: None },
+            DijkstraOptions {
+                avoid: Some(&mask),
+                avoid_edge: None,
+                target: None,
+            },
         );
         assert!(t.dist.iter().all(|d| d.is_inf()));
     }
@@ -246,7 +290,12 @@ mod tests {
     #[test]
     fn early_exit_matches_full_run() {
         let g = sample();
-        let full = dijkstra(&g, NodeId(0), Direction::Forward, DijkstraOptions::default());
+        let full = dijkstra(
+            &g,
+            NodeId(0),
+            Direction::Forward,
+            DijkstraOptions::default(),
+        );
         let quick = st_distance(&g, NodeId(0), NodeId(3), None);
         assert_eq!(full.dist(NodeId(3)), quick);
     }

@@ -6,7 +6,7 @@
 //! instead of the naive `O(n²)` all-pairs scan — the difference matters for
 //! the n = 4096 benchmark sweeps.
 
-use rand::Rng;
+use truthcast_rt::Rng;
 
 use crate::adjacency::{Adjacency, AdjacencyBuilder};
 use crate::geometry::{Point, Region};
@@ -15,7 +15,12 @@ use crate::ids::NodeId;
 /// Uniformly random node placement in a region.
 pub fn random_placement(n: usize, region: Region, rng: &mut impl Rng) -> Vec<Point> {
     (0..n)
-        .map(|_| Point::new(rng.gen_range(0.0..=region.width), rng.gen_range(0.0..=region.height)))
+        .map(|_| {
+            Point::new(
+                rng.gen_range(0.0..=region.width),
+                rng.gen_range(0.0..=region.height),
+            )
+        })
         .collect()
 }
 
@@ -31,9 +36,13 @@ pub fn pairs_within_range(points: &[Point], range: f64) -> Vec<(NodeId, NodeId)>
     let min_y = points.iter().map(|p| p.y).fold(f64::INFINITY, f64::min);
     let cell = range;
     let key = |p: &Point| -> (i64, i64) {
-        (((p.x - min_x) / cell).floor() as i64, ((p.y - min_y) / cell).floor() as i64)
+        (
+            ((p.x - min_x) / cell).floor() as i64,
+            ((p.y - min_y) / cell).floor() as i64,
+        )
     };
-    let mut bins: std::collections::HashMap<(i64, i64), Vec<u32>> = std::collections::HashMap::new();
+    let mut bins: std::collections::HashMap<(i64, i64), Vec<u32>> =
+        std::collections::HashMap::new();
     for (i, p) in points.iter().enumerate() {
         bins.entry(key(p)).or_default().push(i as u32);
     }
@@ -150,7 +159,10 @@ pub fn grid_graph(rows: usize, cols: usize) -> Adjacency {
 /// payment to a relay on the cheapest branch is governed exactly by the
 /// second-cheapest branch.
 pub fn theta_graph(interior_lengths: &[usize]) -> (Adjacency, Vec<Vec<NodeId>>) {
-    assert!(interior_lengths.len() >= 2, "theta graph needs at least 2 branches");
+    assert!(
+        interior_lengths.len() >= 2,
+        "theta graph needs at least 2 branches"
+    );
     let total: usize = interior_lengths.iter().sum();
     let mut b = AdjacencyBuilder::new(2 + total);
     let mut next = 2u32;
@@ -175,8 +187,8 @@ pub fn theta_graph(interior_lengths: &[usize]) -> (Adjacency, Vec<Vec<NodeId>>) 
 mod tests {
     use super::*;
     use crate::connectivity::{is_biconnected, is_connected};
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use truthcast_rt::SeedableRng;
+    use truthcast_rt::SmallRng;
 
     #[test]
     fn grid_binning_matches_naive_all_pairs() {

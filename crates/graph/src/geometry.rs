@@ -52,7 +52,10 @@ pub struct Region {
 
 impl Region {
     /// The paper's simulation region: 2000 m × 2000 m.
-    pub const PAPER: Region = Region { width: 2000.0, height: 2000.0 };
+    pub const PAPER: Region = Region {
+        width: 2000.0,
+        height: 2000.0,
+    };
 
     /// Creates a region.
     pub const fn new(width: f64, height: f64) -> Region {

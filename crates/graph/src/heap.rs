@@ -26,7 +26,10 @@ pub struct IndexedHeap<P> {
 impl<P: Ord + Copy> IndexedHeap<P> {
     /// Creates an empty heap accepting keys in `0..capacity`.
     pub fn new(capacity: usize) -> IndexedHeap<P> {
-        IndexedHeap { slots: Vec::new(), pos: vec![ABSENT; capacity] }
+        IndexedHeap {
+            slots: Vec::new(),
+            pos: vec![ABSENT; capacity],
+        }
     }
 
     /// Number of entries currently in the heap.
@@ -283,7 +286,9 @@ mod tests {
         // Simple deterministic LCG so the test needs no external RNG.
         let mut state: u64 = 0x1234_5678_9abc_def0;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as u32
         };
         let cap = 64usize;

@@ -46,8 +46,14 @@ fn parse_field<T: FromStr>(tok: Option<&str>, line: usize, what: &str) -> Result
 where
     T::Err: std::fmt::Display,
 {
-    let tok = tok.ok_or_else(|| ParseError { line, message: format!("missing {what}") })?;
-    tok.parse().map_err(|e| ParseError { line, message: format!("bad {what} {tok:?}: {e}") })
+    let tok = tok.ok_or_else(|| ParseError {
+        line,
+        message: format!("missing {what}"),
+    })?;
+    tok.parse().map_err(|e| ParseError {
+        line,
+        message: format!("bad {what} {tok:?}: {e}"),
+    })
 }
 
 /// Parses the text format into a node-weighted graph.
@@ -70,41 +76,66 @@ pub fn parse_node_weighted(text: &str) -> Result<NodeWeightedGraph, ParseError> 
                 costs = vec![Cost::ZERO; n];
             }
             "cost" => {
-                let n = num_nodes
-                    .ok_or_else(|| ParseError { line, message: "`cost` before `nodes`".into() })?;
+                let n = num_nodes.ok_or_else(|| ParseError {
+                    line,
+                    message: "`cost` before `nodes`".into(),
+                })?;
                 let v: usize = parse_field(toks.next(), line, "node id")?;
                 let c: f64 = parse_field(toks.next(), line, "cost value")?;
                 if v >= n {
-                    return Err(ParseError { line, message: format!("node {v} out of range") });
+                    return Err(ParseError {
+                        line,
+                        message: format!("node {v} out of range"),
+                    });
                 }
                 if c < 0.0 || !c.is_finite() {
-                    return Err(ParseError { line, message: format!("invalid cost {c}") });
+                    return Err(ParseError {
+                        line,
+                        message: format!("invalid cost {c}"),
+                    });
                 }
                 costs[v] = Cost::from_f64(c);
             }
             "edge" => {
-                let n = num_nodes
-                    .ok_or_else(|| ParseError { line, message: "`edge` before `nodes`".into() })?;
+                let n = num_nodes.ok_or_else(|| ParseError {
+                    line,
+                    message: "`edge` before `nodes`".into(),
+                })?;
                 let u: usize = parse_field(toks.next(), line, "endpoint")?;
                 let v: usize = parse_field(toks.next(), line, "endpoint")?;
                 if u >= n || v >= n {
-                    return Err(ParseError { line, message: format!("edge ({u},{v}) out of range") });
+                    return Err(ParseError {
+                        line,
+                        message: format!("edge ({u},{v}) out of range"),
+                    });
                 }
                 if u == v {
-                    return Err(ParseError { line, message: format!("self-loop at {u}") });
+                    return Err(ParseError {
+                        line,
+                        message: format!("self-loop at {u}"),
+                    });
                 }
                 edges.push((NodeId::new(u), NodeId::new(v)));
             }
             other => {
-                return Err(ParseError { line, message: format!("unknown directive {other:?}") })
+                return Err(ParseError {
+                    line,
+                    message: format!("unknown directive {other:?}"),
+                })
             }
         }
         if let Some(extra) = toks.next() {
-            return Err(ParseError { line, message: format!("trailing token {extra:?}") });
+            return Err(ParseError {
+                line,
+                message: format!("trailing token {extra:?}"),
+            });
         }
     }
 
-    let n = num_nodes.ok_or(ParseError { line: 0, message: "missing `nodes` line".into() })?;
+    let n = num_nodes.ok_or(ParseError {
+        line: 0,
+        message: "missing `nodes` line".into(),
+    })?;
     let mut b = AdjacencyBuilder::new(n);
     b.extend_edges(edges);
     Ok(NodeWeightedGraph::new(b.build(), costs))

@@ -72,8 +72,7 @@ impl LinkWeightedDigraph {
             (offsets, targets, weights)
         };
 
-        let (out_offsets, out_targets, out_weights) =
-            build(|a| a.0.index(), |a| a.1, &list);
+        let (out_offsets, out_targets, out_weights) = build(|a| a.0.index(), |a| a.1, &list);
         let mut rev = list;
         rev.sort_unstable_by_key(|&(u, v, w)| (v, u, w));
         let (in_offsets, in_sources, in_weights) = build(|a| a.1.index(), |a| a.0, &rev);

@@ -18,7 +18,10 @@ pub struct NodeMask {
 impl NodeMask {
     /// An empty mask for a graph of `n` nodes.
     pub fn new(n: usize) -> NodeMask {
-        NodeMask { blocked: vec![false; n], set: Vec::new() }
+        NodeMask {
+            blocked: vec![false; n],
+            set: Vec::new(),
+        }
     }
 
     /// A mask blocking exactly `nodes`.

@@ -121,7 +121,11 @@ pub fn node_dijkstra(
         }
     }
 
-    NodeDistanceTable { origin, dist, parent }
+    NodeDistanceTable {
+        origin,
+        dist,
+        parent,
+    }
 }
 
 /// The paper's `‖P(s, t, G)‖` — least relay cost between `s` and `t`,
@@ -135,7 +139,14 @@ pub fn lcp_cost_between(
     if s == t {
         return Cost::ZERO;
     }
-    let table = node_dijkstra(g, s, NodeDijkstraOptions { avoid, target: Some(t) });
+    let table = node_dijkstra(
+        g,
+        s,
+        NodeDijkstraOptions {
+            avoid,
+            target: Some(t),
+        },
+    );
     table.lcp_cost(g, t)
 }
 
@@ -146,7 +157,14 @@ pub fn lcp_between(
     t: NodeId,
     avoid: Option<&NodeMask>,
 ) -> Option<Vec<NodeId>> {
-    let table = node_dijkstra(g, s, NodeDijkstraOptions { avoid, target: Some(t) });
+    let table = node_dijkstra(
+        g,
+        s,
+        NodeDijkstraOptions {
+            avoid,
+            target: Some(t),
+        },
+    );
     table.path(t)
 }
 
@@ -201,7 +219,10 @@ mod tests {
         // A path graph: removing the middle node disconnects.
         let g = NodeWeightedGraph::from_pairs_units(&[(0, 1), (1, 2)], &[0, 4, 0]);
         let mask = NodeMask::from_nodes(3, [NodeId(1)]);
-        assert_eq!(lcp_cost_between(&g, NodeId(0), NodeId(2), Some(&mask)), Cost::INF);
+        assert_eq!(
+            lcp_cost_between(&g, NodeId(0), NodeId(2), Some(&mask)),
+            Cost::INF
+        );
     }
 
     #[test]

@@ -24,7 +24,10 @@ impl NodeWeightedGraph {
     /// simply be disconnected).
     pub fn new(adj: Adjacency, costs: Vec<Cost>) -> NodeWeightedGraph {
         assert_eq!(adj.num_nodes(), costs.len(), "cost vector length mismatch");
-        assert!(costs.iter().all(|c| c.is_finite()), "node costs must be finite");
+        assert!(
+            costs.iter().all(|c| c.is_finite()),
+            "node costs must be finite"
+        );
         NodeWeightedGraph { adj, costs }
     }
 
@@ -35,7 +38,10 @@ impl NodeWeightedGraph {
         for &(u, v) in pairs {
             b.add_edge(NodeId(u), NodeId(v));
         }
-        NodeWeightedGraph::new(b.build(), unit_costs.iter().map(|&c| Cost::from_units(c)).collect())
+        NodeWeightedGraph::new(
+            b.build(),
+            unit_costs.iter().map(|&c| Cost::from_units(c)).collect(),
+        )
     }
 
     /// Number of nodes.
@@ -104,7 +110,11 @@ impl NodeWeightedGraph {
     /// sequence is not a path in the graph.
     pub fn path_cost(&self, path: &[NodeId]) -> Option<Cost> {
         if path.len() < 2 {
-            return if path.len() == 1 { Some(Cost::ZERO) } else { None };
+            return if path.len() == 1 {
+                Some(Cost::ZERO)
+            } else {
+                None
+            };
         }
         for w in path.windows(2) {
             if !self.adj.has_edge(w[0], w[1]) {

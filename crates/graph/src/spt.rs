@@ -43,7 +43,12 @@ impl Spt {
                 cursor[p.index()] += 1;
             }
         }
-        Spt { root, parent: parent.to_vec(), child_offsets, children }
+        Spt {
+            root,
+            parent: parent.to_vec(),
+            child_offsets,
+            children,
+        }
     }
 
     /// The tree root.
@@ -156,8 +161,7 @@ mod tests {
     fn preorder_visits_parents_first() {
         let t = sample();
         let order = t.preorder();
-        let pos =
-            |v: NodeId| order.iter().position(|&u| u == v).expect("node visited");
+        let pos = |v: NodeId| order.iter().position(|&u| u == v).expect("node visited");
         for v in [1u32, 2, 3, 4].map(NodeId) {
             assert!(pos(t.parent(v).unwrap()) < pos(v));
         }

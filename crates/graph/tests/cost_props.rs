@@ -1,69 +1,95 @@
 //! Property-based tests for the fixed-point cost arithmetic: the payment
 //! formulas lean on these algebraic facts.
 
-use proptest::prelude::*;
 use truthcast_graph::Cost;
+use truthcast_rt::{
+    cases, forall, just, one_of, prop_assert, prop_assert_eq, BoxedStrategy, Strategy,
+};
 
-fn cost() -> impl Strategy<Value = Cost> {
-    prop_oneof![
-        8 => (0u64..=u64::MAX / 4).prop_map(Cost::from_micros),
-        1 => Just(Cost::ZERO),
-        1 => Just(Cost::INF),
-    ]
+fn cost() -> BoxedStrategy<Cost> {
+    one_of(vec![
+        (8, (0u64..=u64::MAX / 4).prop_map(Cost::from_micros).boxed()),
+        (1, just(Cost::ZERO).boxed()),
+        (1, just(Cost::INF).boxed()),
+    ])
+    .boxed()
 }
 
-proptest! {
-    /// Addition is commutative and INF-absorbing.
-    #[test]
-    fn add_commutative(a in cost(), b in cost()) {
+/// Addition is commutative and INF-absorbing.
+#[test]
+fn add_commutative() {
+    forall!(cases(256), (cost(), cost()), |(a, b)| {
         prop_assert_eq!(a + b, b + a);
         prop_assert_eq!((a + Cost::INF).is_inf(), true);
-    }
+        Ok(())
+    });
+}
 
-    /// Addition is associative away from the saturation boundary.
-    #[test]
-    fn add_associative(a in cost(), b in cost(), c in cost()) {
+/// Addition is associative away from the saturation boundary.
+#[test]
+fn add_associative() {
+    forall!(cases(256), (cost(), cost(), cost()), |(a, b, c)| {
         prop_assert_eq!((a + b) + c, a + (b + c));
-    }
+        Ok(())
+    });
+}
 
-    /// `saturating_sub` inverts addition for finite values.
-    #[test]
-    fn sub_inverts_add(a in cost(), b in cost()) {
+/// `saturating_sub` inverts addition for finite values.
+#[test]
+fn sub_inverts_add() {
+    forall!(cases(256), (cost(), cost()), |(a, b)| {
         if a.is_finite() && b.is_finite() {
             prop_assert_eq!((a + b).saturating_sub(b), a);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Order is compatible with addition (monotonicity used by Dijkstra).
-    #[test]
-    fn add_monotone(a in cost(), b in cost(), c in cost()) {
+/// Order is compatible with addition (monotonicity used by Dijkstra).
+#[test]
+fn add_monotone() {
+    forall!(cases(256), (cost(), cost(), cost()), |(a, b, c)| {
         if a <= b {
             prop_assert!(a + c <= b + c);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// `scale` equals repeated addition.
-    #[test]
-    fn scale_is_repeated_add(a in (0u64..1_000_000_000).prop_map(Cost::from_micros), k in 0u64..50) {
-        let mut sum = Cost::ZERO;
-        for _ in 0..k {
-            sum += a;
+/// `scale` equals repeated addition.
+#[test]
+fn scale_is_repeated_add() {
+    forall!(
+        cases(256),
+        ((0u64..1_000_000_000).prop_map(Cost::from_micros), 0u64..50),
+        |(a, k)| {
+            let mut sum = Cost::ZERO;
+            for _ in 0..k {
+                sum += a;
+            }
+            prop_assert_eq!(a.scale(k), sum);
+            Ok(())
         }
-        prop_assert_eq!(a.scale(k), sum);
-    }
+    );
+}
 
-    /// min/max agree with the order.
-    #[test]
-    fn min_max_consistent(a in cost(), b in cost()) {
+/// min/max agree with the order.
+#[test]
+fn min_max_consistent() {
+    forall!(cases(256), (cost(), cost()), |(a, b)| {
         prop_assert_eq!(a.min(b) <= a.max(b), true);
         prop_assert!(a.min(b) == a || a.min(b) == b);
         prop_assert_eq!(a.min(b) + (a.max(b).saturating_sub(a.min(b))), a.max(b));
-    }
+        Ok(())
+    });
+}
 
-    /// f64 round-trips stay within half a micro-unit.
-    #[test]
-    fn f64_roundtrip(units in 0.0f64..1e9) {
+/// f64 round-trips stay within half a micro-unit.
+#[test]
+fn f64_roundtrip() {
+    forall!(cases(256), (0.0f64..1e9,), |(units,)| {
         let c = Cost::from_f64(units);
         prop_assert!((c.as_f64() - units).abs() <= 0.5e-6 + units * 1e-12);
-    }
+        Ok(())
+    });
 }

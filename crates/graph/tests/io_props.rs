@@ -1,37 +1,37 @@
 //! Property test: the text interchange format round-trips losslessly.
 
-use proptest::prelude::*;
 use truthcast_graph::io::{parse_node_weighted, write_node_weighted};
 use truthcast_graph::{Cost, NodeWeightedGraph};
+use truthcast_rt::{bools, cases, forall, prop_assert_eq, vec_of};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn roundtrip_is_lossless(
-        n in 1usize..20,
-        edge_bits in proptest::collection::vec(any::<bool>(), 0..190),
-        micros in proptest::collection::vec(0u64..100_000_000_000, 0..20),
-    ) {
-        // Deterministically map the bit vector onto the pair list.
-        let all_pairs: Vec<(u32, u32)> = (0..n as u32)
-            .flat_map(|u| ((u + 1)..n as u32).map(move |v| (u, v)))
-            .collect();
-        let edges: Vec<(u32, u32)> = all_pairs
-            .iter()
-            .zip(edge_bits.iter().chain(std::iter::repeat(&false)))
-            .filter(|&(_, &b)| b)
-            .map(|(&e, _)| e)
-            .collect();
-        let costs: Vec<Cost> = (0..n)
-            .map(|i| Cost::from_micros(micros.get(i).copied().unwrap_or(0)))
-            .collect();
-        let g = NodeWeightedGraph::new(
-            truthcast_graph::adjacency_from_pairs(n, &edges),
-            costs,
-        );
-        let text = write_node_weighted(&g);
-        let g2 = parse_node_weighted(&text).expect("own output must parse");
-        prop_assert_eq!(g, g2);
-    }
+#[test]
+fn roundtrip_is_lossless() {
+    forall!(
+        cases(128),
+        (
+            1usize..20,
+            vec_of(bools(), 0..190),
+            vec_of(0u64..100_000_000_000, 0..20)
+        ),
+        |(n, edge_bits, micros)| {
+            // Deterministically map the bit vector onto the pair list.
+            let all_pairs: Vec<(u32, u32)> = (0..n as u32)
+                .flat_map(|u| ((u + 1)..n as u32).map(move |v| (u, v)))
+                .collect();
+            let edges: Vec<(u32, u32)> = all_pairs
+                .iter()
+                .zip(edge_bits.iter().chain(std::iter::repeat(&false)))
+                .filter(|&(_, &b)| b)
+                .map(|(&e, _)| e)
+                .collect();
+            let costs: Vec<Cost> = (0..n)
+                .map(|i| Cost::from_micros(micros.get(i).copied().unwrap_or(0)))
+                .collect();
+            let g = NodeWeightedGraph::new(truthcast_graph::adjacency_from_pairs(n, &edges), costs);
+            let text = write_node_weighted(&g);
+            let g2 = parse_node_weighted(&text).expect("own output must parse");
+            prop_assert_eq!(g, g2);
+            Ok(())
+        }
+    );
 }

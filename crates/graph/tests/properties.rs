@@ -1,13 +1,16 @@
-//! Property-based tests for the graph substrate.
+//! Property-based tests for the graph substrate, on the in-tree
+//! `truthcast-rt` harness (seeded, offline, reproducible — see DESIGN.md
+//! §"Dependency policy").
 
-use proptest::prelude::*;
 use truthcast_graph::adjacency::adjacency_from_pairs;
+use truthcast_graph::bellman_ford::bellman_ford_node;
 use truthcast_graph::connectivity::{
     articulation_points, is_biconnected, is_connected, reachable_without,
 };
-use truthcast_graph::dijkstra::{dijkstra, Direction, DijkstraOptions};
+use truthcast_graph::dijkstra::{dijkstra, DijkstraOptions, Direction};
 use truthcast_graph::node_dijkstra::{lcp_cost_between, node_dijkstra, NodeDijkstraOptions};
 use truthcast_graph::{Cost, LinkWeightedDigraph, NodeId, NodeMask, NodeWeightedGraph};
+use truthcast_rt::{cases, forall, prop_assert, prop_assert_eq, subsequence, vec_of, Strategy};
 
 /// Strategy: a random undirected graph as (n, edge list) with n in 2..12.
 fn small_graph() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
@@ -15,39 +18,43 @@ fn small_graph() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
         let all_pairs: Vec<(u32, u32)> = (0..n as u32)
             .flat_map(|u| ((u + 1)..n as u32).map(move |v| (u, v)))
             .collect();
-        proptest::sample::subsequence(all_pairs, 0..=n * (n - 1) / 2)
-            .prop_map(move |edges| (n, edges))
+        subsequence(all_pairs, 0..=n * (n - 1) / 2).prop_map(move |edges| (n, edges))
     })
 }
 
-/// Strategy: node costs in whole units.
-fn costs(n: usize) -> impl Strategy<Value = Vec<u64>> {
-    proptest::collection::vec(0u64..100, n)
+/// Strategy: node costs in whole units for the same `n` range as
+/// [`small_graph`] (padded/truncated to the instance size by each test).
+fn costs() -> impl Strategy<Value = Vec<u64>> {
+    (2usize..12).prop_flat_map(|n| vec_of(0u64..100, n..n + 1))
 }
 
-use truthcast_graph::bellman_ford::bellman_ford_node;
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Node-weighted Dijkstra agrees with a Bellman–Ford oracle.
-    #[test]
-    fn node_dijkstra_matches_bellman_ford((n, edges) in small_graph(), seed in 0u64..1000) {
+/// Node-weighted Dijkstra agrees with a Bellman–Ford oracle.
+#[test]
+fn node_dijkstra_matches_bellman_ford() {
+    forall!(cases(128), (small_graph(), 0u64..1000), |(
+        (n, edges),
+        seed,
+    )| {
         let mut unit_costs = Vec::with_capacity(n);
         let mut s = seed;
         for _ in 0..n {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             unit_costs.push((s >> 33) % 50);
         }
         let g = NodeWeightedGraph::from_pairs_units(&edges, &unit_costs);
         let table = node_dijkstra(&g, NodeId(0), NodeDijkstraOptions::default());
         let oracle = bellman_ford_node(&g, NodeId(0));
         prop_assert_eq!(&table.dist, &oracle);
-    }
+        Ok(())
+    });
+}
 
-    /// Undirected node-weighted LCP cost is symmetric in (s, t).
-    #[test]
-    fn lcp_cost_symmetry((n, edges) in small_graph(), cs in (2usize..12).prop_flat_map(costs)) {
+/// Undirected node-weighted LCP cost is symmetric in (s, t).
+#[test]
+fn lcp_cost_symmetry() {
+    forall!(cases(128), (small_graph(), costs()), |((n, edges), cs)| {
         let cs: Vec<u64> = cs.into_iter().chain(std::iter::repeat(1)).take(n).collect();
         let g = NodeWeightedGraph::from_pairs_units(&edges, &cs);
         for s in 0..n {
@@ -57,11 +64,14 @@ proptest! {
                 prop_assert_eq!(st, ts);
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Any reconstructed shortest path's cost equals the reported distance.
-    #[test]
-    fn path_cost_equals_distance((n, edges) in small_graph(), cs in (2usize..12).prop_flat_map(costs)) {
+/// Any reconstructed shortest path's cost equals the reported distance.
+#[test]
+fn path_cost_equals_distance() {
+    forall!(cases(128), (small_graph(), costs()), |((n, edges), cs)| {
         let cs: Vec<u64> = cs.into_iter().chain(std::iter::repeat(1)).take(n).collect();
         let g = NodeWeightedGraph::from_pairs_units(&edges, &cs);
         let table = node_dijkstra(&g, NodeId(0), NodeDijkstraOptions::default());
@@ -74,12 +84,15 @@ proptest! {
                 prop_assert_eq!(cost, table.lcp_cost(&g, t));
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Removing a non-articulation node keeps every other pair connected;
-    /// conversely an articulation node separates at least one pair.
-    #[test]
-    fn articulation_points_characterize_separation((n, edges) in small_graph()) {
+/// Removing a non-articulation node keeps every other pair connected;
+/// conversely an articulation node separates at least one pair.
+#[test]
+fn articulation_points_characterize_separation() {
+    forall!(cases(128), (small_graph(),), |((n, edges),)| {
         let g = adjacency_from_pairs(n, &edges);
         if !is_connected(&g) {
             return Ok(());
@@ -103,12 +116,15 @@ proptest! {
             }
             prop_assert_eq!(cuts.contains(&v), separated);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Biconnected graphs keep every payment finite: any s-t pair stays
-    /// connected after removing any third node.
-    #[test]
-    fn biconnectivity_implies_replacement_paths_exist((n, edges) in small_graph()) {
+/// Biconnected graphs keep every payment finite: any s-t pair stays
+/// connected after removing any third node.
+#[test]
+fn biconnectivity_implies_replacement_paths_exist() {
+    forall!(cases(128), (small_graph(),), |((n, edges),)| {
         let g = adjacency_from_pairs(n, &edges);
         if !is_biconnected(&g) {
             return Ok(());
@@ -117,23 +133,35 @@ proptest! {
         let gw = NodeWeightedGraph::from_pairs_units(&edges, &costs);
         for s in 0..n {
             for t in 0..n {
-                if s == t { continue; }
+                if s == t {
+                    continue;
+                }
                 for k in 0..n {
-                    if k == s || k == t { continue; }
+                    if k == s || k == t {
+                        continue;
+                    }
                     let mask = NodeMask::from_nodes(n, [NodeId::new(k)]);
                     let c = lcp_cost_between(&gw, NodeId::new(s), NodeId::new(t), Some(&mask));
                     prop_assert!(c.is_finite());
                 }
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Directed Dijkstra forward and backward sweeps agree on s→t distance.
-    #[test]
-    fn directed_forward_backward_agree((n, edges) in small_graph(), seed in 0u64..1000) {
+/// Directed Dijkstra forward and backward sweeps agree on s→t distance.
+#[test]
+fn directed_forward_backward_agree() {
+    forall!(cases(128), (small_graph(), 0u64..1000), |(
+        (n, edges),
+        seed,
+    )| {
         let mut s = seed.wrapping_add(1);
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (s >> 33) % 40
         };
         // Each undirected pair becomes two arcs with independent weights.
@@ -147,18 +175,26 @@ proptest! {
             })
             .collect();
         let g = LinkWeightedDigraph::from_arcs(n, arcs);
-        let fwd = dijkstra(&g, NodeId(0), Direction::Forward, DijkstraOptions::default());
+        let fwd = dijkstra(
+            &g,
+            NodeId(0),
+            Direction::Forward,
+            DijkstraOptions::default(),
+        );
         for t in 0..n {
             let t = NodeId::new(t);
             let bwd = dijkstra(&g, t, Direction::Backward, DijkstraOptions::default());
             prop_assert_eq!(fwd.dist(t), bwd.dist(NodeId(0)));
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Triangle inequality of shortest-path distances (inclusive convention):
-    /// dist'(u) ≤ dist'(v) + cost of u  whenever (v, u) is an edge.
-    #[test]
-    fn relaxed_edges_satisfy_triangle_inequality((n, edges) in small_graph(), cs in (2usize..12).prop_flat_map(costs)) {
+/// Triangle inequality of shortest-path distances (inclusive convention):
+/// dist'(u) ≤ dist'(v) + cost of u  whenever (v, u) is an edge.
+#[test]
+fn relaxed_edges_satisfy_triangle_inequality() {
+    forall!(cases(128), (small_graph(), costs()), |((n, edges), cs)| {
         let cs: Vec<u64> = cs.into_iter().chain(std::iter::repeat(1)).take(n).collect();
         let g = NodeWeightedGraph::from_pairs_units(&edges, &cs);
         let table = node_dijkstra(&g, NodeId(0), NodeDijkstraOptions::default());
@@ -167,5 +203,6 @@ proptest! {
                 prop_assert!(table.dist[v.index()] <= table.dist[u.index()] + g.cost(v));
             }
         }
-    }
+        Ok(())
+    });
 }

@@ -144,7 +144,11 @@ mod tests {
             selected[winner] = true;
             let mut payments = vec![Cost::ZERO; self.n];
             payments[winner] = second;
-            Outcome { selected, payments, social_cost: costs[winner] }
+            Outcome {
+                selected,
+                payments,
+                social_cost: costs[winner],
+            }
         }
     }
 
@@ -173,11 +177,14 @@ mod tests {
                 let mut payments = vec![Cost::ZERO; 2];
                 payments[w] = declared.get(NodeId::new(w));
                 let social_cost = payments[w];
-                Outcome { selected, payments, social_cost }
+                Outcome {
+                    selected,
+                    payments,
+                    social_cost,
+                }
             }
         }
-        let err = check_own_independence(&FirstPrice, &Profile::from_units(&[10, 20]))
-            .unwrap_err();
+        let err = check_own_independence(&FirstPrice, &Profile::from_units(&[10, 20])).unwrap_err();
         assert_eq!(err.agent, NodeId(0));
         assert_ne!(err.payment_truth, err.payment_alt);
     }
@@ -219,6 +226,9 @@ mod tests {
             find_cross_dependence(&Stipend, &Profile::from_units(&[1, 2, 3]), |_| vec![]),
             None
         );
-        assert_eq!(check_own_independence(&Stipend, &Profile::from_units(&[1, 2, 3])), Ok(()));
+        assert_eq!(
+            check_own_independence(&Stipend, &Profile::from_units(&[1, 2, 3])),
+            Ok(())
+        );
     }
 }

@@ -70,16 +70,21 @@ pub fn find_collusion_with(
     }
     let u_truth = coalition_utility(&honest, coalition, truth);
 
-    let candidates: Vec<Vec<Cost>> =
-        coalition.iter().map(|&k| candidates_for(k)).collect();
+    let candidates: Vec<Vec<Cost>> = coalition.iter().map(|&k| candidates_for(k)).collect();
 
     let mut best: Option<CollusionWitness> = None;
     let mut indices = vec![0usize; coalition.len()];
     'outer: loop {
-        let declarations: Vec<Cost> =
-            indices.iter().zip(&candidates).map(|(&i, c)| c[i]).collect();
-        let changes: Vec<(NodeId, Cost)> =
-            coalition.iter().copied().zip(declarations.iter().copied()).collect();
+        let declarations: Vec<Cost> = indices
+            .iter()
+            .zip(&candidates)
+            .map(|(&i, c)| c[i])
+            .collect();
+        let changes: Vec<(NodeId, Cost)> = coalition
+            .iter()
+            .copied()
+            .zip(declarations.iter().copied())
+            .collect();
         let outcome = mech.run(&truth.replace_many(&changes));
         if outcome.all_payments_finite() {
             let u_dev = coalition_utility(&outcome, coalition, truth);
@@ -164,7 +169,11 @@ mod tests {
             selected[winner] = true;
             let mut payments = vec![Cost::ZERO; self.n];
             payments[winner] = second;
-            Outcome { selected, payments, social_cost: costs[winner] }
+            Outcome {
+                selected,
+                payments,
+                social_cost: costs[winner],
+            }
         }
     }
 

@@ -52,13 +52,20 @@ impl Outcome {
 pub fn utility(outcome: &Outcome, k: NodeId, true_cost: Cost) -> i128 {
     let p = outcome.payment(k);
     assert!(p.is_finite(), "utility undefined under monopoly payment");
-    let incurred = if outcome.is_selected(k) { true_cost.micros() as i128 } else { 0 };
+    let incurred = if outcome.is_selected(k) {
+        true_cost.micros() as i128
+    } else {
+        0
+    };
     p.micros() as i128 - incurred
 }
 
 /// Sum of a coalition's utilities (the quantity a colluding set maximizes).
 pub fn coalition_utility(outcome: &Outcome, coalition: &[NodeId], truth: &Profile) -> i128 {
-    coalition.iter().map(|&k| utility(outcome, k, truth.get(k))).sum()
+    coalition
+        .iter()
+        .map(|&k| utility(outcome, k, truth.get(k)))
+        .sum()
 }
 
 #[cfg(test)]

@@ -14,7 +14,10 @@ pub struct Profile(Vec<Cost>);
 impl Profile {
     /// Wraps a cost vector. All entries must be finite.
     pub fn new(costs: Vec<Cost>) -> Profile {
-        assert!(costs.iter().all(|c| c.is_finite()), "profile costs must be finite");
+        assert!(
+            costs.iter().all(|c| c.is_finite()),
+            "profile costs must be finite"
+        );
         Profile(costs)
     }
 
@@ -93,11 +96,14 @@ mod tests {
             (NodeId(0), Cost::from_units(7)),
             (NodeId(2), Cost::from_units(8)),
         ]);
-        assert_eq!(q.as_slice(), &[
-            Cost::from_units(7),
-            Cost::from_units(2),
-            Cost::from_units(8)
-        ]);
+        assert_eq!(
+            q.as_slice(),
+            &[
+                Cost::from_units(7),
+                Cost::from_units(2),
+                Cost::from_units(8)
+            ]
+        );
     }
 
     #[test]

@@ -121,28 +121,44 @@ mod tests {
             let mut selected = vec![false; self.n];
             selected[winner] = true;
             let mut payments = vec![Cost::ZERO; self.n];
-            payments[winner] = if self.second_price { second } else { costs[winner] };
-            Outcome { selected, payments, social_cost: costs[winner] }
+            payments[winner] = if self.second_price {
+                second
+            } else {
+                costs[winner]
+            };
+            Outcome {
+                selected,
+                payments,
+                social_cost: costs[winner],
+            }
         }
     }
 
     #[test]
     fn second_price_procurement_is_truthful() {
-        let mech = Procurement { n: 4, second_price: true };
+        let mech = Procurement {
+            n: 4,
+            second_price: true,
+        };
         let truth = Profile::from_units(&[10, 20, 30, 40]);
-        assert_eq!(check_incentive_compatibility(&mech, &truth, |_| vec![]), Ok(()));
+        assert_eq!(
+            check_incentive_compatibility(&mech, &truth, |_| vec![]),
+            Ok(())
+        );
         assert_eq!(check_individual_rationality(&mech, &truth), Ok(()));
     }
 
     #[test]
     fn first_price_procurement_is_caught() {
-        let mech = Procurement { n: 3, second_price: false };
+        let mech = Procurement {
+            n: 3,
+            second_price: false,
+        };
         let truth = Profile::from_units(&[10, 20, 30]);
         // Critical-value probe: the winner can inflate toward the runner-up.
-        let violation = check_incentive_compatibility(&mech, &truth, |_| {
-            vec![Cost::from_units(20)]
-        })
-        .unwrap_err();
+        let violation =
+            check_incentive_compatibility(&mech, &truth, |_| vec![Cost::from_units(20)])
+                .unwrap_err();
         assert_eq!(violation.agent, NodeId(0));
         assert!(violation.deviant_utility > violation.truthful_utility);
     }
@@ -159,7 +175,11 @@ mod tests {
                 vec![NodeId(0), NodeId(1)]
             }
             fn run(&self, declared: &Profile) -> Outcome {
-                let w = if declared.get(NodeId(0)) <= declared.get(NodeId(1)) { 0 } else { 1 };
+                let w = if declared.get(NodeId(0)) <= declared.get(NodeId(1)) {
+                    0
+                } else {
+                    1
+                };
                 let mut selected = vec![false; 2];
                 selected[w] = true;
                 Outcome {

@@ -34,7 +34,10 @@ pub fn drill_repudiation(pki: &Pki, session: &Session, session_id: u64) -> Drill
         attack: "repudiation",
         defended: holds,
         detail: if holds {
-            format!("{}'s signature re-verified; denial dismissed", session.source)
+            format!(
+                "{}'s signature re-verified; denial dismissed",
+                session.source
+            )
         } else {
             "signature did not verify; repudiation would succeed".into()
         },
@@ -52,13 +55,24 @@ pub fn drill_billing_fraud(
 ) -> DrillReport {
     let mut bank = Bank::open(g.num_nodes());
     let mut energy = EnergyLedger::uniform(g.num_nodes(), Cost::from_units(1_000_000));
-    let session = Session { source: victim, packets: 3 };
+    let session = Session {
+        source: victim,
+        packets: 3,
+    };
     let forged = pki.sign(attacker, &initiation_bytes(&session, 77));
     let outcome = run_session(
-        g, ap, &session, 77, victim, forged, pki, &mut bank, &mut energy,
+        g,
+        ap,
+        &session,
+        77,
+        victim,
+        forged,
+        pki,
+        &mut bank,
+        &mut energy,
     );
-    let defended = outcome == Err(SessionError::BadInitiationSignature)
-        && bank.balance(victim) == 0;
+    let defended =
+        outcome == Err(SessionError::BadInitiationSignature) && bank.balance(victim) == 0;
     DrillReport {
         attack: "billing-fraud",
         defended,
@@ -81,9 +95,15 @@ pub fn drill_free_riding(pki: &Pki, session: &Session, session_id: u64) -> Drill
     let sig_over_original = pki.sign(session.source, &legit);
     let accepted = pki.verify(session.source, &piggybacked, sig_over_original);
     // The AP's ack covers only the legitimate packet count.
-    let ack = pki.sign(NodeId::ACCESS_POINT, &ack_bytes(session_id, session.packets));
-    let ack_claims_more =
-        pki.verify(NodeId::ACCESS_POINT, &ack_bytes(session_id, session.packets + 1), ack);
+    let ack = pki.sign(
+        NodeId::ACCESS_POINT,
+        &ack_bytes(session_id, session.packets),
+    );
+    let ack_claims_more = pki.verify(
+        NodeId::ACCESS_POINT,
+        &ack_bytes(session_id, session.packets + 1),
+        ack,
+    );
     DrillReport {
         attack: "free-riding",
         defended: !accepted && !ack_claims_more,
@@ -95,7 +115,10 @@ pub fn drill_free_riding(pki: &Pki, session: &Session, session_id: u64) -> Drill
 
 /// Runs every drill on a standard instance.
 pub fn run_all_drills(g: &NodeWeightedGraph, ap: NodeId, pki: &Pki) -> Vec<DrillReport> {
-    let session = Session { source: NodeId(g.num_nodes() as u32 - 1), packets: 4 };
+    let session = Session {
+        source: NodeId(g.num_nodes() as u32 - 1),
+        packets: 4,
+    };
     vec![
         drill_repudiation(pki, &session, 1),
         drill_billing_fraud(g, ap, NodeId(1), session.source, pki),
@@ -123,7 +146,10 @@ mod tests {
     #[test]
     fn repudiation_drill_names_the_source() {
         let pki = Pki::provision(4, 99);
-        let session = Session { source: NodeId(3), packets: 2 };
+        let session = Session {
+            source: NodeId(3),
+            packets: 2,
+        };
         let r = drill_repudiation(&pki, &session, 5);
         assert!(r.defended);
         assert!(r.detail.contains("v3"));

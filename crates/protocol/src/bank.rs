@@ -32,7 +32,10 @@ pub struct Bank {
 impl Bank {
     /// Opens zero-balance accounts for `n` nodes.
     pub fn open(n: usize) -> Bank {
-        Bank { balances: vec![0; n], log: Vec::new() }
+        Bank {
+            balances: vec![0; n],
+            log: Vec::new(),
+        }
     }
 
     /// Balance of `v` in micro-units (negative = owes the network).
@@ -42,11 +45,19 @@ impl Bank {
 
     /// Transfers `amount` from the initiator to a relay.
     pub fn transfer(&mut self, from: NodeId, to: NodeId, amount: Cost, session_id: u64) {
-        assert!(amount.is_finite(), "cannot settle an infinite (monopoly) payment");
+        assert!(
+            amount.is_finite(),
+            "cannot settle an infinite (monopoly) payment"
+        );
         let micros = amount.micros();
         self.balances[from.index()] -= micros as i128;
         self.balances[to.index()] += micros as i128;
-        self.log.push(Transfer { from, to, amount: micros, session_id });
+        self.log.push(Transfer {
+            from,
+            to,
+            amount: micros,
+            session_id,
+        });
     }
 
     /// The transaction log.

@@ -85,15 +85,20 @@ mod tests {
             let session = Session { source, packets: 3 };
             let mut bank_d = Bank::open(5);
             let mut energy_d = EnergyLedger::uniform(5, Cost::from_units(1000));
-            let charged_d = settle_from_distributed(
-                &g, &run, &session, 9, &pki, &mut bank_d, &mut energy_d,
-            )
-            .unwrap();
+            let charged_d =
+                settle_from_distributed(&g, &run, &session, 9, &pki, &mut bank_d, &mut energy_d)
+                    .unwrap();
 
             let mut bank_c = Bank::open(5);
             let mut energy_c = EnergyLedger::uniform(5, Cost::from_units(1000));
             let receipt = crate::session::run_honest_session(
-                &g, NodeId(0), &session, 9, &pki, &mut bank_c, &mut energy_c,
+                &g,
+                NodeId(0),
+                &session,
+                9,
+                &pki,
+                &mut bank_c,
+                &mut energy_c,
             )
             .unwrap();
 
@@ -114,7 +119,10 @@ mod tests {
         let err = settle_from_distributed(
             &g,
             &run,
-            &Session { source: NodeId(2), packets: 1 },
+            &Session {
+                source: NodeId(2),
+                packets: 1,
+            },
             1,
             &pki,
             &mut bank,

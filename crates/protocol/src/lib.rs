@@ -24,14 +24,16 @@
 #![forbid(unsafe_code)]
 
 pub mod attacks;
-pub mod distributed_settlement;
 pub mod bank;
+pub mod distributed_settlement;
 pub mod resale_enactment;
 pub mod session;
 pub mod sigs;
 pub mod watchdog;
 
-pub use attacks::{drill_billing_fraud, drill_free_riding, drill_repudiation, run_all_drills, DrillReport};
+pub use attacks::{
+    drill_billing_fraud, drill_free_riding, drill_repudiation, run_all_drills, DrillReport,
+};
 pub use bank::{Bank, Transfer};
 pub use distributed_settlement::settle_from_distributed;
 pub use resale_enactment::{enact_resale, ResaleEnactment};

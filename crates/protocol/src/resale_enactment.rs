@@ -42,7 +42,10 @@ pub fn enact_resale(
 
     // 1. The reseller originates the packet over its own LCP and pays its
     //    relays the honest VCG prices.
-    let session = Session { source: op.reseller, packets: 1 };
+    let session = Session {
+        source: op.reseller,
+        packets: 1,
+    };
     run_honest_session(g, ap, &session, 0xC0111, pki, bank, energy)?;
 
     // 2. The reseller also physically forwards the initiator's packet
@@ -54,8 +57,8 @@ pub fn enact_resale(
     let side = op.collusion_cost.saturating_add(half_savings);
     bank.transfer(op.initiator, op.reseller, side, 0xC0111);
 
-    let reseller_gain = bank.balance(op.reseller) - reseller_before
-        - g.cost(op.reseller).micros() as i128;
+    let reseller_gain =
+        bank.balance(op.reseller) - reseller_before - g.cost(op.reseller).micros() as i128;
     Ok(ResaleEnactment {
         direct_cost: op.direct_payment.micros(),
         collusive_cost: side.micros(),
@@ -92,7 +95,10 @@ mod tests {
     #[test]
     fn enactment_respects_energy() {
         let (g, ap) = paper_figure4_instance();
-        let op = find_resale_opportunities(&g, ap).into_iter().next().unwrap();
+        let op = find_resale_opportunities(&g, ap)
+            .into_iter()
+            .next()
+            .unwrap();
         let pki = Pki::provision(g.num_nodes(), 3);
         let mut bank = Bank::open(g.num_nodes());
         let mut energy = EnergyLedger::uniform(g.num_nodes(), Cost::from_units(1000));

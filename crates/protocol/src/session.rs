@@ -116,7 +116,13 @@ pub fn run_session(
         charged += amount.micros();
     }
 
-    Ok(Receipt { session_id, path: pricing.path, packets: session.packets, charged, ack })
+    Ok(Receipt {
+        session_id,
+        path: pricing.path,
+        packets: session.packets,
+        charged,
+        ack,
+    })
 }
 
 /// Convenience: sign and run an honest session.
@@ -130,7 +136,17 @@ pub fn run_honest_session(
     energy: &mut EnergyLedger,
 ) -> Result<Receipt, SessionError> {
     let sig = pki.sign(session.source, &initiation_bytes(session, session_id));
-    run_session(g, ap, session, session_id, session.source, sig, pki, bank, energy)
+    run_session(
+        g,
+        ap,
+        session,
+        session_id,
+        session.source,
+        sig,
+        pki,
+        bank,
+        energy,
+    )
 }
 
 #[cfg(test)]
@@ -143,14 +159,21 @@ mod tests {
     }
 
     fn setup(n: usize) -> (Pki, Bank, EnergyLedger) {
-        (Pki::provision(n, 7), Bank::open(n), EnergyLedger::uniform(n, Cost::from_units(1000)))
+        (
+            Pki::provision(n, 7),
+            Bank::open(n),
+            EnergyLedger::uniform(n, Cost::from_units(1000)),
+        )
     }
 
     #[test]
     fn honest_session_settles_per_packet() {
         let g = diamond();
         let (pki, mut bank, mut energy) = setup(4);
-        let session = Session { source: NodeId(3), packets: 4 };
+        let session = Session {
+            source: NodeId(3),
+            packets: 4,
+        };
         let receipt =
             run_honest_session(&g, NodeId(0), &session, 1, &pki, &mut bank, &mut energy).unwrap();
         assert_eq!(receipt.path, vec![NodeId(3), NodeId(1), NodeId(0)]);
@@ -172,7 +195,10 @@ mod tests {
         // exactly the incentive the mechanism is designed to create.
         let g = diamond();
         let (pki, mut bank, mut energy) = setup(4);
-        let session = Session { source: NodeId(3), packets: 10 };
+        let session = Session {
+            source: NodeId(3),
+            packets: 10,
+        };
         run_honest_session(&g, NodeId(0), &session, 1, &pki, &mut bank, &mut energy).unwrap();
         let earned = bank.net_earned(NodeId(1));
         let spent = (Cost::from_units(1000) - energy.remaining(NodeId(1))).micros() as i128;
@@ -184,11 +210,22 @@ mod tests {
     fn forged_initiation_is_rejected() {
         let g = diamond();
         let (pki, mut bank, mut energy) = setup(4);
-        let session = Session { source: NodeId(3), packets: 2 };
+        let session = Session {
+            source: NodeId(3),
+            packets: 2,
+        };
         // Node 2 tries to start a session billed to node 3.
         let forged = pki.sign(NodeId(2), &initiation_bytes(&session, 9));
         let err = run_session(
-            &g, NodeId(0), &session, 9, NodeId(3), forged, &pki, &mut bank, &mut energy,
+            &g,
+            NodeId(0),
+            &session,
+            9,
+            NodeId(3),
+            forged,
+            &pki,
+            &mut bank,
+            &mut energy,
         )
         .unwrap_err();
         assert_eq!(err, SessionError::BadInitiationSignature);
@@ -199,10 +236,12 @@ mod tests {
     fn monopoly_relay_blocks_settlement() {
         let g = NodeWeightedGraph::from_pairs_units(&[(0, 1), (1, 2)], &[0, 3, 0]);
         let (pki, mut bank, mut energy) = setup(3);
-        let session = Session { source: NodeId(2), packets: 1 };
-        let err =
-            run_honest_session(&g, NodeId(0), &session, 1, &pki, &mut bank, &mut energy)
-                .unwrap_err();
+        let session = Session {
+            source: NodeId(2),
+            packets: 1,
+        };
+        let err = run_honest_session(&g, NodeId(0), &session, 1, &pki, &mut bank, &mut energy)
+            .unwrap_err();
         assert_eq!(err, SessionError::MonopolyRelay(NodeId(1)));
     }
 
@@ -212,10 +251,12 @@ mod tests {
         let pki = Pki::provision(4, 7);
         let mut bank = Bank::open(4);
         let mut energy = EnergyLedger::uniform(4, Cost::from_units(12));
-        let session = Session { source: NodeId(3), packets: 5 }; // needs 25
-        let err =
-            run_honest_session(&g, NodeId(0), &session, 1, &pki, &mut bank, &mut energy)
-                .unwrap_err();
+        let session = Session {
+            source: NodeId(3),
+            packets: 5,
+        }; // needs 25
+        let err = run_honest_session(&g, NodeId(0), &session, 1, &pki, &mut bank, &mut energy)
+            .unwrap_err();
         assert_eq!(err, SessionError::RelayDepleted(NodeId(1)));
         assert_eq!(bank.balance(NodeId(1)), 0, "no settlement without delivery");
     }
@@ -224,10 +265,12 @@ mod tests {
     fn unreachable_source() {
         let g = NodeWeightedGraph::from_pairs_units(&[(0, 1)], &[0, 0, 0]);
         let (pki, mut bank, mut energy) = setup(3);
-        let session = Session { source: NodeId(2), packets: 1 };
-        let err =
-            run_honest_session(&g, NodeId(0), &session, 1, &pki, &mut bank, &mut energy)
-                .unwrap_err();
+        let session = Session {
+            source: NodeId(2),
+            packets: 1,
+        };
+        let err = run_honest_session(&g, NodeId(0), &session, 1, &pki, &mut bank, &mut energy)
+            .unwrap_err();
         assert_eq!(err, SessionError::Unreachable);
     }
 }

@@ -40,7 +40,9 @@ impl Pki {
         let mut s = seed.wrapping_add(0x0123_4567_89ab_cdef);
         let secrets = (0..n)
             .map(|_| {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 s
             })
             .collect();

@@ -68,8 +68,10 @@ pub fn run_watchdog_era(
             for &relay in &path[1..path.len() - 1] {
                 // The rational relay declines when its battery would dip
                 // below the reserve (no payment to justify the burn).
-                let would_remain =
-                    energy.remaining(relay).saturating_sub(g.cost(relay)).as_f64();
+                let would_remain = energy
+                    .remaining(relay)
+                    .saturating_sub(g.cost(relay))
+                    .as_f64();
                 let keeps_reserve =
                     would_remain >= reserve_fraction * energy.capacity(relay).as_f64();
                 if !keeps_reserve || !energy.relay_packet(relay, g.cost(relay)) {
@@ -142,8 +144,10 @@ mod tests {
         let g = network();
         let mut energy = EnergyLedger::uniform(5, Cost::from_units(30));
         // Nodes keep a 50% reserve: rational self-preservation.
-        let sessions: Vec<Session> =
-            std::iter::repeat(all_to_ap_sessions(5, 2)).take(4).flatten().collect();
+        let sessions: Vec<Session> = std::iter::repeat(all_to_ap_sessions(5, 2))
+            .take(4)
+            .flatten()
+            .collect();
         let report = run_watchdog_era(&g, NodeId(0), &sessions, &mut energy, 0.5);
         assert!(!report.blacklisted.is_empty(), "{report:?}");
         assert_eq!(report.blacklisted, report.wrongfully_labelled);
@@ -153,8 +157,10 @@ mod tests {
     #[test]
     fn payments_deliver_more_than_reputation() {
         let g = network();
-        let sessions: Vec<Session> =
-            std::iter::repeat(all_to_ap_sessions(5, 2)).take(4).flatten().collect();
+        let sessions: Vec<Session> = std::iter::repeat(all_to_ap_sessions(5, 2))
+            .take(4)
+            .flatten()
+            .collect();
 
         let mut energy_w = EnergyLedger::uniform(5, Cost::from_units(30));
         let watchdog = run_watchdog_era(&g, NodeId(0), &sessions, &mut energy_w, 0.5);

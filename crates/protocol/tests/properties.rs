@@ -1,8 +1,9 @@
-//! Property-based tests for the settlement protocol.
+//! Property-based tests for the settlement protocol, on the in-tree
+//! `truthcast-rt` harness (seeded, offline, reproducible).
 
-use proptest::prelude::*;
 use truthcast_graph::{Cost, NodeId, NodeWeightedGraph};
 use truthcast_protocol::{run_honest_session, Bank, Pki, SessionError};
+use truthcast_rt::{cases, forall, prop_assert, prop_assert_eq, subsequence, vec_of, Strategy};
 use truthcast_wireless::{EnergyLedger, Session};
 
 /// Strategy: a biconnected-ish graph via ring + random chords, with unit
@@ -15,8 +16,8 @@ fn ring_instance() -> impl Strategy<Value = (usize, Vec<(u32, u32)>, Vec<u64>)> 
             .collect();
         let max_extra = chords.len().min(n);
         (
-            proptest::sample::subsequence(chords, 0..=max_extra),
-            proptest::collection::vec(0u64..30, n),
+            subsequence(chords, 0..=max_extra),
+            vec_of(0u64..30, n..n + 1),
         )
             .prop_map(move |(extra, costs)| {
                 let mut edges: Vec<(u32, u32)> = (1..n as u32).map(|v| (v - 1, v)).collect();
@@ -27,29 +28,31 @@ fn ring_instance() -> impl Strategy<Value = (usize, Vec<(u32, u32)>, Vec<u64>)> 
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Every settled session conserves money, charges exactly the sum of
-    /// per-relay transfers, and drains batteries by true cost × packets.
-    #[test]
-    fn settlement_invariants((n, edges, costs) in ring_instance(), packets in 1u64..6, src in 1usize..11) {
+/// Every settled session conserves money, charges exactly the sum of
+/// per-relay transfers, and drains batteries by true cost × packets.
+#[test]
+fn settlement_invariants() {
+    forall!(cases(64), (ring_instance(), 1u64..6, 1usize..11), |(
+        (n, edges, costs),
+        packets,
+        src,
+    )| {
         let src = NodeId::new(1 + (src - 1) % (n - 1));
         let g = NodeWeightedGraph::from_pairs_units(&edges, &costs);
         let pki = Pki::provision(n, 3);
         let mut bank = Bank::open(n);
         let cap = Cost::from_units(100_000);
         let mut energy = EnergyLedger::uniform(n, cap);
-        let session = Session { source: src, packets };
+        let session = Session {
+            source: src,
+            packets,
+        };
         match run_honest_session(&g, NodeId(0), &session, 7, &pki, &mut bank, &mut energy) {
             Ok(receipt) => {
                 prop_assert!(bank.is_conserved());
                 let transfers: u64 = bank.log().iter().map(|t| t.amount).sum();
                 prop_assert_eq!(transfers, receipt.charged);
-                prop_assert_eq!(
-                    bank.balance(src),
-                    -(receipt.charged as i128)
-                );
+                prop_assert_eq!(bank.balance(src), -(receipt.charged as i128));
                 // Energy drained on each relay = c × packets.
                 for &relay in &receipt.path[1..receipt.path.len() - 1] {
                     let drained = cap - energy.remaining(relay);
@@ -67,28 +70,45 @@ proptest! {
                 }
             }
             Err(SessionError::MonopolyRelay(_)) => {
-                // Allowed: chord selection may still leave a cut relay on
-                // the LCP path? (ring is 2-connected, so this would be a
-                // bug — fail loudly.)
+                // Ring instances are 2-connected, so a cut relay on the
+                // LCP path would be a bug — fail loudly.
                 prop_assert!(false, "ring instances have no monopolies");
             }
             Err(e) => prop_assert!(false, "unexpected error {e:?}"),
         }
-    }
+        Ok(())
+    });
+}
 
-    /// A forged claimed-initiator never moves money, whatever the instance.
-    #[test]
-    fn forgery_never_settles((n, edges, costs) in ring_instance()) {
+/// A forged claimed-initiator never moves money, whatever the instance.
+#[test]
+fn forgery_never_settles() {
+    forall!(cases(64), (ring_instance(),), |((n, edges, costs),)| {
         let g = NodeWeightedGraph::from_pairs_units(&edges, &costs);
         let pki = Pki::provision(n, 3);
         let mut bank = Bank::open(n);
         let mut energy = EnergyLedger::uniform(n, Cost::from_units(1000));
-        let session = Session { source: NodeId(1), packets: 1 };
-        let forged = pki.sign(NodeId(2), &truthcast_protocol::session::initiation_bytes(&session, 5));
+        let session = Session {
+            source: NodeId(1),
+            packets: 1,
+        };
+        let forged = pki.sign(
+            NodeId(2),
+            &truthcast_protocol::session::initiation_bytes(&session, 5),
+        );
         let r = truthcast_protocol::run_session(
-            &g, NodeId(0), &session, 5, NodeId(1), forged, &pki, &mut bank, &mut energy,
+            &g,
+            NodeId(0),
+            &session,
+            5,
+            NodeId(1),
+            forged,
+            &pki,
+            &mut bank,
+            &mut energy,
         );
         prop_assert_eq!(r.unwrap_err(), SessionError::BadInitiationSignature);
         prop_assert!(bank.log().is_empty());
-    }
+        Ok(())
+    });
 }

@@ -1,0 +1,280 @@
+//! A micro-benchmark harness: warmup, calibrated timed iterations, robust
+//! summary statistics, and machine-readable JSON output.
+//!
+//! The repo's perf trajectory (ROADMAP north star) needs benchmark runs
+//! that work on a cold, offline checkout; this replaces `criterion` with
+//! a few hundred lines of `std`.
+//!
+//! # Protocol per benchmark
+//!
+//! 1. **Calibrate**: run the closure once, then pick an iteration count
+//!    `k` so one sample takes roughly [`Harness::target_sample_nanos`].
+//! 2. **Warm up**: one untimed sample (`k` iterations).
+//! 3. **Measure**: `samples` timed samples of `k` iterations each; each
+//!    sample yields mean ns/iteration.
+//! 4. **Report**: min / median / p95 / mean over samples, printed to
+//!    stdout and appended to the group's JSON report.
+//!
+//! [`Harness::finish`] writes `BENCH_<group>.json` (into
+//! `$TRUTHCAST_BENCH_DIR`, default `target/truthcast-bench/`), so sweeps
+//! across PRs can be diffed mechanically.
+//!
+//! Environment knobs: `TRUTHCAST_BENCH_QUICK=1` (smoke mode: few, short
+//! samples), `TRUTHCAST_BENCH_SAMPLES=<n>`, `TRUTHCAST_BENCH_DIR=<path>`.
+
+use std::hint::black_box as std_black_box;
+use std::io::Write as _;
+use std::time::Instant;
+
+/// An opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation (re-export of [`std::hint::black_box`]).
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Summary statistics for one benchmark, in nanoseconds per iteration.
+#[derive(Clone, Debug)]
+pub struct Stats {
+    /// Fastest sample.
+    pub min: f64,
+    /// Median sample — the headline number.
+    pub median: f64,
+    /// 95th-percentile sample (tail latency of the samples).
+    pub p95: f64,
+    /// Mean over samples.
+    pub mean: f64,
+}
+
+/// One benchmark's full result.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Benchmark id within the group, e.g. `"node_weighted_full/1024"`.
+    pub id: String,
+    /// Iterations per timed sample (after calibration).
+    pub iters_per_sample: u64,
+    /// Per-sample mean ns/iteration, in measurement order.
+    pub samples_ns: Vec<f64>,
+    /// Summary statistics over `samples_ns`.
+    pub stats: Stats,
+}
+
+/// A named group of benchmarks producing one `BENCH_<group>.json`.
+pub struct Harness {
+    group: String,
+    samples: usize,
+    target_sample_nanos: f64,
+    results: Vec<BenchResult>,
+}
+
+impl Harness {
+    /// A harness for `group`, honoring the `TRUTHCAST_BENCH_*` knobs.
+    /// Unknown CLI arguments (e.g. cargo's `--bench`) are ignored.
+    pub fn new(group: impl Into<String>) -> Harness {
+        let quick = std::env::var("TRUTHCAST_BENCH_QUICK").is_ok_and(|v| v != "0");
+        let samples = std::env::var("TRUTHCAST_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(if quick { 5 } else { 20 });
+        let target_sample_nanos = if quick { 1.0e6 } else { 10.0e6 };
+        let group = group.into();
+        eprintln!("benchmark group `{group}` ({samples} samples/bench)");
+        Harness {
+            group,
+            samples,
+            target_sample_nanos,
+            results: Vec::new(),
+        }
+    }
+
+    /// Target duration of one timed sample, in nanoseconds.
+    pub fn target_sample_nanos(&self) -> f64 {
+        self.target_sample_nanos
+    }
+
+    /// Times `f`, recording the result under `id`.
+    pub fn bench<T>(&mut self, id: impl Into<String>, mut f: impl FnMut() -> T) {
+        let id = id.into();
+
+        // Calibrate: one untimed-ish probe decides iterations per sample.
+        let probe_start = Instant::now();
+        black_box(f());
+        let probe_ns = probe_start.elapsed().as_nanos().max(1) as f64;
+        let iters = (self.target_sample_nanos / probe_ns).clamp(1.0, 1.0e7) as u64;
+
+        // Warmup: one full untimed sample.
+        for _ in 0..iters {
+            black_box(f());
+        }
+
+        let mut samples_ns = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            samples_ns.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+
+        let stats = summarize(&samples_ns);
+        println!(
+            "{group}/{id}: median {median} p95 {p95} min {min} ({iters} iters/sample)",
+            group = self.group,
+            median = fmt_ns(stats.median),
+            p95 = fmt_ns(stats.p95),
+            min = fmt_ns(stats.min),
+        );
+        self.results.push(BenchResult {
+            id,
+            iters_per_sample: iters,
+            samples_ns,
+            stats,
+        });
+    }
+
+    /// Writes `BENCH_<group>.json` and prints its path. Call last.
+    pub fn finish(self) -> std::path::PathBuf {
+        let dir = std::env::var("TRUTHCAST_BENCH_DIR")
+            .unwrap_or_else(|_| "target/truthcast-bench".to_string());
+        let dir = std::path::PathBuf::from(dir);
+        std::fs::create_dir_all(&dir).expect("create bench output dir");
+        let path = dir.join(format!("BENCH_{}.json", self.group));
+        let mut file = std::fs::File::create(&path).expect("create bench JSON");
+        file.write_all(self.to_json().as_bytes())
+            .expect("write bench JSON");
+        println!("wrote {}", path.display());
+        path
+    }
+
+    /// The group's report as a JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"group\": {},\n", json_string(&self.group)));
+        out.push_str("  \"harness\": \"truthcast-rt\",\n");
+        out.push_str(&format!("  \"samples_per_bench\": {},\n", self.samples));
+        out.push_str("  \"unit\": \"ns_per_iter\",\n");
+        out.push_str("  \"results\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"id\": {},\n", json_string(&r.id)));
+            out.push_str(&format!(
+                "      \"iters_per_sample\": {},\n",
+                r.iters_per_sample
+            ));
+            out.push_str(&format!(
+                "      \"min\": {}, \"median\": {}, \"p95\": {}, \"mean\": {},\n",
+                json_f64(r.stats.min),
+                json_f64(r.stats.median),
+                json_f64(r.stats.p95),
+                json_f64(r.stats.mean)
+            ));
+            out.push_str("      \"samples\": [");
+            for (j, s) in r.samples_ns.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&json_f64(*s));
+            }
+            out.push_str("]\n");
+            out.push_str(if i + 1 < self.results.len() {
+                "    },\n"
+            } else {
+                "    }\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+fn summarize(samples: &[f64]) -> Stats {
+    assert!(!samples.is_empty());
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    let pick = |q: f64| {
+        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+        sorted[idx]
+    };
+    Stats {
+        min: sorted[0],
+        median: pick(0.5),
+        p95: pick(0.95),
+        mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1.0e9 {
+        format!("{:.3}s", ns / 1.0e9)
+    } else if ns >= 1.0e6 {
+        format!("{:.3}ms", ns / 1.0e6)
+    } else if ns >= 1.0e3 {
+        format!("{:.3}µs", ns / 1.0e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.1}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summarize_orders_quantiles() {
+        let s = summarize(&[5.0, 1.0, 3.0, 2.0, 4.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.p95, 5.0);
+        assert!((s.mean - 3.0).abs() < 1e-9);
+        assert!(s.min <= s.median && s.median <= s.p95);
+    }
+
+    #[test]
+    fn json_report_is_well_formed_enough() {
+        std::env::set_var("TRUTHCAST_BENCH_QUICK", "1");
+        let mut h = Harness::new("selftest");
+        h.bench("square/64", || {
+            let mut acc = 0u64;
+            for i in 0..64u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        let json = h.to_json();
+        assert!(json.contains("\"group\": \"selftest\""));
+        assert!(json.contains("\"id\": \"square/64\""));
+        assert!(json.contains("\"median\":"));
+        // Balanced braces/brackets — a cheap structural sanity check.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn json_string_escapes() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+}

@@ -1,0 +1,784 @@
+//! A minimal property-testing harness: deterministic case generation,
+//! seed reporting on failure, and greedy shrinking.
+//!
+//! # Model
+//!
+//! A [`Strategy`] produces values from a [`SmallRng`] and (optionally)
+//! proposes *smaller* candidate values for a failing input. The
+//! [`forall`] runner derives one seed per case from the test's name, so
+//! every run of a given test explores the same deterministic sequence of
+//! instances — hermetic CI with no flakes — while different tests explore
+//! decorrelated streams.
+//!
+//! # Reproducing a failure
+//!
+//! On failure the runner panics with the case's seed and a ready-to-paste
+//! command:
+//!
+//! ```text
+//! [truthcast-rt] property failed at crates/core/tests/properties.rs:48
+//!   case 17/96, seed 0x9E3779B97F4A7C15
+//!   reproduce: TRUTHCAST_SEED=0x9E3779B97F4A7C15 cargo test -q <test name>
+//! ```
+//!
+//! Setting `TRUTHCAST_SEED` makes every `forall` in the process run
+//! exactly that one case, regenerating the identical input. `TRUTHCAST_CASES`
+//! overrides the per-test case count (e.g. a soak run with 10×).
+//!
+//! # Shrinking
+//!
+//! Shrinking is *greedy*: the runner asks the strategy for candidates,
+//! takes the first one that still fails, and repeats until no candidate
+//! fails or the step budget runs out. Base strategies (integer ranges,
+//! booleans, vectors, subsequences, and tuples thereof) shrink; `map`-,
+//! `flat_map`- and `one_of`-built strategies generate deterministically
+//! but do not shrink through the combinator (the printed seed is the
+//! reproduction mechanism either way).
+
+use std::fmt::Debug;
+use std::panic::Location;
+
+use crate::rng::{mix_u64, Rng, SeedableRng, SmallRng};
+
+/// Runner configuration for one property.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of random cases to run (default 256).
+    pub cases: u32,
+    /// Budget for shrink attempts after a failure (default 2048).
+    pub max_shrink_steps: u32,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            cases: 256,
+            max_shrink_steps: 2048,
+        }
+    }
+}
+
+/// Shorthand: a [`Config`] running `n` cases.
+pub fn cases(n: u32) -> Config {
+    Config {
+        cases: n,
+        ..Config::default()
+    }
+}
+
+/// The outcome of one test case: `Ok(())` passes, `Err(msg)` fails with a
+/// human-readable reason (see [`prop_assert!`](crate::prop_assert)).
+pub type CaseResult = Result<(), String>;
+
+/// A generator of test-case values with optional shrinking.
+pub trait Strategy {
+    /// The generated value type.
+    type Value: Clone + Debug;
+
+    /// Generates one value. Must be a pure function of the RNG stream.
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+
+    /// Candidate simplifications of a failing `value`, most aggressive
+    /// first. The default shrinks nothing.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
+
+    /// Maps generated values through `f` (no shrinking through the map).
+    fn prop_map<U: Clone + Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates an intermediate value, then a final value from the
+    /// strategy `f` derives from it (no shrinking through the bind).
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erases the strategy (for heterogeneous unions).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(std::rc::Rc::new(self))
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: Clone + Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut SmallRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut SmallRng) -> S2::Value {
+        let mid = self.inner.generate(rng);
+        (self.f)(mid).generate(rng)
+    }
+}
+
+/// A type-erased, reference-counted strategy (see [`Strategy::boxed`]).
+pub struct BoxedStrategy<T>(std::rc::Rc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(self.0.clone())
+    }
+}
+
+trait DynStrategy<T> {
+    fn generate_dyn(&self, rng: &mut SmallRng) -> T;
+    fn shrink_dyn(&self, value: &T) -> Vec<T>;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut SmallRng) -> S::Value {
+        self.generate(rng)
+    }
+    fn shrink_dyn(&self, value: &S::Value) -> Vec<S::Value> {
+        self.shrink(value)
+    }
+}
+
+impl<T: Clone + Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        self.0.generate_dyn(rng)
+    }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        self.0.shrink_dyn(value)
+    }
+}
+
+// ---- Base strategies -----------------------------------------------------
+
+macro_rules! int_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let mut out = Vec::new();
+                let (lo, v) = (self.start, *value);
+                if v > lo {
+                    out.push(lo);
+                    let mid = lo + (v - lo) / 2;
+                    if mid != lo && mid != v {
+                        out.push(mid);
+                    }
+                    out.push(v - 1);
+                }
+                out.dedup();
+                out
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let mut out = Vec::new();
+                let (lo, v) = (*self.start(), *value);
+                if v > lo {
+                    out.push(lo);
+                    let mid = lo + (v - lo) / 2;
+                    if mid != lo && mid != v {
+                        out.push(mid);
+                    }
+                    out.push(v - 1);
+                }
+                out.dedup();
+                out
+            }
+        }
+    )*};
+}
+
+int_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+macro_rules! float_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let (lo, v) = (self.start, *value);
+                let mut out = Vec::new();
+                if v > lo {
+                    out.push(lo);
+                    let mid = lo + (v - lo) / 2.0;
+                    if mid > lo && mid < v {
+                        out.push(mid);
+                    }
+                }
+                out
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let (lo, v) = (*self.start(), *value);
+                let mut out = Vec::new();
+                if v > lo {
+                    out.push(lo);
+                    let mid = lo + (v - lo) / 2.0;
+                    if mid > lo && mid < v {
+                        out.push(mid);
+                    }
+                }
+                out
+            }
+        }
+    )*};
+}
+
+float_strategy!(f32, f64);
+
+/// Uniform booleans; `true` shrinks to `false`.
+pub fn bools() -> Bools {
+    Bools
+}
+
+/// See [`bools`].
+#[derive(Clone, Copy, Debug)]
+pub struct Bools;
+
+impl Strategy for Bools {
+    type Value = bool;
+    fn generate(&self, rng: &mut SmallRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+    fn shrink(&self, value: &bool) -> Vec<bool> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// The constant strategy: always `value`, never shrinks.
+pub fn just<T: Clone + Debug>(value: T) -> Just<T> {
+    Just(value)
+}
+
+/// See [`just`].
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// A weighted union of boxed strategies (the `prop_oneof!` equivalent):
+/// each case picks branch `i` with probability `wᵢ / Σw`.
+pub fn one_of<T: Clone + Debug>(branches: Vec<(u32, BoxedStrategy<T>)>) -> OneOf<T> {
+    assert!(!branches.is_empty(), "one_of: need at least one branch");
+    assert!(
+        branches.iter().any(|&(w, _)| w > 0),
+        "one_of: all weights zero"
+    );
+    OneOf { branches }
+}
+
+/// See [`one_of`].
+pub struct OneOf<T> {
+    branches: Vec<(u32, BoxedStrategy<T>)>,
+}
+
+impl<T: Clone + Debug> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        let total: u64 = self.branches.iter().map(|&(w, _)| w as u64).sum();
+        let mut roll = rng.gen_range(0u64..total);
+        for (w, s) in &self.branches {
+            if roll < *w as u64 {
+                return s.generate(rng);
+            }
+            roll -= *w as u64;
+        }
+        unreachable!("weights covered the whole roll range")
+    }
+}
+
+/// `count` values from `element`, where `count` is drawn from `len`.
+/// Shrinks by dropping elements (down to `len.start`) and by shrinking
+/// individual elements.
+pub fn vec_of<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecOf<S> {
+    assert!(len.start < len.end, "vec_of: empty length range");
+    VecOf { element, len }
+}
+
+/// See [`vec_of`].
+pub struct VecOf<S> {
+    element: S,
+    len: std::ops::Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecOf<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+        let n = rng.gen_range(self.len.clone());
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let min = self.len.start;
+        let mut out = Vec::new();
+        // Structural shrinks: halve toward the minimum, drop one element.
+        if value.len() > min {
+            let half = min + (value.len() - min) / 2;
+            if half < value.len() {
+                out.push(value[..half].to_vec());
+            }
+            let mut drop_last = value.clone();
+            drop_last.pop();
+            out.push(drop_last);
+            let mut drop_first = value.clone();
+            drop_first.remove(0);
+            out.push(drop_first);
+        }
+        // Element shrinks: first candidate per position.
+        for (i, v) in value.iter().enumerate() {
+            if let Some(smaller) = self.element.shrink(v).into_iter().next() {
+                let mut copy = value.clone();
+                copy[i] = smaller;
+                out.push(copy);
+            }
+        }
+        out
+    }
+}
+
+/// An order-preserving random subsequence of `items` whose size is drawn
+/// from `count` (inclusive bounds clamped to `items.len()`). Shrinks by
+/// dropping elements down to the minimum size.
+pub fn subsequence<T: Clone + Debug>(
+    items: Vec<T>,
+    count: std::ops::RangeInclusive<usize>,
+) -> Subsequence<T> {
+    let (lo, hi) = count.into_inner();
+    let hi = hi.min(items.len());
+    let lo = lo.min(hi);
+    Subsequence { items, lo, hi }
+}
+
+/// See [`subsequence`].
+pub struct Subsequence<T> {
+    items: Vec<T>,
+    lo: usize,
+    hi: usize,
+}
+
+impl<T: Clone + Debug> Strategy for Subsequence<T> {
+    type Value = Vec<T>;
+
+    fn generate(&self, rng: &mut SmallRng) -> Vec<T> {
+        let k = rng.gen_range(self.lo..=self.hi);
+        // Floyd's algorithm for a uniform k-subset, then restore order.
+        let n = self.items.len();
+        let mut picked: Vec<usize> = Vec::with_capacity(k);
+        for j in (n - k)..n {
+            let t = rng.gen_range(0..=j);
+            if picked.contains(&t) {
+                picked.push(j);
+            } else {
+                picked.push(t);
+            }
+        }
+        picked.sort_unstable();
+        picked.into_iter().map(|i| self.items[i].clone()).collect()
+    }
+
+    fn shrink(&self, value: &Vec<T>) -> Vec<Vec<T>> {
+        let mut out = Vec::new();
+        if value.len() > self.lo {
+            let half = self.lo + (value.len() - self.lo) / 2;
+            if half < value.len() {
+                out.push(value[..half].to_vec());
+            }
+            let mut drop_last = value.clone();
+            drop_last.pop();
+            out.push(drop_last);
+            let mut drop_first = value.clone();
+            drop_first.remove(0);
+            out.push(drop_first);
+        }
+        out
+    }
+}
+
+// ---- Tuple strategies ----------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($(($($S:ident / $idx:tt),+);)+) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+
+            fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut copy = value.clone();
+                        copy.$idx = cand;
+                        out.push(copy);
+                    }
+                )+
+                out
+            }
+        }
+    )+};
+}
+
+tuple_strategy! {
+    (A/0);
+    (A/0, B/1);
+    (A/0, B/1, C/2);
+    (A/0, B/1, C/2, D/3);
+    (A/0, B/1, C/2, D/3, E/4);
+    (A/0, B/1, C/2, D/3, E/4, F/5);
+}
+
+// ---- The runner ----------------------------------------------------------
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn parse_seed(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+/// Runs `test` against `cfg.cases` deterministically generated values of
+/// `strategy`, shrinking and panicking with a reproducible seed on the
+/// first failure. Prefer the [`forall!`](crate::forall) macro, which
+/// forwards here.
+///
+/// The per-case seed stream is derived from the test's name (the thread
+/// name under `cargo test`), so distinct properties explore decorrelated
+/// instances. `TRUTHCAST_SEED=<u64|0xHEX>` re-runs exactly one case with
+/// that seed; `TRUTHCAST_CASES=<n>` overrides the case count.
+#[track_caller]
+pub fn forall<S: Strategy>(cfg: Config, strategy: S, test: impl Fn(S::Value) -> CaseResult) {
+    let location = Location::caller();
+    let test_name = std::thread::current()
+        .name()
+        .unwrap_or("unnamed-property")
+        .to_string();
+
+    if let Some(seed) = std::env::var("TRUTHCAST_SEED")
+        .ok()
+        .as_deref()
+        .and_then(parse_seed)
+    {
+        run_one(&strategy, &test, &cfg, seed, 0, 1, location, &test_name);
+        return;
+    }
+
+    let cases = std::env::var("TRUTHCAST_CASES")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(cfg.cases);
+    let base = fnv1a(test_name.as_bytes());
+    for i in 0..cases {
+        let seed = mix_u64(base.wrapping_add(i as u64));
+        run_one(&strategy, &test, &cfg, seed, i, cases, location, &test_name);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_one<S: Strategy>(
+    strategy: &S,
+    test: &impl Fn(S::Value) -> CaseResult,
+    cfg: &Config,
+    seed: u64,
+    case_index: u32,
+    cases: u32,
+    location: &Location<'_>,
+    test_name: &str,
+) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let value = strategy.generate(&mut rng);
+    let Err(msg) = test(value.clone()) else {
+        return;
+    };
+
+    // Greedy shrink: take the first candidate that still fails, repeat.
+    let mut cur = value;
+    let mut cur_msg = msg;
+    let mut steps = 0u32;
+    'outer: while steps < cfg.max_shrink_steps {
+        for cand in strategy.shrink(&cur) {
+            steps += 1;
+            if let Err(m) = test(cand.clone()) {
+                cur = cand;
+                cur_msg = m;
+                continue 'outer;
+            }
+            if steps >= cfg.max_shrink_steps {
+                break 'outer;
+            }
+        }
+        break;
+    }
+
+    panic!(
+        "\n[truthcast-rt] property failed at {loc}\n  \
+         case {case}/{cases}, seed 0x{seed:016X}\n  \
+         reproduce: TRUTHCAST_SEED=0x{seed:016X} cargo test -q {name}\n  \
+         failure: {msg}\n  \
+         input (after {steps} shrink steps): {value:#?}\n",
+        loc = location,
+        case = case_index + 1,
+        cases = cases,
+        seed = seed,
+        name = test_name,
+        msg = cur_msg,
+        steps = steps,
+        value = cur,
+    );
+}
+
+/// Runs a property: `forall!(config, strategy, |value| { ... Ok(()) })`.
+///
+/// The closure receives one generated value (tuples destructure in the
+/// argument position) and returns a [`CaseResult`]; use
+/// [`prop_assert!`](crate::prop_assert) and friends inside.
+#[macro_export]
+macro_rules! forall {
+    ($cfg:expr, $strategy:expr, $test:expr $(,)?) => {
+        $crate::prop::forall($cfg, $strategy, $test)
+    };
+}
+
+/// Property-scoped assertion: returns `Err` from the enclosing case
+/// closure instead of panicking, so the runner can shrink and report.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond),
+                file!(),
+                line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {}: {} ({}:{})",
+                stringify!($cond),
+                format!($($fmt)+),
+                file!(),
+                line!()
+            ));
+        }
+    };
+}
+
+/// `prop_assert!(left == right)` with both values in the failure message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err(format!(
+                "assertion failed: {} == {}\n  left:  {:?}\n  right: {:?} ({}:{})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err(format!(
+                "assertion failed: {} == {}: {}\n  left:  {:?}\n  right: {:?} ({}:{})",
+                stringify!($left),
+                stringify!($right),
+                format!($($fmt)+),
+                l,
+                r,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+}
+
+/// `prop_assert!(left != right)` with the offending value in the message.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return Err(format!(
+                "assertion failed: {} != {}\n  both: {:?} ({}:{})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let counter = std::cell::Cell::new(0u32);
+        forall(cases(64), (0u64..100, bools()), |(x, _b)| {
+            counter.set(counter.get() + 1);
+            prop_assert!(x < 100);
+            Ok(())
+        });
+        assert_eq!(counter.get(), 64);
+    }
+
+    #[test]
+    fn failing_property_panics_with_seed_and_shrinks() {
+        let err = std::panic::catch_unwind(|| {
+            forall(cases(256), (0u64..1000,), |(x,)| {
+                prop_assert!(x < 500, "x = {x}");
+                Ok(())
+            });
+        })
+        .expect_err("property must fail");
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("panic payload is a String");
+        assert!(
+            msg.contains("TRUTHCAST_SEED=0x"),
+            "missing repro seed: {msg}"
+        );
+        // Greedy integer shrinking drives the witness to the boundary.
+        assert!(msg.contains("500"), "expected shrunk witness 500: {msg}");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_test() {
+        let collect = || {
+            let seen = std::cell::RefCell::new(Vec::new());
+            // Same strategy, same test thread => same stream.
+            forall(cases(16), (0u64..1_000_000,), |(x,)| {
+                seen.borrow_mut().push(x);
+                Ok(())
+            });
+            seen.into_inner()
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    fn vec_strategy_respects_length_and_shrinks_toward_min() {
+        forall(cases(64), (vec_of(0u64..50, 2..7),), |(v,)| {
+            prop_assert!((2..7).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 50));
+            Ok(())
+        });
+        let s = vec_of(0u64..50, 2..7);
+        let shrunk = s.shrink(&vec![9, 8, 7, 6, 5]);
+        assert!(shrunk.iter().all(|c| c.len() >= 2));
+        assert!(shrunk.iter().any(|c| c.len() < 5));
+    }
+
+    #[test]
+    fn subsequence_preserves_order_and_bounds() {
+        let items: Vec<u32> = (0..20).collect();
+        forall(cases(64), (subsequence(items, 3..=10),), |(sub,)| {
+            prop_assert!((3..=10).contains(&sub.len()));
+            prop_assert!(sub.windows(2).all(|w| w[0] < w[1]), "not ordered: {sub:?}");
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn one_of_covers_all_branches() {
+        let strat = one_of(vec![
+            (8, (0u64..10).boxed()),
+            (1, just(77u64).boxed()),
+            (1, just(99u64).boxed()),
+        ]);
+        let mut rng = SmallRng::seed_from_u64(123);
+        let mut small = false;
+        let (mut seventy_seven, mut ninety_nine) = (false, false);
+        for _ in 0..1000 {
+            match strat.generate(&mut rng) {
+                77 => seventy_seven = true,
+                99 => ninety_nine = true,
+                x => {
+                    assert!(x < 10);
+                    small = true;
+                }
+            }
+        }
+        assert!(small && seventy_seven && ninety_nine);
+    }
+
+    #[test]
+    fn flat_map_dependent_generation_holds_invariant() {
+        // n first, then an index < n: the dependent pair invariant.
+        let strat = (2usize..30).prop_flat_map(|n| (just(n), 0usize..n));
+        forall(cases(128), (strat,), |((n, i),)| {
+            prop_assert!(i < n, "i = {i}, n = {n}");
+            Ok(())
+        });
+    }
+}

@@ -11,13 +11,11 @@
 //!   II–III-E: a symmetric unit-disk topology with a scalar relay cost per
 //!   node (full-power transmission cost, or externally supplied costs).
 
-use rand::Rng;
+use truthcast_rt::Rng;
 
 use truthcast_graph::generators::{pairs_within_range, random_placement};
 use truthcast_graph::geometry::{Point, Region};
-use truthcast_graph::{
-    AdjacencyBuilder, Cost, LinkWeightedDigraph, NodeWeightedGraph,
-};
+use truthcast_graph::{AdjacencyBuilder, Cost, LinkWeightedDigraph, NodeWeightedGraph};
 
 use crate::power::RadioParams;
 
@@ -61,7 +59,11 @@ impl Deployment {
                 range: rng.gen_range(100.0..=500.0),
             })
             .collect();
-        Deployment { positions, radios, kappa }
+        Deployment {
+            positions,
+            radios,
+            kappa,
+        }
     }
 
     /// The directed link-weighted model: arc `i → j` iff `j` is within
@@ -108,20 +110,21 @@ impl Deployment {
     /// Node-cost model with each node's full-power transmission cost as its
     /// scalar relay cost (no power control).
     pub fn to_node_weighted_full_power(&self) -> NodeWeightedGraph {
-        let costs = self.radios.iter().map(|r| r.full_power_cost(self.kappa)).collect();
+        let costs = self
+            .radios
+            .iter()
+            .map(|r| r.full_power_cost(self.kappa))
+            .collect();
         self.to_node_weighted(costs)
     }
 
     /// Uniformly random scalar relay costs in `[lo, hi]` units — the
     /// "cost chosen independently and uniformly from a range" setting of
     /// the paper's conclusion.
-    pub fn random_node_costs(
-        &self,
-        lo: f64,
-        hi: f64,
-        rng: &mut impl Rng,
-    ) -> Vec<Cost> {
-        (0..self.num_nodes()).map(|_| Cost::from_f64(rng.gen_range(lo..=hi))).collect()
+    pub fn random_node_costs(&self, lo: f64, hi: f64, rng: &mut impl Rng) -> Vec<Cost> {
+        (0..self.num_nodes())
+            .map(|_| Cost::from_f64(rng.gen_range(lo..=hi)))
+            .collect()
     }
 }
 
@@ -145,10 +148,10 @@ pub fn resample_until(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
     use truthcast_graph::connectivity::is_connected;
     use truthcast_graph::NodeId;
+    use truthcast_rt::SeedableRng;
+    use truthcast_rt::SmallRng;
 
     #[test]
     fn sim1_has_symmetric_costs() {
@@ -169,9 +172,7 @@ mod tests {
         let d = Deployment::paper_sim2(80, 2.0, &mut rng);
         let g = d.to_link_digraph();
         // With independent per-node ranges, some arc must lack its reverse.
-        let one_way = g
-            .arcs()
-            .any(|(u, v, _)| g.arc_cost(v, u).is_inf());
+        let one_way = g.arcs().any(|(u, v, _)| g.arc_cost(v, u).is_inf());
         assert!(one_way, "expected at least one asymmetric link");
     }
 
@@ -180,8 +181,16 @@ mod tests {
         let d = Deployment {
             positions: vec![Point::new(0.0, 0.0), Point::new(150.0, 0.0)],
             radios: vec![
-                RadioParams { alpha: 0.0, beta: 1.0, range: 200.0 },
-                RadioParams { alpha: 0.0, beta: 1.0, range: 100.0 },
+                RadioParams {
+                    alpha: 0.0,
+                    beta: 1.0,
+                    range: 200.0,
+                },
+                RadioParams {
+                    alpha: 0.0,
+                    beta: 1.0,
+                    range: 100.0,
+                },
             ],
             kappa: 2.0,
         };
@@ -196,8 +205,16 @@ mod tests {
         let d = Deployment {
             positions: vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0)],
             radios: vec![
-                RadioParams { alpha: 0.0, beta: 1.0, range: 10.0 },
-                RadioParams { alpha: 0.0, beta: 1.0, range: 20.0 },
+                RadioParams {
+                    alpha: 0.0,
+                    beta: 1.0,
+                    range: 10.0,
+                },
+                RadioParams {
+                    alpha: 0.0,
+                    beta: 1.0,
+                    range: 20.0,
+                },
             ],
             kappa: 2.0,
         };

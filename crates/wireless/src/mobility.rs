@@ -11,7 +11,7 @@
 //! region and moves toward it at its own constant speed, choosing a fresh
 //! waypoint on arrival.
 
-use rand::Rng;
+use truthcast_rt::Rng;
 
 use truthcast_graph::geometry::{Point, Region};
 
@@ -39,14 +39,24 @@ impl RandomWaypoint {
         assert!(min_speed >= 0.0 && max_speed >= min_speed);
         let n = deployment.num_nodes();
         let waypoints = (0..n)
-            .map(|_| Point::new(rng.gen_range(0.0..=region.width), rng.gen_range(0.0..=region.height)))
+            .map(|_| {
+                Point::new(
+                    rng.gen_range(0.0..=region.width),
+                    rng.gen_range(0.0..=region.height),
+                )
+            })
             .collect();
-        let mut speeds: Vec<f64> =
-            (0..n).map(|_| rng.gen_range(min_speed..=max_speed)).collect();
+        let mut speeds: Vec<f64> = (0..n)
+            .map(|_| rng.gen_range(min_speed..=max_speed))
+            .collect();
         if !speeds.is_empty() {
             speeds[0] = 0.0; // the access point is fixed infrastructure
         }
-        RandomWaypoint { region, waypoints, speeds }
+        RandomWaypoint {
+            region,
+            waypoints,
+            speeds,
+        }
     }
 
     /// Advances every node by `dt` seconds, mutating the deployment's
@@ -90,9 +100,9 @@ impl RandomWaypoint {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
     use truthcast_graph::geometry::Region;
+    use truthcast_rt::SeedableRng;
+    use truthcast_rt::SmallRng;
 
     fn setup(seed: u64) -> (Deployment, RandomWaypoint, SmallRng) {
         let mut rng = SmallRng::seed_from_u64(seed);

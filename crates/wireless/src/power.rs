@@ -22,7 +22,11 @@ pub struct RadioParams {
 impl RadioParams {
     /// The paper's first simulation: pure path loss, common 300 m range
     /// (`cost = ‖v_i v_j‖^κ`).
-    pub const PAPER_SIM1: RadioParams = RadioParams { alpha: 0.0, beta: 1.0, range: 300.0 };
+    pub const PAPER_SIM1: RadioParams = RadioParams {
+        alpha: 0.0,
+        beta: 1.0,
+        range: 300.0,
+    };
 
     /// Transmission cost to a receiver at distance `dist` (m):
     /// `α + β·dist^κ`; [`Cost::INF`] beyond range.
@@ -58,7 +62,11 @@ mod tests {
 
     #[test]
     fn overhead_and_coefficient() {
-        let r = RadioParams { alpha: 300.0, beta: 10.0, range: 100.0 };
+        let r = RadioParams {
+            alpha: 300.0,
+            beta: 10.0,
+            range: 100.0,
+        };
         assert_eq!(r.transmit_cost(10.0, 2.0), Cost::from_units(300 + 10 * 100));
     }
 
@@ -78,7 +86,11 @@ mod tests {
 
     #[test]
     fn full_power_cost_uses_range() {
-        let r = RadioParams { alpha: 5.0, beta: 2.0, range: 3.0 };
+        let r = RadioParams {
+            alpha: 5.0,
+            beta: 2.0,
+            range: 3.0,
+        };
         assert_eq!(r.full_power_cost(2.0), Cost::from_units(5 + 2 * 9));
     }
 

@@ -4,7 +4,7 @@
 //! are per packet (`s · p_i^k` for an `s`-packet session). These generators
 //! produce session workloads for the protocol simulations.
 
-use rand::Rng;
+use truthcast_rt::Rng;
 
 use truthcast_graph::NodeId;
 
@@ -52,14 +52,19 @@ fn geometric(mean: f64, rng: &mut impl Rng) -> u64 {
 /// One session from every non-AP node — the paper's all-to-AP evaluation
 /// pattern (each node computes its payment to the access point).
 pub fn all_to_ap_sessions(n: usize, packets: u64) -> Vec<Session> {
-    (1..n).map(|i| Session { source: NodeId::new(i), packets }).collect()
+    (1..n)
+        .map(|i| Session {
+            source: NodeId::new(i),
+            packets,
+        })
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use truthcast_rt::SeedableRng;
+    use truthcast_rt::SmallRng;
 
     #[test]
     fn sources_exclude_access_point() {
@@ -83,7 +88,19 @@ mod tests {
     fn all_to_ap_covers_every_node_once() {
         let s = all_to_ap_sessions(4, 3);
         assert_eq!(s.len(), 3);
-        assert_eq!(s[0], Session { source: NodeId(1), packets: 3 });
-        assert_eq!(s[2], Session { source: NodeId(3), packets: 3 });
+        assert_eq!(
+            s[0],
+            Session {
+                source: NodeId(1),
+                packets: 3
+            }
+        );
+        assert_eq!(
+            s[2],
+            Session {
+                source: NodeId(3),
+                packets: 3
+            }
+        );
     }
 }

@@ -9,16 +9,13 @@
 //!    the paper's critique, measured as delivery collapse.
 //! 2. **Nisan–Ronen edge agents**: the same network billed per edge.
 
-use truthcast::core::{fixed_price_route, naive_edge_payments, fast_payments};
+use truthcast::core::{fast_payments, fixed_price_route, naive_edge_payments};
 use truthcast::experiments::baseline_exp::{tariff_sweep, tariff_table};
 use truthcast::graph::{Cost, NodeId, NodeWeightedGraph};
 
 fn main() {
     // ---- A toy instance first: watch a relay refuse. --------------------
-    let g = NodeWeightedGraph::from_pairs_units(
-        &[(0, 1), (1, 3), (0, 2), (2, 3)],
-        &[0, 2, 7, 0],
-    );
+    let g = NodeWeightedGraph::from_pairs_units(&[(0, 1), (1, 3), (0, 2), (2, 3)], &[0, 2, 7, 0]);
     println!("Diamond with relay costs 2 and 7, tariff 5:");
     let out = fixed_price_route(&g, NodeId(3), NodeId(0), Cost::from_units(5));
     println!(

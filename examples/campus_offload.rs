@@ -10,8 +10,8 @@
 //! through signed, pay-on-acknowledgment settlement, and then compares
 //! every relay's earnings against the battery it burned.
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use truthcast_rt::SeedableRng;
+use truthcast_rt::SmallRng;
 
 use truthcast::graph::{Cost, NodeId};
 use truthcast::protocol::{run_honest_session, Bank, Pki, SessionError};
@@ -66,13 +66,20 @@ fn main() {
             Err(e) => panic!("unexpected session failure: {e:?}"),
         }
     }
-    println!("{delivered} packets delivered across {} sessions ({failures} unroutable)", sessions.len());
+    println!(
+        "{delivered} packets delivered across {} sessions ({failures} unroutable)",
+        sessions.len()
+    );
     assert!(bank.is_conserved());
 
     // Every relay's economics: relay *credits* cover the battery it burned
     // (its own sessions' charges are a separate matter — it chose to send).
     let relay_credit = |v: NodeId| -> i128 {
-        bank.log().iter().filter(|t| t.to == v).map(|t| t.amount as i128).sum()
+        bank.log()
+            .iter()
+            .filter(|t| t.to == v)
+            .map(|t| t.amount as i128)
+            .sum()
     };
     let mut active = 0;
     let mut profitable = 0;

@@ -91,7 +91,11 @@ fn main() {
         println!(
             "  {:<14} {}  — {}",
             report.attack,
-            if report.defended { "DEFENDED" } else { "BREACHED" },
+            if report.defended {
+                "DEFENDED"
+            } else {
+                "BREACHED"
+            },
             report.detail
         );
         assert!(report.defended);

@@ -48,7 +48,10 @@ fn main() {
         pay.rounds
     );
     assert_eq!(pay.total(NodeId(1)), central.total_payment());
-    println!("  matches centralized Algorithm 1: {}", central.total_payment());
+    println!(
+        "  matches centralized Algorithm 1: {}",
+        central.total_payment()
+    );
 
     // ---- The Figure 2 lie under the naive protocol. ---------------------
     let lying_spt = run_spt_stage(&g, ap, &HiddenLinks::single(NodeId(1), NodeId(4)), 30);

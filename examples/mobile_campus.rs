@@ -9,8 +9,8 @@
 //! The final network state is rendered to `mobile_campus.svg` with the
 //! farthest node's priced route highlighted.
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use truthcast_rt::SeedableRng;
+use truthcast_rt::SmallRng;
 
 use truthcast::core::fast_payments;
 use truthcast::experiments::mobility_exp::{mobility_table, run_mobility};
@@ -51,7 +51,13 @@ fn main() {
         pricing.lcp_cost
     );
 
-    let svg = render_deployment(&deployment, Region::PAPER, &g, Some(&pricing), SvgOptions::default());
+    let svg = render_deployment(
+        &deployment,
+        Region::PAPER,
+        &g,
+        Some(&pricing),
+        SvgOptions::default(),
+    );
     std::fs::write("mobile_campus.svg", &svg).expect("write svg");
     println!("Wrote mobile_campus.svg ({} bytes).", svg.len());
 }

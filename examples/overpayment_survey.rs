@@ -12,17 +12,36 @@ fn main() {
     let sizes = [100, 200, 300];
     let instances = 10;
 
-    let udg = run_sweep(NetworkModel::UdgPathLoss { kappa: 2.0 }, &sizes, instances, 1);
+    let udg = run_sweep(
+        NetworkModel::UdgPathLoss { kappa: 2.0 },
+        &sizes,
+        instances,
+        1,
+    );
     println!("{}", size_table("UDG, κ = 2 (Figure 3(a)/(b) shape)", &udg));
     for row in &udg {
         assert!(row.mean_ior >= 1.0 && row.mean_ior < 4.0);
         assert!((row.mean_ior - row.mean_tor).abs() < 0.6, "IOR ≈ TOR");
     }
 
-    let vr = run_sweep(NetworkModel::VariableRange { kappa: 2.0 }, &sizes, instances, 2);
-    println!("{}", size_table("Variable-range random graph, κ = 2 (Figure 3(e) shape)", &vr));
+    let vr = run_sweep(
+        NetworkModel::VariableRange { kappa: 2.0 },
+        &sizes,
+        instances,
+        2,
+    );
+    println!(
+        "{}",
+        size_table(
+            "Variable-range random graph, κ = 2 (Figure 3(e) shape)",
+            &vr
+        )
+    );
 
     let hops = run_hop_profile(NetworkModel::UdgPathLoss { kappa: 2.0 }, 200, instances, 3);
-    println!("{}", hop_table("Overpayment by hop distance (Figure 3(d) shape)", &hops));
+    println!(
+        "{}",
+        hop_table("Overpayment by hop distance (Figure 3(d) shape)", &hops)
+    );
     println!("Expect: average ratio flat in hop distance; max ratio decaying.");
 }

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 verification (see ROADMAP.md): the workspace must build, test,
+# and stay formatted on a cold, offline checkout — no network, no
+# registry cache, no external crates.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "ci.sh: all green"

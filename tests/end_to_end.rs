@@ -1,8 +1,8 @@
 //! Cross-crate integration: wireless deployment → pricing → distributed
 //! protocol → settlement, all agreeing with each other.
 
-use rand::rngs::SmallRng;
-use rand::{RngCore, SeedableRng};
+use truthcast_rt::SmallRng;
+use truthcast_rt::{RngCore, SeedableRng};
 
 use truthcast::core::{fast_payments, naive_payments};
 use truthcast::distsim::convergence_report;
@@ -43,7 +43,10 @@ fn distributed_protocol_agrees_with_centralized_on_deployments() {
     for seed in 10..13 {
         let g = connected_instance(70, seed);
         let report = convergence_report(&g, NodeId(0));
-        assert_eq!(report.agreeing_sources, report.compared_sources, "seed {seed}: {report:?}");
+        assert_eq!(
+            report.agreeing_sources, report.compared_sources,
+            "seed {seed}: {report:?}"
+        );
         assert!(report.spt_rounds <= g.num_nodes() + 1);
         assert!(report.payment_rounds <= g.num_nodes() + 1);
     }
@@ -77,13 +80,25 @@ fn full_settlement_day_conserves_money_and_covers_relays() {
 
     let mut settled = 0usize;
     for (id, session) in all_to_ap_sessions(n, 3).iter().enumerate() {
-        if run_honest_session(&g, NodeId(0), session, id as u64, &pki, &mut bank, &mut energy)
-            .is_ok()
+        if run_honest_session(
+            &g,
+            NodeId(0),
+            session,
+            id as u64,
+            &pki,
+            &mut bank,
+            &mut energy,
+        )
+        .is_ok()
         {
             settled += 1;
         }
     }
-    assert_eq!(settled, n - 1, "all sessions settle on a biconnected network");
+    assert_eq!(
+        settled,
+        n - 1,
+        "all sessions settle on a biconnected network"
+    );
     assert!(bank.is_conserved());
 
     // Relay credits always cover the energy each relay burned (IR realized
@@ -93,10 +108,17 @@ fn full_settlement_day_conserves_money_and_covers_relays() {
         if relayed == 0 {
             continue;
         }
-        let credit: i128 =
-            bank.log().iter().filter(|t| t.to == v).map(|t| t.amount as i128).sum();
+        let credit: i128 = bank
+            .log()
+            .iter()
+            .filter(|t| t.to == v)
+            .map(|t| t.amount as i128)
+            .sum();
         let burned = (g.cost(v).micros() * relayed) as i128;
-        assert!(credit >= burned, "relay {v}: credit {credit} < burned {burned}");
+        assert!(
+            credit >= burned,
+            "relay {v}: credit {credit} < burned {burned}"
+        );
     }
 }
 

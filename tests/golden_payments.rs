@@ -1,0 +1,116 @@
+//! Golden end-to-end payments: three hand-checkable topologies with the
+//! LCP route and every per-node payment pinned to exact fixed-point
+//! values worked out from the paper's formula
+//! `p_k = ‖P(s,t,d|^k ∞)‖ − ‖P(s,t,d)‖ + d_k` (§III-B).
+//!
+//! These are regression anchors: any change to path selection,
+//! tie-breaking, or payment arithmetic that moves a single micro-unit
+//! fails here with a readable diff.
+
+use truthcast::core::{fast_payments, naive_payments};
+use truthcast::graph::{Cost, NodeId, NodeWeightedGraph};
+
+fn units(u: u64) -> Cost {
+    Cost::from_units(u)
+}
+
+/// Diamond: two disjoint 2-hop routes 0→3.
+///
+/// ```text
+///       1 (cost 5)
+///      / \
+///     0   3        costs: [0, 5, 7, 0]
+///      \ /
+///       2 (cost 7)
+/// ```
+///
+/// LCP is 0-1-3 at cost 5; evicting relay 1 forces the cost-7 route, so
+/// `p_1 = 7 − 5 + 5 = 7`.
+#[test]
+fn golden_diamond() {
+    let g = NodeWeightedGraph::from_pairs_units(&[(0, 1), (0, 2), (1, 3), (2, 3)], &[0, 5, 7, 0]);
+    let p = fast_payments(&g, NodeId(0), NodeId(3)).expect("connected");
+
+    assert_eq!(p.path, vec![NodeId(0), NodeId(1), NodeId(3)]);
+    assert_eq!(p.lcp_cost, units(5));
+    assert_eq!(p.payments, vec![(NodeId(1), units(7))]);
+    assert_eq!(p.total_payment(), units(7));
+    assert!(!p.has_monopoly());
+    assert_eq!(
+        fast_payments(&g, NodeId(0), NodeId(3)),
+        naive_payments(&g, NodeId(0), NodeId(3))
+    );
+}
+
+/// Two-relay chain with one expensive detour.
+///
+/// ```text
+///     0 - 1 - 2 - 4      costs: c1 = 2, c2 = 3
+///      \         /
+///       --- 3 ---         c3 = 10 (endpoints cost 0)
+/// ```
+///
+/// LCP is 0-1-2-4 at cost 5. Evicting either relay forces the detour of
+/// cost 10, so `p_1 = 10 − 5 + 2 = 7` and `p_2 = 10 − 5 + 3 = 8`: both
+/// relays receive the same markup `10 − 5 = 5` over their declared cost,
+/// and the source overpays the LCP by exactly 2 × 5.
+#[test]
+fn golden_chain_with_detour() {
+    let g = NodeWeightedGraph::from_pairs_units(
+        &[(0, 1), (1, 2), (2, 4), (0, 3), (3, 4)],
+        &[0, 2, 3, 10, 0],
+    );
+    let p = fast_payments(&g, NodeId(0), NodeId(4)).expect("connected");
+
+    assert_eq!(p.path, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(4)]);
+    assert_eq!(p.lcp_cost, units(5));
+    assert_eq!(
+        p.payments,
+        vec![(NodeId(1), units(7)), (NodeId(2), units(8))]
+    );
+    assert_eq!(p.payment_to(NodeId(1)), units(7));
+    assert_eq!(p.payment_to(NodeId(2)), units(8));
+    assert_eq!(p.total_payment(), units(15));
+    assert!(!p.has_monopoly());
+    assert_eq!(
+        fast_payments(&g, NodeId(0), NodeId(4)),
+        naive_payments(&g, NodeId(0), NodeId(4))
+    );
+}
+
+/// Bridge monopoly: two triangles sharing the articulation node 2.
+///
+/// ```text
+///     0 --- 1         3 --- 4
+///      \   /    \    /   /
+///       \ /      2 ------         costs: [0, 1, 2, 1, 0]
+///        +------/
+/// ```
+///
+/// Edges: (0,1), (0,2), (1,2), (2,3), (2,4), (3,4). Node 2 is a cut
+/// vertex between {0,1} and {3,4}: every 0→4 route crosses it, so its
+/// replacement path cost is infinite and the VCG payment is unbounded —
+/// the paper's monopoly case, surfaced as [`Cost::INF`].
+#[test]
+fn golden_bridge_monopoly() {
+    let g = NodeWeightedGraph::from_pairs_units(
+        &[(0, 1), (0, 2), (1, 2), (2, 3), (2, 4), (3, 4)],
+        &[0, 1, 2, 1, 0],
+    );
+    let p = fast_payments(&g, NodeId(0), NodeId(4)).expect("connected");
+
+    assert_eq!(p.path, vec![NodeId(0), NodeId(2), NodeId(4)]);
+    assert_eq!(p.lcp_cost, units(2));
+    assert_eq!(p.payments.len(), 1);
+    assert_eq!(p.payments[0].0, NodeId(2));
+    assert!(
+        p.payments[0].1.is_inf(),
+        "articulation relay must be a monopoly"
+    );
+    assert!(p.has_monopoly());
+    assert_eq!(p.total_payment(), Cost::INF);
+    assert_eq!(
+        fast_payments(&g, NodeId(0), NodeId(4)),
+        naive_payments(&g, NodeId(0), NodeId(4))
+    );
+}

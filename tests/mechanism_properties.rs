@@ -2,17 +2,14 @@
 //! strategyproofness where the paper proves it, exploitability where the
 //! paper proves that.
 
-use rand::rngs::SmallRng;
-use rand::{RngCore, SeedableRng};
+use truthcast_rt::SmallRng;
+use truthcast_rt::{RngCore, SeedableRng};
 
 use truthcast::core::impossibility::theorem7_witness;
 use truthcast::core::{fast_payments, Engine, NeighborhoodUnicast, VcgUnicast};
 use truthcast::graph::connectivity::is_biconnected;
 use truthcast::graph::{Cost, NodeId};
-use truthcast::mechanism::{
-    check_incentive_compatibility, check_individual_rationality, Profile,
-};
-
+use truthcast::mechanism::{check_incentive_compatibility, check_individual_rationality, Profile};
 
 /// A biconnected wireless deployment with random costs, as
 /// (topology, truth profile). The paper's 2000 m × 2000 m region is far
@@ -57,7 +54,11 @@ fn vcg_unicast_is_strategyproof_on_wireless_instances() {
             Ok(()),
             "seed {seed}"
         );
-        assert_eq!(check_individual_rationality(&mech, &truth), Ok(()), "seed {seed}");
+        assert_eq!(
+            check_individual_rationality(&mech, &truth),
+            Ok(()),
+            "seed {seed}"
+        );
     }
 }
 
@@ -76,7 +77,10 @@ fn theorem7_witnesses_exist_on_wireless_instances() {
             found += 1;
         }
     }
-    assert!(found >= 3, "pair collusion should be common on VCG ({found}/6)");
+    assert!(
+        found >= 3,
+        "pair collusion should be common on VCG ({found}/6)"
+    );
 }
 
 #[test]
@@ -102,7 +106,11 @@ fn neighborhood_scheme_is_strategyproof_per_agent() {
             Ok(()),
             "seed {seed}"
         );
-        assert_eq!(check_individual_rationality(&mech, &truth), Ok(()), "seed {seed}");
+        assert_eq!(
+            check_individual_rationality(&mech, &truth),
+            Ok(()),
+            "seed {seed}"
+        );
     }
 }
 

@@ -33,7 +33,12 @@ fn figure2_payment_is_six_honest_and_lower_when_lying() {
     let honest = run_payment_stage(&g, &honest_spt, 30);
     assert_eq!(honest.total(NodeId(1)), Cost::from_units(6));
 
-    let lying_spt = run_spt_stage(&g, NodeId(0), &HiddenLinks::single(NodeId(1), NodeId(4)), 30);
+    let lying_spt = run_spt_stage(
+        &g,
+        NodeId(0),
+        &HiddenLinks::single(NodeId(1), NodeId(4)),
+        30,
+    );
     let lying = run_payment_stage(&g, &lying_spt, 30);
     assert!(lying.total(NodeId(1)) < honest.total(NodeId(1)));
 }

@@ -1,12 +1,10 @@
 //! Moderate-scale differential checks: the fast algorithms against their
 //! oracles on realistic-size wireless networks.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use truthcast_rt::SmallRng;
+use truthcast_rt::{Rng, SeedableRng};
 
-use truthcast::core::{
-    directed_payments, fast_payments, fast_symmetric_payments, naive_payments,
-};
+use truthcast::core::{directed_payments, fast_payments, fast_symmetric_payments, naive_payments};
 use truthcast::graph::generators::random_udg;
 use truthcast::graph::geometry::Region;
 use truthcast::graph::{Cost, LinkWeightedDigraph, NodeId, NodeWeightedGraph};
@@ -19,8 +17,9 @@ fn dense_udg(n: usize, seed: u64) -> (NodeWeightedGraph, LinkWeightedDigraph) {
         if !truthcast::graph::connectivity::is_connected(&adj) {
             continue;
         }
-        let costs: Vec<Cost> =
-            (0..n).map(|_| Cost::from_f64(rng.gen_range(1.0..50.0))).collect();
+        let costs: Vec<Cost> = (0..n)
+            .map(|_| Cost::from_f64(rng.gen_range(1.0..50.0)))
+            .collect();
         let g = NodeWeightedGraph::new(adj.clone(), costs);
         let arcs: Vec<_> = adj
             .edges()
@@ -79,6 +78,10 @@ fn long_path_graph_payments_are_exact() {
     let s = NodeId(0);
     let t = NodeId(2 * len - 1);
     let fast = fast_payments(&g, s, t).unwrap();
-    assert!(fast.hops() >= 100, "long path expected, got {}", fast.hops());
+    assert!(
+        fast.hops() >= 100,
+        "long path expected, got {}",
+        fast.hops()
+    );
     assert_eq!(Some(fast), naive_payments(&g, s, t));
 }
