@@ -1,0 +1,61 @@
+//! Cost of the observability layer on the hottest path.
+//!
+//! `truthcast-obs` promises that disabled-mode instrumentation costs one
+//! relaxed atomic load per entry point plus local integer arithmetic —
+//! the `fast_payments` median must stay within noise of an uninstrumented
+//! build. The enabled-mode rows quantify what a traced run pays (lock
+//! acquisitions at sweep boundaries plus audit-record construction).
+
+use truthcast_rt::bench::{black_box, Harness};
+use truthcast_rt::{Rng, SeedableRng, SmallRng};
+
+use truthcast_core::fast_payments;
+use truthcast_graph::generators::random_udg;
+use truthcast_graph::geometry::Region;
+use truthcast_graph::{Cost, NodeId, NodeWeightedGraph};
+
+fn instance(n: usize, seed: u64) -> (NodeWeightedGraph, NodeId, NodeId) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let side = (n as f64 * 300.0 * 300.0 * std::f64::consts::PI / 12.0).sqrt();
+    loop {
+        let (points, adj) = random_udg(n, Region::new(side, side), 300.0, &mut rng);
+        if !truthcast_graph::connectivity::is_connected(&adj) {
+            continue;
+        }
+        let costs: Vec<Cost> = (0..n)
+            .map(|_| Cost::from_f64(rng.gen_range(1.0..100.0)))
+            .collect();
+        let g = NodeWeightedGraph::new(adj, costs);
+        let key = |i: usize| points[i].x + points[i].y;
+        let s = (0..n)
+            .min_by(|&a, &b| key(a).partial_cmp(&key(b)).unwrap())
+            .unwrap();
+        let t = (0..n)
+            .max_by(|&a, &b| key(a).partial_cmp(&key(b)).unwrap())
+            .unwrap();
+        if s != t {
+            return (g, NodeId::new(s), NodeId::new(t));
+        }
+    }
+}
+
+fn main() {
+    let mut h = Harness::new("obs_overhead");
+    for &n in &[128usize, 512] {
+        let (g, s, t) = instance(n, 0xBEEF + n as u64);
+
+        truthcast_obs::disable();
+        h.bench(format!("fast_payments_disabled/{n}"), || {
+            black_box(fast_payments(&g, s, t))
+        });
+
+        truthcast_obs::enable();
+        h.bench(format!("fast_payments_enabled/{n}"), || {
+            black_box(fast_payments(&g, s, t))
+        });
+        // Keep the collector from accumulating across timing samples.
+        truthcast_obs::reset();
+        truthcast_obs::disable();
+    }
+    h.finish();
+}

@@ -33,6 +33,7 @@ use truthcast_mechanism::vcg::vcg_payment_selected;
 
 use crate::levels::{compute_levels, PathLevels, UNREACHED};
 use crate::pricing::UnicastPricing;
+use crate::trace::audit_unicast;
 
 /// Prices a unicast with the per-relay-removal VCG scheme using
 /// Algorithm 1. Semantically identical to
@@ -58,6 +59,7 @@ pub fn fast_payments(
     target: NodeId,
 ) -> Option<UnicastPricing> {
     assert_ne!(source, target, "unicast endpoints must differ");
+    let _span = truthcast_obs::span("core.fast_payments");
     let ti = node_dijkstra(g, source, NodeDijkstraOptions::default());
     let spt = Spt::from_parents(source, &ti.parent);
     let lv = compute_levels(&spt, target)?;
@@ -73,11 +75,21 @@ pub fn fast_payments(
     let tj = node_dijkstra(g, target, NodeDijkstraOptions::default());
 
     let replacements = replacement_costs(g, &ti.dist, &tj.dist, &lv);
-    let payments = lv.path[1..s]
+    let payments: Vec<(NodeId, Cost)> = lv.path[1..s]
         .iter()
-        .zip(replacements)
-        .map(|(&r, repl)| (r, vcg_payment_selected(lcp_cost, repl, g.cost(r))))
+        .zip(&replacements)
+        .map(|(&r, &repl)| (r, vcg_payment_selected(lcp_cost, repl, g.cost(r))))
         .collect();
+    audit_unicast(
+        "fast",
+        source,
+        target,
+        lcp_cost,
+        payments
+            .iter()
+            .zip(&replacements)
+            .map(|(&(r, p), &repl)| (r, repl, g.cost(r), p)),
+    );
 
     Some(UnicastPricing {
         path: lv.path,
@@ -111,6 +123,10 @@ pub fn replacement_costs(
 ) -> Vec<Cost> {
     let s = lv.hops();
     let n = g.num_nodes();
+    // Replacement-path work counters, batched and flushed once at the end
+    // (see the truthcast-obs cost model).
+    let mut obs_members = 0u64;
+    let mut obs_restricted_pops = 0u64;
 
     // ---- Level-set entry candidates c^{-l} (steps 3–4). -----------------
     // Group off-path nodes by level; levels are independent of each other
@@ -133,6 +149,7 @@ pub fn replacement_costs(
         if members.is_empty() {
             continue;
         }
+        obs_members += members.len() as u64;
         let lu = l as u32;
         // Seed each member from its strictly-higher-level neighbors:
         // D(k) = c_k + min R'(a). (R' of the target itself is 0, so a
@@ -153,6 +170,7 @@ pub fn replacement_costs(
         }
         // Restricted Dijkstra inside the level set.
         while let Some((kk, dk)) = heap.pop_min() {
+            obs_restricted_pops += 1;
             let k = NodeId(kk);
             if dk > d_val[k.index()] {
                 continue; // stale (cannot happen with IndexedHeap, but cheap)
@@ -239,6 +257,13 @@ pub fn replacement_costs(
         }
         let best_cross = window.peek().map_or(Cost::INF, |(_, v)| v);
         out.push(best_cross.min(c_min[l]));
+    }
+    if truthcast_obs::enabled() {
+        let c = truthcast_obs::collector();
+        c.add("core.fast.replacement_passes", 1);
+        c.add("core.fast.level_set_members", obs_members);
+        c.add("core.fast.restricted_pops", obs_restricted_pops);
+        c.add("core.fast.cross_edges", cross.len() as u64);
     }
     out
 }

@@ -44,6 +44,7 @@ pub mod naive;
 pub mod overpayment;
 pub mod pricing;
 pub mod resale;
+pub mod trace;
 
 pub use baselines::{compare_fixed_vs_vcg, fixed_price_route, FixedPriceOutcome, SchemeComparison};
 pub use collusion_resistant::{

@@ -12,6 +12,7 @@ use truthcast_graph::{Cost, NodeId, NodeWeightedGraph};
 use truthcast_mechanism::vcg::vcg_payment_selected;
 
 use crate::pricing::UnicastPricing;
+use crate::trace::audit_unicast;
 
 /// Prices a unicast with the per-relay-removal VCG scheme, recomputing a
 /// full node-avoiding shortest path per relay.
@@ -25,6 +26,7 @@ pub fn naive_payments(
     target: NodeId,
 ) -> Option<UnicastPricing> {
     assert_ne!(source, target, "unicast endpoints must differ");
+    let _span = truthcast_obs::span("core.naive_payments");
     let table = node_dijkstra(
         g,
         source,
@@ -38,6 +40,7 @@ pub fn naive_payments(
 
     let mut mask = NodeMask::new(g.num_nodes());
     let mut payments = Vec::with_capacity(path.len().saturating_sub(2));
+    let mut replacements = Vec::with_capacity(path.len().saturating_sub(2));
     for &relay in &path[1..path.len() - 1] {
         mask.clear();
         mask.block(relay);
@@ -50,11 +53,23 @@ pub fn naive_payments(
             },
         );
         let replacement = avoiding.lcp_cost(g, target);
+        replacements.push(replacement);
         payments.push((
             relay,
             vcg_payment_selected(lcp_cost, replacement, g.cost(relay)),
         ));
     }
+    truthcast_obs::add("core.naive.replacement_sweeps", replacements.len() as u64);
+    audit_unicast(
+        "naive",
+        source,
+        target,
+        lcp_cost,
+        payments
+            .iter()
+            .zip(&replacements)
+            .map(|(&(r, p), &repl)| (r, repl, g.cost(r), p)),
+    );
 
     Some(UnicastPricing {
         path,

@@ -1,0 +1,58 @@
+//! Glue between the payment algorithms and the `truthcast-obs` audit
+//! trail.
+//!
+//! Each priced relay yields one [`truthcast_obs::PaymentAudit`] capturing
+//! the LCP cost `‖P‖`, the replacement cost `‖P_{-v_k}‖`, the declared
+//! cost `d_k`, and the payment the algorithm assigned — enough for a
+//! trace consumer to mechanically re-derive and verify every payment
+//! (`p^k = ‖P_{-v_k}‖ − ‖P‖ + d_k`).
+
+use truthcast_graph::{Cost, NodeId};
+use truthcast_obs::PaymentAudit;
+
+/// Emits one audit record per relay of a priced unicast. The caller
+/// supplies the replacement cost alongside each `(relay, payment)` pair;
+/// `Cost` maps to micro-units directly (`Cost::INF` → the obs sentinel).
+///
+/// No-op (and allocation-free) while tracing is disabled.
+pub fn audit_unicast<'a>(
+    algo: &'static str,
+    source: NodeId,
+    target: NodeId,
+    lcp_cost: Cost,
+    relays: impl IntoIterator<Item = (NodeId, Cost, Cost, Cost)> + 'a,
+) {
+    if !truthcast_obs::enabled() {
+        return;
+    }
+    let collector = truthcast_obs::collector();
+    for (relay, replacement, declared, payment) in relays {
+        collector.audit(PaymentAudit {
+            algo,
+            source: source.0,
+            target: target.0,
+            relay: relay.0,
+            lcp_cost_micros: lcp_cost.micros(),
+            replacement_cost_micros: replacement.micros(),
+            declared_cost_micros: declared.micros(),
+            payment_micros: payment.micros(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_audit_is_inert() {
+        // Must not panic or allocate records into the global collector.
+        audit_unicast(
+            "test",
+            NodeId(0),
+            NodeId(1),
+            Cost::ZERO,
+            [(NodeId(2), Cost::INF, Cost::ZERO, Cost::INF)],
+        );
+    }
+}

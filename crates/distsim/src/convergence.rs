@@ -19,11 +19,15 @@ pub struct DistributedRun {
     pub payments: PaymentResult,
 }
 
-/// Runs both honest stages to quiescence.
+/// Runs both honest stages to quiescence, routing each stage's
+/// [`crate::EngineStats`] through the `truthcast-obs` collector.
 pub fn run_distributed(g: &NodeWeightedGraph, ap: NodeId) -> DistributedRun {
+    let _span = truthcast_obs::span("distsim.run_distributed");
     let bound = 4 * g.num_nodes() + 8;
     let spt = run_spt_stage(g, ap, &HiddenLinks::none(), bound);
     let payments = run_payment_stage(g, &spt, bound);
+    spt.stats.record("distsim.spt");
+    payments.stats.record("distsim.payment");
     DistributedRun { spt, payments }
 }
 
@@ -46,7 +50,31 @@ pub struct ConvergenceReport {
 /// payment equality; route ties are tolerated because equal-cost routes
 /// yield equal totals only when payments agree).
 pub fn convergence_report(g: &NodeWeightedGraph, ap: NodeId) -> ConvergenceReport {
+    convergence_report_on(g, ap, "adhoc")
+}
+
+/// [`convergence_report`] with a topology label: under tracing, each
+/// stage's rounds-to-quiescence land in per-topology histograms
+/// (`distsim.convergence.spt_rounds/<topology>` and
+/// `…payment_rounds/<topology>`), so a sweep over network families yields
+/// one convergence distribution per family from a single traced run.
+pub fn convergence_report_on(
+    g: &NodeWeightedGraph,
+    ap: NodeId,
+    topology: &str,
+) -> ConvergenceReport {
     let run = run_distributed(g, ap);
+    if truthcast_obs::enabled() {
+        let c = truthcast_obs::collector();
+        c.observe(
+            &format!("distsim.convergence.spt_rounds/{topology}"),
+            run.spt.rounds as u64,
+        );
+        c.observe(
+            &format!("distsim.convergence.payment_rounds/{topology}"),
+            run.payments.rounds as u64,
+        );
+    }
     let mut agreeing = 0usize;
     let mut compared = 0usize;
     for i in g.node_ids() {

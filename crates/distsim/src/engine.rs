@@ -7,6 +7,8 @@
 //! models both primitives, counts traffic, and delivers messages in
 //! deterministic (sender-id) order so simulations are reproducible.
 
+use std::collections::VecDeque;
+
 use truthcast_graph::{Adjacency, NodeId};
 
 /// Traffic accounting for a protocol run.
@@ -24,6 +26,24 @@ pub struct EngineStats {
     pub deliveries: usize,
 }
 
+impl EngineStats {
+    /// Routes the run's traffic totals into the `truthcast-obs` collector
+    /// under `stage` (e.g. `"distsim.spt"`): four counters plus a
+    /// rounds-per-run histogram. No-op while tracing is disabled.
+    pub fn record(&self, stage: &str) {
+        if !truthcast_obs::enabled() {
+            return;
+        }
+        let c = truthcast_obs::collector();
+        c.add(&format!("{stage}.runs"), 1);
+        c.add(&format!("{stage}.rounds"), self.rounds as u64);
+        c.add(&format!("{stage}.broadcasts"), self.broadcasts as u64);
+        c.add(&format!("{stage}.directs"), self.directs as u64);
+        c.add(&format!("{stage}.deliveries"), self.deliveries as u64);
+        c.observe(&format!("{stage}.rounds_per_run"), self.rounds as u64);
+    }
+}
+
 /// The message router: per-node inboxes for the current round and delayed
 /// delivery buckets for future rounds.
 ///
@@ -38,8 +58,9 @@ pub struct RoundEngine<M> {
     adj: Adjacency,
     inboxes: Vec<Vec<(NodeId, M)>>,
     /// `future[d]` holds messages due `d + 1` deliveries from now, as
-    /// `(to, from, msg)`.
-    future: Vec<Vec<(NodeId, NodeId, M)>>,
+    /// `(to, from, msg)`; a ring of `max_delay` buckets rotated by
+    /// [`RoundEngine::deliver_round`] in `O(1)`.
+    future: VecDeque<Vec<(NodeId, NodeId, M)>>,
     max_delay: usize,
     /// Deterministic jitter state (splitmix-style); `None` = synchronous.
     jitter: Option<u64>,
@@ -55,7 +76,7 @@ impl<M: Clone> RoundEngine<M> {
         RoundEngine {
             adj,
             inboxes: (0..n).map(|_| Vec::new()).collect(),
-            future: vec![Vec::new()],
+            future: VecDeque::from([Vec::new()]),
             max_delay: 1,
             jitter: None,
             stats: EngineStats::default(),
@@ -132,8 +153,8 @@ impl<M: Clone> RoundEngine<M> {
             return false;
         }
         self.stats.rounds += 1;
-        let due = self.future.remove(0);
-        self.future.push(Vec::new());
+        let due = self.future.pop_front().expect("at least one bucket");
+        self.future.push_back(Vec::new());
         self.stats.deliveries += due.len();
         for (to, from, msg) in due {
             self.inboxes[to.index()].push((from, msg));

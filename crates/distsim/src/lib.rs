@@ -33,7 +33,9 @@ pub mod spt_build;
 pub mod verified;
 
 pub use behavior::{Behavior, Behaviors};
-pub use convergence::{convergence_report, run_distributed, ConvergenceReport, DistributedRun};
+pub use convergence::{
+    convergence_report, convergence_report_on, run_distributed, ConvergenceReport, DistributedRun,
+};
 pub use engine::{EngineStats, RoundEngine};
 pub use payment_calc::{
     run_payment_stage, run_payment_stage_jittered, PaymentResult, PriceAnnounce,

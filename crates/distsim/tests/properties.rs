@@ -4,9 +4,9 @@
 use truthcast_core::fast_payments;
 use truthcast_distsim::{
     run_distributed, run_payment_stage, run_payment_stage_jittered, run_spt_stage,
-    run_spt_stage_jittered, run_verified_spt, Behavior, Behaviors, Event, HiddenLinks,
+    run_spt_stage_jittered, run_verified_spt, Behavior, Behaviors, Event, HiddenLinks, RoundEngine,
 };
-use truthcast_graph::{Cost, NodeId, NodeWeightedGraph};
+use truthcast_graph::{adjacency_from_pairs, Cost, NodeId, NodeWeightedGraph};
 use truthcast_rt::{cases, forall, prop_assert, prop_assert_eq, subsequence, vec_of, Strategy};
 
 /// Ring + chords instances (2-connected, so payments stay finite).
@@ -94,6 +94,61 @@ fn jittered_delivery_reaches_the_same_fixpoint() {
         }
         Ok(())
     });
+}
+
+/// Conservation and bounded delay on the jittered engine: every queued
+/// message is delivered exactly once — `stats.deliveries` equals the
+/// directs sent plus the sum of broadcast fan-outs — and once sends
+/// stop, every in-flight message drains within `max_delay` rounds.
+#[test]
+fn jittered_engine_conserves_messages_and_drains() {
+    forall!(
+        cases(64),
+        (
+            ring_instance(),
+            1usize..5,
+            0u64..1000,
+            vec_of(0u64..1_000_000, 0..30),
+        ),
+        |((n, edges, _costs), max_delay, seed, sends)| {
+            let adj = adjacency_from_pairs(n, &edges);
+            let mut eng: RoundEngine<u64> = RoundEngine::new_jittered(adj, max_delay, seed);
+            let mut expected_deliveries = 0usize;
+            let mut expected_directs = 0usize;
+            for (i, &s) in sends.iter().enumerate() {
+                let from = NodeId::new((s % n as u64) as usize);
+                if s % 2 == 0 {
+                    expected_deliveries += eng.topology().neighbors(from).len();
+                    eng.broadcast(from, s);
+                } else {
+                    let to = NodeId::new(((s / 2) % n as u64) as usize);
+                    expected_deliveries += 1;
+                    expected_directs += 1;
+                    eng.send_direct(from, to, s);
+                }
+                // Interleave some delivery rounds with the sends.
+                if i % 5 == 4 {
+                    eng.deliver_round();
+                }
+            }
+            let mut rounds_after_last_send = 0usize;
+            while eng.deliver_round() {
+                rounds_after_last_send += 1;
+                prop_assert!(
+                    rounds_after_last_send <= max_delay,
+                    "in-flight messages must drain within max_delay = {} rounds",
+                    max_delay
+                );
+            }
+            prop_assert_eq!(eng.stats.deliveries, expected_deliveries);
+            prop_assert_eq!(eng.stats.directs, expected_directs);
+            // Nothing lost, nothing duplicated: the undrained inboxes hold
+            // exactly one entry per expected delivery.
+            let inboxed: usize = (0..n).map(|v| eng.take_inbox(NodeId::new(v)).len()).sum();
+            prop_assert_eq!(inboxed, expected_deliveries);
+            Ok(())
+        }
+    );
 }
 
 /// A link-hiding node never pays *more* under the naive protocol than

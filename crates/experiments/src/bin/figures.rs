@@ -16,7 +16,7 @@ use truthcast_experiments::convergence_exp::{rounds_table, run_rounds};
 use truthcast_experiments::figure3::{paper_sizes, run_hop_profile, run_sweep, NetworkModel};
 use truthcast_experiments::mobility_exp::{mobility_table, run_mobility};
 use truthcast_experiments::node_cost_exp::{run_cost_spread, run_node_cost_size, spread_table};
-use truthcast_experiments::report::{hop_csv, hop_table, size_csv, size_table};
+use truthcast_experiments::report::{hop_csv, hop_table, metrics_appendix, size_csv, size_table};
 
 struct Args {
     panels: Vec<char>,
@@ -102,6 +102,9 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if truthcast_obs::init_from_env() {
+        println!("[tracing enabled: TRUTHCAST_TRACE is set]");
+    }
     println!(
         "truthcast figures — {} instances per size, seed {}\n",
         args.instances, args.seed
@@ -263,5 +266,12 @@ fn main() {
             }
             _ => unreachable!("validated in parse_args"),
         }
+    }
+
+    if let Some(appendix) = metrics_appendix() {
+        println!("{appendix}");
+    }
+    if let Some(path) = truthcast_obs::flush() {
+        println!("[trace written to {}]", path.display());
     }
 }

@@ -52,6 +52,7 @@ fn main() {
     let source = NodeId(source.unwrap_or_else(|| fail("missing --source")));
     let target = NodeId(target);
 
+    truthcast_obs::init_from_env();
     let text = std::fs::read_to_string(&file)
         .unwrap_or_else(|e| fail(&format!("cannot read {file}: {e}")));
     let g = parse_node_weighted(&text).unwrap_or_else(|e| fail(&format!("parse {file}: {e}")));
@@ -59,11 +60,18 @@ fn main() {
         fail("source/target out of range or equal");
     }
 
+    run(&g, source, target, &scheme);
+    if let Some(path) = truthcast_obs::flush() {
+        println!("[trace written to {}]", path.display());
+    }
+}
+
+fn run(g: &truthcast_graph::NodeWeightedGraph, source: NodeId, target: NodeId, scheme: &str) {
     if let Some(tariff) = scheme.strip_prefix("fixed:") {
         let price: f64 = tariff
             .parse()
             .unwrap_or_else(|_| fail(&format!("bad tariff {tariff:?}")));
-        let out = fixed_price_route(&g, source, target, Cost::from_f64(price));
+        let out = fixed_price_route(g, source, target, Cost::from_f64(price));
         match out.path {
             Some(path) => {
                 println!("scheme        : fixed tariff {price}");
@@ -79,9 +87,9 @@ fn main() {
         return;
     }
 
-    match scheme.as_str() {
+    match scheme {
         "vcg" => {
-            let Some(p) = fast_payments(&g, source, target) else {
+            let Some(p) = fast_payments(g, source, target) else {
                 println!("unreachable: no route from {source} to {target}");
                 return;
             };
@@ -94,7 +102,7 @@ fn main() {
             println!("total payment : {}", p.total_payment());
         }
         "neighborhood" => {
-            let Some(p) = neighborhood_payments(&g, source, target) else {
+            let Some(p) = neighborhood_payments(g, source, target) else {
                 println!("unreachable: no route from {source} to {target}");
                 return;
             };

@@ -5,7 +5,7 @@
 use truthcast_rt::SeedableRng;
 use truthcast_rt::SmallRng;
 
-use truthcast_distsim::convergence_report;
+use truthcast_distsim::convergence_report_on;
 use truthcast_graph::NodeId;
 use truthcast_wireless::Deployment;
 
@@ -37,7 +37,7 @@ pub fn run_rounds(n: usize, instances: usize, seed: u64) -> RoundsResult {
         let deployment = Deployment::paper_sim1(n, 2.0, &mut rng);
         let costs = deployment.random_node_costs(1.0, 10.0, &mut rng);
         let g = deployment.to_node_weighted(costs);
-        convergence_report(&g, NodeId::ACCESS_POINT)
+        convergence_report_on(&g, NodeId::ACCESS_POINT, "udg")
     });
     let m = reports.len().max(1) as f64;
     let mut agreeing = 0usize;

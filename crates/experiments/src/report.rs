@@ -1,4 +1,5 @@
-//! Plain-text tables and CSV emission for experiment results.
+//! Plain-text tables and CSV emission for experiment results, plus the
+//! tracing metrics appendix.
 
 use std::fmt::Write as _;
 
@@ -83,6 +84,20 @@ pub fn hop_csv(rows: &[HopBucket]) -> String {
         );
     }
     out
+}
+
+/// The metrics appendix for a traced experiment run: the `truthcast-obs`
+/// summary (counters, histogram digests, payment-audit totals), or
+/// `None` when tracing is disabled — reports stay unchanged unless the
+/// run opted in via `TRUTHCAST_TRACE`.
+pub fn metrics_appendix() -> Option<String> {
+    if !truthcast_obs::enabled() {
+        return None;
+    }
+    Some(format!(
+        "== Appendix: run metrics (truthcast-obs) ==\n{}",
+        truthcast_obs::summary()
+    ))
 }
 
 #[cfg(test)]

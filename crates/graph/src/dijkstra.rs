@@ -11,6 +11,7 @@ use crate::heap::IndexedHeap;
 use crate::ids::NodeId;
 use crate::link_weighted::LinkWeightedDigraph;
 use crate::mask::NodeMask;
+use crate::sweep_obs::SweepCounters;
 
 /// Sweep direction for [`dijkstra`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -100,13 +101,17 @@ pub fn dijkstra(
     let mut parent: Vec<Option<NodeId>> = vec![None; n];
     let mut heap: IndexedHeap<Cost> = IndexedHeap::new(n);
 
+    let mut obs = SweepCounters::default();
+
     let origin_blocked = opts.avoid.is_some_and(|m| m.is_blocked(origin));
     if !origin_blocked {
         dist[origin.index()] = Cost::ZERO;
         heap.push(origin.0, Cost::ZERO);
+        obs.pushes += 1;
     }
 
     while let Some((u32key, du)) = heap.pop_min() {
+        obs.pops += 1;
         let u = NodeId(u32key);
         if Some(u) == opts.target {
             break;
@@ -124,14 +129,20 @@ pub fn dijkstra(
                     continue;
                 }
             }
+            obs.relaxations += 1;
             let cand = du + w;
             if cand < dist[v.index()] {
                 dist[v.index()] = cand;
                 parent[v.index()] = Some(u);
-                heap.push_or_update(v.0, cand);
+                if heap.push_or_update(v.0, cand) {
+                    obs.pushes += 1;
+                } else {
+                    obs.decrease_keys += 1;
+                }
             }
         }
     }
+    obs.flush("graph.dijkstra");
 
     DistanceTable {
         origin,

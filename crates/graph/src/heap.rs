@@ -300,9 +300,9 @@ mod tests {
             let pri = (next() % 1000) as u64;
             match op {
                 0 => {
-                    if !model.contains_key(&key) {
+                    if let std::collections::btree_map::Entry::Vacant(e) = model.entry(key) {
                         heap.push(key, pri);
-                        model.insert(key, pri);
+                        e.insert(pri);
                     }
                 }
                 1 => {

@@ -41,6 +41,7 @@ pub mod mask;
 pub mod node_dijkstra;
 pub mod node_weighted;
 pub mod spt;
+pub mod sweep_obs;
 
 pub use adjacency::{adjacency_from_edges, adjacency_from_pairs, Adjacency, AdjacencyBuilder};
 pub use cost::Cost;

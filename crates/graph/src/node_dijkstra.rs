@@ -21,6 +21,7 @@ use crate::heap::IndexedHeap;
 use crate::ids::NodeId;
 use crate::mask::NodeMask;
 use crate::node_weighted::NodeWeightedGraph;
+use crate::sweep_obs::SweepCounters;
 
 /// Result of a node-weighted sweep (see module docs for the convention).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -97,13 +98,17 @@ pub fn node_dijkstra(
     let mut parent: Vec<Option<NodeId>> = vec![None; n];
     let mut heap: IndexedHeap<Cost> = IndexedHeap::new(n);
 
+    let mut obs = SweepCounters::default();
+
     let origin_blocked = opts.avoid.is_some_and(|m| m.is_blocked(origin));
     if !origin_blocked {
         dist[origin.index()] = Cost::ZERO;
         heap.push(origin.0, Cost::ZERO);
+        obs.pushes += 1;
     }
 
     while let Some((ukey, du)) = heap.pop_min() {
+        obs.pops += 1;
         let u = NodeId(ukey);
         if Some(u) == opts.target {
             break;
@@ -112,14 +117,20 @@ pub fn node_dijkstra(
             if opts.avoid.is_some_and(|m| m.is_blocked(v)) {
                 continue;
             }
+            obs.relaxations += 1;
             let cand = du + g.cost(v);
             if cand < dist[v.index()] {
                 dist[v.index()] = cand;
                 parent[v.index()] = Some(u);
-                heap.push_or_update(v.0, cand);
+                if heap.push_or_update(v.0, cand) {
+                    obs.pushes += 1;
+                } else {
+                    obs.decrease_keys += 1;
+                }
             }
         }
     }
+    obs.flush("graph.node_dijkstra");
 
     NodeDistanceTable {
         origin,

@@ -1,0 +1,112 @@
+//! Per-relay payment audit records.
+//!
+//! The paper's payment formula (§III-B) prices relay `v_k` on the unicast
+//! `i → j` as
+//!
+//! ```text
+//! p^k = ‖P_{-v_k}(i, j, d)‖ − ‖P(i, j, d)‖ + d_k
+//! ```
+//!
+//! An audit record captures all four quantities at the moment a payment
+//! algorithm computes them, so a traced run mechanically justifies every
+//! payment: [`PaymentAudit::expected_payment_micros`] re-derives `p^k`
+//! from the recorded inputs and [`PaymentAudit::is_consistent`] checks the
+//! algorithm's output against it.
+//!
+//! All amounts are in fixed-point micro-units (the `Cost` representation
+//! of `truthcast-graph`, which sits *above* this crate); the sentinel
+//! [`INF_MICROS`] mirrors `Cost::INF` — a relay whose removal disconnects
+//! the endpoints (monopoly) has an infinite replacement cost and payment.
+
+/// Micro-unit sentinel for "infinite" (monopoly / unreachable) amounts.
+pub const INF_MICROS: u64 = u64::MAX;
+
+/// One relay's payment, with the inputs that justify it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PaymentAudit {
+    /// Which algorithm produced the record (`"fast"`, `"naive"`, …).
+    pub algo: &'static str,
+    /// Source node id of the unicast.
+    pub source: u32,
+    /// Target node id of the unicast.
+    pub target: u32,
+    /// The audited relay `v_k`.
+    pub relay: u32,
+    /// `‖P(i, j, d)‖`: declared cost of the least-cost path, micro-units.
+    pub lcp_cost_micros: u64,
+    /// `‖P_{-v_k}(i, j, d)‖`: declared cost of the least-cost path
+    /// avoiding the relay, micro-units ([`INF_MICROS`] for monopolies).
+    pub replacement_cost_micros: u64,
+    /// The relay's declared cost `d_k`, micro-units.
+    pub declared_cost_micros: u64,
+    /// The payment `p^k` the algorithm actually assigned, micro-units.
+    pub payment_micros: u64,
+}
+
+impl PaymentAudit {
+    /// Re-derives `p^k = ‖P_{-v_k}‖ − ‖P‖ + d_k` from the recorded
+    /// inputs, with the same saturating/absorbing arithmetic as the
+    /// `Cost` type: an infinite replacement cost yields an infinite
+    /// payment, and finite overflow clamps below the sentinel.
+    pub fn expected_payment_micros(&self) -> u64 {
+        if self.replacement_cost_micros == INF_MICROS {
+            return INF_MICROS;
+        }
+        let marginal = self
+            .replacement_cost_micros
+            .saturating_sub(self.lcp_cost_micros);
+        marginal
+            .saturating_add(self.declared_cost_micros)
+            .min(INF_MICROS - 1)
+    }
+
+    /// Whether the recorded payment equals the re-derived one.
+    pub fn is_consistent(&self) -> bool {
+        self.payment_micros == self.expected_payment_micros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn audit(lcp: u64, replacement: u64, declared: u64, payment: u64) -> PaymentAudit {
+        PaymentAudit {
+            algo: "test",
+            source: 0,
+            target: 3,
+            relay: 1,
+            lcp_cost_micros: lcp,
+            replacement_cost_micros: replacement,
+            declared_cost_micros: declared,
+            payment_micros: payment,
+        }
+    }
+
+    #[test]
+    fn vickrey_diamond_is_consistent() {
+        // ‖P‖ = 5, ‖P_-1‖ = 7, d_1 = 5 → p = 7.
+        let a = audit(5_000_000, 7_000_000, 5_000_000, 7_000_000);
+        assert_eq!(a.expected_payment_micros(), 7_000_000);
+        assert!(a.is_consistent());
+    }
+
+    #[test]
+    fn monopoly_expects_infinite_payment() {
+        let a = audit(5, INF_MICROS, 3, INF_MICROS);
+        assert_eq!(a.expected_payment_micros(), INF_MICROS);
+        assert!(a.is_consistent());
+    }
+
+    #[test]
+    fn shaved_payment_is_flagged() {
+        let a = audit(5_000_000, 7_000_000, 5_000_000, 6_000_000);
+        assert!(!a.is_consistent());
+    }
+
+    #[test]
+    fn finite_overflow_clamps_below_sentinel() {
+        let a = audit(0, INF_MICROS - 1, INF_MICROS - 1, INF_MICROS - 1);
+        assert_eq!(a.expected_payment_micros(), INF_MICROS - 1);
+    }
+}

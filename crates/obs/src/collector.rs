@@ -1,0 +1,247 @@
+//! The thread-safe metric collector.
+//!
+//! A [`Collector`] owns named monotonic counters, named [`Histogram`]s,
+//! an ordered list of structured [`TraceEvent`]s, and the payment audit
+//! trail. All mutation goes through one `Mutex` — instrumented code is
+//! expected to *batch* (accumulate locals in the hot loop, flush once per
+//! sweep/run), so the lock is taken a handful of times per priced unicast,
+//! not per heap operation.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::audit::PaymentAudit;
+use crate::hist::Histogram;
+
+/// A structured event: what happened, when (relative to collector
+/// creation), and key/value detail.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Nanoseconds since the collector was created.
+    pub at_nanos: u64,
+    /// Event kind, dot-namespaced (e.g. `"protocol.session.settled"`).
+    pub kind: String,
+    /// Ordered key/value fields.
+    pub fields: Vec<(String, String)>,
+}
+
+#[derive(Default)]
+struct State {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+    events: Vec<TraceEvent>,
+    audits: Vec<PaymentAudit>,
+}
+
+/// A point-in-time copy of a collector's contents, for tests, the summary
+/// table, and JSONL export.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// `(name, value)` for every counter, name-ordered.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, histogram)` for every histogram, name-ordered.
+    pub histograms: Vec<(String, Histogram)>,
+    /// Events in emission order.
+    pub events: Vec<TraceEvent>,
+    /// Payment audit records in emission order.
+    pub audits: Vec<PaymentAudit>,
+}
+
+impl Snapshot {
+    /// The value of counter `name` (zero if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |&(_, v)| v)
+    }
+
+    /// The histogram `name`, if any value was recorded under it.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Audit records for one `(source, target)` unicast under one
+    /// algorithm, in path order.
+    pub fn audits_for(&self, algo: &str, source: u32, target: u32) -> Vec<&PaymentAudit> {
+        self.audits
+            .iter()
+            .filter(|a| a.algo == algo && a.source == source && a.target == target)
+            .collect()
+    }
+}
+
+/// A thread-safe sink for counters, histograms, events, and audits.
+pub struct Collector {
+    epoch: Instant,
+    state: Mutex<State>,
+}
+
+impl Default for Collector {
+    fn default() -> Collector {
+        Collector::new()
+    }
+}
+
+impl Collector {
+    /// An empty collector; its event clock starts now.
+    pub fn new() -> Collector {
+        Collector {
+            epoch: Instant::now(),
+            state: Mutex::new(State::default()),
+        }
+    }
+
+    fn state(&self) -> std::sync::MutexGuard<'_, State> {
+        // Observability must not take the process down with it: if a
+        // panicking thread poisoned the lock, keep collecting.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Adds `delta` to the named monotonic counter.
+    pub fn add(&self, name: &str, delta: u64) {
+        let mut s = self.state();
+        match s.counters.get_mut(name) {
+            Some(v) => *v = v.saturating_add(delta),
+            None => {
+                s.counters.insert(name.to_string(), delta);
+            }
+        }
+    }
+
+    /// Records `value` into the named histogram.
+    pub fn observe(&self, name: &str, value: u64) {
+        let mut s = self.state();
+        match s.histograms.get_mut(name) {
+            Some(h) => h.record(value),
+            None => {
+                let mut h = Histogram::new();
+                h.record(value);
+                s.histograms.insert(name.to_string(), h);
+            }
+        }
+    }
+
+    /// Appends a structured event, stamped with the collector clock.
+    pub fn event(&self, kind: &str, fields: &[(&str, String)]) {
+        let at_nanos = self.epoch.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        let ev = TraceEvent {
+            at_nanos,
+            kind: kind.to_string(),
+            fields: fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        };
+        self.state().events.push(ev);
+    }
+
+    /// Appends a payment audit record.
+    pub fn audit(&self, record: PaymentAudit) {
+        self.state().audits.push(record);
+    }
+
+    /// Copies out the current contents.
+    pub fn snapshot(&self) -> Snapshot {
+        let s = self.state();
+        Snapshot {
+            counters: s.counters.iter().map(|(k, &v)| (k.clone(), v)).collect(),
+            histograms: s
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), h.clone()))
+                .collect(),
+            events: s.events.clone(),
+            audits: s.audits.clone(),
+        }
+    }
+
+    /// Drops all collected data (the event clock keeps running).
+    pub fn reset(&self) {
+        *self.state() = State::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let c = Collector::new();
+        c.add("a", 2);
+        c.add("a", 3);
+        c.add("b", 1);
+        let s = c.snapshot();
+        assert_eq!(s.counter("a"), 5);
+        assert_eq!(s.counter("b"), 1);
+        assert_eq!(s.counter("missing"), 0);
+    }
+
+    #[test]
+    fn histograms_accumulate() {
+        let c = Collector::new();
+        c.observe("lat", 10);
+        c.observe("lat", 20);
+        let s = c.snapshot();
+        let h = s.histogram("lat").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 30);
+        assert!(s.histogram("missing").is_none());
+    }
+
+    #[test]
+    fn events_keep_order_and_fields() {
+        let c = Collector::new();
+        c.event("x.start", &[("id", "1".to_string())]);
+        c.event(
+            "x.end",
+            &[("id", "1".to_string()), ("ok", "true".to_string())],
+        );
+        let s = c.snapshot();
+        assert_eq!(s.events.len(), 2);
+        assert_eq!(s.events[0].kind, "x.start");
+        assert_eq!(
+            s.events[1].fields[1],
+            ("ok".to_string(), "true".to_string())
+        );
+        assert!(s.events[0].at_nanos <= s.events[1].at_nanos);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let c = Collector::new();
+        c.add("a", 1);
+        c.observe("h", 1);
+        c.event("e", &[]);
+        c.reset();
+        let s = c.snapshot();
+        assert!(s.counters.is_empty());
+        assert!(s.histograms.is_empty());
+        assert!(s.events.is_empty());
+        assert!(s.audits.is_empty());
+    }
+
+    #[test]
+    fn collector_is_shareable_across_threads() {
+        let c = std::sync::Arc::new(Collector::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.add("n", 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.snapshot().counter("n"), 4000);
+    }
+}

@@ -1,0 +1,276 @@
+//! Trace export: JSONL dumps and the human-readable summary table.
+//!
+//! The JSONL schema (one JSON object per line, documented in DESIGN.md):
+//!
+//! ```text
+//! {"type":"meta","harness":"truthcast-obs","version":1}
+//! {"type":"counter","name":"graph.dijkstra.pops","value":123}
+//! {"type":"histogram","name":"span.core.fast_payments_ns","count":4,
+//!  "sum":..., "min":..., "max":..., "mean":..., "buckets":[[lo,count],...]}
+//! {"type":"event","at_ns":1234,"kind":"protocol.session.settled",
+//!  "fields":{"session_id":"1",...}}
+//! {"type":"payment_audit","algo":"fast","source":0,"target":3,"relay":1,
+//!  "lcp_cost_micros":...,"replacement_cost_micros":...,
+//!  "declared_cost_micros":...,"payment_micros":...,"consistent":true}
+//! ```
+//!
+//! Infinite micro-amounts (`u64::MAX`) are serialized as the string
+//! `"inf"` so consumers never mistake the sentinel for a real amount.
+
+use std::fmt::Write as _;
+
+use crate::audit::{PaymentAudit, INF_MICROS};
+use crate::collector::Snapshot;
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// `u64::MAX` micro-amounts render as `"inf"`, everything else as a number.
+fn json_micros(v: u64) -> String {
+    if v == INF_MICROS {
+        "\"inf\"".to_string()
+    } else {
+        v.to_string()
+    }
+}
+
+fn audit_line(a: &PaymentAudit) -> String {
+    format!(
+        "{{\"type\":\"payment_audit\",\"algo\":{},\"source\":{},\"target\":{},\
+         \"relay\":{},\"lcp_cost_micros\":{},\"replacement_cost_micros\":{},\
+         \"declared_cost_micros\":{},\"payment_micros\":{},\"consistent\":{}}}",
+        json_string(a.algo),
+        a.source,
+        a.target,
+        a.relay,
+        json_micros(a.lcp_cost_micros),
+        json_micros(a.replacement_cost_micros),
+        json_micros(a.declared_cost_micros),
+        json_micros(a.payment_micros),
+        a.is_consistent()
+    )
+}
+
+/// Renders a snapshot as a JSONL document (see module docs for schema).
+pub fn to_jsonl(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    out.push_str("{\"type\":\"meta\",\"harness\":\"truthcast-obs\",\"version\":1}\n");
+    for (name, value) in &snap.counters {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"counter\",\"name\":{},\"value\":{}}}",
+            json_string(name),
+            value
+        );
+    }
+    for (name, h) in &snap.histograms {
+        let buckets: Vec<String> = h
+            .nonzero_buckets()
+            .iter()
+            .map(|&(lo, c)| format!("[{lo},{c}]"))
+            .collect();
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"histogram\",\"name\":{},\"count\":{},\"sum\":{},\
+             \"min\":{},\"max\":{},\"mean\":{:.1},\"buckets\":[{}]}}",
+            json_string(name),
+            h.count(),
+            h.sum(),
+            h.min().unwrap_or(0),
+            h.max().unwrap_or(0),
+            h.mean().unwrap_or(0.0),
+            buckets.join(",")
+        );
+    }
+    for ev in &snap.events {
+        let fields: Vec<String> = ev
+            .fields
+            .iter()
+            .map(|(k, v)| format!("{}:{}", json_string(k), json_string(v)))
+            .collect();
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"event\",\"at_ns\":{},\"kind\":{},\"fields\":{{{}}}}}",
+            ev.at_nanos,
+            json_string(&ev.kind),
+            fields.join(",")
+        );
+    }
+    for a in &snap.audits {
+        out.push_str(&audit_line(a));
+        out.push('\n');
+    }
+    out
+}
+
+fn fmt_value(v: u64) -> String {
+    if v == INF_MICROS {
+        "inf".to_string()
+    } else {
+        v.to_string()
+    }
+}
+
+/// Renders a snapshot as an aligned, human-readable summary: counters,
+/// histogram digests, audit-trail totals, and the event count.
+pub fn summary_table(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== truthcast-obs summary ==");
+    if !snap.counters.is_empty() {
+        let width = snap
+            .counters
+            .iter()
+            .map(|(n, _)| n.len())
+            .max()
+            .unwrap_or(0);
+        let _ = writeln!(out, "counters:");
+        for (name, value) in &snap.counters {
+            let _ = writeln!(out, "  {name:<width$}  {value:>12}");
+        }
+    }
+    if !snap.histograms.is_empty() {
+        let width = snap
+            .histograms
+            .iter()
+            .map(|(n, _)| n.len())
+            .max()
+            .unwrap_or(0);
+        let _ = writeln!(out, "histograms:");
+        let _ = writeln!(
+            out,
+            "  {:<width$}  {:>8} {:>12} {:>12} {:>12} {:>12}",
+            "name", "count", "min", "~p50", "max", "mean"
+        );
+        for (name, h) in &snap.histograms {
+            let _ = writeln!(
+                out,
+                "  {:<width$}  {:>8} {:>12} {:>12} {:>12} {:>12.1}",
+                name,
+                h.count(),
+                h.min().unwrap_or(0),
+                h.approx_quantile(0.5).unwrap_or(0),
+                h.max().unwrap_or(0),
+                h.mean().unwrap_or(0.0)
+            );
+        }
+    }
+    if !snap.audits.is_empty() {
+        let consistent = snap.audits.iter().filter(|a| a.is_consistent()).count();
+        let _ = writeln!(
+            out,
+            "payment audits: {} records, {} consistent",
+            snap.audits.len(),
+            consistent
+        );
+        for a in &snap.audits {
+            let _ = writeln!(
+                out,
+                "  [{}] {}->{} relay {}: lcp {} repl {} declared {} => paid {}{}",
+                a.algo,
+                a.source,
+                a.target,
+                a.relay,
+                fmt_value(a.lcp_cost_micros),
+                fmt_value(a.replacement_cost_micros),
+                fmt_value(a.declared_cost_micros),
+                fmt_value(a.payment_micros),
+                if a.is_consistent() {
+                    ""
+                } else {
+                    "  !! INCONSISTENT"
+                }
+            );
+        }
+    }
+    let _ = writeln!(out, "events: {}", snap.events.len());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::Collector;
+
+    fn sample_snapshot() -> Snapshot {
+        let c = Collector::new();
+        c.add("graph.dijkstra.pops", 7);
+        c.observe("span.test_ns", 1500);
+        c.event("protocol.session.settled", &[("id", "9".to_string())]);
+        c.audit(PaymentAudit {
+            algo: "fast",
+            source: 0,
+            target: 3,
+            relay: 1,
+            lcp_cost_micros: 5_000_000,
+            replacement_cost_micros: 7_000_000,
+            declared_cost_micros: 5_000_000,
+            payment_micros: 7_000_000,
+        });
+        c.audit(PaymentAudit {
+            algo: "fast",
+            source: 0,
+            target: 3,
+            relay: 2,
+            lcp_cost_micros: 5_000_000,
+            replacement_cost_micros: INF_MICROS,
+            declared_cost_micros: 1,
+            payment_micros: INF_MICROS,
+        });
+        c.snapshot()
+    }
+
+    #[test]
+    fn jsonl_has_one_object_per_line() {
+        let doc = to_jsonl(&sample_snapshot());
+        for line in doc.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert_eq!(line.matches('{').count(), line.matches('}').count());
+            assert_eq!(line.matches('[').count(), line.matches(']').count());
+        }
+        assert!(doc.contains("\"type\":\"meta\""));
+        assert!(doc.contains("\"type\":\"counter\""));
+        assert!(doc.contains("\"type\":\"histogram\""));
+        assert!(doc.contains("\"type\":\"event\""));
+        assert!(doc.contains("\"type\":\"payment_audit\""));
+    }
+
+    #[test]
+    fn infinite_amounts_serialize_as_inf_string() {
+        let doc = to_jsonl(&sample_snapshot());
+        assert!(doc.contains("\"replacement_cost_micros\":\"inf\""));
+        assert!(!doc.contains(&u64::MAX.to_string()));
+    }
+
+    #[test]
+    fn audit_lines_carry_consistency() {
+        let doc = to_jsonl(&sample_snapshot());
+        assert!(doc.contains("\"consistent\":true"));
+    }
+
+    #[test]
+    fn summary_mentions_every_section() {
+        let table = summary_table(&sample_snapshot());
+        assert!(table.contains("counters:"));
+        assert!(table.contains("graph.dijkstra.pops"));
+        assert!(table.contains("histograms:"));
+        assert!(table.contains("payment audits: 2 records, 2 consistent"));
+        assert!(table.contains("events: 1"));
+        assert!(table.contains("repl inf"));
+    }
+}

@@ -1,0 +1,183 @@
+//! Log-bucketed histograms for latencies and values.
+//!
+//! Values are `u64` (nanoseconds for spans, micro-units for costs, plain
+//! counts for round numbers). Bucket `0` holds the value `0`; bucket `b ≥ 1`
+//! holds values in `[2^(b−1), 2^b)` — i.e. the bucket index is
+//! `ilog2(value) + 1`. Exact count/sum/min/max are kept alongside, so the
+//! buckets only ever *approximate* quantiles, never totals.
+
+/// Number of buckets: one for zero plus one per possible bit length.
+pub const NUM_BUCKETS: usize = 65;
+
+/// A fixed-size logarithmic histogram over `u64` values.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    buckets: [u64; NUM_BUCKETS],
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Histogram {
+        Histogram {
+            buckets: [0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// The bucket index for `value`.
+    #[inline]
+    pub fn bucket_index(value: u64) -> usize {
+        match value {
+            0 => 0,
+            v => v.ilog2() as usize + 1,
+        }
+    }
+
+    /// The half-open value range `[lo, hi)` covered by bucket `index`
+    /// (`hi` saturates at `u64::MAX` for the top bucket).
+    pub fn bucket_bounds(index: usize) -> (u64, u64) {
+        match index {
+            0 => (0, 1),
+            64 => (1 << 63, u64::MAX),
+            b => (1 << (b - 1), 1 << b),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum over all observations.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Exact minimum, or `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Exact maximum, or `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Exact mean, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Approximate `q`-quantile (`0.0 ..= 1.0`): the upper bound of the
+    /// bucket where the cumulative count crosses `q · count`, clamped to
+    /// the exact min/max. `None` when empty.
+    pub fn approx_quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let (_, hi) = Self::bucket_bounds(i);
+                return Some(hi.saturating_sub(1).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Non-empty buckets as `(bucket_lo, count)` pairs, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| (Self::bucket_bounds(i).0, c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_log2() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn exact_stats_are_exact() {
+        let mut h = Histogram::new();
+        for v in [5u64, 9, 1, 1000, 0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1015);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(1000));
+        assert!((h.mean().unwrap() - 203.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_stats() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.approx_quantile(0.5), None);
+    }
+
+    #[test]
+    fn quantile_brackets_the_median() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let p50 = h.approx_quantile(0.5).unwrap();
+        // Median 50 lives in bucket [32, 64); the estimate is its upper
+        // bound, clamped into the observed range.
+        assert!((32..=100).contains(&p50), "p50 = {p50}");
+        assert_eq!(h.approx_quantile(1.0), Some(100));
+    }
+
+    #[test]
+    fn nonzero_buckets_cover_all_observations() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 1, 7, 300] {
+            h.record(v);
+        }
+        let total: u64 = h.nonzero_buckets().iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, 5);
+        assert_eq!(h.nonzero_buckets()[0], (0, 1));
+    }
+}

@@ -1,0 +1,212 @@
+//! # truthcast-obs
+//!
+//! Zero-dependency (std-only) observability for the `truthcast`
+//! workspace: named monotonic counters, log-bucketed histograms, RAII
+//! timing spans, structured events, and per-relay **payment audit
+//! records** — plus JSONL trace export and a human-readable summary.
+//!
+//! ## Cost model
+//!
+//! Tracing is **off by default**. Every global entry point loads one
+//! relaxed [`AtomicBool`] and branches away, so the disabled-mode cost of
+//! an instrumented call site is a predictable not-taken branch — no lock,
+//! no allocation, no syscall. Instrumented hot loops are additionally
+//! expected to *batch*: accumulate plain local integers inside the loop
+//! and flush them through [`add`]/[`observe`] once per sweep, so even
+//! enabled-mode tracing takes the collector lock `O(1)` times per priced
+//! unicast rather than per heap operation.
+//!
+//! ## Usage
+//!
+//! ```
+//! truthcast_obs::enable();
+//! truthcast_obs::reset();
+//! {
+//!     let _span = truthcast_obs::span("example.work");
+//!     truthcast_obs::add("example.widgets", 3);
+//! }
+//! let snap = truthcast_obs::snapshot();
+//! assert_eq!(snap.counter("example.widgets"), 3);
+//! assert!(snap.histogram("span.example.work_ns").is_some());
+//! truthcast_obs::disable();
+//! ```
+//!
+//! ## Trace export
+//!
+//! Set `TRUTHCAST_TRACE=<path>` and call [`init_from_env`] early (the
+//! experiment binaries do); at the end of the run, [`flush`] writes the
+//! whole collector as JSONL to that path. The schema is documented in
+//! [`export`] and DESIGN.md.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod audit;
+pub mod collector;
+pub mod export;
+pub mod hist;
+pub mod span;
+
+pub use audit::{PaymentAudit, INF_MICROS};
+pub use collector::{Collector, Snapshot, TraceEvent};
+pub use hist::Histogram;
+pub use span::Span;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+/// The environment variable naming the JSONL trace output path.
+pub const TRACE_ENV: &str = "TRUTHCAST_TRACE";
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static GLOBAL: OnceLock<Collector> = OnceLock::new();
+
+/// The process-wide collector (created on first use).
+pub fn collector() -> &'static Collector {
+    GLOBAL.get_or_init(Collector::new)
+}
+
+/// Whether tracing is currently enabled. One relaxed atomic load — this
+/// is the *entire* disabled-mode overhead of every instrumentation point.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns the global sink on.
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turns the global sink off (already-collected data is kept).
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Enables tracing if [`TRACE_ENV`] is set to a non-empty path; returns
+/// whether it did. Experiment binaries call this at startup so
+/// `TRUTHCAST_TRACE=run.jsonl figures …` traces without a code change.
+pub fn init_from_env() -> bool {
+    match std::env::var(TRACE_ENV) {
+        Ok(path) if !path.is_empty() => {
+            enable();
+            true
+        }
+        _ => false,
+    }
+}
+
+/// Adds `delta` to the named counter (no-op while disabled).
+#[inline]
+pub fn add(name: &str, delta: u64) {
+    if enabled() {
+        collector().add(name, delta);
+    }
+}
+
+/// Records `value` into the named histogram (no-op while disabled).
+#[inline]
+pub fn observe(name: &str, value: u64) {
+    if enabled() {
+        collector().observe(name, value);
+    }
+}
+
+/// Emits a structured event (no-op while disabled).
+#[inline]
+pub fn event(kind: &str, fields: &[(&str, String)]) {
+    if enabled() {
+        collector().event(kind, fields);
+    }
+}
+
+/// Appends a payment audit record (no-op while disabled).
+#[inline]
+pub fn audit(record: PaymentAudit) {
+    if enabled() {
+        collector().audit(record);
+    }
+}
+
+/// Starts a timing span named `name`; inert while disabled.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    if enabled() {
+        Span::started(name)
+    } else {
+        Span::noop()
+    }
+}
+
+/// Copies out the global collector's contents.
+pub fn snapshot() -> Snapshot {
+    collector().snapshot()
+}
+
+/// Clears the global collector.
+pub fn reset() {
+    collector().reset();
+}
+
+/// The global collector as a human-readable summary table.
+pub fn summary() -> String {
+    export::summary_table(&snapshot())
+}
+
+/// Writes the global collector as JSONL to `path`.
+pub fn write_jsonl(path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, export::to_jsonl(&snapshot()))
+}
+
+/// Writes the global collector as JSONL to the [`TRACE_ENV`] path, if
+/// set. Returns the path written, `None` if the variable is unset, and
+/// prints (rather than panics) on I/O failure — tracing must never take
+/// a run down.
+pub fn flush() -> Option<std::path::PathBuf> {
+    let path = std::path::PathBuf::from(std::env::var(TRACE_ENV).ok().filter(|p| !p.is_empty())?);
+    match write_jsonl(&path) {
+        Ok(()) => Some(path),
+        Err(e) => {
+            eprintln!("truthcast-obs: failed to write trace to {path:?}: {e}");
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // The global sink is process-wide; unit tests here stay away from it
+    // (module tests cover `Collector` directly) except this one, which is
+    // the only test in the crate touching the global toggle.
+    #[test]
+    fn global_roundtrip() {
+        assert!(!super::enabled());
+        super::add("ignored.while.disabled", 1);
+        super::enable();
+        super::reset();
+        super::add("global.counter", 2);
+        {
+            let s = super::span("global.span");
+            assert!(s.is_recording());
+        }
+        super::event("global.event", &[("k", "v".to_string())]);
+        super::audit(super::PaymentAudit {
+            algo: "test",
+            source: 0,
+            target: 1,
+            relay: 2,
+            lcp_cost_micros: 1,
+            replacement_cost_micros: 2,
+            declared_cost_micros: 3,
+            payment_micros: 4,
+        });
+        let snap = super::snapshot();
+        super::disable();
+        assert_eq!(snap.counter("global.counter"), 2);
+        assert_eq!(snap.counter("ignored.while.disabled"), 0);
+        assert_eq!(snap.histogram("span.global.span_ns").unwrap().count(), 1);
+        assert_eq!(snap.events.len(), 1);
+        assert_eq!(snap.audits.len(), 1);
+        assert!(!super::span("off").is_recording());
+    }
+}

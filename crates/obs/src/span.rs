@@ -1,0 +1,52 @@
+//! RAII timing spans over [`std::time::Instant`].
+
+use std::time::Instant;
+
+/// A timing span: started by [`crate::span`], it records its wall-clock
+/// duration into the histogram `span.<name>_ns` when dropped.
+///
+/// A span obtained while tracing is disabled is inert: holding and
+/// dropping it costs nothing beyond the construction branch.
+#[must_use = "a span measures the scope it is bound to; dropping it immediately measures nothing"]
+pub struct Span {
+    inner: Option<(&'static str, Instant)>,
+}
+
+impl Span {
+    /// An inert span (tracing disabled).
+    pub const fn noop() -> Span {
+        Span { inner: None }
+    }
+
+    pub(crate) fn started(name: &'static str) -> Span {
+        Span {
+            inner: Some((name, Instant::now())),
+        }
+    }
+
+    /// Whether this span is actually recording.
+    pub fn is_recording(&self) -> bool {
+        self.inner.is_some()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((name, start)) = self.inner.take() {
+            let nanos = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            crate::collector().observe(&format!("span.{name}_ns"), nanos);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_span_records_nothing() {
+        let s = Span::noop();
+        assert!(!s.is_recording());
+        drop(s);
+    }
+}

@@ -50,6 +50,23 @@ pub struct Receipt {
     pub ack: Signature,
 }
 
+/// Emits the rejection event/counter for a failed session and hands the
+/// error back (strings are only built while tracing is enabled).
+fn trace_rejected(session_id: u64, err: SessionError) -> SessionError {
+    if truthcast_obs::enabled() {
+        let c = truthcast_obs::collector();
+        c.add("protocol.sessions.rejected", 1);
+        c.event(
+            "protocol.session.rejected",
+            &[
+                ("session_id", session_id.to_string()),
+                ("reason", format!("{err:?}")),
+            ],
+        );
+    }
+    err
+}
+
 /// The message bytes the initiator signs for session `id`.
 pub fn initiation_bytes(session: &Session, id: u64) -> Vec<u8> {
     let mut out = Vec::with_capacity(20);
@@ -85,24 +102,36 @@ pub fn run_session(
     bank: &mut Bank,
     energy: &mut EnergyLedger,
 ) -> Result<Receipt, SessionError> {
+    let _span = truthcast_obs::span("protocol.session");
+
     // 1. The AP verifies the signed initiation before anything is paid.
     let init = initiation_bytes(session, session_id);
     if !pki.verify(claimed_initiator, &init, initiation_sig) || claimed_initiator != session.source
     {
-        return Err(SessionError::BadInitiationSignature);
+        return Err(trace_rejected(
+            session_id,
+            SessionError::BadInitiationSignature,
+        ));
     }
 
     // 2. Price the route.
-    let pricing = fast_payments(g, session.source, ap).ok_or(SessionError::Unreachable)?;
+    let pricing = fast_payments(g, session.source, ap)
+        .ok_or_else(|| trace_rejected(session_id, SessionError::Unreachable))?;
     if let Some(&(relay, _)) = pricing.payments.iter().find(|&&(_, p)| p.is_inf()) {
-        return Err(SessionError::MonopolyRelay(relay));
+        return Err(trace_rejected(
+            session_id,
+            SessionError::MonopolyRelay(relay),
+        ));
     }
 
     // 3. Relay the packets, draining batteries at true cost.
     for _ in 0..session.packets {
         for &relay in pricing.relays() {
             if !energy.relay_packet(relay, g.cost(relay)) {
-                return Err(SessionError::RelayDepleted(relay));
+                return Err(trace_rejected(
+                    session_id,
+                    SessionError::RelayDepleted(relay),
+                ));
             }
         }
     }
@@ -114,6 +143,21 @@ pub fn run_session(
         let amount = price.scale(session.packets);
         bank.transfer(session.source, relay, amount, session_id);
         charged += amount.micros();
+    }
+    if truthcast_obs::enabled() {
+        let c = truthcast_obs::collector();
+        c.add("protocol.sessions.settled", 1);
+        c.observe("protocol.session.charged_micros", charged);
+        c.event(
+            "protocol.session.settled",
+            &[
+                ("session_id", session_id.to_string()),
+                ("source", session.source.0.to_string()),
+                ("packets", session.packets.to_string()),
+                ("relays", pricing.relays().len().to_string()),
+                ("charged_micros", charged.to_string()),
+            ],
+        );
     }
 
     Ok(Receipt {

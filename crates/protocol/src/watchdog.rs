@@ -77,6 +77,20 @@ pub fn run_watchdog_era(
                 if !keeps_reserve || !energy.relay_packet(relay, g.cost(relay)) {
                     // Watchdog sees the drop and blacklists the relay.
                     blacklist.block(relay);
+                    if truthcast_obs::enabled() {
+                        let c = truthcast_obs::collector();
+                        c.add("protocol.watchdog.blacklistings", 1);
+                        c.event(
+                            "protocol.watchdog.blacklisted",
+                            &[
+                                ("node", relay.0.to_string()),
+                                (
+                                    "reason",
+                                    if keeps_reserve { "depleted" } else { "reserve" }.to_string(),
+                                ),
+                            ],
+                        );
+                    }
                     ok = false;
                     break 'packets;
                 }
@@ -89,6 +103,8 @@ pub fn run_watchdog_era(
         }
     }
 
+    truthcast_obs::add("protocol.watchdog.delivered", delivered as u64);
+    truthcast_obs::add("protocol.watchdog.dropped", dropped as u64);
     let blacklisted: Vec<NodeId> = blacklist.blocked_nodes().to_vec();
     WatchdogReport {
         delivered,
@@ -144,10 +160,7 @@ mod tests {
         let g = network();
         let mut energy = EnergyLedger::uniform(5, Cost::from_units(30));
         // Nodes keep a 50% reserve: rational self-preservation.
-        let sessions: Vec<Session> = std::iter::repeat(all_to_ap_sessions(5, 2))
-            .take(4)
-            .flatten()
-            .collect();
+        let sessions: Vec<Session> = (0..4).flat_map(|_| all_to_ap_sessions(5, 2)).collect();
         let report = run_watchdog_era(&g, NodeId(0), &sessions, &mut energy, 0.5);
         assert!(!report.blacklisted.is_empty(), "{report:?}");
         assert_eq!(report.blacklisted, report.wrongfully_labelled);
@@ -157,10 +170,7 @@ mod tests {
     #[test]
     fn payments_deliver_more_than_reputation() {
         let g = network();
-        let sessions: Vec<Session> = std::iter::repeat(all_to_ap_sessions(5, 2))
-            .take(4)
-            .flatten()
-            .collect();
+        let sessions: Vec<Session> = (0..4).flat_map(|_| all_to_ap_sessions(5, 2)).collect();
 
         let mut energy_w = EnergyLedger::uniform(5, Cost::from_units(30));
         let watchdog = run_watchdog_era(&g, NodeId(0), &sessions, &mut energy_w, 0.5);

@@ -223,6 +223,11 @@ impl SplitMix64 {
     }
 
     /// The next word of the stream.
+    ///
+    /// Deliberately named `next` to match the SplitMix64 reference
+    /// implementation; this is not an [`Iterator`] (it never ends and
+    /// yields bare words, not `Option`).
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = self.state;

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Runs the full benchmark suite and snapshots the JSON reports into the
+# repo root so regressions are diffable in review.
+#
+# By default this runs in quick mode (TRUTHCAST_BENCH_QUICK=1: few, short
+# samples — minutes, not hours). For publication-grade numbers run
+# `TRUTHCAST_BENCH_QUICK=0 scripts/bench.sh`, or set
+# TRUTHCAST_BENCH_SAMPLES=<n> for a specific sample count.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export TRUTHCAST_BENCH_QUICK="${TRUTHCAST_BENCH_QUICK:-1}"
+# Absolute path: cargo runs bench binaries with the *package* directory as
+# cwd, so a relative dir would land under crates/bench/.
+BENCH_DIR="$(pwd)/${TRUTHCAST_BENCH_DIR:-target/truthcast-bench}"
+case "${TRUTHCAST_BENCH_DIR:-}" in
+    /*) BENCH_DIR="$TRUTHCAST_BENCH_DIR" ;;
+esac
+export TRUTHCAST_BENCH_DIR="$BENCH_DIR"
+
+echo "==> cargo bench -p truthcast-bench (quick=$TRUTHCAST_BENCH_QUICK, dir=$BENCH_DIR)"
+cargo bench --offline -p truthcast-bench
+
+echo "==> snapshotting BENCH_*.json into repo root"
+for f in "$BENCH_DIR"/BENCH_*.json; do
+    [ -e "$f" ] || { echo "no bench reports found in $BENCH_DIR" >&2; exit 1; }
+    cp "$f" .
+    echo "  $(basename "$f")"
+done
+
+echo "bench.sh: done"

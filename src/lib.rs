@@ -49,5 +49,6 @@ pub use truthcast_distsim as distsim;
 pub use truthcast_experiments as experiments;
 pub use truthcast_graph as graph;
 pub use truthcast_mechanism as mechanism;
+pub use truthcast_obs as obs;
 pub use truthcast_protocol as protocol;
 pub use truthcast_wireless as wireless;
