@@ -1,0 +1,89 @@
+//! Batch payment engine benchmark: what the `PaymentEngine` buys over a
+//! per-session `fast_payments` loop on one topology.
+//!
+//! Three configurations price the same session batch on a 1024-node UDG
+//! (plus a 256-node size for the trend):
+//!
+//! * `sequential_no_reuse` — the baseline: one `fast_payments` call per
+//!   session, each allocating fresh sweep buffers and recomputing the
+//!   destination-rooted table.
+//! * `engine_1_thread` — the engine on a single worker: same work order,
+//!   but the destination table is computed once and the Dijkstra
+//!   buffers are reused across sessions.
+//! * `engine_8_threads` — the engine sharding across 8 workers. The
+//!   speedup over 1 thread scales with the *physical* cores available;
+//!   on a single-core CI container it measures the sharding overhead
+//!   instead (see DESIGN.md §8).
+//!
+//! All three produce bit-identical payments (asserted before timing).
+
+use truthcast_core::batch::{PaymentEngine, SessionQuery};
+use truthcast_core::fast_payments;
+use truthcast_graph::generators::random_udg;
+use truthcast_graph::geometry::Region;
+use truthcast_graph::{Cost, NodeId, NodeWeightedGraph};
+use truthcast_rt::bench::{black_box, Harness};
+use truthcast_rt::{Rng, SeedableRng, SmallRng};
+
+fn udg(n: usize, seed: u64) -> NodeWeightedGraph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // Density tuned for ~12 neighbors per node, like the paper's setups.
+    let side = (n as f64 * 300.0 * 300.0 * std::f64::consts::PI / 12.0).sqrt();
+    let (_, adj) = random_udg(n, Region::new(side, side), 300.0, &mut rng);
+    let costs = (0..n)
+        .map(|_| Cost::from_f64(rng.gen_range(1.0..50.0)))
+        .collect();
+    NodeWeightedGraph::new(adj, costs)
+}
+
+/// A batch of sessions toward one access point, sources spread across
+/// the id range.
+fn sessions(n: usize, count: usize, ap: NodeId) -> Vec<SessionQuery> {
+    (0..count)
+        .map(|i| {
+            let s = NodeId::new(1 + i * (n - 2) / count);
+            SessionQuery::new(s, ap)
+        })
+        .filter(|q| q.source != q.target)
+        .collect()
+}
+
+fn main() {
+    let mut h = Harness::new("batch_engine");
+    for &n in &[256usize, 1024] {
+        let g = udg(n, 0xBA7C + n as u64);
+        let ap = NodeId(0);
+        let qs = sessions(n, 64, ap);
+
+        // The configurations must agree before their timings mean anything.
+        let expected: Vec<_> = qs
+            .iter()
+            .map(|q| fast_payments(&g, q.source, q.target))
+            .collect();
+        for threads in [1, 8] {
+            let mut engine = PaymentEngine::with_threads(&g, threads);
+            assert_eq!(
+                engine.price_batch(&qs),
+                expected,
+                "engine({threads}) diverged from fast_payments on n={n}"
+            );
+        }
+
+        h.bench(format!("sequential_no_reuse/{n}"), || {
+            let out: Vec<_> = qs
+                .iter()
+                .map(|q| fast_payments(&g, q.source, q.target))
+                .collect();
+            black_box(out)
+        });
+        h.bench(format!("engine_1_thread/{n}"), || {
+            let mut engine = PaymentEngine::with_threads(&g, 1);
+            black_box(engine.price_batch(&qs))
+        });
+        h.bench(format!("engine_8_threads/{n}"), || {
+            let mut engine = PaymentEngine::with_threads(&g, 8);
+            black_box(engine.price_batch(&qs))
+        });
+    }
+    h.finish();
+}

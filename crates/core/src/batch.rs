@@ -1,0 +1,512 @@
+//! Batched VCG payment computation over a fixed topology.
+//!
+//! The paper's deployment story is many unicast sessions over one slowly
+//! changing network: every node periodically prices a route to an access
+//! point. Pricing each session independently with
+//! [`crate::fast_payments`] repays two fixed costs per query that a batch
+//! can amortize:
+//!
+//! * **Allocations** — each one-shot sweep builds fresh
+//!   distance/predecessor/heap buffers. A [`PaymentEngine`] holds one
+//!   [`DijkstraWorkspace`] per worker thread and runs every source sweep
+//!   through [`node_dijkstra_in`], so the Dijkstra hot path allocates
+//!   nothing once the buffers reach the graph size.
+//! * **The destination-rooted sweep** — Algorithm 1 needs the `R'` table
+//!   (shortest-path tree rooted at the destination). Sessions sharing an
+//!   access point share that table; the engine computes it once per
+//!   distinct destination and caches it for the engine's lifetime (the
+//!   engine borrows the topology immutably, so the cache cannot go
+//!   stale).
+//!
+//! Sessions are sharded across `std::thread::scope` workers by
+//! [`truthcast_rt::par_map_with`], which re-sorts results by session
+//! index — so the returned pricings are **deterministic and bit-identical
+//! to the per-session algorithms at any thread count**, including 1. The
+//! equivalence is structural, not coincidental: the one-shot sweeps run
+//! through the same workspace code path (same heap, same relaxation
+//! order, same tie-breaking), and the replacement-cost kernels are pure
+//! functions of the resulting tables. The differential suite
+//! (`tests/batch_vs_sequential.rs`) asserts this across thread counts on
+//! random instances.
+//!
+//! Only the *returned values* are deterministic; observability side
+//! effects (counter increments, audit-record order) interleave freely
+//! across workers.
+
+use std::collections::BTreeMap;
+
+use truthcast_graph::dijkstra::{dijkstra, dijkstra_in, DijkstraOptions, Direction, DistanceTable};
+use truthcast_graph::node_dijkstra::{
+    node_dijkstra, node_dijkstra_in, NodeDijkstraOptions, NodeDistanceTable,
+};
+use truthcast_graph::workspace::DijkstraWorkspace;
+use truthcast_graph::{Cost, LinkWeightedDigraph, NodeId, NodeWeightedGraph, Spt};
+use truthcast_mechanism::vcg::vcg_payment_selected;
+use truthcast_rt::{default_threads, par_map_with};
+
+use crate::fast::replacement_costs;
+use crate::fast_symmetric::{edge_weighted_replacement_costs, is_symmetric};
+use crate::levels::compute_levels;
+use crate::pricing::UnicastPricing;
+use crate::trace::audit_unicast;
+
+/// One unicast pricing request: route `source → target` and pay the
+/// relays.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SessionQuery {
+    /// The paying endpoint.
+    pub source: NodeId,
+    /// The destination (the access point, in the paper's deployment).
+    pub target: NodeId,
+}
+
+impl SessionQuery {
+    /// A `source → target` session. The endpoints must differ (asserted
+    /// when the session is priced, matching the per-session algorithms).
+    pub fn new(source: NodeId, target: NodeId) -> SessionQuery {
+        SessionQuery { source, target }
+    }
+}
+
+/// Per-worker reusable state: the sweep workspace plus export buffers.
+///
+/// One scratch lives on each worker thread for the whole batch; dropping
+/// it records the worker's session count into the
+/// `core.batch.sessions_per_worker` histogram.
+struct WorkerScratch {
+    ws: DijkstraWorkspace,
+    dist: Vec<Cost>,
+    parent: Vec<Option<NodeId>>,
+    sessions: u64,
+}
+
+impl WorkerScratch {
+    fn new(n: usize) -> WorkerScratch {
+        WorkerScratch {
+            ws: DijkstraWorkspace::with_capacity(n),
+            dist: Vec::with_capacity(n),
+            parent: Vec::with_capacity(n),
+            sessions: 0,
+        }
+    }
+}
+
+impl Drop for WorkerScratch {
+    fn drop(&mut self) {
+        if self.sessions > 0 && truthcast_obs::enabled() {
+            truthcast_obs::observe("core.batch.sessions_per_worker", self.sessions);
+        }
+    }
+}
+
+/// Batch VCG pricing engine for the node-weighted (paper Section III)
+/// model.
+///
+/// Borrows the topology for its lifetime — declared costs are baked into
+/// the graph, so a cached destination table can never go stale. Create a
+/// new engine after any topology or cost change.
+///
+/// ```
+/// use truthcast_core::batch::{PaymentEngine, SessionQuery};
+/// use truthcast_graph::{Cost, NodeId, NodeWeightedGraph};
+///
+/// let g = NodeWeightedGraph::from_pairs_units(
+///     &[(0, 1), (1, 3), (0, 2), (2, 3)],
+///     &[0, 5, 7, 0],
+/// );
+/// let mut engine = PaymentEngine::new(&g);
+/// let priced = engine.price_batch(&[
+///     SessionQuery::new(NodeId(0), NodeId(3)),
+///     SessionQuery::new(NodeId(1), NodeId(3)),
+/// ]);
+/// assert_eq!(
+///     priced[0].as_ref().unwrap().payment_to(NodeId(1)),
+///     Cost::from_units(7),
+/// );
+/// ```
+pub struct PaymentEngine<'g> {
+    g: &'g NodeWeightedGraph,
+    threads: usize,
+    /// Destination-rooted `R'` tables, shared by every session to the
+    /// same destination.
+    target_tables: BTreeMap<NodeId, NodeDistanceTable>,
+}
+
+impl<'g> PaymentEngine<'g> {
+    /// An engine over `g` using [`default_threads`] workers.
+    pub fn new(g: &'g NodeWeightedGraph) -> PaymentEngine<'g> {
+        PaymentEngine::with_threads(g, default_threads())
+    }
+
+    /// An engine over `g` using exactly `threads` workers (clamped to at
+    /// least 1). The thread count never affects the returned payments —
+    /// only wall-clock time.
+    pub fn with_threads(g: &'g NodeWeightedGraph, threads: usize) -> PaymentEngine<'g> {
+        PaymentEngine {
+            g,
+            threads: threads.max(1),
+            target_tables: BTreeMap::new(),
+        }
+    }
+
+    /// The worker count this engine shards batches across.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Number of distinct destinations with a cached table.
+    pub fn cached_targets(&self) -> usize {
+        self.target_tables.len()
+    }
+
+    /// Ensures the destination-rooted table for `target` is cached,
+    /// counting a hit or miss.
+    fn warm(&mut self, target: NodeId) {
+        if self.target_tables.contains_key(&target) {
+            truthcast_obs::add("core.batch.target_cache_hits", 1);
+        } else {
+            truthcast_obs::add("core.batch.target_cache_misses", 1);
+            let table = node_dijkstra(self.g, target, NodeDijkstraOptions::default());
+            self.target_tables.insert(target, table);
+        }
+    }
+
+    /// Prices every session, sharded across the engine's workers.
+    ///
+    /// `out[i]` corresponds to `sessions[i]` — index order is preserved
+    /// regardless of thread count — and is `None` exactly when the
+    /// session's destination is unreachable. Each entry is bit-identical
+    /// to `fast_payments(g, sessions[i].source, sessions[i].target)`.
+    ///
+    /// Panics if any session has `source == target`, like the
+    /// per-session algorithms.
+    pub fn price_batch(&mut self, sessions: &[SessionQuery]) -> Vec<Option<UnicastPricing>> {
+        let _span = truthcast_obs::span("core.batch.price_batch");
+        // Warm the destination cache sequentially so the parallel section
+        // reads it through a shared borrow.
+        for q in sessions {
+            self.warm(q.target);
+        }
+        truthcast_obs::add("core.batch.sessions", sessions.len() as u64);
+        let g = self.g;
+        let tables = &self.target_tables;
+        par_map_with(
+            sessions.len(),
+            self.threads,
+            || WorkerScratch::new(g.num_nodes()),
+            |scratch, i| {
+                scratch.sessions += 1;
+                let q = sessions[i];
+                let tj = &tables[&q.target];
+                price_node_session(g, q, tj, scratch)
+            },
+        )
+    }
+
+    /// The paper's all-to-AP pattern: one session per node toward `ap`,
+    /// priced as a batch. Index `ap` holds `None`, as do unreachable
+    /// sources — the parallel, cache-sharing equivalent of
+    /// [`crate::price_all_sources`].
+    pub fn price_all_to_ap(&mut self, ap: NodeId) -> Vec<Option<UnicastPricing>> {
+        let queries: Vec<SessionQuery> = self
+            .g
+            .node_ids()
+            .filter(|&s| s != ap)
+            .map(|s| SessionQuery::new(s, ap))
+            .collect();
+        let mut priced = self.price_batch(&queries).into_iter();
+        self.g
+            .node_ids()
+            .map(|s| {
+                if s == ap {
+                    None
+                } else {
+                    priced.next().expect("one pricing per non-ap node")
+                }
+            })
+            .collect()
+    }
+}
+
+/// Prices one node-weighted session inside a worker: the same pipeline as
+/// [`crate::fast_payments`], with the source sweep running through the
+/// worker's workspace and the destination table supplied by the engine
+/// cache.
+fn price_node_session(
+    g: &NodeWeightedGraph,
+    q: SessionQuery,
+    tj: &NodeDistanceTable,
+    scratch: &mut WorkerScratch,
+) -> Option<UnicastPricing> {
+    assert_ne!(q.source, q.target, "unicast endpoints must differ");
+    node_dijkstra_in(&mut scratch.ws, g, q.source, NodeDijkstraOptions::default());
+    scratch
+        .ws
+        .export_into(&mut scratch.dist, &mut scratch.parent);
+    let spt = Spt::from_parents(q.source, &scratch.parent);
+    let lv = compute_levels(&spt, q.target)?;
+    let lcp_cost = scratch.dist[q.target.index()].saturating_sub(g.cost(q.target));
+    let s = lv.hops();
+    if s == 1 {
+        return Some(UnicastPricing {
+            path: lv.path,
+            lcp_cost,
+            payments: vec![],
+        });
+    }
+    let replacements = replacement_costs(g, &scratch.dist, &tj.dist, &lv);
+    let payments: Vec<(NodeId, Cost)> = lv.path[1..s]
+        .iter()
+        .zip(&replacements)
+        .map(|(&r, &repl)| (r, vcg_payment_selected(lcp_cost, repl, g.cost(r))))
+        .collect();
+    audit_unicast(
+        "batch",
+        q.source,
+        q.target,
+        lcp_cost,
+        payments
+            .iter()
+            .zip(&replacements)
+            .map(|(&(r, p), &repl)| (r, repl, g.cost(r), p)),
+    );
+    Some(UnicastPricing {
+        path: lv.path,
+        lcp_cost,
+        payments,
+    })
+}
+
+/// Batch VCG pricing engine for the symmetric link-cost (paper Section
+/// III-F, first simulation) model — the batched counterpart of
+/// [`crate::fast_symmetric_payments`].
+///
+/// Symmetry is checked **once** at construction; on an asymmetric graph
+/// every session prices to `None`, exactly as the per-session algorithm
+/// reports.
+pub struct LinkPaymentEngine<'g> {
+    g: &'g LinkWeightedDigraph,
+    threads: usize,
+    symmetric: bool,
+    target_tables: BTreeMap<NodeId, DistanceTable>,
+}
+
+impl<'g> LinkPaymentEngine<'g> {
+    /// An engine over `g` using [`default_threads`] workers.
+    pub fn new(g: &'g LinkWeightedDigraph) -> LinkPaymentEngine<'g> {
+        LinkPaymentEngine::with_threads(g, default_threads())
+    }
+
+    /// An engine over `g` using exactly `threads` workers (clamped to at
+    /// least 1).
+    pub fn with_threads(g: &'g LinkWeightedDigraph, threads: usize) -> LinkPaymentEngine<'g> {
+        LinkPaymentEngine {
+            g,
+            threads: threads.max(1),
+            symmetric: is_symmetric(g),
+            target_tables: BTreeMap::new(),
+        }
+    }
+
+    /// The worker count this engine shards batches across.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Whether the topology passed the up-front symmetry check.
+    pub fn is_symmetric(&self) -> bool {
+        self.symmetric
+    }
+
+    /// Number of distinct destinations with a cached table.
+    pub fn cached_targets(&self) -> usize {
+        self.target_tables.len()
+    }
+
+    fn warm(&mut self, target: NodeId) {
+        if self.target_tables.contains_key(&target) {
+            truthcast_obs::add("core.batch.target_cache_hits", 1);
+        } else {
+            truthcast_obs::add("core.batch.target_cache_misses", 1);
+            // Symmetric graph: a forward sweep from the target is the
+            // `R` table, mirroring `fast_symmetric_payments`.
+            let table = dijkstra(
+                self.g,
+                target,
+                Direction::Forward,
+                DijkstraOptions::default(),
+            );
+            self.target_tables.insert(target, table);
+        }
+    }
+
+    /// Prices every session, sharded across the engine's workers.
+    /// `out[i]` corresponds to `sessions[i]` and is bit-identical to
+    /// `fast_symmetric_payments(g, sessions[i].source,
+    /// sessions[i].target)` — `None` on unreachable destinations, and
+    /// `None` everywhere on asymmetric graphs.
+    pub fn price_batch(&mut self, sessions: &[SessionQuery]) -> Vec<Option<UnicastPricing>> {
+        let _span = truthcast_obs::span("core.batch.price_batch");
+        if !self.symmetric {
+            for q in sessions {
+                assert_ne!(q.source, q.target, "unicast endpoints must differ");
+            }
+            return vec![None; sessions.len()];
+        }
+        for q in sessions {
+            self.warm(q.target);
+        }
+        truthcast_obs::add("core.batch.sessions", sessions.len() as u64);
+        let g = self.g;
+        let tables = &self.target_tables;
+        par_map_with(
+            sessions.len(),
+            self.threads,
+            || WorkerScratch::new(g.num_nodes()),
+            |scratch, i| {
+                scratch.sessions += 1;
+                let q = sessions[i];
+                let tj = &tables[&q.target];
+                price_link_session(g, q, tj, scratch)
+            },
+        )
+    }
+}
+
+/// Prices one symmetric link-cost session inside a worker: the same
+/// pipeline as [`crate::fast_symmetric_payments`] (minus the per-call
+/// symmetry check, hoisted to engine construction).
+fn price_link_session(
+    g: &LinkWeightedDigraph,
+    q: SessionQuery,
+    tj: &DistanceTable,
+    scratch: &mut WorkerScratch,
+) -> Option<UnicastPricing> {
+    assert_ne!(q.source, q.target, "unicast endpoints must differ");
+    dijkstra_in(
+        &mut scratch.ws,
+        g,
+        q.source,
+        Direction::Forward,
+        DijkstraOptions::default(),
+    );
+    scratch
+        .ws
+        .export_into(&mut scratch.dist, &mut scratch.parent);
+    let spt = Spt::from_parents(q.source, &scratch.parent);
+    let lv = compute_levels(&spt, q.target)?;
+    let lcp_cost = scratch.dist[q.target.index()];
+    let s = lv.hops();
+    if s == 1 {
+        return Some(UnicastPricing {
+            path: lv.path,
+            lcp_cost,
+            payments: vec![],
+        });
+    }
+    let replacements = edge_weighted_replacement_costs(g, &scratch.dist, &tj.dist, &lv);
+    let payments: Vec<(NodeId, Cost)> = (1..s)
+        .map(|l| {
+            let relay = lv.path[l];
+            let used_arc = g.arc_cost(relay, lv.path[l + 1]);
+            let delta = replacements[l - 1].saturating_sub(lcp_cost);
+            (relay, used_arc.saturating_add(delta))
+        })
+        .collect();
+    audit_unicast(
+        "batch_sym",
+        q.source,
+        q.target,
+        lcp_cost,
+        payments
+            .iter()
+            .enumerate()
+            .map(|(k, &(r, p))| (r, replacements[k], g.arc_cost(r, lv.path[k + 2]), p)),
+    );
+    Some(UnicastPricing {
+        path: lv.path,
+        lcp_cost,
+        payments,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fast::{fast_payments, price_all_sources};
+    use crate::fast_symmetric::fast_symmetric_payments;
+
+    fn diamond() -> NodeWeightedGraph {
+        NodeWeightedGraph::from_pairs_units(&[(0, 1), (1, 3), (0, 2), (2, 3)], &[0, 5, 7, 0])
+    }
+
+    #[test]
+    fn batch_matches_per_session() {
+        let g = diamond();
+        let sessions = [
+            SessionQuery::new(NodeId(0), NodeId(3)),
+            SessionQuery::new(NodeId(1), NodeId(3)),
+            SessionQuery::new(NodeId(2), NodeId(3)),
+        ];
+        for threads in [1, 2, 7] {
+            let mut engine = PaymentEngine::with_threads(&g, threads);
+            let priced = engine.price_batch(&sessions);
+            for (q, got) in sessions.iter().zip(&priced) {
+                assert_eq!(*got, fast_payments(&g, q.source, q.target));
+            }
+            // One destination → one cached table, shared by all sessions.
+            assert_eq!(engine.cached_targets(), 1);
+        }
+    }
+
+    #[test]
+    fn all_to_ap_matches_price_all_sources() {
+        let g = diamond();
+        let mut engine = PaymentEngine::with_threads(&g, 2);
+        assert_eq!(
+            engine.price_all_to_ap(NodeId(3)),
+            price_all_sources(&g, NodeId(3))
+        );
+    }
+
+    #[test]
+    fn unreachable_target_is_none() {
+        let g = NodeWeightedGraph::from_pairs_units(&[(0, 1)], &[0, 0, 0]);
+        let mut engine = PaymentEngine::new(&g);
+        let priced = engine.price_batch(&[SessionQuery::new(NodeId(0), NodeId(2))]);
+        assert_eq!(priced, vec![None]);
+    }
+
+    #[test]
+    fn link_engine_matches_per_session() {
+        let arcs: Vec<(NodeId, NodeId, Cost)> = [(0, 1, 2), (1, 3, 2), (0, 2, 3), (2, 3, 4)]
+            .iter()
+            .flat_map(|&(u, v, w)| {
+                [
+                    (NodeId(u), NodeId(v), Cost::from_units(w)),
+                    (NodeId(v), NodeId(u), Cost::from_units(w)),
+                ]
+            })
+            .collect();
+        let g = LinkWeightedDigraph::from_arcs(4, arcs);
+        let sessions = [
+            SessionQuery::new(NodeId(0), NodeId(3)),
+            SessionQuery::new(NodeId(1), NodeId(3)),
+        ];
+        let mut engine = LinkPaymentEngine::with_threads(&g, 2);
+        assert!(engine.is_symmetric());
+        let priced = engine.price_batch(&sessions);
+        for (q, got) in sessions.iter().zip(&priced) {
+            assert_eq!(*got, fast_symmetric_payments(&g, q.source, q.target));
+        }
+    }
+
+    #[test]
+    fn asymmetric_graph_prices_to_none() {
+        let g = LinkWeightedDigraph::from_arcs(2, [(NodeId(0), NodeId(1), Cost::from_units(1))]);
+        let mut engine = LinkPaymentEngine::new(&g);
+        assert!(!engine.is_symmetric());
+        let priced = engine.price_batch(&[SessionQuery::new(NodeId(0), NodeId(1))]);
+        assert_eq!(priced, vec![None]);
+    }
+}

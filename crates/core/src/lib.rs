@@ -24,6 +24,10 @@
 //!   measurable against VCG;
 //! * [`fast_symmetric`] — Algorithm 1 ported to symmetric link costs
 //!   (the paper's first simulation model);
+//! * [`batch`] — the [`batch::PaymentEngine`]: many sessions over one
+//!   topology, sharded across worker threads with per-worker sweep
+//!   workspaces and a shared destination-table cache, bit-identical to
+//!   the per-session algorithms at any thread count;
 //! * [`mechanism_impl`] — adapters exposing both schemes through
 //!   [`truthcast_mechanism::ScalarMechanism`] for black-box IC/IR and
 //!   collusion checking.
@@ -32,6 +36,7 @@
 #![forbid(unsafe_code)]
 
 pub mod baselines;
+pub mod batch;
 pub mod collusion_resistant;
 pub mod directed;
 pub mod edge_agents;
@@ -47,6 +52,7 @@ pub mod resale;
 pub mod trace;
 
 pub use baselines::{compare_fixed_vs_vcg, fixed_price_route, FixedPriceOutcome, SchemeComparison};
+pub use batch::{LinkPaymentEngine, PaymentEngine, SessionQuery};
 pub use collusion_resistant::{
     khop_set, neighborhood_payments, neighborhood_set, q_set_payments, scheme_feasible,
     SetRemovalPricing,

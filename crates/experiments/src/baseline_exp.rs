@@ -18,7 +18,7 @@ use truthcast_core::fast_payments;
 use truthcast_graph::{Cost, NodeId, NodeWeightedGraph};
 
 use crate::node_cost_exp::node_cost_instance;
-use crate::par::{default_threads, par_map};
+use truthcast_rt::{default_threads, par_map};
 
 /// Results of the tariff sweep at one fixed price.
 #[derive(Clone, Copy, Debug, PartialEq)]

@@ -9,7 +9,7 @@ use truthcast_distsim::convergence_report_on;
 use truthcast_graph::NodeId;
 use truthcast_wireless::Deployment;
 
-use crate::par::{default_threads, par_map};
+use truthcast_rt::{default_threads, par_map};
 
 /// Aggregated convergence metrics at one size.
 #[derive(Clone, Copy, Debug, PartialEq)]

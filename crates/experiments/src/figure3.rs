@@ -22,7 +22,7 @@ use truthcast_core::overpayment::{hop_buckets, overpayment_stats, HopBucket, Sou
 use truthcast_graph::{LinkWeightedDigraph, NodeId};
 use truthcast_wireless::Deployment;
 
-use crate::par::{default_threads, par_map};
+use truthcast_rt::{default_threads, par_map};
 
 /// Which generative model a panel uses.
 #[derive(Clone, Copy, Debug, PartialEq)]

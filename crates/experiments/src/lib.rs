@@ -10,7 +10,8 @@
 //!   for both of the paper's generative wireless models, plus the
 //!   hop-distance profile;
 //! * [`convergence_exp`] — the §III-C distributed-convergence claim;
-//! * [`par`] — a dependency-free parallel instance runner;
+//! * parallel instance sweeps via [`truthcast_rt::par`] — the shared
+//!   dependency-free work-stealing runner;
 //! * [`report`] — aligned text tables and CSV writers.
 //!
 //! The `figures` binary drives everything:
@@ -24,6 +25,5 @@ pub mod convergence_exp;
 pub mod figure3;
 pub mod mobility_exp;
 pub mod node_cost_exp;
-pub mod par;
 pub mod report;
 pub mod svg;

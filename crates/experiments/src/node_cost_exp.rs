@@ -15,7 +15,7 @@ use truthcast_graph::{NodeId, NodeWeightedGraph};
 use truthcast_wireless::Deployment;
 
 use crate::figure3::SizeResult;
-use crate::par::{default_threads, par_map};
+use truthcast_rt::{default_threads, par_map};
 
 /// Builds one node-cost instance: sim1 placement, scalar costs `U[lo, hi]`.
 pub fn node_cost_instance(n: usize, lo: f64, hi: f64, seed: u64) -> NodeWeightedGraph {

@@ -7,11 +7,11 @@
 //! workhorse optimization of our naive payment baseline.
 
 use crate::cost::Cost;
-use crate::heap::IndexedHeap;
 use crate::ids::NodeId;
 use crate::link_weighted::LinkWeightedDigraph;
 use crate::mask::NodeMask;
 use crate::sweep_obs::SweepCounters;
+use crate::workspace::DijkstraWorkspace;
 
 /// Sweep direction for [`dijkstra`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -90,27 +90,55 @@ pub struct DijkstraOptions<'a> {
 }
 
 /// Runs Dijkstra from `origin` over `g`.
+///
+/// One-shot wrapper over [`dijkstra_in`]: builds a fresh
+/// [`DijkstraWorkspace`], runs the sweep, and steals the buffers for the
+/// returned table. Batch callers should hold a workspace and call
+/// [`dijkstra_in`] directly to amortize the allocations away.
 pub fn dijkstra(
     g: &LinkWeightedDigraph,
     origin: NodeId,
     direction: Direction,
     opts: DijkstraOptions<'_>,
 ) -> DistanceTable {
-    let n = g.num_nodes();
-    let mut dist = vec![Cost::INF; n];
-    let mut parent: Vec<Option<NodeId>> = vec![None; n];
-    let mut heap: IndexedHeap<Cost> = IndexedHeap::new(n);
+    let mut ws = DijkstraWorkspace::with_capacity(g.num_nodes());
+    dijkstra_in(&mut ws, g, origin, direction, opts);
+    let (dist, parent) = ws.into_tables();
+    DistanceTable {
+        origin,
+        direction,
+        dist,
+        parent,
+    }
+}
+
+/// Runs an edge-weighted Dijkstra sweep inside a reusable workspace:
+/// zero allocations once the workspace has grown to the graph size.
+/// Results are read from the workspace ([`DijkstraWorkspace::dist`] /
+/// [`DijkstraWorkspace::parent`] / [`DijkstraWorkspace::export_into`])
+/// and stay valid until the next sweep begins.
+///
+/// Bit-identical to [`dijkstra`]: same heap, same relaxation order, same
+/// tie-breaking.
+pub fn dijkstra_in(
+    ws: &mut DijkstraWorkspace,
+    g: &LinkWeightedDigraph,
+    origin: NodeId,
+    direction: Direction,
+    opts: DijkstraOptions<'_>,
+) {
+    ws.begin(g.num_nodes());
 
     let mut obs = SweepCounters::default();
 
     let origin_blocked = opts.avoid.is_some_and(|m| m.is_blocked(origin));
     if !origin_blocked {
-        dist[origin.index()] = Cost::ZERO;
-        heap.push(origin.0, Cost::ZERO);
+        ws.improve(origin.index(), Cost::ZERO, None);
+        ws.heap.push(origin.0, Cost::ZERO);
         obs.pushes += 1;
     }
 
-    while let Some((u32key, du)) = heap.pop_min() {
+    while let Some((u32key, du)) = ws.heap.pop_min() {
         obs.pops += 1;
         let u = NodeId(u32key);
         if Some(u) == opts.target {
@@ -131,10 +159,9 @@ pub fn dijkstra(
             }
             obs.relaxations += 1;
             let cand = du + w;
-            if cand < dist[v.index()] {
-                dist[v.index()] = cand;
-                parent[v.index()] = Some(u);
-                if heap.push_or_update(v.0, cand) {
+            if cand < ws.dist_at(v.index()) {
+                ws.improve(v.index(), cand, Some(u));
+                if ws.heap.push_or_update(v.0, cand) {
                     obs.pushes += 1;
                 } else {
                     obs.decrease_keys += 1;
@@ -143,13 +170,6 @@ pub fn dijkstra(
         }
     }
     obs.flush("graph.dijkstra");
-
-    DistanceTable {
-        origin,
-        direction,
-        dist,
-        parent,
-    }
 }
 
 /// Shortest `source → target` distance with optional node avoidance;

@@ -133,6 +133,15 @@ impl<P: Ord + Copy> IndexedHeap<P> {
         Some(p)
     }
 
+    /// Grows the accepted key range to `0..capacity` (never shrinks) —
+    /// lets a reused heap follow a workspace onto larger graphs without
+    /// reallocating from scratch.
+    pub fn ensure_capacity(&mut self, capacity: usize) {
+        if self.pos.len() < capacity {
+            self.pos.resize(capacity, ABSENT);
+        }
+    }
+
     /// Drops every entry (keeps capacity).
     pub fn clear(&mut self) {
         for &(_, k) in &self.slots {

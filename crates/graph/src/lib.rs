@@ -16,6 +16,9 @@
 //!   Dijkstra and Algorithm 1's sliding crossing-edge window;
 //! * [`dijkstra`] / [`node_dijkstra`] — shortest-path sweeps with node
 //!   masks (agent removal) and early exit;
+//! * [`workspace::DijkstraWorkspace`] — reusable sweep buffers with
+//!   epoch-based `O(1)` clearing, so batch callers pay zero allocations
+//!   per query (the one-shot sweeps run through the same code path);
 //! * [`spt::Spt`] — shortest-path trees with child lists and preorder
 //!   traversal for the level assignment;
 //! * [`connectivity`] — biconnectivity (the paper's monopoly-freeness
@@ -42,6 +45,7 @@ pub mod node_dijkstra;
 pub mod node_weighted;
 pub mod spt;
 pub mod sweep_obs;
+pub mod workspace;
 
 pub use adjacency::{adjacency_from_edges, adjacency_from_pairs, Adjacency, AdjacencyBuilder};
 pub use cost::Cost;
@@ -50,3 +54,4 @@ pub use link_weighted::LinkWeightedDigraph;
 pub use mask::NodeMask;
 pub use node_weighted::NodeWeightedGraph;
 pub use spt::Spt;
+pub use workspace::DijkstraWorkspace;

@@ -17,11 +17,11 @@
 //! [`NodeDistanceTable::lcp_cost`], which subtracts `c_v` back off.
 
 use crate::cost::Cost;
-use crate::heap::IndexedHeap;
 use crate::ids::NodeId;
 use crate::mask::NodeMask;
 use crate::node_weighted::NodeWeightedGraph;
 use crate::sweep_obs::SweepCounters;
+use crate::workspace::DijkstraWorkspace;
 
 /// Result of a node-weighted sweep (see module docs for the convention).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -88,26 +88,53 @@ pub struct NodeDijkstraOptions<'a> {
 ///
 /// Because the graph is undirected and the node-cost metric is symmetric,
 /// a sweep from the unicast *target* directly yields the `R'` table.
+///
+/// One-shot wrapper over [`node_dijkstra_in`]: builds a fresh
+/// [`DijkstraWorkspace`], runs the sweep, and steals the buffers for the
+/// returned table. Batch callers should hold a workspace and call
+/// [`node_dijkstra_in`] directly to amortize the allocations away.
 pub fn node_dijkstra(
     g: &NodeWeightedGraph,
     origin: NodeId,
     opts: NodeDijkstraOptions<'_>,
 ) -> NodeDistanceTable {
-    let n = g.num_nodes();
-    let mut dist = vec![Cost::INF; n];
-    let mut parent: Vec<Option<NodeId>> = vec![None; n];
-    let mut heap: IndexedHeap<Cost> = IndexedHeap::new(n);
+    let mut ws = DijkstraWorkspace::with_capacity(g.num_nodes());
+    node_dijkstra_in(&mut ws, g, origin, opts);
+    let (dist, parent) = ws.into_tables();
+    NodeDistanceTable {
+        origin,
+        dist,
+        parent,
+    }
+}
+
+/// Runs a node-weighted Dijkstra sweep from `origin` inside a reusable
+/// workspace: zero allocations once the workspace has grown to the graph
+/// size. Results are read from the workspace
+/// ([`DijkstraWorkspace::dist`] / [`DijkstraWorkspace::parent`] /
+/// [`DijkstraWorkspace::export_into`]) and stay valid until the next
+/// sweep begins.
+///
+/// Bit-identical to [`node_dijkstra`]: same heap, same relaxation order,
+/// same tie-breaking.
+pub fn node_dijkstra_in(
+    ws: &mut DijkstraWorkspace,
+    g: &NodeWeightedGraph,
+    origin: NodeId,
+    opts: NodeDijkstraOptions<'_>,
+) {
+    ws.begin(g.num_nodes());
 
     let mut obs = SweepCounters::default();
 
     let origin_blocked = opts.avoid.is_some_and(|m| m.is_blocked(origin));
     if !origin_blocked {
-        dist[origin.index()] = Cost::ZERO;
-        heap.push(origin.0, Cost::ZERO);
+        ws.improve(origin.index(), Cost::ZERO, None);
+        ws.heap.push(origin.0, Cost::ZERO);
         obs.pushes += 1;
     }
 
-    while let Some((ukey, du)) = heap.pop_min() {
+    while let Some((ukey, du)) = ws.heap.pop_min() {
         obs.pops += 1;
         let u = NodeId(ukey);
         if Some(u) == opts.target {
@@ -119,10 +146,9 @@ pub fn node_dijkstra(
             }
             obs.relaxations += 1;
             let cand = du + g.cost(v);
-            if cand < dist[v.index()] {
-                dist[v.index()] = cand;
-                parent[v.index()] = Some(u);
-                if heap.push_or_update(v.0, cand) {
+            if cand < ws.dist_at(v.index()) {
+                ws.improve(v.index(), cand, Some(u));
+                if ws.heap.push_or_update(v.0, cand) {
                     obs.pushes += 1;
                 } else {
                     obs.decrease_keys += 1;
@@ -131,12 +157,6 @@ pub fn node_dijkstra(
         }
     }
     obs.flush("graph.node_dijkstra");
-
-    NodeDistanceTable {
-        origin,
-        dist,
-        parent,
-    }
 }
 
 /// The paper's `‖P(s, t, G)‖` — least relay cost between `s` and `t`,

@@ -1,0 +1,129 @@
+//! Workspace-reuse soundness: one [`DijkstraWorkspace`] driven through
+//! 100 back-to-back sweeps over *different* graphs, sizes, and origins
+//! must report exactly what a fresh-allocation run reports every time.
+//!
+//! This is the load-bearing property behind the batch engine's buffer
+//! reuse: epoch-based clearing means a sweep never `memset`s its
+//! buffers, so any stamping bug would surface as a stale distance or
+//! parent leaking from sweep k into sweep k+1 — especially when the
+//! graph shrinks between sweeps and old entries sit beyond the new `n`.
+
+use truthcast_rt::{Rng, SeedableRng, SmallRng};
+
+use truthcast_graph::dijkstra::{dijkstra, dijkstra_in, DijkstraOptions, Direction};
+use truthcast_graph::node_dijkstra::{node_dijkstra, node_dijkstra_in, NodeDijkstraOptions};
+use truthcast_graph::workspace::DijkstraWorkspace;
+use truthcast_graph::{Cost, LinkWeightedDigraph, NodeId, NodeMask, NodeWeightedGraph};
+
+fn random_node_graph(rng: &mut SmallRng) -> NodeWeightedGraph {
+    let n = rng.gen_range(2..40);
+    let mut pairs = Vec::new();
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            if rng.gen_bool(0.3) {
+                pairs.push((u, v));
+            }
+        }
+    }
+    let costs: Vec<u64> = (0..n).map(|_| rng.gen_range(0..1000)).collect();
+    // from_pairs_units infers the node count from the max endpoint, so
+    // isolated tail nodes are kept by padding the cost vector length.
+    let mut b = truthcast_graph::AdjacencyBuilder::new(n);
+    for &(u, v) in &pairs {
+        b.add_edge(NodeId(u), NodeId(v));
+    }
+    NodeWeightedGraph::new(
+        b.build(),
+        costs.iter().map(|&c| Cost::from_units(c)).collect(),
+    )
+}
+
+fn random_link_graph(rng: &mut SmallRng) -> LinkWeightedDigraph {
+    let n = rng.gen_range(2..40);
+    let mut arcs = Vec::new();
+    for u in 0..n as u32 {
+        for v in 0..n as u32 {
+            if u != v && rng.gen_bool(0.25) {
+                arcs.push((
+                    NodeId(u),
+                    NodeId(v),
+                    Cost::from_units(rng.gen_range(1..1000)),
+                ));
+            }
+        }
+    }
+    LinkWeightedDigraph::from_arcs(n, arcs)
+}
+
+/// 100 mixed sweeps — node-weighted and link-weighted, forward and
+/// backward, masked and unmasked, growing and shrinking graphs — through
+/// one workspace, each checked against a fresh one-shot run.
+#[test]
+fn hundred_reused_sweeps_equal_fresh_runs() {
+    let mut rng = SmallRng::seed_from_u64(0x5eed_babe);
+    let mut ws = DijkstraWorkspace::new();
+    let mut dist = Vec::new();
+    let mut parent = Vec::new();
+    for sweep in 0..100 {
+        if sweep % 2 == 0 {
+            let g = random_node_graph(&mut rng);
+            let n = g.num_nodes();
+            let origin = NodeId(rng.gen_range(0..n as u32));
+            // Every third node-weighted sweep blocks a random node.
+            let mask = (sweep % 3 == 0)
+                .then(|| NodeMask::from_nodes(n, [NodeId(rng.gen_range(0..n as u32))]));
+            let opts = NodeDijkstraOptions {
+                avoid: mask.as_ref(),
+                target: None,
+            };
+            node_dijkstra_in(&mut ws, &g, origin, opts);
+            ws.export_into(&mut dist, &mut parent);
+            let fresh = node_dijkstra(&g, origin, opts);
+            assert_eq!(dist, fresh.dist, "sweep {sweep}: node dist diverged");
+            assert_eq!(parent, fresh.parent, "sweep {sweep}: node parent diverged");
+            // Point accessors agree with the exported tables.
+            for v in g.node_ids() {
+                assert_eq!(ws.dist(v), fresh.dist[v.index()]);
+                assert_eq!(ws.parent(v), fresh.parent[v.index()]);
+            }
+        } else {
+            let g = random_link_graph(&mut rng);
+            let n = g.num_nodes();
+            let origin = NodeId(rng.gen_range(0..n as u32));
+            let direction = if sweep % 4 == 1 {
+                Direction::Forward
+            } else {
+                Direction::Backward
+            };
+            let opts = DijkstraOptions::default();
+            dijkstra_in(&mut ws, &g, origin, direction, opts);
+            ws.export_into(&mut dist, &mut parent);
+            let fresh = dijkstra(&g, origin, direction, opts);
+            assert_eq!(dist, fresh.dist, "sweep {sweep}: link dist diverged");
+            assert_eq!(parent, fresh.parent, "sweep {sweep}: link parent diverged");
+        }
+    }
+}
+
+/// Shrinking the graph between sweeps must hide, not resurrect, the
+/// larger graph's entries: a 3-node sweep after a 30-node sweep reports
+/// exactly 3 entries, all from the new sweep.
+#[test]
+fn shrink_then_sweep_reports_only_new_entries() {
+    let mut ws = DijkstraWorkspace::new();
+    // Big sweep: a 30-node path graph, everything reachable.
+    let big_pairs: Vec<(u32, u32)> = (1..30).map(|v| (v - 1, v)).collect();
+    let big = NodeWeightedGraph::from_pairs_units(&big_pairs, &[1; 30]);
+    node_dijkstra_in(&mut ws, &big, NodeId(0), NodeDijkstraOptions::default());
+    assert!(ws.dist(NodeId(29)).is_finite());
+    // Small sweep: 3 nodes, node 2 disconnected.
+    let small = NodeWeightedGraph::from_pairs_units(&[(0, 1)], &[1, 1, 1]);
+    node_dijkstra_in(&mut ws, &small, NodeId(0), NodeDijkstraOptions::default());
+    assert_eq!(ws.num_nodes(), 3);
+    let mut dist = Vec::new();
+    let mut parent = Vec::new();
+    ws.export_into(&mut dist, &mut parent);
+    assert_eq!(dist.len(), 3);
+    assert_eq!(dist[2], Cost::INF, "stale entry leaked through the shrink");
+    assert_eq!(parent[2], None);
+}

@@ -1,0 +1,139 @@
+//! Concurrency soundness for the global collector: N threads hammering
+//! counters, histograms, events, and audit records must lose nothing,
+//! and a JSONL export racing the writers must never produce a torn line.
+//!
+//! One `#[test]` on purpose: the collector is process-global, and a
+//! single test keeps the totals exactly predictable. (Other test
+//! binaries run as separate processes, so they cannot interfere.)
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use truthcast_obs::PaymentAudit;
+
+const THREADS: u64 = 8;
+const ITERS: u64 = 2_000;
+
+/// Every line of a JSONL export must be one complete object: starts with
+/// `{"type":"`, ends with `}`, and carries an even number of unescaped
+/// quotes. A torn line (partial write or interleaved writers) fails all
+/// three ways.
+fn assert_well_formed_jsonl(text: &str) {
+    assert!(!text.is_empty(), "export produced no output");
+    for (i, line) in text.lines().enumerate() {
+        assert!(
+            line.starts_with("{\"type\":\""),
+            "line {i} does not start a record: {line:?}"
+        );
+        assert!(line.ends_with('}'), "line {i} is torn: {line:?}");
+        let quotes = line.matches('"').count() - line.matches("\\\"").count() * 2;
+        assert!(quotes % 2 == 0, "line {i} has unbalanced quotes: {line:?}");
+    }
+}
+
+#[test]
+fn hammered_collector_loses_nothing_and_exports_cleanly() {
+    truthcast_obs::reset();
+    truthcast_obs::enable();
+
+    let export_path =
+        std::env::temp_dir().join(format!("truthcast_obs_conc_{}.jsonl", std::process::id()));
+    let done = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            scope.spawn(move || {
+                for i in 0..ITERS {
+                    truthcast_obs::add("conc.counter", 1);
+                    truthcast_obs::add("conc.weighted", i % 7);
+                    truthcast_obs::observe("conc.histogram", i);
+                    if i % 50 == 0 {
+                        truthcast_obs::event("conc.event", &[("thread", t.to_string())]);
+                    }
+                    if i % 100 == 0 {
+                        truthcast_obs::audit(PaymentAudit {
+                            algo: "conc",
+                            source: t as u32,
+                            target: u32::MAX,
+                            relay: i as u32,
+                            lcp_cost_micros: i,
+                            replacement_cost_micros: i + 5,
+                            declared_cost_micros: 2,
+                            payment_micros: 7,
+                        });
+                    }
+                }
+            });
+        }
+        // Exporter thread: snapshot + write JSONL repeatedly *while* the
+        // writers are mid-flight; every intermediate export must already
+        // be well-formed.
+        let done = &done;
+        let export_path = &export_path;
+        scope.spawn(move || {
+            let mut exports = 0u32;
+            while !done.load(Ordering::Relaxed) || exports == 0 {
+                truthcast_obs::write_jsonl(export_path).expect("export during contention");
+                let text = std::fs::read_to_string(export_path).expect("read export back");
+                assert_well_formed_jsonl(&text);
+                exports += 1;
+            }
+        });
+        // Monitor thread: stop the exporter once every writer increment
+        // has landed (the scope itself joins all threads at the end).
+        scope.spawn(move || loop {
+            let snap = truthcast_obs::snapshot();
+            if snap.counter("conc.counter") == THREADS * ITERS {
+                done.store(true, Ordering::Relaxed);
+                break;
+            }
+            std::thread::yield_now();
+        });
+    });
+
+    // All threads joined: totals must equal the single-thread sums exactly.
+    let snap = truthcast_obs::snapshot();
+    assert_eq!(snap.counter("conc.counter"), THREADS * ITERS);
+    let weighted_per_thread: u64 = (0..ITERS).map(|i| i % 7).sum();
+    assert_eq!(snap.counter("conc.weighted"), THREADS * weighted_per_thread);
+
+    let hist = snap.histogram("conc.histogram").expect("histogram exists");
+    assert_eq!(hist.count(), THREADS * ITERS);
+    let sum_per_thread: u64 = (0..ITERS).sum();
+    assert_eq!(hist.sum(), u128::from(THREADS * sum_per_thread));
+    assert_eq!(hist.min(), Some(0));
+    assert_eq!(hist.max(), Some(ITERS - 1));
+
+    assert_eq!(
+        snap.events
+            .iter()
+            .filter(|e| e.kind == "conc.event")
+            .count() as u64,
+        THREADS * (ITERS / 50).max(1)
+    );
+    let audits: Vec<_> = snap.audits.iter().filter(|a| a.algo == "conc").collect();
+    assert_eq!(audits.len() as u64, THREADS * (ITERS / 100).max(1));
+    // Per-thread audit streams are each complete (filter by source).
+    for t in 0..THREADS {
+        assert_eq!(
+            audits.iter().filter(|a| a.source == t as u32).count() as u64,
+            ITERS / 100
+        );
+    }
+
+    // Final export is well-formed too, and contains the exact totals.
+    truthcast_obs::write_jsonl(&export_path).expect("final export");
+    let text = std::fs::read_to_string(&export_path).expect("read final export");
+    assert_well_formed_jsonl(&text);
+    let expected_counter_line = format!(
+        "{{\"type\":\"counter\",\"name\":\"conc.counter\",\"value\":{}}}",
+        THREADS * ITERS
+    );
+    assert!(
+        text.lines().any(|l| l == expected_counter_line),
+        "final export missing exact counter total"
+    );
+    let _ = std::fs::remove_file(&export_path);
+
+    truthcast_obs::disable();
+    truthcast_obs::reset();
+}

@@ -18,18 +18,25 @@
 //! * [`bench`] — a micro-benchmark [`bench::Harness`]: calibrated warmup
 //!   plus N timed samples, median/p95 summaries, and `BENCH_<group>.json`
 //!   reports for cross-PR perf trajectories.
+//! * [`par`] — a dependency-free parallel runner over `std::thread::scope`
+//!   with work stealing and per-worker scratch state, used by the batch
+//!   payment engine and the experiment sweeps.
 //!
 //! Everything in this crate is deterministic by construction: no
-//! wall-clock entropy, no thread interleaving, no platform-dependent
-//! hashing feeds any generated value.
+//! wall-clock entropy, no platform-dependent hashing feeds any generated
+//! value, and although [`par`] runs work on threads, its results are
+//! re-sorted by item index, so thread interleaving never reaches a
+//! caller-visible value either.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod bench;
+pub mod par;
 pub mod prop;
 pub mod rng;
 
+pub use par::{default_threads, par_map, par_map_with};
 pub use prop::{
     bools, cases, just, one_of, subsequence, vec_of, BoxedStrategy, CaseResult, Config, Strategy,
 };

@@ -1,0 +1,162 @@
+//! A minimal self-owned parallel runner.
+//!
+//! Batch workloads in this workspace (experiment sweeps, the
+//! `truthcast-core` payment engine) are embarrassingly parallel —
+//! independent items over a shared read-only input — so a work-stealing
+//! index over `std::thread::scope` is all the machinery needed, per the
+//! HPC guides' advice to measure before adding dependencies. Results are
+//! collected per worker and re-sorted by index, so **output order is
+//! deterministic regardless of thread count or scheduling**: callers that
+//! compute pure functions of the item index get bit-identical output at
+//! any worker count.
+//!
+//! [`par_map_with`] additionally gives every worker a private scratch
+//! value built once per worker (not once per item) — the hook that lets
+//! callers reuse allocation-heavy workspaces (e.g. Dijkstra buffers)
+//! across all items a worker processes.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Maps `f` over `0..count` using up to `threads` worker threads,
+/// returning results in index order. `threads == 0` or `1` runs inline.
+pub fn par_map<T, F>(count: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    par_map_with(count, threads, || (), |(), i| f(i))
+}
+
+/// Maps `f` over `0..count` with a per-worker scratch value, returning
+/// results in index order.
+///
+/// Each worker calls `init` exactly once, then processes work-stolen
+/// indices through `f(&mut scratch, i)`. The scratch is dropped when the
+/// worker runs out of work, so a `Drop` impl can flush per-worker
+/// statistics. `threads == 0` or `1` runs inline on the calling thread
+/// (one scratch, no spawns).
+pub fn par_map_with<S, T, I, F>(count: usize, threads: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    if threads <= 1 || count <= 1 {
+        let mut scratch = init();
+        return (0..count).map(|i| f(&mut scratch, i)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let workers = threads.min(count);
+    let mut chunks: Vec<Vec<(usize, T)>> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut scratch = init();
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= count {
+                            break;
+                        }
+                        local.push((i, f(&mut scratch, i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            chunks.push(h.join().expect("worker panicked"));
+        }
+    });
+    let mut indexed: Vec<(usize, T)> = chunks.into_iter().flatten().collect();
+    indexed.sort_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, t)| t).collect()
+}
+
+/// A sensible worker count: the available parallelism, capped at 16.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(4, |n| n.get().min(16))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn results_in_index_order() {
+        let out = par_map(100, 8, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn inline_fallback() {
+        assert_eq!(par_map(5, 1, |i| i + 1), vec![1, 2, 3, 4, 5]);
+        assert_eq!(par_map(0, 8, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn all_indices_processed_exactly_once() {
+        let counters: Vec<AtomicU32> = (0..50).map(|_| AtomicU32::new(0)).collect();
+        par_map(50, 7, |i| counters[i].fetch_add(1, Ordering::SeqCst));
+        assert!(counters.iter().all(|c| c.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn scratch_is_per_worker_and_reused_across_items() {
+        // Each worker's scratch counts the items it processed; the total
+        // must be the item count, and no more scratches than workers (or
+        // items) may ever be built.
+        let built = AtomicU32::new(0);
+        let processed: Vec<AtomicU32> = (0..64).map(|_| AtomicU32::new(0)).collect();
+        let out = par_map_with(
+            64,
+            5,
+            || {
+                built.fetch_add(1, Ordering::SeqCst);
+                0usize
+            },
+            |seen, i| {
+                *seen += 1;
+                processed[i].fetch_add(1, Ordering::SeqCst);
+                *seen
+            },
+        );
+        assert!(built.load(Ordering::SeqCst) <= 5);
+        assert!(processed.iter().all(|c| c.load(Ordering::SeqCst) == 1));
+        // Every item was processed by a scratch that had already seen
+        // `out[i] - 1` earlier items: reuse, not per-item construction.
+        assert!(out.iter().all(|&seen| seen >= 1));
+        assert_eq!(out.len(), 64);
+    }
+
+    #[test]
+    fn scratch_drop_runs_once_per_worker() {
+        static DROPS: AtomicU32 = AtomicU32::new(0);
+        struct Flusher;
+        impl Drop for Flusher {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        DROPS.store(0, Ordering::SeqCst);
+        par_map_with(20, 3, || Flusher, |_, i| i);
+        let drops = DROPS.load(Ordering::SeqCst);
+        assert!((1..=3).contains(&drops), "drops = {drops}");
+    }
+
+    #[test]
+    fn inline_mode_uses_one_scratch() {
+        let out = par_map_with(
+            4,
+            1,
+            || 0u32,
+            |s, i| {
+                *s += 1;
+                (*s, i)
+            },
+        );
+        assert_eq!(out, vec![(1, 0), (2, 1), (3, 2), (4, 3)]);
+    }
+}

@@ -11,6 +11,14 @@ cargo build --release --offline
 echo "==> cargo test -q --offline"
 cargo test -q --offline
 
+# TRUTHCAST_CI_HEAVY=1 re-runs the batch-vs-sequential differential
+# battery at an elevated case count (the default run above already
+# includes it at the fast count baked into the tests).
+if [ "${TRUTHCAST_CI_HEAVY:-0}" != "0" ]; then
+    echo "==> heavy differential battery (TRUTHCAST_CASES=256)"
+    TRUTHCAST_CASES=256 cargo test -q --offline -p truthcast-core --test batch_vs_sequential
+fi
+
 echo "==> cargo clippy --offline --workspace --all-targets -- -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 

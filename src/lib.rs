@@ -41,6 +41,28 @@
 //! assert_eq!(p3.path, vec![NodeId(3), NodeId(2), NodeId(0)]);
 //! assert_eq!(p3.payment_to(NodeId(1)), Cost::ZERO);
 //! ```
+//!
+//! ## Example: batch pricing with threads
+//!
+//! Many sessions over one topology should go through the
+//! [`core::batch::PaymentEngine`], which shares the destination-rooted
+//! sweep across sessions, reuses per-worker buffers, and shards the
+//! batch across threads — with output bit-identical to the per-session
+//! calls at any thread count:
+//!
+//! ```
+//! use truthcast::core::batch::PaymentEngine;
+//! use truthcast::graph::{NodeId, NodeWeightedGraph};
+//!
+//! let net = NodeWeightedGraph::from_pairs_units(
+//!     &[(0, 1), (1, 3), (0, 2), (2, 3)],
+//!     &[0, 5, 7, 0],
+//! );
+//! let mut engine = PaymentEngine::with_threads(&net, 4);
+//! let priced = engine.price_all_to_ap(NodeId(0));
+//! assert_eq!(priced[0], None); // the access point itself
+//! assert!(priced[3].is_some());
+//! ```
 
 #![forbid(unsafe_code)]
 
@@ -51,4 +73,5 @@ pub use truthcast_graph as graph;
 pub use truthcast_mechanism as mechanism;
 pub use truthcast_obs as obs;
 pub use truthcast_protocol as protocol;
+pub use truthcast_rt as rt;
 pub use truthcast_wireless as wireless;

@@ -7,8 +7,10 @@
 //! tie-breaking, or payment arithmetic that moves a single micro-unit
 //! fails here with a readable diff.
 
+use truthcast::core::batch::{PaymentEngine, SessionQuery};
 use truthcast::core::{fast_payments, naive_payments};
 use truthcast::graph::{Cost, NodeId, NodeWeightedGraph};
+use truthcast::obs;
 
 fn units(u: u64) -> Cost {
     Cost::from_units(u)
@@ -113,4 +115,92 @@ fn golden_bridge_monopoly() {
         fast_payments(&g, NodeId(0), NodeId(4)),
         naive_payments(&g, NodeId(0), NodeId(4))
     );
+}
+
+/// The bridge-monopoly topology priced as a 3-session batch toward the
+/// access point 4, with tracing on: the batch engine must reproduce the
+/// hand-derived goldens session for session, share one cached
+/// destination table, and emit audit records that mechanically re-derive
+/// every payment (`p^k = ‖P_{-v_k}‖ − ‖P‖ + d_k`, with `INF` for the
+/// monopoly).
+///
+/// Hand derivation (costs `[0, 1, 2, 1, 0]`):
+/// * `0→4`: LCP is 0-2-4 (relay cost 2; the detours 0-1-2-4 and 0-2-3-4
+///   both cost 3). Node 2 is a cut vertex, so its replacement path is
+///   infinite → payment `INF`.
+/// * `1→4`: LCP is 1-2-4 (relay cost 2, ties with 1-0-2-4 broken by the
+///   Dijkstra relaxation order toward the direct parent). Same monopoly.
+/// * `3→4`: the direct link — zero relays, LCP cost 0, no payments, and
+///   therefore no audit records.
+#[test]
+fn golden_bridge_monopoly_multi_session_batch() {
+    let g = NodeWeightedGraph::from_pairs_units(
+        &[(0, 1), (0, 2), (1, 2), (2, 3), (2, 4), (3, 4)],
+        &[0, 1, 2, 1, 0],
+    );
+    let sessions = [
+        SessionQuery::new(NodeId(0), NodeId(4)),
+        SessionQuery::new(NodeId(1), NodeId(4)),
+        SessionQuery::new(NodeId(3), NodeId(4)),
+    ];
+
+    obs::enable();
+    let mut engine = PaymentEngine::with_threads(&g, 2);
+    let priced = engine.price_batch(&sessions);
+    let snap = obs::snapshot();
+    obs::disable();
+
+    // One access point → one cached destination table for all sessions.
+    assert_eq!(engine.cached_targets(), 1);
+
+    // Session 0→4: monopoly through the cut vertex 2.
+    let p0 = priced[0].as_ref().expect("0→4 connected");
+    assert_eq!(p0.path, vec![NodeId(0), NodeId(2), NodeId(4)]);
+    assert_eq!(p0.lcp_cost, units(2));
+    assert_eq!(p0.payments.len(), 1);
+    assert_eq!(p0.payments[0].0, NodeId(2));
+    assert!(p0.payments[0].1.is_inf());
+
+    // Session 1→4: same monopoly from the other triangle corner.
+    let p1 = priced[1].as_ref().expect("1→4 connected");
+    assert_eq!(p1.path, vec![NodeId(1), NodeId(2), NodeId(4)]);
+    assert_eq!(p1.lcp_cost, units(2));
+    assert_eq!(p1.payments, vec![(NodeId(2), Cost::INF)]);
+
+    // Session 3→4: the direct link, zero relays.
+    let p3 = priced[2].as_ref().expect("3→4 connected");
+    assert_eq!(p3.path, vec![NodeId(3), NodeId(4)]);
+    assert_eq!(p3.lcp_cost, Cost::ZERO);
+    assert!(p3.payments.is_empty());
+
+    // Batch output is bit-identical to the per-session oracle.
+    for (q, got) in sessions.iter().zip(&priced) {
+        assert_eq!(*got, fast_payments(&g, q.source, q.target));
+    }
+
+    // Audit replay: each relay-bearing session carries exactly one
+    // "batch" record whose recorded inputs re-derive its payment.
+    for (source, expected) in [(0u32, p0), (1, p1)] {
+        let audits = snap.audits_for("batch", source, 4);
+        assert_eq!(audits.len(), 1, "session {source}→4: one audited relay");
+        let a = audits[0];
+        assert_eq!(a.relay, 2);
+        assert_eq!(a.lcp_cost_micros, units(2).micros());
+        assert_eq!(a.replacement_cost_micros, obs::INF_MICROS);
+        assert_eq!(a.declared_cost_micros, units(2).micros());
+        assert_eq!(a.payment_micros, obs::INF_MICROS);
+        assert_eq!(a.payment_micros, expected.payments[0].1.micros());
+        assert!(a.is_consistent(), "{a:?}");
+    }
+    assert!(
+        snap.audits_for("batch", 3, 4).is_empty(),
+        "the zero-relay session has nothing to audit"
+    );
+
+    // The engine accounted its work: 3 sessions, a span, a cache warmed
+    // once and hit twice.
+    assert_eq!(snap.counter("core.batch.sessions"), 3);
+    assert_eq!(snap.counter("core.batch.target_cache_misses"), 1);
+    assert_eq!(snap.counter("core.batch.target_cache_hits"), 2);
+    assert!(snap.histogram("span.core.batch.price_batch_ns").is_some());
 }
