@@ -1,0 +1,170 @@
+//! `compare` — diff two directories of `BENCH_<group>.json` reports and
+//! fail on median regressions.
+//!
+//! Usage (normally via `scripts/bench.sh --compare`):
+//!
+//! ```text
+//! compare <baseline_dir> <fresh_dir> [--threshold <pct>]
+//! ```
+//!
+//! Every `BENCH_*.json` in `baseline_dir` is matched by filename against
+//! `fresh_dir`; per-benchmark medians are compared, and any benchmark
+//! whose fresh median exceeds the baseline by more than `<pct>` percent
+//! (default 15) is a regression. The exit code is nonzero iff at least
+//! one regression was found. Benchmarks present on only one side are
+//! reported but never fail the run — suites grow and shrink across PRs.
+//!
+//! The parser is a deliberate zero-dependency line scanner over the
+//! stable `truthcast-rt` harness format (`"id": ...` followed by a
+//! `"median": ...` field), not a general JSON parser.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// `(id, median_ns)` pairs scanned from one report.
+fn parse_report(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut current_id: Option<String> = None;
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("\"id\":") {
+            let rest = rest.trim().trim_end_matches(',');
+            let id = rest.trim_matches('"').to_string();
+            current_id = Some(id);
+        } else if let Some(idx) = line.find("\"median\":") {
+            let rest = &line[idx + "\"median\":".len()..];
+            let num: String = rest
+                .trim_start()
+                .chars()
+                .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+                .collect();
+            if let (Some(id), Ok(median)) = (current_id.take(), num.parse::<f64>()) {
+                out.push((id, median));
+            }
+        }
+    }
+    out
+}
+
+fn bench_reports(dir: &Path) -> Vec<PathBuf> {
+    let mut reports: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", dir.display()))
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    reports.sort();
+    reports
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1.0e6 {
+        format!("{:.3}ms", ns / 1.0e6)
+    } else if ns >= 1.0e3 {
+        format!("{:.3}µs", ns / 1.0e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut threshold_pct = 15.0f64;
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--threshold" {
+            let v = it.next().expect("--threshold needs a value");
+            threshold_pct = v.parse().expect("--threshold must be a number");
+        } else {
+            dirs.push(PathBuf::from(a));
+        }
+    }
+    if dirs.len() != 2 {
+        eprintln!("usage: compare <baseline_dir> <fresh_dir> [--threshold <pct>]");
+        return ExitCode::from(2);
+    }
+    let (baseline_dir, fresh_dir) = (&dirs[0], &dirs[1]);
+
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    for base_path in bench_reports(baseline_dir) {
+        let name = base_path.file_name().unwrap().to_str().unwrap();
+        let fresh_path = fresh_dir.join(name);
+        if !fresh_path.exists() {
+            println!("~ {name}: no fresh report (skipped)");
+            continue;
+        }
+        let base = parse_report(&std::fs::read_to_string(&base_path).expect("read baseline"));
+        let fresh = parse_report(&std::fs::read_to_string(&fresh_path).expect("read fresh"));
+        for (id, base_median) in &base {
+            let Some((_, fresh_median)) = fresh.iter().find(|(fid, _)| fid == id) else {
+                println!("~ {name} {id}: missing from fresh run (skipped)");
+                continue;
+            };
+            compared += 1;
+            let delta_pct = (fresh_median - base_median) / base_median * 100.0;
+            let verdict = if delta_pct > threshold_pct {
+                regressions += 1;
+                "REGRESSION"
+            } else if delta_pct < -threshold_pct {
+                "improved"
+            } else {
+                "ok"
+            };
+            println!(
+                "{mark} {name} {id}: {b} -> {f} ({delta_pct:+.1}%) {verdict}",
+                mark = if verdict == "REGRESSION" { "!" } else { " " },
+                b = fmt_ns(*base_median),
+                f = fmt_ns(*fresh_median),
+            );
+        }
+    }
+
+    println!(
+        "compare: {compared} benchmarks, {regressions} regression(s) over {threshold_pct:.0}% \
+         (baseline {}, fresh {})",
+        baseline_dir.display(),
+        fresh_dir.display()
+    );
+    if regressions > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_report;
+
+    #[test]
+    fn parses_harness_format() {
+        let text = r#"{
+  "group": "dijkstra",
+  "results": [
+    {
+      "id": "node_weighted_full/1024/radix",
+      "iters_per_sample": 100,
+      "min": 10.0, "median": 12.5, "p95": 14.0, "mean": 12.6,
+      "samples": [12.5, 12.6]
+    },
+    {
+      "id": "node_weighted_full/1024/binary",
+      "min": 20.0, "median": 22.5, "p95": 24.0, "mean": 22.6
+    }
+  ]
+}"#;
+        let parsed = parse_report(text);
+        assert_eq!(
+            parsed,
+            vec![
+                ("node_weighted_full/1024/radix".to_string(), 12.5),
+                ("node_weighted_full/1024/binary".to_string(), 22.5),
+            ]
+        );
+    }
+}

@@ -110,12 +110,11 @@ pub fn edge_weighted_replacement_costs(
         // Seeds: hop to any strictly-higher-level neighbor a, then follow
         // P(a, target): w(k, a) + R(a).
         for &k in members {
-            let (heads, weights) = g.out_arcs(k);
             let mut seed = Cost::INF;
-            for (&a, &w) in heads.iter().zip(weights) {
-                let la = lv.level[a.index()];
+            for arc in g.out_arcs(k) {
+                let la = lv.level[arc.head.index()];
                 if la != UNREACHED && la > lu {
-                    seed = seed.min(w.saturating_add(r_dist[a.index()]));
+                    seed = seed.min(arc.weight.saturating_add(r_dist[arc.head.index()]));
                 }
             }
             d_val[k.index()] = seed;
@@ -129,12 +128,12 @@ pub fn edge_weighted_replacement_costs(
             if dk > d_val[k.index()] {
                 continue;
             }
-            let (heads, weights) = g.out_arcs(k);
-            for (&m, &w) in heads.iter().zip(weights) {
+            for arc in g.out_arcs(k) {
+                let m = arc.head;
                 if lv.level[m.index()] != lu || lv.on_path(m) {
                     continue;
                 }
-                let cand = dk.saturating_add(w);
+                let cand = dk.saturating_add(arc.weight);
                 if cand < d_val[m.index()] {
                     d_val[m.index()] = cand;
                     heap.push_or_update(m.0, cand);
@@ -146,12 +145,11 @@ pub fn edge_weighted_replacement_costs(
             if d_val[k.index()].is_inf() {
                 continue;
             }
-            let (heads, weights) = g.out_arcs(k);
             let mut entry = Cost::INF;
-            for (&a, &w) in heads.iter().zip(weights) {
-                let la = lv.level[a.index()];
+            for arc in g.out_arcs(k) {
+                let la = lv.level[arc.head.index()];
                 if la != UNREACHED && la < lu {
-                    entry = entry.min(l_dist[a.index()].saturating_add(w));
+                    entry = entry.min(l_dist[arc.head.index()].saturating_add(arc.weight));
                 }
             }
             c_min[l] = c_min[l].min(entry.saturating_add(d_val[k.index()]));

@@ -1,0 +1,185 @@
+//! Queue-engine differential tests for the batch payment engines.
+//!
+//! Within one [`QueueKind`] the batch engines are bit-identical to the
+//! per-session algorithms at any thread count (same sweeps, same
+//! tie-breaking). *Across* engines only tie-independent quantities are
+//! comparable — path costs, reachability — because radix and binary
+//! queues break equal-priority ties differently, which can select
+//! different (equally cheap) paths and therefore different payment
+//! vectors on tie-heavy instances.
+//!
+//! This suite pins both engines explicitly and asserts:
+//!
+//! * pinned-radix batches are identical across thread counts
+//!   {1, 2, 7, 16} and to other pinned-radix batches;
+//! * pinned-radix and pinned-binary batches agree on `lcp_cost` and on
+//!   which sessions price at all;
+//! * the pinned engine matching the process default is bit-identical to
+//!   the one-shot `fast_payments` / `fast_symmetric_payments`.
+
+use truthcast_core::batch::{LinkPaymentEngine, PaymentEngine, SessionQuery};
+use truthcast_core::fast_payments;
+use truthcast_core::fast_symmetric::fast_symmetric_payments;
+use truthcast_graph::connectivity::is_connected;
+use truthcast_graph::generators::{erdos_renyi, random_udg};
+use truthcast_graph::geometry::Region;
+use truthcast_graph::{Adjacency, Cost, LinkWeightedDigraph, NodeId, NodeWeightedGraph, QueueKind};
+use truthcast_rt::{Rng, SeedableRng, SmallRng};
+
+const THREADS: [usize; 4] = [1, 2, 7, 16];
+
+/// A connected seeded topology: unit-disk on even seeds, G(n, p) on odd.
+fn topology(seed: u64, n: usize) -> Adjacency {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    loop {
+        let adj = if seed.is_multiple_of(2) {
+            let side = (n as f64 * 300.0 * 300.0 * std::f64::consts::PI / 12.0).sqrt();
+            random_udg(n, Region::new(side, side), 300.0, &mut rng).1
+        } else {
+            erdos_renyi(n, 0.12, &mut rng)
+        };
+        if is_connected(&adj) {
+            return adj;
+        }
+    }
+}
+
+/// Tie-heavy node costs: tiny integers force many equal-cost paths.
+fn node_graph(seed: u64, n: usize) -> NodeWeightedGraph {
+    let adj = topology(seed, n);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xC057);
+    let costs: Vec<Cost> = (0..n)
+        .map(|_| Cost::from_units(rng.gen_range(0u64..4)))
+        .collect();
+    NodeWeightedGraph::new(adj, costs)
+}
+
+fn link_graph(seed: u64, n: usize) -> LinkWeightedDigraph {
+    let adj = topology(seed, n);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x11AB);
+    let arcs: Vec<_> = adj
+        .edges()
+        .flat_map(|(u, v)| {
+            let w = Cost::from_units(rng.gen_range(1u64..5));
+            [(u, v, w), (v, u, w)]
+        })
+        .collect();
+    LinkWeightedDigraph::from_arcs(adj.num_nodes(), arcs)
+}
+
+fn all_to_ap_sessions(n: usize, ap: NodeId) -> Vec<SessionQuery> {
+    (0..n)
+        .map(NodeId::new)
+        .filter(|&s| s != ap)
+        .map(|s| SessionQuery::new(s, ap))
+        .collect()
+}
+
+/// Pinned-radix node batches: identical at every thread count.
+#[test]
+fn node_engine_radix_is_thread_invariant() {
+    for seed in [0xB0u64, 0xB1] {
+        let g = node_graph(seed, 40);
+        let sessions = all_to_ap_sessions(40, NodeId(0));
+        let reference = PaymentEngine::with_queue(&g, 1, QueueKind::Radix).price_batch(&sessions);
+        for threads in THREADS {
+            let mut engine = PaymentEngine::with_queue(&g, threads, QueueKind::Radix);
+            assert_eq!(engine.queue_kind(), QueueKind::Radix);
+            assert_eq!(
+                engine.price_batch(&sessions),
+                reference,
+                "seed {seed:#x}, {threads} threads"
+            );
+        }
+    }
+}
+
+/// Pinned-binary node batches: also thread-invariant, and agreeing with
+/// pinned-radix on every tie-independent quantity.
+#[test]
+fn node_engine_kinds_agree_on_costs() {
+    for seed in [0xB2u64, 0xB3] {
+        let g = node_graph(seed, 40);
+        let sessions = all_to_ap_sessions(40, NodeId(0));
+        let radix = PaymentEngine::with_queue(&g, 7, QueueKind::Radix).price_batch(&sessions);
+        let binary_ref = PaymentEngine::with_queue(&g, 1, QueueKind::Binary).price_batch(&sessions);
+        for threads in THREADS {
+            let batch =
+                PaymentEngine::with_queue(&g, threads, QueueKind::Binary).price_batch(&sessions);
+            assert_eq!(batch, binary_ref, "seed {seed:#x}, {threads} threads");
+        }
+        for (r, b) in radix.iter().zip(&binary_ref) {
+            match (r, b) {
+                (Some(r), Some(b)) => {
+                    assert_eq!(r.lcp_cost, b.lcp_cost, "seed {seed:#x}");
+                    // Both engines pay the same number of relays a total
+                    // consistent with their (possibly different) LCPs.
+                    assert_eq!(r.path.first(), b.path.first());
+                    assert_eq!(r.path.last(), b.path.last());
+                }
+                (None, None) => {}
+                other => panic!("seed {seed:#x}: pricing presence diverged: {other:?}"),
+            }
+        }
+    }
+}
+
+/// The symmetric link engine under both pinned kinds, across threads.
+#[test]
+fn link_engine_kinds_agree_on_costs() {
+    for seed in [0xB4u64, 0xB5] {
+        let g = link_graph(seed, 36);
+        let sessions = all_to_ap_sessions(36, NodeId(0));
+        let radix_ref =
+            LinkPaymentEngine::with_queue(&g, 1, QueueKind::Radix).price_batch(&sessions);
+        let binary_ref =
+            LinkPaymentEngine::with_queue(&g, 1, QueueKind::Binary).price_batch(&sessions);
+        for threads in THREADS {
+            let mut r = LinkPaymentEngine::with_queue(&g, threads, QueueKind::Radix);
+            let mut b = LinkPaymentEngine::with_queue(&g, threads, QueueKind::Binary);
+            assert!(r.is_symmetric() && b.is_symmetric());
+            assert_eq!(r.price_batch(&sessions), radix_ref, "seed {seed:#x}");
+            assert_eq!(b.price_batch(&sessions), binary_ref, "seed {seed:#x}");
+        }
+        for (r, b) in radix_ref.iter().zip(&binary_ref) {
+            match (r, b) {
+                (Some(r), Some(b)) => assert_eq!(r.lcp_cost, b.lcp_cost, "seed {seed:#x}"),
+                (None, None) => {}
+                other => panic!("seed {seed:#x}: pricing presence diverged: {other:?}"),
+            }
+        }
+    }
+}
+
+/// The `fast_vs_naive`-style rerun pinned to the radix engine: when the
+/// process default is radix (i.e. `TRUTHCAST_QUEUE` is not overriding),
+/// a pinned-radix batch is bit-identical to the one-shot algorithms —
+/// full paths and payment vectors, not just costs.
+#[test]
+fn pinned_default_engine_matches_one_shot_algorithms() {
+    let kind = QueueKind::from_env();
+    for seed in [0xB6u64, 0xB7] {
+        let g = node_graph(seed, 32);
+        let sessions = all_to_ap_sessions(32, NodeId(0));
+        let mut engine = PaymentEngine::with_queue(&g, 7, kind);
+        let batch = engine.price_batch(&sessions);
+        for (q, got) in sessions.iter().zip(&batch) {
+            assert_eq!(
+                *got,
+                fast_payments(&g, q.source, q.target),
+                "seed {seed:#x}, session {q:?}"
+            );
+        }
+
+        let gl = link_graph(seed, 32);
+        let mut engine = LinkPaymentEngine::with_queue(&gl, 7, kind);
+        let batch = engine.price_batch(&sessions);
+        for (q, got) in sessions.iter().zip(&batch) {
+            assert_eq!(
+                *got,
+                fast_symmetric_payments(&gl, q.source, q.target),
+                "seed {seed:#x}, session {q:?}"
+            );
+        }
+    }
+}

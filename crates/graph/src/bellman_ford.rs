@@ -51,11 +51,10 @@ pub fn bellman_ford_arcs(g: &LinkWeightedDigraph, origin: NodeId) -> Vec<Cost> {
             if dist[u.index()].is_inf() {
                 continue;
             }
-            let (heads, weights) = g.out_arcs(u);
-            for (&v, &w) in heads.iter().zip(weights) {
-                let cand = dist[u.index()] + w;
-                if cand < dist[v.index()] {
-                    dist[v.index()] = cand;
+            for a in g.out_arcs(u) {
+                let cand = dist[u.index()] + a.weight;
+                if cand < dist[a.head.index()] {
+                    dist[a.head.index()] = cand;
                     changed = true;
                 }
             }

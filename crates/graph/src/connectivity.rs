@@ -179,7 +179,8 @@ pub fn digraph_reachable_without(
     let mut stack = vec![s];
     seen[s.index()] = true;
     while let Some(u) = stack.pop() {
-        for &v in g.out_arcs(u).0 {
+        for a in g.out_arcs(u) {
+            let v = a.head;
             if v == t {
                 return true;
             }
@@ -198,7 +199,8 @@ pub fn digraph_can_reach(g: &LinkWeightedDigraph, t: NodeId) -> Vec<bool> {
     let mut stack = vec![t];
     seen[t.index()] = true;
     while let Some(u) = stack.pop() {
-        for &v in g.in_arcs(u).0 {
+        for a in g.in_arcs(u) {
+            let v = a.head;
             if !seen[v.index()] {
                 seen[v.index()] = true;
                 stack.push(v);

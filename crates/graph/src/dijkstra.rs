@@ -5,13 +5,19 @@
 //! source), backward sweeps (to a target, over reversed arcs), node masks
 //! (agent removal), and early termination at a target — the latter is the
 //! workhorse optimization of our naive payment baseline.
+//!
+//! The sweep body is generic over the workspace's queue engine
+//! ([`QueueKind`]) — monotone radix heap by default, binary heap behind
+//! the knob — and specializes the relax loop on whether any avoidance
+//! constraint is active, so the unconstrained hot path (every batch
+//! pricing sweep) runs with no per-arc mask or edge checks.
 
 use crate::cost::Cost;
 use crate::ids::NodeId;
-use crate::link_weighted::LinkWeightedDigraph;
+use crate::link_weighted::{LinkWeightedDigraph, PackedArc};
 use crate::mask::NodeMask;
 use crate::sweep_obs::SweepCounters;
-use crate::workspace::DijkstraWorkspace;
+use crate::workspace::{DijkstraWorkspace, QueueKind, SweepQueue, SweepTables};
 
 /// Sweep direction for [`dijkstra`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -128,47 +134,80 @@ pub fn dijkstra_in(
     opts: DijkstraOptions<'_>,
 ) {
     ws.begin(g.num_nodes());
+    match ws.kind {
+        QueueKind::Radix => link_sweep(&mut ws.tables, &mut ws.radix, g, origin, direction, opts),
+        QueueKind::Binary => link_sweep(&mut ws.tables, &mut ws.binary, g, origin, direction, opts),
+    }
+}
 
+/// The sweep body, monomorphized per queue engine. The relax loop is
+/// duplicated so the common unconstrained case (no mask, no removed edge)
+/// carries no per-arc checks at all.
+fn link_sweep<Q: SweepQueue>(
+    t: &mut SweepTables,
+    queue: &mut Q,
+    g: &LinkWeightedDigraph,
+    origin: NodeId,
+    direction: Direction,
+    opts: DijkstraOptions<'_>,
+) {
     let mut obs = SweepCounters::default();
 
     let origin_blocked = opts.avoid.is_some_and(|m| m.is_blocked(origin));
     if !origin_blocked {
-        ws.improve(origin.index(), Cost::ZERO, None);
-        ws.heap.push(origin.0, Cost::ZERO);
+        t.improve(origin.index(), Cost::ZERO, None);
+        queue.push(origin.0, Cost::ZERO);
         obs.pushes += 1;
     }
 
-    while let Some((u32key, du)) = ws.heap.pop_min() {
+    let constrained = opts.avoid.is_some() || opts.avoid_edge.is_some();
+    while let Some((u32key, du)) = queue.pop_min() {
         obs.pops += 1;
         let u = NodeId(u32key);
         if Some(u) == opts.target {
             break;
         }
-        let (next, weights) = match direction {
+        let row = match direction {
             Direction::Forward => g.out_arcs(u),
             Direction::Backward => g.in_arcs(u),
         };
-        for (&v, &w) in next.iter().zip(weights) {
-            if opts.avoid.is_some_and(|m| m.is_blocked(v)) && Some(v) != opts.target {
-                continue;
-            }
-            if let Some((a, b)) = opts.avoid_edge {
-                if (u == a && v == b) || (u == b && v == a) {
+        if constrained {
+            for &PackedArc { head: v, weight: w } in row {
+                if opts.avoid.is_some_and(|m| m.is_blocked(v)) && Some(v) != opts.target {
                     continue;
                 }
+                if let Some((a, b)) = opts.avoid_edge {
+                    if (u == a && v == b) || (u == b && v == a) {
+                        continue;
+                    }
+                }
+                obs.relaxations += 1;
+                let cand = du + w;
+                if cand < t.dist_at(v.index()) {
+                    t.improve(v.index(), cand, Some(u));
+                    if queue.push_or_decrease(v.0, cand) {
+                        obs.pushes += 1;
+                    } else {
+                        obs.decrease_keys += 1;
+                    }
+                }
             }
-            obs.relaxations += 1;
-            let cand = du + w;
-            if cand < ws.dist_at(v.index()) {
-                ws.improve(v.index(), cand, Some(u));
-                if ws.heap.push_or_update(v.0, cand) {
-                    obs.pushes += 1;
-                } else {
-                    obs.decrease_keys += 1;
+        } else {
+            for &PackedArc { head: v, weight: w } in row {
+                obs.relaxations += 1;
+                let cand = du + w;
+                if cand < t.dist_at(v.index()) {
+                    t.improve(v.index(), cand, Some(u));
+                    if queue.push_or_decrease(v.0, cand) {
+                        obs.pushes += 1;
+                    } else {
+                        obs.decrease_keys += 1;
+                    }
                 }
             }
         }
     }
+    obs.radix_redistributes = queue.redistributed();
     obs.flush("graph.dijkstra");
 }
 
@@ -335,6 +374,34 @@ mod tests {
     fn zero_distance_to_self() {
         let g = sample();
         assert_eq!(st_distance(&g, NodeId(2), NodeId(2), None), Cost::ZERO);
+    }
+
+    #[test]
+    fn queue_kinds_agree_on_sample() {
+        let g = sample();
+        for origin in [NodeId(0), NodeId(3)] {
+            for direction in [Direction::Forward, Direction::Backward] {
+                let mut radix = DijkstraWorkspace::with_queue(4, QueueKind::Radix);
+                let mut binary = DijkstraWorkspace::with_queue(4, QueueKind::Binary);
+                dijkstra_in(
+                    &mut radix,
+                    &g,
+                    origin,
+                    direction,
+                    DijkstraOptions::default(),
+                );
+                dijkstra_in(
+                    &mut binary,
+                    &g,
+                    origin,
+                    direction,
+                    DijkstraOptions::default(),
+                );
+                for v in g.node_ids() {
+                    assert_eq!(radix.dist(v), binary.dist(v), "{origin} {direction:?} {v}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -12,13 +12,18 @@
 //!   [`link_weighted::LinkWeightedDigraph`] — CSR topologies for the
 //!   paper's two network models (node-cost agents, and vector-type agents
 //!   owning directed link costs);
-//! * [`heap::IndexedHeap`] — a decrease-key/delete binary heap shared by
-//!   Dijkstra and Algorithm 1's sliding crossing-edge window;
+//! * [`heap::IndexedHeap`] — a decrease-key/delete binary heap used by
+//!   Algorithm 1's sliding crossing-edge window and restricted searches,
+//!   and as the differential-testing reference engine for the sweeps;
+//! * [`radix_heap::RadixHeap`] — a monotone bucket queue over fixed-point
+//!   costs, the default Dijkstra engine (`O(m + n log C)`);
 //! * [`dijkstra`] / [`node_dijkstra`] — shortest-path sweeps with node
 //!   masks (agent removal) and early exit;
 //! * [`workspace::DijkstraWorkspace`] — reusable sweep buffers with
 //!   epoch-based `O(1)` clearing, so batch callers pay zero allocations
-//!   per query (the one-shot sweeps run through the same code path);
+//!   per query (the one-shot sweeps run through the same code path); the
+//!   [`workspace::QueueKind`] knob selects radix vs binary per workspace
+//!   (env override `TRUTHCAST_QUEUE=binary`);
 //! * [`spt::Spt`] — shortest-path trees with child lists and preorder
 //!   traversal for the level assignment;
 //! * [`connectivity`] — biconnectivity (the paper's monopoly-freeness
@@ -43,6 +48,7 @@ pub mod link_weighted;
 pub mod mask;
 pub mod node_dijkstra;
 pub mod node_weighted;
+pub mod radix_heap;
 pub mod spt;
 pub mod sweep_obs;
 pub mod workspace;
@@ -50,8 +56,9 @@ pub mod workspace;
 pub use adjacency::{adjacency_from_edges, adjacency_from_pairs, Adjacency, AdjacencyBuilder};
 pub use cost::Cost;
 pub use ids::{node_ids, NodeId};
-pub use link_weighted::LinkWeightedDigraph;
+pub use link_weighted::{LinkWeightedDigraph, PackedArc};
 pub use mask::NodeMask;
 pub use node_weighted::NodeWeightedGraph;
+pub use radix_heap::RadixHeap;
 pub use spt::Spt;
-pub use workspace::DijkstraWorkspace;
+pub use workspace::{DijkstraWorkspace, QueueKind};

@@ -8,20 +8,37 @@
 //! modelled, as in the paper, by setting all of `v_k`'s outgoing link costs
 //! to infinity, which for intermediate nodes is equivalent to deleting the
 //! node.
+//!
+//! # Layout
+//!
+//! Both adjacency directions are CSR with the `(head, weight)` pair
+//! **packed into one slot** ([`PackedArc`]) rather than split across
+//! parallel arrays: the Dijkstra relax loop reads head and weight
+//! together, so packing turns two strided cache streams into one
+//! sequential one. Rows are sorted by head, preserving binary-search
+//! lookups.
 
 use crate::cost::Cost;
 use crate::ids::NodeId;
+
+/// One CSR arc slot: the node at the far end plus the arc cost, packed so
+/// the relax loop touches a single contiguous stream per row.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PackedArc {
+    /// The node at the far end (head for out-rows, tail for in-rows).
+    pub head: NodeId,
+    /// The arc's cost.
+    pub weight: Cost,
+}
 
 /// A directed link-weighted graph in CSR form, with the reverse adjacency
 /// materialized for backward Dijkstra sweeps.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LinkWeightedDigraph {
     out_offsets: Vec<u32>,
-    out_targets: Vec<NodeId>,
-    out_weights: Vec<Cost>,
+    out_arcs: Vec<PackedArc>,
     in_offsets: Vec<u32>,
-    in_sources: Vec<NodeId>,
-    in_weights: Vec<Cost>,
+    in_arcs: Vec<PackedArc>,
 }
 
 impl LinkWeightedDigraph {
@@ -61,29 +78,34 @@ impl LinkWeightedDigraph {
                 offsets.push(acc);
             }
             let mut cursor: Vec<u32> = offsets[..num_nodes].to_vec();
-            let mut targets = vec![NodeId(0); acc as usize];
-            let mut weights = vec![Cost::ZERO; acc as usize];
+            let mut arcs = vec![
+                PackedArc {
+                    head: NodeId(0),
+                    weight: Cost::ZERO,
+                };
+                acc as usize
+            ];
             for a in list {
                 let slot = cursor[key(a)] as usize;
-                targets[slot] = other(a);
-                weights[slot] = a.2;
+                arcs[slot] = PackedArc {
+                    head: other(a),
+                    weight: a.2,
+                };
                 cursor[key(a)] += 1;
             }
-            (offsets, targets, weights)
+            (offsets, arcs)
         };
 
-        let (out_offsets, out_targets, out_weights) = build(|a| a.0.index(), |a| a.1, &list);
+        let (out_offsets, out_arcs) = build(|a| a.0.index(), |a| a.1, &list);
         let mut rev = list;
         rev.sort_unstable_by_key(|&(u, v, w)| (v, u, w));
-        let (in_offsets, in_sources, in_weights) = build(|a| a.1.index(), |a| a.0, &rev);
+        let (in_offsets, in_arcs) = build(|a| a.1.index(), |a| a.0, &rev);
 
         LinkWeightedDigraph {
             out_offsets,
-            out_targets,
-            out_weights,
+            out_arcs,
             in_offsets,
-            in_sources,
-            in_weights,
+            in_arcs,
         }
     }
 
@@ -96,30 +118,31 @@ impl LinkWeightedDigraph {
     /// Number of directed arcs.
     #[inline]
     pub fn num_arcs(&self) -> usize {
-        self.out_targets.len()
+        self.out_arcs.len()
     }
 
-    /// Outgoing arcs of `v` as parallel slices `(heads, costs)`.
+    /// Outgoing arcs of `v` as one packed row, sorted by head.
     #[inline]
-    pub fn out_arcs(&self, v: NodeId) -> (&[NodeId], &[Cost]) {
+    pub fn out_arcs(&self, v: NodeId) -> &[PackedArc] {
         let lo = self.out_offsets[v.index()] as usize;
         let hi = self.out_offsets[v.index() + 1] as usize;
-        (&self.out_targets[lo..hi], &self.out_weights[lo..hi])
+        &self.out_arcs[lo..hi]
     }
 
-    /// Incoming arcs of `v` as parallel slices `(tails, costs)`.
+    /// Incoming arcs of `v` as one packed row (each entry's `head` is the
+    /// arc's *tail*), sorted by tail.
     #[inline]
-    pub fn in_arcs(&self, v: NodeId) -> (&[NodeId], &[Cost]) {
+    pub fn in_arcs(&self, v: NodeId) -> &[PackedArc] {
         let lo = self.in_offsets[v.index()] as usize;
         let hi = self.in_offsets[v.index() + 1] as usize;
-        (&self.in_sources[lo..hi], &self.in_weights[lo..hi])
+        &self.in_arcs[lo..hi]
     }
 
     /// The cost of arc `u → v`, or `Cost::INF` if absent.
     pub fn arc_cost(&self, u: NodeId, v: NodeId) -> Cost {
-        let (heads, costs) = self.out_arcs(u);
-        match heads.binary_search(&v) {
-            Ok(i) => costs[i],
+        let row = self.out_arcs(u);
+        match row.binary_search_by_key(&v, |a| a.head) {
+            Ok(i) => row[i].weight,
             Err(_) => Cost::INF,
         }
     }
@@ -127,7 +150,7 @@ impl LinkWeightedDigraph {
     /// Out-degree of `v`.
     #[inline]
     pub fn out_degree(&self, v: NodeId) -> usize {
-        self.out_arcs(v).0.len()
+        self.out_arcs(v).len()
     }
 
     /// Iterates all node ids.
@@ -137,10 +160,8 @@ impl LinkWeightedDigraph {
 
     /// Iterates all arcs `(tail, head, cost)`.
     pub fn arcs(&self) -> impl Iterator<Item = (NodeId, NodeId, Cost)> + '_ {
-        self.node_ids().flat_map(move |u| {
-            let (heads, costs) = self.out_arcs(u);
-            heads.iter().zip(costs).map(move |(&v, &w)| (u, v, w))
-        })
+        self.node_ids()
+            .flat_map(move |u| self.out_arcs(u).iter().map(move |a| (u, a.head, a.weight)))
     }
 
     /// Total cost of a node sequence interpreted as a directed path: the
@@ -200,11 +221,22 @@ mod tests {
         let g = triangle();
         assert_eq!(g.num_nodes(), 3);
         assert_eq!(g.num_arcs(), 4);
-        let (heads, costs) = g.out_arcs(NodeId(0));
-        assert_eq!(heads, &[NodeId(1), NodeId(2)]);
-        assert_eq!(costs, &[Cost::from_units(2), Cost::from_units(10)]);
-        let (tails, _) = g.in_arcs(NodeId(2));
-        assert_eq!(tails, &[NodeId(0), NodeId(1)]);
+        let row = g.out_arcs(NodeId(0));
+        assert_eq!(
+            row.iter().map(|a| a.head).collect::<Vec<_>>(),
+            vec![NodeId(1), NodeId(2)]
+        );
+        assert_eq!(
+            row.iter().map(|a| a.weight).collect::<Vec<_>>(),
+            vec![Cost::from_units(2), Cost::from_units(10)]
+        );
+        assert_eq!(
+            g.in_arcs(NodeId(2))
+                .iter()
+                .map(|a| a.head)
+                .collect::<Vec<_>>(),
+            vec![NodeId(0), NodeId(1)]
+        );
     }
 
     #[test]
@@ -255,5 +287,15 @@ mod tests {
         let g3 = g.reprice_tails(&[NodeId(0)], |_, _, _| Cost::INF);
         assert_eq!(g3.out_degree(NodeId(0)), 0);
         assert_eq!(g3.arc_cost(NodeId(2), NodeId(0)), Cost::from_units(1));
+    }
+
+    #[test]
+    fn rows_are_sorted_by_head() {
+        let g = LinkWeightedDigraph::from_arcs(
+            4,
+            [arc(0, 3, 1), arc(0, 1, 2), arc(0, 2, 3), arc(3, 0, 4)],
+        );
+        let heads: Vec<NodeId> = g.out_arcs(NodeId(0)).iter().map(|a| a.head).collect();
+        assert_eq!(heads, vec![NodeId(1), NodeId(2), NodeId(3)]);
     }
 }

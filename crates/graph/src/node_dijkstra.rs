@@ -21,7 +21,7 @@ use crate::ids::NodeId;
 use crate::mask::NodeMask;
 use crate::node_weighted::NodeWeightedGraph;
 use crate::sweep_obs::SweepCounters;
-use crate::workspace::DijkstraWorkspace;
+use crate::workspace::{DijkstraWorkspace, QueueKind, SweepQueue, SweepTables};
 
 /// Result of a node-weighted sweep (see module docs for the convention).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -124,38 +124,69 @@ pub fn node_dijkstra_in(
     opts: NodeDijkstraOptions<'_>,
 ) {
     ws.begin(g.num_nodes());
+    match ws.kind {
+        QueueKind::Radix => node_sweep(&mut ws.tables, &mut ws.radix, g, origin, opts),
+        QueueKind::Binary => node_sweep(&mut ws.tables, &mut ws.binary, g, origin, opts),
+    }
+}
 
+/// The sweep body, monomorphized per queue engine; the relax loop is
+/// specialized on mask presence so the unmasked hot path carries no
+/// per-neighbor check.
+fn node_sweep<Q: SweepQueue>(
+    t: &mut SweepTables,
+    queue: &mut Q,
+    g: &NodeWeightedGraph,
+    origin: NodeId,
+    opts: NodeDijkstraOptions<'_>,
+) {
     let mut obs = SweepCounters::default();
 
     let origin_blocked = opts.avoid.is_some_and(|m| m.is_blocked(origin));
     if !origin_blocked {
-        ws.improve(origin.index(), Cost::ZERO, None);
-        ws.heap.push(origin.0, Cost::ZERO);
+        t.improve(origin.index(), Cost::ZERO, None);
+        queue.push(origin.0, Cost::ZERO);
         obs.pushes += 1;
     }
 
-    while let Some((ukey, du)) = ws.heap.pop_min() {
+    while let Some((ukey, du)) = queue.pop_min() {
         obs.pops += 1;
         let u = NodeId(ukey);
         if Some(u) == opts.target {
             break;
         }
-        for &v in g.neighbors(u) {
-            if opts.avoid.is_some_and(|m| m.is_blocked(v)) {
-                continue;
+        if let Some(mask) = opts.avoid {
+            for &v in g.neighbors(u) {
+                if mask.is_blocked(v) {
+                    continue;
+                }
+                obs.relaxations += 1;
+                let cand = du + g.cost(v);
+                if cand < t.dist_at(v.index()) {
+                    t.improve(v.index(), cand, Some(u));
+                    if queue.push_or_decrease(v.0, cand) {
+                        obs.pushes += 1;
+                    } else {
+                        obs.decrease_keys += 1;
+                    }
+                }
             }
-            obs.relaxations += 1;
-            let cand = du + g.cost(v);
-            if cand < ws.dist_at(v.index()) {
-                ws.improve(v.index(), cand, Some(u));
-                if ws.heap.push_or_update(v.0, cand) {
-                    obs.pushes += 1;
-                } else {
-                    obs.decrease_keys += 1;
+        } else {
+            for &v in g.neighbors(u) {
+                obs.relaxations += 1;
+                let cand = du + g.cost(v);
+                if cand < t.dist_at(v.index()) {
+                    t.improve(v.index(), cand, Some(u));
+                    if queue.push_or_decrease(v.0, cand) {
+                        obs.pushes += 1;
+                    } else {
+                        obs.decrease_keys += 1;
+                    }
                 }
             }
         }
     }
+    obs.radix_redistributes = queue.redistributed();
     obs.flush("graph.node_dijkstra");
 }
 

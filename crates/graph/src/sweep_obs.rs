@@ -16,6 +16,9 @@ pub struct SweepCounters {
     pub decrease_keys: u64,
     /// Edge relaxations examined (including non-improving ones).
     pub relaxations: u64,
+    /// Entries moved by radix-heap bucket redistributions (0 on the
+    /// binary engine) — the radix heap's only super-constant work.
+    pub radix_redistributes: u64,
 }
 
 impl SweepCounters {
@@ -32,6 +35,10 @@ impl SweepCounters {
         c.add(&format!("{family}.pops"), self.pops);
         c.add(&format!("{family}.decrease_keys"), self.decrease_keys);
         c.add(&format!("{family}.relaxations"), self.relaxations);
+        c.add(
+            &format!("{family}.radix_redistribute"),
+            self.radix_redistributes,
+        );
         c.observe(&format!("{family}.settled_per_sweep"), self.pops);
     }
 }
@@ -49,6 +56,7 @@ mod tests {
             pops: 2,
             decrease_keys: 3,
             relaxations: 4,
+            radix_redistributes: 5,
         };
         c.flush("graph.test_disabled");
         // No panic, no side effect observable here; the enabled-mode path

@@ -1,7 +1,8 @@
-//! Reusable shortest-path sweep buffers with epoch-based clearing.
+//! Reusable shortest-path sweep buffers with epoch-based clearing, and
+//! the priority-queue engine selection behind every sweep.
 //!
-//! A Dijkstra sweep needs a distance array, a predecessor array, and an
-//! indexed heap — all `O(n)` allocations. For one-shot queries that cost
+//! A Dijkstra sweep needs a distance array, a predecessor array, and a
+//! priority queue — all `O(n)` allocations. For one-shot queries that cost
 //! is noise, but a batch engine pricing thousands of sessions over one
 //! topology pays it per query. A [`DijkstraWorkspace`] owns those buffers
 //! once and makes "clearing" them an epoch bump: every entry carries the
@@ -10,13 +11,20 @@
 //! new sweep is therefore `O(1)` — no `memset`, no allocation — and the
 //! buffers grow monotonically to the largest graph seen.
 //!
+//! The workspace also owns *both* queue engines — the monotone
+//! [`RadixHeap`] (the default: `O(m + n log C)` with bucket inserts
+//! instead of `log n` sift chains) and the binary [`IndexedHeap`]
+//! (retained behind the [`QueueKind`] knob for differential testing) —
+//! and dispatches each sweep to the engine chosen at construction.
+//! `TRUTHCAST_QUEUE=binary` flips the process-wide default.
+//!
 //! Both sweep entry points ([`crate::dijkstra::dijkstra`] and
 //! [`crate::node_dijkstra::node_dijkstra`]) run *through* a workspace —
 //! the one-shot wrappers simply build a fresh one and steal its buffers
 //! for the returned table, so the workspace-backed and one-shot paths are
-//! the same code and produce bit-identical results (same heap, same
-//! relaxation order, same tie-breaking). Batch callers keep a workspace
-//! per worker thread and call the `*_in` variants
+//! the same code and produce bit-identical results (same queue engine,
+//! same relaxation order, same tie-breaking). Batch callers keep a
+//! workspace per worker thread and call the `*_in` variants
 //! ([`crate::dijkstra::dijkstra_in`],
 //! [`crate::node_dijkstra::node_dijkstra_in`]) to amortize every
 //! allocation away.
@@ -24,62 +32,119 @@
 use crate::cost::Cost;
 use crate::heap::IndexedHeap;
 use crate::ids::NodeId;
+use crate::radix_heap::RadixHeap;
 
-/// Reusable sweep state: distance/predecessor/heap buffers plus the epoch
-/// stamps that make per-sweep clearing `O(1)`.
+/// Which priority-queue engine a sweep runs on.
 ///
-/// After a sweep the results stay readable from the workspace (via
-/// [`dist`](DijkstraWorkspace::dist) /
-/// [`parent`](DijkstraWorkspace::parent) /
-/// [`export_into`](DijkstraWorkspace::export_into)) until the next sweep
-/// begins.
+/// Distances and reached sets are identical under either engine; only
+/// tie-breaking among equal-cost paths (and therefore parent trees) may
+/// differ. The differential battery
+/// (`crates/graph/tests/radix_vs_binary.rs`) holds the two equivalent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum QueueKind {
+    /// Monotone radix/bucket heap ([`RadixHeap`]) — the default engine.
+    #[default]
+    Radix,
+    /// Indexed binary heap ([`IndexedHeap`]) — the pre-radix baseline,
+    /// kept for differential testing and ablation benchmarks.
+    Binary,
+}
+
+impl QueueKind {
+    /// The process-wide default engine: [`QueueKind::Radix`], unless the
+    /// `TRUTHCAST_QUEUE=binary` escape hatch is set (read once).
+    pub fn from_env() -> QueueKind {
+        static KIND: std::sync::OnceLock<QueueKind> = std::sync::OnceLock::new();
+        *KIND.get_or_init(|| match std::env::var("TRUTHCAST_QUEUE").as_deref() {
+            Ok("binary") => QueueKind::Binary,
+            _ => QueueKind::Radix,
+        })
+    }
+}
+
+/// The queue operations a sweep needs, implemented by both engines so the
+/// relax loop monomorphizes into direct calls for each.
+pub(crate) trait SweepQueue {
+    /// Inserts a key that is not currently present.
+    fn push(&mut self, key: u32, priority: Cost);
+    /// Removes and returns a minimum entry.
+    fn pop_min(&mut self) -> Option<(u32, Cost)>;
+    /// Inserts `key` or lowers its priority (the caller has already
+    /// verified the new priority improves). Returns `true` on insert.
+    fn push_or_decrease(&mut self, key: u32, priority: Cost) -> bool;
+    /// Entries moved by radix redistributions this sweep (0 for engines
+    /// without redistribution).
+    fn redistributed(&self) -> u64 {
+        0
+    }
+}
+
+impl SweepQueue for IndexedHeap<Cost> {
+    #[inline]
+    fn push(&mut self, key: u32, priority: Cost) {
+        IndexedHeap::push(self, key, priority);
+    }
+    #[inline]
+    fn pop_min(&mut self) -> Option<(u32, Cost)> {
+        IndexedHeap::pop_min(self)
+    }
+    #[inline]
+    fn push_or_decrease(&mut self, key: u32, priority: Cost) -> bool {
+        IndexedHeap::push_or_update(self, key, priority)
+    }
+}
+
+impl SweepQueue for RadixHeap {
+    #[inline]
+    fn push(&mut self, key: u32, priority: Cost) {
+        RadixHeap::push(self, key, priority);
+    }
+    #[inline]
+    fn pop_min(&mut self) -> Option<(u32, Cost)> {
+        RadixHeap::pop_min(self)
+    }
+    #[inline]
+    fn push_or_decrease(&mut self, key: u32, priority: Cost) -> bool {
+        RadixHeap::push_or_decrease(self, key, priority)
+    }
+    #[inline]
+    fn redistributed(&self) -> u64 {
+        RadixHeap::redistributed(self)
+    }
+}
+
+/// Epoch-stamped distance/predecessor tables shared by every sweep.
 #[derive(Clone, Debug)]
-pub struct DijkstraWorkspace {
+pub(crate) struct SweepTables {
     /// Stamp of the current sweep; entries with `stamp[v] != epoch` are
     /// unset.
     epoch: u32,
     stamp: Vec<u32>,
     dist: Vec<Cost>,
     parent: Vec<Option<NodeId>>,
-    pub(crate) heap: IndexedHeap<Cost>,
     /// Node count of the current sweep (≤ buffer capacity).
     n: usize,
 }
 
-impl Default for DijkstraWorkspace {
-    fn default() -> DijkstraWorkspace {
-        DijkstraWorkspace::new()
-    }
-}
-
-impl DijkstraWorkspace {
-    /// An empty workspace; buffers grow on first use.
-    pub fn new() -> DijkstraWorkspace {
-        DijkstraWorkspace::with_capacity(0)
-    }
-
-    /// A workspace pre-sized for graphs of up to `n` nodes.
-    pub fn with_capacity(n: usize) -> DijkstraWorkspace {
-        DijkstraWorkspace {
+impl SweepTables {
+    fn with_capacity(n: usize) -> SweepTables {
+        SweepTables {
             epoch: 0,
             stamp: vec![0; n],
             dist: vec![Cost::INF; n],
             parent: vec![None; n],
-            heap: IndexedHeap::new(n),
             n,
         }
     }
 
     /// Starts a new sweep over an `n`-node graph: bumps the epoch (an
-    /// `O(1)` clear), grows the buffers if needed, and empties the heap.
-    pub(crate) fn begin(&mut self, n: usize) {
+    /// `O(1)` clear) and grows the buffers if needed.
+    fn begin(&mut self, n: usize) {
         if self.stamp.len() < n {
             self.stamp.resize(n, 0);
             self.dist.resize(n, Cost::INF);
             self.parent.resize(n, None);
         }
-        self.heap.ensure_capacity(n);
-        self.heap.clear();
         if self.epoch == u32::MAX {
             // Once per 2^32 sweeps: hard-reset the stamps so the epoch can
             // wrap without ever aliasing a stale entry.
@@ -117,25 +182,95 @@ impl DijkstraWorkspace {
         self.dist[i] = dist;
         self.parent[i] = parent;
     }
+}
+
+/// Reusable sweep state: epoch-stamped distance/predecessor tables plus
+/// both queue engines, dispatched by the workspace's [`QueueKind`].
+///
+/// After a sweep the results stay readable from the workspace (via
+/// [`dist`](DijkstraWorkspace::dist) /
+/// [`parent`](DijkstraWorkspace::parent) /
+/// [`export_into`](DijkstraWorkspace::export_into)) until the next sweep
+/// begins.
+#[derive(Clone, Debug)]
+pub struct DijkstraWorkspace {
+    pub(crate) tables: SweepTables,
+    pub(crate) kind: QueueKind,
+    pub(crate) binary: IndexedHeap<Cost>,
+    pub(crate) radix: RadixHeap,
+}
+
+impl Default for DijkstraWorkspace {
+    fn default() -> DijkstraWorkspace {
+        DijkstraWorkspace::new()
+    }
+}
+
+impl DijkstraWorkspace {
+    /// An empty workspace on the [`QueueKind::from_env`] engine; buffers
+    /// grow on first use.
+    pub fn new() -> DijkstraWorkspace {
+        DijkstraWorkspace::with_capacity(0)
+    }
+
+    /// A workspace pre-sized for graphs of up to `n` nodes, on the
+    /// [`QueueKind::from_env`] engine.
+    pub fn with_capacity(n: usize) -> DijkstraWorkspace {
+        DijkstraWorkspace::with_queue(n, QueueKind::from_env())
+    }
+
+    /// A workspace pre-sized for `n` nodes on an explicit queue engine —
+    /// the knob differential tests and ablation benchmarks pin.
+    pub fn with_queue(n: usize, kind: QueueKind) -> DijkstraWorkspace {
+        DijkstraWorkspace {
+            tables: SweepTables::with_capacity(n),
+            kind,
+            binary: IndexedHeap::new(n),
+            radix: RadixHeap::new(n),
+        }
+    }
+
+    /// The queue engine this workspace runs sweeps on.
+    #[inline]
+    pub fn queue_kind(&self) -> QueueKind {
+        self.kind
+    }
+
+    /// Starts a new sweep over an `n`-node graph: bumps the table epoch
+    /// (an `O(1)` clear), grows the buffers if needed, and resets the
+    /// active queue engine.
+    pub(crate) fn begin(&mut self, n: usize) {
+        self.tables.begin(n);
+        match self.kind {
+            QueueKind::Radix => {
+                self.radix.ensure_capacity(n);
+                self.radix.clear();
+            }
+            QueueKind::Binary => {
+                self.binary.ensure_capacity(n);
+                self.binary.clear();
+            }
+        }
+    }
 
     /// Node count of the most recent sweep.
     #[inline]
     pub fn num_nodes(&self) -> usize {
-        self.n
+        self.tables.n
     }
 
     /// Shortest-path cost of `v` from the most recent sweep, or
     /// [`Cost::INF`] if it was not reached.
     #[inline]
     pub fn dist(&self, v: NodeId) -> Cost {
-        self.dist_at(v.index())
+        self.tables.dist_at(v.index())
     }
 
     /// Predecessor of `v` from the most recent sweep (`None` at the origin
     /// and at unreached nodes).
     #[inline]
     pub fn parent(&self, v: NodeId) -> Option<NodeId> {
-        self.parent_at(v.index())
+        self.tables.parent_at(v.index())
     }
 
     /// Copies the most recent sweep's tables into caller-owned buffers
@@ -144,23 +279,25 @@ impl DijkstraWorkspace {
     pub fn export_into(&self, dist: &mut Vec<Cost>, parent: &mut Vec<Option<NodeId>>) {
         dist.clear();
         parent.clear();
-        dist.extend((0..self.n).map(|i| self.dist_at(i)));
-        parent.extend((0..self.n).map(|i| self.parent_at(i)));
+        dist.extend((0..self.tables.n).map(|i| self.tables.dist_at(i)));
+        parent.extend((0..self.tables.n).map(|i| self.tables.parent_at(i)));
     }
 
     /// Consumes the workspace, normalizing and returning the most recent
     /// sweep's `(dist, parent)` tables — the zero-copy path for the
-    /// one-shot `dijkstra`/`node_dijkstra` wrappers.
-    pub(crate) fn into_tables(mut self) -> (Vec<Cost>, Vec<Option<NodeId>>) {
-        for i in 0..self.n {
-            if self.stamp[i] != self.epoch {
-                self.dist[i] = Cost::INF;
-                self.parent[i] = None;
+    /// one-shot `dijkstra`/`node_dijkstra` wrappers and for batch engines
+    /// materializing a cached table without an extra copy.
+    pub fn into_tables(self) -> (Vec<Cost>, Vec<Option<NodeId>>) {
+        let mut t = self.tables;
+        for i in 0..t.n {
+            if t.stamp[i] != t.epoch {
+                t.dist[i] = Cost::INF;
+                t.parent[i] = None;
             }
         }
-        self.dist.truncate(self.n);
-        self.parent.truncate(self.n);
-        (self.dist, self.parent)
+        t.dist.truncate(t.n);
+        t.parent.truncate(t.n);
+        (t.dist, t.parent)
     }
 }
 
@@ -181,7 +318,7 @@ mod tests {
     fn epoch_bump_clears_previous_sweep() {
         let mut ws = DijkstraWorkspace::new();
         ws.begin(3);
-        ws.improve(1, Cost::from_units(7), Some(NodeId(0)));
+        ws.tables.improve(1, Cost::from_units(7), Some(NodeId(0)));
         assert_eq!(ws.dist(NodeId(1)), Cost::from_units(7));
         ws.begin(3);
         assert_eq!(ws.dist(NodeId(1)), Cost::INF);
@@ -192,11 +329,11 @@ mod tests {
     fn buffers_grow_and_shrink_logically() {
         let mut ws = DijkstraWorkspace::new();
         ws.begin(2);
-        ws.improve(1, Cost::from_units(1), None);
+        ws.tables.improve(1, Cost::from_units(1), None);
         ws.begin(5); // grow
         assert_eq!(ws.num_nodes(), 5);
         assert_eq!(ws.dist(NodeId(4)), Cost::INF);
-        ws.improve(4, Cost::from_units(9), Some(NodeId(0)));
+        ws.tables.improve(4, Cost::from_units(9), Some(NodeId(0)));
         ws.begin(2); // logical shrink: capacity stays, n drops
         assert_eq!(ws.num_nodes(), 2);
         assert_eq!(ws.dist(NodeId(1)), Cost::INF);
@@ -206,14 +343,14 @@ mod tests {
     fn epoch_wraparound_never_aliases() {
         let mut ws = DijkstraWorkspace::with_capacity(2);
         // Drive the epoch to the wrap boundary directly.
-        ws.epoch = u32::MAX - 1;
+        ws.tables.epoch = u32::MAX - 1;
         ws.begin(2); // epoch == u32::MAX
-        ws.improve(0, Cost::from_units(3), None);
+        ws.tables.improve(0, Cost::from_units(3), None);
         assert_eq!(ws.dist(NodeId(0)), Cost::from_units(3));
         ws.begin(2); // wrap: stamps reset, epoch restarts at 1
-        assert_eq!(ws.epoch, 1);
+        assert_eq!(ws.tables.epoch, 1);
         assert_eq!(ws.dist(NodeId(0)), Cost::INF);
-        ws.improve(1, Cost::from_units(4), None);
+        ws.tables.improve(1, Cost::from_units(4), None);
         assert_eq!(ws.dist(NodeId(1)), Cost::from_units(4));
         assert_eq!(ws.dist(NodeId(0)), Cost::INF);
     }
@@ -222,8 +359,8 @@ mod tests {
     fn export_and_into_tables_normalize() {
         let mut ws = DijkstraWorkspace::new();
         ws.begin(3);
-        ws.improve(0, Cost::ZERO, None);
-        ws.improve(2, Cost::from_units(5), Some(NodeId(0)));
+        ws.tables.improve(0, Cost::ZERO, None);
+        ws.tables.improve(2, Cost::from_units(5), Some(NodeId(0)));
         let mut dist = Vec::new();
         let mut parent = Vec::new();
         ws.export_into(&mut dist, &mut parent);
@@ -232,5 +369,13 @@ mod tests {
         let (d2, p2) = ws.into_tables();
         assert_eq!(d2, dist);
         assert_eq!(p2, parent);
+    }
+
+    #[test]
+    fn queue_kind_is_pinnable() {
+        let ws = DijkstraWorkspace::with_queue(4, QueueKind::Binary);
+        assert_eq!(ws.queue_kind(), QueueKind::Binary);
+        let ws = DijkstraWorkspace::with_queue(4, QueueKind::Radix);
+        assert_eq!(ws.queue_kind(), QueueKind::Radix);
     }
 }

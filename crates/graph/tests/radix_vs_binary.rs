@@ -1,0 +1,258 @@
+//! Differential battery: the radix-heap Dijkstra engine must agree with
+//! the binary-heap engine on every sweep family.
+//!
+//! The two engines break ties among equal-priority queue entries
+//! differently, so *paths and parent pointers* may legitimately differ on
+//! tie-heavy instances. What is tie-independent — and therefore asserted
+//! bit-exactly across engines — is:
+//!
+//! * the full distance table (hence the reached set),
+//! * local consistency of each engine's own parent tree
+//!   (`dist[v] == dist[parent(v)] + step cost`, root at the origin),
+//! * early-exit sweeps: the settled *prefix* depends on tie order, so
+//!   only the target's distance is compared.
+//!
+//! Instances cover random unit-disk and Erdős–Rényi topologies, masked
+//! node removal, undirected edge removal, and a tie-heavy small-integer
+//! cost regime that maximizes equal-priority pressure on both queues.
+
+use truthcast_graph::connectivity::is_connected;
+use truthcast_graph::dijkstra::{dijkstra_in, DijkstraOptions, Direction};
+use truthcast_graph::generators::{erdos_renyi, random_udg};
+use truthcast_graph::geometry::Region;
+use truthcast_graph::node_dijkstra::{node_dijkstra_in, NodeDijkstraOptions};
+use truthcast_graph::{
+    Adjacency, Cost, DijkstraWorkspace, LinkWeightedDigraph, NodeId, NodeMask, NodeWeightedGraph,
+    QueueKind,
+};
+use truthcast_rt::{cases, forall, prop_assert, prop_assert_eq, subsequence, Strategy};
+use truthcast_rt::{Rng, SeedableRng, SmallRng};
+
+/// Strategy: a random undirected graph as (n, edge list) with n in 2..14.
+fn small_graph() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (2usize..14).prop_flat_map(|n| {
+        let all_pairs: Vec<(u32, u32)> = (0..n as u32)
+            .flat_map(|u| ((u + 1)..n as u32).map(move |v| (u, v)))
+            .collect();
+        subsequence(all_pairs, 0..=n * (n - 1) / 2).prop_map(move |edges| (n, edges))
+    })
+}
+
+/// A pair of workspaces pinned to the two engines.
+fn engine_pair(n: usize) -> (DijkstraWorkspace, DijkstraWorkspace) {
+    (
+        DijkstraWorkspace::with_queue(n, QueueKind::Radix),
+        DijkstraWorkspace::with_queue(n, QueueKind::Binary),
+    )
+}
+
+/// Asserts the two workspaces agree on every distance (and therefore on
+/// the reached set), and that each one's parent tree is locally
+/// consistent under `step(parent, v)` — the tie-independent contract.
+fn assert_sweeps_agree(
+    radix: &DijkstraWorkspace,
+    binary: &DijkstraWorkspace,
+    n: usize,
+    origin: NodeId,
+    step: impl Fn(NodeId, NodeId) -> Cost,
+) {
+    for v in (0..n).map(NodeId::new) {
+        assert_eq!(radix.dist(v), binary.dist(v), "dist({v}) diverges");
+    }
+    for ws in [radix, binary] {
+        for v in (0..n).map(NodeId::new) {
+            match ws.parent(v) {
+                Some(p) => {
+                    assert!(ws.dist(p).is_finite(), "parent of {v} unreached");
+                    assert_eq!(
+                        ws.dist(v),
+                        ws.dist(p) + step(p, v),
+                        "parent tree inconsistent at {v}"
+                    );
+                }
+                None => {
+                    // Only the origin and unreached nodes lack a parent.
+                    assert!(
+                        v == origin || ws.dist(v).is_inf(),
+                        "reached non-origin {v} has no parent"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Seeded LCG for per-case cost streams inside `forall!` closures.
+fn lcg(seed: u64) -> impl FnMut() -> u64 {
+    let mut s = seed;
+    move || {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        s >> 33
+    }
+}
+
+/// Node-weighted sweeps: full tables, every origin, with and without a
+/// masked (removed) relay. Tie-heavy costs (`% 4`) on odd seeds.
+#[test]
+fn node_sweeps_agree_with_and_without_masks() {
+    forall!(cases(96), (small_graph(), 0u64..1_000_000), |(
+        (n, edges),
+        seed,
+    )| {
+        let mut next = lcg(seed);
+        let modulus = if seed % 2 == 1 { 4 } else { 50 };
+        let costs: Vec<u64> = (0..n).map(|_| next() % modulus).collect();
+        let g = NodeWeightedGraph::from_pairs_units(&edges, &costs);
+        for origin in (0..n).map(NodeId::new) {
+            let (mut radix, mut binary) = engine_pair(n);
+            node_dijkstra_in(&mut radix, &g, origin, NodeDijkstraOptions::default());
+            node_dijkstra_in(&mut binary, &g, origin, NodeDijkstraOptions::default());
+            assert_sweeps_agree(&radix, &binary, n, origin, |_, v| g.cost(v));
+
+            // Masked relay removal: block one non-origin node.
+            let blocked = NodeId::new((origin.index() + 1) % n);
+            let mask = NodeMask::from_nodes(n, [blocked]);
+            let opts = NodeDijkstraOptions {
+                avoid: Some(&mask),
+                target: None,
+            };
+            node_dijkstra_in(&mut radix, &g, origin, opts);
+            node_dijkstra_in(&mut binary, &g, origin, opts);
+            for v in (0..n).map(NodeId::new) {
+                prop_assert_eq!(radix.dist(v), binary.dist(v));
+            }
+            prop_assert!(radix.dist(blocked).is_inf());
+        }
+        Ok(())
+    });
+}
+
+/// Edge-weighted sweeps: both directions, full tables, plus undirected
+/// edge removal — distances must match arc-exactly across engines.
+#[test]
+fn link_sweeps_agree_in_both_directions() {
+    forall!(cases(96), (small_graph(), 0u64..1_000_000), |(
+        (n, edges),
+        seed,
+    )| {
+        let mut next = lcg(seed ^ 0xABCD);
+        let modulus = if seed % 2 == 1 { 3 } else { 40 };
+        let arcs: Vec<(NodeId, NodeId, Cost)> = edges
+            .iter()
+            .flat_map(|&(u, v)| {
+                [
+                    (NodeId(u), NodeId(v), Cost::from_units(next() % modulus + 1)),
+                    (NodeId(v), NodeId(u), Cost::from_units(next() % modulus + 1)),
+                ]
+            })
+            .collect();
+        let g = LinkWeightedDigraph::from_arcs(n, arcs);
+        for direction in [Direction::Forward, Direction::Backward] {
+            let origin = NodeId(0);
+            let (mut radix, mut binary) = engine_pair(n);
+            dijkstra_in(
+                &mut radix,
+                &g,
+                origin,
+                direction,
+                DijkstraOptions::default(),
+            );
+            dijkstra_in(
+                &mut binary,
+                &g,
+                origin,
+                direction,
+                DijkstraOptions::default(),
+            );
+            let step = |p: NodeId, v: NodeId| match direction {
+                Direction::Forward => g.arc_cost(p, v),
+                Direction::Backward => g.arc_cost(v, p),
+            };
+            assert_sweeps_agree(&radix, &binary, n, origin, step);
+        }
+        // Undirected edge removal along each original pair.
+        for &(u, v) in edges.iter().take(4) {
+            let opts = DijkstraOptions {
+                avoid: None,
+                avoid_edge: Some((NodeId(u), NodeId(v))),
+                target: None,
+            };
+            let (mut radix, mut binary) = engine_pair(n);
+            dijkstra_in(&mut radix, &g, NodeId(0), Direction::Forward, opts);
+            dijkstra_in(&mut binary, &g, NodeId(0), Direction::Forward, opts);
+            for w in (0..n).map(NodeId::new) {
+                prop_assert_eq!(radix.dist(w), binary.dist(w));
+            }
+        }
+        Ok(())
+    });
+}
+
+/// Early-exit sweeps settle engine-dependent prefixes, so only the
+/// target's distance is comparable — and it must match the full sweep.
+#[test]
+fn early_exit_targets_agree() {
+    forall!(cases(96), (small_graph(), 0u64..1_000_000), |(
+        (n, edges),
+        seed,
+    )| {
+        let mut next = lcg(seed ^ 0x5EED);
+        let costs: Vec<u64> = (0..n).map(|_| next() % 6).collect();
+        let g = NodeWeightedGraph::from_pairs_units(&edges, &costs);
+        let (mut radix, mut binary) = engine_pair(n);
+        for t in (1..n).map(NodeId::new) {
+            let opts = NodeDijkstraOptions {
+                avoid: None,
+                target: Some(t),
+            };
+            node_dijkstra_in(&mut radix, &g, NodeId(0), opts);
+            node_dijkstra_in(&mut binary, &g, NodeId(0), opts);
+            prop_assert_eq!(radix.dist(t), binary.dist(t));
+            node_dijkstra_in(&mut radix, &g, NodeId(0), NodeDijkstraOptions::default());
+            prop_assert_eq!(radix.dist(t), binary.dist(t));
+        }
+        Ok(())
+    });
+}
+
+/// Wireless-scale seeded instances: connected unit-disk and G(n, p)
+/// topologies with micro-unit costs — the regime the benchmarks measure.
+#[test]
+fn engines_agree_on_wireless_topologies() {
+    for seed in [0xA1u64, 0xA2, 0xA3] {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let side = (96.0f64 * 300.0 * 300.0 * std::f64::consts::PI / 12.0).sqrt();
+        let adj = loop {
+            let (_, adj) = random_udg(96, Region::new(side, side), 300.0, &mut rng);
+            if is_connected(&adj) {
+                break adj;
+            }
+        };
+        check_wireless_instance(adj, &mut rng);
+
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xE5);
+        let adj = loop {
+            let adj = erdos_renyi(64, 0.08, &mut rng);
+            if is_connected(&adj) {
+                break adj;
+            }
+        };
+        check_wireless_instance(adj, &mut rng);
+    }
+}
+
+fn check_wireless_instance(adj: Adjacency, rng: &mut SmallRng) {
+    let n = adj.num_nodes();
+    let costs: Vec<Cost> = (0..n)
+        .map(|_| Cost::from_micros(rng.gen_range(0u64..100_000_000)))
+        .collect();
+    let g = NodeWeightedGraph::new(adj, costs);
+    let (mut radix, mut binary) = engine_pair(n);
+    for origin in [NodeId(0), NodeId::new(n / 2), NodeId::new(n - 1)] {
+        node_dijkstra_in(&mut radix, &g, origin, NodeDijkstraOptions::default());
+        node_dijkstra_in(&mut binary, &g, origin, NodeDijkstraOptions::default());
+        assert_sweeps_agree(&radix, &binary, n, origin, |_, v| g.cost(v));
+    }
+}

@@ -6,8 +6,22 @@
 # samples — minutes, not hours). For publication-grade numbers run
 # `TRUTHCAST_BENCH_QUICK=0 scripts/bench.sh`, or set
 # TRUTHCAST_BENCH_SAMPLES=<n> for a specific sample count.
+#
+# `scripts/bench.sh --compare` runs the suite into a scratch directory
+# instead and diffs it against the committed BENCH_*.json snapshots with
+# the `compare` tool (crates/bench/src/bin/compare.rs), exiting nonzero
+# if any benchmark's median regressed by more than 15%. Snapshots are
+# left untouched in compare mode.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+COMPARE=0
+for arg in "$@"; do
+    case "$arg" in
+        --compare) COMPARE=1 ;;
+        *) echo "unknown argument: $arg" >&2; exit 2 ;;
+    esac
+done
 
 export TRUTHCAST_BENCH_QUICK="${TRUTHCAST_BENCH_QUICK:-1}"
 # Absolute path: cargo runs bench binaries with the *package* directory as
@@ -16,10 +30,22 @@ BENCH_DIR="$(pwd)/${TRUTHCAST_BENCH_DIR:-target/truthcast-bench}"
 case "${TRUTHCAST_BENCH_DIR:-}" in
     /*) BENCH_DIR="$TRUTHCAST_BENCH_DIR" ;;
 esac
+if [ "$COMPARE" = 1 ]; then
+    BENCH_DIR="$(pwd)/target/truthcast-bench-compare"
+    rm -rf "$BENCH_DIR"
+fi
 export TRUTHCAST_BENCH_DIR="$BENCH_DIR"
 
 echo "==> cargo bench -p truthcast-bench (quick=$TRUTHCAST_BENCH_QUICK, dir=$BENCH_DIR)"
 cargo bench --offline -p truthcast-bench
+
+if [ "$COMPARE" = 1 ]; then
+    echo "==> comparing fresh run against committed snapshots (threshold 15%)"
+    cargo run --offline --release -p truthcast-bench --bin compare -- \
+        . "$BENCH_DIR" --threshold 15
+    echo "bench.sh: compare done"
+    exit 0
+fi
 
 echo "==> snapshotting BENCH_*.json into repo root"
 for f in "$BENCH_DIR"/BENCH_*.json; do

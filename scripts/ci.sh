@@ -11,12 +11,22 @@ cargo build --release --offline
 echo "==> cargo test -q --offline"
 cargo test -q --offline
 
-# TRUTHCAST_CI_HEAVY=1 re-runs the batch-vs-sequential differential
-# battery at an elevated case count (the default run above already
-# includes it at the fast count baked into the tests).
+# Bench smoke test: compile every bench target and run one short sample
+# of each into a scratch dir — no thresholds, just "the suite still runs
+# and emits reports". Committed snapshots are untouched.
+echo "==> bench smoke (TRUTHCAST_BENCH_QUICK=1, 1 sample)"
+TRUTHCAST_BENCH_QUICK=1 TRUTHCAST_BENCH_SAMPLES=1 \
+    TRUTHCAST_BENCH_DIR="$(pwd)/target/truthcast-bench-smoke" \
+    cargo bench --offline -p truthcast-bench >/dev/null
+
+# TRUTHCAST_CI_HEAVY=1 re-runs the differential batteries at an elevated
+# case count (the default run above already includes them at the fast
+# count baked into the tests).
 if [ "${TRUTHCAST_CI_HEAVY:-0}" != "0" ]; then
     echo "==> heavy differential battery (TRUTHCAST_CASES=256)"
     TRUTHCAST_CASES=256 cargo test -q --offline -p truthcast-core --test batch_vs_sequential
+    echo "==> heavy radix-vs-binary battery (TRUTHCAST_CASES=256)"
+    TRUTHCAST_CASES=256 cargo test -q --offline -p truthcast-graph --test radix_vs_binary
 fi
 
 echo "==> cargo clippy --offline --workspace --all-targets -- -D warnings"
