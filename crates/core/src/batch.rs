@@ -70,16 +70,18 @@ impl SessionQuery {
 ///
 /// One scratch lives on each worker thread for the whole batch; dropping
 /// it records the worker's session count into the
-/// `core.batch.sessions_per_worker` histogram.
-struct WorkerScratch {
-    ws: DijkstraWorkspace,
-    dist: Vec<Cost>,
-    parent: Vec<Option<NodeId>>,
-    sessions: u64,
+/// `core.batch.sessions_per_worker` histogram. Shared with the
+/// `all_sources` fallback path (which prices its tie-ambiguous sources
+/// through the same per-session pipeline).
+pub(crate) struct WorkerScratch {
+    pub(crate) ws: DijkstraWorkspace,
+    pub(crate) dist: Vec<Cost>,
+    pub(crate) parent: Vec<Option<NodeId>>,
+    pub(crate) sessions: u64,
 }
 
 impl WorkerScratch {
-    fn new(n: usize, kind: QueueKind) -> WorkerScratch {
+    pub(crate) fn new(n: usize, kind: QueueKind) -> WorkerScratch {
         WorkerScratch {
             ws: DijkstraWorkspace::with_queue(n, kind),
             dist: Vec::with_capacity(n),
@@ -225,45 +227,47 @@ impl<'g> PaymentEngine<'g> {
                 scratch.sessions += 1;
                 let q = sessions[i];
                 let tj = &tables[&q.target];
-                price_node_session(g, q, tj, scratch)
+                price_node_session(g, q, &tj.dist, scratch, "batch")
             },
         )
     }
 
-    /// The paper's all-to-AP pattern: one session per node toward `ap`,
-    /// priced as a batch. Index `ap` holds `None`, as do unreachable
-    /// sources — the parallel, cache-sharing equivalent of
-    /// [`crate::price_all_sources`].
+    /// The paper's all-to-AP pattern: every node priced toward `ap` from
+    /// the shared destination-rooted sweep (see [`crate::all_sources`]).
+    /// Index `ap` holds `None`, as do unreachable sources — bit-identical
+    /// to [`crate::price_all_sources`] and to per-source
+    /// `fast_payments`, at any thread count.
+    ///
+    /// The sweep shares the engine's destination cache: a table warmed
+    /// here is reused by later [`PaymentEngine::price_batch`] calls to
+    /// the same `ap`, and vice versa.
     pub fn price_all_to_ap(&mut self, ap: NodeId) -> Vec<Option<UnicastPricing>> {
-        let queries: Vec<SessionQuery> = self
-            .g
-            .node_ids()
-            .filter(|&s| s != ap)
-            .map(|s| SessionQuery::new(s, ap))
-            .collect();
-        let mut priced = self.price_batch(&queries).into_iter();
-        self.g
-            .node_ids()
-            .map(|s| {
-                if s == ap {
-                    None
-                } else {
-                    priced.next().expect("one pricing per non-ap node")
-                }
-            })
-            .collect()
+        let _span = truthcast_obs::span("core.all_sources");
+        self.warm(ap);
+        let tj = &self.target_tables[&ap];
+        let (out, _fallbacks) = crate::all_sources::node_all_sources_from_table(
+            self.g,
+            ap,
+            &tj.dist,
+            &tj.parent,
+            self.threads,
+            self.kind,
+        );
+        out
     }
 }
 
 /// Prices one node-weighted session inside a worker: the same pipeline as
 /// [`crate::fast_payments`], with the source sweep running through the
-/// worker's workspace and the destination table supplied by the engine
-/// cache.
-fn price_node_session(
+/// worker's workspace and the destination-rooted `R'` distances supplied
+/// by the caller (the engine cache, or the `all_sources` shared sweep).
+/// `algo` tags the audit records.
+pub(crate) fn price_node_session(
     g: &NodeWeightedGraph,
     q: SessionQuery,
-    tj: &NodeDistanceTable,
+    tj_dist: &[Cost],
     scratch: &mut WorkerScratch,
+    algo: &'static str,
 ) -> Option<UnicastPricing> {
     assert_ne!(q.source, q.target, "unicast endpoints must differ");
     node_dijkstra_in(&mut scratch.ws, g, q.source, NodeDijkstraOptions::default());
@@ -281,14 +285,14 @@ fn price_node_session(
             payments: vec![],
         });
     }
-    let replacements = replacement_costs(g, &scratch.dist, &tj.dist, &lv);
+    let replacements = replacement_costs(g, &scratch.dist, tj_dist, &lv);
     let payments: Vec<(NodeId, Cost)> = lv.path[1..s]
         .iter()
         .zip(&replacements)
         .map(|(&r, &repl)| (r, vcg_payment_selected(lcp_cost, repl, g.cost(r))))
         .collect();
     audit_unicast(
-        "batch",
+        algo,
         q.source,
         q.target,
         lcp_cost,
@@ -424,20 +428,45 @@ impl<'g> LinkPaymentEngine<'g> {
                 scratch.sessions += 1;
                 let q = sessions[i];
                 let tj = &tables[&q.target];
-                price_link_session(g, q, tj, scratch)
+                price_link_session(g, q, &tj.dist, scratch, "batch_sym")
             },
         )
+    }
+
+    /// The all-to-AP pattern on the link model, from the shared sweep
+    /// (see [`crate::all_sources`]). Index `ap` and unreachable sources
+    /// hold `None`; on an asymmetric graph every slot is `None`. Each
+    /// entry is bit-identical to `fast_symmetric_payments(g, source,
+    /// ap)`.
+    pub fn price_all_to_ap(&mut self, ap: NodeId) -> Vec<Option<UnicastPricing>> {
+        let _span = truthcast_obs::span("core.all_sources");
+        if !self.symmetric {
+            return vec![None; self.g.num_nodes()];
+        }
+        self.warm(ap);
+        let tj = &self.target_tables[&ap];
+        let (out, _fallbacks) = crate::all_sources::link_all_sources_from_table(
+            self.g,
+            ap,
+            &tj.dist,
+            &tj.parent,
+            self.threads,
+            self.kind,
+        );
+        out
     }
 }
 
 /// Prices one symmetric link-cost session inside a worker: the same
 /// pipeline as [`crate::fast_symmetric_payments`] (minus the per-call
-/// symmetry check, hoisted to engine construction).
-fn price_link_session(
+/// symmetry check, hoisted to engine construction). `algo` tags the
+/// audit records.
+pub(crate) fn price_link_session(
     g: &LinkWeightedDigraph,
     q: SessionQuery,
-    tj: &DistanceTable,
+    tj_dist: &[Cost],
     scratch: &mut WorkerScratch,
+    algo: &'static str,
 ) -> Option<UnicastPricing> {
     assert_ne!(q.source, q.target, "unicast endpoints must differ");
     dijkstra_in(
@@ -461,7 +490,7 @@ fn price_link_session(
             payments: vec![],
         });
     }
-    let replacements = edge_weighted_replacement_costs(g, &scratch.dist, &tj.dist, &lv);
+    let replacements = edge_weighted_replacement_costs(g, &scratch.dist, tj_dist, &lv);
     let payments: Vec<(NodeId, Cost)> = (1..s)
         .map(|l| {
             let relay = lv.path[l];
@@ -471,7 +500,7 @@ fn price_link_session(
         })
         .collect();
     audit_unicast(
-        "batch_sym",
+        algo,
         q.source,
         q.target,
         lcp_cost,

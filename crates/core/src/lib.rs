@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod all_sources;
 pub mod baselines;
 pub mod batch;
 pub mod collusion_resistant;
@@ -51,6 +52,7 @@ pub mod pricing;
 pub mod resale;
 pub mod trace;
 
+pub use all_sources::{all_sources_payments, AllSourcesEngine};
 pub use baselines::{compare_fixed_vs_vcg, fixed_price_route, FixedPriceOutcome, SchemeComparison};
 pub use batch::{LinkPaymentEngine, PaymentEngine, SessionQuery};
 pub use collusion_resistant::{

@@ -12,9 +12,9 @@
 //!   network billed per *edge* rather than per *relay*: roughly twice the
 //!   paid agents for the same routes.
 
+use truthcast_core::all_sources::AllSourcesEngine;
 use truthcast_core::baselines::compare_fixed_vs_vcg;
 use truthcast_core::edge_agents::naive_edge_payments;
-use truthcast_core::fast_payments;
 use truthcast_graph::{Cost, NodeId, NodeWeightedGraph};
 
 use crate::node_cost_exp::node_cost_instance;
@@ -116,12 +116,16 @@ pub fn compare_agent_models(n: usize, instances: usize, seed: u64) -> AgentModel
             })
             .collect();
         let dg = truthcast_graph::LinkWeightedDigraph::from_arcs(g.num_nodes(), arcs);
+        // Node-agent side: one shared-sweep pass per instance instead of
+        // one Algorithm 1 sweep pair per source (bit-identical table).
+        let mut node_table =
+            AllSourcesEngine::with_threads(1).price_all_sources(&g, NodeId::ACCESS_POINT);
         let mut node_total = 0.0;
         let mut edge_total = 0.0;
         let mut compared = 0usize;
         for source in g.node_ids().skip(1) {
             let (Some(np), Some(ep)) = (
-                fast_payments(&g, source, NodeId::ACCESS_POINT),
+                node_table[source.index()].take(),
                 naive_edge_payments(&dg, source, NodeId::ACCESS_POINT),
             ) else {
                 continue;

@@ -16,8 +16,9 @@
 use truthcast_rt::SeedableRng;
 use truthcast_rt::SmallRng;
 
+use truthcast_core::all_sources::AllSourcesEngine;
 use truthcast_core::directed::directed_payments;
-use truthcast_core::fast_symmetric::{fast_symmetric_payments, is_symmetric};
+use truthcast_core::fast_symmetric::is_symmetric;
 use truthcast_core::overpayment::{hop_buckets, overpayment_stats, HopBucket, SourceOutcome};
 use truthcast_graph::{LinkWeightedDigraph, NodeId};
 use truthcast_wireless::Deployment;
@@ -60,19 +61,21 @@ impl NetworkModel {
 /// cost incurred by all relay nodes"). Sources adjacent to the AP have no
 /// relays and are skipped by the aggregators (undefined ratio).
 pub fn instance_outcomes(g: &LinkWeightedDigraph, ap: NodeId) -> Vec<SourceOutcome> {
-    // sim1 instances have symmetric link costs, where the fast one-pass
-    // algorithm applies; sim2 is genuinely asymmetric and takes the
-    // per-relay path (see fast_symmetric's module docs).
-    let symmetric = is_symmetric(g);
+    // sim1 instances have symmetric link costs, where one shared-sweep
+    // all-sources pass prices every node at once (bit-identical to the
+    // per-source algorithm); sim2 is genuinely asymmetric and takes the
+    // per-relay path (see fast_symmetric's module docs). One worker: the
+    // caller already shards across instances.
+    let mut table = is_symmetric(g)
+        .then(|| AllSourcesEngine::with_threads(1).price_all_sources_symmetric(g, ap));
     let mut out = Vec::with_capacity(g.num_nodes().saturating_sub(1));
     for source in g.node_ids() {
         if source == ap {
             continue;
         }
-        let pricing = if symmetric {
-            fast_symmetric_payments(g, source, ap)
-        } else {
-            directed_payments(g, source, ap)
+        let pricing = match &mut table {
+            Some(t) => t[source.index()].take(),
+            None => directed_payments(g, source, ap),
         };
         let Some(pricing) = pricing else { continue };
         let first_arc = g.arc_cost(pricing.path[0], pricing.path[1]);
@@ -223,16 +226,19 @@ mod tests {
     }
 
     #[test]
-    fn fast_symmetric_and_naive_agree_on_sim1_instances() {
+    fn all_sources_and_naive_agree_on_sim1_instances() {
         // Cross-validation of the experiment fast path on the real
-        // generative model (symmetric sim1 instances).
+        // generative model (symmetric sim1 instances): the shared-sweep
+        // table must match the per-source directed oracle.
         let model = NetworkModel::UdgPathLoss { kappa: 2.0 };
         for seed in 0..3 {
             let g = model.instance(90, seed);
             assert!(is_symmetric(&g));
+            let table = AllSourcesEngine::with_threads(1)
+                .price_all_sources_symmetric(&g, NodeId::ACCESS_POINT);
             for source in g.node_ids().skip(1).step_by(7) {
                 assert_eq!(
-                    fast_symmetric_payments(&g, source, NodeId::ACCESS_POINT),
+                    table[source.index()],
                     directed_payments(&g, source, NodeId::ACCESS_POINT),
                     "seed {seed} source {source}"
                 );

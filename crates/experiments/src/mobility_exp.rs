@@ -6,10 +6,19 @@
 //! protocol re-converges on the new topology and we record the rounds,
 //! traffic, and how much each node's total payment drifted — the
 //! re-pricing a mobile deployment would have to absorb.
+//!
+//! One warm [`AllSourcesEngine`] lives across all epochs: per-source
+//! payment totals and routes come from its shared-sweep table, and when
+//! an epoch's graph is unchanged (no node moved into or out of range)
+//! the engine's graph-equality cache short-cuts the whole recomputation —
+//! including the distributed re-convergence, which a real deployment
+//! would likewise skip. Reused epochs report zero rounds/broadcasts and
+//! are counted by the `experiments.mobility_epoch_reuse` obs counter.
 
 use truthcast_rt::SeedableRng;
 use truthcast_rt::SmallRng;
 
+use truthcast_core::all_sources::AllSourcesEngine;
 use truthcast_distsim::run_distributed;
 use truthcast_graph::geometry::Region;
 use truthcast_graph::{Cost, NodeId};
@@ -32,6 +41,9 @@ pub struct EpochReport {
     pub mean_payment_drift: f64,
     /// Fraction of sources whose route changed since the previous epoch.
     pub route_churn: f64,
+    /// Whether the warm engine reused the previous epoch's tables (graph
+    /// unchanged — nothing to re-converge).
+    pub reused: bool,
 }
 
 /// Runs `epochs` epochs of `dt`-second movement at speeds
@@ -54,22 +66,34 @@ pub fn run_mobility(
     let mut reports = Vec::with_capacity(epochs);
     let mut prev_totals: Vec<Option<Cost>> = vec![None; n];
     let mut prev_routes: Vec<Option<Vec<NodeId>>> = vec![None; n];
+    // One warm engine across every epoch: reused sweep buffers, and a
+    // graph-equality cache that turns a static epoch into a no-op.
+    let mut engine = AllSourcesEngine::new();
 
     for epoch in 0..epochs {
         if epoch > 0 {
             mobility.advance(&mut deployment, dt, &mut rng);
         }
         let g = deployment.to_node_weighted(costs.clone());
-        let run = run_distributed(&g, NodeId(0));
+        let (pricings, reused) = engine.price_all_sources_reusing(&g, NodeId(0));
+        let (rounds, broadcasts) = if reused {
+            truthcast_obs::add("experiments.mobility_epoch_reuse", 1);
+            (0, 0)
+        } else {
+            let run = run_distributed(&g, NodeId(0));
+            (
+                run.spt.rounds + run.payments.rounds,
+                run.spt.stats.broadcasts + run.payments.stats.broadcasts,
+            )
+        };
 
         let mut drift_sum = 0.0;
         let mut drift_count = 0usize;
         let mut churned = 0usize;
         let mut compared_routes = 0usize;
         let mut routable = 0usize;
-        for i in 1..n {
-            let v = NodeId::new(i);
-            let total = run.spt.route[i].as_ref().map(|_| run.payments.total(v));
+        for (i, pricing) in pricings.iter().enumerate().skip(1) {
+            let total = pricing.as_ref().map(|p| p.total_payment());
             if total.is_some() {
                 routable += 1;
             }
@@ -79,20 +103,21 @@ pub fn run_mobility(
                     drift_count += 1;
                 }
             }
-            if let (Some(prev), Some(cur)) = (&prev_routes[i], &run.spt.route[i]) {
+            let route = pricing.as_ref().map(|p| p.path.clone());
+            if let (Some(prev), Some(cur)) = (&prev_routes[i], &route) {
                 compared_routes += 1;
                 if prev != cur {
                     churned += 1;
                 }
             }
             prev_totals[i] = total;
-            prev_routes[i] = run.spt.route[i].clone();
+            prev_routes[i] = route;
         }
 
         reports.push(EpochReport {
             epoch,
-            rounds: run.spt.rounds + run.payments.rounds,
-            broadcasts: run.spt.stats.broadcasts + run.payments.stats.broadcasts,
+            rounds,
+            broadcasts,
             routable,
             mean_payment_drift: if drift_count > 0 {
                 drift_sum / drift_count as f64
@@ -104,6 +129,7 @@ pub fn run_mobility(
             } else {
                 0.0
             },
+            reused,
         });
     }
     reports
@@ -115,19 +141,20 @@ pub fn mobility_table(rows: &[EpochReport]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:>6} {:>8} {:>12} {:>10} {:>15} {:>12}",
-        "epoch", "rounds", "broadcasts", "routable", "payment drift", "route churn"
+        "{:>6} {:>8} {:>12} {:>10} {:>15} {:>12} {:>7}",
+        "epoch", "rounds", "broadcasts", "routable", "payment drift", "route churn", "reused"
     );
     for r in rows {
         let _ = writeln!(
             out,
-            "{:>6} {:>8} {:>12} {:>10} {:>15.3} {:>11.1}%",
+            "{:>6} {:>8} {:>12} {:>10} {:>15.3} {:>11.1}% {:>7}",
             r.epoch,
             r.rounds,
             r.broadcasts,
             r.routable,
             r.mean_payment_drift,
-            100.0 * r.route_churn
+            100.0 * r.route_churn,
+            if r.reused { "yes" } else { "no" }
         );
     }
     out
@@ -141,9 +168,15 @@ mod tests {
     fn static_epochs_have_no_drift() {
         let rows = run_mobility(60, 3, 30.0, 0.0, 0.0, 7);
         assert_eq!(rows.len(), 3);
+        assert!(!rows[0].reused, "first epoch always computes");
         for r in &rows[1..] {
             assert_eq!(r.mean_payment_drift, 0.0, "{r:?}");
             assert_eq!(r.route_churn, 0.0);
+            // Nothing moved: the warm engine must hit its graph cache and
+            // skip re-convergence entirely.
+            assert!(r.reused, "{r:?}");
+            assert_eq!(r.rounds, 0);
+            assert_eq!(r.broadcasts, 0);
         }
     }
 

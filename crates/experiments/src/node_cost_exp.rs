@@ -4,12 +4,13 @@
 //! is small when the cost of each node is a random value between some
 //! range". This experiment runs that setting directly on the primary
 //! model: UDG topology, scalar relay costs uniform in `[1, 10]`, payments
-//! from Algorithm 1 — complementing the link-cost panels of Figure 3.
+//! from the shared-sweep all-sources engine (bit-identical to per-source
+//! Algorithm 1) — complementing the link-cost panels of Figure 3.
 
 use truthcast_rt::SeedableRng;
 use truthcast_rt::SmallRng;
 
-use truthcast_core::fast_payments;
+use truthcast_core::all_sources::AllSourcesEngine;
 use truthcast_core::overpayment::SourceOutcome;
 use truthcast_graph::{NodeId, NodeWeightedGraph};
 use truthcast_wireless::Deployment;
@@ -25,14 +26,17 @@ pub fn node_cost_instance(n: usize, lo: f64, hi: f64, seed: u64) -> NodeWeighted
     d.to_node_weighted(costs)
 }
 
-/// Per-source outcomes on the node-cost model (Algorithm 1 per source).
+/// Per-source outcomes on the node-cost model — every source priced from
+/// one shared all-sources sweep (bit-identical to per-source
+/// Algorithm 1). One worker: the callers already shard across instances.
 pub fn node_cost_outcomes(g: &NodeWeightedGraph, ap: NodeId) -> Vec<SourceOutcome> {
+    let mut table = AllSourcesEngine::with_threads(1).price_all_sources(g, ap);
     let mut out = Vec::with_capacity(g.num_nodes().saturating_sub(1));
     for source in g.node_ids() {
         if source == ap {
             continue;
         }
-        let Some(pricing) = fast_payments(g, source, ap) else {
+        let Some(pricing) = table[source.index()].take() else {
             continue;
         };
         out.push(SourceOutcome {

@@ -60,5 +60,5 @@ pub use link_weighted::{LinkWeightedDigraph, PackedArc};
 pub use mask::NodeMask;
 pub use node_weighted::NodeWeightedGraph;
 pub use radix_heap::RadixHeap;
-pub use spt::Spt;
+pub use spt::{Spt, SubtreeIntervals};
 pub use workspace::{DijkstraWorkspace, QueueKind};

@@ -110,6 +110,123 @@ impl Spt {
         }
         order
     }
+
+    /// Euler-tour interval labels for the root's tree — O(1) ancestor
+    /// tests and contiguous subtree slices over the preorder sequence.
+    pub fn intervals(&self) -> SubtreeIntervals {
+        SubtreeIntervals::new(self)
+    }
+}
+
+/// Sentinel interval stamp for nodes outside the root's tree.
+const OUT_OF_TREE: u32 = u32::MAX;
+
+/// Euler-tour subtree labeling of an [`Spt`].
+///
+/// Each in-tree node `v` gets its preorder index `enter(v)` and the
+/// preorder index `exit(v)` of the last node in its subtree, so:
+///
+/// * `subtree(v)` is the contiguous preorder slice
+///   `order[enter(v) ..= exit(v)]` (first element is `v` itself);
+/// * `is_ancestor(a, b)` (ancestor-or-self) is two integer compares —
+///   the O(1) membership test the crossing-edge scanner in
+///   `truthcast-core::all_sources` runs once per scanned arc.
+///
+/// Nodes outside the root's tree answer `false` to every membership
+/// question and carry empty subtrees.
+#[derive(Clone, Debug)]
+pub struct SubtreeIntervals {
+    enter: Vec<u32>,
+    exit: Vec<u32>,
+    depth: Vec<u32>,
+    order: Vec<NodeId>,
+}
+
+impl SubtreeIntervals {
+    /// Computes the labeling from a tree (iterative, like
+    /// [`Spt::preorder`]).
+    pub fn new(spt: &Spt) -> SubtreeIntervals {
+        let n = spt.num_nodes();
+        let order = spt.preorder();
+        let mut enter = vec![OUT_OF_TREE; n];
+        let mut exit = vec![OUT_OF_TREE; n];
+        let mut depth = vec![OUT_OF_TREE; n];
+        for (i, &v) in order.iter().enumerate() {
+            enter[v.index()] = i as u32;
+            depth[v.index()] = match spt.parent(v) {
+                Some(p) => depth[p.index()] + 1,
+                None => 0,
+            };
+        }
+        // exit(v) = enter(v) + |subtree(v)| - 1; sizes accumulate upward
+        // in reverse preorder (children before parents).
+        let mut size = vec![1u32; order.len()];
+        for (i, &v) in order.iter().enumerate().skip(1).rev() {
+            let p = spt.parent(v).expect("non-root preorder node has a parent");
+            size[enter[p.index()] as usize] += size[i];
+        }
+        for (i, &v) in order.iter().enumerate() {
+            exit[v.index()] = i as u32 + size[i] - 1;
+        }
+        SubtreeIntervals {
+            enter,
+            exit,
+            depth,
+            order,
+        }
+    }
+
+    /// Whether `v` belongs to the labeled tree.
+    #[inline]
+    pub fn in_tree(&self, v: NodeId) -> bool {
+        self.enter[v.index()] != OUT_OF_TREE
+    }
+
+    /// Preorder index of `v` (`None` outside the tree).
+    #[inline]
+    pub fn enter(&self, v: NodeId) -> Option<u32> {
+        (self.in_tree(v)).then(|| self.enter[v.index()])
+    }
+
+    /// Hops from the root to `v` (`None` outside the tree).
+    #[inline]
+    pub fn depth(&self, v: NodeId) -> Option<u32> {
+        (self.in_tree(v)).then(|| self.depth[v.index()])
+    }
+
+    /// The full preorder sequence of the tree.
+    #[inline]
+    pub fn order(&self) -> &[NodeId] {
+        &self.order
+    }
+
+    /// Ancestor-or-self: whether `a`'s subtree contains `b`. `false`
+    /// whenever either node is outside the tree.
+    #[inline]
+    pub fn is_ancestor(&self, a: NodeId, b: NodeId) -> bool {
+        let (ea, eb) = (self.enter[a.index()], self.enter[b.index()]);
+        // OUT_OF_TREE (u32::MAX) fails `eb <= exit[a]` unless exit[a] is
+        // itself the sentinel, so one explicit check on `b` suffices.
+        eb != OUT_OF_TREE && ea <= eb && eb <= self.exit[a.index()]
+    }
+
+    /// Strict descendant: `is_ancestor(a, b) && a != b`.
+    #[inline]
+    pub fn is_strict_descendant(&self, b: NodeId, a: NodeId) -> bool {
+        b != a && self.is_ancestor(a, b)
+    }
+
+    /// The subtree of `v` as a preorder slice, `v` first. Empty for nodes
+    /// outside the tree.
+    #[inline]
+    pub fn subtree(&self, v: NodeId) -> &[NodeId] {
+        if !self.in_tree(v) {
+            return &[];
+        }
+        let lo = self.enter[v.index()] as usize;
+        let hi = self.exit[v.index()] as usize;
+        &self.order[lo..=hi]
+    }
 }
 
 #[cfg(test)]
@@ -155,6 +272,66 @@ mod tests {
         assert!(t.in_tree(NodeId(0)));
         assert!(t.in_tree(NodeId(4)));
         assert!(!t.in_tree(NodeId(5)));
+    }
+
+    #[test]
+    fn intervals_match_brute_force() {
+        let t = sample();
+        let iv = t.intervals();
+        // Brute-force ancestor oracle via parent chains.
+        let anc = |a: NodeId, b: NodeId| -> bool {
+            if !t.in_tree(a) || !t.in_tree(b) {
+                return false;
+            }
+            let mut cur = b;
+            loop {
+                if cur == a {
+                    return true;
+                }
+                match t.parent(cur) {
+                    Some(p) => cur = p,
+                    None => return false,
+                }
+            }
+        };
+        for a in 0..6u32 {
+            for b in 0..6u32 {
+                let (a, b) = (NodeId(a), NodeId(b));
+                assert_eq!(iv.is_ancestor(a, b), anc(a, b), "{a:?} anc {b:?}");
+                assert_eq!(iv.is_strict_descendant(b, a), a != b && anc(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn subtree_slices_and_depths() {
+        let t = sample();
+        let iv = t.intervals();
+        let mut sub1: Vec<NodeId> = iv.subtree(NodeId(1)).to_vec();
+        sub1.sort_by_key(|v| v.0);
+        assert_eq!(sub1, vec![NodeId(1), NodeId(3), NodeId(4)]);
+        assert_eq!(iv.subtree(NodeId(1))[0], NodeId(1), "subtree starts at v");
+        assert_eq!(iv.subtree(NodeId(0)).len(), 5);
+        assert_eq!(iv.subtree(NodeId(3)), &[NodeId(3)]);
+        assert!(iv.subtree(NodeId(5)).is_empty());
+        assert_eq!(iv.depth(NodeId(0)), Some(0));
+        assert_eq!(iv.depth(NodeId(4)), Some(2));
+        assert_eq!(iv.depth(NodeId(5)), None);
+        assert!(!iv.in_tree(NodeId(5)));
+        assert_eq!(iv.order().len(), 5);
+    }
+
+    #[test]
+    fn path_tree_intervals() {
+        // Degenerate path 0 → 1 → 2 → 3: every prefix is an ancestor.
+        let parent = vec![None, Some(NodeId(0)), Some(NodeId(1)), Some(NodeId(2))];
+        let iv = Spt::from_parents(NodeId(0), &parent).intervals();
+        for a in 0..4u32 {
+            for b in 0..4u32 {
+                assert_eq!(iv.is_ancestor(NodeId(a), NodeId(b)), a <= b);
+            }
+        }
+        assert_eq!(iv.subtree(NodeId(2)), &[NodeId(2), NodeId(3)]);
     }
 
     #[test]

@@ -25,6 +25,8 @@ TRUTHCAST_BENCH_QUICK=1 TRUTHCAST_BENCH_SAMPLES=1 \
 if [ "${TRUTHCAST_CI_HEAVY:-0}" != "0" ]; then
     echo "==> heavy differential battery (TRUTHCAST_CASES=256)"
     TRUTHCAST_CASES=256 cargo test -q --offline -p truthcast-core --test batch_vs_sequential
+    echo "==> heavy all-sources thread-matrix battery (TRUTHCAST_CASES=256)"
+    TRUTHCAST_CASES=256 cargo test -q --offline -p truthcast-core --test all_sources_vs_fast
     echo "==> heavy radix-vs-binary battery (TRUTHCAST_CASES=256)"
     TRUTHCAST_CASES=256 cargo test -q --offline -p truthcast-graph --test radix_vs_binary
 fi

@@ -7,6 +7,7 @@
 //! tie-breaking, or payment arithmetic that moves a single micro-unit
 //! fails here with a readable diff.
 
+use truthcast::core::all_sources::AllSourcesEngine;
 use truthcast::core::batch::{PaymentEngine, SessionQuery};
 use truthcast::core::{fast_payments, naive_payments};
 use truthcast::graph::{Cost, NodeId, NodeWeightedGraph};
@@ -203,4 +204,91 @@ fn golden_bridge_monopoly_multi_session_batch() {
     assert_eq!(snap.counter("core.batch.target_cache_misses"), 1);
     assert_eq!(snap.counter("core.batch.target_cache_hits"), 2);
     assert!(snap.histogram("span.core.batch.price_batch_ns").is_some());
+}
+
+/// The bridge-monopoly topology priced by the all-sources engine in one
+/// shared-sweep pass toward access point 4, with tracing on: every
+/// source's golden pricing at once, audit records under the
+/// `all_sources` tag, and the fallback counters pinned to the hand
+/// derivation.
+///
+/// Hand derivation of the AP-rooted inclusive table (costs
+/// `[0, 1, 2, 1, 0]`, edges as in [`golden_bridge_monopoly`]):
+/// `R′(3) = 1`, `R′(2) = 2`, `R′(0) = 2` (via 2), `R′(1) = 3` — reached
+/// at equal cost via 2 *and* via 0, so node 1 is the topology's one
+/// ambiguous node and its session is the one fallback re-price; every
+/// other source takes the pure shared-sweep path. Both monopoly sources
+/// still route through the cut vertex 2 at payment `INF`.
+#[test]
+fn golden_bridge_monopoly_all_sources_sweep() {
+    let g = NodeWeightedGraph::from_pairs_units(
+        &[(0, 1), (0, 2), (1, 2), (2, 3), (2, 4), (3, 4)],
+        &[0, 1, 2, 1, 0],
+    );
+    let ap = NodeId(4);
+
+    obs::enable();
+    let mut engine = AllSourcesEngine::with_threads(2);
+    let table = engine.price_all_sources(&g, ap);
+    let snap = obs::snapshot();
+    obs::disable();
+
+    // Source 0: monopoly through the cut vertex 2 (shared-sweep path).
+    let p0 = table[0].as_ref().expect("0→4 connected");
+    assert_eq!(p0.path, vec![NodeId(0), NodeId(2), NodeId(4)]);
+    assert_eq!(p0.lcp_cost, units(2));
+    assert_eq!(p0.payments, vec![(NodeId(2), Cost::INF)]);
+
+    // Source 1: the ambiguous node — re-priced by the fallback pipeline,
+    // landing on the same tie-break as the per-source algorithm.
+    let p1 = table[1].as_ref().expect("1→4 connected");
+    assert_eq!(p1.path, vec![NodeId(1), NodeId(2), NodeId(4)]);
+    assert_eq!(p1.lcp_cost, units(2));
+    assert_eq!(p1.payments, vec![(NodeId(2), Cost::INF)]);
+
+    // Sources 2 and 3: direct links, zero relays.
+    for s in [2usize, 3] {
+        let p = table[s].as_ref().expect("direct neighbor");
+        assert_eq!(p.path, vec![NodeId(s as u32), ap]);
+        assert_eq!(p.lcp_cost, Cost::ZERO);
+        assert!(p.payments.is_empty());
+    }
+
+    // The AP's own slot stays empty.
+    assert!(table[4].is_none());
+
+    // The whole table is bit-identical to the per-source oracle.
+    for s in g.node_ids() {
+        let expected = (s != ap).then(|| fast_payments(&g, s, ap)).flatten();
+        assert_eq!(table[s.index()], expected, "source {s}");
+    }
+
+    // Audit replay: both relay-bearing sessions carry exactly one
+    // `all_sources` record re-deriving the monopoly payment.
+    for source in [0u32, 1] {
+        let audits = snap.audits_for("all_sources", source, 4);
+        assert_eq!(audits.len(), 1, "source {source}: one audited relay");
+        let a = audits[0];
+        assert_eq!(a.relay, 2);
+        assert_eq!(a.lcp_cost_micros, units(2).micros());
+        assert_eq!(a.replacement_cost_micros, obs::INF_MICROS);
+        assert_eq!(a.declared_cost_micros, units(2).micros());
+        assert_eq!(a.payment_micros, obs::INF_MICROS);
+        assert!(a.is_consistent(), "{a:?}");
+    }
+    for source in [2u32, 3] {
+        assert!(
+            snap.audits_for("all_sources", source, 4).is_empty(),
+            "zero-relay source {source} has nothing to audit"
+        );
+    }
+
+    // The sweep accounted its work: one pass over 4 sources with exactly
+    // the one hand-derived ambiguous node falling back.
+    assert_eq!(snap.counter("core.all_sources.passes"), 1);
+    assert_eq!(snap.counter("core.all_sources.sources"), 4);
+    assert_eq!(snap.counter("core.all_sources.ambiguous_nodes"), 1);
+    assert_eq!(snap.counter("core.all_sources.fallbacks"), 1);
+    assert_eq!(engine.last_fallbacks(), 1);
+    assert!(snap.histogram("span.core.all_sources_ns").is_some());
 }
