@@ -1,0 +1,61 @@
+//! Model-checker throughput benchmark: explored states per run of the
+//! schedule-space explorer (DESIGN.md §11).
+//!
+//! The explorer's cost per state is dominated by cloning the stage
+//! machine and hashing its state, so its states/second is the quantity
+//! that decides how large an instance the CI batteries can exhaust.
+//! Three representative workloads:
+//!
+//! * `exhaust_diamond4` — the full n=4 honest SPT battery seed: small
+//!   state space, measures fixed overhead per explore() call.
+//! * `exhaust_branch5` — the largest n=5 loss-free space (~8k states,
+//!   ~35k transitions): the steady-state clone+hash+dedup cost.
+//! * `sampled_shaver` — seeded frontier sampling on the feedback
+//!   scenario at width 64: the mix CI's heavy battery runs, where
+//!   per-depth sampling joins the per-state cost.
+//!
+//! Each case asserts the run is violation-free before timing, so a
+//! regression that breaks the invariants cannot masquerade as a speedup.
+
+use truthcast_distsim::explore::{by_name, explore, ExploreConfig};
+use truthcast_rt::bench::{black_box, Harness};
+
+fn main() {
+    let mut h = Harness::new("modelcheck");
+
+    let diamond = by_name("diamond4-honest").expect("registry");
+    let branch = by_name("branch5-honest").expect("registry");
+    let shaver = by_name("branch5-shaver-sampled").expect("registry");
+    let exhaustive = ExploreConfig::default();
+    let sampled = ExploreConfig {
+        max_states: 20_000,
+        sample_width: Some(64),
+        seed: 7,
+        ..Default::default()
+    };
+
+    for (sc, cfg) in [
+        (&diamond, &exhaustive),
+        (&branch, &exhaustive),
+        (&shaver, &sampled),
+    ] {
+        let r = explore(sc, cfg);
+        assert!(
+            r.violations.is_empty() && r.terminals > 0,
+            "{}: timing a broken explorer is meaningless: {}",
+            sc.name,
+            r.summary()
+        );
+    }
+
+    h.bench("exhaust_diamond4", || {
+        black_box(explore(&diamond, &exhaustive).explored)
+    });
+    h.bench("exhaust_branch5", || {
+        black_box(explore(&branch, &exhaustive).explored)
+    });
+    h.bench("sampled_shaver_w64", || {
+        black_box(explore(&shaver, &sampled).explored)
+    });
+    h.finish();
+}

@@ -33,6 +33,16 @@ pub enum Behavior {
         /// Percentage of the true entry it announces (e.g. 50).
         percent: u8,
     },
+    /// Stage 1: the *cost liar* — announces its route distance scaled
+    /// down by `percent` (0–100) while carrying its true source route,
+    /// posing as a cheaper continuation than its declared relay costs
+    /// support. Any honest neighbor can recompute the announced path's
+    /// declared relay cost and catch the mismatch (Algorithm 2's
+    /// announce-consistency audit).
+    UnderclaimDist {
+        /// Percentage of the true distance it announces (e.g. 50).
+        percent: u8,
+    },
 }
 
 impl Behavior {
@@ -56,6 +66,14 @@ impl Behavior {
             _ => None,
         }
     }
+
+    /// The stage-1 distance-underclaiming factor, if any.
+    pub fn underclaim_percent(&self) -> Option<u8> {
+        match *self {
+            Behavior::UnderclaimDist { percent } => Some(percent),
+            _ => None,
+        }
+    }
 }
 
 /// A per-node behavior table.
@@ -69,9 +87,30 @@ impl Behaviors {
     }
 
     /// Sets one node's behavior.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is outside the table this was built for — a
+    /// silently ignored behavior would make a "deviant" run secretly
+    /// honest, so the mistake is loud instead.
     pub fn with(mut self, node: NodeId, b: Behavior) -> Behaviors {
+        assert!(
+            node.index() < self.0.len(),
+            "Behaviors::with: node {node} is out of range for a {}-node behavior table",
+            self.0.len()
+        );
         self.0[node.index()] = b;
         self
+    }
+
+    /// Number of nodes the table covers.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the table is empty (zero nodes).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
     }
 
     /// The behavior of `v`.
@@ -103,6 +142,22 @@ mod tests {
     }
 
     #[test]
+    fn with_out_of_range_node_panics_loudly() {
+        let err = std::panic::catch_unwind(|| {
+            Behaviors::honest(3).with(NodeId(7), Behavior::ShaveEntries { percent: 50 })
+        })
+        .expect_err("out-of-range node must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()).unwrap());
+        assert!(
+            msg.contains("out of range") && msg.contains("3-node"),
+            "unhelpful panic message: {msg}"
+        );
+    }
+
+    #[test]
     fn behavior_queries() {
         assert!(Behavior::HideLinkAndRefuse { peer: NodeId(1) }.refuses_corrections());
         assert!(!Behavior::HideLink { peer: NodeId(1) }.refuses_corrections());
@@ -111,5 +166,14 @@ mod tests {
             Some(50)
         );
         assert_eq!(Behavior::Honest.shave_percent(), None);
+        assert_eq!(
+            Behavior::UnderclaimDist { percent: 40 }.underclaim_percent(),
+            Some(40)
+        );
+        assert_eq!(
+            Behavior::ShaveEntries { percent: 40 }.underclaim_percent(),
+            None
+        );
+        assert_eq!(Behavior::UnderclaimDist { percent: 40 }.hidden_peer(), None);
     }
 }

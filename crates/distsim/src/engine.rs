@@ -24,6 +24,11 @@ pub struct EngineStats {
     /// Total deliveries into inboxes (broadcast fan-out counted per
     /// receiver).
     pub deliveries: usize,
+    /// Messages enqueued for delivery (broadcast fan-out counted per
+    /// receiver, like [`EngineStats::deliveries`]).
+    pub enqueued: usize,
+    /// Messages explicitly dropped by a scheduler ([`RoundEngine::drop_head`]).
+    pub dropped: usize,
 }
 
 impl EngineStats {
@@ -40,6 +45,7 @@ impl EngineStats {
         c.add(&format!("{stage}.broadcasts"), self.broadcasts as u64);
         c.add(&format!("{stage}.directs"), self.directs as u64);
         c.add(&format!("{stage}.deliveries"), self.deliveries as u64);
+        c.add(&format!("{stage}.dropped"), self.dropped as u64);
         c.observe(&format!("{stage}.rounds_per_run"), self.rounds as u64);
     }
 }
@@ -85,6 +91,20 @@ impl<M: Clone> RoundEngine<M> {
 
     /// Creates an engine where each message is delayed a deterministic
     /// pseudo-random 1..=`max_delay` rounds (seeded, reproducible).
+    ///
+    /// # Determinism contract
+    ///
+    /// The delivery schedule is a pure function of `(seed, topology,
+    /// message sequence)`: every [`RoundEngine::broadcast`] /
+    /// [`RoundEngine::send_direct`] call advances one splitmix-style
+    /// jitter stream exactly once per enqueued copy (broadcasts draw one
+    /// bucket per neighbor, in adjacency order), so two engines built
+    /// with the same seed over the same topology and fed the identical
+    /// call sequence deliver identical `(receiver, sender, message)`
+    /// batches in every round. Replay tooling — the model-checking
+    /// explorer's [`crate::explore::Trace`] in particular — depends on
+    /// this guarantee; it is pinned by the `jitter_schedule_is_pure_
+    /// function_of_seed_topology_and_sends` property test.
     pub fn new_jittered(adj: Adjacency, max_delay: usize, seed: u64) -> RoundEngine<M> {
         assert!(max_delay >= 1);
         let n = adj.num_nodes();
@@ -128,6 +148,7 @@ impl<M: Clone> RoundEngine<M> {
         for i in 0..self.adj.neighbors(from).len() {
             let v = self.adj.neighbors(from)[i];
             let bucket = self.pick_bucket();
+            self.stats.enqueued += 1;
             self.future[bucket].push((v, from, msg.clone()));
         }
     }
@@ -137,6 +158,7 @@ impl<M: Clone> RoundEngine<M> {
     pub fn send_direct(&mut self, from: NodeId, to: NodeId, msg: M) {
         self.stats.directs += 1;
         let bucket = self.pick_bucket();
+        self.stats.enqueued += 1;
         self.future[bucket].push((to, from, msg));
     }
 
@@ -165,6 +187,121 @@ impl<M: Clone> RoundEngine<M> {
         }
         true
     }
+
+    // --- Message-granular scheduling (the model-checking surface) ------
+    //
+    // `deliver_round` is one delivery policy: FIFO buckets, whole rounds.
+    // The methods below expose the in-flight message pool at per-message
+    // granularity so an external [`Scheduler`] — in particular the BFS
+    // explorer in [`crate::explore`] — can drive delivery order itself.
+    // Channels are FIFO: for each ordered `(from, to)` pair only the
+    // *oldest* in-flight copy is eligible, modelling link-layer ordering
+    // on a reliable radio link. Reordering is expressed by interleaving
+    // *across* channels, loss by [`RoundEngine::drop_head`].
+
+    /// Number of messages currently in flight (queued, not yet delivered
+    /// or dropped).
+    pub fn in_flight(&self) -> usize {
+        self.future.iter().map(|b| b.len()).sum()
+    }
+
+    /// The distinct nonempty channels, as sorted `(from, to)` pairs. Each
+    /// listed channel has exactly one eligible (head-of-line) message.
+    pub fn channels(&self) -> Vec<(NodeId, NodeId)> {
+        let mut out: Vec<(NodeId, NodeId)> = Vec::new();
+        for bucket in &self.future {
+            for &(to, from, _) in bucket {
+                out.push((from, to));
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The head-of-line message on channel `(from, to)`, if any.
+    pub fn peek_head(&self, from: NodeId, to: NodeId) -> Option<&M> {
+        self.future
+            .iter()
+            .flat_map(|b| b.iter())
+            .find(|&&(t, f, _)| t == to && f == from)
+            .map(|(_, _, m)| m)
+    }
+
+    /// Delivers the head-of-line message on channel `(from, to)` straight
+    /// into `to`'s inbox. Returns `false` if the channel is empty.
+    pub fn deliver_head(&mut self, from: NodeId, to: NodeId) -> bool {
+        match self.take_head(from, to) {
+            Some(msg) => {
+                self.stats.deliveries += 1;
+                self.inboxes[to.index()].push((from, msg));
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drops (loses) the head-of-line message on channel `(from, to)`.
+    /// Returns `false` if the channel is empty.
+    pub fn drop_head(&mut self, from: NodeId, to: NodeId) -> bool {
+        match self.take_head(from, to) {
+            Some(_) => {
+                self.stats.dropped += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn take_head(&mut self, from: NodeId, to: NodeId) -> Option<M> {
+        for bucket in &mut self.future {
+            if let Some(pos) = bucket.iter().position(|&(t, f, _)| t == to && f == from) {
+                let (_, _, msg) = bucket.remove(pos);
+                return Some(msg);
+            }
+        }
+        None
+    }
+
+    /// Visits every in-flight message in queue order (due-soonest bucket
+    /// first, enqueue order within a bucket) as `(from, to, msg)`. Used
+    /// by the explorer's state hashing.
+    pub fn for_each_in_flight(&self, mut f: impl FnMut(NodeId, NodeId, &M)) {
+        for bucket in &self.future {
+            for (to, from, msg) in bucket {
+                f(*from, *to, msg);
+            }
+        }
+    }
+
+    /// Message conservation: everything enqueued was delivered, dropped,
+    /// or is still in flight — nothing is duplicated or silently lost.
+    pub fn conservation_holds(&self) -> bool {
+        self.stats.enqueued == self.stats.deliveries + self.stats.dropped + self.in_flight()
+    }
+}
+
+/// A delivery policy over a [`RoundEngine`]'s in-flight message pool.
+///
+/// [`RoundEngine::deliver_round`] is the built-in FIFO policy (whole
+/// rounds at a time); a `Scheduler` instead picks one channel action at a
+/// time from the eligible set, which is what lets a model checker
+/// enumerate *every* ordering: the BFS explorer in [`crate::explore`] is
+/// a branching scheduler that forks the engine at each decision, and
+/// [`crate::explore::Trace`] replays one recorded decision sequence.
+pub trait Scheduler {
+    /// Picks the next action given the nonempty channels (as returned by
+    /// [`RoundEngine::channels`]); `None` parks the scheduler (run over).
+    fn next_action(&mut self, channels: &[(NodeId, NodeId)]) -> Option<SchedulerAction>;
+}
+
+/// One scheduling decision over a channel's head-of-line message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedulerAction {
+    /// Deliver the head-of-line message of channel `(from, to)`.
+    Deliver(NodeId, NodeId),
+    /// Drop (lose) the head-of-line message of channel `(from, to)`.
+    Drop(NodeId, NodeId),
 }
 
 #[cfg(test)]
@@ -262,6 +399,69 @@ mod tests {
         assert_eq!(run(5), run(5));
         // Different seeds almost surely schedule differently.
         assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn channels_are_fifo_per_ordered_pair() {
+        let adj = adjacency_from_pairs(3, &[(0, 1), (0, 2)]);
+        let mut eng: RoundEngine<u32> = RoundEngine::new(adj);
+        eng.broadcast(NodeId(0), 1);
+        eng.broadcast(NodeId(0), 2);
+        assert_eq!(
+            eng.channels(),
+            vec![(NodeId(0), NodeId(1)), (NodeId(0), NodeId(2))]
+        );
+        assert_eq!(eng.in_flight(), 4);
+        // Head-of-line on (0→1) is the first broadcast's copy.
+        assert_eq!(eng.peek_head(NodeId(0), NodeId(1)), Some(&1));
+        assert!(eng.deliver_head(NodeId(0), NodeId(1)));
+        assert_eq!(eng.peek_head(NodeId(0), NodeId(1)), Some(&2));
+        assert!(eng.deliver_head(NodeId(0), NodeId(1)));
+        assert_eq!(
+            eng.take_inbox(NodeId(1)),
+            vec![(NodeId(0), 1), (NodeId(0), 2)]
+        );
+        assert!(!eng.deliver_head(NodeId(0), NodeId(1)), "channel drained");
+        assert_eq!(eng.channels(), vec![(NodeId(0), NodeId(2))]);
+    }
+
+    #[test]
+    fn conservation_accounts_for_drops() {
+        let adj = adjacency_from_pairs(3, &[(0, 1), (0, 2)]);
+        let mut eng: RoundEngine<u32> = RoundEngine::new(adj);
+        eng.broadcast(NodeId(0), 7);
+        eng.send_direct(NodeId(1), NodeId(2), 8);
+        assert_eq!(eng.stats.enqueued, 3);
+        assert!(eng.conservation_holds());
+        assert!(eng.drop_head(NodeId(0), NodeId(2)));
+        assert!(eng.conservation_holds());
+        assert!(eng.deliver_head(NodeId(0), NodeId(1)));
+        assert!(eng.deliver_head(NodeId(1), NodeId(2)));
+        assert!(eng.conservation_holds());
+        assert_eq!(eng.stats.dropped, 1);
+        assert_eq!(eng.stats.deliveries, 2);
+        assert_eq!(eng.in_flight(), 0);
+    }
+
+    #[test]
+    fn deliver_round_and_head_account_identically() {
+        let mk = || {
+            let adj = adjacency_from_pairs(2, &[(0, 1)]);
+            let mut eng: RoundEngine<u32> = RoundEngine::new(adj);
+            eng.broadcast(NodeId(0), 1);
+            eng.broadcast(NodeId(0), 2);
+            eng
+        };
+        let mut by_round = mk();
+        while by_round.deliver_round() {}
+        let mut by_head = mk();
+        while by_head.deliver_head(NodeId(0), NodeId(1)) {}
+        assert_eq!(by_round.stats.deliveries, by_head.stats.deliveries);
+        assert!(by_round.conservation_holds() && by_head.conservation_holds());
+        assert_eq!(
+            by_round.take_inbox(NodeId(1)),
+            by_head.take_inbox(NodeId(1))
+        );
     }
 
     #[test]

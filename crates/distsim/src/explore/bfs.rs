@@ -1,0 +1,371 @@
+//! Breadth-first schedule-space exploration with invariant checking.
+//!
+//! From a scenario's initial state the explorer enumerates every
+//! scheduler action (deliver any channel's head-of-line message; drop a
+//! droppable head while the drop budget lasts), pruning states already
+//! seen by FNV-1a hash. BFS order means the first schedule reaching any
+//! state — including a violating one — is among the shortest, so emitted
+//! traces are naturally minimized.
+//!
+//! Invariants checked (ISSUE terminology):
+//!
+//! * **I1 `ConvergedValues`** — at every quiescent state of a no-drop
+//!   schedule of an *honest* scenario, distances (stage 1) and payment
+//!   entries (stage 2) are bit-equal to the centralized references from
+//!   [`truthcast_core::all_sources_payments`].
+//! * **I2 `DeviantsPunished`** — at every quiescent no-drop state of a
+//!   *deviant* scenario, every scripted deviant is accused by at least
+//!   one **honest** node.
+//! * **I3 `HonestUnaccused`** — at those same states, no accusation
+//!   **by an honest node** targets an honest node.
+//! * **I4 `MessageConservation`** — at **every** explored state,
+//!   `enqueued == delivered + dropped + in-flight` in the engine.
+//!
+//! I2/I3 quantify over *honest-sourced* accusations because a cheater
+//! can frame: a payment shaver's scaled-down announces contaminate an
+//! honest neighbor's entries, and when that neighbor re-announces the
+//! derived value, the shaver — as the named trigger — audits it against
+//! its own *true* entries and accuses the honest node of the very lie it
+//! told. The explorer found exactly this on the feedback scenarios.
+//! Honest-sourced accusations are immune: an honest trigger's expected
+//! candidate only decreases over time, so a value an honest node derived
+//! from the trigger's own earlier announce can never drop below the
+//! trigger's current expectation. With accusations carrying signed
+//! announces as evidence (the paper's assumption), the network discards
+//! a convicted accuser's claims, so honest-sourced verdicts are the
+//! operative ones.
+//!
+//! I1–I3 are only claimed at quiescence of loss-free schedules: a dropped
+//! re-announce legitimately leaves stale state that the protocol (like
+//! any distance-vector protocol) cannot distinguish from a lie, so drop
+//! exploration checks conservation only (see DESIGN.md §11).
+
+use std::collections::HashSet;
+
+use crate::engine::SchedulerAction;
+
+use super::model::StageModel;
+use super::scenario::Scenario;
+use super::trace::Trace;
+
+/// Exploration limits and modes.
+#[derive(Clone, Debug)]
+pub struct ExploreConfig {
+    /// Stop (and mark `truncated`) after this many explored states.
+    pub max_states: usize,
+    /// Maximum message drops along any single schedule (0 = loss-free).
+    pub drop_budget: usize,
+    /// Keep at most this many frontier states per depth, chosen by a
+    /// seeded deterministic sample (`None` = exhaustive).
+    pub sample_width: Option<usize>,
+    /// Seed for frontier sampling.
+    pub seed: u64,
+    /// Stop after this many violations (each carries a full trace).
+    pub max_violations: usize,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> ExploreConfig {
+        ExploreConfig {
+            max_states: 1_000_000,
+            drop_budget: 0,
+            sample_width: None,
+            seed: 0,
+            max_violations: 8,
+        }
+    }
+}
+
+/// The four machine-checked invariants.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Invariant {
+    /// I1: converged values bit-equal the centralized references.
+    ConvergedValues,
+    /// I2: every scripted deviant is detected and punished.
+    DeviantsPunished,
+    /// I3: no honest node is ever punished.
+    HonestUnaccused,
+    /// I4: engine message conservation.
+    MessageConservation,
+}
+
+/// One invariant failure, with the schedule that produced it.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Which invariant failed.
+    pub invariant: Invariant,
+    /// Human-readable specifics.
+    pub detail: String,
+    /// Minimal-length replayable schedule reaching the failing state.
+    pub trace: Trace,
+}
+
+/// What an exploration covered and found.
+#[derive(Clone, Debug)]
+pub struct ExploreReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Distinct states expanded.
+    pub explored: usize,
+    /// Successor states skipped because their hash was already seen.
+    pub pruned: usize,
+    /// Quiescent states reached.
+    pub terminals: usize,
+    /// Longest schedule expanded.
+    pub max_depth: usize,
+    /// Whether any limit (states, sampling) cut the search short.
+    pub truncated: bool,
+    /// Invariant failures (empty = all checks passed on everything
+    /// explored).
+    pub violations: Vec<Violation>,
+    /// Shortest schedule reaching quiescence, if any terminal was seen.
+    pub first_terminal_trace: Option<Trace>,
+}
+
+impl ExploreReport {
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: explored {} pruned {} terminals {} depth {}{}{}",
+            self.scenario,
+            self.explored,
+            self.pruned,
+            self.terminals,
+            self.max_depth,
+            if self.truncated { " (truncated)" } else { "" },
+            if self.violations.is_empty() {
+                String::from(" — ok")
+            } else {
+                format!(" — {} VIOLATIONS", self.violations.len())
+            }
+        )
+    }
+}
+
+struct FrontierEntry<'a> {
+    model: StageModel<'a>,
+    /// Index into the parent-pointer arena (`usize::MAX` = root).
+    node: usize,
+    drops: usize,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Reconstructs the schedule reaching `node` from the parent arena.
+fn steps_to(arena: &[(usize, SchedulerAction)], mut node: usize) -> Vec<SchedulerAction> {
+    let mut steps = Vec::new();
+    while node != usize::MAX {
+        let (parent, action) = arena[node];
+        steps.push(action);
+        node = parent;
+    }
+    steps.reverse();
+    steps
+}
+
+/// Explores the scenario's schedule space breadth-first under `cfg`.
+pub fn explore(sc: &Scenario, cfg: &ExploreConfig) -> ExploreReport {
+    let mut arena: Vec<(usize, SchedulerAction)> = Vec::new();
+    let mut seen: HashSet<u64> = HashSet::new();
+    let root = sc.model();
+    seen.insert(root.state_hash());
+    let mut frontier = vec![FrontierEntry {
+        model: root,
+        node: usize::MAX,
+        drops: 0,
+    }];
+
+    let mut report = ExploreReport {
+        scenario: sc.name.clone(),
+        explored: 0,
+        pruned: 0,
+        terminals: 0,
+        max_depth: 0,
+        truncated: false,
+        violations: Vec::new(),
+        first_terminal_trace: None,
+    };
+    let deviants = sc.deviants();
+    let mut depth = 0usize;
+
+    'search: while !frontier.is_empty() {
+        let mut next: Vec<FrontierEntry> = Vec::new();
+        for entry in &frontier {
+            if report.explored >= cfg.max_states {
+                report.truncated = true;
+                break 'search;
+            }
+            report.explored += 1;
+            report.max_depth = report.max_depth.max(depth);
+
+            // I4 holds at every state, violated or not — check first.
+            if !entry.model.conservation_holds() {
+                let s = entry.model.stats();
+                report.violations.push(Violation {
+                    invariant: Invariant::MessageConservation,
+                    detail: format!(
+                        "enqueued {} != delivered {} + dropped {} + in flight",
+                        s.enqueued, s.deliveries, s.dropped
+                    ),
+                    trace: sc.trace_of(steps_to(&arena, entry.node)),
+                });
+            }
+
+            let channels = entry.model.channels();
+            if channels.is_empty() {
+                report.terminals += 1;
+                if report.first_terminal_trace.is_none() {
+                    report.first_terminal_trace = Some(sc.trace_of(steps_to(&arena, entry.node)));
+                }
+                check_terminal(sc, &deviants, entry, &arena, &mut report);
+                if report.violations.len() >= cfg.max_violations {
+                    report.truncated = true;
+                    break 'search;
+                }
+                continue;
+            }
+
+            for &(from, to) in &channels {
+                let mut child = entry.model.clone();
+                child.apply(SchedulerAction::Deliver(from, to));
+                if seen.insert(child.state_hash()) {
+                    arena.push((entry.node, SchedulerAction::Deliver(from, to)));
+                    next.push(FrontierEntry {
+                        model: child,
+                        node: arena.len() - 1,
+                        drops: entry.drops,
+                    });
+                } else {
+                    report.pruned += 1;
+                }
+                if entry.drops < cfg.drop_budget && entry.model.head_is_droppable(from, to) {
+                    let mut child = entry.model.clone();
+                    child.apply(SchedulerAction::Drop(from, to));
+                    if seen.insert(child.state_hash()) {
+                        arena.push((entry.node, SchedulerAction::Drop(from, to)));
+                        next.push(FrontierEntry {
+                            model: child,
+                            node: arena.len() - 1,
+                            drops: entry.drops + 1,
+                        });
+                    } else {
+                        report.pruned += 1;
+                    }
+                }
+            }
+        }
+
+        if let Some(width) = cfg.sample_width {
+            if next.len() > width {
+                // Deterministic partial Fisher–Yates: keep `width` states
+                // chosen by the seeded stream, drop the rest.
+                let mut rng = cfg.seed ^ (depth as u64).wrapping_mul(0x9e37_79b9);
+                for i in 0..width {
+                    let j = i + (splitmix64(&mut rng) as usize) % (next.len() - i);
+                    next.swap(i, j);
+                }
+                next.truncate(width);
+                report.truncated = true;
+            }
+        }
+        frontier = next;
+        depth += 1;
+    }
+
+    truthcast_obs::add("distsim.modelcheck.explored", report.explored as u64);
+    truthcast_obs::add("distsim.modelcheck.pruned", report.pruned as u64);
+    truthcast_obs::add("distsim.modelcheck.terminals", report.terminals as u64);
+    truthcast_obs::add(
+        "distsim.modelcheck.violations",
+        report.violations.len() as u64,
+    );
+    truthcast_obs::observe("distsim.modelcheck.depth", report.max_depth as u64);
+    report
+}
+
+/// I1–I3 at a quiescent state. Only claimed for loss-free schedules:
+/// after a drop, stale distance-vector state is indistinguishable from
+/// a lie, so deviant detection is not sound there (I4 still is).
+fn check_terminal(
+    sc: &Scenario,
+    deviants: &[truthcast_graph::NodeId],
+    entry: &FrontierEntry<'_>,
+    arena: &[(usize, SchedulerAction)],
+    report: &mut ExploreReport,
+) {
+    if entry.drops > 0 {
+        return;
+    }
+    let verdict = entry.model.verdict();
+    let mut fail = |invariant: Invariant, detail: String| {
+        report.violations.push(Violation {
+            invariant,
+            detail,
+            trace: sc.trace_of(steps_to(arena, entry.node)),
+        });
+    };
+    if deviants.is_empty() {
+        if !verdict.dist.is_empty() && verdict.dist != sc.expected_dist {
+            fail(
+                Invariant::ConvergedValues,
+                format!(
+                    "dist {:?} != centralized {:?}",
+                    verdict.dist, sc.expected_dist
+                ),
+            );
+        }
+        if !verdict.entries.is_empty() {
+            let mut got = verdict.entries.clone();
+            for row in &mut got {
+                row.sort_by_key(|&(k, _)| k);
+            }
+            if got != sc.expected_entries {
+                fail(
+                    Invariant::ConvergedValues,
+                    format!("entries {:?} != centralized {:?}", got, sc.expected_entries),
+                );
+            }
+        }
+    }
+    // Honest-sourced accusations only: a convicted cheater's accusations
+    // are framing attempts, not verdicts (module docs).
+    let honest_accused: Vec<truthcast_graph::NodeId> = verdict
+        .outcome
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            crate::verified::Event::Accused { by, target } if !deviants.contains(by) => {
+                Some(*target)
+            }
+            _ => None,
+        })
+        .collect();
+    for d in deviants {
+        if !honest_accused.contains(d) {
+            fail(
+                Invariant::DeviantsPunished,
+                format!(
+                    "deviant {d} escaped punishment: {:?}",
+                    verdict.outcome.events
+                ),
+            );
+        }
+    }
+    for t in &honest_accused {
+        if !deviants.contains(t) {
+            fail(
+                Invariant::HonestUnaccused,
+                format!(
+                    "honest {t} accused by an honest node: {:?}",
+                    verdict.outcome.events
+                ),
+            );
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Stateright-style model checking for the verified protocol
+//! (ROADMAP item 3).
+//!
+//! The FIFO round drivers exercise Algorithm 2 under exactly one message
+//! schedule per seed. This module explores *all* of them on small
+//! instances: a breadth-first search over [`crate::engine::RoundEngine`]
+//! executions where each step delivers (or, within a budget, drops) one
+//! channel's head-of-line message, with FNV-1a state-hash pruning. Every
+//! quiescent state of a loss-free schedule is checked against the
+//! centralized references and the punishment contract; every state is
+//! checked for message conservation. Violations come back as minimized
+//! [`Trace`]s that replay bit-identically — the committed ones live in
+//! `tests/modelcheck_counterexamples.rs`.
+//!
+//! Submodules: [`hash`] (FNV-1a), [`model`] (the unified stage model +
+//! [`model::drive`]), [`scenario`] (named instances + registry),
+//! [`bfs`] (the explorer), [`trace`] (serialization + replay). See
+//! DESIGN.md §11 for the architecture write-up.
+
+pub mod bfs;
+pub mod hash;
+pub mod model;
+pub mod scenario;
+pub mod trace;
+
+pub use bfs::{explore, ExploreConfig, ExploreReport, Invariant, Violation};
+pub use hash::Fnv64;
+pub use model::{drive, Stage, StageModel, TerminalVerdict};
+pub use scenario::{all as all_scenarios, battery, by_name, Scenario};
+pub use trace::{ReplayOutcome, ReplayScheduler, Trace};

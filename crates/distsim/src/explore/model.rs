@@ -1,0 +1,152 @@
+//! The unified protocol model the explorer steps through.
+//!
+//! [`StageModel`] wraps either stage's step machine behind one interface:
+//! enumerate nonempty channels, apply a [`SchedulerAction`], hash the
+//! state, extract the terminal verdict. The BFS in [`crate::explore::bfs`]
+//! and the trace replayer in [`crate::explore::trace`] both drive models
+//! exclusively through this surface, so every schedule they produce is
+//! expressible as a plain action list.
+
+use truthcast_graph::{Cost, NodeId};
+
+use crate::engine::{EngineStats, Scheduler, SchedulerAction};
+use crate::verified::{Stage1Machine, Stage2Machine, VerifiedOutcome};
+
+use super::hash::Fnv64;
+
+/// Which protocol stage a scenario (and its model) runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stage {
+    /// Stage 1: the verified distributed SPT ([`Stage1Machine`]).
+    Spt,
+    /// Stage 2: the verified payment relaxation ([`Stage2Machine`]).
+    Payments,
+}
+
+/// A steppable protocol execution: one of the two verified stage
+/// machines, driven message-by-message.
+#[derive(Clone)]
+pub enum StageModel<'a> {
+    /// A stage-1 execution.
+    Spt(Stage1Machine<'a>),
+    /// A stage-2 execution.
+    Payments(Stage2Machine<'a>),
+}
+
+/// Everything an invariant check needs from a terminal state.
+#[derive(Clone, Debug)]
+pub struct TerminalVerdict {
+    /// Converged distances (stage 1; empty for stage 2).
+    pub dist: Vec<Cost>,
+    /// Converged payment entries (stage 2; empty for stage 1).
+    pub entries: Vec<Vec<(NodeId, Cost)>>,
+    /// Enforcement events + punished set.
+    pub outcome: VerifiedOutcome,
+}
+
+impl StageModel<'_> {
+    /// The distinct nonempty `(from, to)` channels, sorted.
+    pub fn channels(&self) -> Vec<(NodeId, NodeId)> {
+        match self {
+            StageModel::Spt(m) => m.channels(),
+            StageModel::Payments(m) => m.channels(),
+        }
+    }
+
+    /// Applies one scheduler action. Returns `false` if it was not
+    /// applicable (empty channel, or dropping an undroppable head).
+    pub fn apply(&mut self, action: SchedulerAction) -> bool {
+        match (self, action) {
+            (StageModel::Spt(m), SchedulerAction::Deliver(f, t)) => m.deliver_and_process(f, t),
+            (StageModel::Spt(m), SchedulerAction::Drop(f, t)) => m.drop_head(f, t),
+            (StageModel::Payments(m), SchedulerAction::Deliver(f, t)) => {
+                m.deliver_and_process(f, t)
+            }
+            (StageModel::Payments(m), SchedulerAction::Drop(f, t)) => m.drop_head(f, t),
+        }
+    }
+
+    /// Whether the head-of-line message on `(from, to)` may be dropped.
+    pub fn head_is_droppable(&self, from: NodeId, to: NodeId) -> bool {
+        match self {
+            StageModel::Spt(m) => m.head_is_droppable(from, to),
+            StageModel::Payments(m) => m.head_is_droppable(from, to),
+        }
+    }
+
+    /// Whether no message is in flight.
+    pub fn is_quiescent(&self) -> bool {
+        match self {
+            StageModel::Spt(m) => m.is_quiescent(),
+            StageModel::Payments(m) => m.is_quiescent(),
+        }
+    }
+
+    /// Message conservation (invariant I4).
+    pub fn conservation_holds(&self) -> bool {
+        match self {
+            StageModel::Spt(m) => m.conservation_holds(),
+            StageModel::Payments(m) => m.conservation_holds(),
+        }
+    }
+
+    /// Engine traffic totals.
+    pub fn stats(&self) -> EngineStats {
+        match self {
+            StageModel::Spt(m) => m.stats(),
+            StageModel::Payments(m) => m.stats(),
+        }
+    }
+
+    /// FNV-1a digest of the full protocol state (the pruning key).
+    pub fn state_hash(&self) -> u64 {
+        let mut h = Fnv64::new();
+        match self {
+            StageModel::Spt(m) => m.feed_state(&mut |w| h.write_u64(w)),
+            StageModel::Payments(m) => m.feed_state(&mut |w| h.write_u64(w)),
+        }
+        h.finish()
+    }
+
+    /// Runs the stage's post-convergence audit and returns the values an
+    /// invariant check compares (valid at any state; meaningful at
+    /// quiescent ones).
+    pub fn verdict(&self) -> TerminalVerdict {
+        match self {
+            StageModel::Spt(m) => {
+                let (spt, outcome) = m.finish();
+                TerminalVerdict {
+                    dist: spt.dist,
+                    entries: Vec::new(),
+                    outcome,
+                }
+            }
+            StageModel::Payments(m) => {
+                let (entries, outcome) = m.finish();
+                TerminalVerdict {
+                    dist: Vec::new(),
+                    entries,
+                    outcome,
+                }
+            }
+        }
+    }
+}
+
+/// Drives `model` with `sched` until the scheduler yields `None` or an
+/// action fails to apply. Returns the number of actions applied — the
+/// [`Scheduler`] abstraction's entry point (replay, scripted schedules,
+/// adversarial drivers).
+pub fn drive(model: &mut StageModel<'_>, sched: &mut impl Scheduler) -> usize {
+    let mut applied = 0usize;
+    loop {
+        let channels = model.channels();
+        let Some(action) = sched.next_action(&channels) else {
+            return applied;
+        };
+        if !model.apply(action) {
+            return applied;
+        }
+        applied += 1;
+    }
+}

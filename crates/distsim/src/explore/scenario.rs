@@ -1,0 +1,354 @@
+//! Named small instances the explorer checks.
+//!
+//! A [`Scenario`] bundles a topology, an access point, a behavior table,
+//! and the *centralized* reference values the converged protocol must
+//! reproduce (invariant I1): per-node LCP costs and VCG payment entries
+//! from [`truthcast_core::all_sources_payments`]. Scenarios are small by
+//! design — exhaustive schedule enumeration is exponential in the message
+//! count — and tie-free, so the distributed route is unique and the
+//! bit-equality comparison is meaningful.
+//!
+//! The registry ([`by_name`], [`battery`]) is shared by the
+//! `truthcast-modelcheck` CLI, the CI smoke runs, and the regression
+//! tests, so "the n=4 battery" means the same five scenarios everywhere.
+
+use truthcast_core::all_sources_payments;
+use truthcast_graph::{adjacency_from_pairs, Cost, NodeId, NodeWeightedGraph};
+
+use crate::behavior::{Behavior, Behaviors};
+use crate::spt_build::{run_spt_stage, HiddenLinks, SptResult};
+use crate::verified::{Stage1Machine, Stage2Machine};
+
+use super::model::{Stage, StageModel};
+use super::trace::Trace;
+use crate::engine::SchedulerAction;
+
+/// A model-checking instance: topology + behaviors + reference values.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Registry name (stable; traces carry it).
+    pub name: String,
+    /// Which stage the explorer runs.
+    pub stage: Stage,
+    /// Undirected edge list (kept for trace serialization).
+    pub edges: Vec<(u32, u32)>,
+    /// The graph built from `edges` + per-node costs.
+    pub g: NodeWeightedGraph,
+    /// The access point.
+    pub ap: NodeId,
+    /// Per-node behaviors.
+    pub behaviors: Behaviors,
+    /// Honest SPT (computed for payment scenarios; stage 2 runs on it).
+    spt: Option<SptResult>,
+    /// Centralized per-node LCP cost (I1, stage 1). `INF` = unreachable.
+    pub expected_dist: Vec<Cost>,
+    /// Centralized per-node payment entries, sorted by relay (I1,
+    /// stage 2).
+    pub expected_entries: Vec<Vec<(NodeId, Cost)>>,
+}
+
+impl Scenario {
+    /// Builds a scenario and computes its centralized reference values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a payments scenario's honest distributed route disagrees
+    /// with the centralized LCP (an LCP tie — pick different costs).
+    pub fn new(
+        name: &str,
+        stage: Stage,
+        edges: &[(u32, u32)],
+        costs: &[Cost],
+        ap: NodeId,
+        behaviors: Behaviors,
+    ) -> Scenario {
+        let n = costs.len();
+        let g = NodeWeightedGraph::new(adjacency_from_pairs(n, edges), costs.to_vec());
+        let pricing = all_sources_payments(&g, ap);
+        let mut expected_dist = vec![Cost::INF; n];
+        let mut expected_entries: Vec<Vec<(NodeId, Cost)>> = vec![Vec::new(); n];
+        expected_dist[ap.index()] = Cost::ZERO;
+        for v in 0..n {
+            if let Some(p) = &pricing[v] {
+                expected_dist[v] = p.lcp_cost;
+                let mut e = p.payments.clone();
+                e.sort_by_key(|&(k, _)| k);
+                expected_entries[v] = e;
+            }
+        }
+        let spt = match stage {
+            Stage::Spt => None,
+            Stage::Payments => {
+                let spt = run_spt_stage(&g, ap, &HiddenLinks::none(), 4 * n);
+                for (v, priced) in pricing.iter().enumerate() {
+                    if let Some(p) = priced {
+                        assert_eq!(
+                            spt.route[v].as_deref(),
+                            Some(&p.path[..]),
+                            "scenario {name}: LCP tie at node {v} — \
+                             distributed route differs from centralized path"
+                        );
+                    }
+                }
+                Some(spt)
+            }
+        };
+        Scenario {
+            name: name.to_string(),
+            stage,
+            edges: edges.to_vec(),
+            g,
+            ap,
+            behaviors,
+            spt,
+            expected_dist,
+            expected_entries,
+        }
+    }
+
+    /// A fresh model at the scenario's initial state.
+    pub fn model(&self) -> StageModel<'_> {
+        match self.stage {
+            Stage::Spt => {
+                StageModel::Spt(Stage1Machine::new(&self.g, self.ap, self.behaviors.clone()))
+            }
+            Stage::Payments => StageModel::Payments(Stage2Machine::new(
+                &self.g,
+                self.spt.as_ref().expect("payments scenario has an SPT"),
+                self.behaviors.clone(),
+            )),
+        }
+    }
+
+    /// The scripted deviants (empty = honest scenario).
+    pub fn deviants(&self) -> Vec<NodeId> {
+        self.behaviors.deviants()
+    }
+
+    /// Packages a schedule as a replayable [`Trace`] of this scenario.
+    pub fn trace_of(&self, steps: Vec<SchedulerAction>) -> Trace {
+        let n = self.g.num_nodes();
+        Trace {
+            name: self.name.clone(),
+            stage: self.stage,
+            edges: self.edges.clone(),
+            costs: self.g.costs().to_vec(),
+            ap: self.ap,
+            behaviors: (0..n)
+                .map(|i| self.behaviors.of(NodeId::new(i)).clone())
+                .collect(),
+            steps,
+        }
+    }
+}
+
+/// Diamond, 4 nodes: 0 = AP, routes 3–1–0 (relay cost 5) and 3–2–0
+/// (relay cost 7).
+fn diamond4(stage: Stage, name: &str, behaviors: Behaviors) -> Scenario {
+    Scenario::new(
+        name,
+        stage,
+        &[(0, 1), (1, 3), (0, 2), (2, 3)],
+        &[
+            Cost::ZERO,
+            Cost::from_units(5),
+            Cost::from_units(7),
+            Cost::ZERO,
+        ],
+        NodeId(0),
+        behaviors,
+    )
+}
+
+/// Diamond plus a leaf behind node 3 (5 nodes): exercises depth-2
+/// relaying and two-entry payment tables.
+fn branch5(stage: Stage, name: &str, behaviors: Behaviors) -> Scenario {
+    Scenario::new(
+        name,
+        stage,
+        &[(0, 1), (1, 3), (0, 2), (2, 3), (3, 4)],
+        &[
+            Cost::ZERO,
+            Cost::from_units(5),
+            Cost::from_units(7),
+            Cost::from_units(2),
+            Cost::ZERO,
+        ],
+        NodeId(0),
+        behaviors,
+    )
+}
+
+/// Diamond plus a leaf hanging off the AP (5 nodes). The payments
+/// shaver lives at node 3: its neighbors (1, 2) have no entries of
+/// their own, so the shaved announces cannot feed back through mutual
+/// relaxation — the schedule space stays exhaustively enumerable.
+/// (With feedback — e.g. the shaver under a relaying child — the pair
+/// chases each other's shrinking entries geometrically in micro-units
+/// and quiescence is ~10⁶ states away; those variants are explored by
+/// sampling instead.)
+fn diamond5(stage: Stage, name: &str, behaviors: Behaviors) -> Scenario {
+    Scenario::new(
+        name,
+        stage,
+        &[(0, 1), (1, 3), (0, 2), (2, 3), (0, 4)],
+        &[
+            Cost::ZERO,
+            Cost::from_units(5),
+            Cost::from_units(7),
+            Cost::ZERO,
+            Cost::from_units(1),
+        ],
+        NodeId(0),
+        behaviors,
+    )
+}
+
+/// The paper's Figure 2 (6 nodes): LCP 1–4–3–2–0, alternative 1–5–0.
+fn figure2(stage: Stage, name: &str, behaviors: Behaviors) -> Scenario {
+    Scenario::new(
+        name,
+        stage,
+        &[(1, 4), (4, 3), (3, 2), (2, 0), (1, 5), (5, 0)],
+        &[
+            Cost::ZERO,
+            Cost::ZERO,
+            Cost::from_f64(1.5),
+            Cost::from_f64(1.5),
+            Cost::from_f64(1.5),
+            Cost::from_units(5),
+        ],
+        NodeId(0),
+        behaviors,
+    )
+}
+
+/// Figure 2 plus a leaf behind v4 (7 nodes): the largest exhaustive
+/// instance; mostly used with frontier sampling.
+fn figure2_leaf(stage: Stage, name: &str, behaviors: Behaviors) -> Scenario {
+    Scenario::new(
+        name,
+        stage,
+        &[(1, 4), (4, 3), (3, 2), (2, 0), (1, 5), (5, 0), (4, 6)],
+        &[
+            Cost::ZERO,
+            Cost::ZERO,
+            Cost::from_f64(1.5),
+            Cost::from_f64(1.5),
+            Cost::from_f64(1.5),
+            Cost::from_units(5),
+            Cost::ZERO,
+        ],
+        NodeId(0),
+        behaviors,
+    )
+}
+
+/// All registered scenarios.
+pub fn all() -> Vec<Scenario> {
+    vec![
+        // n = 4: the tier-1 smoke battery (one honest + one per
+        // deviation class, both stages).
+        diamond4(Stage::Spt, "diamond4-honest", Behaviors::honest(4)),
+        diamond4(
+            Stage::Spt,
+            "diamond4-cost-liar",
+            Behaviors::honest(4).with(NodeId(3), Behavior::UnderclaimDist { percent: 50 }),
+        ),
+        diamond4(
+            Stage::Spt,
+            "diamond4-link-hider",
+            Behaviors::honest(4).with(NodeId(3), Behavior::HideLinkAndRefuse { peer: NodeId(1) }),
+        ),
+        diamond4(Stage::Payments, "diamond4-honest-pay", Behaviors::honest(4)),
+        diamond4(
+            Stage::Payments,
+            "diamond4-shaver",
+            Behaviors::honest(4).with(NodeId(3), Behavior::ShaveEntries { percent: 50 }),
+        ),
+        // n = 5.
+        branch5(Stage::Spt, "branch5-honest", Behaviors::honest(5)),
+        branch5(
+            Stage::Spt,
+            "branch5-cost-liar",
+            Behaviors::honest(5).with(NodeId(3), Behavior::UnderclaimDist { percent: 50 }),
+        ),
+        branch5(
+            Stage::Spt,
+            "branch5-link-hider",
+            Behaviors::honest(5).with(NodeId(3), Behavior::HideLinkAndRefuse { peer: NodeId(1) }),
+        ),
+        branch5(Stage::Payments, "branch5-honest-pay", Behaviors::honest(5)),
+        diamond5(
+            Stage::Payments,
+            "diamond5-shaver",
+            Behaviors::honest(5).with(NodeId(3), Behavior::ShaveEntries { percent: 50 }),
+        ),
+        // Feedback-ful shaver (node 3 under a relaying child): explored
+        // by frontier sampling, never exhaustively.
+        branch5(
+            Stage::Payments,
+            "branch5-shaver-sampled",
+            Behaviors::honest(5).with(NodeId(3), Behavior::ShaveEntries { percent: 50 }),
+        ),
+        // n = 6: the paper's own instance (heavy battery).
+        figure2(Stage::Spt, "figure2-honest", Behaviors::honest(6)),
+        figure2(
+            Stage::Spt,
+            "figure2-cost-liar",
+            Behaviors::honest(6).with(NodeId(4), Behavior::UnderclaimDist { percent: 50 }),
+        ),
+        figure2(
+            Stage::Spt,
+            "figure2-link-hider",
+            Behaviors::honest(6).with(NodeId(1), Behavior::HideLinkAndRefuse { peer: NodeId(4) }),
+        ),
+        figure2(Stage::Payments, "figure2-honest-pay", Behaviors::honest(6)),
+        // v4's shaved announces feed back through v3's entries —
+        // sampling-only (see `diamond5`).
+        figure2(
+            Stage::Payments,
+            "figure2-shaver-sampled",
+            Behaviors::honest(6).with(NodeId(4), Behavior::ShaveEntries { percent: 50 }),
+        ),
+        // Feedback-free 6-node shaver for the heavy exhaustive battery:
+        // diamond plus two AP-attached leaves.
+        Scenario::new(
+            "diamond6-shaver",
+            Stage::Payments,
+            &[(0, 1), (1, 3), (0, 2), (2, 3), (0, 4), (0, 5)],
+            &[
+                Cost::ZERO,
+                Cost::from_units(5),
+                Cost::from_units(7),
+                Cost::ZERO,
+                Cost::from_units(1),
+                Cost::from_units(2),
+            ],
+            NodeId(0),
+            Behaviors::honest(6).with(NodeId(3), Behavior::ShaveEntries { percent: 50 }),
+        ),
+        // n = 7: sampling territory.
+        figure2_leaf(Stage::Spt, "figure2leaf-honest", Behaviors::honest(7)),
+        figure2_leaf(
+            Stage::Spt,
+            "figure2leaf-cost-liar",
+            Behaviors::honest(7).with(NodeId(4), Behavior::UnderclaimDist { percent: 50 }),
+        ),
+    ]
+}
+
+/// Looks a scenario up by registry name.
+pub fn by_name(name: &str) -> Option<Scenario> {
+    all().into_iter().find(|s| s.name == name)
+}
+
+/// Every registered scenario with exactly `n` nodes that is meant for
+/// *exhaustive* exploration (the `-sampled` scenarios quiesce too deep
+/// and are only run with a frontier-sampling config).
+pub fn battery(n: usize) -> Vec<Scenario> {
+    all()
+        .into_iter()
+        .filter(|s| s.g.num_nodes() == n && !s.name.ends_with("-sampled"))
+        .collect()
+}

@@ -1,0 +1,299 @@
+//! Serializable, replayable counterexample traces.
+//!
+//! A [`Trace`] is everything needed to re-execute one explored schedule
+//! bit-identically: the topology (edges + declared costs), the access
+//! point, the behavior table, and the ordered list of scheduler actions.
+//! The format is a line-oriented text document (std-only — no serde) so
+//! traces can be committed as string literals in regression tests and
+//! diffed by humans:
+//!
+//! ```text
+//! truthcast-trace v1
+//! name diamond4-cost-liar
+//! stage spt
+//! ap 0
+//! cost 0 0
+//! cost 1 5000000
+//! edge 0 1
+//! behavior 3 underclaim 50
+//! step d 0 1
+//! step x 1 3
+//! ```
+//!
+//! `cost` values are in [`Cost`] micro-units; `step d` delivers a
+//! channel's head-of-line message, `step x` drops it. Replay drives the
+//! same step machines the explorer used, via the [`Scheduler`] trait, so
+//! a trace that detected a cheater keeps detecting them forever.
+
+use truthcast_graph::{adjacency_from_pairs, Cost, NodeId, NodeWeightedGraph};
+
+use crate::behavior::{Behavior, Behaviors};
+use crate::engine::{EngineStats, Scheduler, SchedulerAction};
+use crate::spt_build::{run_spt_stage, HiddenLinks};
+use crate::verified::{Event, Stage1Machine, Stage2Machine};
+
+use super::model::{drive, Stage, StageModel};
+
+/// A replayable schedule over a concrete instance.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Trace {
+    /// Scenario name (informational).
+    pub name: String,
+    /// Which stage machine to replay.
+    pub stage: Stage,
+    /// Undirected edges.
+    pub edges: Vec<(u32, u32)>,
+    /// Per-node declared costs (index = node id).
+    pub costs: Vec<Cost>,
+    /// The access point.
+    pub ap: NodeId,
+    /// Per-node behaviors (index = node id).
+    pub behaviors: Vec<Behavior>,
+    /// The schedule: deliveries and drops in order.
+    pub steps: Vec<SchedulerAction>,
+}
+
+/// Deterministic outcome of replaying a [`Trace`] — compared bit-for-bit
+/// across replays.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReplayOutcome {
+    /// Steps that applied successfully (== `steps.len()` for a valid
+    /// trace).
+    pub steps_applied: usize,
+    /// Whether the final state has no messages in flight.
+    pub quiescent: bool,
+    /// Whether message conservation (I4) held at the final state.
+    pub conservation: bool,
+    /// Final distances (stage 1; empty for stage 2).
+    pub dist: Vec<Cost>,
+    /// Final payment entries (stage 2; empty for stage 1).
+    pub entries: Vec<Vec<(NodeId, Cost)>>,
+    /// Enforcement events in order.
+    pub events: Vec<Event>,
+    /// Punished nodes, sorted.
+    pub punished: Vec<NodeId>,
+    /// Engine traffic totals.
+    pub stats: EngineStats,
+}
+
+/// A [`Scheduler`] that replays a recorded action list verbatim.
+pub struct ReplayScheduler {
+    steps: Vec<SchedulerAction>,
+    next: usize,
+}
+
+impl ReplayScheduler {
+    /// A scheduler that will yield `steps` in order.
+    pub fn new(steps: &[SchedulerAction]) -> ReplayScheduler {
+        ReplayScheduler {
+            steps: steps.to_vec(),
+            next: 0,
+        }
+    }
+}
+
+impl Scheduler for ReplayScheduler {
+    fn next_action(&mut self, _channels: &[(NodeId, NodeId)]) -> Option<SchedulerAction> {
+        let a = self.steps.get(self.next).copied();
+        self.next += 1;
+        a
+    }
+}
+
+impl Trace {
+    /// Serializes to the line-oriented text format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("truthcast-trace v1\n");
+        out.push_str(&format!("name {}\n", self.name));
+        out.push_str(&format!(
+            "stage {}\n",
+            match self.stage {
+                Stage::Spt => "spt",
+                Stage::Payments => "payments",
+            }
+        ));
+        out.push_str(&format!("ap {}\n", self.ap.index()));
+        for (i, c) in self.costs.iter().enumerate() {
+            out.push_str(&format!("cost {i} {}\n", c.micros()));
+        }
+        for &(u, v) in &self.edges {
+            out.push_str(&format!("edge {u} {v}\n"));
+        }
+        for (i, b) in self.behaviors.iter().enumerate() {
+            match b {
+                Behavior::Honest => {}
+                Behavior::HideLink { peer } => {
+                    out.push_str(&format!("behavior {i} hide {}\n", peer.index()));
+                }
+                Behavior::HideLinkAndRefuse { peer } => {
+                    out.push_str(&format!("behavior {i} hide-refuse {}\n", peer.index()));
+                }
+                Behavior::ShaveEntries { percent } => {
+                    out.push_str(&format!("behavior {i} shave {percent}\n"));
+                }
+                Behavior::UnderclaimDist { percent } => {
+                    out.push_str(&format!("behavior {i} underclaim {percent}\n"));
+                }
+            }
+        }
+        for s in &self.steps {
+            match s {
+                SchedulerAction::Deliver(f, t) => {
+                    out.push_str(&format!("step d {} {}\n", f.index(), t.index()));
+                }
+                SchedulerAction::Drop(f, t) => {
+                    out.push_str(&format!("step x {} {}\n", f.index(), t.index()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses the text format back into a trace.
+    pub fn parse(text: &str) -> Result<Trace, String> {
+        let mut lines = text.lines().map(str::trim).filter(|l| !l.is_empty());
+        let header = lines.next().ok_or("empty trace")?;
+        if header != "truthcast-trace v1" {
+            return Err(format!("bad header: {header:?}"));
+        }
+        let mut name = String::new();
+        let mut stage = None;
+        let mut ap = None;
+        let mut costs: Vec<(usize, Cost)> = Vec::new();
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        let mut deviants: Vec<(usize, Behavior)> = Vec::new();
+        let mut steps: Vec<SchedulerAction> = Vec::new();
+        let int = |s: &str| -> Result<u64, String> {
+            s.parse::<u64>()
+                .map_err(|e| format!("bad integer {s:?}: {e}"))
+        };
+        for line in lines {
+            let mut w = line.split_whitespace();
+            let key = w.next().expect("nonempty line has a first token");
+            let mut arg = || w.next().ok_or_else(|| format!("truncated line: {line:?}"));
+            match key {
+                "name" => name = arg()?.to_string(),
+                "stage" => {
+                    stage = Some(match arg()? {
+                        "spt" => Stage::Spt,
+                        "payments" => Stage::Payments,
+                        other => return Err(format!("unknown stage {other:?}")),
+                    });
+                }
+                "ap" => ap = Some(NodeId::new(int(arg()?)? as usize)),
+                "cost" => {
+                    let i = int(arg()?)? as usize;
+                    let c = Cost::from_micros(int(arg()?)?);
+                    costs.push((i, c));
+                }
+                "edge" => {
+                    let u = int(arg()?)? as u32;
+                    let v = int(arg()?)? as u32;
+                    edges.push((u, v));
+                }
+                "behavior" => {
+                    let i = int(arg()?)? as usize;
+                    let b = match arg()? {
+                        "hide" => Behavior::HideLink {
+                            peer: NodeId::new(int(arg()?)? as usize),
+                        },
+                        "hide-refuse" => Behavior::HideLinkAndRefuse {
+                            peer: NodeId::new(int(arg()?)? as usize),
+                        },
+                        "shave" => Behavior::ShaveEntries {
+                            percent: int(arg()?)? as u8,
+                        },
+                        "underclaim" => Behavior::UnderclaimDist {
+                            percent: int(arg()?)? as u8,
+                        },
+                        other => return Err(format!("unknown behavior {other:?}")),
+                    };
+                    deviants.push((i, b));
+                }
+                "step" => {
+                    let kind = arg()?.to_string();
+                    let f = NodeId::new(int(arg()?)? as usize);
+                    let t = NodeId::new(int(arg()?)? as usize);
+                    steps.push(match kind.as_str() {
+                        "d" => SchedulerAction::Deliver(f, t),
+                        "x" => SchedulerAction::Drop(f, t),
+                        other => return Err(format!("unknown step kind {other:?}")),
+                    });
+                }
+                other => return Err(format!("unknown key {other:?}")),
+            }
+        }
+        let n = costs.len();
+        let mut cost_vec = vec![Cost::ZERO; n];
+        for (i, c) in costs {
+            if i >= n {
+                return Err(format!("cost index {i} out of range for {n} nodes"));
+            }
+            cost_vec[i] = c;
+        }
+        let mut behaviors = vec![Behavior::Honest; n];
+        for (i, b) in deviants {
+            if i >= n {
+                return Err(format!("behavior index {i} out of range for {n} nodes"));
+            }
+            behaviors[i] = b;
+        }
+        Ok(Trace {
+            name,
+            stage: stage.ok_or("missing stage line")?,
+            edges,
+            costs: cost_vec,
+            ap: ap.ok_or("missing ap line")?,
+            behaviors,
+            steps,
+        })
+    }
+
+    /// The behavior table as a [`Behaviors`] value.
+    pub fn behavior_table(&self) -> Behaviors {
+        let mut b = Behaviors::honest(self.behaviors.len());
+        for (i, beh) in self.behaviors.iter().enumerate() {
+            if *beh != Behavior::Honest {
+                b = b.with(NodeId::new(i), beh.clone());
+            }
+        }
+        b
+    }
+
+    /// Re-executes the schedule deterministically and returns the full
+    /// outcome. Payment-stage traces first rebuild the honest SPT with the
+    /// FIFO driver (deterministic), exactly as the scenario did.
+    pub fn replay(&self) -> ReplayOutcome {
+        let n = self.costs.len();
+        let g = NodeWeightedGraph::new(adjacency_from_pairs(n, &self.edges), self.costs.clone());
+        let behaviors = self.behavior_table();
+        let mut sched = ReplayScheduler::new(&self.steps);
+        match self.stage {
+            Stage::Spt => {
+                let mut model = StageModel::Spt(Stage1Machine::new(&g, self.ap, behaviors));
+                let steps_applied = drive(&mut model, &mut sched);
+                finish_replay(model, steps_applied)
+            }
+            Stage::Payments => {
+                let spt = run_spt_stage(&g, self.ap, &HiddenLinks::none(), 4 * n);
+                let mut model = StageModel::Payments(Stage2Machine::new(&g, &spt, behaviors));
+                let steps_applied = drive(&mut model, &mut sched);
+                finish_replay(model, steps_applied)
+            }
+        }
+    }
+}
+
+fn finish_replay(model: StageModel<'_>, steps_applied: usize) -> ReplayOutcome {
+    let verdict = model.verdict();
+    ReplayOutcome {
+        steps_applied,
+        quiescent: model.is_quiescent(),
+        conservation: model.conservation_holds(),
+        dist: verdict.dist,
+        entries: verdict.entries,
+        events: verdict.outcome.events,
+        punished: verdict.outcome.punished,
+        stats: model.stats(),
+    }
+}

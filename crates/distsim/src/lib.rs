@@ -20,7 +20,12 @@
 //!   accusation/punishment of nodes that hide links, refuse corrections,
 //!   or shave entries;
 //! * [`convergence`] — one-call drivers comparing distributed and
-//!   centralized results and reporting rounds/traffic.
+//!   centralized results and reporting rounds/traffic;
+//! * [`explore`] — Stateright-style model checking: breadth-first
+//!   enumeration of message delivery orders and drops on small
+//!   instances, with state-hash pruning, machine-checked invariants
+//!   (convergence, punishment, conservation), and replayable
+//!   counterexample traces.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -28,6 +33,7 @@
 pub mod behavior;
 pub mod convergence;
 pub mod engine;
+pub mod explore;
 pub mod payment_calc;
 pub mod spt_build;
 pub mod verified;
@@ -36,9 +42,11 @@ pub use behavior::{Behavior, Behaviors};
 pub use convergence::{
     convergence_report, convergence_report_on, run_distributed, ConvergenceReport, DistributedRun,
 };
-pub use engine::{EngineStats, RoundEngine};
+pub use engine::{EngineStats, RoundEngine, Scheduler, SchedulerAction};
 pub use payment_calc::{
     run_payment_stage, run_payment_stage_jittered, PaymentResult, PriceAnnounce,
 };
 pub use spt_build::{run_spt_stage, run_spt_stage_jittered, HiddenLinks, RouteAnnounce, SptResult};
-pub use verified::{run_verified_payments, run_verified_spt, Event, VerifiedOutcome};
+pub use verified::{
+    run_verified_payments, run_verified_spt, Event, Stage1Machine, Stage2Machine, VerifiedOutcome,
+};

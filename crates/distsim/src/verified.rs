@@ -13,7 +13,21 @@
 //!   from its own state and accuses on mismatch. Shaved (under-reported)
 //!   entries are therefore detected by exactly the node they blame.
 //!
+//! Additionally, every stage-1 announce carries its full source route, so
+//! honest receivers recompute the announced path's declared relay cost
+//! and accuse on mismatch — catching the *cost liar*
+//! ([`Behavior::UnderclaimDist`]) that advertises a distance its declared
+//! costs cannot support.
+//!
 //! Punished nodes are reported; honest runs produce no accusations.
+//!
+//! Both stages are implemented as resumable **step machines**
+//! ([`Stage1Machine`], [`Stage2Machine`]): per-node message handling,
+//! enforcement, and the post-convergence audit are exposed as separate
+//! steps so the FIFO round drivers ([`run_verified_spt`],
+//! [`run_verified_payments`]) and the model-checking explorer
+//! ([`crate::explore`]) execute the *same* protocol logic under
+//! different delivery schedules.
 
 use truthcast_graph::{Cost, NodeId, NodeWeightedGraph};
 
@@ -94,187 +108,408 @@ pub fn run_verified_spt(
     behaviors: &Behaviors,
     max_rounds: usize,
 ) -> (SptResult, VerifiedOutcome) {
-    let n = g.num_nodes();
-    let mut eng: RoundEngine<Stage1Msg> = RoundEngine::new(g.adjacency().clone());
+    let mut m = Stage1Machine::new(g, ap, behaviors.clone());
+    while m.rounds < max_rounds && m.eng.deliver_round() {
+        m.rounds += 1;
+        m.process_round();
+    }
+    m.finish()
+}
 
-    let mut dist = vec![Cost::INF; n];
-    let mut first_hop: Vec<Option<NodeId>> = vec![None; n];
-    let mut route: Vec<Option<Vec<NodeId>>> = vec![None; n];
-    // What each node last heard each neighbor announce: heard[i][slot of j]
-    // (`None` = nothing announced yet — not auditable).
-    let mut heard: Vec<Vec<(NodeId, Option<Cost>)>> = (0..n)
-        .map(|i| {
-            g.neighbors(NodeId::new(i))
-                .iter()
-                .map(|&j| (j, None))
-                .collect()
-        })
-        .collect();
-    // Forced corrections sent, awaiting compliance: (enforcer, target, dist).
-    let mut outstanding: Vec<(NodeId, NodeId, Cost)> = Vec::new();
-    let mut events: Vec<Event> = Vec::new();
+/// The verified stage-1 protocol as a resumable step machine.
+///
+/// State = per-node protocol variables + the [`RoundEngine`]'s in-flight
+/// pool. The FIFO driver [`run_verified_spt`] advances it a whole
+/// delivery round at a time; the explorer advances it one message at a
+/// time via [`Stage1Machine::deliver_and_process`], exploring every
+/// delivery order. [`Stage1Machine::finish`] runs the post-convergence
+/// audit without consuming the machine (it borrows, so the explorer can
+/// probe terminal states cheaply).
+#[derive(Clone)]
+pub struct Stage1Machine<'g> {
+    g: &'g NodeWeightedGraph,
+    ap: NodeId,
+    behaviors: Behaviors,
+    eng: RoundEngine<Stage1Msg>,
+    dist: Vec<Cost>,
+    first_hop: Vec<Option<NodeId>>,
+    route: Vec<Option<Vec<NodeId>>>,
+    /// What each node last heard each neighbor announce:
+    /// heard\[i\]\[slot of j\] (`None` = nothing announced yet — not
+    /// auditable).
+    heard: Vec<Vec<(NodeId, Option<Cost>)>>,
+    /// Forced corrections sent, awaiting compliance:
+    /// (enforcer, target, dist).
+    outstanding: Vec<(NodeId, NodeId, Cost)>,
+    events: Vec<Event>,
+    rounds: usize,
+}
 
-    dist[ap.index()] = Cost::ZERO;
-    route[ap.index()] = Some(vec![ap]);
-    eng.broadcast(
-        ap,
+impl<'g> Stage1Machine<'g> {
+    /// A fresh machine with the access point's seed broadcast queued.
+    pub fn new(g: &'g NodeWeightedGraph, ap: NodeId, behaviors: Behaviors) -> Stage1Machine<'g> {
+        let n = g.num_nodes();
+        let mut eng: RoundEngine<Stage1Msg> = RoundEngine::new(g.adjacency().clone());
+        let mut dist = vec![Cost::INF; n];
+        let mut route: Vec<Option<Vec<NodeId>>> = vec![None; n];
+        let heard = (0..n)
+            .map(|i| {
+                g.neighbors(NodeId::new(i))
+                    .iter()
+                    .map(|&j| (j, None))
+                    .collect()
+            })
+            .collect();
+        dist[ap.index()] = Cost::ZERO;
+        route[ap.index()] = Some(vec![ap]);
+        eng.broadcast(
+            ap,
+            Stage1Msg::Route {
+                dist: Cost::ZERO,
+                path: vec![ap],
+            },
+        );
+        Stage1Machine {
+            g,
+            ap,
+            behaviors,
+            eng,
+            dist,
+            first_hop: vec![None; n],
+            route,
+            heard,
+            outstanding: Vec::new(),
+            events: Vec::new(),
+            rounds: 0,
+        }
+    }
+
+    /// The node's announce, with the cost liar's distance shave applied.
+    fn announce_of(&self, v: NodeId) -> Stage1Msg {
+        let mut d = self.dist[v.index()];
+        if let Some(pct) = self.behaviors.of(v).underclaim_percent() {
+            if d.is_finite() {
+                d = Cost::from_micros(d.micros() * pct as u64 / 100);
+            }
+        }
         Stage1Msg::Route {
-            dist: Cost::ZERO,
-            path: vec![ap],
-        },
-    );
+            dist: d,
+            path: self.route[v.index()]
+                .clone()
+                .expect("route set on announce"),
+        }
+    }
 
-    let mut rounds = 0usize;
-    while rounds < max_rounds && eng.deliver_round() {
-        rounds += 1;
-        for v in g.node_ids() {
-            let inbox = eng.take_inbox(v);
-            let behavior = behaviors.of(v);
-            let mut improved = false;
-            for (from, msg) in inbox {
-                match msg {
-                    Stage1Msg::Route { dist: d_from, path } => {
-                        if let Some(slot) = heard[v.index()].iter_mut().find(|(j, _)| *j == from) {
-                            slot.1 = Some(d_from);
-                        }
-                        if v == ap {
-                            continue; // the AP only audits
-                        }
-                        if behavior.hidden_peer() == Some(from) {
-                            continue; // the lie: "that link does not exist"
-                        }
-                        if path.contains(&v) {
-                            continue;
-                        }
-                        let hop = if from == ap { Cost::ZERO } else { g.cost(from) };
-                        let cand = d_from.saturating_add(hop);
-                        if cand < dist[v.index()] {
-                            dist[v.index()] = cand;
-                            first_hop[v.index()] = Some(from);
-                            let mut p = Vec::with_capacity(path.len() + 1);
-                            p.push(v);
-                            p.extend_from_slice(&path);
-                            route[v.index()] = Some(p);
-                            improved = true;
-                        }
+    /// Processes `v`'s current inbox: route relaxation plus the
+    /// announce-consistency audit (cost-liar detection), broadcasting on
+    /// improvement.
+    pub fn process_inbox(&mut self, v: NodeId) {
+        let inbox = self.eng.take_inbox(v);
+        let behavior = self.behaviors.of(v).clone();
+        let mut improved = false;
+        for (from, msg) in inbox {
+            match msg {
+                Stage1Msg::Route { dist: d_from, path } => {
+                    if let Some(slot) = self.heard[v.index()].iter_mut().find(|(j, _)| *j == from) {
+                        slot.1 = Some(d_from);
                     }
-                    Stage1Msg::Force {
-                        dist: d_forced,
-                        path,
-                    } => {
-                        if v == ap || behavior.refuses_corrections() {
-                            continue; // refusal is caught post-convergence
+                    // Announce-consistency audit: the carried source route
+                    // must support the announced distance under the
+                    // declared costs. Honest receivers accuse on mismatch;
+                    // nobody routes on a provably false announce.
+                    if self.g.path_cost(&path) != Some(d_from) {
+                        if v == self.ap || behavior == Behavior::Honest {
+                            self.accuse(v, from);
                         }
-                        if d_forced < dist[v.index()] && !path.contains(&v) {
-                            dist[v.index()] = d_forced;
-                            first_hop[v.index()] = Some(path[0]);
-                            let mut p = Vec::with_capacity(path.len() + 1);
-                            p.push(v);
-                            p.extend_from_slice(&path);
-                            route[v.index()] = Some(p);
-                            improved = true;
-                        }
+                        continue;
+                    }
+                    if v == self.ap {
+                        continue; // the AP only audits
+                    }
+                    if behavior.hidden_peer() == Some(from) {
+                        continue; // the lie: "that link does not exist"
+                    }
+                    if path.contains(&v) {
+                        continue;
+                    }
+                    let hop = if from == self.ap {
+                        Cost::ZERO
+                    } else {
+                        self.g.cost(from)
+                    };
+                    let cand = d_from.saturating_add(hop);
+                    if cand < self.dist[v.index()] {
+                        self.dist[v.index()] = cand;
+                        self.first_hop[v.index()] = Some(from);
+                        let mut p = Vec::with_capacity(path.len() + 1);
+                        p.push(v);
+                        p.extend_from_slice(&path);
+                        self.route[v.index()] = Some(p);
+                        improved = true;
+                    }
+                }
+                Stage1Msg::Force {
+                    dist: d_forced,
+                    path,
+                } => {
+                    if v == self.ap || behavior.refuses_corrections() {
+                        continue; // refusal is caught post-convergence
+                    }
+                    if d_forced < self.dist[v.index()] && !path.contains(&v) {
+                        self.dist[v.index()] = d_forced;
+                        self.first_hop[v.index()] = Some(path[0]);
+                        let mut p = Vec::with_capacity(path.len() + 1);
+                        p.push(v);
+                        p.extend_from_slice(&path);
+                        self.route[v.index()] = Some(p);
+                        improved = true;
                     }
                 }
             }
-            if improved {
-                eng.broadcast(
+        }
+        if improved {
+            let msg = self.announce_of(v);
+            self.eng.broadcast(v, msg);
+        }
+    }
+
+    /// Enforcement step for `v` (Algorithm 2, first stage): audits the
+    /// distances `v`'s neighbors announced and forces better routes over
+    /// the reliable direct channel. A forced update is a normal protocol
+    /// action, not an accusation.
+    pub fn enforce(&mut self, v: NodeId) {
+        if v != self.ap && self.behaviors.of(v) != &Behavior::Honest {
+            return; // cheaters don't volunteer enforcement
+        }
+        let Some(my_route) = self.route[v.index()].clone() else {
+            return;
+        };
+        let my_offer = if v == self.ap {
+            Cost::ZERO
+        } else {
+            self.dist[v.index()].saturating_add(self.g.cost(v))
+        };
+        for slot in 0..self.heard[v.index()].len() {
+            let (j, d_j) = self.heard[v.index()][slot];
+            let Some(d_j) = d_j else { continue };
+            if my_offer >= d_j || my_route.contains(&j) {
+                continue;
+            }
+            let already = match self
+                .outstanding
+                .iter_mut()
+                .find(|(by, t, _)| *by == v && *t == j)
+            {
+                Some(rec) if rec.2 <= my_offer => true, // already forced this or better
+                Some(rec) => {
+                    rec.2 = my_offer;
+                    false
+                }
+                None => {
+                    self.outstanding.push((v, j, my_offer));
+                    false
+                }
+            };
+            if !already {
+                self.events.push(Event::Forced {
+                    by: v,
+                    target: j,
+                    dist: my_offer,
+                });
+                self.eng.send_direct(
                     v,
-                    Stage1Msg::Route {
-                        dist: dist[v.index()],
-                        path: route[v.index()].clone().expect("route set on improvement"),
+                    j,
+                    Stage1Msg::Force {
+                        dist: my_offer,
+                        path: my_route.clone(),
                     },
                 );
             }
         }
+    }
 
-        // Enforcement sweep (Algorithm 2, first stage): every honest node
-        // audits the distances its neighbors announced. A forced update is
-        // a normal protocol action, not an accusation.
-        for v in g.node_ids() {
-            if v != ap && behaviors.of(v) != &Behavior::Honest {
-                continue; // cheaters don't volunteer enforcement
-            }
-            let Some(my_route) = route[v.index()].clone() else {
-                continue;
-            };
-            let my_offer = if v == ap {
-                Cost::ZERO
-            } else {
-                dist[v.index()].saturating_add(g.cost(v))
-            };
-            for &(j, d_j) in &heard[v.index()] {
-                let Some(d_j) = d_j else { continue };
-                if my_offer >= d_j || my_route.contains(&j) {
-                    continue;
-                }
-                match outstanding
-                    .iter_mut()
-                    .find(|(by, t, _)| *by == v && *t == j)
-                {
-                    Some(rec) if rec.2 <= my_offer => {} // already forced this or better
-                    Some(rec) => {
-                        rec.2 = my_offer;
-                        events.push(Event::Forced {
-                            by: v,
-                            target: j,
-                            dist: my_offer,
-                        });
-                        eng.send_direct(
-                            v,
-                            j,
-                            Stage1Msg::Force {
-                                dist: my_offer,
-                                path: my_route.clone(),
-                            },
-                        );
-                    }
-                    None => {
-                        outstanding.push((v, j, my_offer));
-                        events.push(Event::Forced {
-                            by: v,
-                            target: j,
-                            dist: my_offer,
-                        });
-                        eng.send_direct(
-                            v,
-                            j,
-                            Stage1Msg::Force {
-                                dist: my_offer,
-                                path: my_route.clone(),
-                            },
-                        );
-                    }
-                }
-            }
+    /// One full FIFO round: every node processes its inbox, then every
+    /// node runs enforcement (the [`run_verified_spt`] schedule).
+    pub fn process_round(&mut self) {
+        for v in self.g.node_ids() {
+            self.process_inbox(v);
+        }
+        for v in self.g.node_ids() {
+            self.enforce(v);
         }
     }
 
-    // Post-convergence audit: an outstanding force whose target still
-    // announces something worse was ignored — accuse.
-    for &(by, target, forced) in &outstanding {
-        let still_bad = heard[by.index()]
+    /// Delivers the head-of-line message on `(from, to)` and lets `to`
+    /// process and enforce — one explorer step. Returns `false` if the
+    /// channel is empty.
+    pub fn deliver_and_process(&mut self, from: NodeId, to: NodeId) -> bool {
+        if !self.eng.deliver_head(from, to) {
+            return false;
+        }
+        self.process_inbox(to);
+        self.enforce(to);
+        true
+    }
+
+    /// Drops the head-of-line broadcast copy on `(from, to)`. Force
+    /// messages ride the reliable direct channel and are never droppable;
+    /// returns `false` for them (and for empty channels).
+    pub fn drop_head(&mut self, from: NodeId, to: NodeId) -> bool {
+        if !self.head_is_droppable(from, to) {
+            return false;
+        }
+        self.eng.drop_head(from, to)
+    }
+
+    /// Whether the head-of-line message on `(from, to)` may be lost
+    /// (broadcast copies only — the direct channel is reliable).
+    pub fn head_is_droppable(&self, from: NodeId, to: NodeId) -> bool {
+        matches!(self.eng.peek_head(from, to), Some(Stage1Msg::Route { .. }))
+    }
+
+    fn accuse(&mut self, by: NodeId, target: NodeId) {
+        let already = self
+            .events
             .iter()
-            .any(|&(j, d)| j == target && d.is_none_or(|d| d > forced));
-        if still_bad
-            && !events.iter().any(
-                |e| matches!(e, Event::Accused { by: b, target: t } if *b == by && *t == target),
-            )
-        {
-            events.push(Event::Accused { by, target });
+            .any(|e| matches!(e, Event::Accused { by: b, target: t } if *b == by && *t == target));
+        if !already {
+            self.events.push(Event::Accused { by, target });
         }
     }
 
-    let spt = SptResult {
-        ap,
-        dist,
-        first_hop,
-        route,
-        rounds,
-        stats: eng.stats,
-    };
-    let outcome = VerifiedOutcome::from_events(events, eng.stats);
-    (spt, outcome)
+    /// The distinct nonempty channels (see [`RoundEngine::channels`]).
+    pub fn channels(&self) -> Vec<(NodeId, NodeId)> {
+        self.eng.channels()
+    }
+
+    /// Whether no message is in flight (the protocol is quiescent).
+    pub fn is_quiescent(&self) -> bool {
+        self.eng.in_flight() == 0
+    }
+
+    /// Engine traffic totals so far.
+    pub fn stats(&self) -> EngineStats {
+        self.eng.stats
+    }
+
+    /// Message conservation (invariant I4): see
+    /// [`RoundEngine::conservation_holds`].
+    pub fn conservation_holds(&self) -> bool {
+        self.eng.conservation_holds()
+    }
+
+    /// Current distances (mid-run view).
+    pub fn dist(&self) -> &[Cost] {
+        &self.dist
+    }
+
+    /// Enforcement events so far (mid-run view; refusal accusations are
+    /// only appended by [`Stage1Machine::finish`]).
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Post-convergence audit + result assembly, without consuming the
+    /// machine: an outstanding force whose target still announces
+    /// something worse was ignored — accuse.
+    pub fn finish(&self) -> (SptResult, VerifiedOutcome) {
+        let mut events = self.events.clone();
+        for &(by, target, forced) in &self.outstanding {
+            let still_bad = self.heard[by.index()]
+                .iter()
+                .any(|&(j, d)| j == target && d.is_none_or(|d| d > forced));
+            if still_bad
+                && !events.iter().any(
+                    |e| matches!(e, Event::Accused { by: b, target: t } if *b == by && *t == target),
+                )
+            {
+                events.push(Event::Accused { by, target });
+            }
+        }
+        let spt = SptResult {
+            ap: self.ap,
+            dist: self.dist.clone(),
+            first_hop: self.first_hop.clone(),
+            route: self.route.clone(),
+            rounds: self.rounds,
+            stats: self.eng.stats,
+        };
+        (spt, VerifiedOutcome::from_events(events, self.eng.stats))
+    }
+
+    /// Feeds every semantically relevant state word (protocol variables
+    /// plus the in-flight message pool, in deterministic order) to
+    /// `feed` — the explorer's state-hash hook. Rounds and traffic
+    /// counters are excluded: they don't influence future behavior.
+    pub fn feed_state(&self, feed: &mut impl FnMut(u64)) {
+        for v in 0..self.dist.len() {
+            feed(self.dist[v].micros());
+            feed(match self.first_hop[v] {
+                Some(h) => h.index() as u64 + 1,
+                None => 0,
+            });
+            match &self.route[v] {
+                Some(r) => {
+                    feed(r.len() as u64 + 1);
+                    for &x in r {
+                        feed(x.index() as u64);
+                    }
+                }
+                None => feed(0),
+            }
+            for &(j, d) in &self.heard[v] {
+                feed(j.index() as u64);
+                feed(match d {
+                    Some(c) => c.micros() ^ 0x5bd1_e995,
+                    None => u64::MAX ^ 0x5bd1_e995,
+                });
+            }
+        }
+        feed(self.outstanding.len() as u64);
+        for &(by, t, c) in &self.outstanding {
+            feed(by.index() as u64);
+            feed(t.index() as u64);
+            feed(c.micros());
+        }
+        feed(self.events.len() as u64);
+        for e in &self.events {
+            match e {
+                Event::Forced { by, target, dist } => {
+                    feed(1);
+                    feed(by.index() as u64);
+                    feed(target.index() as u64);
+                    feed(dist.micros());
+                }
+                Event::Accused { by, target } => {
+                    feed(2);
+                    feed(by.index() as u64);
+                    feed(target.index() as u64);
+                }
+            }
+        }
+        self.eng.for_each_in_flight(|from, to, msg| {
+            feed(from.index() as u64);
+            feed(to.index() as u64);
+            match msg {
+                Stage1Msg::Route { dist, path } => {
+                    feed(11);
+                    feed(dist.micros());
+                    feed(path.len() as u64);
+                    for &x in path {
+                        feed(x.index() as u64);
+                    }
+                }
+                Stage1Msg::Force { dist, path } => {
+                    feed(12);
+                    feed(dist.micros());
+                    feed(path.len() as u64);
+                    for &x in path {
+                        feed(x.index() as u64);
+                    }
+                }
+            }
+        });
+    }
 }
 
 #[derive(Clone, Debug)]
@@ -293,22 +528,66 @@ pub fn run_verified_payments(
     behaviors: &Behaviors,
     max_rounds: usize,
 ) -> (Vec<Vec<(NodeId, Cost)>>, VerifiedOutcome) {
-    let n = g.num_nodes();
-    let ap = spt.ap;
-    let mut eng: RoundEngine<Stage2Msg> = RoundEngine::new(g.adjacency().clone());
+    let mut m = Stage2Machine::new(g, spt, behaviors.clone());
+    while m.rounds < max_rounds && m.eng.deliver_round() {
+        m.rounds += 1;
+        m.process_round();
+    }
+    m.finish()
+}
 
-    // True internal entries plus the trigger of the last improvement.
-    let mut entries: Vec<Vec<(NodeId, Cost, NodeId)>> = (0..n)
-        .map(|i| {
-            let i = NodeId::new(i);
-            spt.relays(i).iter().map(|&k| (k, Cost::INF, i)).collect()
-        })
-        .collect();
-    let mut events: Vec<Event> = Vec::new();
+/// The verified stage-2 protocol as a resumable step machine (see
+/// [`Stage1Machine`] for the driver/explorer split).
+///
+/// There is no separate enforcement sweep: the trigger audit happens
+/// inline while processing each announce, so one explorer step is just
+/// "deliver head-of-line, process the receiver's inbox".
+#[derive(Clone)]
+pub struct Stage2Machine<'a> {
+    g: &'a NodeWeightedGraph,
+    spt: &'a SptResult,
+    behaviors: Behaviors,
+    eng: RoundEngine<Stage2Msg>,
+    /// True internal entries plus the trigger of the last improvement.
+    entries: Vec<Vec<(NodeId, Cost, NodeId)>>,
+    events: Vec<Event>,
+    rounds: usize,
+}
 
-    let announced = |i: NodeId, entries: &[Vec<(NodeId, Cost, NodeId)>], behaviors: &Behaviors| {
-        let mut out = entries[i.index()].clone();
-        if let Some(pct) = behaviors.of(i).shave_percent() {
+impl<'a> Stage2Machine<'a> {
+    /// A fresh machine with every routed non-AP node's initial announce
+    /// queued.
+    pub fn new(g: &'a NodeWeightedGraph, spt: &'a SptResult, behaviors: Behaviors) -> Self {
+        let n = g.num_nodes();
+        let eng: RoundEngine<Stage2Msg> = RoundEngine::new(g.adjacency().clone());
+        let entries: Vec<Vec<(NodeId, Cost, NodeId)>> = (0..n)
+            .map(|i| {
+                let i = NodeId::new(i);
+                spt.relays(i).iter().map(|&k| (k, Cost::INF, i)).collect()
+            })
+            .collect();
+        let mut m = Stage2Machine {
+            g,
+            spt,
+            behaviors,
+            eng,
+            entries,
+            events: Vec::new(),
+            rounds: 0,
+        };
+        for i in g.node_ids() {
+            if i != spt.ap && spt.route[i.index()].is_some() {
+                let msg = m.announce_of(i);
+                m.eng.broadcast(i, msg);
+            }
+        }
+        m
+    }
+
+    /// The node's announce, with the shaver's entry discount applied.
+    fn announce_of(&self, i: NodeId) -> Stage2Msg {
+        let mut out = self.entries[i.index()].clone();
+        if let Some(pct) = self.behaviors.of(i).shave_percent() {
             for e in &mut out {
                 if e.1.is_finite() {
                     e.1 = Cost::from_micros(e.1.micros() * pct as u64 / 100);
@@ -316,112 +595,219 @@ pub fn run_verified_payments(
             }
         }
         Stage2Msg {
-            dist: spt.dist[i.index()],
-            relays: spt.relays(i).to_vec(),
+            dist: self.spt.dist[i.index()],
+            relays: self.spt.relays(i).to_vec(),
             entries: out,
         }
-    };
-
-    for i in g.node_ids() {
-        if i != ap && spt.route[i.index()].is_some() {
-            let msg = announced(i, &entries, behaviors);
-            eng.broadcast(i, msg);
-        }
     }
 
-    let mut rounds = 0usize;
-    while rounds < max_rounds && eng.deliver_round() {
-        rounds += 1;
-        for i in g.node_ids() {
-            let inbox = eng.take_inbox(i);
-            if i == ap {
+    /// Processes `i`'s current inbox: the trigger audit plus entry
+    /// relaxation, broadcasting on change.
+    pub fn process_inbox(&mut self, i: NodeId) {
+        let inbox = self.eng.take_inbox(i);
+        let ap = self.spt.ap;
+        if i == ap {
+            return;
+        }
+        let c_i0 = self.spt.dist[i.index()];
+        let mut changed = false;
+        for (j, msg) in &inbox {
+            let j = *j;
+            if j == ap {
                 continue;
             }
-            let c_i0 = spt.dist[i.index()];
-            let mut changed = false;
-            for (j, msg) in &inbox {
-                let j = *j;
-                if j == ap {
+            // --- Audit: if i is named as a trigger, verify the value.
+            for &(k, val, trigger) in &msg.entries {
+                if trigger != i || !val.is_finite() {
                     continue;
                 }
-                // --- Audit: if i is named as a trigger, verify the value.
-                for &(k, val, trigger) in &msg.entries {
-                    if trigger != i || !val.is_finite() {
-                        continue;
+                // Recompute the candidate i would offer j for relay k.
+                let avoid_from_i = if self.spt.relays(i).contains(&k) {
+                    match self.entries[i.index()].iter().find(|&&(r, _, _)| r == k) {
+                        Some(&(_, pik, _)) => pik
+                            .saturating_add(self.spt.dist[i.index()])
+                            .saturating_sub(self.g.cost(k)),
+                        None => Cost::INF,
                     }
-                    // Recompute the candidate i would offer j for relay k.
-                    let avoid_from_i = if spt.relays(i).contains(&k) {
-                        match entries[i.index()].iter().find(|&&(r, _, _)| r == k) {
-                            Some(&(_, pik, _)) => pik
-                                .saturating_add(spt.dist[i.index()])
-                                .saturating_sub(g.cost(k)),
-                            None => Cost::INF,
-                        }
-                    } else {
-                        spt.dist[i.index()]
-                    };
-                    let expected = g
-                        .cost(i)
-                        .saturating_add(avoid_from_i)
-                        .saturating_add(g.cost(k))
-                        .saturating_sub(msg.dist);
-                    if val < expected {
-                        let already = events.iter().any(
-                            |e| matches!(e, Event::Accused { by, target } if *by == i && *target == j),
-                        );
-                        if !already {
-                            events.push(Event::Accused { by: i, target: j });
-                        }
-                    }
+                } else {
+                    self.spt.dist[i.index()]
+                };
+                let expected = self
+                    .g
+                    .cost(i)
+                    .saturating_add(avoid_from_i)
+                    .saturating_add(self.g.cost(k))
+                    .saturating_sub(msg.dist);
+                if val < expected {
+                    self.accuse(i, j);
                 }
-                // --- Relaxation with j's (possibly shaved) announces.
-                if entries[i.index()].is_empty() {
+            }
+            // --- Relaxation with j's (possibly shaved) announces.
+            if self.entries[i.index()].is_empty() {
+                continue;
+            }
+            for slot in self.entries[i.index()].iter_mut() {
+                let k = slot.0;
+                if j == k {
                     continue;
                 }
-                for slot in entries[i.index()].iter_mut() {
-                    let k = slot.0;
-                    if j == k {
-                        continue;
-                    }
-                    let avoid_from_j = if msg.relays.contains(&k) {
-                        match msg.entries.iter().find(|&&(r, _, _)| r == k) {
-                            Some(&(_, pjk, _)) => {
-                                pjk.saturating_add(msg.dist).saturating_sub(g.cost(k))
-                            }
-                            None => Cost::INF,
+                let avoid_from_j = if msg.relays.contains(&k) {
+                    match msg.entries.iter().find(|&&(r, _, _)| r == k) {
+                        Some(&(_, pjk, _)) => {
+                            pjk.saturating_add(msg.dist).saturating_sub(self.g.cost(k))
                         }
-                    } else {
-                        msg.dist
-                    };
-                    // Add c_k before subtracting c(i,0): the via-j
-                    // avoiding path costs at least c(i,0), so the final
-                    // difference is non-negative, but intermediate orders
-                    // could clamp at zero under saturating arithmetic.
-                    let cand = g
-                        .cost(j)
-                        .saturating_add(avoid_from_j)
-                        .saturating_add(g.cost(k))
-                        .saturating_sub(c_i0);
-                    if cand < slot.1 {
-                        slot.1 = cand;
-                        slot.2 = j;
-                        changed = true;
+                        None => Cost::INF,
                     }
+                } else {
+                    msg.dist
+                };
+                // Add c_k before subtracting c(i,0): the via-j
+                // avoiding path costs at least c(i,0), so the final
+                // difference is non-negative, but intermediate orders
+                // could clamp at zero under saturating arithmetic.
+                let cand = self
+                    .g
+                    .cost(j)
+                    .saturating_add(avoid_from_j)
+                    .saturating_add(self.g.cost(k))
+                    .saturating_sub(c_i0);
+                if cand < slot.1 {
+                    slot.1 = cand;
+                    slot.2 = j;
+                    changed = true;
                 }
             }
-            if changed {
-                let msg = announced(i, &entries, behaviors);
-                eng.broadcast(i, msg);
-            }
+        }
+        if changed {
+            let msg = self.announce_of(i);
+            self.eng.broadcast(i, msg);
         }
     }
 
-    let final_entries: Vec<Vec<(NodeId, Cost)>> = entries
-        .into_iter()
-        .map(|v| v.into_iter().map(|(k, p, _)| (k, p)).collect())
-        .collect();
-    let stats = eng.stats;
-    (final_entries, VerifiedOutcome::from_events(events, stats))
+    fn accuse(&mut self, by: NodeId, target: NodeId) {
+        let already = self
+            .events
+            .iter()
+            .any(|e| matches!(e, Event::Accused { by: b, target: t } if *b == by && *t == target));
+        if !already {
+            self.events.push(Event::Accused { by, target });
+        }
+    }
+
+    /// One full FIFO round: every node processes its inbox (the
+    /// [`run_verified_payments`] schedule).
+    pub fn process_round(&mut self) {
+        for i in self.g.node_ids() {
+            self.process_inbox(i);
+        }
+    }
+
+    /// Delivers the head-of-line message on `(from, to)` and lets `to`
+    /// process — one explorer step. Returns `false` if the channel is
+    /// empty.
+    pub fn deliver_and_process(&mut self, from: NodeId, to: NodeId) -> bool {
+        if !self.eng.deliver_head(from, to) {
+            return false;
+        }
+        self.process_inbox(to);
+        true
+    }
+
+    /// Drops the head-of-line announce on `(from, to)` — every stage-2
+    /// message is a broadcast copy and thus droppable.
+    pub fn drop_head(&mut self, from: NodeId, to: NodeId) -> bool {
+        self.eng.drop_head(from, to)
+    }
+
+    /// Whether `(from, to)` has a droppable head (any nonempty channel).
+    pub fn head_is_droppable(&self, from: NodeId, to: NodeId) -> bool {
+        self.eng.peek_head(from, to).is_some()
+    }
+
+    /// The distinct nonempty channels (see [`RoundEngine::channels`]).
+    pub fn channels(&self) -> Vec<(NodeId, NodeId)> {
+        self.eng.channels()
+    }
+
+    /// Whether no message is in flight (the protocol is quiescent).
+    pub fn is_quiescent(&self) -> bool {
+        self.eng.in_flight() == 0
+    }
+
+    /// Engine traffic totals so far.
+    pub fn stats(&self) -> EngineStats {
+        self.eng.stats
+    }
+
+    /// Message conservation (invariant I4): see
+    /// [`RoundEngine::conservation_holds`].
+    pub fn conservation_holds(&self) -> bool {
+        self.eng.conservation_holds()
+    }
+
+    /// Enforcement events so far (mid-run view).
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Result assembly without consuming the machine (stage 2 has no
+    /// post-convergence audit — triggers accuse inline).
+    pub fn finish(&self) -> (Vec<Vec<(NodeId, Cost)>>, VerifiedOutcome) {
+        let final_entries: Vec<Vec<(NodeId, Cost)>> = self
+            .entries
+            .iter()
+            .map(|v| v.iter().map(|&(k, p, _)| (k, p)).collect())
+            .collect();
+        (
+            final_entries,
+            VerifiedOutcome::from_events(self.events.clone(), self.eng.stats),
+        )
+    }
+
+    /// Feeds every semantically relevant state word to `feed` — the
+    /// explorer's state-hash hook (see [`Stage1Machine::feed_state`]).
+    pub fn feed_state(&self, feed: &mut impl FnMut(u64)) {
+        for row in &self.entries {
+            feed(row.len() as u64);
+            for &(k, p, t) in row {
+                feed(k.index() as u64);
+                feed(p.micros());
+                feed(t.index() as u64);
+            }
+        }
+        feed(self.events.len() as u64);
+        for e in &self.events {
+            match e {
+                Event::Forced { by, target, dist } => {
+                    feed(1);
+                    feed(by.index() as u64);
+                    feed(target.index() as u64);
+                    feed(dist.micros());
+                }
+                Event::Accused { by, target } => {
+                    feed(2);
+                    feed(by.index() as u64);
+                    feed(target.index() as u64);
+                }
+            }
+        }
+        self.eng.for_each_in_flight(|from, to, msg| {
+            feed(from.index() as u64);
+            feed(to.index() as u64);
+            feed(21);
+            feed(msg.dist.micros());
+            feed(msg.relays.len() as u64);
+            for &r in &msg.relays {
+                feed(r.index() as u64);
+            }
+            feed(msg.entries.len() as u64);
+            for &(k, p, t) in &msg.entries {
+                feed(k.index() as u64);
+                feed(p.micros());
+                feed(t.index() as u64);
+            }
+        });
+    }
 }
 
 #[cfg(test)]
@@ -520,6 +906,47 @@ mod tests {
             "events: {:?}",
             outcome.events
         );
+    }
+
+    #[test]
+    fn cost_liar_is_accused_by_honest_neighbors() {
+        let g = figure2();
+        // v4 underclaims: its true dist is 3 (via v3, v2), announced as 1.5
+        // while carrying the true route — the declared relay costs give it
+        // away to any honest listener.
+        let behaviors =
+            Behaviors::honest(6).with(NodeId(4), Behavior::UnderclaimDist { percent: 50 });
+        let (_, outcome) = run_verified_spt(&g, NodeId(0), &behaviors, 40);
+        assert!(
+            outcome.punished.contains(&NodeId(4)),
+            "events: {:?}",
+            outcome.events
+        );
+        // The accuser is an honest neighbor of the liar.
+        assert!(outcome.events.iter().any(|e| matches!(
+            e,
+            Event::Accused { by, target }
+                if *target == NodeId(4) && g.neighbors(NodeId(4)).contains(by)
+        )));
+    }
+
+    #[test]
+    fn cost_liar_announces_are_not_routed_on() {
+        // Two branches to node 5: 0-1-3-5 (relay cost 5+2=7) and
+        // 0-2-4-5 (relay cost 6+2=8). Node 4 underclaims its dist 6 as 3,
+        // which would make its branch look like the cheaper one (3+2=5);
+        // honest node 5 recomputes the carried route's declared cost,
+        // discards the lie, and keeps the true LCP via node 3.
+        let g = NodeWeightedGraph::from_pairs_units(
+            &[(0, 1), (1, 3), (0, 2), (2, 4), (3, 5), (4, 5)],
+            &[0, 5, 6, 2, 2, 0],
+        );
+        let behaviors =
+            Behaviors::honest(6).with(NodeId(4), Behavior::UnderclaimDist { percent: 50 });
+        let (spt, outcome) = run_verified_spt(&g, NodeId(0), &behaviors, 30);
+        assert_eq!(spt.first_hop[5], Some(NodeId(3)), "dist: {:?}", spt.dist);
+        assert_eq!(spt.dist[5], Cost::from_units(7));
+        assert!(outcome.punished.contains(&NodeId(4)));
     }
 
     #[test]

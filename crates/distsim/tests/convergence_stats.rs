@@ -1,0 +1,117 @@
+//! Differential test for [`truthcast_distsim::convergence_report_on`]:
+//! the per-topology round and broadcast counts it reports must agree
+//! with independent recounts taken from a second `run_distributed`
+//! execution's `EngineStats`, on both UDG and Erdős–Rényi instances.
+//! (Both runs are deterministic, so the recount is a true oracle.)
+
+use truthcast_distsim::{convergence_report_on, run_distributed};
+use truthcast_graph::generators::{erdos_renyi, random_udg};
+use truthcast_graph::geometry::Region;
+use truthcast_graph::{Cost, NodeId, NodeWeightedGraph};
+use truthcast_rt::{SeedableRng, SmallRng};
+
+fn costs_for(n: usize, seed: u64) -> Vec<Cost> {
+    (0..n)
+        .map(|i| Cost::from_units((i as u64).wrapping_mul(seed | 1) % 37))
+        .collect()
+}
+
+fn udg_instance(n: usize, seed: u64) -> NodeWeightedGraph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let (_, adj) = random_udg(n, Region::new(900.0, 900.0), 280.0, &mut rng);
+    NodeWeightedGraph::new(adj, costs_for(n, seed))
+}
+
+fn er_instance(n: usize, seed: u64) -> NodeWeightedGraph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let adj = erdos_renyi(n, 0.18, &mut rng);
+    NodeWeightedGraph::new(adj, costs_for(n, seed))
+}
+
+/// Asserts that the report's aggregate counts equal a fresh run's
+/// `EngineStats` recount, then returns (spt_rounds, payment_rounds) for
+/// the histogram check.
+fn assert_report_matches_recount(g: &NodeWeightedGraph, topology: &str) -> (usize, usize) {
+    let ap = NodeId(0);
+    let rep = convergence_report_on(g, ap, topology);
+    let recount = run_distributed(g, ap);
+    assert_eq!(rep.spt_rounds, recount.spt.rounds, "{topology}: spt rounds");
+    assert_eq!(
+        rep.payment_rounds, recount.payments.rounds,
+        "{topology}: payment rounds"
+    );
+    assert_eq!(
+        rep.broadcasts,
+        recount.spt.stats.broadcasts + recount.payments.stats.broadcasts,
+        "{topology}: broadcast recount"
+    );
+    // The engine's own conservation identity must hold for the recount:
+    // everything enqueued was delivered (honest runs are loss-free).
+    for stats in [&recount.spt.stats, &recount.payments.stats] {
+        assert_eq!(stats.enqueued, stats.deliveries + stats.dropped);
+        assert_eq!(stats.dropped, 0, "{topology}: honest run dropped messages");
+    }
+    // Sanity on the comparison side: every compared source agrees with
+    // the centralized payments on these connected instances.
+    assert!(rep.compared_sources > 0, "{topology}: nothing compared");
+    assert_eq!(
+        rep.agreeing_sources, rep.compared_sources,
+        "{topology}: centralized disagreement"
+    );
+    (rep.spt_rounds, rep.payment_rounds)
+}
+
+#[test]
+fn report_counts_match_engine_stats_on_udg_and_erdos_renyi() {
+    truthcast_obs::enable();
+    let mut expected: Vec<(String, u64)> = Vec::new();
+    for seed in [3u64, 11, 29] {
+        let g = udg_instance(48, seed);
+        let (spt_r, pay_r) = assert_report_matches_recount(&g, "udg");
+        expected.push(("distsim.convergence.spt_rounds/udg".into(), spt_r as u64));
+        expected.push((
+            "distsim.convergence.payment_rounds/udg".into(),
+            pay_r as u64,
+        ));
+
+        let g = er_instance(40, seed);
+        let (spt_r, pay_r) = assert_report_matches_recount(&g, "erdos-renyi");
+        expected.push((
+            "distsim.convergence.spt_rounds/erdos-renyi".into(),
+            spt_r as u64,
+        ));
+        expected.push((
+            "distsim.convergence.payment_rounds/erdos-renyi".into(),
+            pay_r as u64,
+        ));
+    }
+    // Each per-topology histogram exists, observed every instance, and
+    // its max covers every value the reports claimed to record.
+    let snap = truthcast_obs::snapshot();
+    for name in [
+        "distsim.convergence.spt_rounds/udg",
+        "distsim.convergence.payment_rounds/udg",
+        "distsim.convergence.spt_rounds/erdos-renyi",
+        "distsim.convergence.payment_rounds/erdos-renyi",
+    ] {
+        let h = &snap
+            .histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("missing histogram {name}"))
+            .1;
+        assert!(h.count() >= 3, "{name}: observed {} times", h.count());
+        let claimed_max = expected
+            .iter()
+            .filter(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+            .max()
+            .unwrap();
+        assert!(
+            h.max().unwrap() >= claimed_max,
+            "{name}: histogram max {:?} below reported {claimed_max}",
+            h.max()
+        );
+    }
+    truthcast_obs::disable();
+}

@@ -1,0 +1,101 @@
+//! The `RoundEngine::new_jittered` determinism contract (pinned by name
+//! from the constructor docs): the delivery schedule is a pure function
+//! of (seed, topology, message sequence). The explorer's trace replay
+//! and every seeded experiment depend on this.
+
+use truthcast_distsim::RoundEngine;
+use truthcast_graph::{adjacency_from_pairs, Adjacency, NodeId};
+use truthcast_rt::{cases, forall, prop_assert_eq, vec_of};
+
+/// Ring-with-chords topology on `n` nodes, derived from a seed word.
+fn topology(n: usize, chord_bits: u64) -> Adjacency {
+    let mut edges: Vec<(u32, u32)> = (1..n as u32).map(|v| (v - 1, v)).collect();
+    edges.push((0, n as u32 - 1));
+    let mut bit = 0;
+    for u in 0..n as u32 {
+        for v in (u + 2)..n as u32 {
+            if !(u == 0 && v == n as u32 - 1) && chord_bits >> (bit % 64) & 1 == 1 {
+                edges.push((u, v));
+            }
+            bit += 1;
+        }
+    }
+    adjacency_from_pairs(n, &edges)
+}
+
+/// Runs a fixed message script on a jittered engine and records the
+/// complete delivery schedule: for every round, every node's inbox in
+/// delivery order.
+type Schedule = Vec<Vec<(usize, Vec<(NodeId, u32)>)>>;
+
+fn schedule_of(adj: &Adjacency, max_delay: usize, seed: u64, script: &[(u32, u32)]) -> Schedule {
+    let n = adj.num_nodes();
+    let mut eng: RoundEngine<u32> = RoundEngine::new_jittered(adj.clone(), max_delay, seed);
+    let mut schedule = Schedule::new();
+    let mut next = script.iter().copied();
+    loop {
+        // Interleave sends with delivery: one scripted broadcast enters
+        // the pool before each round, until the script is exhausted.
+        if let Some((from, payload)) = next.next() {
+            eng.broadcast(NodeId(from % n as u32), payload);
+        }
+        if !eng.deliver_round() {
+            break;
+        }
+        let mut round = Vec::new();
+        for v in 0..n {
+            let inbox = eng.take_inbox(NodeId::new(v));
+            if !inbox.is_empty() {
+                round.push((v, inbox));
+            }
+        }
+        schedule.push(round);
+    }
+    schedule
+}
+
+/// Identical (seed, topology, message sequence) ⇒ identical delivery
+/// schedule, message for message, round for round.
+#[test]
+fn jitter_schedule_is_pure_function_of_seed_topology_and_sends() {
+    forall!(
+        cases(64),
+        (
+            4usize..12,
+            0u64..u64::MAX,
+            1usize..6,
+            0u64..u64::MAX,
+            vec_of((0u32..12, 0u32..1000), 1..20),
+        ),
+        |(n, chords, max_delay, seed, script)| {
+            let adj = topology(n, chords);
+            let a = schedule_of(&adj, max_delay, seed, &script);
+            let b = schedule_of(&adj, max_delay, seed, &script);
+            prop_assert_eq!(&a, &b, "same seed diverged (n={}, seed={})", n, seed);
+            // Every scripted message is delivered exactly once: the
+            // schedules carry one entry per (broadcast × neighbor).
+            let delivered: usize = a
+                .iter()
+                .flat_map(|round| round.iter().map(|(_, inbox)| inbox.len()))
+                .sum();
+            let expected: usize = script
+                .iter()
+                .map(|&(from, _)| adj.neighbors(NodeId(from % n as u32)).len())
+                .sum();
+            prop_assert_eq!(delivered, expected, "message loss or duplication");
+            Ok(())
+        }
+    );
+}
+
+/// Different jitter seeds genuinely reorder deliveries (sanity check
+/// that the contract test is not vacuous) — on a fixed instance two
+/// far-apart seeds produce different schedules.
+#[test]
+fn different_seeds_produce_different_schedules() {
+    let adj = topology(8, 0b1011_0110);
+    let script: Vec<(u32, u32)> = (0..10).map(|i| (i % 8, i)).collect();
+    let a = schedule_of(&adj, 4, 1, &script);
+    let b = schedule_of(&adj, 4, 0xdead_beef, &script);
+    assert_ne!(a, b, "expected distinct schedules for distinct seeds");
+}

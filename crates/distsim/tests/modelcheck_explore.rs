@@ -1,0 +1,190 @@
+//! Integration tests for the schedule-space explorer (`explore`):
+//! exhaustive batteries on the small instances, drop-mode conservation,
+//! seeded frontier sampling under `forall!`, obs counter reporting, and
+//! the heavier n = 6/7 batteries behind `TRUTHCAST_CI_HEAVY=1`.
+
+use truthcast_distsim::explore::{battery, by_name, explore, ExploreConfig, ExploreReport, Trace};
+use truthcast_graph::NodeId;
+use truthcast_rt::{cases, forall, prop_assert};
+
+fn violations_of(r: &ExploreReport) -> Vec<String> {
+    r.violations
+        .iter()
+        .map(|v| format!("{:?}: {}", v.invariant, v.detail))
+        .collect()
+}
+
+/// Runs every scenario of the `n`-node battery exhaustively and demands
+/// full coverage with all four invariants intact.
+fn assert_clean_exhaustive(n: usize) {
+    let scenarios = battery(n);
+    assert!(!scenarios.is_empty(), "no scenarios registered for n={n}");
+    for sc in scenarios {
+        let r = explore(&sc, &ExploreConfig::default());
+        assert!(!r.truncated, "{}: exhaustive run truncated", sc.name);
+        assert!(r.terminals > 0, "{}: no quiescent state reached", sc.name);
+        assert!(r.explored > 0 && r.pruned > 0, "{}: {r:?}", sc.name);
+        assert!(
+            r.violations.is_empty(),
+            "{}: {:?}",
+            sc.name,
+            violations_of(&r)
+        );
+    }
+}
+
+#[test]
+fn exhaustive_battery_n4() {
+    assert_clean_exhaustive(4);
+}
+
+#[test]
+fn exhaustive_battery_n5() {
+    assert_clean_exhaustive(5);
+}
+
+/// The shortest terminal schedule of each deviant scenario replays
+/// deterministically: parse ∘ serialize is the identity, double replay
+/// is bit-identical, and the deviant ends up punished.
+#[test]
+fn first_terminal_traces_replay_bit_identically() {
+    for name in [
+        "diamond4-cost-liar",
+        "diamond4-link-hider",
+        "diamond4-shaver",
+    ] {
+        let sc = by_name(name).unwrap();
+        let r = explore(&sc, &ExploreConfig::default());
+        let t = r
+            .first_terminal_trace
+            .unwrap_or_else(|| panic!("{name}: no terminal trace"));
+        let text = t.to_text();
+        let parsed = Trace::parse(&text).unwrap();
+        assert_eq!(parsed, t, "{name}: parse ∘ to_text is not the identity");
+        let out = t.replay();
+        assert_eq!(out, parsed.replay(), "{name}: replay is not deterministic");
+        assert_eq!(out.steps_applied, t.steps.len(), "{name}: short replay");
+        assert!(out.quiescent && out.conservation, "{name}: {out:?}");
+        assert!(
+            out.punished.contains(&NodeId(3)),
+            "{name}: deviant not punished: {:?}",
+            out.events
+        );
+    }
+}
+
+/// With a drop budget, every explored state still conserves messages
+/// (I4), and dropping opens strictly more quiescent endings than the
+/// loss-free space has.
+#[test]
+fn drop_exploration_conserves_messages() {
+    let sc = by_name("diamond4-honest").unwrap();
+    let lossless = explore(&sc, &ExploreConfig::default());
+    let cfg = ExploreConfig {
+        drop_budget: 2,
+        ..Default::default()
+    };
+    let r = explore(&sc, &cfg);
+    assert!(!r.truncated, "{r:?}");
+    assert!(r.violations.is_empty(), "{:?}", violations_of(&r));
+    assert!(
+        r.terminals > lossless.terminals,
+        "drops should add terminals: {} vs {}",
+        r.terminals,
+        lossless.terminals
+    );
+    assert!(r.explored > lossless.explored);
+}
+
+/// Seeded frontier sampling (the mode for instances whose quiescence is
+/// too deep to exhaust): any seed must reach quiescent states and keep
+/// the invariants — including punishing the shaver whose feedback loop
+/// makes this scenario sampling-only.
+#[test]
+fn sampled_frontier_keeps_invariants_on_any_seed() {
+    let sc = by_name("branch5-shaver-sampled").unwrap();
+    forall!(cases(4), (0u64..1 << 48,), |(seed,)| {
+        let cfg = ExploreConfig {
+            max_states: 60_000,
+            sample_width: Some(64),
+            seed,
+            ..Default::default()
+        };
+        let r = explore(&sc, &cfg);
+        prop_assert!(r.truncated, "width 64 must truncate this space");
+        prop_assert!(r.terminals > 0, "seed {seed}: no terminal reached");
+        prop_assert!(
+            r.violations.is_empty(),
+            "seed {seed}: {:?}",
+            violations_of(&r)
+        );
+        Ok(())
+    });
+}
+
+/// Explorer coverage counters land in the obs collector.
+#[test]
+fn explorer_reports_obs_counters() {
+    truthcast_obs::enable();
+    let sc = by_name("diamond4-honest").unwrap();
+    let r = explore(&sc, &ExploreConfig::default());
+    let snap = truthcast_obs::snapshot();
+    assert!(snap.counter("distsim.modelcheck.explored") >= r.explored as u64);
+    assert!(snap.counter("distsim.modelcheck.pruned") >= r.pruned as u64);
+    assert!(snap.counter("distsim.modelcheck.terminals") >= r.terminals as u64);
+    assert!(snap
+        .histograms
+        .iter()
+        .any(|(n, _)| n == "distsim.modelcheck.depth"));
+    truthcast_obs::disable();
+}
+
+fn heavy_enabled() -> bool {
+    std::env::var("TRUTHCAST_CI_HEAVY").map(|v| v != "0") == Ok(true)
+}
+
+/// The n = 6 battery (the paper's Figure 2 instance) exhaustively, plus
+/// the feedback-ful Figure 2 shaver by sampling. Run via
+/// `TRUTHCAST_CI_HEAVY=1` (scripts/ci.sh runs it in release mode).
+#[test]
+fn heavy_battery_n6() {
+    if !heavy_enabled() {
+        return;
+    }
+    assert_clean_exhaustive(6);
+    let sc = by_name("figure2-shaver-sampled").unwrap();
+    let cfg = ExploreConfig {
+        max_states: 500_000,
+        sample_width: Some(256),
+        seed: 7,
+        ..Default::default()
+    };
+    let r = explore(&sc, &cfg);
+    assert!(r.terminals > 0, "{r:?}");
+    assert!(r.violations.is_empty(), "{:?}", violations_of(&r));
+}
+
+/// The n = 7 battery: the honest instance exhausts at ~5·10⁵ states;
+/// the cost liar is small. Heavy-gated like `heavy_battery_n6`.
+#[test]
+fn heavy_battery_n7() {
+    if !heavy_enabled() {
+        return;
+    }
+    for name in ["figure2leaf-honest", "figure2leaf-cost-liar"] {
+        let sc = by_name(name).unwrap();
+        let cfg = ExploreConfig {
+            max_states: 1_000_000,
+            ..Default::default()
+        };
+        let r = explore(&sc, &cfg);
+        assert!(!r.truncated, "{}: {}", sc.name, r.summary());
+        assert!(r.terminals > 0);
+        assert!(
+            r.violations.is_empty(),
+            "{}: {:?}",
+            sc.name,
+            violations_of(&r)
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! Command-line front end for the `truthcast-distsim` schedule-space
+//! explorer (DESIGN.md §11).
+//!
+//! ```text
+//! modelcheck --list                       # registered scenarios
+//! modelcheck --n 5 --exhaustive           # full n=5 battery, every schedule
+//! modelcheck --scenario diamond4-shaver   # one scenario
+//! modelcheck --scenario figure2-shaver-sampled --sample-width 256 --seed 7
+//! modelcheck --n 4 --drop-budget 2        # add message-loss schedules
+//! modelcheck --scenario diamond4-cost-liar --emit-trace   # print a trace
+//! ```
+//!
+//! Exit status: 0 when every explored scenario holds all four invariants,
+//! 1 on any violation (each printed with its minimized replay trace),
+//! 2 on usage errors.
+
+use truthcast_distsim::explore::{
+    all_scenarios, battery, by_name, explore, ExploreConfig, Scenario,
+};
+
+struct Args {
+    scenarios: Vec<Scenario>,
+    cfg: ExploreConfig,
+    emit_trace: bool,
+    list: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut cfg = ExploreConfig::default();
+    let mut scenario: Option<String> = None;
+    let mut n: Option<usize> = None;
+    let mut exhaustive = false;
+    let mut emit_trace = false;
+    let mut list = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--scenario" => scenario = Some(value("--scenario")?),
+            "--n" => n = Some(value("--n")?.parse().map_err(|e| format!("--n: {e}"))?),
+            "--exhaustive" => exhaustive = true,
+            "--sample-width" => {
+                cfg.sample_width = Some(
+                    value("--sample-width")?
+                        .parse()
+                        .map_err(|e| format!("--sample-width: {e}"))?,
+                )
+            }
+            "--seed" => {
+                cfg.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--max-states" => {
+                cfg.max_states = value("--max-states")?
+                    .parse()
+                    .map_err(|e| format!("--max-states: {e}"))?
+            }
+            "--drop-budget" => {
+                cfg.drop_budget = value("--drop-budget")?
+                    .parse()
+                    .map_err(|e| format!("--drop-budget: {e}"))?
+            }
+            "--list" => list = true,
+            "--emit-trace" => emit_trace = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: modelcheck [--list] [--scenario NAME | --n N] [--exhaustive]\n\
+                     \x20                 [--sample-width W] [--seed S] [--max-states M]\n\
+                     \x20                 [--drop-budget D] [--emit-trace]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?} (try --help)")),
+        }
+    }
+    if exhaustive && cfg.sample_width.is_some() {
+        return Err("--exhaustive and --sample-width are mutually exclusive".into());
+    }
+    let scenarios = match (scenario, n) {
+        (Some(_), Some(_)) => {
+            return Err("--scenario and --n are mutually exclusive".into());
+        }
+        (Some(name), None) => {
+            let sc = by_name(&name).ok_or_else(|| {
+                format!("unknown scenario {name:?} (run with --list to see the registry)")
+            })?;
+            vec![sc]
+        }
+        (None, Some(n)) => {
+            let scs = battery(n);
+            if scs.is_empty() && !list {
+                return Err(format!("no exhaustive scenarios registered for n={n}"));
+            }
+            scs
+        }
+        (None, None) => {
+            if list {
+                Vec::new()
+            } else {
+                return Err("pick --scenario NAME, --n N, or --list".into());
+            }
+        }
+    };
+    Ok(Args {
+        scenarios,
+        cfg,
+        emit_trace,
+        list,
+    })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("modelcheck: {e}");
+            std::process::exit(2);
+        }
+    };
+    if args.list {
+        for sc in all_scenarios() {
+            println!(
+                "{:28} n={} {:?} deviants {:?}",
+                sc.name,
+                sc.g.num_nodes(),
+                sc.stage,
+                sc.deviants()
+            );
+        }
+        return;
+    }
+    let mut failed = false;
+    for sc in &args.scenarios {
+        let report = explore(sc, &args.cfg);
+        println!("{}", report.summary());
+        for v in &report.violations {
+            failed = true;
+            println!("  VIOLATION {:?}: {}", v.invariant, v.detail);
+            println!("{}", indent(&v.trace.to_text()));
+        }
+        if args.emit_trace {
+            if let Some(t) = &report.first_terminal_trace {
+                println!("{}", t.to_text());
+            } else {
+                eprintln!("  (no quiescent state reached; nothing to emit)");
+            }
+        }
+    }
+    std::process::exit(if failed { 1 } else { 0 });
+}
+
+fn indent(text: &str) -> String {
+    text.lines()
+        .map(|l| format!("    {l}"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}

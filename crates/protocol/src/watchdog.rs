@@ -25,8 +25,10 @@ use crate::bank::Bank;
 use crate::session::{run_honest_session, SessionError};
 use crate::sigs::Pki;
 
-/// Result of a reputation-era simulation.
-#[derive(Clone, Debug, PartialEq)]
+/// Result of a reputation-era simulation. Hashable and totally
+/// comparable so model-checking layers (DESIGN.md §11) can dedupe and
+/// diff blacklist states like any other protocol state.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct WatchdogReport {
     /// Sessions fully delivered.
     pub delivered: usize,
@@ -186,6 +188,20 @@ mod tests {
             watchdog.delivered
         );
         assert!(bank.is_conserved());
+    }
+
+    #[test]
+    fn watchdog_report_is_hashable_state() {
+        let g = network();
+        let sessions: Vec<Session> = (0..4).flat_map(|_| all_to_ap_sessions(5, 2)).collect();
+        let run = |reserve: f64| {
+            let mut energy = EnergyLedger::uniform(5, Cost::from_units(30));
+            run_watchdog_era(&g, NodeId(0), &sessions, &mut energy, reserve)
+        };
+        let mut states = std::collections::HashSet::new();
+        assert!(states.insert(run(0.5)));
+        assert!(!states.insert(run(0.5)), "same era must dedupe");
+        assert!(states.insert(run(0.0)), "different blacklist state");
     }
 
     #[test]

@@ -19,6 +19,13 @@ TRUTHCAST_BENCH_QUICK=1 TRUTHCAST_BENCH_SAMPLES=1 \
     TRUTHCAST_BENCH_DIR="$(pwd)/target/truthcast-bench-smoke" \
     cargo bench --offline -p truthcast-bench >/dev/null
 
+# Model-checker smoke: the n=4 battery exhaustively, every schedule,
+# all four invariants (DESIGN.md §11). Seconds even in debug builds —
+# the deeper n=5/n=6/n=7 batteries run in the test suite above and in
+# the heavy section below.
+echo "==> modelcheck smoke (n=4 exhaustive)"
+cargo run -q --offline -p truthcast-modelcheck -- --n 4 --exhaustive
+
 # TRUTHCAST_CI_HEAVY=1 re-runs the differential batteries at an elevated
 # case count (the default run above already includes them at the fast
 # count baked into the tests).
@@ -29,6 +36,9 @@ if [ "${TRUTHCAST_CI_HEAVY:-0}" != "0" ]; then
     TRUTHCAST_CASES=256 cargo test -q --offline -p truthcast-core --test all_sources_vs_fast
     echo "==> heavy radix-vs-binary battery (TRUTHCAST_CASES=256)"
     TRUTHCAST_CASES=256 cargo test -q --offline -p truthcast-graph --test radix_vs_binary
+    echo "==> heavy modelcheck battery (n=6/n=7, release)"
+    TRUTHCAST_CI_HEAVY=1 cargo test -q --offline --release -p truthcast-distsim \
+        --test modelcheck_explore heavy_battery
 fi
 
 echo "==> cargo clippy --offline --workspace --all-targets -- -D warnings"
