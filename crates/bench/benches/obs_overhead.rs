@@ -41,6 +41,19 @@ fn instance(n: usize, seed: u64) -> (NodeWeightedGraph, NodeId, NodeId) {
 
 fn main() {
     let mut h = Harness::new("obs_overhead");
+
+    // Disabled-mode micro rows: a span guard (now also the span-tree
+    // entry point) and a quantile-sketch sample must each cost one
+    // relaxed load when tracing is off — the ≤2% contract's mechanism.
+    truthcast_obs::disable_profiling();
+    truthcast_obs::disable();
+    h.bench("span_guard_disabled", || {
+        black_box(truthcast_obs::span("bench.obs.span"))
+    });
+    h.bench("sketch_sample_disabled", || {
+        truthcast_obs::sample("bench.obs.latency", black_box(42))
+    });
+
     for &n in &[128usize, 512] {
         let (g, s, t) = instance(n, 0xBEEF + n as u64);
 

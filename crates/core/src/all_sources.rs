@@ -353,12 +353,19 @@ pub(crate) fn node_all_sources_from_table(
     kind: QueueKind,
 ) -> (Vec<Option<UnicastPricing>>, usize) {
     let n = g.num_nodes();
-    let shared = classify(g, dist, parent, ap);
-    let repl = subtree_replacements(g, dist, &shared, threads);
+    let shared = {
+        let _s = truthcast_obs::span("all_sources.classify");
+        classify(g, dist, parent, ap)
+    };
+    let repl = {
+        let _s = truthcast_obs::span("all_sources.subtree_runs");
+        subtree_replacements(g, dist, &shared, threads)
+    };
 
     let mut out: Vec<Option<UnicastPricing>> = vec![None; n];
     let mut fb_sources: Vec<NodeId> = Vec::new();
     let mut sources = 0u64;
+    let assemble = truthcast_obs::span("all_sources.assemble");
     for v in g.node_ids() {
         if v == ap || !shared.iv.in_tree(v) {
             continue;
@@ -394,22 +401,29 @@ pub(crate) fn node_all_sources_from_table(
             payments,
         });
     }
-    let priced = par_map_with(
-        fb_sources.len(),
-        threads,
-        || WorkerScratch::new(n, kind),
-        |sc, i| {
-            price_node_session(
-                g,
-                SessionQuery::new(fb_sources[i], ap),
-                dist,
-                sc,
-                "all_sources",
-            )
-        },
-    );
-    for (&v, p) in fb_sources.iter().zip(priced) {
-        out[v.index()] = p;
+    drop(assemble);
+    {
+        let _s = truthcast_obs::span("all_sources.fallback");
+        let priced = par_map_with(
+            fb_sources.len(),
+            threads,
+            || WorkerScratch::new(n, kind),
+            |sc, i| {
+                let t0 = WorkerScratch::latency_clock();
+                let priced = price_node_session(
+                    g,
+                    SessionQuery::new(fb_sources[i], ap),
+                    dist,
+                    sc,
+                    "all_sources",
+                );
+                sc.record_latency(t0);
+                priced
+            },
+        );
+        for (&v, p) in fb_sources.iter().zip(priced) {
+            out[v.index()] = p;
+        }
     }
     flush_counters(&shared, &repl, sources, fb_sources.len() as u64);
     (out, fb_sources.len())
@@ -426,12 +440,19 @@ pub(crate) fn link_all_sources_from_table(
     kind: QueueKind,
 ) -> (Vec<Option<UnicastPricing>>, usize) {
     let n = g.num_nodes();
-    let shared = classify(g, dist, parent, ap);
-    let repl = subtree_replacements(g, dist, &shared, threads);
+    let shared = {
+        let _s = truthcast_obs::span("all_sources.classify");
+        classify(g, dist, parent, ap)
+    };
+    let repl = {
+        let _s = truthcast_obs::span("all_sources.subtree_runs");
+        subtree_replacements(g, dist, &shared, threads)
+    };
 
     let mut out: Vec<Option<UnicastPricing>> = vec![None; n];
     let mut fb_sources: Vec<NodeId> = Vec::new();
     let mut sources = 0u64;
+    let assemble = truthcast_obs::span("all_sources.assemble");
     for v in g.node_ids() {
         if v == ap || !shared.iv.in_tree(v) {
             continue;
@@ -469,22 +490,29 @@ pub(crate) fn link_all_sources_from_table(
             payments,
         });
     }
-    let priced = par_map_with(
-        fb_sources.len(),
-        threads,
-        || WorkerScratch::new(n, kind),
-        |sc, i| {
-            price_link_session(
-                g,
-                SessionQuery::new(fb_sources[i], ap),
-                dist,
-                sc,
-                "all_sources_sym",
-            )
-        },
-    );
-    for (&v, p) in fb_sources.iter().zip(priced) {
-        out[v.index()] = p;
+    drop(assemble);
+    {
+        let _s = truthcast_obs::span("all_sources.fallback");
+        let priced = par_map_with(
+            fb_sources.len(),
+            threads,
+            || WorkerScratch::new(n, kind),
+            |sc, i| {
+                let t0 = WorkerScratch::latency_clock();
+                let priced = price_link_session(
+                    g,
+                    SessionQuery::new(fb_sources[i], ap),
+                    dist,
+                    sc,
+                    "all_sources_sym",
+                );
+                sc.record_latency(t0);
+                priced
+            },
+        );
+        for (&v, p) in fb_sources.iter().zip(priced) {
+            out[v.index()] = p;
+        }
     }
     flush_counters(&shared, &repl, sources, fb_sources.len() as u64);
     (out, fb_sources.len())
@@ -575,13 +603,16 @@ impl AllSourcesEngine {
         ap: NodeId,
     ) -> Vec<Option<UnicastPricing>> {
         let _span = truthcast_obs::span("core.all_sources");
-        truthcast_graph::node_dijkstra::node_dijkstra_in(
-            &mut self.ws,
-            g,
-            ap,
-            NodeDijkstraOptions::default(),
-        );
-        self.ws.export_into(&mut self.dist, &mut self.parent);
+        {
+            let _s = truthcast_obs::span("all_sources.spt_sweep");
+            truthcast_graph::node_dijkstra::node_dijkstra_in(
+                &mut self.ws,
+                g,
+                ap,
+                NodeDijkstraOptions::default(),
+            );
+            self.ws.export_into(&mut self.dist, &mut self.parent);
+        }
         let (out, fallbacks) =
             node_all_sources_from_table(g, ap, &self.dist, &self.parent, self.threads, self.kind);
         self.last_fallbacks = fallbacks;
@@ -602,14 +633,17 @@ impl AllSourcesEngine {
             self.last_fallbacks = 0;
             return vec![None; g.num_nodes()];
         }
-        dijkstra_in(
-            &mut self.ws,
-            g,
-            ap,
-            Direction::Forward,
-            DijkstraOptions::default(),
-        );
-        self.ws.export_into(&mut self.dist, &mut self.parent);
+        {
+            let _s = truthcast_obs::span("all_sources.spt_sweep");
+            dijkstra_in(
+                &mut self.ws,
+                g,
+                ap,
+                Direction::Forward,
+                DijkstraOptions::default(),
+            );
+            self.ws.export_into(&mut self.dist, &mut self.parent);
+        }
         let (out, fallbacks) =
             link_all_sources_from_table(g, ap, &self.dist, &self.parent, self.threads, self.kind);
         self.last_fallbacks = fallbacks;

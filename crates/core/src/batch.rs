@@ -78,6 +78,9 @@ pub(crate) struct WorkerScratch {
     pub(crate) dist: Vec<Cost>,
     pub(crate) parent: Vec<Option<NodeId>>,
     pub(crate) sessions: u64,
+    /// Per-session wall-clock latencies, flushed in one batch into the
+    /// `core.batch.session_latency_ns` quantile sketch on drop.
+    pub(crate) lat_ns: Vec<u64>,
 }
 
 impl WorkerScratch {
@@ -87,14 +90,31 @@ impl WorkerScratch {
             dist: Vec::with_capacity(n),
             parent: Vec::with_capacity(n),
             sessions: 0,
+            lat_ns: Vec::new(),
+        }
+    }
+
+    /// Start-of-session timestamp — `None` (one relaxed load, no clock
+    /// read) when tracing is disabled.
+    pub(crate) fn latency_clock() -> Option<std::time::Instant> {
+        truthcast_obs::enabled().then(std::time::Instant::now)
+    }
+
+    /// Records one session's wall-clock latency for the batch sketch.
+    pub(crate) fn record_latency(&mut self, t0: Option<std::time::Instant>) {
+        if let Some(t0) = t0 {
+            self.lat_ns.push(t0.elapsed().as_nanos() as u64);
         }
     }
 }
 
 impl Drop for WorkerScratch {
     fn drop(&mut self) {
-        if self.sessions > 0 && truthcast_obs::enabled() {
-            truthcast_obs::observe("core.batch.sessions_per_worker", self.sessions);
+        if truthcast_obs::enabled() {
+            if self.sessions > 0 {
+                truthcast_obs::observe("core.batch.sessions_per_worker", self.sessions);
+            }
+            truthcast_obs::sample_many("core.batch.session_latency_ns", &self.lat_ns);
         }
     }
 }
@@ -225,9 +245,12 @@ impl<'g> PaymentEngine<'g> {
             || WorkerScratch::new(g.num_nodes(), kind),
             |scratch, i| {
                 scratch.sessions += 1;
+                let t0 = WorkerScratch::latency_clock();
                 let q = sessions[i];
                 let tj = &tables[&q.target];
-                price_node_session(g, q, &tj.dist, scratch, "batch")
+                let priced = price_node_session(g, q, &tj.dist, scratch, "batch");
+                scratch.record_latency(t0);
+                priced
             },
         )
     }
@@ -243,7 +266,10 @@ impl<'g> PaymentEngine<'g> {
     /// the same `ap`, and vice versa.
     pub fn price_all_to_ap(&mut self, ap: NodeId) -> Vec<Option<UnicastPricing>> {
         let _span = truthcast_obs::span("core.all_sources");
-        self.warm(ap);
+        {
+            let _s = truthcast_obs::span("all_sources.spt_sweep");
+            self.warm(ap);
+        }
         let tj = &self.target_tables[&ap];
         let (out, _fallbacks) = crate::all_sources::node_all_sources_from_table(
             self.g,
@@ -426,9 +452,12 @@ impl<'g> LinkPaymentEngine<'g> {
             || WorkerScratch::new(g.num_nodes(), kind),
             |scratch, i| {
                 scratch.sessions += 1;
+                let t0 = WorkerScratch::latency_clock();
                 let q = sessions[i];
                 let tj = &tables[&q.target];
-                price_link_session(g, q, &tj.dist, scratch, "batch_sym")
+                let priced = price_link_session(g, q, &tj.dist, scratch, "batch_sym");
+                scratch.record_latency(t0);
+                priced
             },
         )
     }
@@ -443,7 +472,10 @@ impl<'g> LinkPaymentEngine<'g> {
         if !self.symmetric {
             return vec![None; self.g.num_nodes()];
         }
-        self.warm(ap);
+        {
+            let _s = truthcast_obs::span("all_sources.spt_sweep");
+            self.warm(ap);
+        }
         let tj = &self.target_tables[&ap];
         let (out, _fallbacks) = crate::all_sources::link_all_sources_from_table(
             self.g,

@@ -8,8 +8,23 @@
 //! deterministic (sender-id) order so simulations are reproducible.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use truthcast_graph::{Adjacency, NodeId};
+
+/// Per-process engine serial, folded into the high bits of message
+/// sequence numbers so flow records from different engines (e.g. the
+/// stage-1 rebuild and stage-2 replay of one payments trace) never
+/// collide in a trace. Purely observational.
+static ENGINE_SERIAL: AtomicU64 = AtomicU64::new(0);
+
+/// High-bit shift for the engine serial inside a message seq; leaves
+/// 2^40 sequence numbers per engine.
+const SEQ_ENGINE_SHIFT: u32 = 40;
+
+/// One in-flight message copy: `(to, from, seq, kind, msg)`, where
+/// `(seq, kind)` is the flow-trace stamp assigned at send.
+type InFlight<M> = (NodeId, NodeId, u64, &'static str, M);
 
 /// Traffic accounting for a protocol run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -64,12 +79,17 @@ pub struct RoundEngine<M> {
     adj: Adjacency,
     inboxes: Vec<Vec<(NodeId, M)>>,
     /// `future[d]` holds messages due `d + 1` deliveries from now, as
-    /// `(to, from, msg)`; a ring of `max_delay` buckets rotated by
-    /// [`RoundEngine::deliver_round`] in `O(1)`.
-    future: VecDeque<Vec<(NodeId, NodeId, M)>>,
+    /// `(to, from, seq, kind, msg)`; a ring of `max_delay` buckets
+    /// rotated by [`RoundEngine::deliver_round`] in `O(1)`.
+    future: VecDeque<Vec<InFlight<M>>>,
     max_delay: usize,
     /// Deterministic jitter state (splitmix-style); `None` = synchronous.
     jitter: Option<u64>,
+    /// Next message sequence number: every enqueued copy is stamped with
+    /// `(sender, seq)` at send so its delivery (or drop) can be paired
+    /// back to the send in flow traces. Purely observational — delivery
+    /// order, state hashing, and replay never read it.
+    next_seq: u64,
     /// Traffic statistics.
     pub stats: EngineStats,
 }
@@ -85,6 +105,7 @@ impl<M: Clone> RoundEngine<M> {
             future: VecDeque::from([Vec::new()]),
             max_delay: 1,
             jitter: None,
+            next_seq: ENGINE_SERIAL.fetch_add(1, Ordering::Relaxed) << SEQ_ENGINE_SHIFT,
             stats: EngineStats::default(),
         }
     }
@@ -114,6 +135,7 @@ impl<M: Clone> RoundEngine<M> {
             future: (0..max_delay).map(|_| Vec::new()).collect(),
             max_delay,
             jitter: Some(seed ^ 0x9E37_79B9_7F4A_7C15),
+            next_seq: ENGINE_SERIAL.fetch_add(1, Ordering::Relaxed) << SEQ_ENGINE_SHIFT,
             stats: EngineStats::default(),
         }
     }
@@ -142,14 +164,18 @@ impl<M: Clone> RoundEngine<M> {
     }
 
     /// Queues a radio broadcast from `from` to all its neighbors (each
-    /// copy delayed independently under jitter).
+    /// copy delayed independently under jitter). Each copy gets its own
+    /// `(sender, seq)` stamp and — in profiling mode — a send flow event.
     pub fn broadcast(&mut self, from: NodeId, msg: M) {
         self.stats.broadcasts += 1;
         for i in 0..self.adj.neighbors(from).len() {
             let v = self.adj.neighbors(from)[i];
             let bucket = self.pick_bucket();
+            let seq = self.next_seq;
+            self.next_seq += 1;
             self.stats.enqueued += 1;
-            self.future[bucket].push((v, from, msg.clone()));
+            truthcast_obs::flow_send(from.index() as u32, v.index() as u32, seq, "bcast");
+            self.future[bucket].push((v, from, seq, "bcast", msg.clone()));
         }
     }
 
@@ -158,8 +184,11 @@ impl<M: Clone> RoundEngine<M> {
     pub fn send_direct(&mut self, from: NodeId, to: NodeId, msg: M) {
         self.stats.directs += 1;
         let bucket = self.pick_bucket();
+        let seq = self.next_seq;
+        self.next_seq += 1;
         self.stats.enqueued += 1;
-        self.future[bucket].push((to, from, msg));
+        truthcast_obs::flow_send(from.index() as u32, to.index() as u32, seq, "direct");
+        self.future[bucket].push((to, from, seq, "direct", msg));
     }
 
     /// Removes and returns `v`'s inbox for this round.
@@ -178,7 +207,8 @@ impl<M: Clone> RoundEngine<M> {
         let due = self.future.pop_front().expect("at least one bucket");
         self.future.push_back(Vec::new());
         self.stats.deliveries += due.len();
-        for (to, from, msg) in due {
+        for (to, from, seq, kind, msg) in due {
+            truthcast_obs::flow_deliver(from.index() as u32, to.index() as u32, seq, kind);
             self.inboxes[to.index()].push((from, msg));
         }
         // Deterministic order: stable sort by sender id.
@@ -210,7 +240,7 @@ impl<M: Clone> RoundEngine<M> {
     pub fn channels(&self) -> Vec<(NodeId, NodeId)> {
         let mut out: Vec<(NodeId, NodeId)> = Vec::new();
         for bucket in &self.future {
-            for &(to, from, _) in bucket {
+            for &(to, from, _, _, _) in bucket {
                 out.push((from, to));
             }
         }
@@ -224,16 +254,17 @@ impl<M: Clone> RoundEngine<M> {
         self.future
             .iter()
             .flat_map(|b| b.iter())
-            .find(|&&(t, f, _)| t == to && f == from)
-            .map(|(_, _, m)| m)
+            .find(|&&(t, f, _, _, _)| t == to && f == from)
+            .map(|(_, _, _, _, m)| m)
     }
 
     /// Delivers the head-of-line message on channel `(from, to)` straight
     /// into `to`'s inbox. Returns `false` if the channel is empty.
     pub fn deliver_head(&mut self, from: NodeId, to: NodeId) -> bool {
         match self.take_head(from, to) {
-            Some(msg) => {
+            Some((seq, kind, msg)) => {
                 self.stats.deliveries += 1;
+                truthcast_obs::flow_deliver(from.index() as u32, to.index() as u32, seq, kind);
                 self.inboxes[to.index()].push((from, msg));
                 true
             }
@@ -245,19 +276,23 @@ impl<M: Clone> RoundEngine<M> {
     /// Returns `false` if the channel is empty.
     pub fn drop_head(&mut self, from: NodeId, to: NodeId) -> bool {
         match self.take_head(from, to) {
-            Some(_) => {
+            Some((seq, kind, _)) => {
                 self.stats.dropped += 1;
+                truthcast_obs::flow_drop(from.index() as u32, to.index() as u32, seq, kind);
                 true
             }
             None => false,
         }
     }
 
-    fn take_head(&mut self, from: NodeId, to: NodeId) -> Option<M> {
+    fn take_head(&mut self, from: NodeId, to: NodeId) -> Option<(u64, &'static str, M)> {
         for bucket in &mut self.future {
-            if let Some(pos) = bucket.iter().position(|&(t, f, _)| t == to && f == from) {
-                let (_, _, msg) = bucket.remove(pos);
-                return Some(msg);
+            if let Some(pos) = bucket
+                .iter()
+                .position(|&(t, f, _, _, _)| t == to && f == from)
+            {
+                let (_, _, seq, kind, msg) = bucket.remove(pos);
+                return Some((seq, kind, msg));
             }
         }
         None
@@ -265,10 +300,11 @@ impl<M: Clone> RoundEngine<M> {
 
     /// Visits every in-flight message in queue order (due-soonest bucket
     /// first, enqueue order within a bucket) as `(from, to, msg)`. Used
-    /// by the explorer's state hashing.
+    /// by the explorer's state hashing — the observational `seq` stamp is
+    /// deliberately not exposed, so it can never leak into state hashes.
     pub fn for_each_in_flight(&self, mut f: impl FnMut(NodeId, NodeId, &M)) {
         for bucket in &self.future {
-            for (to, from, msg) in bucket {
+            for (to, from, _, _, msg) in bucket {
                 f(*from, *to, msg);
             }
         }

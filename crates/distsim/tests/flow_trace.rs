@@ -1,0 +1,148 @@
+//! Message-flow tracing through the round engine: replaying a committed
+//! `truthcast-trace v1` counterexample with profiling on must emit one
+//! send flow per enqueued message copy and a matching deliver/drop flow
+//! per consumed one — the pairing the Chrome sequence-chart export is
+//! built on.
+//!
+//! One `#[test]` on purpose: the obs collector and profiling toggle are
+//! process-global (same isolation pattern as obs' own test binaries).
+
+use truthcast_distsim::explore::Trace;
+use truthcast_obs::FlowPhase;
+
+/// The committed diamond4 cost-liar counterexample (stage 1), verbatim
+/// from `tests/modelcheck_counterexamples.rs`.
+const COST_LIAR: &str = "\
+truthcast-trace v1
+name diamond4-cost-liar
+stage spt
+ap 0
+cost 0 0
+cost 1 5000000
+cost 2 7000000
+cost 3 0
+edge 0 1
+edge 1 3
+edge 0 2
+edge 2 3
+behavior 3 underclaim 50
+step d 0 1
+step d 0 2
+step d 1 0
+step d 1 3
+step d 2 0
+step d 2 3
+step d 3 1
+step d 3 2
+";
+
+/// A payments-stage variant (drives TWO engines: the deterministic
+/// stage-1 SPT rebuild, then the replayed stage-2 schedule). Same
+/// schedule as the committed diamond4-shaver counterexample except the
+/// final delivery is a drop, so cross-engine seq uniqueness and drop
+/// flows are both exercised.
+const SHAVER_WITH_DROP: &str = "\
+truthcast-trace v1
+name diamond4-shaver-drop
+stage payments
+ap 0
+cost 0 0
+cost 1 5000000
+cost 2 7000000
+cost 3 0
+edge 0 1
+edge 1 3
+edge 0 2
+edge 2 3
+behavior 3 shave 50
+step d 1 0
+step d 1 3
+step d 2 0
+step d 2 3
+step d 3 1
+step d 3 1
+step d 3 2
+step x 3 2
+";
+
+fn assert_flows_pair(snap: &truthcast_obs::Snapshot) {
+    for f in &snap.flows {
+        if f.phase == FlowPhase::Send {
+            continue;
+        }
+        let sends: Vec<_> = snap
+            .flows
+            .iter()
+            .filter(|s| s.phase == FlowPhase::Send && s.seq == f.seq)
+            .collect();
+        assert_eq!(
+            sends.len(),
+            1,
+            "{:?} seq {} must match exactly one send",
+            f.phase,
+            f.seq
+        );
+        let s = sends[0];
+        assert_eq!((s.from, s.to, s.kind), (f.from, f.to, f.kind));
+        assert!(
+            s.at_nanos <= f.at_nanos,
+            "send must precede its {:?}",
+            f.phase
+        );
+    }
+}
+
+fn count(snap: &truthcast_obs::Snapshot, phase: FlowPhase) -> usize {
+    snap.flows.iter().filter(|f| f.phase == phase).count()
+}
+
+#[test]
+fn replayed_counterexamples_emit_paired_flows() {
+    truthcast_obs::enable();
+    truthcast_obs::enable_profiling();
+    truthcast_obs::reset();
+
+    // Stage-1 trace: one engine, deliveries only.
+    let trace = Trace::parse(COST_LIAR).expect("committed trace parses");
+    let outcome = trace.replay();
+    assert_eq!(outcome.steps_applied, trace.steps.len());
+    let snap = truthcast_obs::snapshot();
+    assert!(!snap.flows.is_empty(), "profiled replay must emit flows");
+    assert_flows_pair(&snap);
+    assert_eq!(count(&snap, FlowPhase::Send), outcome.stats.enqueued);
+    assert_eq!(count(&snap, FlowPhase::Deliver), outcome.stats.deliveries);
+    assert_eq!(count(&snap, FlowPhase::Drop), outcome.stats.dropped);
+
+    // Stage-2 trace: two engines in one snapshot plus an explicit drop —
+    // seqs must stay globally unique so pairing cannot cross engines.
+    truthcast_obs::reset();
+    let trace2 = Trace::parse(SHAVER_WITH_DROP).expect("committed trace parses");
+    let outcome2 = trace2.replay();
+    assert_eq!(outcome2.steps_applied, trace2.steps.len());
+    let snap2 = truthcast_obs::snapshot();
+    assert_flows_pair(&snap2);
+    assert!(count(&snap2, FlowPhase::Drop) >= 1, "the x step must trace");
+    let mut seqs: Vec<u64> = snap2
+        .flows
+        .iter()
+        .filter(|f| f.phase == FlowPhase::Send)
+        .map(|f| f.seq)
+        .collect();
+    let sends = seqs.len();
+    seqs.sort_unstable();
+    seqs.dedup();
+    assert_eq!(seqs.len(), sends, "send seqs must be unique across engines");
+
+    // The chrome export of a replay validates, with flow ends == deliveries.
+    let chrome = truthcast_obs::to_chrome_trace(&snap2);
+    let stats = truthcast_obs::validate_chrome_trace(&chrome).expect("chrome export validates");
+    assert_eq!(stats.flow_starts, count(&snap2, FlowPhase::Send));
+    assert_eq!(stats.flow_ends, count(&snap2, FlowPhase::Deliver));
+
+    // With profiling off the same replay is flow-silent.
+    truthcast_obs::disable_profiling();
+    truthcast_obs::reset();
+    let _ = trace.replay();
+    assert!(truthcast_obs::snapshot().flows.is_empty());
+    truthcast_obs::disable();
+}

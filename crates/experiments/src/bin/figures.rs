@@ -4,8 +4,16 @@
 //! figures --panel a          # Figure 3(a): IOR vs TOR, UDG κ=2
 //! figures --panel all        # every panel + the convergence experiment
 //! figures --instances 20     # fewer instances for a quick pass
+//! figures figure3            # just the six Figure 3 panels
+//! figures figure3 --quick    # smallest size, 2 instances — smoke profile
 //! figures --csv out/         # additionally write CSV files
 //! ```
+//!
+//! With `TRUTHCAST_PROFILE=prof.json` set, the run records the causal
+//! span tree (phases of the all-sources engine, batch workers, message
+//! flows) and writes a Chrome `trace_event` JSON on exit — load it in
+//! Perfetto or chrome://tracing. A per-phase time-attribution table is
+//! printed alongside the metrics appendix.
 
 use std::path::PathBuf;
 
@@ -34,10 +42,14 @@ fn parse_args() -> Result<Args, String> {
         csv_dir: None,
         sizes: paper_sizes(),
     };
+    let mut quick = false;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
         match flag.as_str() {
+            // Positional subcommand: just the six Figure 3 panels.
+            "figure3" => args.panels = vec!['a', 'b', 'c', 'd', 'e', 'f'],
+            "--quick" => quick = true,
             "--panel" => {
                 let v = value("--panel")?;
                 if v == "all" {
@@ -74,13 +86,20 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: figures [--panel a-f|r|all] [--instances N] [--seed S] \
-                     [--sizes 100,150,...] [--csv DIR]"
+                    "usage: figures [figure3] [--quick] [--panel a-f|r|all] [--instances N] \
+                     [--seed S] [--sizes 100,150,...] [--csv DIR]"
                 );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag {other}")),
         }
+    }
+    if quick {
+        // Smallest paper size, two instances: enough to exercise every
+        // phase of every panel while finishing in seconds — the profiling
+        // smoke configuration used by scripts/ci.sh.
+        args.sizes.truncate(1);
+        args.instances = args.instances.min(2);
     }
     Ok(args)
 }
@@ -102,8 +121,12 @@ fn main() {
             std::process::exit(2);
         }
     };
-    if truthcast_obs::init_from_env() {
+    let obs_guard = truthcast_obs::init_from_env();
+    if obs_guard.tracing() {
         println!("[tracing enabled: TRUTHCAST_TRACE is set]");
+    }
+    if obs_guard.profiling() {
+        println!("[profiling enabled: TRUTHCAST_PROFILE is set]");
     }
     println!(
         "truthcast figures — {} instances per size, seed {}\n",
@@ -271,7 +294,15 @@ fn main() {
     if let Some(appendix) = metrics_appendix() {
         println!("{appendix}");
     }
+    if obs_guard.profiling() {
+        if let Some(table) = truthcast_obs::export::phase_attribution(&truthcast_obs::snapshot()) {
+            println!("== Appendix: phase time attribution (truthcast-obs) ==\n{table}");
+        }
+    }
     if let Some(path) = truthcast_obs::flush() {
         println!("[trace written to {}]", path.display());
+    }
+    if let Some(path) = truthcast_obs::flush_profile() {
+        println!("[chrome profile written to {}]", path.display());
     }
 }

@@ -2,12 +2,18 @@
 //!
 //! ```text
 //! price <graph-file> --source 3 [--target 0] [--scheme vcg|neighborhood|fixed:<tariff>]
+//! price <graph-file> --batch [--target 0]
 //! ```
 //!
 //! The graph format is documented in `truthcast_graph::io`. The default
 //! target is node 0 (the access point); the default scheme is the paper's
-//! per-node VCG via Algorithm 1.
+//! per-node VCG via Algorithm 1. `--batch` prices *every* other node
+//! toward the target in one [`truthcast_core::batch::PaymentEngine`]
+//! batch — the all-to-AP deployment pattern — and, under
+//! `TRUTHCAST_TRACE`, the metrics appendix reports exact per-session
+//! latency quantiles from the `core.batch.session_latency_ns` sketch.
 
+use truthcast_core::batch::{PaymentEngine, SessionQuery};
 use truthcast_core::{fast_payments, fixed_price_route, neighborhood_payments};
 use truthcast_graph::io::parse_node_weighted;
 use truthcast_graph::{Cost, NodeId};
@@ -15,7 +21,8 @@ use truthcast_graph::{Cost, NodeId};
 fn fail(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: price <graph-file> --source N [--target N] [--scheme vcg|neighborhood|fixed:<tariff>]"
+        "usage: price <graph-file> (--source N | --batch) [--target N] \
+         [--scheme vcg|neighborhood|fixed:<tariff>]"
     );
     std::process::exit(2)
 }
@@ -25,10 +32,12 @@ fn main() {
     let mut source: Option<u32> = None;
     let mut target: u32 = 0;
     let mut scheme = String::from("vcg");
+    let mut batch = false;
 
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--batch" => batch = true,
             "--source" => {
                 source = Some(
                     it.next()
@@ -49,21 +58,77 @@ fn main() {
         }
     }
     let file = file.unwrap_or_else(|| fail("missing graph file"));
-    let source = NodeId(source.unwrap_or_else(|| fail("missing --source")));
     let target = NodeId(target);
 
-    truthcast_obs::init_from_env();
+    let _obs_guard = truthcast_obs::init_from_env();
     let text = std::fs::read_to_string(&file)
         .unwrap_or_else(|e| fail(&format!("cannot read {file}: {e}")));
     let g = parse_node_weighted(&text).unwrap_or_else(|e| fail(&format!("parse {file}: {e}")));
-    if source.index() >= g.num_nodes() || target.index() >= g.num_nodes() || source == target {
-        fail("source/target out of range or equal");
+    if target.index() >= g.num_nodes() {
+        fail("target out of range");
     }
 
-    run(&g, source, target, &scheme);
+    if batch {
+        if source.is_some() {
+            fail("--batch prices every source; drop --source");
+        }
+        run_batch(&g, target);
+        if truthcast_obs::enabled() {
+            println!(
+                "\n== Appendix: run metrics (truthcast-obs) ==\n{}",
+                truthcast_obs::summary()
+            );
+        }
+    } else {
+        let source = NodeId(source.unwrap_or_else(|| fail("missing --source (or use --batch)")));
+        if source.index() >= g.num_nodes() || source == target {
+            fail("source out of range or equal to target");
+        }
+        run(&g, source, target, &scheme);
+    }
     if let Some(path) = truthcast_obs::flush() {
         println!("[trace written to {}]", path.display());
     }
+    if let Some(path) = truthcast_obs::flush_profile() {
+        println!("[chrome profile written to {}]", path.display());
+    }
+}
+
+/// Prices every other node toward `target` in one engine batch and
+/// prints a per-source summary plus totals (unreachable sources are
+/// counted, not listed).
+fn run_batch(g: &truthcast_graph::NodeWeightedGraph, target: NodeId) {
+    let sessions: Vec<SessionQuery> = g
+        .node_ids()
+        .filter(|&v| v != target)
+        .map(|v| SessionQuery::new(v, target))
+        .collect();
+    let mut engine = PaymentEngine::new(g);
+    let priced = engine.price_batch(&sessions);
+    println!(
+        "scheme        : per-node VCG, batched ({} sessions, {} workers)",
+        sessions.len(),
+        engine.threads()
+    );
+    let mut reached = 0usize;
+    let mut total = Cost::ZERO;
+    for (q, p) in sessions.iter().zip(&priced) {
+        let Some(p) = p else { continue };
+        reached += 1;
+        total = total.saturating_add(p.total_payment());
+        println!(
+            "  {} -> {} : {} hops, total {}",
+            q.source,
+            target,
+            p.path.len() - 1,
+            p.total_payment()
+        );
+    }
+    println!(
+        "reachable     : {reached}/{} sources (target {target})",
+        sessions.len()
+    );
+    println!("total payment : {total}");
 }
 
 fn run(g: &truthcast_graph::NodeWeightedGraph, source: NodeId, target: NodeId, scheme: &str) {

@@ -8,7 +8,15 @@
 //! modelcheck --scenario figure2-shaver-sampled --sample-width 256 --seed 7
 //! modelcheck --n 4 --drop-budget 2        # add message-loss schedules
 //! modelcheck --scenario diamond4-cost-liar --emit-trace   # print a trace
+//! modelcheck --scenario diamond4-shaver --emit-chrome-trace shaver.json
 //! ```
+//!
+//! `--emit-chrome-trace PATH` replays the most interesting trace (the
+//! first violation's, else the first quiescent schedule) with message-flow
+//! profiling on and writes a Chrome `trace_event` JSON: load it in
+//! Perfetto or chrome://tracing to read the counterexample as a sequence
+//! chart of paired send/deliver flow arrows. Exploration itself runs
+//! unprofiled, so the flag never perturbs the search.
 //!
 //! Exit status: 0 when every explored scenario holds all four invariants,
 //! 1 on any violation (each printed with its minimized replay trace),
@@ -22,6 +30,7 @@ struct Args {
     scenarios: Vec<Scenario>,
     cfg: ExploreConfig,
     emit_trace: bool,
+    emit_chrome: Option<std::path::PathBuf>,
     list: bool,
 }
 
@@ -31,6 +40,7 @@ fn parse_args() -> Result<Args, String> {
     let mut n: Option<usize> = None;
     let mut exhaustive = false;
     let mut emit_trace = false;
+    let mut emit_chrome: Option<std::path::PathBuf> = None;
     let mut list = false;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -63,11 +73,15 @@ fn parse_args() -> Result<Args, String> {
             }
             "--list" => list = true,
             "--emit-trace" => emit_trace = true,
+            "--emit-chrome-trace" => {
+                emit_chrome = Some(std::path::PathBuf::from(value("--emit-chrome-trace")?))
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: modelcheck [--list] [--scenario NAME | --n N] [--exhaustive]\n\
                      \x20                 [--sample-width W] [--seed S] [--max-states M]\n\
-                     \x20                 [--drop-budget D] [--emit-trace]"
+                     \x20                 [--drop-budget D] [--emit-trace]\n\
+                     \x20                 [--emit-chrome-trace PATH]"
                 );
                 std::process::exit(0);
             }
@@ -106,6 +120,7 @@ fn parse_args() -> Result<Args, String> {
         scenarios,
         cfg,
         emit_trace,
+        emit_chrome,
         list,
     })
 }
@@ -131,6 +146,8 @@ fn main() {
         return;
     }
     let mut failed = false;
+    let mut chrome_trace: Option<truthcast_distsim::explore::Trace> = None;
+    let mut chrome_is_violation = false;
     for sc in &args.scenarios {
         let report = explore(sc, &args.cfg);
         println!("{}", report.summary());
@@ -139,12 +156,49 @@ fn main() {
             println!("  VIOLATION {:?}: {}", v.invariant, v.detail);
             println!("{}", indent(&v.trace.to_text()));
         }
+        if args.emit_chrome.is_some() && !chrome_is_violation {
+            if let Some(v) = report.violations.first() {
+                chrome_trace = Some(v.trace.clone());
+                chrome_is_violation = true;
+            } else if chrome_trace.is_none() {
+                chrome_trace.clone_from(&report.first_terminal_trace);
+            }
+        }
         if args.emit_trace {
             if let Some(t) = &report.first_terminal_trace {
                 println!("{}", t.to_text());
             } else {
                 eprintln!("  (no quiescent state reached; nothing to emit)");
             }
+        }
+    }
+    if let Some(path) = &args.emit_chrome {
+        // Exploration above ran unprofiled; only the chosen schedule is
+        // replayed with flow profiling on, so the export stays small and
+        // the search itself is never perturbed.
+        if let Some(t) = &chrome_trace {
+            truthcast_obs::enable();
+            truthcast_obs::enable_profiling();
+            truthcast_obs::reset();
+            let outcome = t.replay();
+            if let Err(e) = truthcast_obs::write_chrome(path) {
+                eprintln!("modelcheck: writing {}: {e}", path.display());
+                std::process::exit(2);
+            }
+            truthcast_obs::disable_profiling();
+            truthcast_obs::disable();
+            println!(
+                "chrome trace: {} ({} steps of the {} — load in Perfetto or chrome://tracing)",
+                path.display(),
+                outcome.steps_applied,
+                if chrome_is_violation {
+                    "first violation schedule"
+                } else {
+                    "first quiescent schedule"
+                },
+            );
+        } else {
+            eprintln!("modelcheck: --emit-chrome-trace: no schedule to replay");
         }
     }
     std::process::exit(if failed { 1 } else { 0 });

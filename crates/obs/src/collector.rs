@@ -1,11 +1,13 @@
 //! The thread-safe metric collector.
 //!
 //! A [`Collector`] owns named monotonic counters, named [`Histogram`]s,
-//! an ordered list of structured [`TraceEvent`]s, and the payment audit
-//! trail. All mutation goes through one `Mutex` — instrumented code is
-//! expected to *batch* (accumulate locals in the hot loop, flush once per
-//! sweep/run), so the lock is taken a handful of times per priced unicast,
-//! not per heap operation.
+//! an ordered list of structured [`TraceEvent`]s, the payment audit
+//! trail, and — in profiling mode — the causal span tree
+//! ([`SpanRecord`]), cross-node message flows ([`FlowRecord`]), and
+//! named exact-quantile [`QuantileSketch`]es. All mutation goes through
+//! one `Mutex` — instrumented code is expected to *batch* (accumulate
+//! locals in the hot loop, flush once per sweep/run), so the lock is
+//! taken a handful of times per priced unicast, not per heap operation.
 
 use std::collections::BTreeMap;
 use std::sync::Mutex;
@@ -13,6 +15,8 @@ use std::time::Instant;
 
 use crate::audit::PaymentAudit;
 use crate::hist::Histogram;
+use crate::sketch::QuantileSketch;
+use crate::span::SpanRecord;
 
 /// A structured event: what happened, when (relative to collector
 /// creation), and key/value detail.
@@ -26,12 +30,60 @@ pub struct TraceEvent {
     pub fields: Vec<(String, String)>,
 }
 
+/// Which end of a message's life a flow record marks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlowPhase {
+    /// The message was enqueued at the sender.
+    Send,
+    /// The message was handed to the receiver.
+    Deliver,
+    /// The message was dropped in flight.
+    Drop,
+}
+
+impl FlowPhase {
+    /// Lowercase wire name (`"send"` / `"deliver"` / `"drop"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FlowPhase::Send => "send",
+            FlowPhase::Deliver => "deliver",
+            FlowPhase::Drop => "drop",
+        }
+    }
+}
+
+/// One end of a cross-node message flow (profiling mode only). A
+/// delivered message yields a `Send`/`Deliver` pair sharing the same
+/// `seq`; a dropped one yields `Send`/`Drop`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlowRecord {
+    /// Nanoseconds since the collector was created.
+    pub at_nanos: u64,
+    /// Which end of the message's life this record marks.
+    pub phase: FlowPhase,
+    /// Sending node id.
+    pub from: u32,
+    /// Receiving node id.
+    pub to: u32,
+    /// Per-engine message sequence number: stamped once at send, carried
+    /// to the matching deliver/drop.
+    pub seq: u64,
+    /// Message kind tag (e.g. `"bcast"`, `"direct"`).
+    pub kind: &'static str,
+}
+
 #[derive(Default)]
 struct State {
     counters: BTreeMap<String, u64>,
     histograms: BTreeMap<String, Histogram>,
     events: Vec<TraceEvent>,
     audits: Vec<PaymentAudit>,
+    spans: Vec<SpanRecord>,
+    flows: Vec<FlowRecord>,
+    sketches: BTreeMap<String, QuantileSketch>,
+    // Interned `span.<name>_ns` histogram keys: span names are 'static,
+    // so each distinct span site pays for one String, not one per drop.
+    span_keys: BTreeMap<&'static str, String>,
 }
 
 /// A point-in-time copy of a collector's contents, for tests, the summary
@@ -46,6 +98,12 @@ pub struct Snapshot {
     pub events: Vec<TraceEvent>,
     /// Payment audit records in emission order.
     pub audits: Vec<PaymentAudit>,
+    /// Completed spans in completion order (profiling mode).
+    pub spans: Vec<SpanRecord>,
+    /// Message flow records in emission order (profiling mode).
+    pub flows: Vec<FlowRecord>,
+    /// `(name, sketch)` for every quantile sketch, name-ordered.
+    pub sketches: Vec<(String, QuantileSketch)>,
 }
 
 impl Snapshot {
@@ -65,6 +123,14 @@ impl Snapshot {
             .map(|(_, h)| h)
     }
 
+    /// The quantile sketch `name`, if any sample was recorded under it.
+    pub fn sketch(&self, name: &str) -> Option<&QuantileSketch> {
+        self.sketches
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| s)
+    }
+
     /// Audit records for one `(source, target)` unicast under one
     /// algorithm, in path order.
     pub fn audits_for(&self, algo: &str, source: u32, target: u32) -> Vec<&PaymentAudit> {
@@ -75,7 +141,8 @@ impl Snapshot {
     }
 }
 
-/// A thread-safe sink for counters, histograms, events, and audits.
+/// A thread-safe sink for counters, histograms, events, audits, spans,
+/// flows, and sketches.
 pub struct Collector {
     epoch: Instant,
     state: Mutex<State>,
@@ -102,6 +169,12 @@ impl Collector {
         self.state.lock().unwrap_or_else(|e| e.into_inner())
     }
 
+    /// Nanoseconds since this collector was created — the clock every
+    /// event, span, and flow record is stamped with.
+    pub fn now_nanos(&self) -> u64 {
+        self.epoch.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+
     /// Adds `delta` to the named monotonic counter.
     pub fn add(&self, name: &str, delta: u64) {
         let mut s = self.state();
@@ -126,9 +199,80 @@ impl Collector {
         }
     }
 
+    /// Records a span duration into the `span.<name>_ns` histogram. The
+    /// composed key is interned per distinct `name`, so the steady-state
+    /// cost is one map probe under the lock — no allocation per drop.
+    pub fn observe_span(&self, name: &'static str, nanos: u64) {
+        let mut s = self.state();
+        let State {
+            span_keys,
+            histograms,
+            ..
+        } = &mut *s;
+        let key = span_keys
+            .entry(name)
+            .or_insert_with(|| format!("span.{name}_ns"));
+        match histograms.get_mut(key.as_str()) {
+            Some(h) => h.record(nanos),
+            None => {
+                let mut h = Histogram::new();
+                h.record(nanos);
+                histograms.insert(key.clone(), h);
+            }
+        }
+    }
+
+    /// Appends a completed span to the causal tree.
+    pub fn record_span(&self, record: SpanRecord) {
+        self.state().spans.push(record);
+    }
+
+    /// Appends a message-flow record stamped with the collector clock.
+    pub fn flow(&self, phase: FlowPhase, from: u32, to: u32, seq: u64, kind: &'static str) {
+        let at_nanos = self.now_nanos();
+        self.state().flows.push(FlowRecord {
+            at_nanos,
+            phase,
+            from,
+            to,
+            seq,
+            kind,
+        });
+    }
+
+    /// Records one sample into the named quantile sketch.
+    pub fn sample(&self, name: &str, value: u64) {
+        let mut s = self.state();
+        match s.sketches.get_mut(name) {
+            Some(sk) => sk.record(value),
+            None => {
+                let mut sk = QuantileSketch::new();
+                sk.record(value);
+                s.sketches.insert(name.to_string(), sk);
+            }
+        }
+    }
+
+    /// Records a batch of samples into the named quantile sketch under
+    /// one lock acquisition (the batching entry point for hot loops).
+    pub fn sample_many(&self, name: &str, values: &[u64]) {
+        if values.is_empty() {
+            return;
+        }
+        let mut s = self.state();
+        match s.sketches.get_mut(name) {
+            Some(sk) => sk.record_all(values),
+            None => {
+                let mut sk = QuantileSketch::new();
+                sk.record_all(values);
+                s.sketches.insert(name.to_string(), sk);
+            }
+        }
+    }
+
     /// Appends a structured event, stamped with the collector clock.
     pub fn event(&self, kind: &str, fields: &[(&str, String)]) {
-        let at_nanos = self.epoch.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        let at_nanos = self.now_nanos();
         let ev = TraceEvent {
             at_nanos,
             kind: kind.to_string(),
@@ -157,6 +301,13 @@ impl Collector {
                 .collect(),
             events: s.events.clone(),
             audits: s.audits.clone(),
+            spans: s.spans.clone(),
+            flows: s.flows.clone(),
+            sketches: s
+                .sketches
+                .iter()
+                .map(|(k, sk)| (k.clone(), sk.clone()))
+                .collect(),
         }
     }
 
@@ -195,6 +346,63 @@ mod tests {
     }
 
     #[test]
+    fn observe_span_interns_composed_key() {
+        let c = Collector::new();
+        c.observe_span("work", 100);
+        c.observe_span("work", 200);
+        c.observe_span("other", 5);
+        let s = c.snapshot();
+        let h = s.histogram("span.work_ns").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 300);
+        assert_eq!(s.histogram("span.other_ns").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn spans_and_flows_are_kept_in_order() {
+        let c = Collector::new();
+        c.record_span(SpanRecord {
+            id: 1,
+            parent: None,
+            name: "outer",
+            thread: 1,
+            start_ns: 0,
+            end_ns: 100,
+        });
+        c.record_span(SpanRecord {
+            id: 2,
+            parent: Some(1),
+            name: "inner",
+            thread: 1,
+            start_ns: 10,
+            end_ns: 90,
+        });
+        c.flow(FlowPhase::Send, 0, 1, 7, "bcast");
+        c.flow(FlowPhase::Deliver, 0, 1, 7, "bcast");
+        let s = c.snapshot();
+        assert_eq!(s.spans.len(), 2);
+        assert_eq!(s.spans[1].parent, Some(1));
+        assert_eq!(s.flows.len(), 2);
+        assert_eq!(s.flows[0].phase, FlowPhase::Send);
+        assert_eq!(s.flows[1].phase, FlowPhase::Deliver);
+        assert!(s.flows[0].at_nanos <= s.flows[1].at_nanos);
+        assert_eq!(s.flows[0].seq, s.flows[1].seq);
+    }
+
+    #[test]
+    fn sketches_accumulate_and_batch() {
+        let c = Collector::new();
+        c.sample("lat", 5);
+        c.sample_many("lat", &[1, 2, 3]);
+        c.sample_many("lat", &[]);
+        let s = c.snapshot();
+        let sk = s.sketch("lat").unwrap();
+        assert_eq!(sk.count(), 4);
+        assert_eq!(sk.quantile(1.0), Some(5));
+        assert!(s.sketch("missing").is_none());
+    }
+
+    #[test]
     fn events_keep_order_and_fields() {
         let c = Collector::new();
         c.event("x.start", &[("id", "1".to_string())]);
@@ -218,12 +426,25 @@ mod tests {
         c.add("a", 1);
         c.observe("h", 1);
         c.event("e", &[]);
+        c.sample("s", 1);
+        c.flow(FlowPhase::Send, 0, 1, 1, "direct");
+        c.record_span(SpanRecord {
+            id: 1,
+            parent: None,
+            name: "x",
+            thread: 1,
+            start_ns: 0,
+            end_ns: 1,
+        });
         c.reset();
         let s = c.snapshot();
         assert!(s.counters.is_empty());
         assert!(s.histograms.is_empty());
         assert!(s.events.is_empty());
         assert!(s.audits.is_empty());
+        assert!(s.spans.is_empty());
+        assert!(s.flows.is_empty());
+        assert!(s.sketches.is_empty());
     }
 
     #[test]

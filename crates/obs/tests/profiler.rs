@@ -1,0 +1,136 @@
+//! Span-tree profiling on the *global* sink: parentage via the
+//! thread-local open-span stack, cross-thread roots, flow pairing, the
+//! Chrome exporter round trip, and the panic-time [`FlushGuard`].
+//!
+//! One `#[test]` on purpose: the collector and the enable/profiling
+//! toggles are process-global, and a single test keeps ordering exact.
+//! (Other test binaries run as separate processes, so they cannot
+//! interfere — the same isolation pattern as `tests/concurrency.rs`.)
+
+use truthcast_obs::{FlowPhase, SpanRecord};
+
+fn span_by_name<'a>(spans: &'a [SpanRecord], name: &str) -> &'a SpanRecord {
+    spans
+        .iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| panic!("span {name:?} not recorded"))
+}
+
+#[test]
+fn span_tree_flows_and_panic_flush() {
+    truthcast_obs::enable();
+    truthcast_obs::enable_profiling();
+    truthcast_obs::reset();
+
+    // A three-deep nest plus a sibling, and a root on a second thread.
+    {
+        let _root = truthcast_obs::span("t.root");
+        {
+            let _mid = truthcast_obs::span("t.mid");
+            let _leaf = truthcast_obs::span("t.leaf");
+        }
+        {
+            let _sib = truthcast_obs::span("t.sibling");
+        }
+        std::thread::spawn(|| {
+            let _w = truthcast_obs::span("t.worker");
+        })
+        .join()
+        .unwrap();
+    }
+    truthcast_obs::flow_send(0, 1, 11, "bcast");
+    truthcast_obs::flow_deliver(0, 1, 11, "bcast");
+    truthcast_obs::flow_send(1, 2, 12, "direct");
+    truthcast_obs::flow_drop(1, 2, 12, "direct");
+
+    let snap = truthcast_obs::snapshot();
+    assert_eq!(snap.spans.len(), 5);
+    let root = span_by_name(&snap.spans, "t.root");
+    let mid = span_by_name(&snap.spans, "t.mid");
+    let leaf = span_by_name(&snap.spans, "t.leaf");
+    let sib = span_by_name(&snap.spans, "t.sibling");
+    let worker = span_by_name(&snap.spans, "t.worker");
+
+    // Parentage follows lexical nesting on the owning thread.
+    assert_eq!(root.parent, None);
+    assert_eq!(mid.parent, Some(root.id));
+    assert_eq!(leaf.parent, Some(mid.id));
+    assert_eq!(sib.parent, Some(root.id));
+    // A span on another thread starts its own root, on its own lane.
+    assert_eq!(worker.parent, None);
+    assert_ne!(worker.thread, root.thread);
+
+    // Ids unique, clocks sane, children contained in their parents.
+    let mut ids: Vec<u64> = snap.spans.iter().map(|s| s.id).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), 5);
+    for s in &snap.spans {
+        assert!(s.end_ns >= s.start_ns);
+    }
+    for (child, parent) in [(mid, root), (leaf, mid), (sib, root)] {
+        assert!(child.start_ns >= parent.start_ns && child.end_ns <= parent.end_ns);
+    }
+    // The histogram path still runs alongside the tree.
+    assert_eq!(snap.histogram("span.t.root_ns").unwrap().count(), 1);
+
+    // Flow records pair by seq; the chrome + jsonl exports validate.
+    assert_eq!(snap.flows.len(), 4);
+    for f in &snap.flows {
+        if f.phase != FlowPhase::Send {
+            let send = snap
+                .flows
+                .iter()
+                .find(|s| s.phase == FlowPhase::Send && s.seq == f.seq)
+                .expect("every deliver/drop has its send");
+            assert_eq!((send.from, send.to, send.kind), (f.from, f.to, f.kind));
+            assert!(send.at_nanos <= f.at_nanos);
+        }
+    }
+    let chrome = truthcast_obs::to_chrome_trace(&snap);
+    let stats = truthcast_obs::validate_chrome_trace(&chrome).expect("chrome export validates");
+    assert_eq!(stats.flow_starts, 2);
+    assert_eq!(stats.flow_ends, 1);
+    // 5 spans + 2 send anchors + 1 recv anchor.
+    assert_eq!(stats.spans, 8);
+    truthcast_obs::validate_jsonl(&truthcast_obs::export::to_jsonl(&snap))
+        .expect("jsonl export validates");
+
+    // With profiling off (tracing still on) spans keep feeding the
+    // histogram but stay out of the tree, and flows are muted.
+    truthcast_obs::disable_profiling();
+    {
+        let _quiet = truthcast_obs::span("t.quiet");
+    }
+    truthcast_obs::flow_send(5, 6, 99, "bcast");
+    let snap2 = truthcast_obs::snapshot();
+    assert_eq!(snap2.spans.len(), 5);
+    assert_eq!(snap2.flows.len(), 4);
+    assert_eq!(snap2.histogram("span.t.quiet_ns").unwrap().count(), 1);
+
+    // Panic-time flush: a FlushGuard held across an unwinding panic
+    // writes both artifacts.
+    let dir = std::env::temp_dir();
+    let trace_path = dir.join(format!("truthcast_prof_{}.jsonl", std::process::id()));
+    let profile_path = dir.join(format!("truthcast_prof_{}.json", std::process::id()));
+    std::env::set_var(truthcast_obs::TRACE_ENV, &trace_path);
+    std::env::set_var(truthcast_obs::PROFILE_ENV, &profile_path);
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {})); // keep the synthetic panic quiet
+    let result = std::panic::catch_unwind(|| {
+        let _guard = truthcast_obs::init_from_env();
+        panic!("synthetic failure");
+    });
+    std::panic::set_hook(prev_hook);
+    assert!(result.is_err());
+    let trace = std::fs::read_to_string(&trace_path).expect("panic flushed the JSONL trace");
+    truthcast_obs::validate_jsonl(&trace).unwrap();
+    let profile = std::fs::read_to_string(&profile_path).expect("panic flushed the profile");
+    truthcast_obs::validate_chrome_trace(&profile).unwrap();
+    let _ = std::fs::remove_file(&trace_path);
+    let _ = std::fs::remove_file(&profile_path);
+    std::env::remove_var(truthcast_obs::TRACE_ENV);
+    std::env::remove_var(truthcast_obs::PROFILE_ENV);
+
+    truthcast_obs::disable();
+}

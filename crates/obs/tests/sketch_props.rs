@@ -1,0 +1,64 @@
+//! `forall!` property: [`QuantileSketch`] quantiles are *exactly* the
+//! nearest-rank order statistics of the sample multiset — for every
+//! stream order the compaction schedule produces, and for both the
+//! standard percentiles and an arbitrary query point.
+
+use truthcast_obs::QuantileSketch;
+use truthcast_rt::{cases, forall, prop_assert_eq, vec_of};
+
+fn nearest_rank(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len();
+    let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+    sorted[rank - 1]
+}
+
+#[test]
+fn sketch_quantiles_match_sorted_slice_ranks() {
+    forall!(
+        cases(192),
+        (vec_of(0u64..1_000_000, 1..400), 0u64..1_000_000),
+        |(samples, qraw)| {
+            let mut sk = QuantileSketch::new();
+            for &v in &samples {
+                sk.record(v);
+            }
+            let mut sorted = samples.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(sk.count(), samples.len() as u64);
+            prop_assert_eq!(sk.min(), sorted.first().copied());
+            prop_assert_eq!(sk.max(), sorted.last().copied());
+            prop_assert_eq!(sk.sum(), samples.iter().map(|&v| v as u128).sum::<u128>());
+            for q in [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+                prop_assert_eq!(sk.quantile(q), Some(nearest_rank(&sorted, q)));
+            }
+            // An arbitrary strictly-positive query point in (0, 1].
+            let q = (qraw as f64 + 1.0) / 1_000_001.0;
+            prop_assert_eq!(sk.quantile(q), Some(nearest_rank(&sorted, q)));
+            Ok(())
+        }
+    );
+}
+
+#[test]
+fn batched_inserts_are_order_equivalent() {
+    forall!(
+        cases(64),
+        (vec_of(0u64..10_000, 2..200), 1usize..6),
+        |(samples, chunks)| {
+            let mut one_by_one = QuantileSketch::new();
+            for &v in &samples {
+                one_by_one.record(v);
+            }
+            let mut batched = QuantileSketch::new();
+            let step = samples.len().div_ceil(chunks);
+            for chunk in samples.chunks(step.max(1)) {
+                batched.record_all(chunk);
+            }
+            for q in [0.5, 0.9, 0.95, 0.99, 1.0] {
+                prop_assert_eq!(one_by_one.quantile(q), batched.quantile(q));
+            }
+            prop_assert_eq!(one_by_one.sum(), batched.sum());
+            Ok(())
+        }
+    );
+}

@@ -26,6 +26,21 @@ TRUTHCAST_BENCH_QUICK=1 TRUTHCAST_BENCH_SAMPLES=1 \
 echo "==> modelcheck smoke (n=4 exhaustive)"
 cargo run -q --offline -p truthcast-modelcheck -- --n 4 --exhaustive
 
+# Profiler smoke: the figure3 quick path with both observability sinks
+# set, plus a modelcheck chrome export — all three artifacts must pass
+# the in-repo trace checker (crates/obs/src/bin/tracecheck.rs).
+echo "==> profiler smoke (figure3 --quick + modelcheck --emit-chrome-trace)"
+SMOKE_DIR="$(pwd)/target/truthcast-profile-smoke"
+rm -rf "$SMOKE_DIR" && mkdir -p "$SMOKE_DIR"
+TRUTHCAST_TRACE="$SMOKE_DIR/figures.jsonl" TRUTHCAST_PROFILE="$SMOKE_DIR/figures.json" \
+    cargo run -q --offline --release -p truthcast-experiments --bin figures -- \
+    figure3 --quick >/dev/null
+cargo run -q --offline -p truthcast-modelcheck -- \
+    --scenario diamond4-cost-liar --emit-chrome-trace "$SMOKE_DIR/modelcheck.json" >/dev/null
+cargo run -q --offline --release -p truthcast-obs --bin tracecheck -- \
+    --jsonl "$SMOKE_DIR/figures.jsonl" --chrome "$SMOKE_DIR/figures.json" \
+    --chrome "$SMOKE_DIR/modelcheck.json"
+
 # TRUTHCAST_CI_HEAVY=1 re-runs the differential batteries at an elevated
 # case count (the default run above already includes them at the fast
 # count baked into the tests).
