@@ -10,8 +10,13 @@
 //! Every `BENCH_*.json` in `baseline_dir` is matched by filename against
 //! `fresh_dir`; per-benchmark medians are compared, and any benchmark
 //! whose fresh median exceeds the baseline by more than `<pct>` percent
-//! (default 15) is a regression. The exit code is nonzero iff at least
-//! one regression was found. Benchmarks present on only one side are
+//! (default 15) **and** by more than `--noise-floor` nanoseconds
+//! (default 50) is a regression. The absolute floor exists for the
+//! nanosecond-scale entries (e.g. the disabled-path obs-overhead
+//! probes): at single-digit ns the timer granularity alone swings the
+//! ratio past any percent threshold, while a few ns of drift is never a
+//! real regression. The exit code is nonzero iff at least one
+//! regression was found. Benchmarks present on only one side are
 //! reported but never fail the run — suites grow and shrink across PRs.
 //!
 //! The parser is a deliberate zero-dependency line scanner over the
@@ -73,18 +78,24 @@ fn fmt_ns(ns: f64) -> String {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut threshold_pct = 15.0f64;
+    let mut noise_floor_ns = 50.0f64;
     let mut dirs: Vec<PathBuf> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == "--threshold" {
             let v = it.next().expect("--threshold needs a value");
             threshold_pct = v.parse().expect("--threshold must be a number");
+        } else if a == "--noise-floor" {
+            let v = it.next().expect("--noise-floor needs a value");
+            noise_floor_ns = v.parse().expect("--noise-floor must be a number");
         } else {
             dirs.push(PathBuf::from(a));
         }
     }
     if dirs.len() != 2 {
-        eprintln!("usage: compare <baseline_dir> <fresh_dir> [--threshold <pct>]");
+        eprintln!(
+            "usage: compare <baseline_dir> <fresh_dir> [--threshold <pct>] [--noise-floor <ns>]"
+        );
         return ExitCode::from(2);
     }
     let (baseline_dir, fresh_dir) = (&dirs[0], &dirs[1]);
@@ -107,9 +118,12 @@ fn main() -> ExitCode {
             };
             compared += 1;
             let delta_pct = (fresh_median - base_median) / base_median * 100.0;
-            let verdict = if delta_pct > threshold_pct {
+            let delta_ns = fresh_median - base_median;
+            let verdict = if delta_pct > threshold_pct && delta_ns > noise_floor_ns {
                 regressions += 1;
                 "REGRESSION"
+            } else if delta_pct > threshold_pct {
+                "ok (sub-floor)"
             } else if delta_pct < -threshold_pct {
                 "improved"
             } else {

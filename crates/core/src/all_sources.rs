@@ -66,7 +66,7 @@ use crate::trace::audit_unicast;
 /// The two cost models share every phase except seeding/relaxation
 /// arithmetic and the final payment formula; this trait captures the
 /// differences so the crossing-edge machinery is written once.
-trait DetourModel: Sync {
+pub(crate) trait DetourModel: Sync {
     fn num_nodes(&self) -> usize;
     /// Visits every out-neighbor `w` of `y` with the arc's model cost
     /// (the neighbor's node cost, or the arc weight).
@@ -132,16 +132,16 @@ impl DetourModel for LinkWeightedDigraph {
 }
 
 /// Shared-sweep structure: interval labels plus the tie-ambiguity marks.
-struct SharedSweep {
-    iv: SubtreeIntervals,
+pub(crate) struct SharedSweep {
+    pub(crate) iv: SubtreeIntervals,
     /// `fallback[v]`: some node on `v`'s tree path (AP excluded) has ≥ 2
     /// optimal continuations — `v`'s LCP is not unique, so its reported
     /// path must come from the per-source pipeline.
-    fallback: Vec<bool>,
-    ambiguous_nodes: u64,
+    pub(crate) fallback: Vec<bool>,
+    pub(crate) ambiguous_nodes: u64,
 }
 
-fn classify<M: DetourModel>(
+pub(crate) fn classify<M: DetourModel>(
     m: &M,
     dist: &[Cost],
     parent: &[Option<NodeId>],
@@ -188,32 +188,65 @@ struct ReplacementTable {
 /// Per-worker scratch for the restricted runs: a lazily-reset value
 /// array plus a binary indexed heap (the seeds arrive unsorted, and the
 /// runs are tiny — the radix queue's monotone advantage is in the full
-/// sweeps, mirroring Algorithm 1's level-set runs).
-struct DetourScratch {
-    dval: Vec<Cost>,
-    heap: IndexedHeap<Cost>,
+/// sweeps, mirroring Algorithm 1's level-set runs). The `via` array is
+/// only maintained by [`detour_run_via`]; every run writes each member's
+/// entry before reading it, so no cross-run reset is needed.
+pub(crate) struct DetourScratch {
+    pub(crate) dval: Vec<Cost>,
+    pub(crate) heap: IndexedHeap<Cost>,
+    pub(crate) via: Vec<u32>,
 }
 
+/// Sentinel `via` entry: the member's value is supported directly by its
+/// best escape arc, not by another slice member.
+pub(crate) const ESC_VIA: u32 = u32::MAX;
+
 impl DetourScratch {
-    fn new(n: usize) -> DetourScratch {
+    pub(crate) fn new(n: usize) -> DetourScratch {
         DetourScratch {
             dval: vec![Cost::INF; n],
             heap: IndexedHeap::new(n),
+            via: vec![ESC_VIA; n],
         }
     }
 }
 
 /// One restricted Dijkstra over `subtree(x) \ {x}`: returns
 /// `F(y) = ‖P_{-x}(y, ap)‖` for every member, in slice order.
-fn detour_run<M: DetourModel>(
+pub(crate) fn detour_run<M: DetourModel>(
     m: &M,
     dist: &[Cost],
     iv: &SubtreeIntervals,
     x: NodeId,
     sc: &mut DetourScratch,
 ) -> (Vec<Cost>, u64, u64) {
+    let (vals, _, scans, pops) = detour_run_impl::<M, false>(m, dist, iv, x, sc);
+    (vals, scans, pops)
+}
+
+/// [`detour_run`] plus the support forest: `vias[i]` is the slice member
+/// the `i`-th member's final value relaxed through, or [`ESC_VIA`] when
+/// its best escape seeded it directly. The forest lets the delta engine
+/// re-validate cached rows member-by-member across epochs.
+pub(crate) fn detour_run_via<M: DetourModel>(
+    m: &M,
+    dist: &[Cost],
+    iv: &SubtreeIntervals,
+    x: NodeId,
+    sc: &mut DetourScratch,
+) -> (Vec<Cost>, Vec<u32>, u64, u64) {
+    detour_run_impl::<M, true>(m, dist, iv, x, sc)
+}
+
+fn detour_run_impl<M: DetourModel, const VIA: bool>(
+    m: &M,
+    dist: &[Cost],
+    iv: &SubtreeIntervals,
+    x: NodeId,
+    sc: &mut DetourScratch,
+) -> (Vec<Cost>, Vec<u32>, u64, u64) {
     let members = &iv.subtree(x)[1..];
-    let DetourScratch { dval, heap } = sc;
+    let DetourScratch { dval, heap, via } = sc;
     let mut scans = 0u64;
     let mut pops = 0u64;
     heap.clear();
@@ -229,6 +262,9 @@ fn detour_run<M: DetourModel>(
             }
         });
         dval[y.index()] = esc;
+        if VIA {
+            via[y.index()] = ESC_VIA;
+        }
         if esc.is_finite() {
             heap.push(y.0, esc);
         }
@@ -247,16 +283,24 @@ fn detour_run<M: DetourModel>(
                 let cand = fy.saturating_add(m.reverse_step(y, arc));
                 if cand < dval[z.index()] {
                     dval[z.index()] = cand;
+                    if VIA {
+                        via[z.index()] = yy;
+                    }
                     heap.push_or_update(z.0, cand);
                 }
             }
         });
     }
     let vals: Vec<Cost> = members.iter().map(|&y| dval[y.index()]).collect();
+    let vias: Vec<u32> = if VIA {
+        members.iter().map(|&y| via[y.index()]).collect()
+    } else {
+        Vec::new()
+    };
     for &y in members {
         dval[y.index()] = Cost::INF;
     }
-    (vals, scans, pops)
+    (vals, vias, scans, pops)
 }
 
 fn subtree_replacements<M: DetourModel>(
@@ -315,7 +359,7 @@ fn subtree_replacements<M: DetourModel>(
 }
 
 /// Walks the tree path `v → … → ap` (source first).
-fn tree_path(parent: &[Option<NodeId>], v: NodeId) -> Vec<NodeId> {
+pub(crate) fn tree_path(parent: &[Option<NodeId>], v: NodeId) -> Vec<NodeId> {
     let mut path = vec![v];
     let mut cur = v;
     while let Some(p) = parent[cur.index()] {
@@ -592,6 +636,13 @@ impl AllSourcesEngine {
     /// per-session fallback pipeline (tie-ambiguous LCPs).
     pub fn last_fallbacks(&self) -> usize {
         self.last_fallbacks
+    }
+
+    /// The AP-rooted `(dist, parent)` tables exported by the most recent
+    /// sweep — the differential-testing hook for
+    /// [`crate::delta::IncrementalEngine`]'s bit-equality contract.
+    pub fn tables(&self) -> (&[Cost], &[Option<NodeId>]) {
+        (&self.dist, &self.parent)
     }
 
     /// Prices every node's unicast toward `ap` on the node-weighted

@@ -1,0 +1,1305 @@
+//! Incremental all-to-AP re-pricing under mobility.
+//!
+//! [`crate::AllSourcesEngine`] re-prices an epoch from scratch; its only
+//! reuse is the bit-identical-graph cache. Under mobility almost every
+//! epoch differs from its predecessor by a handful of arcs and declared
+//! costs, so the steady-state cost should be proportional to **what
+//! changed**, not to `n`. This module makes that asymptotic real while
+//! keeping the one contract that matters for a VCG mechanism: every
+//! epoch's output is **bit-identical to cold re-pricing** (and therefore
+//! to per-source [`crate::fast_payments`]).
+//!
+//! The pipeline per epoch:
+//!
+//! 1. **Diff.** [`GraphDelta::between`] merge-walks the sorted CSR
+//!    neighbor lists of consecutive epoch graphs into a typed delta:
+//!    undirected arcs added/removed plus per-node declared-cost changes.
+//!    An empty delta is the zero-cost fast path (the old equality cache).
+//! 2. **Classify.** [`classify_delta`] maps each delta entry onto the
+//!    previous epoch's [`SubtreeIntervals`]: a cost increase at `x` or a
+//!    severed tree arc `(parent(v), v)` can only worsen the contiguous
+//!    preorder slice `subtree(x)` (everything routing *through* the
+//!    damage), which becomes **dirty**; cost decreases and new arcs can
+//!    only improve and become **decrease seeds**. Removed non-tree arcs
+//!    and any change to the AP's own cost are provably inert for the
+//!    distance table. The dirty slices are maximal (nested roots fold
+//!    into their ancestors).
+//! 3. **Repair.** Dirty slices are invalidated and re-seeded from their
+//!    crossing arcs (every intact neighbor's old distance is a certified
+//!    upper bound, because a non-dirty node's entire tree path avoids all
+//!    damage), decrease seeds are offered their best new candidate, and
+//!    one restricted Dijkstra settles exactly the affected region. The
+//!    result is the exact new distance table plus a valid tight parent
+//!    tree; everything the run settled is recorded in a *touched* set.
+//! 4. **Re-price.** The per-relay detour rows (`F(y) = ‖P_{-x}(y, ap)‖`,
+//!    the same restricted runs as the cold engine) are cached across
+//!    epochs together with their *support forest* (which neighbor — or
+//!    direct escape — each member's value relaxed through). A row can
+//!    only change if the delta reached the relay's subtree: its members'
+//!    costs or arcs, a crossing arc, or a crossing arc's escape
+//!    distance. All of those imply a touched node, a neighbor of one, or
+//!    a changed-arc endpoint *inside the subtree*, so the relays that
+//!    are new-tree ancestors of that seed set form a conservative re-run
+//!    set — and each such row is **repaired**, not recomputed: members
+//!    whose support chain avoids the primitive damage set (distance
+//!    *values* that moved, declared-cost changes, changed-arc endpoints,
+//!    and neighbors of nodes whose tree path moved) keep their cached
+//!    value, everything else is re-seeded and settled by a restricted
+//!    Dijkstra bordered by the intact members ([`repair_row`]'s header
+//!    gives the exactness argument). Sources are then selected
+//!    individually: the subtrees of maximal touched nodes (their root
+//!    path moved), the members whose row diff shows an `F` value
+//!    actually changed, and the sources whose tie-ambiguity mark
+//!    flipped. Everyone else's pricing is reused verbatim. Tie-ambiguous
+//!    (fallback) sources are re-priced through the per-session pipeline
+//!    **every** epoch: their reported path hangs on global sweep
+//!    tie-breaking, which any remote change may flip.
+//! 5. **Damage threshold.** When the dirty region plus seed set exceeds
+//!    `threshold × n` the engine falls back to the cold pipeline — repair
+//!    has no asymptotic edge once most of the tree is damaged. The knob
+//!    defaults to [`DEFAULT_DAMAGE_THRESHOLD`] and can be overridden per
+//!    process with `TRUTHCAST_DELTA_THRESHOLD` (a fraction in `[0, 1]`)
+//!    or per engine with [`IncrementalEngine::set_damage_threshold`].
+//!
+//! Observability: `core.delta.{deltas,dirty_nodes,repaired_slices,
+//! fallbacks,reuses,subtree_runs,row_repairs,row_rebuilds}` counters and
+//! a `core.delta.repair` span (exported as `span.core.delta.repair_ns`). Audit records are
+//! emitted for every source the epoch actually re-prices; reused sources
+//! keep the records of the epoch that priced them (payments themselves
+//! are always bit-identical to a cold run).
+//!
+//! Why bit-equality is achievable at all: the assembled output is a pure
+//! function of the distance table. Fallback marks count *tight
+//! continuations* over distances only; a non-fallback source's path is
+//! forced (each hop has exactly one tight neighbor); and the detour rows
+//! are exact graph minima, independent of how shortest-path ties were
+//! broken into a particular parent tree. So the repair only has to
+//! reproduce the exact distances plus *some* valid tight tree — not the
+//! cold sweep's tie-breaking — and the differential battery in
+//! `crates/core/tests/incremental_vs_cold.rs` holds it to that.
+
+use std::sync::OnceLock;
+
+use truthcast_graph::heap::IndexedHeap;
+use truthcast_graph::node_dijkstra::{node_dijkstra_in, NodeDijkstraOptions};
+use truthcast_graph::workspace::{DijkstraWorkspace, QueueKind};
+use truthcast_graph::{Cost, NodeId, NodeWeightedGraph, SubtreeIntervals};
+use truthcast_mechanism::vcg::vcg_payment_selected;
+use truthcast_rt::{default_threads, par_map_with};
+
+use crate::all_sources::{
+    classify, detour_run_via, tree_path, DetourModel, DetourScratch, SharedSweep, ESC_VIA,
+};
+use crate::batch::{price_node_session, SessionQuery, WorkerScratch};
+use crate::pricing::UnicastPricing;
+use crate::trace::audit_unicast;
+
+/// Fraction of `n` the dirty region (plus seeds) may reach before
+/// [`IncrementalEngine`] abandons repair for a cold sweep.
+pub const DEFAULT_DAMAGE_THRESHOLD: f64 = 0.25;
+
+fn damage_threshold_from_env() -> f64 {
+    static T: OnceLock<f64> = OnceLock::new();
+    *T.get_or_init(|| {
+        std::env::var("TRUTHCAST_DELTA_THRESHOLD")
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .filter(|t| t.is_finite() && (0.0..=1.0).contains(t))
+            .unwrap_or(DEFAULT_DAMAGE_THRESHOLD)
+    })
+}
+
+/// A typed diff between two node-weighted epoch graphs over the same
+/// node set. Arc pairs are stored once each, `(u, v)` with `u < v`, in
+/// ascending order; cost changes are `(node, old, new)` in node order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GraphDelta {
+    /// Undirected arcs present in the new graph only.
+    pub edges_added: Vec<(NodeId, NodeId)>,
+    /// Undirected arcs present in the old graph only.
+    pub edges_removed: Vec<(NodeId, NodeId)>,
+    /// Nodes whose declared cost changed: `(node, old, new)`.
+    pub costs_changed: Vec<(NodeId, Cost, Cost)>,
+}
+
+impl GraphDelta {
+    /// Diffs two epoch graphs, or `None` when the node sets differ (a
+    /// join/leave event — no incremental story, re-price cold).
+    pub fn between(old: &NodeWeightedGraph, new: &NodeWeightedGraph) -> Option<GraphDelta> {
+        if old.num_nodes() != new.num_nodes() {
+            return None;
+        }
+        let mut delta = GraphDelta::default();
+        for v in old.node_ids() {
+            let (co, cn) = (old.cost(v), new.cost(v));
+            if co != cn {
+                delta.costs_changed.push((v, co, cn));
+            }
+            // Sorted CSR neighbor lists: one merge walk per node, each
+            // undirected arc recorded at its lower endpoint.
+            let (a, b) = (old.neighbors(v), new.neighbors(v));
+            let (mut i, mut j) = (0usize, 0usize);
+            loop {
+                match (a.get(i).copied(), b.get(j).copied()) {
+                    (None, None) => break,
+                    (Some(x), Some(y)) if x == y => {
+                        i += 1;
+                        j += 1;
+                    }
+                    (Some(x), Some(y)) if x < y => {
+                        if v < x {
+                            delta.edges_removed.push((v, x));
+                        }
+                        i += 1;
+                    }
+                    (Some(_), Some(y)) | (None, Some(y)) => {
+                        if v < y {
+                            delta.edges_added.push((v, y));
+                        }
+                        j += 1;
+                    }
+                    (Some(x), None) => {
+                        if v < x {
+                            delta.edges_removed.push((v, x));
+                        }
+                        i += 1;
+                    }
+                }
+            }
+        }
+        Some(delta)
+    }
+
+    /// Total number of delta entries.
+    pub fn len(&self) -> usize {
+        self.edges_added.len() + self.edges_removed.len() + self.costs_changed.len()
+    }
+
+    /// Whether the two graphs were bit-identical.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The region of the previous epoch's SPT a delta can affect: dirty
+/// preorder slices (distances may worsen) plus decrease seeds (distances
+/// may only improve). Produced by [`classify_delta`].
+#[derive(Clone, Debug)]
+pub struct DirtyRegion {
+    /// `dirty[v]`: `v` lies in a damaged subtree slice and its distance
+    /// must be recomputed from scratch.
+    pub dirty: Vec<bool>,
+    /// Number of dirty nodes.
+    pub dirty_count: usize,
+    /// Number of *maximal* dirty preorder slices (nested slice roots fold
+    /// into their ancestors).
+    pub slices: usize,
+    /// Nodes whose distance may improve but cannot worsen: cost-decreased
+    /// nodes and endpoints of added arcs.
+    pub decrease_seeds: Vec<NodeId>,
+}
+
+/// Maps a [`GraphDelta`] onto the previous epoch's subtree intervals.
+///
+/// Conservative by construction: every node whose distance or parent can
+/// change is either dirty or reachable from a decrease seed through
+/// strictly improving relaxations. Changes to the AP's own declared cost
+/// are skipped outright — the AP-rooted table excludes the origin cost,
+/// and `‖P(v, ap)‖ = R'(v) − c_v` never mentions `c_ap` either.
+pub fn classify_delta(
+    delta: &GraphDelta,
+    iv: &SubtreeIntervals,
+    parent: &[Option<NodeId>],
+    ap: NodeId,
+) -> DirtyRegion {
+    let n = parent.len();
+    let mut roots: Vec<NodeId> = Vec::new();
+    let mut decrease_seeds: Vec<NodeId> = Vec::new();
+    for &(x, old, new) in &delta.costs_changed {
+        if x == ap || !iv.in_tree(x) {
+            // AP cost is inert; unreachable nodes stay at infinity no
+            // matter what they declare.
+            continue;
+        }
+        if new > old {
+            roots.push(x);
+        } else {
+            decrease_seeds.push(x);
+        }
+    }
+    for &(u, v) in &delta.edges_removed {
+        // Only severed *tree* arcs can worsen a distance: any other
+        // removed arc carried no shortest path in the old tree, and the
+        // old tree remains a valid certificate without it.
+        if parent[v.index()] == Some(u) {
+            roots.push(v);
+        } else if parent[u.index()] == Some(v) {
+            roots.push(u);
+        }
+    }
+    for &(u, v) in &delta.edges_added {
+        decrease_seeds.push(u);
+        decrease_seeds.push(v);
+    }
+    // Preorder-sort the slice roots so ancestors come first: a root whose
+    // slice is already dirty is nested inside an earlier maximal slice.
+    roots.sort_by_key(|&r| iv.enter(r));
+    roots.dedup();
+    let mut dirty = vec![false; n];
+    let mut dirty_count = 0usize;
+    let mut slices = 0usize;
+    for &r in &roots {
+        if dirty[r.index()] {
+            continue;
+        }
+        slices += 1;
+        let slice = iv.subtree(r);
+        dirty_count += slice.len();
+        for &y in slice {
+            dirty[y.index()] = true;
+        }
+    }
+    // Damage is measured in *distinct* nodes: drop duplicate seeds, seeds
+    // already inside a dirty slice, and the AP (whose distance is pinned
+    // at zero), so `dirty_count + decrease_seeds.len() ≤ n` and a damage
+    // threshold of 1.0 can never trip the fallback.
+    decrease_seeds.sort_by_key(|s| s.index());
+    decrease_seeds.dedup();
+    decrease_seeds.retain(|&s| s != ap && !dirty[s.index()]);
+    DirtyRegion {
+        dirty,
+        dirty_count,
+        slices,
+        decrease_seeds,
+    }
+}
+
+/// What [`IncrementalEngine::price_epoch`] did for the most recent epoch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EpochOutcome {
+    /// First epoch, or the node set / AP changed: full cold pipeline.
+    Cold,
+    /// Bit-identical graph: the cached table was returned unchanged.
+    Reused,
+    /// Delta repair ran and only the affected region was re-priced.
+    Repaired {
+        /// Nodes invalidated by the dirty subtree slices.
+        dirty_nodes: usize,
+        /// Maximal dirty preorder slices repaired.
+        repaired_slices: usize,
+        /// Sources whose pricing was recomputed this epoch.
+        repriced_sources: usize,
+    },
+    /// The dirty region crossed the damage threshold: cold pipeline,
+    /// counted under `core.delta.fallbacks`.
+    Fallback {
+        /// Nodes the classification had marked dirty.
+        dirty_nodes: usize,
+    },
+}
+
+/// Delta re-pricing engine: [`crate::AllSourcesEngine`]'s all-to-AP
+/// output, amortized across mobility epochs (see the module docs for the
+/// pipeline and the bit-equality argument).
+///
+/// ```
+/// use truthcast_core::delta::{EpochOutcome, IncrementalEngine};
+/// use truthcast_core::all_sources_payments;
+/// use truthcast_graph::{NodeId, NodeWeightedGraph};
+///
+/// let pairs = [(0, 1), (1, 3), (0, 2), (2, 3)];
+/// let e0 = NodeWeightedGraph::from_pairs_units(&pairs, &[0, 5, 7, 0]);
+/// let e1 = NodeWeightedGraph::from_pairs_units(&pairs, &[0, 5, 4, 0]);
+///
+/// let mut engine = IncrementalEngine::new();
+/// let ap = NodeId(3);
+/// assert_eq!(engine.price_epoch(&e0, ap), all_sources_payments(&e0, ap));
+/// assert_eq!(engine.last_outcome(), EpochOutcome::Cold);
+/// // Node 2 re-declares: only its branch is repaired, same table as cold.
+/// assert_eq!(engine.price_epoch(&e1, ap), all_sources_payments(&e1, ap));
+/// assert!(matches!(engine.last_outcome(), EpochOutcome::Repaired { .. }));
+/// ```
+pub struct IncrementalEngine {
+    threads: usize,
+    kind: QueueKind,
+    damage_threshold: f64,
+    ws: DijkstraWorkspace,
+    heap: IndexedHeap<Cost>,
+    heap_capacity: usize,
+    dist: Vec<Cost>,
+    parent: Vec<Option<NodeId>>,
+    shared: Option<SharedSweep>,
+    /// Per-relay detour rows in slice order (`subtree(x)[1..]`), cached
+    /// across epochs; `row_stale[x]` marks rows that missed a recompute
+    /// while their relay was fallback-marked, a leaf, or out of tree.
+    rows: Vec<Vec<Cost>>,
+    /// Support forest for each cached row ([`ESC_VIA`] = escape-seeded),
+    /// aligned with `rows`; lets [`repair_row`] certify which cached
+    /// values survived an epoch.
+    row_via: Vec<Vec<u32>>,
+    row_stale: Vec<bool>,
+    out: Vec<Option<UnicastPricing>>,
+    prev: Option<(NodeWeightedGraph, NodeId)>,
+    touched: Vec<bool>,
+    /// Pre-repair snapshots of the distance and parent tables, taken at
+    /// the top of every repair epoch: the row-damage sets compare against
+    /// them to tell *value* changes from mere re-settles.
+    old_dist: Vec<Cost>,
+    old_parent: Vec<Option<NodeId>>,
+    last_outcome: EpochOutcome,
+    last_fallback_sources: usize,
+}
+
+impl IncrementalEngine {
+    /// An engine using [`default_threads`] workers.
+    pub fn new() -> IncrementalEngine {
+        IncrementalEngine::with_threads(default_threads())
+    }
+
+    /// An engine using exactly `threads` workers (clamped to at least 1).
+    /// Thread count never affects the returned payments.
+    pub fn with_threads(threads: usize) -> IncrementalEngine {
+        IncrementalEngine::with_queue(threads, QueueKind::from_env())
+    }
+
+    /// An engine pinned to a specific sweep queue engine — the
+    /// differential-testing hook. (The repair queue itself is always the
+    /// indexed binary heap: its seeds arrive unsorted.)
+    pub fn with_queue(threads: usize, kind: QueueKind) -> IncrementalEngine {
+        IncrementalEngine {
+            threads: threads.max(1),
+            kind,
+            damage_threshold: damage_threshold_from_env(),
+            ws: DijkstraWorkspace::with_queue(0, kind),
+            heap: IndexedHeap::new(0),
+            heap_capacity: 0,
+            dist: Vec::new(),
+            parent: Vec::new(),
+            shared: None,
+            rows: Vec::new(),
+            row_via: Vec::new(),
+            row_stale: Vec::new(),
+            out: Vec::new(),
+            prev: None,
+            touched: Vec::new(),
+            old_dist: Vec::new(),
+            old_parent: Vec::new(),
+            last_outcome: EpochOutcome::Cold,
+            last_fallback_sources: 0,
+        }
+    }
+
+    /// The worker count the detour and fallback phases shard across.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The sweep queue engine backing cold sweeps and fallback sessions.
+    pub fn queue_kind(&self) -> QueueKind {
+        self.kind
+    }
+
+    /// The current damage threshold (fraction of `n`).
+    pub fn damage_threshold(&self) -> f64 {
+        self.damage_threshold
+    }
+
+    /// Overrides the damage threshold: `0.0` falls back to a cold sweep
+    /// on any non-empty delta, `1.0` always repairs. Values are clamped
+    /// to `[0, 1]`.
+    pub fn set_damage_threshold(&mut self, threshold: f64) {
+        self.damage_threshold = threshold.clamp(0.0, 1.0);
+    }
+
+    /// Builder form of [`IncrementalEngine::set_damage_threshold`].
+    pub fn with_damage_threshold(mut self, threshold: f64) -> IncrementalEngine {
+        self.set_damage_threshold(threshold);
+        self
+    }
+
+    /// What the most recent [`IncrementalEngine::price_epoch`] did.
+    pub fn last_outcome(&self) -> EpochOutcome {
+        self.last_outcome
+    }
+
+    /// How many sources the most recent epoch re-priced through the
+    /// per-session fallback pipeline (tie-ambiguous LCPs).
+    pub fn last_fallback_sources(&self) -> usize {
+        self.last_fallback_sources
+    }
+
+    /// The current AP-rooted `(dist, parent)` tables. Distances are
+    /// always bit-identical to a cold sweep; the parent tree is *a* valid
+    /// tight tree (tie-breaking may differ from a cold sweep's — the
+    /// assembled payments cannot tell the difference, see module docs).
+    pub fn tables(&self) -> (&[Cost], &[Option<NodeId>]) {
+        (&self.dist, &self.parent)
+    }
+
+    /// `touched[v]`: the most recent epoch re-settled `v`'s distance or
+    /// parent (all-true after a cold pass). Every node whose table entry
+    /// actually changed is touched — the conservativeness contract the
+    /// `delta_props` property test pins down.
+    pub fn last_touched(&self) -> &[bool] {
+        &self.touched
+    }
+
+    /// Prices every node's unicast toward `ap` for the next epoch graph,
+    /// repairing incrementally from the previous epoch when profitable.
+    /// `out[i]` is bit-identical to [`crate::all_sources_payments`]
+    /// (and so to [`crate::fast_payments`]); index `ap` and unreachable
+    /// sources hold `None`.
+    pub fn price_epoch(
+        &mut self,
+        g: &NodeWeightedGraph,
+        ap: NodeId,
+    ) -> Vec<Option<UnicastPricing>> {
+        let _span = truthcast_obs::span("core.delta.price_epoch");
+        let n = g.num_nodes();
+        match self.prev.take() {
+            Some((pg, pap)) if pap == ap && pg.num_nodes() == n => {
+                let delta = GraphDelta::between(&pg, g).expect("node counts match");
+                if delta.is_empty() {
+                    truthcast_obs::add("core.delta.reuses", 1);
+                    self.prev = Some((pg, pap));
+                    self.last_outcome = EpochOutcome::Reused;
+                    return self.out.clone();
+                }
+                truthcast_obs::add("core.delta.deltas", delta.len() as u64);
+                let region = {
+                    let shared = self.shared.as_ref().expect("prev epoch left tables");
+                    classify_delta(&delta, &shared.iv, &self.parent, ap)
+                };
+                truthcast_obs::add("core.delta.dirty_nodes", region.dirty_count as u64);
+                let damage = region.dirty_count + region.decrease_seeds.len();
+                if (damage as f64) > self.damage_threshold * n as f64 {
+                    truthcast_obs::add("core.delta.fallbacks", 1);
+                    self.cold(g, ap);
+                    self.last_outcome = EpochOutcome::Fallback {
+                        dirty_nodes: region.dirty_count,
+                    };
+                } else {
+                    truthcast_obs::add("core.delta.repaired_slices", region.slices as u64);
+                    let repair_span = truthcast_obs::span("core.delta.repair");
+                    self.old_dist.clone_from(&self.dist);
+                    self.old_parent.clone_from(&self.parent);
+                    self.repair(g, &region);
+                    let repriced = self.reprice(g, ap, &delta);
+                    drop(repair_span);
+                    self.last_outcome = EpochOutcome::Repaired {
+                        dirty_nodes: region.dirty_count,
+                        repaired_slices: region.slices,
+                        repriced_sources: repriced,
+                    };
+                }
+            }
+            _ => {
+                self.cold(g, ap);
+                self.last_outcome = EpochOutcome::Cold;
+            }
+        }
+        self.prev = Some((g.clone(), ap));
+        self.out.clone()
+    }
+
+    /// Full cold pipeline: AP-rooted sweep, fresh classification, detour
+    /// rows for every live relay, every source assembled.
+    fn cold(&mut self, g: &NodeWeightedGraph, ap: NodeId) {
+        let n = g.num_nodes();
+        {
+            let _s = truthcast_obs::span("delta.cold_sweep");
+            node_dijkstra_in(&mut self.ws, g, ap, NodeDijkstraOptions::default());
+            self.ws.export_into(&mut self.dist, &mut self.parent);
+        }
+        if self.heap_capacity != n {
+            self.heap = IndexedHeap::new(n);
+            self.heap_capacity = n;
+        }
+        let shared = classify(g, &self.dist, &self.parent, ap);
+        self.rows.clear();
+        self.rows.resize(n, Vec::new());
+        self.row_via.clear();
+        self.row_via.resize(n, Vec::new());
+        self.row_stale.clear();
+        self.row_stale.resize(n, false);
+        self.touched.clear();
+        self.touched.resize(n, true);
+        let mut xs: Vec<NodeId> = Vec::new();
+        for &x in shared.iv.order().iter().skip(1) {
+            if shared.iv.subtree(x).len() < 2 {
+                continue;
+            }
+            if shared.fallback[x.index()] {
+                self.row_stale[x.index()] = true;
+            } else {
+                xs.push(x);
+            }
+        }
+        self.run_relays(g, &shared, &xs);
+        self.out.clear();
+        self.out.resize(n, None);
+        let everything = vec![true; n];
+        self.assemble(g, ap, &shared, &everything);
+        self.shared = Some(shared);
+    }
+
+    /// Dynamic-SSSP repair: invalidate the dirty slices, seed them from
+    /// their crossing arcs, offer the decrease seeds their best new
+    /// candidate, and settle with one Dijkstra run. Leaves exact
+    /// distances, a valid tight parent tree, and the touched set.
+    fn repair(&mut self, g: &NodeWeightedGraph, region: &DirtyRegion) {
+        let n = g.num_nodes();
+        self.touched.clear();
+        self.touched.resize(n, false);
+        self.heap.clear();
+        for v in 0..n {
+            if region.dirty[v] {
+                self.dist[v] = Cost::INF;
+                self.parent[v] = None;
+                self.touched[v] = true;
+            }
+        }
+        for v in 0..n {
+            if !region.dirty[v] {
+                continue;
+            }
+            let vid = NodeId(v as u32);
+            let (mut best, mut via) = (Cost::INF, None);
+            for &w in g.neighbors(vid) {
+                // Dirty neighbors sit at infinity here, so only intact
+                // distances — certified upper bounds — can seed.
+                let cand = self.dist[w.index()].saturating_add(g.cost(vid));
+                if cand < best {
+                    best = cand;
+                    via = Some(w);
+                }
+            }
+            if best.is_finite() {
+                self.dist[v] = best;
+                self.parent[v] = via;
+                self.heap.push(vid.0, best);
+            }
+        }
+        for &x in &region.decrease_seeds {
+            if region.dirty[x.index()] {
+                continue;
+            }
+            let (mut best, mut via) = (Cost::INF, None);
+            for &w in g.neighbors(x) {
+                let cand = self.dist[w.index()].saturating_add(g.cost(x));
+                if cand < best {
+                    best = cand;
+                    via = Some(w);
+                }
+            }
+            if best < self.dist[x.index()] {
+                self.dist[x.index()] = best;
+                self.parent[x.index()] = via;
+                self.heap.push_or_update(x.0, best);
+            }
+        }
+        while let Some((yy, d)) = self.heap.pop_min() {
+            let y = NodeId(yy);
+            if d > self.dist[y.index()] {
+                continue;
+            }
+            self.touched[y.index()] = true;
+            for &z in g.neighbors(y) {
+                let cand = d.saturating_add(g.cost(z));
+                if cand < self.dist[z.index()] {
+                    self.dist[z.index()] = cand;
+                    self.parent[z.index()] = Some(y);
+                    self.heap.push_or_update(z.0, cand);
+                }
+            }
+        }
+    }
+
+    /// Post-repair re-pricing: fresh classification, conservative relay
+    /// re-runs, branch-local source re-assembly. Returns the number of
+    /// re-priced sources.
+    fn reprice(&mut self, g: &NodeWeightedGraph, ap: NodeId, delta: &GraphDelta) -> usize {
+        let n = g.num_nodes();
+        let old_shared = self.shared.take().expect("prev epoch left tables");
+        // Fresh fallback marks and intervals for the repaired tree — the
+        // classification is O(n + m), far below a cold sweep plus detour
+        // recompute.
+        let shared = classify(g, &self.dist, &self.parent, ap);
+
+        // Seed set A: anything whose local pricing environment changed.
+        // A detour row for relay x depends on member costs and arcs, on
+        // crossing arcs, and on escape distances just outside the slice;
+        // fallback marks depend on a node's and its neighbors' distances.
+        // Every such change implies a touched node, a neighbor of one, or
+        // a changed-arc endpoint.
+        let mut in_a = vec![false; n];
+        for v in 0..n {
+            if !self.touched[v] {
+                continue;
+            }
+            in_a[v] = true;
+            for &w in g.neighbors(NodeId(v as u32)) {
+                in_a[w.index()] = true;
+            }
+        }
+        for &(u, v) in delta.edges_added.iter().chain(&delta.edges_removed) {
+            in_a[u.index()] = true;
+            in_a[v.index()] = true;
+        }
+        for &(x, _, _) in &delta.costs_changed {
+            in_a[x.index()] = true;
+        }
+
+        // R: ancestor-or-self closure of A in the new tree — exactly the
+        // relays whose subtree slice can contain a seed. Chains stop at
+        // the first already-marked node (amortized linear).
+        let mut in_r = vec![false; n];
+        for (v, &active) in in_a.iter().enumerate() {
+            let vid = NodeId(v as u32);
+            if !active || vid == ap || !shared.iv.in_tree(vid) {
+                continue;
+            }
+            let mut cur = vid;
+            while !in_r[cur.index()] {
+                in_r[cur.index()] = true;
+                match self.parent[cur.index()] {
+                    Some(p) if p != ap => cur = p,
+                    _ => break,
+                }
+            }
+        }
+
+        // Re-run every live relay in R, plus any live relay whose cached
+        // row went stale while it was fallback-marked or a leaf.
+        let mut xs: Vec<NodeId> = Vec::new();
+        for &x in shared.iv.order().iter().skip(1) {
+            let live = shared.iv.subtree(x).len() >= 2 && !shared.fallback[x.index()];
+            if live {
+                if in_r[x.index()] || self.row_stale[x.index()] {
+                    xs.push(x);
+                }
+            } else if in_r[x.index()] {
+                self.row_stale[x.index()] = true;
+            }
+        }
+        // Primitive row-damage set: a cached F value's support chain is
+        // only suspect where it crosses one of these nodes. Distance
+        // *value* changes invalidate neighboring escapes; declared-cost
+        // changes alter a node's outgoing detour arcs (the node model
+        // charges `c_y` stepping back through `y`); added/removed arcs
+        // damage both endpoints; and every neighbor of a node whose tree
+        // path moved may see its crossing-vs-internal classification
+        // flip.
+        let mut in_g = vec![false; n];
+        for v in 0..n {
+            if self.old_dist[v] != self.dist[v] {
+                in_g[v] = true;
+                for &w in g.neighbors(NodeId(v as u32)) {
+                    in_g[w.index()] = true;
+                }
+            }
+        }
+        for &(c, _, _) in &delta.costs_changed {
+            in_g[c.index()] = true;
+            for &w in g.neighbors(c) {
+                in_g[w.index()] = true;
+            }
+        }
+        for &(u, v) in delta.edges_added.iter().chain(&delta.edges_removed) {
+            in_g[u.index()] = true;
+            in_g[v.index()] = true;
+        }
+        // Movers: everything below a changed parent link, in either tree
+        // (interval coverage skips nested roots, keeping this linear).
+        let mut moved = vec![false; n];
+        let movers: Vec<NodeId> = (0..n)
+            .filter(|&v| self.old_parent[v] != self.parent[v])
+            .map(|v| NodeId(v as u32))
+            .collect();
+        for tree in [&shared.iv, &old_shared.iv] {
+            let mut roots: Vec<NodeId> = movers
+                .iter()
+                .copied()
+                .filter(|&q| tree.in_tree(q))
+                .collect();
+            roots.sort_by_key(|&q| tree.enter(q));
+            let mut bound = 0u32;
+            for &q in &roots {
+                let e = tree.enter(q).expect("filtered to in-tree");
+                if e < bound {
+                    continue;
+                }
+                let slice = tree.subtree(q);
+                bound = e + slice.len() as u32;
+                for &y in slice {
+                    moved[y.index()] = true;
+                }
+            }
+        }
+        for (v, &m) in moved.iter().enumerate() {
+            if m {
+                for &w in g.neighbors(NodeId(v as u32)) {
+                    in_g[w.index()] = true;
+                }
+            }
+        }
+
+        // An un-stale row is aligned with the previous intervals (any
+        // structural change to its slice refreshed it that epoch), so it
+        // can be *repaired* member-by-member instead of recomputed.
+        let usable: Vec<bool> = xs
+            .iter()
+            .map(|&x| {
+                !self.row_stale[x.index()]
+                    && old_shared.iv.in_tree(x)
+                    && old_shared.iv.subtree(x).len() == self.rows[x.index()].len() + 1
+            })
+            .collect();
+        let results = {
+            let _s = truthcast_obs::span("delta.subtree_runs");
+            let dist = &self.dist;
+            let iv = &shared.iv;
+            let old_iv = &old_shared.iv;
+            let rows = &self.rows;
+            let row_via = &self.row_via;
+            let (in_g, usable) = (&in_g, &usable);
+            let repairs = usable.iter().filter(|&&u| u).count();
+            truthcast_obs::add("core.delta.subtree_runs", xs.len() as u64);
+            truthcast_obs::add("core.delta.row_repairs", repairs as u64);
+            truthcast_obs::add("core.delta.row_rebuilds", (xs.len() - repairs) as u64);
+            par_map_with(
+                xs.len(),
+                self.threads,
+                || RowScratch::new(n),
+                |sc, i| {
+                    let x = xs[i];
+                    if usable[i] {
+                        let xi = x.index();
+                        repair_row(g, dist, iv, old_iv, x, &rows[xi], &row_via[xi], in_g, sc)
+                    } else {
+                        detour_run_via(g, dist, iv, x, &mut sc.det)
+                    }
+                },
+            )
+        };
+
+        // S: the sources whose cached pricing can actually be stale.
+        let mut sel = vec![false; n];
+
+        // (1) Subtrees of touched nodes: a touched node's distance, cost,
+        // parent, or tree membership moved, and every descendant inherits
+        // the new root path (descendants of a *distance* change are
+        // touched themselves; this also catches tie-descendants whose
+        // distance held still while their path rerouted above them).
+        // Maximal roots only — preorder sort puts ancestors first, and
+        // out-of-tree touched nodes (which sort ahead of the tree) mark
+        // just themselves to be re-assembled as `None`.
+        let mut troots: Vec<NodeId> = (0..n)
+            .filter(|&v| self.touched[v])
+            .map(|v| NodeId(v as u32))
+            .collect();
+        troots.sort_by_key(|&t| shared.iv.enter(t));
+        for &t in &troots {
+            if !shared.iv.in_tree(t) {
+                sel[t.index()] = true;
+                continue;
+            }
+            if sel[t.index()] {
+                continue;
+            }
+            for &y in shared.iv.subtree(t) {
+                sel[y.index()] = true;
+            }
+        }
+
+        // (2) Row diffs, keyed by node identity: a recomputed relay row
+        // only invalidates the sources whose F value actually moved. An
+        // un-stale cached row is aligned with the *previous* intervals —
+        // any structural change to `subtree(x)` since the row was
+        // computed put `x` in that epoch's R and refreshed it — so the
+        // old slice maps old entries back to nodes. Rows without a
+        // usable baseline conservatively mark their whole slice.
+        let mut stamp = vec![0u32; n];
+        let mut old_f = vec![Cost::ZERO; n];
+        let mut epoch_mark = 0u32;
+        for ((&x, usable_old), (new_vals, _, _, _)) in xs.iter().zip(&usable).zip(&results) {
+            let xi = x.index();
+            if *usable_old {
+                epoch_mark += 1;
+                for (i, &y) in old_shared.iv.subtree(x)[1..].iter().enumerate() {
+                    stamp[y.index()] = epoch_mark;
+                    old_f[y.index()] = self.rows[xi][i];
+                }
+                for (i, &y) in shared.iv.subtree(x)[1..].iter().enumerate() {
+                    if stamp[y.index()] != epoch_mark || old_f[y.index()] != new_vals[i] {
+                        sel[y.index()] = true;
+                    }
+                }
+            } else {
+                for &y in &shared.iv.subtree(x)[1..] {
+                    sel[y.index()] = true;
+                }
+            }
+        }
+        for (&x, (new_vals, new_vias, _, _)) in xs.iter().zip(results) {
+            self.rows[x.index()] = new_vals;
+            self.row_via[x.index()] = new_vias;
+            self.row_stale[x.index()] = false;
+        }
+
+        // (3) Ambiguity flips: a source that switched between the
+        // shared-sweep path and the per-session fallback needs its entry
+        // rewritten from the other pipeline even if nothing else moved.
+        for (v, s) in sel.iter_mut().enumerate() {
+            let vid = NodeId(v as u32);
+            if shared.iv.in_tree(vid)
+                && old_shared.iv.in_tree(vid)
+                && shared.fallback[v] != old_shared.fallback[v]
+            {
+                *s = true;
+            }
+        }
+
+        let repriced = self.assemble(g, ap, &shared, &sel);
+        self.shared = Some(shared);
+        repriced
+    }
+
+    /// Recomputes the detour rows for `xs` (sharded, scattered in index
+    /// order) and clears their staleness.
+    fn run_relays(&mut self, g: &NodeWeightedGraph, shared: &SharedSweep, xs: &[NodeId]) {
+        let _s = truthcast_obs::span("delta.subtree_runs");
+        let n = g.num_nodes();
+        let dist = &self.dist;
+        let iv = &shared.iv;
+        let results = par_map_with(
+            xs.len(),
+            self.threads,
+            || DetourScratch::new(n),
+            |sc, i| detour_run_via(g, dist, iv, xs[i], sc),
+        );
+        for (&x, (vals, vias, _, _)) in xs.iter().zip(results) {
+            self.rows[x.index()] = vals;
+            self.row_via[x.index()] = vias;
+            self.row_stale[x.index()] = false;
+        }
+        truthcast_obs::add("core.delta.subtree_runs", xs.len() as u64);
+    }
+
+    /// Writes pricings for every source selected by `sel`, reading detour
+    /// rows out of the cache by slice offset; tie-ambiguous sources are
+    /// re-priced per-session *unconditionally* (see module docs). Returns
+    /// how many sources were re-priced.
+    fn assemble(
+        &mut self,
+        g: &NodeWeightedGraph,
+        ap: NodeId,
+        shared: &SharedSweep,
+        sel: &[bool],
+    ) -> usize {
+        let _s = truthcast_obs::span("delta.assemble");
+        let n = g.num_nodes();
+        let iv = &shared.iv;
+        let mut fb: Vec<NodeId> = Vec::new();
+        let mut repriced = 0usize;
+        for v in g.node_ids() {
+            if v == ap {
+                continue;
+            }
+            if shared.fallback[v.index()] && iv.in_tree(v) {
+                fb.push(v);
+                continue;
+            }
+            if !sel[v.index()] {
+                continue;
+            }
+            repriced += 1;
+            if !iv.in_tree(v) {
+                self.out[v.index()] = None;
+                continue;
+            }
+            let path = tree_path(&self.parent, v);
+            let s = path.len() - 1;
+            let lcp_cost = g.lcp_at(v, &self.dist);
+            let payments: Vec<(NodeId, Cost)> = (1..s)
+                .map(|l| {
+                    let r = path[l];
+                    let off = iv.slice_offset(r, v).expect("path relay is an ancestor");
+                    (
+                        r,
+                        vcg_payment_selected(lcp_cost, self.rows[r.index()][off - 1], g.cost(r)),
+                    )
+                })
+                .collect();
+            audit_unicast(
+                "all_sources",
+                v,
+                ap,
+                lcp_cost,
+                payments.iter().map(|&(r, p)| {
+                    let off = iv.slice_offset(r, v).expect("path relay is an ancestor");
+                    (r, self.rows[r.index()][off - 1], g.cost(r), p)
+                }),
+            );
+            self.out[v.index()] = Some(UnicastPricing {
+                path,
+                lcp_cost,
+                payments,
+            });
+        }
+        {
+            let _s = truthcast_obs::span("delta.fallback");
+            let dist = &self.dist;
+            let kind = self.kind;
+            let priced = par_map_with(
+                fb.len(),
+                self.threads,
+                || WorkerScratch::new(n, kind),
+                |sc, i| {
+                    let t0 = WorkerScratch::latency_clock();
+                    let priced = price_node_session(
+                        g,
+                        SessionQuery::new(fb[i], ap),
+                        dist,
+                        sc,
+                        "all_sources",
+                    );
+                    sc.record_latency(t0);
+                    priced
+                },
+            );
+            for (&v, p) in fb.iter().zip(priced) {
+                self.out[v.index()] = p;
+            }
+        }
+        self.last_fallback_sources = fb.len();
+        repriced + fb.len()
+    }
+}
+
+/// `flag` bit: the node appeared in the relay's previous-epoch slice.
+const IN_OLD: u8 = 1;
+/// `flag` bit: the cached F value survives this epoch unchanged.
+const VALID: u8 = 2;
+/// `flag` bit: the cached F value must be recomputed.
+const INVALID: u8 = 4;
+
+/// Per-worker scratch for [`repair_row`]: the full-run scratch plus
+/// scatter arrays holding the previous epoch's row. `flag` entries are
+/// zeroed before each run returns; `f_old`/`via_old` reads are gated on
+/// the `IN_OLD` bit, so those arrays never need resetting.
+struct RowScratch {
+    det: DetourScratch,
+    f_old: Vec<Cost>,
+    via_old: Vec<u32>,
+    flag: Vec<u8>,
+    chain: Vec<NodeId>,
+}
+
+impl RowScratch {
+    fn new(n: usize) -> RowScratch {
+        RowScratch {
+            det: DetourScratch::new(n),
+            f_old: vec![Cost::INF; n],
+            via_old: vec![ESC_VIA; n],
+            flag: vec![0; n],
+            chain: Vec::new(),
+        }
+    }
+}
+
+/// Dynamic repair of one cached detour row across an epoch.
+///
+/// A member keeps its cached `F` value iff it persisted in the slice,
+/// sits outside the primitive damage set `in_g`, and its whole support
+/// chain (the `via` forest path down to an escape seed) persisted and
+/// stayed undamaged — then the old value is still achieved by the same
+/// detour, and nothing adjacent to it changed, so it remains a certified
+/// upper bound. Everything else is invalidated, re-seeded from its best
+/// escape, and settled by a slice-restricted Dijkstra alongside the
+/// intact members *bordering* the damage (pushed at their kept values —
+/// the exact analogue of the distance repair's crossing-arc seeds).
+/// Improvements may relax into intact members too, so decreases
+/// propagate out of the damaged region; increases cannot escape it by
+/// the validity argument. The result is bit-identical to a fresh
+/// [`detour_run_via`] in values (the support forest may break ties
+/// differently, which nothing downstream reads for values).
+#[allow(clippy::too_many_arguments)]
+fn repair_row(
+    g: &NodeWeightedGraph,
+    dist: &[Cost],
+    iv: &SubtreeIntervals,
+    old_iv: &SubtreeIntervals,
+    x: NodeId,
+    old_vals: &[Cost],
+    old_vias: &[u32],
+    in_g: &[bool],
+    sc: &mut RowScratch,
+) -> (Vec<Cost>, Vec<u32>, u64, u64) {
+    let old_members = &old_iv.subtree(x)[1..];
+    let members = &iv.subtree(x)[1..];
+    let RowScratch {
+        det,
+        f_old,
+        via_old,
+        flag,
+        chain,
+    } = sc;
+    let DetourScratch { dval, heap, via } = det;
+    let mut scans = 0u64;
+    let mut pops = 0u64;
+    heap.clear();
+
+    for (i, &y) in old_members.iter().enumerate() {
+        f_old[y.index()] = old_vals[i];
+        via_old[y.index()] = old_vias[i];
+        flag[y.index()] = IN_OLD;
+    }
+
+    // Validity walk, memoized through `flag`: each chain is traversed
+    // once, and the verdict at its resolution point back-propagates to
+    // every node walked to reach it. The forest is acyclic (a support
+    // settled strictly earlier in its run's pop order), so the walk
+    // terminates.
+    for &y in members.iter() {
+        let mut cur = y;
+        let verdict = loop {
+            let f = flag[cur.index()];
+            if f & (VALID | INVALID) != 0 {
+                break f & (VALID | INVALID);
+            }
+            if f & IN_OLD == 0 || in_g[cur.index()] {
+                break INVALID;
+            }
+            let v = via_old[cur.index()];
+            if v == ESC_VIA {
+                break VALID;
+            }
+            let vn = NodeId(v);
+            if !iv.is_strict_descendant(vn, x) {
+                // The supporting member left the slice.
+                break INVALID;
+            }
+            chain.push(cur);
+            cur = vn;
+        };
+        flag[cur.index()] |= verdict;
+        for &p in chain.iter() {
+            flag[p.index()] |= verdict;
+        }
+        chain.clear();
+    }
+
+    // Intact members keep their certified old value; damaged members
+    // restart from scratch.
+    let mut invalid = 0usize;
+    for &y in members.iter() {
+        if flag[y.index()] & INVALID != 0 {
+            invalid += 1;
+            dval[y.index()] = Cost::INF;
+            via[y.index()] = ESC_VIA;
+        } else {
+            dval[y.index()] = f_old[y.index()];
+            via[y.index()] = via_old[y.index()];
+        }
+    }
+    if invalid > 0 {
+        for &y in members.iter() {
+            if flag[y.index()] & INVALID == 0 {
+                continue;
+            }
+            let mut esc = Cost::INF;
+            g.arcs_from(y, |w, arc| {
+                scans += 1;
+                if !iv.is_ancestor(x, w) {
+                    esc = esc.min(g.onward(arc, dist[w.index()]));
+                } else if w != x && flag[w.index()] & INVALID == 0 && dval[w.index()].is_finite() {
+                    // Intact border member: seed at its kept value.
+                    heap.push_or_update(w.0, dval[w.index()]);
+                }
+            });
+            dval[y.index()] = esc;
+            if esc.is_finite() {
+                heap.push_or_update(y.0, esc);
+            }
+        }
+        while let Some((yy, fy)) = heap.pop_min() {
+            pops += 1;
+            let y = NodeId(yy);
+            if fy > dval[y.index()] {
+                continue;
+            }
+            g.arcs_from(y, |z, arc| {
+                if iv.is_strict_descendant(z, x) {
+                    let cand = fy.saturating_add(g.reverse_step(y, arc));
+                    if cand < dval[z.index()] {
+                        dval[z.index()] = cand;
+                        via[z.index()] = yy;
+                        heap.push_or_update(z.0, cand);
+                    }
+                }
+            });
+        }
+    }
+
+    let vals: Vec<Cost> = members.iter().map(|&y| dval[y.index()]).collect();
+    let vias: Vec<u32> = members.iter().map(|&y| via[y.index()]).collect();
+    for &y in old_members.iter() {
+        flag[y.index()] = 0;
+    }
+    for &y in members.iter() {
+        flag[y.index()] = 0;
+        dval[y.index()] = Cost::INF;
+    }
+    (vals, vias, scans, pops)
+}
+
+impl Default for IncrementalEngine {
+    fn default() -> IncrementalEngine {
+        IncrementalEngine::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::all_sources::all_sources_payments;
+
+    fn units(pairs: &[(u32, u32)], costs: &[u64]) -> NodeWeightedGraph {
+        NodeWeightedGraph::from_pairs_units(pairs, costs)
+    }
+
+    #[test]
+    fn delta_between_detects_all_change_kinds() {
+        let old = units(&[(0, 1), (1, 2), (0, 3)], &[0, 5, 7, 2]);
+        let new = units(&[(0, 1), (1, 3), (0, 3)], &[0, 5, 9, 2]);
+        let d = GraphDelta::between(&old, &new).unwrap();
+        assert_eq!(d.edges_added, vec![(NodeId(1), NodeId(3))]);
+        assert_eq!(d.edges_removed, vec![(NodeId(1), NodeId(2))]);
+        assert_eq!(
+            d.costs_changed,
+            vec![(NodeId(2), Cost::from_units(7), Cost::from_units(9))]
+        );
+        assert_eq!(d.len(), 3);
+        assert!(GraphDelta::between(&old, &old).unwrap().is_empty());
+    }
+
+    #[test]
+    fn delta_between_rejects_node_count_mismatch() {
+        let a = units(&[(0, 1)], &[0, 1]);
+        let b = units(&[(0, 1)], &[0, 1, 2]);
+        assert!(GraphDelta::between(&a, &b).is_none());
+    }
+
+    #[test]
+    fn identical_epoch_reuses() {
+        let g = units(&[(0, 1), (1, 3), (0, 2), (2, 3)], &[0, 5, 7, 0]);
+        let mut e = IncrementalEngine::with_threads(2);
+        let first = e.price_epoch(&g, NodeId(3));
+        assert_eq!(e.last_outcome(), EpochOutcome::Cold);
+        let second = e.price_epoch(&g, NodeId(3));
+        assert_eq!(e.last_outcome(), EpochOutcome::Reused);
+        assert_eq!(first, second);
+        assert_eq!(first, all_sources_payments(&g, NodeId(3)));
+    }
+
+    #[test]
+    fn single_cost_change_repairs_bit_exact() {
+        let pairs = [(0, 1), (1, 3), (0, 2), (2, 3), (1, 2)];
+        let mut e = IncrementalEngine::with_threads(2);
+        let ap = NodeId(3);
+        e.price_epoch(&units(&pairs, &[0, 5, 7, 0]), ap);
+        let g1 = units(&pairs, &[0, 5, 3, 0]);
+        let got = e.price_epoch(&g1, ap);
+        assert!(matches!(e.last_outcome(), EpochOutcome::Repaired { .. }));
+        assert_eq!(got, all_sources_payments(&g1, ap));
+        let (dist, _) = e.tables();
+        let mut cold = crate::AllSourcesEngine::with_threads(1);
+        cold.price_all_sources(&g1, ap);
+        assert_eq!(dist, cold.tables().0);
+    }
+
+    #[test]
+    fn zero_threshold_always_falls_back() {
+        let pairs = [(0, 1), (1, 2), (0, 2)];
+        let mut e = IncrementalEngine::with_threads(1).with_damage_threshold(0.0);
+        let ap = NodeId(0);
+        e.price_epoch(&units(&pairs, &[0, 4, 9]), ap);
+        let g1 = units(&pairs, &[0, 4, 2]);
+        let got = e.price_epoch(&g1, ap);
+        assert!(matches!(e.last_outcome(), EpochOutcome::Fallback { .. }));
+        assert_eq!(got, all_sources_payments(&g1, ap));
+    }
+
+    #[test]
+    fn ap_cost_change_is_inert() {
+        let pairs = [(0, 1), (1, 2)];
+        let mut e = IncrementalEngine::with_threads(1);
+        let ap = NodeId(0);
+        let before = e.price_epoch(&units(&pairs, &[3, 4, 9]), ap);
+        let g1 = units(&pairs, &[8, 4, 9]);
+        let after = e.price_epoch(&g1, ap);
+        assert_eq!(
+            e.last_outcome(),
+            EpochOutcome::Repaired {
+                dirty_nodes: 0,
+                repaired_slices: 0,
+                repriced_sources: 0,
+            }
+        );
+        assert_eq!(before, after);
+        assert_eq!(after, all_sources_payments(&g1, ap));
+    }
+
+    #[test]
+    fn disconnect_and_reconnect_epochs_stay_exact() {
+        // 0-1-2 chain; epoch 1 severs 1-2 (node 2 unreachable), epoch 2
+        // restores it. Threshold 1.0: on n=3 even one dirty node would
+        // otherwise trip the damage fallback.
+        let mut e = IncrementalEngine::with_threads(2).with_damage_threshold(1.0);
+        let ap = NodeId(0);
+        let full = units(&[(0, 1), (1, 2)], &[0, 4, 6]);
+        let cut = units(&[(0, 1)], &[0, 4, 6]);
+        e.price_epoch(&full, ap);
+        let t1 = e.price_epoch(&cut, ap);
+        assert!(matches!(e.last_outcome(), EpochOutcome::Repaired { .. }));
+        assert!(t1[2].is_none());
+        assert_eq!(t1, all_sources_payments(&cut, ap));
+        let t2 = e.price_epoch(&full, ap);
+        assert_eq!(t2, all_sources_payments(&full, ap));
+        assert!(t2[2].is_some());
+    }
+
+    #[test]
+    fn node_count_change_goes_cold() {
+        let mut e = IncrementalEngine::with_threads(1);
+        let ap = NodeId(0);
+        e.price_epoch(&units(&[(0, 1)], &[0, 4]), ap);
+        let bigger = units(&[(0, 1), (1, 2)], &[0, 4, 5]);
+        let got = e.price_epoch(&bigger, ap);
+        assert_eq!(e.last_outcome(), EpochOutcome::Cold);
+        assert_eq!(got, all_sources_payments(&bigger, ap));
+    }
+
+    #[test]
+    fn classify_marks_maximal_slices_once() {
+        // Path tree 0 → 1 → 2 → 3: raising costs at 1 and 3 dirties
+        // subtree(1) = {1,2,3}; the nested root 3 folds into it.
+        let pairs = [(0, 1), (1, 2), (2, 3)];
+        let old = units(&pairs, &[0, 2, 3, 4]);
+        let new = units(&pairs, &[0, 5, 3, 9]);
+        let mut cold = crate::AllSourcesEngine::with_threads(1);
+        cold.price_all_sources(&old, NodeId(0));
+        let (dist, parent) = cold.tables();
+        let spt = truthcast_graph::Spt::from_parents(NodeId(0), parent);
+        let iv = spt.intervals();
+        let _ = dist;
+        let delta = GraphDelta::between(&old, &new).unwrap();
+        let region = classify_delta(&delta, &iv, parent, NodeId(0));
+        assert_eq!(region.slices, 1);
+        assert_eq!(region.dirty_count, 3);
+        assert!(!region.dirty[0]);
+        assert!(region.dirty[1] && region.dirty[2] && region.dirty[3]);
+        assert!(region.decrease_seeds.is_empty());
+    }
+}

@@ -7,21 +7,25 @@
 //! traffic, and how much each node's total payment drifted — the
 //! re-pricing a mobile deployment would have to absorb.
 //!
-//! One warm [`AllSourcesEngine`] lives across all epochs: per-source
-//! payment totals and routes come from its shared-sweep table, and when
-//! an epoch's graph is unchanged (no node moved into or out of range)
-//! the engine's graph-equality cache short-cuts the whole recomputation —
-//! including the distributed re-convergence, which a real deployment
-//! would likewise skip. Reused epochs report zero rounds/broadcasts and
-//! are counted by the `experiments.mobility_epoch_reuse` obs counter.
+//! One warm [`IncrementalEngine`] lives across all epochs: per-source
+//! payment totals and routes come from its cached tables, and each epoch
+//! is priced at delta cost — a bit-identical graph short-cuts the whole
+//! recomputation (the old equality cache, now the zero-delta fast path),
+//! a small delta repairs only the dirty subtree slices, and heavy damage
+//! falls back to a cold sweep (`TRUTHCAST_DELTA_THRESHOLD` tunes the
+//! crossover). Every epoch's payments remain bit-identical to cold
+//! re-pricing — see `truthcast_core::delta`. Reused epochs skip the
+//! distributed re-convergence too (a real deployment would likewise sit
+//! still), report zero rounds/broadcasts, and are counted by the
+//! `experiments.mobility_epoch_reuse` obs counter.
 
 use truthcast_rt::SeedableRng;
 use truthcast_rt::SmallRng;
 
-use truthcast_core::all_sources::AllSourcesEngine;
+use truthcast_core::delta::{EpochOutcome, IncrementalEngine};
 use truthcast_distsim::run_distributed;
 use truthcast_graph::geometry::Region;
-use truthcast_graph::{Cost, NodeId};
+use truthcast_graph::{Cost, NodeId, NodeWeightedGraph};
 use truthcast_wireless::mobility::RandomWaypoint;
 use truthcast_wireless::Deployment;
 
@@ -37,50 +41,66 @@ pub struct EpochReport {
     /// Sources with a finite route this epoch.
     pub routable: usize,
     /// Mean absolute change of per-source total payment vs the previous
-    /// epoch (over sources finite in both), in cost units.
+    /// epoch (over sources priced with *finite* totals in both), in cost
+    /// units.
     pub mean_payment_drift: f64,
-    /// Fraction of sources whose route changed since the previous epoch.
+    /// Fraction of sources whose route changed since the previous epoch
+    /// (over sources routed in both).
     pub route_churn: f64,
     /// Whether the warm engine reused the previous epoch's tables (graph
-    /// unchanged — nothing to re-converge).
+    /// bit-identical — nothing to re-converge).
     pub reused: bool,
+    /// What the delta engine did this epoch (reuse, slice repair with its
+    /// dirty-region size, damage fallback, or a cold first pass).
+    pub outcome: EpochOutcome,
 }
 
-/// Runs `epochs` epochs of `dt`-second movement at speeds
-/// `[min_speed, max_speed]` m/s over a sim1 deployment with scalar costs
-/// `U[1, 10]`.
-pub fn run_mobility(
+/// The epoch graph sequence of a random-waypoint run: a sim1 deployment
+/// with scalar costs `U[1, 10]`, advanced `dt` seconds per epoch at
+/// speeds `[min_speed, max_speed]` m/s. Node 0 is the AP and never moves.
+pub fn mobility_epoch_graphs(
     n: usize,
     epochs: usize,
     dt: f64,
     min_speed: f64,
     max_speed: f64,
     seed: u64,
-) -> Vec<EpochReport> {
+) -> Vec<NodeWeightedGraph> {
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut deployment = Deployment::paper_sim1(n, 2.0, &mut rng);
     let costs = deployment.random_node_costs(1.0, 10.0, &mut rng);
     let mut mobility =
         RandomWaypoint::new(&deployment, Region::PAPER, min_speed, max_speed, &mut rng);
-
-    let mut reports = Vec::with_capacity(epochs);
-    let mut prev_totals: Vec<Option<Cost>> = vec![None; n];
-    let mut prev_routes: Vec<Option<Vec<NodeId>>> = vec![None; n];
-    // One warm engine across every epoch: reused sweep buffers, and a
-    // graph-equality cache that turns a static epoch into a no-op.
-    let mut engine = AllSourcesEngine::new();
-
+    let mut graphs = Vec::with_capacity(epochs);
     for epoch in 0..epochs {
         if epoch > 0 {
             mobility.advance(&mut deployment, dt, &mut rng);
         }
-        let g = deployment.to_node_weighted(costs.clone());
-        let (pricings, reused) = engine.price_all_sources_reusing(&g, NodeId(0));
+        graphs.push(deployment.to_node_weighted(costs.clone()));
+    }
+    graphs
+}
+
+/// Prices a fixed epoch-graph sequence toward `ap` with one warm
+/// [`IncrementalEngine`], re-running the distributed protocol on every
+/// non-reused epoch. Drift compares per-source totals finite in both
+/// adjacent epochs; churn compares routes present in both.
+pub fn run_mobility_epochs(graphs: &[NodeWeightedGraph], ap: NodeId) -> Vec<EpochReport> {
+    let mut reports = Vec::with_capacity(graphs.len());
+    let n = graphs.first().map_or(0, NodeWeightedGraph::num_nodes);
+    let mut prev_totals: Vec<Option<Cost>> = vec![None; n];
+    let mut prev_routes: Vec<Option<Vec<NodeId>>> = vec![None; n];
+    let mut engine = IncrementalEngine::new();
+
+    for (epoch, g) in graphs.iter().enumerate() {
+        let pricings = engine.price_epoch(g, ap);
+        let outcome = engine.last_outcome();
+        let reused = outcome == EpochOutcome::Reused;
         let (rounds, broadcasts) = if reused {
             truthcast_obs::add("experiments.mobility_epoch_reuse", 1);
             (0, 0)
         } else {
-            let run = run_distributed(&g, NodeId(0));
+            let run = run_distributed(g, ap);
             (
                 run.spt.rounds + run.payments.rounds,
                 run.spt.stats.broadcasts + run.payments.stats.broadcasts,
@@ -92,7 +112,10 @@ pub fn run_mobility(
         let mut churned = 0usize;
         let mut compared_routes = 0usize;
         let mut routable = 0usize;
-        for (i, pricing) in pricings.iter().enumerate().skip(1) {
+        for (i, pricing) in pricings.iter().enumerate() {
+            if NodeId(i as u32) == ap {
+                continue;
+            }
             let total = pricing.as_ref().map(|p| p.total_payment());
             if total.is_some() {
                 routable += 1;
@@ -130,9 +153,25 @@ pub fn run_mobility(
                 0.0
             },
             reused,
+            outcome,
         });
     }
     reports
+}
+
+/// Runs `epochs` epochs of `dt`-second movement at speeds
+/// `[min_speed, max_speed]` m/s over a sim1 deployment with scalar costs
+/// `U[1, 10]`.
+pub fn run_mobility(
+    n: usize,
+    epochs: usize,
+    dt: f64,
+    min_speed: f64,
+    max_speed: f64,
+    seed: u64,
+) -> Vec<EpochReport> {
+    let graphs = mobility_epoch_graphs(n, epochs, dt, min_speed, max_speed, seed);
+    run_mobility_epochs(&graphs, NodeId(0))
 }
 
 /// Text table for the mobility run.
@@ -141,20 +180,26 @@ pub fn mobility_table(rows: &[EpochReport]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:>6} {:>8} {:>12} {:>10} {:>15} {:>12} {:>7}",
-        "epoch", "rounds", "broadcasts", "routable", "payment drift", "route churn", "reused"
+        "{:>6} {:>8} {:>12} {:>10} {:>15} {:>12} {:>16}",
+        "epoch", "rounds", "broadcasts", "routable", "payment drift", "route churn", "pricing"
     );
     for r in rows {
+        let pricing = match r.outcome {
+            EpochOutcome::Cold => "cold".to_string(),
+            EpochOutcome::Reused => "reused".to_string(),
+            EpochOutcome::Repaired { dirty_nodes, .. } => format!("repair({dirty_nodes})"),
+            EpochOutcome::Fallback { dirty_nodes } => format!("fallback({dirty_nodes})"),
+        };
         let _ = writeln!(
             out,
-            "{:>6} {:>8} {:>12} {:>10} {:>15.3} {:>11.1}% {:>7}",
+            "{:>6} {:>8} {:>12} {:>10} {:>15.3} {:>11.1}% {:>16}",
             r.epoch,
             r.rounds,
             r.broadcasts,
             r.routable,
             r.mean_payment_drift,
             100.0 * r.route_churn,
-            if r.reused { "yes" } else { "no" }
+            pricing,
         );
     }
     out
@@ -163,18 +208,21 @@ pub fn mobility_table(rows: &[EpochReport]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use truthcast_core::all_sources::all_sources_payments;
 
     #[test]
     fn static_epochs_have_no_drift() {
         let rows = run_mobility(60, 3, 30.0, 0.0, 0.0, 7);
         assert_eq!(rows.len(), 3);
         assert!(!rows[0].reused, "first epoch always computes");
+        assert_eq!(rows[0].outcome, EpochOutcome::Cold);
         for r in &rows[1..] {
             assert_eq!(r.mean_payment_drift, 0.0, "{r:?}");
             assert_eq!(r.route_churn, 0.0);
-            // Nothing moved: the warm engine must hit its graph cache and
-            // skip re-convergence entirely.
+            // Nothing moved: the warm engine must hit its zero-delta fast
+            // path and skip re-convergence entirely.
             assert!(r.reused, "{r:?}");
+            assert_eq!(r.outcome, EpochOutcome::Reused);
             assert_eq!(r.rounds, 0);
             assert_eq!(r.broadcasts, 0);
         }
@@ -191,10 +239,58 @@ mod tests {
         }
     }
 
+    /// Regression for the reuse flag: a single moved node must *not* fire
+    /// the epoch reuse path (the old equality cache and the new zero-delta
+    /// fast path agree on that), and drift/churn must come out finite and
+    /// well-defined over the finite-source intersection even though the
+    /// move disconnects and re-prices part of the graph.
+    #[test]
+    fn one_node_move_does_not_reuse() {
+        use truthcast_rt::Rng;
+        let mut rng = SmallRng::seed_from_u64(41);
+        let deployment = Deployment::paper_sim1(80, 2.0, &mut rng);
+        let costs = deployment.random_node_costs(1.0, 10.0, &mut rng);
+        let g0 = deployment.to_node_weighted(costs.clone());
+        // Teleport one non-AP node far enough to change its neighborhood;
+        // retry nodes until the topology actually differs (a node can
+        // land with the same in-range set).
+        let mut g1 = g0.clone();
+        for v in 1..deployment.num_nodes() {
+            let mut moved = deployment.clone();
+            moved.positions[v].x = rng.gen_f64() * 2000.0;
+            moved.positions[v].y = rng.gen_f64() * 2000.0;
+            let cand = moved.to_node_weighted(costs.clone());
+            if cand != g0 {
+                g1 = cand;
+                break;
+            }
+        }
+        assert_ne!(g1, g0, "no single move changed the topology");
+
+        let rows = run_mobility_epochs(&[g0.clone(), g1.clone()], NodeId(0));
+        assert!(!rows[0].reused);
+        assert!(!rows[1].reused, "one node moved: reuse must not fire");
+        assert_ne!(rows[1].outcome, EpochOutcome::Reused);
+        assert!(rows[1].rounds > 0, "non-reused epoch re-converges");
+        assert!(rows[1].mean_payment_drift.is_finite());
+        assert!((0.0..=1.0).contains(&rows[1].route_churn));
+        // Routable counts stay consistent with a cold oracle per epoch.
+        for (g, row) in [(&g0, &rows[0]), (&g1, &rows[1])] {
+            let cold = all_sources_payments(g, NodeId(0));
+            let cold_routable = cold
+                .iter()
+                .enumerate()
+                .filter(|&(i, p)| i != 0 && p.is_some())
+                .count();
+            assert_eq!(row.routable, cold_routable, "epoch {}", row.epoch);
+        }
+    }
+
     #[test]
     fn table_renders() {
         let rows = run_mobility(40, 2, 10.0, 1.0, 2.0, 9);
         let t = mobility_table(&rows);
         assert!(t.contains("payment drift"));
+        assert!(t.contains("pricing"));
     }
 }

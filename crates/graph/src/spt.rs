@@ -227,6 +227,16 @@ impl SubtreeIntervals {
         let hi = self.exit[v.index()] as usize;
         &self.order[lo..=hi]
     }
+
+    /// Offset of `v` inside the preorder slice `subtree(x)` (`0` for
+    /// `v == x`), or `None` if `v` is not in `x`'s subtree. This is the
+    /// O(1) row-index lookup the incremental re-pricing engine uses to
+    /// read a stored per-relay detour value back out by source.
+    #[inline]
+    pub fn slice_offset(&self, x: NodeId, v: NodeId) -> Option<usize> {
+        self.is_ancestor(x, v)
+            .then(|| (self.enter[v.index()] - self.enter[x.index()]) as usize)
+    }
 }
 
 #[cfg(test)]
@@ -319,6 +329,21 @@ mod tests {
         assert_eq!(iv.depth(NodeId(5)), None);
         assert!(!iv.in_tree(NodeId(5)));
         assert_eq!(iv.order().len(), 5);
+    }
+
+    #[test]
+    fn slice_offsets_index_the_subtree_slice() {
+        let t = sample();
+        let iv = t.intervals();
+        for x in 0..6u32 {
+            let x = NodeId(x);
+            for (i, &v) in iv.subtree(x).iter().enumerate() {
+                assert_eq!(iv.slice_offset(x, v), Some(i), "{x:?} slice [{i}]");
+            }
+        }
+        assert_eq!(iv.slice_offset(NodeId(1), NodeId(2)), None);
+        assert_eq!(iv.slice_offset(NodeId(5), NodeId(5)), None);
+        assert_eq!(iv.slice_offset(NodeId(0), NodeId(5)), None);
     }
 
     #[test]

@@ -51,6 +51,10 @@ if [ "${TRUTHCAST_CI_HEAVY:-0}" != "0" ]; then
     TRUTHCAST_CASES=256 cargo test -q --offline -p truthcast-core --test all_sources_vs_fast
     echo "==> heavy radix-vs-binary battery (TRUTHCAST_CASES=256)"
     TRUTHCAST_CASES=256 cargo test -q --offline -p truthcast-graph --test radix_vs_binary
+    echo "==> heavy incremental-vs-cold mobility battery (TRUTHCAST_CASES=256)"
+    TRUTHCAST_CASES=256 cargo test -q --offline -p truthcast-core --test incremental_vs_cold
+    echo "==> heavy delta-soundness battery (TRUTHCAST_CASES=256)"
+    TRUTHCAST_CASES=256 cargo test -q --offline -p truthcast-core --test delta_props
     echo "==> heavy modelcheck battery (n=6/n=7, release)"
     TRUTHCAST_CI_HEAVY=1 cargo test -q --offline --release -p truthcast-distsim \
         --test modelcheck_explore heavy_battery

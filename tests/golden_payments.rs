@@ -9,6 +9,7 @@
 
 use truthcast::core::all_sources::AllSourcesEngine;
 use truthcast::core::batch::{PaymentEngine, SessionQuery};
+use truthcast::core::delta::{EpochOutcome, IncrementalEngine};
 use truthcast::core::{fast_payments, naive_payments};
 use truthcast::graph::{Cost, NodeId, NodeWeightedGraph};
 use truthcast::obs;
@@ -291,4 +292,105 @@ fn golden_bridge_monopoly_all_sources_sweep() {
     assert_eq!(snap.counter("core.all_sources.fallbacks"), 1);
     assert_eq!(engine.last_fallbacks(), 1);
     assert!(snap.histogram("span.core.all_sources_ns").is_some());
+}
+
+/// A hand-checkable 3-epoch mobility trace through the warm
+/// [`IncrementalEngine`], with every delta counter pinned.
+///
+/// ```text
+///        0 (AP) --- 1 --- 3 --- 4        costs: [0, 2, 7, 1, 4, 3]
+///        |                \     |
+///        2 ----------------5----+        epoch 1 edges: (0,1) (0,2)
+///                                        (1,3) (3,4) (3,5) (2,4)
+/// ```
+///
+/// * **Epoch 1** (cold): the AP-rooted tree hangs 3 under 1, and 4, 5
+///   under 3; `R′ = [0, 2, 7, 3, 7, 6]`, no ties anywhere.
+/// * **Epoch 2**: node 5's cost rises 3 → 8. One dirty slice `{5}`
+///   (damage 1 ≤ 0.25·6), so the engine repairs. Relays 1 and 3 re-run
+///   their detour rows, but every `F` value is unchanged (no detour in
+///   either row routes through node 5), so the row diffs select nobody
+///   — only source 5 itself (its distance moved) re-prices, and its
+///   pricing is *unchanged* (a node's declared cost never enters its
+///   own LCP cost): the repair must reproduce it bit-for-bit.
+/// * **Epoch 3**: link (0,1) breaks and (1,2) appears — the severed arc
+///   is a tree arc, so the whole subtree `{1, 3, 4, 5}` is dirty
+///   (damage 4 > 0.25·6) and the engine falls back to a cold sweep.
+///   Source 5 reroutes 5-3-1-2-0: `p_3 = INF` (cut vertex),
+///   `p_1 = 12 − 10 + 2 = 4` (detour 5-3-4-2-0), `p_2 = INF`.
+#[test]
+fn golden_incremental_three_epoch_trace() {
+    let costs_a = [0u64, 2, 7, 1, 4, 3];
+    let costs_b = [0u64, 2, 7, 1, 4, 8];
+    let edges_a: [(u32, u32); 6] = [(0, 1), (0, 2), (1, 3), (3, 4), (3, 5), (2, 4)];
+    let edges_b: [(u32, u32); 6] = [(1, 2), (0, 2), (1, 3), (3, 4), (3, 5), (2, 4)];
+    let e1 = NodeWeightedGraph::from_pairs_units(&edges_a, &costs_a);
+    let e2 = NodeWeightedGraph::from_pairs_units(&edges_a, &costs_b);
+    let e3 = NodeWeightedGraph::from_pairs_units(&edges_b, &costs_b);
+    let ap = NodeId(0);
+
+    let mut engine = IncrementalEngine::with_threads(2);
+    let t1 = engine.price_epoch(&e1, ap);
+    assert_eq!(engine.last_outcome(), EpochOutcome::Cold);
+    let t2 = engine.price_epoch(&e2, ap);
+    assert_eq!(
+        engine.last_outcome(),
+        EpochOutcome::Repaired {
+            dirty_nodes: 1,
+            repaired_slices: 1,
+            repriced_sources: 1,
+        }
+    );
+    let t3 = engine.price_epoch(&e3, ap);
+    assert_eq!(
+        engine.last_outcome(),
+        EpochOutcome::Fallback { dirty_nodes: 4 }
+    );
+    // No LCP ties anywhere in the trace: the per-session ambiguity
+    // fallback stays quiet in all three epochs.
+    assert_eq!(engine.last_fallback_sources(), 0);
+
+    // Epoch 1, source 4: route 4-3-1-0, detour for either relay is
+    // 4-2-0 at relay cost 7, so p_3 = 7 − 3 + 1 = 5, p_1 = 7 − 3 + 2 = 6.
+    let p4 = t1[4].as_ref().expect("4→0 connected");
+    assert_eq!(p4.path, vec![NodeId(4), NodeId(3), NodeId(1), NodeId(0)]);
+    assert_eq!(p4.lcp_cost, units(3));
+    assert_eq!(
+        p4.payments,
+        vec![(NodeId(3), units(5)), (NodeId(1), units(6))]
+    );
+
+    // Epochs 1 and 2, source 5: bit-identical pricing (its own declared
+    // cost is excluded from its LCP), with node 3 a monopoly and
+    // p_1 = 12 − 3 + 2 = 11 over the detour 5-3-4-2-0.
+    let p5 = t1[5].as_ref().expect("5→0 connected");
+    assert_eq!(p5.path, vec![NodeId(5), NodeId(3), NodeId(1), NodeId(0)]);
+    assert_eq!(p5.lcp_cost, units(3));
+    assert_eq!(
+        p5.payments,
+        vec![(NodeId(3), Cost::INF), (NodeId(1), units(11))]
+    );
+    assert_eq!(t2[5], t1[5], "repair must reproduce source 5 exactly");
+
+    // Epoch 3, source 5: rerouted through the new (1,2) link.
+    let p5 = t3[5].as_ref().expect("5→0 still connected");
+    assert_eq!(
+        p5.path,
+        vec![NodeId(5), NodeId(3), NodeId(1), NodeId(2), NodeId(0)]
+    );
+    assert_eq!(p5.lcp_cost, units(10));
+    assert_eq!(
+        p5.payments,
+        vec![
+            (NodeId(3), Cost::INF),
+            (NodeId(1), units(4)),
+            (NodeId(2), Cost::INF),
+        ]
+    );
+
+    // Every epoch's full table is bit-identical to the cold engine.
+    for (epoch, (g, table)) in [(&e1, &t1), (&e2, &t2), (&e3, &t3)].into_iter().enumerate() {
+        let cold = AllSourcesEngine::with_threads(2).price_all_sources(g, ap);
+        assert_eq!(*table, cold, "epoch {}", epoch + 1);
+    }
 }
