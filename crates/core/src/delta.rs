@@ -62,7 +62,7 @@
 //!    or per engine with [`IncrementalEngine::set_damage_threshold`].
 //!
 //! Observability: `core.delta.{deltas,dirty_nodes,repaired_slices,
-//! fallbacks,reuses,subtree_runs,row_repairs,row_rebuilds}` counters and
+//! fallbacks,cold_resizes,reuses,subtree_runs,row_repairs,row_rebuilds}` counters and
 //! a `core.delta.repair` span (exported as `span.core.delta.repair_ns`). Audit records are
 //! emitted for every source the epoch actually re-prices; reused sources
 //! keep the records of the epoch that priced them (payments themselves
@@ -277,8 +277,22 @@ pub fn classify_delta(
 /// What [`IncrementalEngine::price_epoch`] did for the most recent epoch.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum EpochOutcome {
-    /// First epoch, or the node set / AP changed: full cold pipeline.
+    /// First epoch, or the AP changed: full cold pipeline.
     Cold,
+    /// The node count changed between epochs (join/leave churn): the
+    /// delta machinery has no identity mapping across a resize, so the
+    /// engine ran the full cold pipeline. Surfaced as its own variant —
+    /// and counted under `core.delta.cold_resizes` — so long-lived
+    /// callers (the service's per-shard epoch loop) can report churn
+    /// epochs honestly instead of folding them into [`Cold`].
+    ///
+    /// [`Cold`]: EpochOutcome::Cold
+    ColdResize {
+        /// Node count of the previous epoch.
+        from: usize,
+        /// Node count of this epoch.
+        to: usize,
+    },
     /// Bit-identical graph: the cached table was returned unchanged.
     Reused,
     /// Delta repair ran and only the affected region was re-priced.
@@ -492,6 +506,14 @@ impl IncrementalEngine {
                         repriced_sources: repriced,
                     };
                 }
+            }
+            Some((pg, pap)) if pap == ap && pg.num_nodes() != n => {
+                truthcast_obs::add("core.delta.cold_resizes", 1);
+                self.cold(g, ap);
+                self.last_outcome = EpochOutcome::ColdResize {
+                    from: pg.num_nodes(),
+                    to: n,
+                };
             }
             _ => {
                 self.cold(g, ap);

@@ -1,0 +1,56 @@
+//! Regression: a node-count change between epochs must be surfaced as
+//! [`EpochOutcome::ColdResize`] (with the `core.delta.cold_resizes`
+//! counter), not silently folded into `Cold` — the service's per-shard
+//! epoch loop reports churn epochs from this signal.
+//!
+//! Single-test binary: asserts on the global `truthcast-obs` counters.
+
+use truthcast_core::all_sources_payments;
+use truthcast_core::delta::{EpochOutcome, IncrementalEngine};
+use truthcast_graph::{NodeId, NodeWeightedGraph};
+
+#[test]
+fn node_count_change_reports_cold_resize() {
+    truthcast_obs::enable();
+    truthcast_obs::reset();
+
+    let ap = NodeId(0);
+    let e0 = NodeWeightedGraph::from_pairs_units(&[(0, 1), (1, 3), (0, 2), (2, 3)], &[0, 5, 7, 0]);
+    // Node 4 joins, hanging off node 3.
+    let e1 = NodeWeightedGraph::from_pairs_units(
+        &[(0, 1), (1, 3), (0, 2), (2, 3), (3, 4)],
+        &[0, 5, 7, 2, 0],
+    );
+    // Node 4 leaves again.
+    let e2 = e0.clone();
+
+    let mut engine = IncrementalEngine::with_threads(1);
+    assert_eq!(engine.price_epoch(&e0, ap), all_sources_payments(&e0, ap));
+    assert_eq!(engine.last_outcome(), EpochOutcome::Cold);
+
+    assert_eq!(engine.price_epoch(&e1, ap), all_sources_payments(&e1, ap));
+    assert_eq!(
+        engine.last_outcome(),
+        EpochOutcome::ColdResize { from: 4, to: 5 }
+    );
+
+    assert_eq!(engine.price_epoch(&e2, ap), all_sources_payments(&e2, ap));
+    assert_eq!(
+        engine.last_outcome(),
+        EpochOutcome::ColdResize { from: 5, to: 4 }
+    );
+
+    // The engine recovers its incremental footing after a resize: an
+    // unchanged follow-up epoch is a zero-cost reuse.
+    assert_eq!(engine.price_epoch(&e2, ap), all_sources_payments(&e2, ap));
+    assert_eq!(engine.last_outcome(), EpochOutcome::Reused);
+
+    // An AP change stays plain Cold — resize is specifically churn.
+    let other_ap = NodeId(3);
+    engine.price_epoch(&e2, other_ap);
+    assert_eq!(engine.last_outcome(), EpochOutcome::Cold);
+
+    let snap = truthcast_obs::snapshot();
+    truthcast_obs::disable();
+    assert_eq!(snap.counter("core.delta.cold_resizes"), 2);
+}

@@ -1,0 +1,83 @@
+//! Epoch-handoff contract for the batch engines' destination caches:
+//! tables moved between engines with `take_tables`/`install_tables` are
+//! never re-warmed — exactly one cache miss per distinct destination per
+//! epoch, however many engine rebuilds the epoch's borrows force.
+//!
+//! This battery asserts on the global `truthcast-obs` counters, so it is
+//! a single-test binary (integration tests in one binary run in
+//! parallel and would race the collector).
+
+use truthcast_core::batch::{LinkPaymentEngine, PaymentEngine, SessionQuery};
+use truthcast_core::fast_payments;
+use truthcast_graph::{Cost, LinkWeightedDigraph, NodeId, NodeWeightedGraph};
+
+#[test]
+fn handoff_never_rewarms_within_an_epoch() {
+    truthcast_obs::enable();
+    truthcast_obs::reset();
+
+    let g = NodeWeightedGraph::from_pairs_units(
+        &[(0, 1), (1, 3), (0, 2), (2, 3), (3, 4), (4, 5)],
+        &[0, 5, 7, 0, 2, 0],
+    );
+    let ap = NodeId(0);
+    let sessions: Vec<SessionQuery> = (1..6).map(|v| SessionQuery::new(NodeId(v), ap)).collect();
+
+    // Epoch warm: one engine prices, then hands its tables off. Three
+    // successive engine rebuilds (the service pattern: the borrow dies at
+    // every epoch boundary, the tables must not).
+    let mut priced = {
+        let mut e = PaymentEngine::with_threads(&g, 2);
+        let p = e.price_batch(&sessions);
+        (p, e.take_tables())
+    };
+    for threads in [1, 7] {
+        let mut e = PaymentEngine::with_threads(&g, threads);
+        e.install_tables(std::mem::take(&mut priced.1));
+        assert_eq!(e.cached_targets(), 1);
+        let p = e.price_batch(&sessions);
+        assert_eq!(p, priced.0, "handoff changed pricing at {threads} threads");
+        priced.1 = e.take_tables();
+    }
+    for (q, p) in sessions.iter().zip(&priced.0) {
+        assert_eq!(*p, fast_payments(&g, q.source, q.target));
+    }
+
+    // Same protocol on the link model.
+    let arcs: Vec<(NodeId, NodeId, Cost)> = [(0u32, 1u32, 2u64), (1, 3, 2), (0, 2, 3), (2, 3, 4)]
+        .iter()
+        .flat_map(|&(u, v, w)| {
+            [
+                (NodeId(u), NodeId(v), Cost::from_units(w)),
+                (NodeId(v), NodeId(u), Cost::from_units(w)),
+            ]
+        })
+        .collect();
+    let lg = LinkWeightedDigraph::from_arcs(4, arcs);
+    let lsessions = [
+        SessionQuery::new(NodeId(1), NodeId(3)),
+        SessionQuery::new(NodeId(2), NodeId(3)),
+    ];
+    let (lp, ltables) = {
+        let mut e = LinkPaymentEngine::with_threads(&lg, 2);
+        let p = e.price_batch(&lsessions);
+        (p, e.take_tables())
+    };
+    {
+        let mut e = LinkPaymentEngine::with_threads(&lg, 1);
+        e.install_tables(ltables);
+        assert_eq!(e.price_batch(&lsessions), lp);
+    }
+
+    let snap = truthcast_obs::snapshot();
+    truthcast_obs::disable();
+    // One node-model destination + one link-model destination: exactly
+    // two misses across five engines and three handoffs.
+    assert_eq!(snap.counter("core.batch.target_cache_misses"), 2);
+    assert_eq!(snap.counter("core.batch.target_cache_installs"), 3);
+    // Every session after the first batch per model hit the cache.
+    assert_eq!(
+        snap.counter("core.batch.target_cache_hits"),
+        (sessions.len() * 3 - 1) as u64 + (lsessions.len() * 2 - 1) as u64
+    );
+}

@@ -1,0 +1,187 @@
+//! Service demo and load driver: stand up a multi-AP payment service
+//! over a random UDG deployment, roll it through mobility epochs, and
+//! hammer it with the deterministic load generator.
+//!
+//! ```text
+//! service [--nodes N] [--aps K] [--threads T] [--sessions S] [--batch B]
+//!         [--queue-cap C] [--mode open|closed:<population>] [--epochs E]
+//!         [--seed SEED] [--quick]
+//! ```
+//!
+//! Each epoch teleports a few nodes (re-deriving the in-range edge set),
+//! re-warms every shard off the serving path, and runs one load slice;
+//! the final report aggregates throughput and exact latency quantiles
+//! across slices. `--quick` shrinks everything for the CI smoke (and is
+//! what `scripts/ci.sh` validates under `TRUTHCAST_TRACE`).
+
+use truthcast_graph::generators::{pairs_within_range, random_placement};
+use truthcast_graph::geometry::{Point, Region};
+use truthcast_graph::{adjacency_from_pairs, Cost, NodeId, NodeWeightedGraph};
+use truthcast_rt::{default_threads, Rng, SeedableRng, SmallRng};
+use truthcast_service::{run_load, ArrivalMode, LoadConfig, PaymentService, ServiceConfig};
+
+/// Radio range shared with the bench deployments.
+const RANGE: f64 = 300.0;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: service [--nodes N] [--aps K] [--threads T] [--sessions S] \
+         [--batch B] [--queue-cap C] [--mode open|closed:<population>] \
+         [--epochs E] [--seed SEED] [--quick]"
+    );
+    std::process::exit(2)
+}
+
+fn parse<T: std::str::FromStr>(it: &mut impl Iterator<Item = String>, flag: &str) -> T {
+    it.next()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| fail(&format!("{flag} needs a value")))
+}
+
+fn graph_from(points: &[Point], costs: &[Cost]) -> NodeWeightedGraph {
+    let pairs: Vec<(u32, u32)> = pairs_within_range(points, RANGE)
+        .into_iter()
+        .map(|(u, v)| (u.0, v.0))
+        .collect();
+    NodeWeightedGraph::new(adjacency_from_pairs(points.len(), &pairs), costs.to_vec())
+}
+
+fn main() {
+    let mut nodes = 1024usize;
+    let mut aps = 4usize;
+    let mut threads = default_threads();
+    let mut sessions = 100_000usize;
+    let mut batch = 4096usize;
+    let mut queue_cap = usize::MAX;
+    let mut mode_arg = String::from("open");
+    let mut epochs = 4usize;
+    let mut seed = 0x5e41u64;
+
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--nodes" => nodes = parse(&mut it, "--nodes"),
+            "--aps" => aps = parse(&mut it, "--aps"),
+            "--threads" => threads = parse(&mut it, "--threads"),
+            "--sessions" => sessions = parse(&mut it, "--sessions"),
+            "--batch" => batch = parse(&mut it, "--batch"),
+            "--queue-cap" => queue_cap = parse(&mut it, "--queue-cap"),
+            "--mode" => mode_arg = it.next().unwrap_or_else(|| fail("--mode needs a value")),
+            "--epochs" => epochs = parse(&mut it, "--epochs"),
+            "--seed" => seed = parse(&mut it, "--seed"),
+            "--quick" => {
+                nodes = 96;
+                aps = 2;
+                sessions = 2_000;
+                batch = 256;
+                epochs = 2;
+            }
+            "--help" | "-h" => fail("help requested"),
+            other => fail(&format!("unexpected argument {other:?}")),
+        }
+    }
+    if aps == 0 || aps >= nodes {
+        fail("--aps must be in 1..nodes");
+    }
+    let mode = if mode_arg == "open" {
+        ArrivalMode::Open
+    } else if let Some(p) = mode_arg.strip_prefix("closed:") {
+        ArrivalMode::Closed {
+            population: p.parse().unwrap_or_else(|_| fail("bad closed population")),
+        }
+    } else {
+        fail("--mode is open or closed:<population>")
+    };
+
+    let _obs_guard = truthcast_obs::init_from_env();
+
+    // Deployment: ~12 neighbors per node, like the paper's setups.
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let side = (nodes as f64 * RANGE * RANGE * std::f64::consts::PI / 12.0).sqrt();
+    let region = Region::new(side, side);
+    let mut points = random_placement(nodes, region, &mut rng);
+    let costs: Vec<Cost> = (0..nodes)
+        .map(|_| Cost::from_f64(rng.gen_range(1.0..50.0)))
+        .collect();
+    let ap_ids: Vec<NodeId> = (0..aps as u32).map(NodeId).collect();
+    let sources: Vec<NodeId> = (aps as u32..nodes as u32).map(NodeId).collect();
+
+    let cfg = ServiceConfig::new(ap_ids)
+        .threads(threads)
+        .queue_capacity(queue_cap);
+    let g0 = graph_from(&points, &costs);
+    let service = PaymentService::new(&cfg, &g0);
+    println!(
+        "service       : {nodes} nodes, {aps} APs, {threads} threads, queue cap {}",
+        if queue_cap == usize::MAX {
+            "unbounded".to_string()
+        } else {
+            queue_cap.to_string()
+        }
+    );
+
+    let per_epoch = sessions.div_ceil(epochs.max(1));
+    let mut reports = Vec::new();
+    for epoch in 0..epochs.max(1) {
+        if epoch > 0 {
+            // Mobility: teleport ~1% of nodes (at least one), keep APs
+            // fixed, and re-warm every shard.
+            for _ in 0..(nodes / 100).max(1) {
+                let v = rng.gen_range(aps..nodes);
+                points[v] = Point::new(
+                    rng.gen_range(0.0..=region.width),
+                    rng.gen_range(0.0..=region.height),
+                );
+            }
+            let g = graph_from(&points, &costs);
+            let outcomes = service.begin_epoch(&g);
+            let labels: Vec<String> = outcomes.iter().map(|o| format!("{o:?}")).collect();
+            println!(
+                "epoch {:>2}      : gen {} [{}]",
+                epoch + 1,
+                service.generation(),
+                labels.join(", ")
+            );
+        }
+        let load = match mode {
+            ArrivalMode::Open => LoadConfig::open(seed ^ epoch as u64, per_epoch, batch),
+            ArrivalMode::Closed { population } => {
+                LoadConfig::closed(seed ^ epoch as u64, per_epoch, population)
+            }
+        };
+        let report = run_load(&service, &sources, &load);
+        println!("  load        : {}", report.summary());
+        reports.push(report);
+    }
+
+    let settled: u64 = reports.iter().map(|r| r.settled).sum();
+    let shed: u64 = reports.iter().map(|r| r.shed).sum();
+    let serve_ns: u64 = reports.iter().map(|r| r.serve_ns).sum();
+    let per_shard: Vec<String> = service
+        .shards()
+        .iter()
+        .map(|s| format!("{}:{}", s.ap, s.settled()))
+        .collect();
+    println!("settled       : {settled} sessions ({shed} shed)");
+    println!("per-AP        : {}", per_shard.join(" "));
+    if serve_ns > 0 {
+        println!(
+            "throughput    : {:.0} sessions/s",
+            settled as f64 / (serve_ns as f64 / 1e9)
+        );
+    }
+
+    if truthcast_obs::enabled() {
+        println!(
+            "\n== Appendix: run metrics (truthcast-obs) ==\n{}",
+            truthcast_obs::summary()
+        );
+    }
+    if let Some(path) = truthcast_obs::flush() {
+        println!("[trace written to {}]", path.display());
+    }
+    if let Some(path) = truthcast_obs::flush_profile() {
+        println!("[chrome profile written to {}]", path.display());
+    }
+}

@@ -186,6 +186,7 @@ pub fn mobility_table(rows: &[EpochReport]) -> String {
     for r in rows {
         let pricing = match r.outcome {
             EpochOutcome::Cold => "cold".to_string(),
+            EpochOutcome::ColdResize { from, to } => format!("resize({from}->{to})"),
             EpochOutcome::Reused => "reused".to_string(),
             EpochOutcome::Repaired { dirty_nodes, .. } => format!("repair({dirty_nodes})"),
             EpochOutcome::Fallback { dirty_nodes } => format!("fallback({dirty_nodes})"),

@@ -175,6 +175,21 @@ impl Collector {
         self.epoch.elapsed().as_nanos().min(u64::MAX as u128) as u64
     }
 
+    /// Registers the named counter at zero if it does not exist yet.
+    ///
+    /// Counters normally materialize on first increment, which makes a
+    /// zero indistinguishable from "never instrumented" in the summary
+    /// table and JSONL export. Subsystems whose zeros are *findings* —
+    /// "no sessions were shed under this load" — register their counter
+    /// group up front so every report states the zero explicitly.
+    /// Registration survives until [`Collector::reset`].
+    pub fn register(&self, name: &str) {
+        let mut s = self.state();
+        if !s.counters.contains_key(name) {
+            s.counters.insert(name.to_string(), 0);
+        }
+    }
+
     /// Adds `delta` to the named monotonic counter.
     pub fn add(&self, name: &str, delta: u64) {
         let mut s = self.state();
@@ -331,6 +346,25 @@ mod tests {
         assert_eq!(s.counter("a"), 5);
         assert_eq!(s.counter("b"), 1);
         assert_eq!(s.counter("missing"), 0);
+    }
+
+    #[test]
+    fn registered_counters_report_zero() {
+        let c = Collector::new();
+        c.register("service.sessions.shed");
+        c.add("service.sessions.settled", 3);
+        // Registration never clobbers a live value.
+        c.register("service.sessions.settled");
+        let s = c.snapshot();
+        assert_eq!(
+            s.counters,
+            vec![
+                ("service.sessions.settled".to_string(), 3),
+                ("service.sessions.shed".to_string(), 0),
+            ]
+        );
+        c.reset();
+        assert!(c.snapshot().counters.is_empty());
     }
 
     #[test]

@@ -472,6 +472,24 @@ mod tests {
     }
 
     #[test]
+    fn summary_prints_registered_zero_counters() {
+        // A counter registered but never incremented must appear in the
+        // summary (and JSONL) as an explicit zero: absent shed counters
+        // would hide "no shedding happened" from load reports.
+        let c = Collector::new();
+        c.register("service.sessions.shed");
+        c.add("service.sessions.settled", 7);
+        let snap = c.snapshot();
+        let table = summary_table(&snap);
+        let shed = table
+            .lines()
+            .find(|l| l.contains("service.sessions.shed"))
+            .expect("registered zero counter missing from summary");
+        assert!(shed.trim_end().ends_with(" 0"), "{shed}");
+        assert!(to_jsonl(&snap).contains("\"name\":\"service.sessions.shed\",\"value\":0"));
+    }
+
+    #[test]
     fn summary_sketch_quantiles_are_exact() {
         let table = summary_table(&sample_snapshot());
         // Samples {100,200,300,400}: p50=200 (rank 2), p95/p99=400 (rank 4).

@@ -204,6 +204,17 @@ pub fn add(name: &str, delta: u64) {
     }
 }
 
+/// Registers the named counter at zero (no-op while disabled), so the
+/// summary table and exports report it even if it is never incremented —
+/// "zero shed sessions" is load-report data, not an omission. See
+/// [`Collector::register`].
+#[inline]
+pub fn register(name: &str) {
+    if enabled() {
+        collector().register(name);
+    }
+}
+
 /// Records `value` into the named histogram (no-op while disabled).
 #[inline]
 pub fn observe(name: &str, value: u64) {

@@ -1,0 +1,206 @@
+//! Epoch-swapped pricing snapshots: the publication cell every shard
+//! serves from.
+//!
+//! The serving layer's core concurrency problem is that pricing tables
+//! are rebuilt every mobility epoch while the front-end keeps serving.
+//! The classic answer is read-copy-update: readers price against an
+//! immutable, reference-counted snapshot; the re-warmer builds the next
+//! epoch's snapshot *off to the side* and publishes it with a single
+//! pointer exchange. Readers that raced the swap drain naturally — they
+//! hold an [`Arc`] to the retired snapshot, which is freed when the last
+//! of them finishes — and every settlement carries the snapshot's
+//! generation stamp so staleness is visible, never silent.
+//!
+//! The cell is structurally non-blocking for readers without `unsafe`:
+//! two slots, each behind a [`RwLock`], plus an atomic generation. The
+//! active slot is `generation & 1`; the writer only ever writes the
+//! *inactive* slot, and releases its write lock **before** bumping the
+//! generation, so a reader addressing the slot its freshly-loaded
+//! generation names can never collide with the writer. Readers never
+//! collide with each other either — read locks are shared. The only way
+//! `try_read` can fail is a reader that stalled between loading the
+//! generation and touching the slot for so long that a *later* epoch's
+//! writer reclaimed that slot; the retry loop re-loads the generation
+//! and lands on the fresh slot. A reader that somehow exhausts the spin
+//! budget yields and counts itself under
+//! `service.epoch.blocked_readers` — the counter the epoch-swap
+//! acceptance test pins at zero.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock, TryLockError};
+
+use truthcast_core::delta::EpochOutcome;
+use truthcast_core::UnicastPricing;
+use truthcast_graph::{Cost, NodeId};
+
+/// Spin attempts before a reader declares itself blocked and yields.
+const SPIN_BUDGET: u32 = 128;
+
+/// One access point's immutable pricing state for one epoch: every
+/// source's unicast pricing toward this AP, pre-computed by the shard's
+/// warm [`IncrementalEngine`] and shared read-only with every front-end
+/// worker.
+///
+/// [`IncrementalEngine`]: truthcast_core::delta::IncrementalEngine
+#[derive(Debug)]
+pub struct ApSnapshot {
+    /// Swap count of the owning cell when this snapshot was published
+    /// (1 = the service's initial warm-up epoch).
+    pub generation: u64,
+    /// The access point this snapshot prices toward.
+    pub ap: NodeId,
+    /// The owning shard's index in the service's AP list — the anycast
+    /// tie-break key.
+    pub ap_index: usize,
+    /// How the shard's engine produced this epoch (cold, repaired,
+    /// reused, resize, fallback) — churn epochs are reported, not hidden.
+    pub outcome: EpochOutcome,
+    /// `pricing[v]` is source `v`'s pricing toward [`ApSnapshot::ap`],
+    /// bit-identical to `all_sources_payments(g, ap)[v]`; `None` for the
+    /// AP itself and unreachable sources.
+    pub pricing: Vec<Option<UnicastPricing>>,
+}
+
+impl ApSnapshot {
+    /// The declared least-cost-path cost from `v` to this AP — the
+    /// anycast settlement key. `None` if `v` cannot reach this AP (or
+    /// lies outside this epoch's node set after a resize).
+    pub fn lcp_of(&self, v: NodeId) -> Option<Cost> {
+        self.pricing.get(v.index())?.as_ref().map(|p| p.lcp_cost)
+    }
+
+    /// Number of nodes in the epoch this snapshot was priced over.
+    pub fn num_nodes(&self) -> usize {
+        self.pricing.len()
+    }
+}
+
+/// The generation-stamped publication point between one shard's epoch
+/// loop (single writer) and every front-end worker (many readers). See
+/// the module docs for the non-blocking protocol.
+pub struct EpochCell {
+    generation: AtomicU64,
+    slots: [RwLock<Arc<ApSnapshot>>; 2],
+}
+
+impl EpochCell {
+    /// A cell holding `initial` as generation `initial.generation` in
+    /// both slots, so [`EpochCell::read`] never observes an empty cell.
+    pub fn new(initial: Arc<ApSnapshot>) -> EpochCell {
+        EpochCell {
+            generation: AtomicU64::new(initial.generation),
+            slots: [RwLock::new(initial.clone()), RwLock::new(initial)],
+        }
+    }
+
+    /// The generation of the most recently published snapshot. One
+    /// relaxed-ish atomic load — callers poll this to skip a re-read
+    /// when nothing swapped.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// A reference to the current snapshot. Never blocks on a swap in
+    /// progress: the writer never holds the active slot's lock, and
+    /// read locks are shared between readers (see module docs). A reader
+    /// that raced a swap may get the snapshot one generation behind the
+    /// freshest — a complete, consistent table either way.
+    pub fn read(&self) -> Arc<ApSnapshot> {
+        let mut spins = 0u32;
+        let snap = loop {
+            let gen = self.generation.load(Ordering::Acquire);
+            match self.slots[(gen & 1) as usize].try_read() {
+                Ok(slot) => break slot.clone(),
+                Err(TryLockError::Poisoned(p)) => break p.into_inner().clone(),
+                Err(TryLockError::WouldBlock) => {
+                    spins += 1;
+                    if spins <= SPIN_BUDGET {
+                        std::hint::spin_loop();
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        };
+        if spins > 0 {
+            truthcast_obs::add("service.epoch.reader_retries", u64::from(spins));
+            if spins > SPIN_BUDGET {
+                truthcast_obs::add("service.epoch.blocked_readers", 1);
+            }
+        }
+        snap
+    }
+
+    /// Publishes `next` as the new current snapshot and returns its
+    /// generation. The snapshot is written into the inactive slot and
+    /// the write lock released, then the generation bump makes it
+    /// visible — the pointer exchange is the entire reader-visible
+    /// critical section.
+    ///
+    /// Single-writer: only the owning shard's epoch loop calls this
+    /// (structurally enforced — the caller holds the shard's engine
+    /// lock); two racing publishers could otherwise write the same slot.
+    pub(crate) fn publish(&self, mut next: Arc<ApSnapshot>) -> u64 {
+        let gen = self.generation.load(Ordering::Acquire) + 1;
+        if let Some(snap) = Arc::get_mut(&mut next) {
+            snap.generation = gen;
+        }
+        match self.slots[(gen & 1) as usize].write() {
+            Ok(mut s) => *s = next,
+            Err(p) => *p.into_inner() = next,
+        }
+        self.generation.store(gen, Ordering::Release);
+        truthcast_obs::add("service.epoch.swaps", 1);
+        gen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(generation: u64, ap: NodeId) -> Arc<ApSnapshot> {
+        Arc::new(ApSnapshot {
+            generation,
+            ap,
+            ap_index: 0,
+            outcome: EpochOutcome::Cold,
+            pricing: vec![None, None],
+        })
+    }
+
+    #[test]
+    fn read_returns_latest_published() {
+        let cell = EpochCell::new(snap(1, NodeId(0)));
+        assert_eq!(cell.generation(), 1);
+        assert_eq!(cell.read().generation, 1);
+        let g = cell.publish(snap(0, NodeId(0)));
+        assert_eq!(g, 2);
+        assert_eq!(cell.generation(), 2);
+        assert_eq!(cell.read().generation, 2);
+        cell.publish(snap(0, NodeId(0)));
+        assert_eq!(cell.read().generation, 3);
+    }
+
+    #[test]
+    fn retired_snapshots_drain_when_readers_finish() {
+        let cell = EpochCell::new(snap(1, NodeId(0)));
+        let held = cell.read();
+        cell.publish(snap(0, NodeId(0)));
+        cell.publish(snap(0, NodeId(0)));
+        // The stale reader still sees a complete generation-1 snapshot.
+        assert_eq!(held.generation, 1);
+        // Both slots now hold newer snapshots; `held` is the last owner
+        // of generation 1.
+        assert_eq!(Arc::strong_count(&held), 1);
+        drop(held);
+        assert_eq!(cell.read().generation, 3);
+    }
+
+    #[test]
+    fn lcp_of_is_bounds_safe() {
+        let s = snap(1, NodeId(0));
+        assert_eq!(s.lcp_of(NodeId(0)), None);
+        assert_eq!(s.lcp_of(NodeId(99)), None);
+    }
+}

@@ -1,0 +1,286 @@
+//! Deterministic seeded load generator: millions of sessions through a
+//! [`PaymentService`], with open- and closed-loop arrival schedules.
+//!
+//! The generator is the measurement half of the serving layer: it
+//! drives batches of anycast sessions, times each round, and folds the
+//! per-session latencies into an exact [`QuantileSketch`] (p50/p95/p99
+//! are nearest-rank order statistics, not approximations). Everything
+//! that decides *which* sessions run — sources, arrival order, retry
+//! sets — derives from one `seed` through the crate's own
+//! [`Xoshiro256PlusPlus`], so two runs with the same config offer,
+//! settle, and shed exactly the same sessions at any thread count. Only
+//! the *timings* vary run to run.
+//!
+//! Two arrival schedules:
+//!
+//! - **Open loop** ([`ArrivalMode::Open`]): every round offers a fresh
+//!   batch regardless of what happened to the last one. Shed sessions
+//!   are lost. This is the throughput probe — the service is never
+//!   allowed to slow the arrival process down.
+//! - **Closed loop** ([`ArrivalMode::Closed`]): a fixed user population,
+//!   at most one in-flight session per user. A shed session stays
+//!   pending and retries next round; its latency clock keeps running
+//!   from its first offer, so backpressure shows up where it belongs —
+//!   in the tail quantiles, not in a dropped-session count.
+
+use std::time::Instant;
+
+use truthcast_graph::NodeId;
+use truthcast_obs::QuantileSketch;
+use truthcast_rt::{Rng, SeedableRng, Xoshiro256PlusPlus};
+
+use crate::service::{PaymentService, ServeOutcome};
+
+/// How the load generator schedules session arrivals.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArrivalMode {
+    /// Unconditional arrivals: a fresh batch every round, shed sessions
+    /// lost. Measures peak service throughput.
+    Open,
+    /// A fixed population of users, at most one in-flight session each;
+    /// shed sessions retry until admitted. Measures latency under
+    /// sustained backpressure.
+    Closed {
+        /// Number of users cycling sessions.
+        population: usize,
+    },
+}
+
+/// Load-generator configuration.
+#[derive(Clone, Debug)]
+pub struct LoadConfig {
+    /// PRNG seed — fully determines the offered session sequence.
+    pub seed: u64,
+    /// Total sessions to offer (open loop) or complete (closed loop).
+    pub sessions: usize,
+    /// Sessions offered per [`PaymentService::serve_batch`] call.
+    pub batch: usize,
+    /// Arrival schedule.
+    pub mode: ArrivalMode,
+    /// Drain every shard's admission queue after this many rounds
+    /// (0 = never drain mid-run; the final drain always happens).
+    pub drain_every: usize,
+}
+
+impl LoadConfig {
+    /// An open-loop config offering `sessions` sessions in batches of
+    /// `batch`, draining every 4 rounds.
+    pub fn open(seed: u64, sessions: usize, batch: usize) -> LoadConfig {
+        LoadConfig {
+            seed,
+            sessions,
+            batch: batch.max(1),
+            mode: ArrivalMode::Open,
+            drain_every: 4,
+        }
+    }
+
+    /// A closed-loop config completing `sessions` sessions over a
+    /// population of `population` users, draining every 4 rounds.
+    pub fn closed(seed: u64, sessions: usize, population: usize) -> LoadConfig {
+        LoadConfig {
+            seed,
+            sessions,
+            batch: population.max(1),
+            mode: ArrivalMode::Closed {
+                population: population.max(1),
+            },
+            drain_every: 4,
+        }
+    }
+}
+
+/// What a load run did and how fast.
+#[derive(Clone, Debug)]
+pub struct LoadReport {
+    /// Sessions offered to the service (settled + shed + unreachable).
+    pub offered: u64,
+    /// Sessions admitted by some shard.
+    pub settled: u64,
+    /// Shed events (closed loop: one session may shed several times).
+    pub shed: u64,
+    /// Sessions no AP could price.
+    pub unreachable: u64,
+    /// serve_batch rounds driven.
+    pub rounds: u64,
+    /// Wall-clock time inside `serve_batch`, in nanoseconds.
+    pub serve_ns: u64,
+    /// Settled sessions per wall-clock second of serving.
+    pub sessions_per_sec: f64,
+    /// Per-session latency sketch, in nanoseconds. Open loop: the round
+    /// cost attributed per session. Closed loop: first-offer to
+    /// admission, so retries accumulate.
+    pub latency: QuantileSketch,
+}
+
+impl LoadReport {
+    /// One-line human summary: counts, throughput, p50/p95/p99.
+    pub fn summary(&self) -> String {
+        let q = |p: f64| self.latency.quantile(p).unwrap_or(0);
+        format!(
+            "offered {} settled {} shed {} unreachable {} | {:.0} sessions/s | latency ns p50 {} p95 {} p99 {}",
+            self.offered,
+            self.settled,
+            self.shed,
+            self.unreachable,
+            self.sessions_per_sec,
+            q(0.50),
+            q(0.95),
+            q(0.99),
+        )
+    }
+}
+
+/// Drives `cfg.sessions` anycast sessions through `service` from the
+/// eligible `sources` (typically every non-AP node), per the arrival
+/// schedule. Deterministic in everything but wall-clock timings; see
+/// the module docs.
+pub fn run_load(service: &PaymentService, sources: &[NodeId], cfg: &LoadConfig) -> LoadReport {
+    assert!(!sources.is_empty(), "load needs at least one source");
+    match cfg.mode {
+        ArrivalMode::Open => run_open(service, sources, cfg),
+        ArrivalMode::Closed { population } => run_closed(service, sources, cfg, population),
+    }
+}
+
+fn finish(
+    offered: u64,
+    settled: u64,
+    shed: u64,
+    unreachable: u64,
+    rounds: u64,
+    serve_ns: u64,
+    latency: QuantileSketch,
+) -> LoadReport {
+    let sessions_per_sec = if serve_ns == 0 {
+        0.0
+    } else {
+        settled as f64 / (serve_ns as f64 / 1e9)
+    };
+    truthcast_obs::sample("service.load.round_ns", serve_ns / rounds.max(1));
+    for q in [0.50, 0.95, 0.99] {
+        if let Some(v) = latency.quantile(q) {
+            truthcast_obs::sample("service.session_latency_ns", v);
+        }
+    }
+    LoadReport {
+        offered,
+        settled,
+        shed,
+        unreachable,
+        rounds,
+        serve_ns,
+        sessions_per_sec,
+        latency,
+    }
+}
+
+fn run_open(service: &PaymentService, sources: &[NodeId], cfg: &LoadConfig) -> LoadReport {
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(cfg.seed);
+    let mut latency = QuantileSketch::new();
+    let (mut offered, mut settled, mut shed, mut unreachable) = (0u64, 0u64, 0u64, 0u64);
+    let (mut rounds, mut serve_ns) = (0u64, 0u64);
+    let mut batch = Vec::with_capacity(cfg.batch);
+    while offered < cfg.sessions as u64 {
+        let want = cfg.batch.min(cfg.sessions - offered as usize);
+        batch.clear();
+        batch.extend((0..want).map(|_| sources[rng.gen_range(0..sources.len())]));
+        let t0 = Instant::now();
+        let outcomes = service.serve_batch(&batch);
+        let dt = t0.elapsed().as_nanos() as u64;
+        serve_ns += dt;
+        rounds += 1;
+        // Open loop has no per-session queueing: each session in the
+        // round experienced the round's serving cost.
+        let per_session = dt / want.max(1) as u64;
+        for o in &outcomes {
+            match o {
+                ServeOutcome::Settled(_) => {
+                    settled += 1;
+                    latency.record(per_session);
+                }
+                ServeOutcome::Shed { .. } => shed += 1,
+                ServeOutcome::Unreachable => unreachable += 1,
+            }
+        }
+        offered += want as u64;
+        if cfg.drain_every > 0 && rounds % cfg.drain_every as u64 == 0 {
+            service.drain();
+        }
+    }
+    service.drain();
+    finish(
+        offered,
+        settled,
+        shed,
+        unreachable,
+        rounds,
+        serve_ns,
+        latency,
+    )
+}
+
+fn run_closed(
+    service: &PaymentService,
+    sources: &[NodeId],
+    cfg: &LoadConfig,
+    population: usize,
+) -> LoadReport {
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(cfg.seed);
+    let mut latency = QuantileSketch::new();
+    let (mut offered, mut settled, mut shed, mut unreachable) = (0u64, 0u64, 0u64, 0u64);
+    let (mut rounds, mut serve_ns) = (0u64, 0u64);
+    // Each pending user: (source, ns already accumulated on this
+    // session across shed retries).
+    let mut pending: Vec<(NodeId, u64)> = (0..population)
+        .map(|_| (sources[rng.gen_range(0..sources.len())], 0))
+        .collect();
+    let mut batch = Vec::with_capacity(population);
+    let mut next: Vec<(NodeId, u64)> = Vec::with_capacity(population);
+    while settled < cfg.sessions as u64 {
+        batch.clear();
+        batch.extend(pending.iter().map(|&(s, _)| s));
+        let t0 = Instant::now();
+        let outcomes = service.serve_batch(&batch);
+        let dt = t0.elapsed().as_nanos() as u64;
+        serve_ns += dt;
+        rounds += 1;
+        offered += batch.len() as u64;
+        let per_session = dt / batch.len().max(1) as u64;
+        next.clear();
+        for (i, o) in outcomes.iter().enumerate() {
+            let (src, waited) = pending[i];
+            match o {
+                ServeOutcome::Settled(_) => {
+                    settled += 1;
+                    latency.record(waited + per_session);
+                    // The user opens a fresh session next round.
+                    next.push((sources[rng.gen_range(0..sources.len())], 0));
+                }
+                ServeOutcome::Shed { .. } => {
+                    shed += 1;
+                    // Same session retries; its clock keeps running.
+                    next.push((src, waited + per_session));
+                }
+                ServeOutcome::Unreachable => {
+                    unreachable += 1;
+                    next.push((sources[rng.gen_range(0..sources.len())], 0));
+                }
+            }
+        }
+        std::mem::swap(&mut pending, &mut next);
+        if cfg.drain_every > 0 && rounds % cfg.drain_every as u64 == 0 {
+            service.drain();
+        }
+    }
+    service.drain();
+    finish(
+        offered,
+        settled,
+        shed,
+        unreachable,
+        rounds,
+        serve_ns,
+        latency,
+    )
+}

@@ -1,0 +1,177 @@
+//! Epoch swaps under load: readers price continuously while a swapper
+//! drives the service through several epochs, and **no reader ever
+//! blocks** — the `service.epoch.blocked_readers` counter must end the
+//! run at exactly zero, and every settlement must match the oracle for
+//! the generation stamped on it (never a torn or mixed-epoch table).
+//!
+//! This is the acceptance test for the epoch-swap protocol: the writer
+//! publishes into the inactive slot of each shard's [`EpochCell`] and
+//! flips a generation atomically, so a reader either gets the old
+//! snapshot or the new one, both complete. Node join/leave mid-run is
+//! included: the resize epoch must surface per-shard as
+//! [`EpochOutcome::ColdResize`] (counted under
+//! `service.epoch.cold_resizes`) while readers keep settling.
+//!
+//! Single-test binary: asserts on the global `truthcast-obs` counters.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use truthcast_core::all_sources_payments;
+use truthcast_core::delta::EpochOutcome;
+use truthcast_graph::{Cost, NodeId, NodeWeightedGraph};
+use truthcast_service::{PaymentService, ServeOutcome, ServiceConfig};
+
+const READERS: usize = 3;
+const SWAPS: usize = 4;
+
+/// Epoch graphs: a base 8-node double-diamond, cost tweaks for most
+/// epochs, and one join epoch (n = 9) in the middle.
+fn epoch_graphs() -> Vec<NodeWeightedGraph> {
+    let pairs8 = [
+        (0, 1),
+        (1, 2),
+        (2, 7),
+        (0, 3),
+        (3, 7),
+        (7, 4),
+        (4, 5),
+        (5, 6),
+        (2, 6),
+    ];
+    let g0 = NodeWeightedGraph::from_pairs_units(&pairs8, &[0, 5, 3, 9, 2, 4, 6, 0]);
+    let g1 = g0.with_declared(NodeId(1), Cost::from_units(2));
+    // Node 8 joins, bridging the two diamonds.
+    let mut pairs9: Vec<(u32, u32)> = pairs8.to_vec();
+    pairs9.extend([(1, 8), (8, 5)]);
+    let g2 = NodeWeightedGraph::from_pairs_units(&pairs9, &[0, 2, 3, 9, 2, 4, 6, 0, 1]);
+    // Node 8 leaves again; relay 3 gets cheap.
+    let g3 = g1.with_declared(NodeId(3), Cost::from_units(1));
+    let g4 = g3.with_declared(NodeId(4), Cost::from_units(9));
+    vec![g0, g1, g2, g3, g4]
+}
+
+/// Per-source expected settlement for one epoch: `(ap_index, lcp)` by
+/// the lowest-index argmin over the library oracle.
+fn expected_for(g: &NodeWeightedGraph, aps: &[NodeId]) -> Vec<Option<(usize, Cost)>> {
+    let tables: Vec<_> = aps.iter().map(|&ap| all_sources_payments(g, ap)).collect();
+    (0..g.num_nodes())
+        .map(|v| {
+            let mut best: Option<(usize, Cost)> = None;
+            for (i, t) in tables.iter().enumerate() {
+                if let Some(p) = t[v].as_ref() {
+                    match best {
+                        Some((_, b)) if p.lcp_cost >= b => {}
+                        _ => best = Some((i, p.lcp_cost)),
+                    }
+                }
+            }
+            best
+        })
+        .collect()
+}
+
+#[test]
+fn swaps_never_block_readers() {
+    truthcast_obs::enable();
+    truthcast_obs::reset();
+
+    let graphs = epoch_graphs();
+    let aps = vec![NodeId(0), NodeId(7)];
+    // Readers use sources that exist in every epoch (indices < 8).
+    let sources: Vec<NodeId> = (1..7).map(NodeId).collect();
+    // expected[e][v]: generation e + 1 prices epoch graph e.
+    let expected: Vec<_> = graphs.iter().map(|g| expected_for(g, &aps)).collect();
+
+    let cfg = ServiceConfig::new(aps.clone()).threads(1);
+    let service = PaymentService::new(&cfg, &graphs[0]);
+    assert_eq!(service.generation(), 1);
+
+    let done = AtomicBool::new(false);
+    let batches = AtomicU64::new(0);
+    let mut generations_seen: Vec<Vec<u64>> = Vec::new();
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..READERS {
+            handles.push(scope.spawn(|| {
+                let mut seen = Vec::new();
+                while !done.load(Ordering::Relaxed) {
+                    for outcome in service.serve_batch(&sources) {
+                        let s = match outcome {
+                            ServeOutcome::Settled(s) => s,
+                            other => panic!("reader sources always settle, got {other:?}"),
+                        };
+                        let gen = s.generation;
+                        assert!(
+                            (1..=(SWAPS + 1) as u64).contains(&gen),
+                            "generation {gen} out of range"
+                        );
+                        let want = expected[(gen - 1) as usize][s.source.index()]
+                            .expect("settleable in every epoch");
+                        assert_eq!(
+                            (s.ap_index, s.pricing.lcp_cost),
+                            want,
+                            "settlement must match the oracle for its own generation {gen}"
+                        );
+                        seen.push(gen);
+                    }
+                    batches.fetch_add(1, Ordering::Relaxed);
+                }
+                seen
+            }));
+        }
+
+        // The swapper: drive the remaining epochs while readers hammer.
+        for (e, g) in graphs.iter().enumerate().skip(1) {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            let outcomes = service.begin_epoch(g);
+            assert_eq!(outcomes.len(), aps.len());
+            if g.num_nodes() != graphs[e - 1].num_nodes() {
+                for o in &outcomes {
+                    assert!(
+                        matches!(o, EpochOutcome::ColdResize { .. }),
+                        "join/leave epoch must surface as ColdResize, got {o:?}"
+                    );
+                }
+            }
+            assert_eq!(service.generation(), (e + 1) as u64);
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        done.store(true, Ordering::Relaxed);
+        for h in handles {
+            generations_seen.push(h.join().expect("reader panicked"));
+        }
+    });
+
+    let snap = truthcast_obs::snapshot();
+    truthcast_obs::disable();
+
+    // The acceptance criterion: pricing continued across ≥3 swaps and no
+    // reader ever blocked on a swap.
+    assert_eq!(
+        snap.counter("service.epoch.blocked_readers"),
+        0,
+        "a reader blocked on an epoch swap"
+    );
+    assert_eq!(
+        snap.counter("service.epoch.swaps"),
+        (SWAPS * aps.len()) as u64,
+        "every shard swaps once per epoch"
+    );
+    assert_eq!(
+        snap.counter("service.epoch.cold_resizes"),
+        (2 * aps.len()) as u64
+    );
+    assert!(batches.load(Ordering::Relaxed) > 0, "readers made progress");
+    for seen in &generations_seen {
+        assert!(!seen.is_empty(), "every reader settled sessions");
+    }
+    // Readers collectively observed both the first and the last epoch
+    // (they started before swap 1 and ran past the last swap).
+    let all: Vec<u64> = generations_seen.iter().flatten().copied().collect();
+    assert!(all.contains(&1), "pre-swap generation observed");
+    assert!(
+        all.contains(&((SWAPS + 1) as u64)),
+        "post-swap generation observed"
+    );
+}

@@ -12,14 +12,21 @@
 # the `compare` tool (crates/bench/src/bin/compare.rs), exiting nonzero
 # if any benchmark's median regressed by more than 15%. Snapshots are
 # left untouched in compare mode.
+#
+# Any further arguments name specific bench groups (e.g.
+# `scripts/bench.sh service incremental`): only those `--bench` targets
+# run, and in snapshot mode only their reports are copied — existing
+# snapshots of the other groups stay untouched.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 COMPARE=0
+GROUPS_ARGS=()
 for arg in "$@"; do
     case "$arg" in
         --compare) COMPARE=1 ;;
-        *) echo "unknown argument: $arg" >&2; exit 2 ;;
+        -*) echo "unknown argument: $arg" >&2; exit 2 ;;
+        *) GROUPS_ARGS+=("--bench" "$arg") ;;
     esac
 done
 
@@ -37,7 +44,7 @@ fi
 export TRUTHCAST_BENCH_DIR="$BENCH_DIR"
 
 echo "==> cargo bench -p truthcast-bench (quick=$TRUTHCAST_BENCH_QUICK, dir=$BENCH_DIR)"
-cargo bench --offline -p truthcast-bench
+cargo bench --offline -p truthcast-bench ${GROUPS_ARGS[@]+"${GROUPS_ARGS[@]}"}
 
 if [ "$COMPARE" = 1 ]; then
     echo "==> comparing fresh run against committed snapshots (threshold 15%)"

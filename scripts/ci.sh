@@ -41,6 +41,16 @@ cargo run -q --offline --release -p truthcast-obs --bin tracecheck -- \
     --jsonl "$SMOKE_DIR/figures.jsonl" --chrome "$SMOKE_DIR/figures.json" \
     --chrome "$SMOKE_DIR/modelcheck.json"
 
+# Service smoke: a tiny multi-AP serving run (2 APs, 2 epochs, 2k
+# sessions) with the trace sink on; the emitted sketch/counter stream
+# must pass the trace checker like every other producer.
+echo "==> service smoke (service --quick)"
+TRUTHCAST_TRACE="$SMOKE_DIR/service.jsonl" \
+    cargo run -q --offline --release -p truthcast-experiments --bin service -- \
+    --quick >/dev/null
+cargo run -q --offline --release -p truthcast-obs --bin tracecheck -- \
+    --jsonl "$SMOKE_DIR/service.jsonl"
+
 # TRUTHCAST_CI_HEAVY=1 re-runs the differential batteries at an elevated
 # case count (the default run above already includes them at the fast
 # count baked into the tests).
@@ -58,6 +68,8 @@ if [ "${TRUTHCAST_CI_HEAVY:-0}" != "0" ]; then
     echo "==> heavy modelcheck battery (n=6/n=7, release)"
     TRUTHCAST_CI_HEAVY=1 cargo test -q --offline --release -p truthcast-distsim \
         --test modelcheck_explore heavy_battery
+    echo "==> heavy service-vs-library anycast battery (TRUTHCAST_CASES=256)"
+    TRUTHCAST_CASES=256 cargo test -q --offline -p truthcast-service --test service_vs_library
 fi
 
 echo "==> cargo clippy --offline --workspace --all-targets -- -D warnings"

@@ -74,4 +74,5 @@ pub use truthcast_mechanism as mechanism;
 pub use truthcast_obs as obs;
 pub use truthcast_protocol as protocol;
 pub use truthcast_rt as rt;
+pub use truthcast_service as service;
 pub use truthcast_wireless as wireless;
