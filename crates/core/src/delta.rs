@@ -1293,13 +1293,16 @@ mod tests {
     }
 
     #[test]
-    fn node_count_change_goes_cold() {
+    fn node_count_change_goes_cold_resize() {
         let mut e = IncrementalEngine::with_threads(1);
         let ap = NodeId(0);
         e.price_epoch(&units(&[(0, 1)], &[0, 4]), ap);
         let bigger = units(&[(0, 1), (1, 2)], &[0, 4, 5]);
         let got = e.price_epoch(&bigger, ap);
-        assert_eq!(e.last_outcome(), EpochOutcome::Cold);
+        assert_eq!(
+            e.last_outcome(),
+            EpochOutcome::ColdResize { from: 2, to: 3 }
+        );
         assert_eq!(got, all_sources_payments(&bigger, ap));
     }
 

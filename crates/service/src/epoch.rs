@@ -132,19 +132,20 @@ impl EpochCell {
     }
 
     /// Publishes `next` as the new current snapshot and returns its
-    /// generation. The snapshot is written into the inactive slot and
-    /// the write lock released, then the generation bump makes it
-    /// visible — the pointer exchange is the entire reader-visible
-    /// critical section.
+    /// generation. `next` is taken by value so the cell can stamp its
+    /// `generation` field before it is ever shared — every settlement
+    /// carries the generation it was priced under. The snapshot is
+    /// written into the inactive slot and the write lock released, then
+    /// the generation bump makes it visible — the pointer exchange is
+    /// the entire reader-visible critical section.
     ///
     /// Single-writer: only the owning shard's epoch loop calls this
     /// (structurally enforced — the caller holds the shard's engine
     /// lock); two racing publishers could otherwise write the same slot.
-    pub(crate) fn publish(&self, mut next: Arc<ApSnapshot>) -> u64 {
+    pub(crate) fn publish(&self, mut next: ApSnapshot) -> u64 {
         let gen = self.generation.load(Ordering::Acquire) + 1;
-        if let Some(snap) = Arc::get_mut(&mut next) {
-            snap.generation = gen;
-        }
+        next.generation = gen;
+        let next = Arc::new(next);
         match self.slots[(gen & 1) as usize].write() {
             Ok(mut s) => *s = next,
             Err(p) => *p.into_inner() = next,
@@ -159,19 +160,19 @@ impl EpochCell {
 mod tests {
     use super::*;
 
-    fn snap(generation: u64, ap: NodeId) -> Arc<ApSnapshot> {
-        Arc::new(ApSnapshot {
+    fn snap(generation: u64, ap: NodeId) -> ApSnapshot {
+        ApSnapshot {
             generation,
             ap,
             ap_index: 0,
             outcome: EpochOutcome::Cold,
             pricing: vec![None, None],
-        })
+        }
     }
 
     #[test]
     fn read_returns_latest_published() {
-        let cell = EpochCell::new(snap(1, NodeId(0)));
+        let cell = EpochCell::new(Arc::new(snap(1, NodeId(0))));
         assert_eq!(cell.generation(), 1);
         assert_eq!(cell.read().generation, 1);
         let g = cell.publish(snap(0, NodeId(0)));
@@ -184,7 +185,7 @@ mod tests {
 
     #[test]
     fn retired_snapshots_drain_when_readers_finish() {
-        let cell = EpochCell::new(snap(1, NodeId(0)));
+        let cell = EpochCell::new(Arc::new(snap(1, NodeId(0))));
         let held = cell.read();
         cell.publish(snap(0, NodeId(0)));
         cell.publish(snap(0, NodeId(0)));

@@ -31,6 +31,14 @@ use truthcast_rt::{Rng, SeedableRng, Xoshiro256PlusPlus};
 
 use crate::service::{PaymentService, ServeOutcome};
 
+/// Consecutive zero-settlement closed-loop rounds tolerated before the
+/// run is declared stalled and truncated. Scheduled drains (default:
+/// every 4 rounds) fall well inside this window, so any recoverable
+/// backpressure settles something first; only a run that can never make
+/// progress — every source unreachable, or a zero-capacity queue that
+/// sheds even after drains — trips it.
+const STALL_ROUNDS: u64 = 64;
+
 /// How the load generator schedules session arrivals.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ArrivalMode {
@@ -111,6 +119,10 @@ pub struct LoadReport {
     /// cost attributed per session. Closed loop: first-offer to
     /// admission, so retries accumulate.
     pub latency: QuantileSketch,
+    /// True if a closed-loop run was truncated after [`STALL_ROUNDS`]
+    /// consecutive rounds with zero settlements (no session could ever
+    /// settle); `settled` is then short of the configured target.
+    pub stalled: bool,
 }
 
 impl LoadReport {
@@ -118,7 +130,7 @@ impl LoadReport {
     pub fn summary(&self) -> String {
         let q = |p: f64| self.latency.quantile(p).unwrap_or(0);
         format!(
-            "offered {} settled {} shed {} unreachable {} | {:.0} sessions/s | latency ns p50 {} p95 {} p99 {}",
+            "offered {} settled {} shed {} unreachable {} | {:.0} sessions/s | latency ns p50 {} p95 {} p99 {}{}",
             self.offered,
             self.settled,
             self.shed,
@@ -127,6 +139,7 @@ impl LoadReport {
             q(0.50),
             q(0.95),
             q(0.99),
+            if self.stalled { " | STALLED" } else { "" },
         )
     }
 }
@@ -143,36 +156,23 @@ pub fn run_load(service: &PaymentService, sources: &[NodeId], cfg: &LoadConfig) 
     }
 }
 
-fn finish(
-    offered: u64,
-    settled: u64,
-    shed: u64,
-    unreachable: u64,
-    rounds: u64,
-    serve_ns: u64,
-    latency: QuantileSketch,
-) -> LoadReport {
-    let sessions_per_sec = if serve_ns == 0 {
+/// Fills the derived throughput field and emits the run's obs samples.
+fn finish(mut report: LoadReport) -> LoadReport {
+    report.sessions_per_sec = if report.serve_ns == 0 {
         0.0
     } else {
-        settled as f64 / (serve_ns as f64 / 1e9)
+        report.settled as f64 / (report.serve_ns as f64 / 1e9)
     };
-    truthcast_obs::sample("service.load.round_ns", serve_ns / rounds.max(1));
+    truthcast_obs::sample(
+        "service.load.round_ns",
+        report.serve_ns / report.rounds.max(1),
+    );
     for q in [0.50, 0.95, 0.99] {
-        if let Some(v) = latency.quantile(q) {
+        if let Some(v) = report.latency.quantile(q) {
             truthcast_obs::sample("service.session_latency_ns", v);
         }
     }
-    LoadReport {
-        offered,
-        settled,
-        shed,
-        unreachable,
-        rounds,
-        serve_ns,
-        sessions_per_sec,
-        latency,
-    }
+    report
 }
 
 fn run_open(service: &PaymentService, sources: &[NodeId], cfg: &LoadConfig) -> LoadReport {
@@ -209,15 +209,17 @@ fn run_open(service: &PaymentService, sources: &[NodeId], cfg: &LoadConfig) -> L
         }
     }
     service.drain();
-    finish(
+    finish(LoadReport {
         offered,
         settled,
         shed,
         unreachable,
         rounds,
         serve_ns,
+        sessions_per_sec: 0.0,
         latency,
-    )
+        stalled: false,
+    })
 }
 
 fn run_closed(
@@ -237,7 +239,10 @@ fn run_closed(
         .collect();
     let mut batch = Vec::with_capacity(population);
     let mut next: Vec<(NodeId, u64)> = Vec::with_capacity(population);
+    let mut zero_settle_rounds = 0u64;
+    let mut stalled = false;
     while settled < cfg.sessions as u64 {
+        let settled_before = settled;
         batch.clear();
         batch.extend(pending.iter().map(|&(s, _)| s));
         let t0 = Instant::now();
@@ -272,15 +277,66 @@ fn run_closed(
         if cfg.drain_every > 0 && rounds % cfg.drain_every as u64 == 0 {
             service.drain();
         }
+        // Forward-progress guard: a closed loop where no pending session
+        // can ever settle (all sources unreachable, or a queue that sheds
+        // even after drains) would otherwise spin forever.
+        if settled == settled_before {
+            zero_settle_rounds += 1;
+            if zero_settle_rounds >= STALL_ROUNDS {
+                truthcast_obs::add("service.load.stalls", 1);
+                stalled = true;
+                break;
+            }
+        } else {
+            zero_settle_rounds = 0;
+        }
     }
     service.drain();
-    finish(
+    finish(LoadReport {
         offered,
         settled,
         shed,
         unreachable,
         rounds,
         serve_ns,
+        sessions_per_sec: 0.0,
         latency,
-    )
+        stalled,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+    use truthcast_graph::NodeWeightedGraph;
+
+    #[test]
+    fn closed_loop_stall_truncates_instead_of_spinning() {
+        // Path 0 — 1 — 2, AP at node 0, zero queue capacity: every
+        // session prices fine but sheds forever, even across drains.
+        let g = NodeWeightedGraph::from_pairs_units(&[(0, 1), (1, 2)], &[0, 2, 3]);
+        let cfg = ServiceConfig::new(vec![NodeId(0)])
+            .threads(1)
+            .queue_capacity(0);
+        let service = PaymentService::new(&cfg, &g);
+        let load = LoadConfig::closed(7, 10, 2);
+        let report = run_load(&service, &[NodeId(1), NodeId(2)], &load);
+        assert!(report.stalled);
+        assert_eq!(report.settled, 0);
+        assert_eq!(report.rounds, STALL_ROUNDS);
+        assert_eq!(report.shed, STALL_ROUNDS * 2);
+        assert!(report.summary().ends_with("STALLED"));
+    }
+
+    #[test]
+    fn closed_loop_with_capacity_completes_without_stall() {
+        let g = NodeWeightedGraph::from_pairs_units(&[(0, 1), (1, 2)], &[0, 2, 3]);
+        let cfg = ServiceConfig::new(vec![NodeId(0)]).threads(1);
+        let service = PaymentService::new(&cfg, &g);
+        let load = LoadConfig::closed(7, 10, 2);
+        let report = run_load(&service, &[NodeId(1), NodeId(2)], &load);
+        assert!(!report.stalled);
+        assert_eq!(report.settled, 10);
+    }
 }

@@ -164,14 +164,21 @@ impl PaymentService {
             "service.epoch.reader_retries",
             "service.epoch.cold_resizes",
             "service.queue.drained",
+            "service.load.stalls",
         ] {
             truthcast_obs::register(name);
         }
+        // Split the warm-path thread budget across shards: begin_epoch
+        // fans the k warms out in parallel, so handing every shard the
+        // full budget would run up to k×threads workers at once. Each
+        // engine's output is thread-count independent (the project
+        // invariant), so the split never changes a price.
+        let warm_threads = (cfg.threads.max(1) / cfg.aps.len()).max(1);
         let shards = cfg
             .aps
             .iter()
             .enumerate()
-            .map(|(i, &ap)| Shard::new(ap, i, cfg.threads, cfg.kind, cfg.queue_capacity, g0))
+            .map(|(i, &ap)| Shard::new(ap, i, warm_threads, cfg.kind, cfg.queue_capacity, g0))
             .collect();
         PaymentService {
             shards,
@@ -191,10 +198,11 @@ impl PaymentService {
 
     /// Advances every shard to the epoch graph `g`: each shard re-warms
     /// its tables and publishes a new snapshot. Shards warm in parallel
-    /// across the worker pool (each shard's warm itself runs
-    /// single-threaded then — the parallelism budget goes to the wider
-    /// fan-out) when there is more than one shard and more than one
-    /// thread. Serving continues throughout: `&self`, and readers never
+    /// across the worker pool; each shard's engine was built with
+    /// `threads / k` workers (floor, min 1), so the total never exceeds
+    /// the configured budget — with k ≥ threads every warm runs
+    /// single-threaded and the whole budget goes to the fan-out.
+    /// Serving continues throughout: `&self`, and readers never
     /// block on a swap.
     ///
     /// Returns each shard's [`EpochOutcome`], in shard order.

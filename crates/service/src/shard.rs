@@ -96,13 +96,13 @@ impl Shard {
         if matches!(outcome, EpochOutcome::ColdResize { .. }) {
             truthcast_obs::add("service.epoch.cold_resizes", 1);
         }
-        let generation = self.cell.publish(Arc::new(ApSnapshot {
+        let generation = self.cell.publish(ApSnapshot {
             generation: 0, // stamped by publish
             ap: self.ap,
             ap_index: self.index,
             outcome,
             pricing,
-        }));
+        });
         (generation, outcome)
     }
 
