@@ -61,9 +61,26 @@
 //!    process with `TRUTHCAST_DELTA_THRESHOLD` (a fraction in `[0, 1]`)
 //!    or per engine with [`IncrementalEngine::set_damage_threshold`].
 //!
+//! **Cross-resize repair.** A node join or leave changes the node count,
+//! which used to force the cold pipeline ([`EpochOutcome::ColdResize`]).
+//! With a caller-supplied [`NodeMap`] (stable identities across the
+//! renumbering), [`IncrementalEngine::price_epoch_mapped`] instead
+//! translates every piece of warm state into the new index space —
+//! distance/parent tables, cached pricings, detour rows member-by-member
+//! with their support forests, and the subtree intervals via
+//! [`SubtreeIntervals::remap`] — then runs the *same* pipeline:
+//! survivors whose tree parent died become severed slice roots (dirty),
+//! newborn arcs arrive as decrease seeds, and survivors that neighbored
+//! a departed node join both the re-run seed set and the primitive
+//! row-damage set. The outcome is [`EpochOutcome::WarmResize`], under
+//! the same damage-threshold contract.
+//!
 //! Observability: `core.delta.{deltas,dirty_nodes,repaired_slices,
-//! fallbacks,cold_resizes,reuses,subtree_runs,row_repairs,row_rebuilds}` counters and
-//! a `core.delta.repair` span (exported as `span.core.delta.repair_ns`). Audit records are
+//! fallbacks,cold_resizes,warm_resizes,born,died,reuses,subtree_runs,
+//! row_repairs,row_rebuilds}` counters — all registered at engine
+//! construction so quiet runs print explicit zeros — plus
+//! `core.delta.repair` and `core.delta.resize` spans (exported as
+//! `span.core.delta.*_ns`). Audit records are
 //! emitted for every source the epoch actually re-prices; reused sources
 //! keep the records of the epoch that priced them (payments themselves
 //! are always bit-identical to a cold run).
@@ -83,7 +100,7 @@ use std::sync::OnceLock;
 use truthcast_graph::heap::IndexedHeap;
 use truthcast_graph::node_dijkstra::{node_dijkstra_in, NodeDijkstraOptions};
 use truthcast_graph::workspace::{DijkstraWorkspace, QueueKind};
-use truthcast_graph::{Cost, NodeId, NodeWeightedGraph, SubtreeIntervals};
+use truthcast_graph::{Cost, NodeId, NodeMap, NodeWeightedGraph, SubtreeIntervals};
 use truthcast_mechanism::vcg::vcg_payment_selected;
 use truthcast_rt::{default_threads, par_map_with};
 
@@ -123,8 +140,10 @@ pub struct GraphDelta {
 }
 
 impl GraphDelta {
-    /// Diffs two epoch graphs, or `None` when the node sets differ (a
-    /// join/leave event — no incremental story, re-price cold).
+    /// Diffs two epoch graphs, or `None` when the node sets differ — a
+    /// join/leave event. Callers that know the identity mapping across
+    /// the resize should use [`GraphDelta::between_mapped`] instead of
+    /// re-pricing cold.
     pub fn between(old: &NodeWeightedGraph, new: &NodeWeightedGraph) -> Option<GraphDelta> {
         if old.num_nodes() != new.num_nodes() {
             return None;
@@ -170,6 +189,91 @@ impl GraphDelta {
         Some(delta)
     }
 
+    /// Diffs two epoch graphs across a resize, through the identity
+    /// `map`. The returned delta lives entirely in the **new** index
+    /// space:
+    ///
+    /// * survivor–survivor arcs and cost changes diff as usual (under
+    ///   their new indices);
+    /// * every newborn node's arcs land in `edges_added` — they become
+    ///   decrease seeds, which is exactly how a node materializing at
+    ///   infinity settles;
+    /// * arcs to a departed node are *not* representable as removed
+    ///   edges (one endpoint has no new index); the surviving endpoints
+    ///   are reported in [`MappedDelta::dead_adjacent`] instead, and
+    ///   departed tree parents surface as severed slice roots during
+    ///   state remapping.
+    ///
+    /// # Panics
+    /// If the map's endpoint lengths don't match the two graphs.
+    pub fn between_mapped(
+        old: &NodeWeightedGraph,
+        new: &NodeWeightedGraph,
+        map: &NodeMap,
+    ) -> MappedDelta {
+        assert_eq!(
+            map.old_len(),
+            old.num_nodes(),
+            "map old_len must match the previous epoch graph"
+        );
+        assert_eq!(
+            map.new_len(),
+            new.num_nodes(),
+            "map new_len must match the new epoch graph"
+        );
+        let mut delta = GraphDelta::default();
+        for i in old.node_ids() {
+            if let Some(j) = map.to_new(i) {
+                let (co, cn) = (old.cost(i), new.cost(j));
+                if co != cn {
+                    delta.costs_changed.push((j, co, cn));
+                }
+            }
+        }
+        delta.costs_changed.sort_unstable_by_key(|&(v, _, _)| v);
+        // Project the old survivor–survivor edges into the new space,
+        // then one global merge walk against the new edge enumeration
+        // (already ascending `(u, v)` with `u < v`).
+        let mut dead_adjacent: Vec<NodeId> = Vec::new();
+        let mut old_edges: Vec<(NodeId, NodeId)> = Vec::new();
+        for (u, v) in old.adjacency().edges() {
+            match (map.to_new(u), map.to_new(v)) {
+                (Some(nu), Some(nv)) => {
+                    old_edges.push(if nu < nv { (nu, nv) } else { (nv, nu) });
+                }
+                (Some(nu), None) => dead_adjacent.push(nu),
+                (None, Some(nv)) => dead_adjacent.push(nv),
+                (None, None) => {}
+            }
+        }
+        old_edges.sort_unstable();
+        let mut it = old_edges.into_iter().peekable();
+        for e in new.adjacency().edges() {
+            while let Some(&oe) = it.peek() {
+                if oe < e {
+                    delta.edges_removed.push(oe);
+                    it.next();
+                } else {
+                    break;
+                }
+            }
+            if it.peek() == Some(&e) {
+                it.next();
+            } else {
+                delta.edges_added.push(e);
+            }
+        }
+        delta.edges_removed.extend(it);
+        dead_adjacent.sort_unstable();
+        dead_adjacent.dedup();
+        MappedDelta {
+            delta,
+            dead_adjacent,
+            born: map.born_count(),
+            died: map.died_count(),
+        }
+    }
+
     /// Total number of delta entries.
     pub fn len(&self) -> usize {
         self.edges_added.len() + self.edges_removed.len() + self.costs_changed.len()
@@ -179,6 +283,25 @@ impl GraphDelta {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+}
+
+/// A [`GraphDelta`] taken across a resize, expressed in the new index
+/// space, plus the churn bookkeeping the repair pipeline needs. Produced
+/// by [`GraphDelta::between_mapped`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MappedDelta {
+    /// Survivor–survivor and newborn changes, new index space.
+    pub delta: GraphDelta,
+    /// Surviving nodes (new indices, ascending, deduped) that had an arc
+    /// to a departed node in the old graph. Their escapes, support
+    /// chains, and re-run seeding all potentially routed through the
+    /// departed neighbor, so they join both the relay re-run seed set
+    /// and the primitive row-damage set.
+    pub dead_adjacent: Vec<NodeId>,
+    /// Number of newborn nodes.
+    pub born: usize,
+    /// Number of departed nodes.
+    pub died: usize,
 }
 
 /// The region of the previous epoch's SPT a delta can affect: dirty
@@ -212,8 +335,26 @@ pub fn classify_delta(
     parent: &[Option<NodeId>],
     ap: NodeId,
 ) -> DirtyRegion {
+    classify_delta_severed(delta, &[], iv, parent, ap)
+}
+
+/// [`classify_delta`] with extra severed slice roots: survivors whose
+/// tree parent departed across a resize. Their old root path no longer
+/// exists, so their whole (remapped) subtree slice is dirty — exactly a
+/// severed tree arc whose upper endpoint has no new index.
+pub fn classify_delta_severed(
+    delta: &GraphDelta,
+    severed_roots: &[NodeId],
+    iv: &SubtreeIntervals,
+    parent: &[Option<NodeId>],
+    ap: NodeId,
+) -> DirtyRegion {
     let n = parent.len();
-    let mut roots: Vec<NodeId> = Vec::new();
+    let mut roots: Vec<NodeId> = severed_roots
+        .iter()
+        .copied()
+        .filter(|&r| iv.in_tree(r))
+        .collect();
     let mut decrease_seeds: Vec<NodeId> = Vec::new();
     for &(x, old, new) in &delta.costs_changed {
         if x == ap || !iv.in_tree(x) {
@@ -310,6 +451,18 @@ pub enum EpochOutcome {
         /// Nodes the classification had marked dirty.
         dirty_nodes: usize,
     },
+    /// A join/leave epoch repaired warm through a [`NodeMap`]: surviving
+    /// state was translated into the new index space and only the churn
+    /// damage was re-priced. Counted under `core.delta.warm_resizes`
+    /// (with `core.delta.{born,died}` tallying the churn volume).
+    WarmResize {
+        /// Nodes that joined this epoch.
+        born: usize,
+        /// Nodes that departed this epoch.
+        died: usize,
+        /// Sources whose pricing was recomputed this epoch.
+        repaired: usize,
+    },
 }
 
 /// Delta re-pricing engine: [`crate::AllSourcesEngine`]'s all-to-AP
@@ -379,7 +532,28 @@ impl IncrementalEngine {
     /// An engine pinned to a specific sweep queue engine — the
     /// differential-testing hook. (The repair queue itself is always the
     /// indexed binary heap: its seeds arrive unsorted.)
+    ///
+    /// Registers every `core.delta.*` counter with [`truthcast_obs`] so
+    /// `summary_table` prints explicit zeros for events that never fired
+    /// on a quiet run — a `fallbacks 0` line is evidence the repair path
+    /// held; an absent one is evidence of nothing.
     pub fn with_queue(threads: usize, kind: QueueKind) -> IncrementalEngine {
+        for name in [
+            "core.delta.deltas",
+            "core.delta.reuses",
+            "core.delta.dirty_nodes",
+            "core.delta.repaired_slices",
+            "core.delta.fallbacks",
+            "core.delta.cold_resizes",
+            "core.delta.warm_resizes",
+            "core.delta.born",
+            "core.delta.died",
+            "core.delta.subtree_runs",
+            "core.delta.row_repairs",
+            "core.delta.row_rebuilds",
+        ] {
+            truthcast_obs::register(name);
+        }
         IncrementalEngine {
             threads: threads.max(1),
             kind,
@@ -498,7 +672,7 @@ impl IncrementalEngine {
                     self.old_dist.clone_from(&self.dist);
                     self.old_parent.clone_from(&self.parent);
                     self.repair(g, &region);
-                    let repriced = self.reprice(g, ap, &delta);
+                    let repriced = self.reprice(g, ap, &delta, &[]);
                     drop(repair_span);
                     self.last_outcome = EpochOutcome::Repaired {
                         dirty_nodes: region.dirty_count,
@@ -522,6 +696,225 @@ impl IncrementalEngine {
         }
         self.prev = Some((g.clone(), ap));
         self.out.clone()
+    }
+
+    /// [`IncrementalEngine::price_epoch`] across a resize: `map` carries
+    /// each previous-epoch node's identity into `g`'s index space, so
+    /// join/leave epochs repair warm ([`EpochOutcome::WarmResize`])
+    /// instead of re-pricing cold. The output is still bit-identical to
+    /// [`crate::all_sources_payments`] over `g`, and the damage
+    /// threshold still governs: a churn epoch whose dirty region crosses
+    /// it falls back cold and reports [`EpochOutcome::Fallback`].
+    ///
+    /// `ap` names the access point *in the new index space*; the warm
+    /// path requires the previous AP to survive as `ap` (it may have
+    /// been renumbered by the map). An identity map delegates to
+    /// [`IncrementalEngine::price_epoch`].
+    ///
+    /// # Panics
+    /// If the map's endpoint lengths don't match `g` and the previous
+    /// epoch's graph.
+    pub fn price_epoch_mapped(
+        &mut self,
+        g: &NodeWeightedGraph,
+        ap: NodeId,
+        map: &NodeMap,
+    ) -> Vec<Option<UnicastPricing>> {
+        assert_eq!(
+            map.new_len(),
+            g.num_nodes(),
+            "map new_len must match the epoch graph"
+        );
+        if map.is_identity() {
+            return self.price_epoch(g, ap);
+        }
+        let _span = truthcast_obs::span("core.delta.price_epoch");
+        match self.prev.take() {
+            Some((pg, pap)) => {
+                assert_eq!(
+                    map.old_len(),
+                    pg.num_nodes(),
+                    "map old_len must match the previous epoch graph"
+                );
+                if map.to_new(pap) == Some(ap) {
+                    self.warm_resize(g, ap, &pg, map);
+                } else {
+                    self.cold(g, ap);
+                    self.last_outcome = EpochOutcome::Cold;
+                }
+            }
+            None => {
+                self.cold(g, ap);
+                self.last_outcome = EpochOutcome::Cold;
+            }
+        }
+        self.prev = Some((g.clone(), ap));
+        self.out.clone()
+    }
+
+    /// The cross-resize pipeline: translate warm state under the map,
+    /// classify the mapped delta (departed tree parents become severed
+    /// slice roots), then repair and re-price exactly as a same-node-set
+    /// epoch — with the dead-adjacent survivors added to the relay
+    /// re-run seed set and the row-damage set.
+    fn warm_resize(
+        &mut self,
+        g: &NodeWeightedGraph,
+        ap: NodeId,
+        pg: &NodeWeightedGraph,
+        map: &NodeMap,
+    ) {
+        let _resize_span = truthcast_obs::span("core.delta.resize");
+        let n = g.num_nodes();
+        let md = GraphDelta::between_mapped(pg, g, map);
+        truthcast_obs::add("core.delta.deltas", md.delta.len() as u64);
+        let severed = self.remap_state(map);
+        let region = {
+            let shared = self.shared.as_ref().expect("remap left tables");
+            classify_delta_severed(&md.delta, &severed, &shared.iv, &self.parent, ap)
+        };
+        truthcast_obs::add("core.delta.dirty_nodes", region.dirty_count as u64);
+        let damage = region.dirty_count + region.decrease_seeds.len();
+        if (damage as f64) > self.damage_threshold * n as f64 {
+            truthcast_obs::add("core.delta.fallbacks", 1);
+            self.cold(g, ap);
+            self.last_outcome = EpochOutcome::Fallback {
+                dirty_nodes: region.dirty_count,
+            };
+        } else {
+            truthcast_obs::add("core.delta.repaired_slices", region.slices as u64);
+            let repair_span = truthcast_obs::span("core.delta.repair");
+            self.old_dist.clone_from(&self.dist);
+            self.old_parent.clone_from(&self.parent);
+            self.repair(g, &region);
+            let repaired = self.reprice(g, ap, &md.delta, &md.dead_adjacent);
+            drop(repair_span);
+            truthcast_obs::add("core.delta.warm_resizes", 1);
+            truthcast_obs::add("core.delta.born", md.born as u64);
+            truthcast_obs::add("core.delta.died", md.died as u64);
+            self.last_outcome = EpochOutcome::WarmResize {
+                born: md.born,
+                died: md.died,
+                repaired,
+            };
+        }
+    }
+
+    /// Translates every piece of warm state into the map's new index
+    /// space, returning the severed slice roots (survivors whose tree
+    /// parent departed). The translation protocol:
+    ///
+    /// * `dist`/`parent` — survivors keep their values under new
+    ///   indices; newborns sit at infinity with no parent (they settle
+    ///   through decrease-seed relaxation, exactly like a node whose
+    ///   first arc just appeared).
+    /// * detour rows — compacted member-by-member against the old slice
+    ///   order, which [`SubtreeIntervals::remap`] preserves; surviving
+    ///   vias are renumbered, vias through a departed member collapse to
+    ///   [`ESC_VIA`]. That collapse is safe: such a member neighbored a
+    ///   departed node, so it is in `dead_adjacent` and lands in the
+    ///   primitive damage set before any via of its is dereferenced.
+    /// * cached pricings — survivors keep their entry with every id
+    ///   renumbered; an entry referencing a departed node is dropped.
+    ///   Also safe: a non-fallback source's cached path is its tree
+    ///   path, so a departed reference means a departed tree ancestor,
+    ///   which makes the source dirty (severed slice) and re-assembled
+    ///   this epoch; fallback sources re-price every epoch regardless.
+    /// * shared sweep — intervals remapped (compaction preserves
+    ///   survivor ancestry and slice contiguity), fallback marks carried
+    ///   per survivor.
+    fn remap_state(&mut self, map: &NodeMap) -> Vec<NodeId> {
+        let new_n = map.new_len();
+        let old_shared = self.shared.take().expect("prev epoch left tables");
+        let mut severed: Vec<NodeId> = Vec::new();
+
+        let mut dist = vec![Cost::INF; new_n];
+        let mut parent = vec![None; new_n];
+        for i in 0..map.old_len() {
+            let v = NodeId(i as u32);
+            let Some(nv) = map.to_new(v) else { continue };
+            dist[nv.index()] = self.dist[i];
+            parent[nv.index()] = match self.parent[i] {
+                Some(p) => match map.to_new(p) {
+                    Some(np) => Some(np),
+                    None => {
+                        severed.push(nv);
+                        None
+                    }
+                },
+                None => None,
+            };
+        }
+        self.dist = dist;
+        self.parent = parent;
+
+        let mut rows = vec![Vec::new(); new_n];
+        let mut row_via = vec![Vec::new(); new_n];
+        let mut row_stale = vec![false; new_n];
+        for i in 0..map.old_len() {
+            let x = NodeId(i as u32);
+            let Some(nx) = map.to_new(x) else { continue };
+            row_stale[nx.index()] = self.row_stale[i];
+            let vals = &self.rows[i];
+            if vals.is_empty() {
+                continue;
+            }
+            let members = old_shared.iv.subtree(x);
+            if members.len() != vals.len() + 1 {
+                // A row that was already misaligned with its slice (its
+                // relay missed a refresh) cannot be repaired.
+                row_stale[nx.index()] = true;
+                continue;
+            }
+            let vias = &self.row_via[i];
+            let mut nvals = Vec::with_capacity(vals.len());
+            let mut nvias = Vec::with_capacity(vals.len());
+            for (k, &y) in members[1..].iter().enumerate() {
+                if map.to_new(y).is_none() {
+                    continue;
+                }
+                nvals.push(vals[k]);
+                nvias.push(if vias[k] == ESC_VIA {
+                    ESC_VIA
+                } else {
+                    map.to_new(NodeId(vias[k])).map_or(ESC_VIA, |nv| nv.0)
+                });
+            }
+            rows[nx.index()] = nvals;
+            row_via[nx.index()] = nvias;
+        }
+        self.rows = rows;
+        self.row_via = row_via;
+        self.row_stale = row_stale;
+
+        let mut out = vec![None; new_n];
+        for i in 0..map.old_len() {
+            let Some(nv) = map.to_new(NodeId(i as u32)) else {
+                continue;
+            };
+            if let Some(p) = self.out[i].as_ref() {
+                out[nv.index()] = remap_pricing(p, map);
+            }
+        }
+        self.out = out;
+
+        let mut fallback = vec![false; new_n];
+        for (i, &fb) in old_shared.fallback.iter().enumerate() {
+            if let Some(nv) = map.to_new(NodeId(i as u32)) {
+                fallback[nv.index()] = fb;
+            }
+        }
+        self.shared = Some(SharedSweep {
+            iv: old_shared.iv.remap(map),
+            fallback,
+            ambiguous_nodes: old_shared.ambiguous_nodes,
+        });
+
+        if self.heap_capacity != new_n {
+            self.heap = IndexedHeap::new(new_n);
+            self.heap_capacity = new_n;
+        }
+        severed
     }
 
     /// Full cold pipeline: AP-rooted sweep, fresh classification, detour
@@ -639,8 +1032,17 @@ impl IncrementalEngine {
 
     /// Post-repair re-pricing: fresh classification, conservative relay
     /// re-runs, branch-local source re-assembly. Returns the number of
-    /// re-priced sources.
-    fn reprice(&mut self, g: &NodeWeightedGraph, ap: NodeId, delta: &GraphDelta) -> usize {
+    /// re-priced sources. `extra_damage` (empty outside a resize epoch)
+    /// names survivors that neighbored a departed node: their escapes
+    /// and support chains may have routed through it, so they join both
+    /// the seed set A and the primitive damage set G.
+    fn reprice(
+        &mut self,
+        g: &NodeWeightedGraph,
+        ap: NodeId,
+        delta: &GraphDelta,
+        extra_damage: &[NodeId],
+    ) -> usize {
         let n = g.num_nodes();
         let old_shared = self.shared.take().expect("prev epoch left tables");
         // Fresh fallback marks and intervals for the repaired tree — the
@@ -670,6 +1072,9 @@ impl IncrementalEngine {
         }
         for &(x, _, _) in &delta.costs_changed {
             in_a[x.index()] = true;
+        }
+        for &v in extra_damage {
+            in_a[v.index()] = true;
         }
 
         // R: ancestor-or-self closure of A in the new tree — exactly the
@@ -729,6 +1134,9 @@ impl IncrementalEngine {
         }
         for &(u, v) in delta.edges_added.iter().chain(&delta.edges_removed) {
             in_g[u.index()] = true;
+            in_g[v.index()] = true;
+        }
+        for &v in extra_damage {
             in_g[v.index()] = true;
         }
         // Movers: everything below a changed parent link, in either tree
@@ -997,6 +1405,25 @@ impl IncrementalEngine {
         self.last_fallback_sources = fb.len();
         repriced + fb.len()
     }
+}
+
+/// Translates a cached pricing into `map`'s new index space, or `None`
+/// if any referenced node departed (see [`IncrementalEngine`]'s remap
+/// protocol for why dropping such entries is safe).
+fn remap_pricing(p: &UnicastPricing, map: &NodeMap) -> Option<UnicastPricing> {
+    let mut path = Vec::with_capacity(p.path.len());
+    for &v in &p.path {
+        path.push(map.to_new(v)?);
+    }
+    let mut payments = Vec::with_capacity(p.payments.len());
+    for &(r, c) in &p.payments {
+        payments.push((map.to_new(r)?, c));
+    }
+    Some(UnicastPricing {
+        path,
+        lcp_cost: p.lcp_cost,
+        payments,
+    })
 }
 
 /// `flag` bit: the node appeared in the relay's previous-epoch slice.
@@ -1304,6 +1731,118 @@ mod tests {
             EpochOutcome::ColdResize { from: 2, to: 3 }
         );
         assert_eq!(got, all_sources_payments(&bigger, ap));
+    }
+
+    #[test]
+    fn between_mapped_projects_into_the_new_space() {
+        // Old: 0-1-2 chain. Node 1 leaves (2 swaps into its slot), a
+        // newborn appears at index 2 bridging 0 and old 2.
+        let old = units(&[(0, 1), (1, 2)], &[0, 4, 6]);
+        let new = units(&[(0, 2), (1, 2)], &[0, 6, 3]);
+        let map = {
+            let leave = NodeMap::leave_swap(3, NodeId(1));
+            // leave_swap yields 2 nodes; extend to 3 with a birth at 2.
+            NodeMap::from_old_to_new(
+                (0..3)
+                    .map(|i| leave.to_new(NodeId(i as u32)))
+                    .collect::<Vec<_>>(),
+                3,
+            )
+        };
+        let md = GraphDelta::between_mapped(&old, &new, &map);
+        assert_eq!(md.born, 1);
+        assert_eq!(md.died, 1);
+        // Old (1,2) and (0,1) both touched the departed node; survivors
+        // 0 and old-2 (now 1) are dead-adjacent. The newborn's arcs are
+        // pure additions; no survivor–survivor edge was removed.
+        assert_eq!(md.dead_adjacent, vec![NodeId(0), NodeId(1)]);
+        assert_eq!(
+            md.delta.edges_added,
+            vec![(NodeId(0), NodeId(2)), (NodeId(1), NodeId(2))]
+        );
+        assert!(md.delta.edges_removed.is_empty());
+        // Old node 2 cost 6 survives at index 1 with cost 6: unchanged.
+        assert!(md.delta.costs_changed.is_empty());
+    }
+
+    #[test]
+    fn warm_join_epoch_matches_cold() {
+        // Diamond 0-1-3, 0-2-3; a newborn 4 bridges 1 and 3 cheaply.
+        let mut e = IncrementalEngine::with_threads(2).with_damage_threshold(1.0);
+        let ap = NodeId(3);
+        let g0 = units(&[(0, 1), (1, 3), (0, 2), (2, 3)], &[0, 5, 7, 0]);
+        e.price_epoch(&g0, ap);
+        let g1 = units(
+            &[(0, 1), (1, 3), (0, 2), (2, 3), (0, 4), (4, 3)],
+            &[0, 5, 7, 0, 1],
+        );
+        let got = e.price_epoch_mapped(&g1, ap, &NodeMap::join(4, 1));
+        assert_eq!(
+            e.last_outcome(),
+            EpochOutcome::WarmResize {
+                born: 1,
+                died: 0,
+                repaired: 2,
+            }
+        );
+        assert_eq!(got, all_sources_payments(&g1, ap));
+        let mut cold = crate::AllSourcesEngine::with_threads(1);
+        cold.price_all_sources(&g1, ap);
+        assert_eq!(e.tables().0, cold.tables().0);
+    }
+
+    #[test]
+    fn warm_leave_epoch_matches_cold() {
+        // 5-node double diamond; node 1 departs, node 4 swaps into its
+        // slot.
+        let mut e = IncrementalEngine::with_threads(2).with_damage_threshold(1.0);
+        let ap = NodeId(0);
+        let g0 = units(
+            &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (2, 4)],
+            &[0, 2, 5, 3, 4],
+        );
+        e.price_epoch(&g0, ap);
+        // Survivors: 0, 2, 3, old-4 (now 1). Old arcs among them:
+        // (0,2), (2,3), (3,old4), (2,old4).
+        let g1 = units(&[(0, 2), (2, 3), (3, 1), (2, 1)], &[0, 4, 5, 3]);
+        let got = e.price_epoch_mapped(&g1, ap, &NodeMap::leave_swap(5, NodeId(1)));
+        assert!(matches!(
+            e.last_outcome(),
+            EpochOutcome::WarmResize {
+                born: 0,
+                died: 1,
+                ..
+            }
+        ));
+        assert_eq!(got, all_sources_payments(&g1, ap));
+        // A further identity epoch reuses the warm tables.
+        let got2 = e.price_epoch_mapped(&g1, ap, &NodeMap::identity(4));
+        assert_eq!(e.last_outcome(), EpochOutcome::Reused);
+        assert_eq!(got2, got);
+    }
+
+    #[test]
+    fn warm_resize_past_threshold_falls_back() {
+        let mut e = IncrementalEngine::with_threads(1).with_damage_threshold(0.0);
+        let ap = NodeId(0);
+        let g0 = units(&[(0, 1)], &[0, 4]);
+        e.price_epoch(&g0, ap);
+        let g1 = units(&[(0, 1), (1, 2)], &[0, 4, 5]);
+        let got = e.price_epoch_mapped(&g1, ap, &NodeMap::join(2, 1));
+        assert!(matches!(e.last_outcome(), EpochOutcome::Fallback { .. }));
+        assert_eq!(got, all_sources_payments(&g1, ap));
+    }
+
+    #[test]
+    fn mapped_ap_departure_goes_cold() {
+        // The AP itself cannot be mapped forward: the warm path refuses
+        // and re-prices cold from scratch.
+        let mut e = IncrementalEngine::with_threads(1).with_damage_threshold(1.0);
+        e.price_epoch(&units(&[(0, 1), (1, 2)], &[0, 4, 6]), NodeId(2));
+        let g1 = units(&[(0, 1)], &[0, 4]);
+        let got = e.price_epoch_mapped(&g1, NodeId(0), &NodeMap::leave_swap(3, NodeId(2)));
+        assert_eq!(e.last_outcome(), EpochOutcome::Cold);
+        assert_eq!(got, all_sources_payments(&g1, NodeId(0)));
     }
 
     #[test]

@@ -7,7 +7,7 @@
 
 use truthcast_core::all_sources_payments;
 use truthcast_core::delta::{EpochOutcome, IncrementalEngine};
-use truthcast_graph::{NodeId, NodeWeightedGraph};
+use truthcast_graph::{NodeId, NodeMap, NodeWeightedGraph};
 
 #[test]
 fn node_count_change_reports_cold_resize() {
@@ -50,7 +50,53 @@ fn node_count_change_reports_cold_resize() {
     engine.price_epoch(&e2, other_ap);
     assert_eq!(engine.last_outcome(), EpochOutcome::Cold);
 
+    // The warm cross-resize path: the same join epoch under an identity
+    // map plus one birth repairs through the churn instead of going
+    // cold, and counts under `core.delta.warm_resizes`.
+    let mut warm = IncrementalEngine::with_threads(1).with_damage_threshold(1.0);
+    warm.price_epoch(&e0, ap);
+    assert_eq!(
+        warm.price_epoch_mapped(&e1, ap, &NodeMap::join(4, 1)),
+        all_sources_payments(&e1, ap)
+    );
+    assert!(
+        matches!(
+            warm.last_outcome(),
+            EpochOutcome::WarmResize {
+                born: 1,
+                died: 0,
+                ..
+            }
+        ),
+        "{:?}",
+        warm.last_outcome()
+    );
+
+    // Past the damage threshold the mapped path still exists and falls
+    // back to a cold sweep — reported as `Fallback`, never `ColdResize`
+    // (the caller supplied identities; only the repair was abandoned).
+    let mut strict = IncrementalEngine::with_threads(1).with_damage_threshold(0.0);
+    strict.price_epoch(&e0, ap);
+    assert_eq!(
+        strict.price_epoch_mapped(&e1, ap, &NodeMap::join(4, 1)),
+        all_sources_payments(&e1, ap)
+    );
+    assert!(
+        matches!(strict.last_outcome(), EpochOutcome::Fallback { .. }),
+        "{:?}",
+        strict.last_outcome()
+    );
+
+    let table = truthcast_obs::summary();
     let snap = truthcast_obs::snapshot();
     truthcast_obs::disable();
     assert_eq!(snap.counter("core.delta.cold_resizes"), 2);
+    assert_eq!(snap.counter("core.delta.warm_resizes"), 1);
+    assert_eq!(snap.counter("core.delta.born"), 1);
+    assert_eq!(snap.counter("core.delta.fallbacks"), 1);
+    // Counters are registered at engine construction, so ones this run
+    // never touched still print as explicit zeros in the summary.
+    assert_eq!(snap.counter("core.delta.died"), 0);
+    assert!(table.contains("core.delta.died"), "{table}");
+    assert!(table.contains("core.delta.warm_resizes"), "{table}");
 }

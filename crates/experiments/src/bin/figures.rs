@@ -22,7 +22,7 @@ use truthcast_experiments::baseline_exp::{
 };
 use truthcast_experiments::convergence_exp::{rounds_table, run_rounds};
 use truthcast_experiments::figure3::{paper_sizes, run_hop_profile, run_sweep, NetworkModel};
-use truthcast_experiments::mobility_exp::{mobility_table, run_mobility};
+use truthcast_experiments::mobility_exp::{mobility_table, run_mobility, run_mobility_churn};
 use truthcast_experiments::node_cost_exp::{run_cost_spread, run_node_cost_size, spread_table};
 use truthcast_experiments::report::{hop_csv, hop_table, metrics_appendix, size_csv, size_table};
 
@@ -32,6 +32,7 @@ struct Args {
     seed: u64,
     csv_dir: Option<PathBuf>,
     sizes: Vec<usize>,
+    churn: f64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -41,6 +42,7 @@ fn parse_args() -> Result<Args, String> {
         seed: 20040426, // the paper's conference date as default seed
         csv_dir: None,
         sizes: paper_sizes(),
+        churn: 0.0,
     };
     let mut quick = false;
     let mut it = std::env::args().skip(1);
@@ -77,6 +79,14 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--seed: {e}"))?;
             }
+            "--churn" => {
+                args.churn = value("--churn")?
+                    .parse()
+                    .map_err(|e| format!("--churn: {e}"))?;
+                if !(0.0..=1.0).contains(&args.churn) {
+                    return Err("--churn must be in [0, 1]".into());
+                }
+            }
             "--csv" => args.csv_dir = Some(PathBuf::from(value("--csv")?)),
             "--sizes" => {
                 args.sizes = value("--sizes")?
@@ -87,7 +97,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: figures [figure3] [--quick] [--panel a-f|r|all] [--instances N] \
-                     [--seed S] [--sizes 100,150,...] [--csv DIR]"
+                     [--seed S] [--sizes 100,150,...] [--churn R] [--csv DIR]"
                 );
                 std::process::exit(0);
             }
@@ -280,12 +290,23 @@ fn main() {
                 );
             }
             'm' => {
-                let rows = run_mobility(150, 10, 60.0, 1.0, 10.0, args.seed + 10);
-                println!(
-                    "Mobility stress — random waypoint (n = 150, 60 s epochs, 1-10 m/s):\n\
-                     re-convergence rounds, payment drift, and route churn per epoch\n{}",
-                    mobility_table(&rows)
-                );
+                if args.churn > 0.0 {
+                    let rows = run_mobility_churn(150, 10, args.churn, args.seed + 10);
+                    println!(
+                        "Mobility + churn stress — jitter with join/leave rate {} per epoch \
+                         (n = 150):\nwarm-resize repair, payment drift, and route churn per \
+                         epoch\n{}",
+                        args.churn,
+                        mobility_table(&rows)
+                    );
+                } else {
+                    let rows = run_mobility(150, 10, 60.0, 1.0, 10.0, args.seed + 10);
+                    println!(
+                        "Mobility stress — random waypoint (n = 150, 60 s epochs, 1-10 m/s):\n\
+                         re-convergence rounds, payment drift, and route churn per epoch\n{}",
+                        mobility_table(&rows)
+                    );
+                }
             }
             _ => unreachable!("validated in parse_args"),
         }

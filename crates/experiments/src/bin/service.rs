@@ -5,18 +5,26 @@
 //! ```text
 //! service [--nodes N] [--aps K] [--threads T] [--sessions S] [--batch B]
 //!         [--queue-cap C] [--mode open|closed:<population>] [--epochs E]
-//!         [--seed SEED] [--quick]
+//!         [--churn R] [--threshold T] [--seed SEED] [--quick]
 //! ```
 //!
 //! Each epoch teleports a few nodes (re-deriving the in-range edge set),
 //! re-warms every shard off the serving path, and runs one load slice;
 //! the final report aggregates throughput and exact latency quantiles
-//! across slices. `--quick` shrinks everything for the CI smoke (and is
-//! what `scripts/ci.sh` validates under `TRUTHCAST_TRACE`).
+//! across slices. `--churn R` additionally applies `⌈R · n⌉` seeded
+//! join/leave events per epoch and drives the epoch through
+//! `begin_epoch_mapped`, so the shards repair across the churn
+//! (`WarmResize`) instead of re-warming cold; APs sit at the low indices
+//! and every leave swaps from index ≥ `--aps`, so they never move.
+//! `--threshold T` overrides the engines' damage threshold (`T = 1`
+//! pins every same-identity epoch to the repair path — at small `n`
+//! the default threshold makes churn epochs fall back per-session).
+//! `--quick` shrinks everything for the CI smoke (and is what
+//! `scripts/ci.sh` validates under `TRUTHCAST_TRACE`).
 
 use truthcast_graph::generators::{pairs_within_range, random_placement};
 use truthcast_graph::geometry::{Point, Region};
-use truthcast_graph::{adjacency_from_pairs, Cost, NodeId, NodeWeightedGraph};
+use truthcast_graph::{adjacency_from_pairs, Cost, NodeId, NodeMap, NodeWeightedGraph};
 use truthcast_rt::{default_threads, Rng, SeedableRng, SmallRng};
 use truthcast_service::{run_load, ArrivalMode, LoadConfig, PaymentService, ServiceConfig};
 
@@ -28,7 +36,7 @@ fn fail(msg: &str) -> ! {
     eprintln!(
         "usage: service [--nodes N] [--aps K] [--threads T] [--sessions S] \
          [--batch B] [--queue-cap C] [--mode open|closed:<population>] \
-         [--epochs E] [--seed SEED] [--quick]"
+         [--epochs E] [--churn R] [--threshold T] [--seed SEED] [--quick]"
     );
     std::process::exit(2)
 }
@@ -56,6 +64,8 @@ fn main() {
     let mut queue_cap = usize::MAX;
     let mut mode_arg = String::from("open");
     let mut epochs = 4usize;
+    let mut churn = 0.0f64;
+    let mut threshold: Option<f64> = None;
     let mut seed = 0x5e41u64;
 
     let mut it = std::env::args().skip(1);
@@ -69,6 +79,8 @@ fn main() {
             "--queue-cap" => queue_cap = parse(&mut it, "--queue-cap"),
             "--mode" => mode_arg = it.next().unwrap_or_else(|| fail("--mode needs a value")),
             "--epochs" => epochs = parse(&mut it, "--epochs"),
+            "--churn" => churn = parse(&mut it, "--churn"),
+            "--threshold" => threshold = Some(parse(&mut it, "--threshold")),
             "--seed" => seed = parse(&mut it, "--seed"),
             "--quick" => {
                 nodes = 96;
@@ -83,6 +95,14 @@ fn main() {
     }
     if aps == 0 || aps >= nodes {
         fail("--aps must be in 1..nodes");
+    }
+    if !(0.0..=1.0).contains(&churn) {
+        fail("--churn must be in [0, 1]");
+    }
+    if let Some(t) = threshold {
+        if !(0.0..=1.0).contains(&t) {
+            fail("--threshold must be in [0, 1]");
+        }
     }
     let mode = if mode_arg == "open" {
         ArrivalMode::Open
@@ -101,15 +121,22 @@ fn main() {
     let side = (nodes as f64 * RANGE * RANGE * std::f64::consts::PI / 12.0).sqrt();
     let region = Region::new(side, side);
     let mut points = random_placement(nodes, region, &mut rng);
-    let costs: Vec<Cost> = (0..nodes)
+    let mut costs: Vec<Cost> = (0..nodes)
         .map(|_| Cost::from_f64(rng.gen_range(1.0..50.0)))
         .collect();
     let ap_ids: Vec<NodeId> = (0..aps as u32).map(NodeId).collect();
-    let sources: Vec<NodeId> = (aps as u32..nodes as u32).map(NodeId).collect();
+    let mut sources: Vec<NodeId> = (aps as u32..nodes as u32).map(NodeId).collect();
+    // Stable identity tags for `--churn`: swap-removes renumber indices,
+    // so the per-epoch [`NodeMap`] is recovered by matching tags.
+    let mut tags: Vec<u64> = (0..nodes as u64).collect();
+    let mut next_tag = nodes as u64;
 
-    let cfg = ServiceConfig::new(ap_ids)
+    let mut cfg = ServiceConfig::new(ap_ids)
         .threads(threads)
         .queue_capacity(queue_cap);
+    if let Some(t) = threshold {
+        cfg = cfg.damage_threshold(t);
+    }
     let g0 = graph_from(&points, &costs);
     let service = PaymentService::new(&cfg, &g0);
     println!(
@@ -127,20 +154,55 @@ fn main() {
         if epoch > 0 {
             // Mobility: teleport ~1% of nodes (at least one), keep APs
             // fixed, and re-warm every shard.
-            for _ in 0..(nodes / 100).max(1) {
-                let v = rng.gen_range(aps..nodes);
+            for _ in 0..(points.len() / 100).max(1) {
+                let v = rng.gen_range(aps..points.len());
                 points[v] = Point::new(
                     rng.gen_range(0.0..=region.width),
                     rng.gen_range(0.0..=region.height),
                 );
             }
-            let g = graph_from(&points, &costs);
-            let outcomes = service.begin_epoch(&g);
+            let outcomes = if churn > 0.0 {
+                // Churn: ⌈R · n⌉ join/leave events, then repair through
+                // the resize with the identity map recovered from the
+                // tags. Leaves swap from index ≥ `aps`, so the APs at
+                // the low indices keep their numbers across every epoch
+                // (the precondition of `begin_epoch_mapped`).
+                let old_tags = tags.clone();
+                let events = (churn * points.len() as f64).ceil() as usize;
+                for _ in 0..events {
+                    if points.len() > aps + 2 && rng.gen_bool(0.5) {
+                        let v = rng.gen_range(aps..points.len());
+                        points.swap_remove(v);
+                        costs.swap_remove(v);
+                        tags.swap_remove(v);
+                    } else {
+                        points.push(Point::new(
+                            rng.gen_range(0.0..=region.width),
+                            rng.gen_range(0.0..=region.height),
+                        ));
+                        costs.push(Cost::from_f64(rng.gen_range(1.0..50.0)));
+                        tags.push(next_tag);
+                        next_tag += 1;
+                    }
+                }
+                let old_to_new: Vec<Option<NodeId>> = old_tags
+                    .iter()
+                    .map(|t| tags.iter().position(|u| u == t).map(NodeId::new))
+                    .collect();
+                let map = NodeMap::from_old_to_new(old_to_new, tags.len());
+                sources = (aps as u32..points.len() as u32).map(NodeId).collect();
+                let g = graph_from(&points, &costs);
+                service.begin_epoch_mapped(&g, &map)
+            } else {
+                let g = graph_from(&points, &costs);
+                service.begin_epoch(&g)
+            };
             let labels: Vec<String> = outcomes.iter().map(|o| format!("{o:?}")).collect();
             println!(
-                "epoch {:>2}      : gen {} [{}]",
+                "epoch {:>2}      : gen {} n={} [{}]",
                 epoch + 1,
                 service.generation(),
+                points.len(),
                 labels.join(", ")
             );
         }

@@ -19,21 +19,25 @@
 //! still), report zero rounds/broadcasts, and are counted by the
 //! `experiments.mobility_epoch_reuse` obs counter.
 
+use truthcast_rt::Rng;
 use truthcast_rt::SeedableRng;
 use truthcast_rt::SmallRng;
 
 use truthcast_core::delta::{EpochOutcome, IncrementalEngine};
+use truthcast_core::UnicastPricing;
 use truthcast_distsim::run_distributed;
 use truthcast_graph::geometry::Region;
-use truthcast_graph::{Cost, NodeId, NodeWeightedGraph};
+use truthcast_graph::{Cost, NodeId, NodeMap, NodeWeightedGraph};
 use truthcast_wireless::mobility::RandomWaypoint;
-use truthcast_wireless::Deployment;
+use truthcast_wireless::{Deployment, RadioParams};
 
 /// One epoch's summary.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct EpochReport {
     /// Epoch index.
     pub epoch: usize,
+    /// Node count of this epoch's graph (varies along a churn trace).
+    pub nodes: usize,
     /// Stage-1 + stage-2 rounds to re-converge.
     pub rounds: usize,
     /// Broadcasts spent this epoch.
@@ -95,68 +99,230 @@ pub fn run_mobility_epochs(graphs: &[NodeWeightedGraph], ap: NodeId) -> Vec<Epoc
     for (epoch, g) in graphs.iter().enumerate() {
         let pricings = engine.price_epoch(g, ap);
         let outcome = engine.last_outcome();
-        let reused = outcome == EpochOutcome::Reused;
-        let (rounds, broadcasts) = if reused {
-            truthcast_obs::add("experiments.mobility_epoch_reuse", 1);
-            (0, 0)
-        } else {
-            let run = run_distributed(g, ap);
-            (
-                run.spt.rounds + run.payments.rounds,
-                run.spt.stats.broadcasts + run.payments.stats.broadcasts,
-            )
-        };
-
-        let mut drift_sum = 0.0;
-        let mut drift_count = 0usize;
-        let mut churned = 0usize;
-        let mut compared_routes = 0usize;
-        let mut routable = 0usize;
-        for (i, pricing) in pricings.iter().enumerate() {
-            if NodeId(i as u32) == ap {
-                continue;
-            }
-            let total = pricing.as_ref().map(|p| p.total_payment());
-            if total.is_some() {
-                routable += 1;
-            }
-            if let (Some(prev), Some(cur)) = (prev_totals[i], total) {
-                if prev.is_finite() && cur.is_finite() {
-                    drift_sum += (cur.as_f64() - prev.as_f64()).abs();
-                    drift_count += 1;
-                }
-            }
-            let route = pricing.as_ref().map(|p| p.path.clone());
-            if let (Some(prev), Some(cur)) = (&prev_routes[i], &route) {
-                compared_routes += 1;
-                if prev != cur {
-                    churned += 1;
-                }
-            }
-            prev_totals[i] = total;
-            prev_routes[i] = route;
-        }
-
-        reports.push(EpochReport {
+        reports.push(report_epoch(
             epoch,
-            rounds,
-            broadcasts,
-            routable,
-            mean_payment_drift: if drift_count > 0 {
-                drift_sum / drift_count as f64
-            } else {
-                0.0
-            },
-            route_churn: if compared_routes > 0 {
-                churned as f64 / compared_routes as f64
-            } else {
-                0.0
-            },
-            reused,
+            g,
+            ap,
+            &pricings,
             outcome,
-        });
+            &mut prev_totals,
+            &mut prev_routes,
+        ));
     }
     reports
+}
+
+/// Summarizes one priced epoch against the carried drift/churn
+/// baselines (updating them in place), re-running the distributed
+/// protocol on every non-reused epoch.
+fn report_epoch(
+    epoch: usize,
+    g: &NodeWeightedGraph,
+    ap: NodeId,
+    pricings: &[Option<UnicastPricing>],
+    outcome: EpochOutcome,
+    prev_totals: &mut [Option<Cost>],
+    prev_routes: &mut [Option<Vec<NodeId>>],
+) -> EpochReport {
+    let reused = outcome == EpochOutcome::Reused;
+    let (rounds, broadcasts) = if reused {
+        truthcast_obs::add("experiments.mobility_epoch_reuse", 1);
+        (0, 0)
+    } else {
+        let run = run_distributed(g, ap);
+        (
+            run.spt.rounds + run.payments.rounds,
+            run.spt.stats.broadcasts + run.payments.stats.broadcasts,
+        )
+    };
+
+    let mut drift_sum = 0.0;
+    let mut drift_count = 0usize;
+    let mut churned = 0usize;
+    let mut compared_routes = 0usize;
+    let mut routable = 0usize;
+    for (i, pricing) in pricings.iter().enumerate() {
+        if NodeId(i as u32) == ap {
+            continue;
+        }
+        let total = pricing.as_ref().map(|p| p.total_payment());
+        if total.is_some() {
+            routable += 1;
+        }
+        if let (Some(prev), Some(cur)) = (prev_totals[i], total) {
+            if prev.is_finite() && cur.is_finite() {
+                drift_sum += (cur.as_f64() - prev.as_f64()).abs();
+                drift_count += 1;
+            }
+        }
+        let route = pricing.as_ref().map(|p| p.path.clone());
+        if let (Some(prev), Some(cur)) = (&prev_routes[i], &route) {
+            compared_routes += 1;
+            if prev != cur {
+                churned += 1;
+            }
+        }
+        prev_totals[i] = total;
+        prev_routes[i] = route;
+    }
+
+    EpochReport {
+        epoch,
+        nodes: g.num_nodes(),
+        rounds,
+        broadcasts,
+        routable,
+        mean_payment_drift: if drift_count > 0 {
+            drift_sum / drift_count as f64
+        } else {
+            0.0
+        },
+        route_churn: if compared_routes > 0 {
+            churned as f64 / compared_routes as f64
+        } else {
+            0.0
+        },
+        reused,
+        outcome,
+    }
+}
+
+/// One churn-trace epoch: the graph plus the identity map from the
+/// previous epoch's index space (identity for epoch 0).
+#[derive(Clone, Debug)]
+pub struct ChurnEpoch {
+    /// This epoch's graph.
+    pub graph: NodeWeightedGraph,
+    /// Old-index → new-index identity map from the previous epoch.
+    pub map: NodeMap,
+}
+
+/// The epoch sequence of a join/leave trace: a sim1 deployment whose
+/// node *population* churns. Each epoch teleports a few survivors
+/// (ordinary mobility) and then applies `⌈churn · n⌉` join/leave events
+/// — a leave `swap_remove`s a non-AP node (the dense renumbering
+/// [`NodeMap::leave_swap`] encodes), a join drops a fresh node with
+/// paper-sim1 radio and a `U[1, 10]` cost into the region. Node 0 is
+/// the AP: it never moves and never leaves, and since every removal
+/// picks an index ≥ 1 it keeps index 0 along the whole trace.
+pub fn churn_epoch_graphs(n: usize, epochs: usize, churn: f64, seed: u64) -> Vec<ChurnEpoch> {
+    assert!(
+        (0.0..=1.0).contains(&churn),
+        "churn is a per-epoch rate in [0, 1]"
+    );
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut deployment = Deployment::paper_sim1(n, 2.0, &mut rng);
+    let mut costs = deployment.random_node_costs(1.0, 10.0, &mut rng);
+    // Stable identities: tags[i] names the node at index i; the epoch
+    // map is derived by locating surviving tags in the new tag list.
+    let mut tags: Vec<u64> = (0..n as u64).collect();
+    let mut next_tag = n as u64;
+    let mut out = Vec::with_capacity(epochs);
+    for epoch in 0..epochs {
+        let map = if epoch == 0 {
+            NodeMap::identity(deployment.num_nodes())
+        } else {
+            let old_tags = tags.clone();
+            let cur = deployment.num_nodes();
+            // Gentle survivor mobility: a short jitter, not a teleport —
+            // the epoch's delta budget should be spent on the join/leave
+            // churn, not on nodes swapping their entire neighborhoods
+            // (which belongs to the fallback regime the damage threshold
+            // guards, exercised by `run_mobility` at high speeds).
+            for _ in 0..(cur / 40).max(1) {
+                let v = rng.gen_range(1..cur);
+                let p = &mut deployment.positions[v];
+                p.x = (p.x + rng.gen_range(-60.0f64..=60.0)).clamp(0.0, Region::PAPER.width);
+                p.y = (p.y + rng.gen_range(-60.0f64..=60.0)).clamp(0.0, Region::PAPER.height);
+            }
+            let events = (churn * cur as f64).ceil() as usize;
+            for _ in 0..events {
+                if rng.gen_bool(0.5) && deployment.num_nodes() > 4 {
+                    let v = rng.gen_range(1..deployment.num_nodes());
+                    deployment.positions.swap_remove(v);
+                    deployment.radios.swap_remove(v);
+                    costs.swap_remove(v);
+                    tags.swap_remove(v);
+                } else {
+                    deployment.positions.push(truthcast_graph::geometry::Point {
+                        x: rng.gen_range(0.0..=Region::PAPER.width),
+                        y: rng.gen_range(0.0..=Region::PAPER.height),
+                    });
+                    deployment.radios.push(RadioParams::PAPER_SIM1);
+                    costs.push(Cost::from_f64(rng.gen_range(1.0..=10.0)));
+                    tags.push(next_tag);
+                    next_tag += 1;
+                }
+            }
+            let old_to_new = old_tags
+                .iter()
+                .map(|t| tags.iter().position(|u| u == t).map(|j| NodeId(j as u32)))
+                .collect();
+            NodeMap::from_old_to_new(old_to_new, tags.len())
+        };
+        out.push(ChurnEpoch {
+            graph: deployment.to_node_weighted(costs.clone()),
+            map,
+        });
+    }
+    out
+}
+
+/// Prices a churn trace toward `ap` with one warm engine driven through
+/// [`IncrementalEngine::price_epoch_mapped`], so join/leave epochs
+/// repair across the resize instead of re-warming cold. Drift/churn
+/// baselines are carried *through the map*: a survivor's previous total
+/// follows it to its new index, newborns start without a baseline, and
+/// a previous route that referenced a departed relay is dropped from
+/// the comparison.
+pub fn run_mobility_churn_epochs(steps: &[ChurnEpoch], ap: NodeId) -> Vec<EpochReport> {
+    let mut reports = Vec::with_capacity(steps.len());
+    let mut prev_totals: Vec<Option<Cost>> = Vec::new();
+    let mut prev_routes: Vec<Option<Vec<NodeId>>> = Vec::new();
+    let mut engine = IncrementalEngine::new();
+
+    for (epoch, step) in steps.iter().enumerate() {
+        let n = step.graph.num_nodes();
+        if epoch == 0 {
+            prev_totals = vec![None; n];
+            prev_routes = vec![None; n];
+        } else {
+            let mut totals = vec![None; n];
+            let mut routes = vec![None; n];
+            for old in 0..step.map.old_len() {
+                if let Some(nv) = step.map.to_new(NodeId(old as u32)) {
+                    totals[nv.index()] = prev_totals[old];
+                    routes[nv.index()] = prev_routes[old].take().and_then(|r| {
+                        r.into_iter()
+                            .map(|v| step.map.to_new(v))
+                            .collect::<Option<Vec<NodeId>>>()
+                    });
+                }
+            }
+            prev_totals = totals;
+            prev_routes = routes;
+        }
+
+        let pricings = engine.price_epoch_mapped(&step.graph, ap, &step.map);
+        let outcome = engine.last_outcome();
+        reports.push(report_epoch(
+            epoch,
+            &step.graph,
+            ap,
+            &pricings,
+            outcome,
+            &mut prev_totals,
+            &mut prev_routes,
+        ));
+    }
+    reports
+}
+
+/// Runs `epochs` epochs of join/leave churn at per-epoch rate `churn`
+/// over a sim1 deployment, priced toward the never-departing AP 0.
+pub fn run_mobility_churn(n: usize, epochs: usize, churn: f64, seed: u64) -> Vec<EpochReport> {
+    let steps = churn_epoch_graphs(n, epochs, churn, seed);
+    run_mobility_churn_epochs(&steps, NodeId(0))
 }
 
 /// Runs `epochs` epochs of `dt`-second movement at speeds
@@ -187,6 +353,9 @@ pub fn mobility_table(rows: &[EpochReport]) -> String {
         let pricing = match r.outcome {
             EpochOutcome::Cold => "cold".to_string(),
             EpochOutcome::ColdResize { from, to } => format!("resize({from}->{to})"),
+            EpochOutcome::WarmResize { born, died, .. } => {
+                format!("warm-resize({}->{})", r.nodes + died - born, r.nodes)
+            }
             EpochOutcome::Reused => "reused".to_string(),
             EpochOutcome::Repaired { dirty_nodes, .. } => format!("repair({dirty_nodes})"),
             EpochOutcome::Fallback { dirty_nodes } => format!("fallback({dirty_nodes})"),
@@ -293,5 +462,41 @@ mod tests {
         let t = mobility_table(&rows);
         assert!(t.contains("payment drift"));
         assert!(t.contains("pricing"));
+    }
+
+    /// A churn trace must warm-resize through join/leave epochs, keep
+    /// its per-epoch tables bit-identical to a cold oracle, and render
+    /// the `warm-resize(a->b)` outcome column (distinguishable from the
+    /// unmapped `resize(a->b)`).
+    #[test]
+    fn churn_trace_warm_resizes_and_stays_exact() {
+        let steps = churn_epoch_graphs(80, 5, 0.02, 11);
+        let rows = run_mobility_churn_epochs(&steps, NodeId(0));
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[0].outcome, EpochOutcome::Cold);
+        assert!(
+            rows.iter()
+                .any(|r| matches!(r.outcome, EpochOutcome::WarmResize { .. })),
+            "{rows:?}"
+        );
+        for r in &rows {
+            assert!(
+                !matches!(r.outcome, EpochOutcome::ColdResize { .. }),
+                "mapped churn must never surface as an unmapped resize: {r:?}"
+            );
+        }
+        // Routable counts agree with a cold oracle on every epoch graph.
+        for (step, row) in steps.iter().zip(&rows) {
+            let cold = all_sources_payments(&step.graph, NodeId(0));
+            let cold_routable = cold
+                .iter()
+                .enumerate()
+                .filter(|&(i, p)| i != 0 && p.is_some())
+                .count();
+            assert_eq!(row.routable, cold_routable, "epoch {}", row.epoch);
+            assert_eq!(row.nodes, step.graph.num_nodes());
+        }
+        let t = mobility_table(&rows);
+        assert!(t.contains("warm-resize("), "{t}");
     }
 }

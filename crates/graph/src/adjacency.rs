@@ -68,6 +68,29 @@ impl Adjacency {
     pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + Clone {
         crate::ids::node_ids(self.num_nodes())
     }
+
+    /// Rebuilds this CSR in the index space of `map`: every
+    /// survivor–survivor edge is carried over under the new indices,
+    /// edges touching a departed node are dropped, and newborn nodes
+    /// come up isolated (their arcs belong to the *new* epoch graph,
+    /// not to a remap of the old one).
+    ///
+    /// # Panics
+    /// If `map.old_len()` differs from this graph's node count.
+    pub fn remap(&self, map: &crate::node_map::NodeMap) -> Adjacency {
+        assert_eq!(
+            map.old_len(),
+            self.num_nodes(),
+            "map old_len must match the graph being remapped"
+        );
+        let mut b = AdjacencyBuilder::new(map.new_len());
+        for (u, v) in self.edges() {
+            if let (Some(nu), Some(nv)) = (map.to_new(u), map.to_new(v)) {
+                b.add_edge(nu, nv);
+            }
+        }
+        b.build()
+    }
 }
 
 /// Incremental builder for [`Adjacency`].
@@ -218,6 +241,28 @@ mod tests {
                 (NodeId(2), NodeId(3))
             ]
         );
+    }
+
+    #[test]
+    fn remap_drops_departed_and_isolates_born() {
+        use crate::node_map::NodeMap;
+        // Square 0-1-2-3; node 1 leaves (3 swaps into its slot), one
+        // newborn appended at index 3.
+        let g = adjacency_from_pairs(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let leave = NodeMap::leave_swap(4, NodeId(1));
+        let h = g.remap(&leave);
+        assert_eq!(h.num_nodes(), 3);
+        // Survivors: 0, 2, and old 3 now at index 1.
+        assert!(h.has_edge(NodeId(2), NodeId(1))); // old (2,3)
+        assert!(h.has_edge(NodeId(1), NodeId(0))); // old (3,0)
+        assert!(!h.has_edge(NodeId(0), NodeId(2)));
+        assert_eq!(h.num_edges(), 2);
+
+        let join = NodeMap::join(4, 1);
+        let j = g.remap(&join);
+        assert_eq!(j.num_nodes(), 5);
+        assert_eq!(j.num_edges(), 4);
+        assert!(j.neighbors(NodeId(4)).is_empty());
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub mod io;
 pub mod link_weighted;
 pub mod mask;
 pub mod node_dijkstra;
+pub mod node_map;
 pub mod node_weighted;
 pub mod radix_heap;
 pub mod spt;
@@ -58,6 +59,7 @@ pub use cost::Cost;
 pub use ids::{node_ids, NodeId};
 pub use link_weighted::{LinkWeightedDigraph, PackedArc};
 pub use mask::NodeMask;
+pub use node_map::NodeMap;
 pub use node_weighted::NodeWeightedGraph;
 pub use radix_heap::RadixHeap;
 pub use spt::{Spt, SubtreeIntervals};

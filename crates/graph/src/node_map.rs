@@ -1,0 +1,246 @@
+//! Stable-identity node mappings across epoch resizes.
+//!
+//! Epoch graphs are indexed densely, so a node join or leave renumbers
+//! the survivors and the index spaces of consecutive epochs stop being
+//! comparable. A [`NodeMap`] restores comparability: it records, for
+//! every old index, where that *same physical node* lives in the new
+//! epoch (or that it departed), and for every new index which old node
+//! it was (or that it is newborn). The incremental re-pricing engine
+//! threads this map through `GraphDelta::between_mapped` to repair warm
+//! tables across a resize instead of re-pricing cold.
+//!
+//! Two builders cover the common churn encodings:
+//!
+//! * [`NodeMap::join`] — newborns appended after an identity prefix
+//!   (the natural encoding for "k nodes joined");
+//! * [`NodeMap::leave_swap`] — one node departs and the last index is
+//!   swapped into its slot (the `Vec::swap_remove` encoding, which
+//!   keeps the index space dense without shifting every survivor).
+
+use crate::ids::NodeId;
+
+/// An injective partial mapping between two dense node index spaces,
+/// with explicit births and deaths. See the module docs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NodeMap {
+    /// `old_to_new[i]`: where old node `i` lives now (`None` = died).
+    old_to_new: Vec<Option<NodeId>>,
+    /// `new_to_old[j]`: where new node `j` came from (`None` = born).
+    new_to_old: Vec<Option<NodeId>>,
+}
+
+impl NodeMap {
+    /// The identity map over `n` nodes — no churn, same index space.
+    pub fn identity(n: usize) -> NodeMap {
+        let ids: Vec<Option<NodeId>> = (0..n).map(|i| Some(NodeId::new(i))).collect();
+        NodeMap {
+            old_to_new: ids.clone(),
+            new_to_old: ids,
+        }
+    }
+
+    /// Builds a map from the forward direction: `old_to_new[i]` is old
+    /// node `i`'s new index, or `None` if it departed. The reverse
+    /// direction is derived; every unclaimed new index is a birth.
+    ///
+    /// # Panics
+    /// If any target is out of range for `new_len` or two old nodes
+    /// map to the same new index (the map must be injective).
+    pub fn from_old_to_new(old_to_new: Vec<Option<NodeId>>, new_len: usize) -> NodeMap {
+        let mut new_to_old: Vec<Option<NodeId>> = vec![None; new_len];
+        for (i, &target) in old_to_new.iter().enumerate() {
+            if let Some(j) = target {
+                assert!(
+                    j.index() < new_len,
+                    "old node {i} maps to {j} outside the new index space"
+                );
+                assert!(
+                    new_to_old[j.index()].is_none(),
+                    "new index {j} claimed twice (map must be injective)"
+                );
+                new_to_old[j.index()] = Some(NodeId::new(i));
+            }
+        }
+        NodeMap {
+            old_to_new,
+            new_to_old,
+        }
+    }
+
+    /// `born` nodes join at the end of an identity prefix: old node `i`
+    /// stays at index `i`, newborns take indices `old_len ..`.
+    pub fn join(old_len: usize, born: usize) -> NodeMap {
+        let old_to_new: Vec<Option<NodeId>> = (0..old_len).map(|i| Some(NodeId::new(i))).collect();
+        NodeMap::from_old_to_new(old_to_new, old_len + born)
+    }
+
+    /// Node `dead` departs and the last old index is swapped into its
+    /// slot — the `Vec::swap_remove` encoding. Every other node keeps
+    /// its index; no node is born.
+    ///
+    /// # Panics
+    /// If `dead` is out of range or `old_len == 0`.
+    pub fn leave_swap(old_len: usize, dead: NodeId) -> NodeMap {
+        assert!(dead.index() < old_len, "{dead} outside the old index space");
+        let last = old_len - 1;
+        let old_to_new: Vec<Option<NodeId>> = (0..old_len)
+            .map(|i| {
+                if i == dead.index() {
+                    None
+                } else if i == last {
+                    Some(dead)
+                } else {
+                    Some(NodeId::new(i))
+                }
+            })
+            .collect();
+        NodeMap::from_old_to_new(old_to_new, old_len - 1)
+    }
+
+    /// Number of nodes in the old index space.
+    #[inline]
+    pub fn old_len(&self) -> usize {
+        self.old_to_new.len()
+    }
+
+    /// Number of nodes in the new index space.
+    #[inline]
+    pub fn new_len(&self) -> usize {
+        self.new_to_old.len()
+    }
+
+    /// Old node `i`'s new index, or `None` if it departed.
+    #[inline]
+    pub fn to_new(&self, i: NodeId) -> Option<NodeId> {
+        self.old_to_new[i.index()]
+    }
+
+    /// New node `j`'s old index, or `None` if it is newborn.
+    #[inline]
+    pub fn to_old(&self, j: NodeId) -> Option<NodeId> {
+        self.new_to_old[j.index()]
+    }
+
+    /// New indices with no old identity, ascending.
+    pub fn born(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.new_to_old
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.is_none())
+            .map(|(j, _)| NodeId::new(j))
+    }
+
+    /// Old indices with no new home, ascending.
+    pub fn died(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.old_to_new
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_none())
+            .map(|(i, _)| NodeId::new(i))
+    }
+
+    /// Number of newborn nodes.
+    pub fn born_count(&self) -> usize {
+        self.new_to_old.iter().filter(|o| o.is_none()).count()
+    }
+
+    /// Number of departed nodes.
+    pub fn died_count(&self) -> usize {
+        self.old_to_new.iter().filter(|t| t.is_none()).count()
+    }
+
+    /// Whether this is the identity map (same length, every node in
+    /// place) — the no-churn case the same-node-set pipeline covers.
+    pub fn is_identity(&self) -> bool {
+        self.old_len() == self.new_len()
+            && self
+                .old_to_new
+                .iter()
+                .enumerate()
+                .all(|(i, &t)| t == Some(NodeId::new(i)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_roundtrips() {
+        let m = NodeMap::identity(3);
+        assert!(m.is_identity());
+        assert_eq!(m.old_len(), 3);
+        assert_eq!(m.new_len(), 3);
+        for i in 0..3u32 {
+            assert_eq!(m.to_new(NodeId(i)), Some(NodeId(i)));
+            assert_eq!(m.to_old(NodeId(i)), Some(NodeId(i)));
+        }
+        assert_eq!(m.born_count(), 0);
+        assert_eq!(m.died_count(), 0);
+    }
+
+    #[test]
+    fn join_appends_births() {
+        let m = NodeMap::join(3, 2);
+        assert_eq!(m.old_len(), 3);
+        assert_eq!(m.new_len(), 5);
+        assert!(!m.is_identity());
+        assert_eq!(m.to_new(NodeId(2)), Some(NodeId(2)));
+        assert_eq!(m.to_old(NodeId(1)), Some(NodeId(1)));
+        assert_eq!(m.born().collect::<Vec<_>>(), vec![NodeId(3), NodeId(4)]);
+        assert_eq!(m.died_count(), 0);
+        assert_eq!(m.born_count(), 2);
+    }
+
+    #[test]
+    fn leave_swap_moves_last_into_the_hole() {
+        let m = NodeMap::leave_swap(5, NodeId(1));
+        assert_eq!(m.old_len(), 5);
+        assert_eq!(m.new_len(), 4);
+        assert_eq!(m.to_new(NodeId(1)), None);
+        assert_eq!(m.to_new(NodeId(4)), Some(NodeId(1)));
+        assert_eq!(m.to_new(NodeId(2)), Some(NodeId(2)));
+        assert_eq!(m.to_old(NodeId(1)), Some(NodeId(4)));
+        assert_eq!(m.died().collect::<Vec<_>>(), vec![NodeId(1)]);
+        assert_eq!(m.born_count(), 0);
+    }
+
+    #[test]
+    fn leave_swap_of_the_last_node_truncates() {
+        let m = NodeMap::leave_swap(3, NodeId(2));
+        assert_eq!(m.to_new(NodeId(0)), Some(NodeId(0)));
+        assert_eq!(m.to_new(NodeId(1)), Some(NodeId(1)));
+        assert_eq!(m.to_new(NodeId(2)), None);
+        assert_eq!(m.new_len(), 2);
+    }
+
+    #[test]
+    fn from_old_to_new_derives_births() {
+        // 0 dies, 1 -> 2, 2 -> 0; births at 1.
+        let m = NodeMap::from_old_to_new(vec![None, Some(NodeId(2)), Some(NodeId(0))], 3);
+        assert_eq!(m.born().collect::<Vec<_>>(), vec![NodeId(1)]);
+        assert_eq!(m.died().collect::<Vec<_>>(), vec![NodeId(0)]);
+        assert_eq!(m.to_old(NodeId(2)), Some(NodeId(1)));
+        assert!(!m.is_identity());
+    }
+
+    #[test]
+    #[should_panic(expected = "injective")]
+    fn duplicate_targets_rejected() {
+        NodeMap::from_old_to_new(vec![Some(NodeId(0)), Some(NodeId(0))], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the new index space")]
+    fn out_of_range_target_rejected() {
+        NodeMap::from_old_to_new(vec![Some(NodeId(5))], 2);
+    }
+
+    #[test]
+    fn permutation_is_not_identity() {
+        let m = NodeMap::from_old_to_new(vec![Some(NodeId(1)), Some(NodeId(0))], 2);
+        assert!(!m.is_identity());
+        assert_eq!(m.born_count(), 0);
+        assert_eq!(m.died_count(), 0);
+    }
+}

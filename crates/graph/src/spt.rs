@@ -237,6 +237,62 @@ impl SubtreeIntervals {
         self.is_ancestor(x, v)
             .then(|| (self.enter[v.index()] - self.enter[x.index()]) as usize)
     }
+
+    /// Translates the labeling into the index space of `map` by
+    /// *compacting* the preorder: departed nodes are deleted from the
+    /// sequence and every survivor keeps its relative position under its
+    /// new index. Deleting elements from a preorder sequence preserves
+    /// both subtree contiguity and the ancestor relation among the
+    /// survivors, so `is_ancestor`/`subtree`/`slice_offset` answer
+    /// exactly as the old tree restricted to survivors — which is what
+    /// the cross-resize row remap needs to keep cached detour rows
+    /// aligned with their slices. Newborn nodes are out of tree; a
+    /// survivor whose ancestor died keeps its (now orphaned) subtree
+    /// labels, which the caller marks dirty as a severed slice. Depths
+    /// are carried from the old tree, not recomputed — the repair
+    /// pipeline never reads them from a remapped labeling.
+    ///
+    /// # Panics
+    /// If `map.old_len()` differs from this labeling's node count.
+    pub fn remap(&self, map: &crate::node_map::NodeMap) -> SubtreeIntervals {
+        assert_eq!(
+            map.old_len(),
+            self.enter.len(),
+            "map old_len must match the labeling being remapped"
+        );
+        let new_n = map.new_len();
+        let mut enter = vec![OUT_OF_TREE; new_n];
+        let mut exit = vec![OUT_OF_TREE; new_n];
+        let mut depth = vec![OUT_OF_TREE; new_n];
+        // survivors[i] = number of surviving nodes among preorder
+        // positions < i, for i in 0 ..= order.len().
+        let mut survivors = Vec::with_capacity(self.order.len() + 1);
+        let mut order = Vec::new();
+        let mut acc = 0u32;
+        survivors.push(0);
+        for &v in &self.order {
+            if let Some(nv) = map.to_new(v) {
+                acc += 1;
+                order.push(nv);
+            }
+            survivors.push(acc);
+        }
+        for (i, &v) in self.order.iter().enumerate() {
+            let Some(nv) = map.to_new(v) else { continue };
+            enter[nv.index()] = survivors[i];
+            // New exit = survivors within the old interval, minus one for
+            // zero-based inclusive labels; v itself survives, so the
+            // count is ≥ 1 and never underflows.
+            exit[nv.index()] = survivors[self.exit[v.index()] as usize + 1] - 1;
+            depth[nv.index()] = self.depth[v.index()];
+        }
+        SubtreeIntervals {
+            enter,
+            exit,
+            depth,
+            order,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -357,6 +413,56 @@ mod tests {
             }
         }
         assert_eq!(iv.subtree(NodeId(2)), &[NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn remap_preserves_survivor_ancestry() {
+        use crate::node_map::NodeMap;
+        let t = sample(); // 0 → {1, 2}; 1 → {3, 4}; 5 out of tree
+        let iv = t.intervals();
+        // Node 3 departs; old node 5 swaps into index 3.
+        let map = NodeMap::leave_swap(6, NodeId(3));
+        let r = iv.remap(&map);
+        // Ancestor relation among survivors must match the old tree
+        // queried through the map.
+        for a in 0..6u32 {
+            for b in 0..6u32 {
+                let (oa, ob) = (NodeId(a), NodeId(b));
+                let (Some(na), Some(nb)) = (map.to_new(oa), map.to_new(ob)) else {
+                    continue;
+                };
+                assert_eq!(
+                    r.is_ancestor(na, nb),
+                    iv.is_ancestor(oa, ob),
+                    "{oa:?} anc {ob:?} through map"
+                );
+            }
+        }
+        // Subtree slices compact: subtree(1) lost member 3.
+        assert_eq!(r.subtree(NodeId(1)), &[NodeId(1), NodeId(4)]);
+        assert_eq!(r.subtree(NodeId(0)).len(), 4);
+        // Old node 5 (now index 3) stays out of tree.
+        assert!(!r.in_tree(NodeId(3)));
+        // Slice offsets index the compacted slices.
+        for x in 0..5u32 {
+            let x = NodeId(x);
+            for (i, &v) in r.subtree(x).iter().enumerate() {
+                assert_eq!(r.slice_offset(x, v), Some(i));
+            }
+        }
+    }
+
+    #[test]
+    fn remap_under_join_leaves_newborns_out_of_tree() {
+        use crate::node_map::NodeMap;
+        let t = sample();
+        let iv = t.intervals();
+        let r = iv.remap(&NodeMap::join(6, 2));
+        assert_eq!(r.order(), iv.order());
+        assert!(!r.in_tree(NodeId(6)));
+        assert!(!r.in_tree(NodeId(7)));
+        assert_eq!(r.subtree(NodeId(1)), iv.subtree(NodeId(1)));
+        assert_eq!(r.depth(NodeId(4)), Some(2));
     }
 
     #[test]

@@ -47,6 +47,13 @@ pub struct ApSnapshot {
     /// Swap count of the owning cell when this snapshot was published
     /// (1 = the service's initial warm-up epoch).
     pub generation: u64,
+    /// The service-wide node-identity epoch this snapshot was priced
+    /// over (1 = the initial node set). Bumped by every resize — mapped
+    /// or cold — so the batch front-end can tell which snapshots share
+    /// an index *space*, not just an epoch count: mixing snapshots from
+    /// different node epochs would price one source index against two
+    /// different physical nodes.
+    pub node_epoch: u64,
     /// The access point this snapshot prices toward.
     pub ap: NodeId,
     /// The owning shard's index in the service's AP list — the anycast
@@ -163,6 +170,7 @@ mod tests {
     fn snap(generation: u64, ap: NodeId) -> ApSnapshot {
         ApSnapshot {
             generation,
+            node_epoch: 1,
             ap,
             ap_index: 0,
             outcome: EpochOutcome::Cold,

@@ -24,11 +24,12 @@
 //! battery in `tests/service_vs_library.rs` holds the service to that
 //! oracle bit-for-bit.
 
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use truthcast_core::delta::EpochOutcome;
 use truthcast_core::UnicastPricing;
-use truthcast_graph::{NodeId, NodeWeightedGraph, QueueKind};
+use truthcast_graph::{NodeId, NodeMap, NodeWeightedGraph, QueueKind};
 use truthcast_rt::{default_threads, par_map};
 
 use crate::epoch::ApSnapshot;
@@ -48,6 +49,12 @@ pub struct ServiceConfig {
     /// Priority-queue engine handed to every shard's
     /// [`IncrementalEngine`](truthcast_core::delta::IncrementalEngine).
     pub kind: QueueKind,
+    /// Damage threshold override for the shard engines (fraction of n
+    /// above which an epoch's repair falls back to a cold sweep).
+    /// `None` keeps the engine default / `TRUTHCAST_DELTA_THRESHOLD`.
+    /// Purely a performance knob — settled prices are identical either
+    /// way.
+    pub damage_threshold: Option<f64>,
 }
 
 impl ServiceConfig {
@@ -59,6 +66,7 @@ impl ServiceConfig {
             threads: default_threads(),
             queue_capacity: usize::MAX,
             kind: QueueKind::from_env(),
+            damage_threshold: None,
         }
     }
 
@@ -77,6 +85,12 @@ impl ServiceConfig {
     /// Sets the priority-queue engine.
     pub fn queue_kind(mut self, kind: QueueKind) -> ServiceConfig {
         self.kind = kind;
+        self
+    }
+
+    /// Overrides the shard engines' damage threshold.
+    pub fn damage_threshold(mut self, threshold: f64) -> ServiceConfig {
+        self.damage_threshold = Some(threshold);
         self
     }
 }
@@ -130,6 +144,15 @@ impl ServeOutcome {
 pub struct PaymentService {
     shards: Vec<Shard>,
     threads: usize,
+    /// Monotone stamp of the node *identity space*. Bumped by every
+    /// resize epoch — a non-identity [`NodeMap`], or a node-count change
+    /// under the unmapped `begin_epoch` — and stamped into every
+    /// snapshot, so `serve_batch` can refuse to mix snapshots whose
+    /// indices name different physical nodes.
+    node_epoch: AtomicU64,
+    /// Node count of the most recent epoch graph, to detect unmapped
+    /// resizes.
+    last_nodes: AtomicUsize,
 }
 
 impl PaymentService {
@@ -163,6 +186,8 @@ impl PaymentService {
             "service.epoch.blocked_readers",
             "service.epoch.reader_retries",
             "service.epoch.cold_resizes",
+            "service.epoch.warm_resizes",
+            "service.epoch.stale_snapshots",
             "service.queue.drained",
             "service.load.stalls",
         ] {
@@ -178,11 +203,23 @@ impl PaymentService {
             .aps
             .iter()
             .enumerate()
-            .map(|(i, &ap)| Shard::new(ap, i, warm_threads, cfg.kind, cfg.queue_capacity, g0))
+            .map(|(i, &ap)| {
+                Shard::new(
+                    ap,
+                    i,
+                    warm_threads,
+                    cfg.kind,
+                    cfg.damage_threshold,
+                    cfg.queue_capacity,
+                    g0,
+                )
+            })
             .collect();
         PaymentService {
             shards,
             threads: cfg.threads.max(1),
+            node_epoch: AtomicU64::new(1),
+            last_nodes: AtomicUsize::new(g0.num_nodes()),
         }
     }
 
@@ -207,9 +244,49 @@ impl PaymentService {
     ///
     /// Returns each shard's [`EpochOutcome`], in shard order.
     pub fn begin_epoch(&self, g: &NodeWeightedGraph) -> Vec<EpochOutcome> {
+        self.begin_epoch_inner(g, None)
+    }
+
+    /// Advances every shard to the epoch graph `g` *through churn*: the
+    /// [`NodeMap`] carries node identities from the previous epoch's
+    /// index space into `g`'s, so each shard's engine repairs across the
+    /// join/leave instead of re-warming cold
+    /// ([`EpochOutcome::WarmResize`] instead of
+    /// [`EpochOutcome::ColdResize`], bit-identical tables either way).
+    /// A non-identity map bumps the service's node epoch, which
+    /// `serve_batch` uses to keep in-flight batches from mixing
+    /// snapshots across the identity swap.
+    ///
+    /// # Panics
+    /// If any shard's AP does not keep its index under `map` — APs are
+    /// the service's fixed infrastructure; churn is for the client node
+    /// population. (Encode AP-preserving renumberings accordingly, e.g.
+    /// keep APs in the low indices so `leave_swap` never moves them.)
+    pub fn begin_epoch_mapped(&self, g: &NodeWeightedGraph, map: &NodeMap) -> Vec<EpochOutcome> {
+        for s in &self.shards {
+            assert_eq!(
+                map.to_new(s.ap),
+                Some(s.ap),
+                "AP {:?} must keep its index across a mapped epoch",
+                s.ap
+            );
+        }
+        self.begin_epoch_inner(g, Some(map))
+    }
+
+    fn begin_epoch_inner(&self, g: &NodeWeightedGraph, map: Option<&NodeMap>) -> Vec<EpochOutcome> {
         let _span = truthcast_obs::span("service.begin_epoch");
+        let count_changed = self.last_nodes.swap(g.num_nodes(), Ordering::AcqRel) != g.num_nodes();
+        let resized = count_changed || map.is_some_and(|m| !m.is_identity());
+        let node_epoch = if resized {
+            self.node_epoch.fetch_add(1, Ordering::AcqRel) + 1
+        } else {
+            self.node_epoch.load(Ordering::Acquire)
+        };
         let k = self.shards.len();
-        par_map(k, self.threads.min(k), |i| self.shards[i].begin_epoch(g).1)
+        par_map(k, self.threads.min(k), |i| {
+            self.shards[i].begin_epoch(g, map, node_epoch).1
+        })
     }
 
     /// Lowest published generation across shards — the epoch the whole
@@ -228,7 +305,36 @@ impl PaymentService {
         let _span = truthcast_obs::span("service.serve_batch");
         truthcast_obs::add("service.sessions.offered", sources.len() as u64);
         // One consistent set of snapshots for the whole batch.
-        let snaps: Vec<Arc<ApSnapshot>> = self.shards.iter().map(|s| s.cell().read()).collect();
+        let mut snaps: Vec<Arc<ApSnapshot>> = self.shards.iter().map(|s| s.cell().read()).collect();
+        // Resize-swap consistency: if the k reads straddled a resize,
+        // some snapshots index the old node space and some the new — a
+        // source index would name two different physical nodes, and the
+        // anycast argmin would compare prices across incompatible
+        // worlds. A lagging shard means its publish for the current
+        // node epoch is still in flight (the epoch driver publishes
+        // every shard each epoch), so re-read laggards until the set
+        // agrees; each re-read round counts under
+        // `service.epoch.stale_snapshots`. Mixed *generations* within
+        // one node epoch remain fine — same index space.
+        let mut rounds = 0u32;
+        loop {
+            let node_epoch = snaps.iter().map(|s| s.node_epoch).max().unwrap_or(0);
+            if snaps.iter().all(|s| s.node_epoch == node_epoch) {
+                break;
+            }
+            truthcast_obs::add("service.epoch.stale_snapshots", 1);
+            rounds += 1;
+            if rounds > 64 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+            for (i, shard) in self.shards.iter().enumerate() {
+                if snaps[i].node_epoch < node_epoch {
+                    snaps[i] = shard.cell().read();
+                }
+            }
+        }
         let priced = par_map(sources.len(), self.threads, |i| {
             settle_one(sources[i], &snaps)
         });
@@ -272,8 +378,10 @@ impl PaymentService {
 
 /// The anycast argmin: cheapest declared LCP cost across the k
 /// snapshots, exact-cost ties broken toward the lowest AP index (strict
-/// `<` while scanning in index order). Pure — no locks, no atomics on
-/// the decision path — so the batch fan-out stays bit-deterministic.
+/// `<` while scanning in index order). The caller hands over a set that
+/// agrees on the node epoch, so every snapshot's indices name the same
+/// physical nodes. Pure — no locks, no atomics on the decision path —
+/// so the batch fan-out stays bit-deterministic.
 fn settle_one(source: NodeId, snaps: &[Arc<ApSnapshot>]) -> Option<(usize, UnicastPricing)> {
     let mut best: Option<(usize, &UnicastPricing)> = None;
     for (i, snap) in snaps.iter().enumerate() {

@@ -14,7 +14,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use truthcast_core::delta::{EpochOutcome, IncrementalEngine};
-use truthcast_graph::{NodeId, NodeWeightedGraph, QueueKind};
+use truthcast_graph::{NodeId, NodeMap, NodeWeightedGraph, QueueKind};
 
 use crate::epoch::{ApSnapshot, EpochCell};
 use crate::service::Settlement;
@@ -52,14 +52,19 @@ impl Shard {
         index: usize,
         threads: usize,
         kind: QueueKind,
+        damage_threshold: Option<f64>,
         capacity: usize,
         g0: &NodeWeightedGraph,
     ) -> Shard {
         let mut engine = IncrementalEngine::with_queue(threads, kind);
+        if let Some(t) = damage_threshold {
+            engine.set_damage_threshold(t);
+        }
         let pricing = engine.price_epoch(g0, ap);
         let outcome = engine.last_outcome();
         let cell = EpochCell::new(Arc::new(ApSnapshot {
             generation: 1,
+            node_epoch: 1,
             ap,
             ap_index: index,
             outcome,
@@ -84,20 +89,38 @@ impl Shard {
     }
 
     /// Re-prices this AP for the epoch graph `g` and publishes the new
-    /// snapshot. Returns `(generation, outcome)`. Holding the engine
+    /// snapshot, stamped with the service-wide `node_epoch`. With a
+    /// [`NodeMap`] the engine repairs *through* the churn
+    /// (`price_epoch_mapped`); without one a node-count change re-warms
+    /// cold. Returns `(generation, outcome)`. Holding the engine
     /// lock across the publish makes the single-writer requirement of
     /// [`EpochCell::publish`] structural; readers are untouched — they
     /// keep pricing against the previous snapshot until the pointer
     /// exchange, and against the new one after.
-    pub(crate) fn begin_epoch(&self, g: &NodeWeightedGraph) -> (u64, EpochOutcome) {
+    pub(crate) fn begin_epoch(
+        &self,
+        g: &NodeWeightedGraph,
+        map: Option<&NodeMap>,
+        node_epoch: u64,
+    ) -> (u64, EpochOutcome) {
         let mut engine = self.engine.lock().unwrap_or_else(|e| e.into_inner());
-        let pricing = engine.price_epoch(g, self.ap);
+        let pricing = match map {
+            Some(m) => engine.price_epoch_mapped(g, self.ap, m),
+            None => engine.price_epoch(g, self.ap),
+        };
         let outcome = engine.last_outcome();
-        if matches!(outcome, EpochOutcome::ColdResize { .. }) {
-            truthcast_obs::add("service.epoch.cold_resizes", 1);
+        match outcome {
+            EpochOutcome::ColdResize { .. } => {
+                truthcast_obs::add("service.epoch.cold_resizes", 1);
+            }
+            EpochOutcome::WarmResize { .. } => {
+                truthcast_obs::add("service.epoch.warm_resizes", 1);
+            }
+            _ => {}
         }
         let generation = self.cell.publish(ApSnapshot {
             generation: 0, // stamped by publish
+            node_epoch,
             ap: self.ap,
             ap_index: self.index,
             outcome,

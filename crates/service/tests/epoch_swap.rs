@@ -8,9 +8,13 @@
 //! publishes into the inactive slot of each shard's [`EpochCell`] and
 //! flips a generation atomically, so a reader either gets the old
 //! snapshot or the new one, both complete. Node join/leave mid-run is
-//! included: the resize epoch must surface per-shard as
+//! included both ways: unmapped resize epochs must surface per-shard as
 //! [`EpochOutcome::ColdResize`] (counted under
-//! `service.epoch.cold_resizes`) while readers keep settling.
+//! `service.epoch.cold_resizes`), and identity-mapped churn epochs
+//! driven through `begin_epoch_mapped` must surface as
+//! [`EpochOutcome::WarmResize`] (counted under
+//! `service.epoch.warm_resizes`) — all while readers keep settling and
+//! never block.
 //!
 //! Single-test binary: asserts on the global `truthcast-obs` counters.
 
@@ -18,15 +22,20 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use truthcast_core::all_sources_payments;
 use truthcast_core::delta::EpochOutcome;
-use truthcast_graph::{Cost, NodeId, NodeWeightedGraph};
+use truthcast_graph::{Cost, NodeId, NodeMap, NodeWeightedGraph};
 use truthcast_service::{PaymentService, ServeOutcome, ServiceConfig};
 
 const READERS: usize = 3;
-const SWAPS: usize = 4;
+const SWAPS: usize = 6;
 
-/// Epoch graphs: a base 8-node double-diamond, cost tweaks for most
-/// epochs, and one join epoch (n = 9) in the middle.
-fn epoch_graphs() -> Vec<NodeWeightedGraph> {
+/// Epoch graphs, each with the [`NodeMap`] to drive it through (`None`
+/// = the unmapped `begin_epoch` path): a base 8-node double-diamond,
+/// cost tweaks for most epochs, one *unmapped* join/leave pair in the
+/// middle (cold resizes), and a *mapped* join/leave pair at the end
+/// (warm resizes). Both maps keep the APs (0 and 7) at their indices:
+/// the join appends, and the leave removes the last index, which
+/// `leave_swap` encodes as pure truncation.
+fn epoch_graphs() -> Vec<(NodeWeightedGraph, Option<NodeMap>)> {
     let pairs8 = [
         (0, 1),
         (1, 2),
@@ -47,7 +56,20 @@ fn epoch_graphs() -> Vec<NodeWeightedGraph> {
     // Node 8 leaves again; relay 3 gets cheap.
     let g3 = g1.with_declared(NodeId(3), Cost::from_units(1));
     let g4 = g3.with_declared(NodeId(4), Cost::from_units(9));
-    vec![g0, g1, g2, g3, g4]
+    // Node 8 re-joins — this time with its identity carried in a map,
+    // so the shards repair through the churn instead of going cold.
+    let g5 = NodeWeightedGraph::from_pairs_units(&pairs9, &[0, 2, 3, 1, 9, 4, 6, 0, 1]);
+    // And leaves again, also warm.
+    let g6 = g4.clone();
+    vec![
+        (g0, None),
+        (g1, None),
+        (g2, None),
+        (g3, None),
+        (g4, None),
+        (g5, Some(NodeMap::join(8, 1))),
+        (g6, Some(NodeMap::leave_swap(9, NodeId(8)))),
+    ]
 }
 
 /// Per-source expected settlement for one epoch: `(ap_index, lcp)` by
@@ -80,15 +102,21 @@ fn swaps_never_block_readers() {
     // Readers use sources that exist in every epoch (indices < 8).
     let sources: Vec<NodeId> = (1..7).map(NodeId).collect();
     // expected[e][v]: generation e + 1 prices epoch graph e.
-    let expected: Vec<_> = graphs.iter().map(|g| expected_for(g, &aps)).collect();
+    let expected: Vec<_> = graphs.iter().map(|(g, _)| expected_for(g, &aps)).collect();
 
-    let cfg = ServiceConfig::new(aps.clone()).threads(1);
-    let service = PaymentService::new(&cfg, &graphs[0]);
+    // Threshold 1.0 pins every same-identity epoch to the repair path
+    // (same convention as the engine-level batteries), so the mapped
+    // churn epochs must surface as WarmResize on these small graphs.
+    let cfg = ServiceConfig::new(aps.clone())
+        .threads(1)
+        .damage_threshold(1.0);
+    let service = PaymentService::new(&cfg, &graphs[0].0);
     assert_eq!(service.generation(), 1);
 
     let done = AtomicBool::new(false);
     let batches = AtomicU64::new(0);
     let mut generations_seen: Vec<Vec<u64>> = Vec::new();
+    let mut swap_log: Vec<(usize, Vec<EpochOutcome>, u64)> = Vec::new();
 
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
@@ -122,19 +150,16 @@ fn swaps_never_block_readers() {
         }
 
         // The swapper: drive the remaining epochs while readers hammer.
-        for (e, g) in graphs.iter().enumerate().skip(1) {
+        // Outcomes are only *recorded* here and asserted after `done` is
+        // set — a swapper assert inside the scope would leave the reader
+        // loops running forever while the scope waits to join them.
+        for (e, (g, map)) in graphs.iter().enumerate().skip(1) {
             std::thread::sleep(std::time::Duration::from_millis(20));
-            let outcomes = service.begin_epoch(g);
-            assert_eq!(outcomes.len(), aps.len());
-            if g.num_nodes() != graphs[e - 1].num_nodes() {
-                for o in &outcomes {
-                    assert!(
-                        matches!(o, EpochOutcome::ColdResize { .. }),
-                        "join/leave epoch must surface as ColdResize, got {o:?}"
-                    );
-                }
-            }
-            assert_eq!(service.generation(), (e + 1) as u64);
+            let outcomes = match map {
+                Some(m) => service.begin_epoch_mapped(g, m),
+                None => service.begin_epoch(g),
+            };
+            swap_log.push((e, outcomes, service.generation()));
         }
         std::thread::sleep(std::time::Duration::from_millis(20));
         done.store(true, Ordering::Relaxed);
@@ -142,6 +167,27 @@ fn swaps_never_block_readers() {
             generations_seen.push(h.join().expect("reader panicked"));
         }
     });
+
+    for (e, outcomes, generation) in &swap_log {
+        let (g, map) = &graphs[*e];
+        assert_eq!(outcomes.len(), aps.len());
+        if map.is_some() {
+            for o in outcomes {
+                assert!(
+                    matches!(o, EpochOutcome::WarmResize { .. }),
+                    "mapped churn epoch {e} must surface as WarmResize, got {o:?}"
+                );
+            }
+        } else if g.num_nodes() != graphs[e - 1].0.num_nodes() {
+            for o in outcomes {
+                assert!(
+                    matches!(o, EpochOutcome::ColdResize { .. }),
+                    "unmapped join/leave epoch {e} must surface as ColdResize, got {o:?}"
+                );
+            }
+        }
+        assert_eq!(*generation, (*e + 1) as u64);
+    }
 
     let snap = truthcast_obs::snapshot();
     truthcast_obs::disable();
@@ -160,7 +206,13 @@ fn swaps_never_block_readers() {
     );
     assert_eq!(
         snap.counter("service.epoch.cold_resizes"),
-        (2 * aps.len()) as u64
+        (2 * aps.len()) as u64,
+        "the unmapped join/leave pair stays cold"
+    );
+    assert_eq!(
+        snap.counter("service.epoch.warm_resizes"),
+        (2 * aps.len()) as u64,
+        "the mapped join/leave pair repairs warm"
     );
     assert!(batches.load(Ordering::Relaxed) > 0, "readers made progress");
     for seen in &generations_seen {

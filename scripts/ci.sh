@@ -51,6 +51,18 @@ TRUTHCAST_TRACE="$SMOKE_DIR/service.jsonl" \
 cargo run -q --offline --release -p truthcast-obs --bin tracecheck -- \
     --jsonl "$SMOKE_DIR/service.jsonl"
 
+# Churn smoke: the same quick run with join/leave churn driven through
+# begin_epoch_mapped (threshold 1 pins the warm-resize repair path at
+# this tiny n); the epoch line must surface WarmResize and the trace
+# must still check out.
+echo "==> service churn smoke (service --quick --churn 0.05 --threshold 1)"
+TRUTHCAST_TRACE="$SMOKE_DIR/service_churn.jsonl" \
+    cargo run -q --offline --release -p truthcast-experiments --bin service -- \
+    --quick --churn 0.05 --threshold 1 >"$SMOKE_DIR/service_churn.out"
+grep -q "WarmResize" "$SMOKE_DIR/service_churn.out"
+cargo run -q --offline --release -p truthcast-obs --bin tracecheck -- \
+    --jsonl "$SMOKE_DIR/service_churn.jsonl"
+
 # TRUTHCAST_CI_HEAVY=1 re-runs the differential batteries at an elevated
 # case count (the default run above already includes them at the fast
 # count baked into the tests).
@@ -65,6 +77,8 @@ if [ "${TRUTHCAST_CI_HEAVY:-0}" != "0" ]; then
     TRUTHCAST_CASES=256 cargo test -q --offline -p truthcast-core --test incremental_vs_cold
     echo "==> heavy delta-soundness battery (TRUTHCAST_CASES=256)"
     TRUTHCAST_CASES=256 cargo test -q --offline -p truthcast-core --test delta_props
+    echo "==> heavy warm-resize-vs-cold churn battery (TRUTHCAST_CASES=256)"
+    TRUTHCAST_CASES=256 cargo test -q --offline -p truthcast-core --test resize_vs_cold
     echo "==> heavy modelcheck battery (n=6/n=7, release)"
     TRUTHCAST_CI_HEAVY=1 cargo test -q --offline --release -p truthcast-distsim \
         --test modelcheck_explore heavy_battery
